@@ -1,0 +1,130 @@
+//! The parsed (source-level) form of an eQASM program.
+//!
+//! Unlike [`eqasm_core::Instruction`], the AST still contains symbolic
+//! label references, quantum operation *names* (resolved against the
+//! compile-time operation configuration during assembly, §3.2) and qubit
+//! lists (turned into masks against the chip topology, §3.3.2).
+
+use eqasm_core::{CmpFlag, Gpr, Qubit, SReg, TReg};
+
+/// A branch target: either a symbolic label or an already-resolved
+/// instruction offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BranchTarget {
+    /// A label to resolve during assembly.
+    Label(String),
+    /// A raw offset relative to the branch instruction, in instructions.
+    Offset(i32),
+}
+
+/// The operand of `SMIS`: an explicit qubit list (`{0, 2}`) or a raw
+/// mask value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmisArg {
+    /// `{q0, q1, …}`.
+    Qubits(Vec<Qubit>),
+    /// A raw mask immediate.
+    Mask(u32),
+}
+
+/// The operand of `SMIT`: an explicit list of directed qubit pairs
+/// (`{(1, 3), (2, 4)}`), a list of pair addresses, or a raw mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmitArg {
+    /// `{(s, t), …}` — pairs of physical qubit addresses.
+    Pairs(Vec<(Qubit, Qubit)>),
+    /// A raw mask immediate.
+    Mask(u32),
+}
+
+/// One quantum operation inside a source-level bundle: a configured
+/// operation name plus an optional target-register operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceOp {
+    /// The operation name as written (resolved case-insensitively).
+    pub name: String,
+    /// The target register, if written (`QNOP` has none).
+    pub target: Option<SourceTarget>,
+}
+
+/// A target-register operand as written in a bundle slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceTarget {
+    /// `Si`.
+    S(SReg),
+    /// `Ti`.
+    T(TReg),
+}
+
+/// A source-level quantum bundle: `[PI,] op [| op]*` with *any* number
+/// of operations (the assembler splits it to the VLIW width, §3.4.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceBundle {
+    /// The explicit pre-interval, or `None` for the default of 1.
+    pub pi: Option<u32>,
+    /// The operations, in slot order.
+    pub ops: Vec<SourceOp>,
+}
+
+/// One parsed instruction, still carrying symbolic information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // operand names mirror Table 1
+pub enum SourceInstr {
+    Nop,
+    Stop,
+    Cmp { rs: Gpr, rt: Gpr },
+    Br { flag: CmpFlag, target: BranchTarget },
+    Fbr { flag: CmpFlag, rd: Gpr },
+    Ldi { rd: Gpr, imm: i64 },
+    Ldui { rd: Gpr, imm: i64, rs: Gpr },
+    Ld { rd: Gpr, rt: Gpr, imm: i64 },
+    St { rs: Gpr, rt: Gpr, imm: i64 },
+    Fmr { rd: Gpr, qubit: Qubit },
+    And { rd: Gpr, rs: Gpr, rt: Gpr },
+    Or { rd: Gpr, rs: Gpr, rt: Gpr },
+    Xor { rd: Gpr, rs: Gpr, rt: Gpr },
+    Not { rd: Gpr, rt: Gpr },
+    Add { rd: Gpr, rs: Gpr, rt: Gpr },
+    Sub { rd: Gpr, rs: Gpr, rt: Gpr },
+    QWait { cycles: i64 },
+    QWaitR { rs: Gpr },
+    Smis { sd: SReg, arg: SmisArg },
+    Smit { td: TReg, arg: SmitArg },
+    Bundle(SourceBundle),
+}
+
+/// One item of a parsed program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A label definition (`name:`).
+    Label {
+        /// The label name.
+        name: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// An instruction.
+    Instr {
+        /// The parsed instruction.
+        instr: SourceInstr,
+        /// 1-based source line.
+        line: usize,
+    },
+}
+
+/// A parsed source file: a flat list of labels and instructions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SourceProgram {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}
+
+impl SourceProgram {
+    /// Iterates over the instructions (ignoring labels).
+    pub fn instructions(&self) -> impl Iterator<Item = &SourceInstr> + '_ {
+        self.items.iter().filter_map(|item| match item {
+            Item::Instr { instr, .. } => Some(instr),
+            Item::Label { .. } => None,
+        })
+    }
+}

@@ -1,0 +1,164 @@
+//! Binary → assembly text.
+//!
+//! The disassembler inverts the encoder, resolving quantum opcodes back
+//! to their configured names. Its output re-assembles to the identical
+//! binary (round-trip property, tested in the crate's property tests).
+
+use eqasm_core::{Instantiation, Instruction, OpTarget};
+
+use crate::encoding::decode_program;
+use crate::error::AsmError;
+
+/// Renders one decoded instruction as re-assemblable text.
+pub fn format_instruction(instr: &Instruction, inst: &Instantiation) -> String {
+    match instr {
+        Instruction::Smis { sd, mask } => {
+            let qubits: Vec<String> = inst
+                .topology()
+                .qubits_in_mask(*mask)
+                .iter()
+                .map(|q| q.index().to_string())
+                .collect();
+            format!("SMIS {sd}, {{{}}}", qubits.join(", "))
+        }
+        Instruction::Smit { td, mask } => {
+            let pairs: Vec<String> = inst
+                .topology()
+                .pairs_in_mask(*mask)
+                .iter()
+                .map(|p| p.to_string())
+                .collect();
+            format!("SMIT {td}, {{{}}}", pairs.join(", "))
+        }
+        Instruction::Bundle(b) => {
+            let ops: Vec<String> = b
+                .ops
+                .iter()
+                .map(|op| {
+                    if op.is_qnop() {
+                        "QNOP".to_owned()
+                    } else {
+                        let name = inst
+                            .ops()
+                            .by_opcode(op.opcode)
+                            .map(|d| d.name().to_owned())
+                            .unwrap_or_else(|_| format!("q{:#x}", op.opcode.raw()));
+                        match op.target {
+                            OpTarget::None => name,
+                            t => format!("{name} {t}"),
+                        }
+                    }
+                })
+                .collect();
+            format!("{}, {}", b.pre_interval, ops.join(" | "))
+        }
+        other => other.to_string(),
+    }
+}
+
+/// Disassembles binary words into assembly text, one instruction per
+/// line, prefixed with the word address.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] when a word cannot be decoded against the
+/// instantiation.
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_asm::{assemble, disassemble, encoding::encode_program};
+/// use eqasm_core::Instantiation;
+///
+/// let inst = Instantiation::paper();
+/// let program = assemble("QWAIT 42", &inst)?;
+/// let words = encode_program(program.instructions(), &inst)?;
+/// let text = disassemble(&words, &inst)?;
+/// assert!(text.contains("QWAIT 42"));
+/// # Ok::<(), eqasm_asm::AsmError>(())
+/// ```
+pub fn disassemble(words: &[u32], inst: &Instantiation) -> Result<String, AsmError> {
+    let instructions = decode_program(words, inst)?;
+    let mut out = String::new();
+    for (addr, instr) in instructions.iter().enumerate() {
+        out.push_str(&format!("{addr:6}:  {}\n", format_instruction(instr, inst)));
+    }
+    Ok(out)
+}
+
+/// Disassembles to *re-assemblable* source (no address prefixes).
+///
+/// # Errors
+///
+/// Returns [`AsmError`] when a word cannot be decoded.
+pub fn disassemble_source(words: &[u32], inst: &Instantiation) -> Result<String, AsmError> {
+    let instructions = decode_program(words, inst)?;
+    let mut out = String::new();
+    for instr in &instructions {
+        out.push_str(&format_instruction(instr, inst));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+    use crate::encoding::encode_program;
+
+    #[test]
+    fn disassembly_reassembles_identically() {
+        let inst = Instantiation::paper();
+        let src = "\
+SMIS S0, {0}
+SMIS S2, {2}
+SMIS S7, {0, 2}
+SMIT T3, {(2, 0)}
+QWAIT 10000
+0, Y S7
+1, X90 S0 | X S2
+2, CZ T3
+1, MEASZ S7
+QWAIT 50
+LDI r0, 30
+QWAITR r0
+STOP";
+        let p1 = assemble(src, &inst).unwrap();
+        let w1 = encode_program(p1.instructions(), &inst).unwrap();
+        let text = disassemble_source(&w1, &inst).unwrap();
+        let p2 = assemble(&text, &inst).unwrap();
+        let w2 = encode_program(p2.instructions(), &inst).unwrap();
+        assert_eq!(w1, w2, "disassembled source must re-encode identically:\n{text}");
+    }
+
+    #[test]
+    fn addresses_present_in_listing() {
+        let inst = Instantiation::paper();
+        let p = assemble("NOP\nNOP\nSTOP", &inst).unwrap();
+        let w = encode_program(p.instructions(), &inst).unwrap();
+        let text = disassemble(&w, &inst).unwrap();
+        assert!(text.contains("0:"));
+        assert!(text.contains("2:"));
+        assert!(text.contains("STOP"));
+    }
+
+    #[test]
+    fn bundle_names_resolved() {
+        let inst = Instantiation::paper();
+        let p = assemble("1, X90 S0 | CZ T1", &inst).unwrap();
+        let w = encode_program(p.instructions(), &inst).unwrap();
+        let text = disassemble_source(&w, &inst).unwrap();
+        assert!(text.contains("X90 s0"));
+        assert!(text.contains("CZ t1"));
+    }
+
+    #[test]
+    fn smis_rendered_as_qubit_list() {
+        let inst = Instantiation::paper();
+        let p = assemble("SMIS S7, {0, 2}", &inst).unwrap();
+        let w = encode_program(p.instructions(), &inst).unwrap();
+        let text = disassemble_source(&w, &inst).unwrap();
+        assert!(text.contains("SMIS s7, {0, 2}"));
+    }
+}

@@ -1,0 +1,658 @@
+//! The 32-bit binary instruction formats of the paper's instantiation
+//! (Fig. 8).
+//!
+//! Two formats share the 32-bit word: the *single* format (bit 31 = 0)
+//! holding one auxiliary classical or quantum non-bundle instruction, and
+//! the *bundle* format (bit 31 = 1) holding two quantum operations plus a
+//! 3-bit pre-interval:
+//!
+//! ```text
+//!  31 30      22 21  17 16       8 7    3 2  0
+//! ┌──┬──────────┬──────┬──────────┬──────┬────┐
+//! │ 1│ q opcode │ S/T  │ q opcode │ S/T  │ PI │   bundle format
+//! └──┴──────────┴──────┴──────────┴──────┴────┘
+//! ```
+//!
+//! The quantum instruction layouts (`SMIS`, `SMIT`, `QWAIT`, `QWAITR`)
+//! follow Fig. 8 exactly; the classical layouts are
+//! instantiation-defined (the paper leaves them to the designer) and are
+//! documented per opcode below.
+
+use eqasm_core::{
+    Bundle, BundleOp, CmpFlag, Gpr, Instantiation, Instruction, OpArity, OpTarget, QOpcode,
+    Qubit, SReg, TReg,
+};
+
+use crate::error::{AsmError, AsmErrorKind};
+
+/// Classical (single-format) opcode assignments of this instantiation.
+pub mod opcodes {
+    /// `NOP`.
+    pub const NOP: u32 = 0;
+    /// `STOP` (instantiation-specific halt).
+    pub const STOP: u32 = 1;
+    /// `CMP Rs, Rt`.
+    pub const CMP: u32 = 2;
+    /// `BR <flag>, Offset`.
+    pub const BR: u32 = 3;
+    /// `FBR <flag>, Rd`.
+    pub const FBR: u32 = 4;
+    /// `LDI Rd, Imm`.
+    pub const LDI: u32 = 5;
+    /// `LDUI Rd, Imm, Rs`.
+    pub const LDUI: u32 = 6;
+    /// `LD Rd, Rt(Imm)`.
+    pub const LD: u32 = 7;
+    /// `ST Rs, Rt(Imm)`.
+    pub const ST: u32 = 8;
+    /// `FMR Rd, Qi`.
+    pub const FMR: u32 = 9;
+    /// `AND Rd, Rs, Rt`.
+    pub const AND: u32 = 10;
+    /// `OR Rd, Rs, Rt`.
+    pub const OR: u32 = 11;
+    /// `XOR Rd, Rs, Rt`.
+    pub const XOR: u32 = 12;
+    /// `NOT Rd, Rt`.
+    pub const NOT: u32 = 13;
+    /// `ADD Rd, Rs, Rt`.
+    pub const ADD: u32 = 14;
+    /// `SUB Rd, Rs, Rt`.
+    pub const SUB: u32 = 15;
+    /// `QWAIT Imm`.
+    pub const QWAIT: u32 = 16;
+    /// `QWAITR Rs`.
+    pub const QWAITR: u32 = 17;
+    /// `SMIS Sd, Imm`.
+    pub const SMIS: u32 = 18;
+    /// `SMIT Td, Imm`.
+    pub const SMIT: u32 = 19;
+}
+
+/// Width of the `SMIS` qubit mask field (Fig. 8: 7 bits).
+pub const SMIS_MASK_BITS: u32 = 7;
+/// Width of the `SMIT` qubit-pair mask field (Fig. 8: 16 bits).
+pub const SMIT_MASK_BITS: u32 = 16;
+
+fn field(value: u32, shift: u32, bits: u32) -> u32 {
+    debug_assert!(value < (1 << bits), "field overflow");
+    (value & ((1 << bits) - 1)) << shift
+}
+
+fn extract(word: u32, shift: u32, bits: u32) -> u32 {
+    (word >> shift) & ((1 << bits) - 1)
+}
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+fn to_signed_field(value: i32, bits: u32, what: &'static str) -> Result<u32, AsmError> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if (value as i64) < min || (value as i64) > max {
+        return Err(AsmError::nowhere(AsmErrorKind::Core(
+            eqasm_core::CoreError::ImmediateOutOfRange {
+                field: what,
+                value: value as i64,
+                bits,
+            },
+        )));
+    }
+    Ok((value as u32) & ((1 << bits) - 1))
+}
+
+fn to_unsigned_field(value: u32, bits: u32, what: &'static str) -> Result<u32, AsmError> {
+    if bits < 32 && value >= (1 << bits) {
+        return Err(AsmError::nowhere(AsmErrorKind::Core(
+            eqasm_core::CoreError::ImmediateOutOfRange {
+                field: what,
+                value: value as i64,
+                bits,
+            },
+        )));
+    }
+    Ok(value)
+}
+
+fn classical(op: u32) -> u32 {
+    field(op, 25, 6)
+}
+
+/// Encodes one instruction into its 32-bit word.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] when a field does not fit (a mask wider than the
+/// format allows, a bundle with more operations than the two slots of
+/// this 32-bit format, out-of-range immediates).
+pub fn encode(instr: &Instruction, inst: &Instantiation) -> Result<u32, AsmError> {
+    use opcodes::*;
+    let word = match instr {
+        Instruction::Nop => classical(NOP),
+        Instruction::Stop => classical(STOP),
+        Instruction::Cmp { rs, rt } => {
+            classical(CMP) | field(rs.raw() as u32, 20, 5) | field(rt.raw() as u32, 15, 5)
+        }
+        Instruction::Br { flag, offset } => {
+            classical(BR)
+                | field(flag.encode() as u32, 21, 4)
+                | to_signed_field(*offset, 21, "BR offset")?
+        }
+        Instruction::Fbr { flag, rd } => {
+            classical(FBR) | field(flag.encode() as u32, 21, 4) | field(rd.raw() as u32, 16, 5)
+        }
+        Instruction::Ldi { rd, imm } => {
+            classical(LDI) | field(rd.raw() as u32, 20, 5) | to_signed_field(*imm, 20, "LDI imm")?
+        }
+        Instruction::Ldui { rd, imm, rs } => {
+            classical(LDUI)
+                | field(rd.raw() as u32, 20, 5)
+                | field(rs.raw() as u32, 15, 5)
+                | to_unsigned_field(*imm as u32, 15, "LDUI imm")?
+        }
+        Instruction::Ld { rd, rt, imm } => {
+            classical(LD)
+                | field(rd.raw() as u32, 20, 5)
+                | field(rt.raw() as u32, 15, 5)
+                | to_signed_field(*imm, 15, "LD offset")?
+        }
+        Instruction::St { rs, rt, imm } => {
+            classical(ST)
+                | field(rs.raw() as u32, 20, 5)
+                | field(rt.raw() as u32, 15, 5)
+                | to_signed_field(*imm, 15, "ST offset")?
+        }
+        Instruction::Fmr { rd, qubit } => {
+            classical(FMR) | field(rd.raw() as u32, 20, 5) | field(qubit.raw() as u32, 12, 8)
+        }
+        Instruction::And { rd, rs, rt } => {
+            classical(AND)
+                | field(rd.raw() as u32, 20, 5)
+                | field(rs.raw() as u32, 15, 5)
+                | field(rt.raw() as u32, 10, 5)
+        }
+        Instruction::Or { rd, rs, rt } => {
+            classical(OR)
+                | field(rd.raw() as u32, 20, 5)
+                | field(rs.raw() as u32, 15, 5)
+                | field(rt.raw() as u32, 10, 5)
+        }
+        Instruction::Xor { rd, rs, rt } => {
+            classical(XOR)
+                | field(rd.raw() as u32, 20, 5)
+                | field(rs.raw() as u32, 15, 5)
+                | field(rt.raw() as u32, 10, 5)
+        }
+        Instruction::Not { rd, rt } => {
+            classical(NOT) | field(rd.raw() as u32, 20, 5) | field(rt.raw() as u32, 15, 5)
+        }
+        Instruction::Add { rd, rs, rt } => {
+            classical(ADD)
+                | field(rd.raw() as u32, 20, 5)
+                | field(rs.raw() as u32, 15, 5)
+                | field(rt.raw() as u32, 10, 5)
+        }
+        Instruction::Sub { rd, rs, rt } => {
+            classical(SUB)
+                | field(rd.raw() as u32, 20, 5)
+                | field(rs.raw() as u32, 15, 5)
+                | field(rt.raw() as u32, 10, 5)
+        }
+        Instruction::QWait { cycles } => {
+            classical(QWAIT) | to_unsigned_field(*cycles, 20, "QWAIT imm")?
+        }
+        Instruction::QWaitR { rs } => classical(QWAITR) | field(rs.raw() as u32, 15, 5),
+        Instruction::Smis { sd, mask } => {
+            classical(SMIS)
+                | field(sd.raw() as u32, 20, 5)
+                | to_unsigned_field(*mask, SMIS_MASK_BITS, "SMIS mask")?
+        }
+        Instruction::Smit { td, mask } => {
+            classical(SMIT)
+                | field(td.raw() as u32, 20, 5)
+                | to_unsigned_field(*mask, SMIT_MASK_BITS, "SMIT mask")?
+        }
+        Instruction::Bundle(b) => return encode_bundle(b, inst),
+    };
+    Ok(word)
+}
+
+fn encode_bundle(b: &Bundle, inst: &Instantiation) -> Result<u32, AsmError> {
+    if b.ops.len() > 2 {
+        return Err(AsmError::nowhere(AsmErrorKind::BadEncoding {
+            word: 0,
+            reason: format!(
+                "the 32-bit bundle format holds 2 operations, got {}",
+                b.ops.len()
+            ),
+        }));
+    }
+    let pi = to_unsigned_field(b.pre_interval as u32, inst.params().pi_bits, "bundle PI")?;
+    let slot = |op: Option<&BundleOp>| -> Result<(u32, u32), AsmError> {
+        match op {
+            None => Ok((0, 0)),
+            Some(op) => {
+                let opcode = to_unsigned_field(op.opcode.raw() as u32, 9, "q opcode")?;
+                let reg = match op.target {
+                    OpTarget::None => 0,
+                    OpTarget::S(s) => s.raw() as u32,
+                    OpTarget::T(t) => t.raw() as u32,
+                };
+                Ok((opcode, reg))
+            }
+        }
+    };
+    let (op0, reg0) = slot(b.ops.first())?;
+    let (op1, reg1) = slot(b.ops.get(1))?;
+    Ok((1 << 31)
+        | field(op0, 22, 9)
+        | field(reg0, 17, 5)
+        | field(op1, 8, 9)
+        | field(reg1, 3, 5)
+        | field(pi, 0, 3))
+}
+
+/// Decodes one 32-bit word.
+///
+/// Decoding bundles needs the operation configuration to know whether a
+/// slot's register field names an `Si` or `Ti` register.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] on unknown classical opcodes, unknown quantum
+/// opcodes or invalid flag encodings.
+pub fn decode(word: u32, inst: &Instantiation) -> Result<Instruction, AsmError> {
+    if word >> 31 == 1 {
+        return decode_bundle(word, inst);
+    }
+    use opcodes::*;
+    let op = extract(word, 25, 6);
+    let gpr = |shift: u32| Gpr::new(extract(word, shift, 5) as u8);
+    let flag = || {
+        CmpFlag::decode(extract(word, 21, 4) as u8).ok_or_else(|| {
+            AsmError::nowhere(AsmErrorKind::BadEncoding {
+                word,
+                reason: "invalid comparison-flag encoding".to_owned(),
+            })
+        })
+    };
+    let instr = match op {
+        NOP => Instruction::Nop,
+        STOP => Instruction::Stop,
+        CMP => Instruction::Cmp {
+            rs: gpr(20),
+            rt: gpr(15),
+        },
+        BR => Instruction::Br {
+            flag: flag()?,
+            offset: sign_extend(extract(word, 0, 21), 21),
+        },
+        FBR => Instruction::Fbr {
+            flag: flag()?,
+            rd: gpr(16),
+        },
+        LDI => Instruction::Ldi {
+            rd: gpr(20),
+            imm: sign_extend(extract(word, 0, 20), 20),
+        },
+        LDUI => Instruction::Ldui {
+            rd: gpr(20),
+            imm: extract(word, 0, 15) as u16,
+            rs: gpr(15),
+        },
+        LD => Instruction::Ld {
+            rd: gpr(20),
+            rt: gpr(15),
+            imm: sign_extend(extract(word, 0, 15), 15),
+        },
+        ST => Instruction::St {
+            rs: gpr(20),
+            rt: gpr(15),
+            imm: sign_extend(extract(word, 0, 15), 15),
+        },
+        FMR => Instruction::Fmr {
+            rd: gpr(20),
+            qubit: Qubit::new(extract(word, 12, 8) as u8),
+        },
+        AND => Instruction::And {
+            rd: gpr(20),
+            rs: gpr(15),
+            rt: gpr(10),
+        },
+        OR => Instruction::Or {
+            rd: gpr(20),
+            rs: gpr(15),
+            rt: gpr(10),
+        },
+        XOR => Instruction::Xor {
+            rd: gpr(20),
+            rs: gpr(15),
+            rt: gpr(10),
+        },
+        NOT => Instruction::Not {
+            rd: gpr(20),
+            rt: gpr(15),
+        },
+        ADD => Instruction::Add {
+            rd: gpr(20),
+            rs: gpr(15),
+            rt: gpr(10),
+        },
+        SUB => Instruction::Sub {
+            rd: gpr(20),
+            rs: gpr(15),
+            rt: gpr(10),
+        },
+        QWAIT => Instruction::QWait {
+            cycles: extract(word, 0, 20),
+        },
+        QWAITR => Instruction::QWaitR { rs: gpr(15) },
+        SMIS => Instruction::Smis {
+            sd: SReg::new(extract(word, 20, 5) as u8),
+            mask: extract(word, 0, SMIS_MASK_BITS),
+        },
+        SMIT => Instruction::Smit {
+            td: TReg::new(extract(word, 20, 5) as u8),
+            mask: extract(word, 0, SMIT_MASK_BITS),
+        },
+        other => {
+            return Err(AsmError::nowhere(AsmErrorKind::BadEncoding {
+                word,
+                reason: format!("unknown classical opcode {other}"),
+            }))
+        }
+    };
+    Ok(instr)
+}
+
+fn decode_bundle(word: u32, inst: &Instantiation) -> Result<Instruction, AsmError> {
+    let pi = extract(word, 0, 3) as u8;
+    let mut ops = Vec::with_capacity(2);
+    for (op_shift, reg_shift) in [(22u32, 17u32), (8, 3)] {
+        let opcode = extract(word, op_shift, 9) as u16;
+        if opcode == 0 {
+            ops.push(BundleOp::QNOP);
+            continue;
+        }
+        let def = inst.ops().by_opcode(QOpcode::new(opcode)).map_err(|_| {
+            AsmError::nowhere(AsmErrorKind::BadEncoding {
+                word,
+                reason: format!("unknown quantum opcode {opcode:#x}"),
+            })
+        })?;
+        let reg = extract(word, reg_shift, 5) as u8;
+        let target = match def.arity() {
+            OpArity::SingleQubit => OpTarget::S(SReg::new(reg)),
+            OpArity::TwoQubit => OpTarget::T(TReg::new(reg)),
+        };
+        ops.push(BundleOp {
+            opcode: QOpcode::new(opcode),
+            target,
+        });
+    }
+    Ok(Instruction::Bundle(Bundle::with_pre_interval(pi, ops)))
+}
+
+/// Encodes a whole program.
+///
+/// # Errors
+///
+/// See [`encode`].
+pub fn encode_program(instructions: &[Instruction], inst: &Instantiation) -> Result<Vec<u32>, AsmError> {
+    instructions.iter().map(|i| encode(i, inst)).collect()
+}
+
+/// Decodes a whole program.
+///
+/// # Errors
+///
+/// See [`decode`].
+pub fn decode_program(words: &[u32], inst: &Instantiation) -> Result<Vec<Instruction>, AsmError> {
+    words.iter().map(|&w| decode(w, inst)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqasm_core::Instantiation;
+
+    fn inst() -> Instantiation {
+        Instantiation::paper()
+    }
+
+    fn roundtrip(i: Instruction) {
+        let inst = inst();
+        let word = encode(&i, &inst).unwrap();
+        let back = decode(word, &inst).unwrap();
+        assert_eq!(back, i, "word {word:#010x}");
+    }
+
+    #[test]
+    fn single_format_has_zero_msb() {
+        let inst = inst();
+        let word = encode(&Instruction::QWait { cycles: 100 }, &inst).unwrap();
+        assert_eq!(word >> 31, 0);
+    }
+
+    #[test]
+    fn bundle_format_has_one_msb() {
+        let inst = inst();
+        let x = inst.ops().by_name("X").unwrap().opcode();
+        let b = Instruction::Bundle(Bundle::with_pre_interval(
+            1,
+            vec![BundleOp::single(x, SReg::new(0)), BundleOp::QNOP],
+        ));
+        let word = encode(&b, &inst).unwrap();
+        assert_eq!(word >> 31, 1);
+    }
+
+    #[test]
+    fn classical_roundtrips() {
+        roundtrip(Instruction::Nop);
+        roundtrip(Instruction::Stop);
+        roundtrip(Instruction::Cmp {
+            rs: Gpr::new(1),
+            rt: Gpr::new(2),
+        });
+        roundtrip(Instruction::Br {
+            flag: CmpFlag::Eq,
+            offset: -5,
+        });
+        roundtrip(Instruction::Br {
+            flag: CmpFlag::Always,
+            offset: 1000,
+        });
+        roundtrip(Instruction::Fbr {
+            flag: CmpFlag::Gtu,
+            rd: Gpr::new(31),
+        });
+        roundtrip(Instruction::Ldi {
+            rd: Gpr::new(0),
+            imm: -524288,
+        });
+        roundtrip(Instruction::Ldi {
+            rd: Gpr::new(7),
+            imm: 524287,
+        });
+        roundtrip(Instruction::Ldui {
+            rd: Gpr::new(1),
+            imm: 32767,
+            rs: Gpr::new(1),
+        });
+        roundtrip(Instruction::Ld {
+            rd: Gpr::new(3),
+            rt: Gpr::new(4),
+            imm: -16384,
+        });
+        roundtrip(Instruction::St {
+            rs: Gpr::new(3),
+            rt: Gpr::new(4),
+            imm: 16383,
+        });
+        roundtrip(Instruction::Fmr {
+            rd: Gpr::new(9),
+            qubit: Qubit::new(6),
+        });
+        roundtrip(Instruction::And {
+            rd: Gpr::new(1),
+            rs: Gpr::new(2),
+            rt: Gpr::new(3),
+        });
+        roundtrip(Instruction::Not {
+            rd: Gpr::new(1),
+            rt: Gpr::new(2),
+        });
+        roundtrip(Instruction::Add {
+            rd: Gpr::new(30),
+            rs: Gpr::new(29),
+            rt: Gpr::new(28),
+        });
+        roundtrip(Instruction::Sub {
+            rd: Gpr::new(0),
+            rs: Gpr::new(0),
+            rt: Gpr::new(0),
+        });
+        roundtrip(Instruction::QWait { cycles: 1048575 });
+        roundtrip(Instruction::QWaitR { rs: Gpr::new(17) });
+    }
+
+    #[test]
+    fn quantum_roundtrips() {
+        let inst = inst();
+        roundtrip(Instruction::Smis {
+            sd: SReg::new(31),
+            mask: 0b1111111,
+        });
+        roundtrip(Instruction::Smit {
+            td: TReg::new(5),
+            mask: 0x8421,
+        });
+        let x = inst.ops().by_name("X").unwrap().opcode();
+        let cz = inst.ops().by_name("CZ").unwrap().opcode();
+        roundtrip(Instruction::Bundle(Bundle::with_pre_interval(
+            7,
+            vec![BundleOp::single(x, SReg::new(31)), BundleOp::two(cz, TReg::new(30))],
+        )));
+        roundtrip(Instruction::Bundle(Bundle::with_pre_interval(
+            0,
+            vec![BundleOp::QNOP, BundleOp::QNOP],
+        )));
+    }
+
+    #[test]
+    fn smis_field_positions_match_fig8() {
+        // Fig. 8: 0 | opcode(6) | Sd(5) | pad(13) | mask(7).
+        let inst = inst();
+        let word = encode(
+            &Instruction::Smis {
+                sd: SReg::new(0b10101),
+                mask: 0b1010101,
+            },
+            &inst,
+        )
+        .unwrap();
+        assert_eq!(word >> 31, 0);
+        assert_eq!((word >> 25) & 0x3f, opcodes::SMIS);
+        assert_eq!((word >> 20) & 0x1f, 0b10101);
+        assert_eq!(word & 0x7f, 0b1010101);
+    }
+
+    #[test]
+    fn qwait_field_positions_match_fig8() {
+        // Fig. 8: 0 | opcode(6) | pad(5) | imm(20).
+        let inst = inst();
+        let word = encode(&Instruction::QWait { cycles: 0xabcde }, &inst).unwrap();
+        assert_eq!((word >> 25) & 0x3f, opcodes::QWAIT);
+        assert_eq!(word & 0xfffff, 0xabcde);
+    }
+
+    #[test]
+    fn bundle_field_positions_match_fig8() {
+        // Fig. 8: 1 | q opcode(9) | S/T(5) | q opcode(9) | S/T(5) | PI(3).
+        let inst = inst();
+        let x = inst.ops().by_name("X").unwrap().opcode();
+        let y = inst.ops().by_name("Y").unwrap().opcode();
+        let word = encode(
+            &Instruction::Bundle(Bundle::with_pre_interval(
+                5,
+                vec![
+                    BundleOp::single(x, SReg::new(3)),
+                    BundleOp::single(y, SReg::new(9)),
+                ],
+            )),
+            &inst,
+        )
+        .unwrap();
+        assert_eq!(word & 0b111, 5);
+        assert_eq!((word >> 3) & 0x1f, 9);
+        assert_eq!((word >> 8) & 0x1ff, y.raw() as u32);
+        assert_eq!((word >> 17) & 0x1f, 3);
+        assert_eq!((word >> 22) & 0x1ff, x.raw() as u32);
+    }
+
+    #[test]
+    fn mask_overflow_rejected() {
+        let inst = inst();
+        let err = encode(
+            &Instruction::Smis {
+                sd: SReg::new(0),
+                mask: 1 << 7,
+            },
+            &inst,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("SMIS mask"));
+        let err = encode(
+            &Instruction::Smit {
+                td: TReg::new(0),
+                mask: 1 << 16,
+            },
+            &inst,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("SMIT mask"));
+    }
+
+    #[test]
+    fn oversized_bundle_rejected() {
+        let inst = inst();
+        let x = inst.ops().by_name("X").unwrap().opcode();
+        let b = Instruction::Bundle(Bundle::with_pre_interval(
+            1,
+            vec![
+                BundleOp::single(x, SReg::new(0)),
+                BundleOp::single(x, SReg::new(1)),
+                BundleOp::single(x, SReg::new(2)),
+            ],
+        ));
+        assert!(encode(&b, &inst).is_err());
+    }
+
+    #[test]
+    fn unknown_opcode_decode_fails() {
+        let inst = inst();
+        // Classical opcode 63 is unused.
+        let err = decode(63 << 25, &inst).unwrap_err();
+        assert!(err.to_string().contains("unknown classical opcode"));
+        // Bundle with unconfigured q opcode 500.
+        let word = (1u32 << 31) | (500 << 22);
+        let err = decode(word, &inst).unwrap_err();
+        assert!(err.to_string().contains("unknown quantum opcode"));
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let inst = inst();
+        let program = crate::assemble(
+            "SMIS S0, {0}\nSMIS S7, {0, 2}\nQWAIT 10000\n0, Y S7\n1, X90 S0 | X S2\nMEASZ S7\nSTOP",
+            &inst,
+        )
+        .unwrap();
+        let words = encode_program(program.instructions(), &inst).unwrap();
+        assert_eq!(words.len(), program.len());
+        let back = decode_program(&words, &inst).unwrap();
+        assert_eq!(back.as_slice(), program.instructions());
+    }
+}

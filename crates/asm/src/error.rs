@@ -1,0 +1,163 @@
+//! Assembler errors with source locations.
+
+use std::error::Error;
+use std::fmt;
+
+use eqasm_core::CoreError;
+
+/// An error produced while lexing, parsing, assembling, encoding or
+/// decoding eQASM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: Option<usize>,
+    kind: AsmErrorKind,
+}
+
+/// The specific failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmErrorKind {
+    /// A character the lexer cannot interpret.
+    UnexpectedChar(char),
+    /// An integer literal that does not parse.
+    BadInteger(String),
+    /// The parser expected something else.
+    Syntax {
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// An unknown instruction mnemonic or quantum operation.
+    UnknownMnemonic(String),
+    /// A register operand was malformed or out of range.
+    BadRegister(String),
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined more than once.
+    DuplicateLabel(String),
+    /// A quantum operation's operand does not match its arity (e.g. a
+    /// two-qubit operation with an `Si` register).
+    ArityMismatch {
+        /// The operation name.
+        op: String,
+        /// What the operation requires, e.g. "an S register".
+        requires: &'static str,
+    },
+    /// Error bubbled up from the ISA model (bad masks, unknown ops,
+    /// immediates out of range, T-register conflicts, …).
+    Core(CoreError),
+    /// A binary word could not be decoded.
+    BadEncoding {
+        /// The offending instruction word.
+        word: u32,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// The branch target is too far away for the offset field.
+    BranchOutOfRange {
+        /// The required offset, in instructions.
+        offset: i64,
+        /// The field width, in bits.
+        bits: u32,
+    },
+}
+
+impl AsmError {
+    /// Creates an error at a given 1-based source line.
+    pub fn at(line: usize, kind: AsmErrorKind) -> Self {
+        AsmError {
+            line: Some(line),
+            kind,
+        }
+    }
+
+    /// Creates an error with no line information (binary decode).
+    pub fn nowhere(kind: AsmErrorKind) -> Self {
+        AsmError { line: None, kind }
+    }
+
+    /// The 1-based source line, when known.
+    pub fn line(&self) -> Option<usize> {
+        self.line
+    }
+
+    /// The failure detail.
+    pub fn kind(&self) -> &AsmErrorKind {
+        &self.kind
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(line) = self.line {
+            write!(f, "line {line}: ")?;
+        }
+        match &self.kind {
+            AsmErrorKind::UnexpectedChar(c) => write!(f, "unexpected character `{c}`"),
+            AsmErrorKind::BadInteger(s) => write!(f, "invalid integer literal `{s}`"),
+            AsmErrorKind::Syntax { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            AsmErrorKind::UnknownMnemonic(s) => {
+                write!(f, "unknown instruction or quantum operation `{s}`")
+            }
+            AsmErrorKind::BadRegister(s) => write!(f, "invalid register `{s}`"),
+            AsmErrorKind::UndefinedLabel(s) => write!(f, "undefined label `{s}`"),
+            AsmErrorKind::DuplicateLabel(s) => write!(f, "duplicate label `{s}`"),
+            AsmErrorKind::ArityMismatch { op, requires } => {
+                write!(f, "operation `{op}` requires {requires}")
+            }
+            AsmErrorKind::Core(e) => write!(f, "{e}"),
+            AsmErrorKind::BadEncoding { word, reason } => {
+                write!(f, "cannot decode word {word:#010x}: {reason}")
+            }
+            AsmErrorKind::BranchOutOfRange { offset, bits } => {
+                write!(f, "branch offset {offset} does not fit in {bits} bits")
+            }
+        }
+    }
+}
+
+impl Error for AsmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.kind {
+            AsmErrorKind::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for AsmError {
+    fn from(e: CoreError) -> Self {
+        AsmError::nowhere(AsmErrorKind::Core(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = AsmError::at(7, AsmErrorKind::UnknownMnemonic("FROB".into()));
+        let msg = e.to_string();
+        assert!(msg.contains("line 7"));
+        assert!(msg.contains("FROB"));
+        assert_eq!(e.line(), Some(7));
+    }
+
+    #[test]
+    fn core_error_is_source() {
+        let core = CoreError::UnknownOperation { name: "Z".into() };
+        let e: AsmError = core.clone().into();
+        assert!(e.source().is_some());
+        assert_eq!(e.to_string(), core.to_string());
+    }
+
+    #[test]
+    fn implements_send_sync_error() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<AsmError>();
+    }
+}

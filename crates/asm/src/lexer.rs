@@ -1,0 +1,312 @@
+//! The eQASM assembly tokenizer.
+//!
+//! The surface syntax follows the paper's listings: `#` comments, one
+//! instruction per line, `|` separating bundle slots, `{…}` qubit and
+//! qubit-pair lists, `label:` definitions.
+
+use crate::error::{AsmError, AsmErrorKind};
+
+/// One token of assembly source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier: mnemonic, operation name, register or label.
+    Ident(String),
+    /// An integer literal (decimal or `0x…`; sign handled by the parser).
+    Int(i64),
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `|`
+    Pipe,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `-`
+    Minus,
+    /// End of line (newlines are significant — one instruction per line).
+    Newline,
+}
+
+impl Token {
+    /// Human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("`{s}`"),
+            Token::Int(v) => format!("`{v}`"),
+            Token::Comma => "`,`".to_owned(),
+            Token::Colon => "`:`".to_owned(),
+            Token::Pipe => "`|`".to_owned(),
+            Token::LBrace => "`{`".to_owned(),
+            Token::RBrace => "`}`".to_owned(),
+            Token::LParen => "`(`".to_owned(),
+            Token::RParen => "`)`".to_owned(),
+            Token::Minus => "`-`".to_owned(),
+            Token::Newline => "end of line".to_owned(),
+        }
+    }
+}
+
+/// A token tagged with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Tokenizes assembly source.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] on characters outside the language or malformed
+/// integer literals.
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_asm::lexer::{lex, Token};
+///
+/// let tokens = lex("LDI r0, 1").unwrap();
+/// assert_eq!(tokens[0].token, Token::Ident("LDI".into()));
+/// assert_eq!(tokens[2].token, Token::Comma);
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Spanned>, AsmError> {
+    let mut out = Vec::new();
+    for (line_idx, line) in source.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let code = match line.find('#') {
+            Some(pos) => &line[..pos],
+            None => line,
+        };
+        let mut chars = code.char_indices().peekable();
+        let mut emitted = false;
+        while let Some(&(start, c)) = chars.peek() {
+            match c {
+                ' ' | '\t' | '\r' => {
+                    chars.next();
+                }
+                ',' => {
+                    chars.next();
+                    out.push(Spanned { token: Token::Comma, line: line_no });
+                    emitted = true;
+                }
+                ':' => {
+                    chars.next();
+                    out.push(Spanned { token: Token::Colon, line: line_no });
+                    emitted = true;
+                }
+                '|' => {
+                    chars.next();
+                    out.push(Spanned { token: Token::Pipe, line: line_no });
+                    emitted = true;
+                }
+                '{' => {
+                    chars.next();
+                    out.push(Spanned { token: Token::LBrace, line: line_no });
+                    emitted = true;
+                }
+                '}' => {
+                    chars.next();
+                    out.push(Spanned { token: Token::RBrace, line: line_no });
+                    emitted = true;
+                }
+                '(' => {
+                    chars.next();
+                    out.push(Spanned { token: Token::LParen, line: line_no });
+                    emitted = true;
+                }
+                ')' => {
+                    chars.next();
+                    out.push(Spanned { token: Token::RParen, line: line_no });
+                    emitted = true;
+                }
+                '-' => {
+                    chars.next();
+                    out.push(Spanned { token: Token::Minus, line: line_no });
+                    emitted = true;
+                }
+                '0'..='9' => {
+                    let mut end = start;
+                    while let Some(&(i, d)) = chars.peek() {
+                        if d.is_ascii_alphanumeric() || d == '_' {
+                            end = i + d.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = &code[start..end];
+                    let value = parse_int(text)
+                        .ok_or_else(|| AsmError::at(line_no, AsmErrorKind::BadInteger(text.to_owned())))?;
+                    out.push(Spanned { token: Token::Int(value), line: line_no });
+                    emitted = true;
+                }
+                c if c.is_ascii_alphabetic() || c == '_' || c == '.' => {
+                    let mut end = start;
+                    while let Some(&(i, d)) = chars.peek() {
+                        if d.is_ascii_alphanumeric() || d == '_' || d == '.' {
+                            end = i + d.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(Spanned {
+                        token: Token::Ident(code[start..end].to_owned()),
+                        line: line_no,
+                    });
+                    emitted = true;
+                }
+                other => {
+                    return Err(AsmError::at(line_no, AsmErrorKind::UnexpectedChar(other)));
+                }
+            }
+        }
+        if emitted {
+            out.push(Spanned { token: Token::Newline, line: line_no });
+        }
+    }
+    Ok(out)
+}
+
+fn parse_int(text: &str) -> Option<i64> {
+    let clean = text.replace('_', "");
+    if let Some(hex) = clean.strip_prefix("0x").or_else(|| clean.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()
+    } else if let Some(bin) = clean.strip_prefix("0b").or_else(|| clean.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2).ok()
+    } else {
+        clean.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_classical_instruction() {
+        assert_eq!(
+            toks("LDI r0, 1"),
+            vec![
+                Token::Ident("LDI".into()),
+                Token::Ident("r0".into()),
+                Token::Comma,
+                Token::Int(1),
+                Token::Newline
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        assert_eq!(
+            toks("QWAIT 0 # Equivalent to NOP"),
+            vec![Token::Ident("QWAIT".into()), Token::Int(0), Token::Newline]
+        );
+        assert!(toks("# whole line comment").is_empty());
+    }
+
+    #[test]
+    fn bundle_tokens() {
+        assert_eq!(
+            toks("1, X90 S0 | X S2"),
+            vec![
+                Token::Int(1),
+                Token::Comma,
+                Token::Ident("X90".into()),
+                Token::Ident("S0".into()),
+                Token::Pipe,
+                Token::Ident("X".into()),
+                Token::Ident("S2".into()),
+                Token::Newline
+            ]
+        );
+    }
+
+    #[test]
+    fn smit_pair_list() {
+        assert_eq!(
+            toks("SMIT T3, {(1, 3), (2, 4)}"),
+            vec![
+                Token::Ident("SMIT".into()),
+                Token::Ident("T3".into()),
+                Token::Comma,
+                Token::LBrace,
+                Token::LParen,
+                Token::Int(1),
+                Token::Comma,
+                Token::Int(3),
+                Token::RParen,
+                Token::Comma,
+                Token::LParen,
+                Token::Int(2),
+                Token::Comma,
+                Token::Int(4),
+                Token::RParen,
+                Token::RBrace,
+                Token::Newline
+            ]
+        );
+    }
+
+    #[test]
+    fn labels_and_negative_numbers() {
+        assert_eq!(
+            toks("ne_path:\nBR ALWAYS, -2"),
+            vec![
+                Token::Ident("ne_path".into()),
+                Token::Colon,
+                Token::Newline,
+                Token::Ident("BR".into()),
+                Token::Ident("ALWAYS".into()),
+                Token::Comma,
+                Token::Minus,
+                Token::Int(2),
+                Token::Newline
+            ]
+        );
+    }
+
+    #[test]
+    fn hex_and_binary_literals() {
+        assert_eq!(toks("QWAIT 0x10"), vec![Token::Ident("QWAIT".into()), Token::Int(16), Token::Newline]);
+        assert_eq!(toks("QWAIT 0b101"), vec![Token::Ident("QWAIT".into()), Token::Int(5), Token::Newline]);
+    }
+
+    #[test]
+    fn empty_lines_produce_no_tokens() {
+        assert!(toks("\n\n   \n").is_empty());
+    }
+
+    #[test]
+    fn bad_integer_is_an_error() {
+        let err = lex("QWAIT 0xzz").unwrap_err();
+        assert!(err.to_string().contains("invalid integer"));
+        assert_eq!(err.line(), Some(1));
+    }
+
+    #[test]
+    fn unexpected_character() {
+        let err = lex("LDI r0, $1").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn lines_tracked_correctly() {
+        let spanned = lex("NOP\nNOP\nNOP").unwrap();
+        let lines: Vec<usize> = spanned.iter().map(|s| s.line).collect();
+        assert_eq!(lines, vec![1, 1, 2, 2, 3, 3]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # eqasm-asm — the eQASM assembler
+//!
+//! Translates eQASM assembly (the syntax of the paper's listings,
+//! Table 1 and Figs. 3–5) into executable instructions and the 32-bit
+//! binary of the paper's instantiation (Fig. 8), and back.
+//!
+//! The assembler is configured by an [`eqasm_core::Instantiation`]: the
+//! chip topology defines the target-register mask formats (§3.3.2), the
+//! operation configuration defines which quantum operation names exist
+//! (§3.2), and the architecture parameters define field widths and the
+//! VLIW width used to split long bundles (§3.4.2).
+//!
+//! ```
+//! use eqasm_asm::{assemble, encoding::encode_program};
+//! use eqasm_core::Instantiation;
+//!
+//! let inst = Instantiation::paper();
+//! // Fig. 4: active qubit reset.
+//! let program = assemble(
+//!     "SMIS S2, {2}\nQWAIT 10000\nX90 S2\nMEASZ S2\nQWAIT 50\nC_X S2\nMEASZ S2",
+//!     &inst,
+//! )?;
+//! let binary = encode_program(program.instructions(), &inst)?;
+//! assert_eq!(binary.len(), 7);
+//! # Ok::<(), eqasm_asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod assembler;
+pub mod ast;
+mod disassembler;
+pub mod encoding;
+mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use assembler::{assemble, qubits_of_mask, Assembler, Program};
+pub use disassembler::{disassemble, disassemble_source, format_instruction};
+pub use error::{AsmError, AsmErrorKind};

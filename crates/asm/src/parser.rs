@@ -1,0 +1,699 @@
+//! The eQASM assembly parser: tokens → [`SourceProgram`].
+
+use eqasm_core::{CmpFlag, Gpr, Qubit, SReg, TReg};
+
+use crate::ast::*;
+use crate::error::{AsmError, AsmErrorKind};
+use crate::lexer::{lex, Spanned, Token};
+
+/// Mnemonics of the auxiliary classical and quantum non-bundle
+/// instructions (Table 1); everything else on an instruction line is a
+/// quantum bundle.
+const MNEMONICS: &[&str] = &[
+    "NOP", "STOP", "CMP", "BR", "FBR", "LDI", "LDUI", "LD", "ST", "FMR", "AND", "OR", "XOR",
+    "NOT", "ADD", "SUB", "QWAIT", "QWAITR", "SMIS", "SMIT",
+];
+
+/// Parses eQASM assembly text.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line on any lexical or
+/// syntactic problem. Name resolution and range checks happen later, in
+/// the assembler.
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_asm::parser::parse;
+///
+/// let program = parse("SMIS S7, {0, 2}\n0, Y S7\nMEASZ S7").unwrap();
+/// assert_eq!(program.instructions().count(), 3);
+/// ```
+pub fn parse(source: &str) -> Result<SourceProgram, AsmError> {
+    let tokens = lex(source)?;
+    Parser::new(&tokens).run()
+}
+
+struct Parser<'t> {
+    tokens: &'t [Spanned],
+    pos: usize,
+}
+
+impl<'t> Parser<'t> {
+    fn new(tokens: &'t [Spanned]) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&'t Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek2(&self) -> Option<&'t Token> {
+        self.tokens.get(self.pos + 1).map(|s| &s.token)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|s| s.line)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<&'t Token> {
+        let t = self.tokens.get(self.pos).map(|s| &s.token);
+        self.pos += 1;
+        t
+    }
+
+    fn syntax_error(&self, expected: &str) -> AsmError {
+        let found = self
+            .peek()
+            .map(|t| t.describe())
+            .unwrap_or_else(|| "end of input".to_owned());
+        AsmError::at(
+            self.line(),
+            AsmErrorKind::Syntax {
+                expected: expected.to_owned(),
+                found,
+            },
+        )
+    }
+
+    fn expect(&mut self, token: Token, what: &str) -> Result<(), AsmError> {
+        if self.peek() == Some(&token) {
+            self.next();
+            Ok(())
+        } else {
+            Err(self.syntax_error(what))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<&'t str, AsmError> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                self.next();
+                Ok(s)
+            }
+            _ => Err(self.syntax_error(what)),
+        }
+    }
+
+    fn expect_int(&mut self, what: &str) -> Result<i64, AsmError> {
+        let negative = if self.peek() == Some(&Token::Minus) {
+            self.next();
+            true
+        } else {
+            false
+        };
+        match self.peek() {
+            Some(Token::Int(v)) => {
+                self.next();
+                Ok(if negative { -*v } else { *v })
+            }
+            _ => Err(self.syntax_error(what)),
+        }
+    }
+
+    fn run(mut self) -> Result<SourceProgram, AsmError> {
+        let mut items = Vec::new();
+        while self.peek().is_some() {
+            if self.peek() == Some(&Token::Newline) {
+                self.next();
+                continue;
+            }
+            // Label definitions: ident ':'
+            if let (Some(Token::Ident(name)), Some(Token::Colon)) = (self.peek(), self.peek2()) {
+                let line = self.line();
+                let name = name.clone();
+                self.next();
+                self.next();
+                items.push(Item::Label { name, line });
+                continue;
+            }
+            let line = self.line();
+            let instr = self.parse_instruction()?;
+            items.push(Item::Instr { instr, line });
+            // Consume the trailing newline, if any.
+            if self.peek() == Some(&Token::Newline) {
+                self.next();
+            } else if self.peek().is_some() {
+                return Err(self.syntax_error("end of line"));
+            }
+        }
+        Ok(SourceProgram { items })
+    }
+
+    fn parse_instruction(&mut self) -> Result<SourceInstr, AsmError> {
+        match self.peek() {
+            Some(Token::Ident(word)) => {
+                let upper = word.to_ascii_uppercase();
+                if MNEMONICS.contains(&upper.as_str()) {
+                    self.next();
+                    self.parse_classical(&upper)
+                } else {
+                    self.parse_bundle(None)
+                }
+            }
+            Some(Token::Int(pi)) => {
+                let pi = *pi;
+                if self.peek2() == Some(&Token::Comma) {
+                    self.next();
+                    self.next();
+                    if pi < 0 {
+                        return Err(self.syntax_error("a non-negative pre-interval"));
+                    }
+                    self.parse_bundle(Some(pi as u32))
+                } else {
+                    Err(self.syntax_error("an instruction"))
+                }
+            }
+            _ => Err(self.syntax_error("an instruction")),
+        }
+    }
+
+    fn parse_classical(&mut self, mnemonic: &str) -> Result<SourceInstr, AsmError> {
+        match mnemonic {
+            "NOP" => Ok(SourceInstr::Nop),
+            "STOP" => Ok(SourceInstr::Stop),
+            "CMP" => {
+                let rs = self.gpr()?;
+                self.expect(Token::Comma, "`,`")?;
+                let rt = self.gpr()?;
+                Ok(SourceInstr::Cmp { rs, rt })
+            }
+            "BR" => {
+                let flag = self.cmp_flag()?;
+                self.expect(Token::Comma, "`,`")?;
+                let target = match self.peek() {
+                    Some(Token::Ident(name)) => {
+                        let t = BranchTarget::Label(name.clone());
+                        self.next();
+                        t
+                    }
+                    _ => {
+                        let offset = self.expect_int("a label or offset")?;
+                        BranchTarget::Offset(offset as i32)
+                    }
+                };
+                Ok(SourceInstr::Br { flag, target })
+            }
+            "FBR" => {
+                let flag = self.cmp_flag()?;
+                self.expect(Token::Comma, "`,`")?;
+                let rd = self.gpr()?;
+                Ok(SourceInstr::Fbr { flag, rd })
+            }
+            "LDI" => {
+                let rd = self.gpr()?;
+                self.expect(Token::Comma, "`,`")?;
+                let imm = self.expect_int("an immediate")?;
+                Ok(SourceInstr::Ldi { rd, imm })
+            }
+            "LDUI" => {
+                let rd = self.gpr()?;
+                self.expect(Token::Comma, "`,`")?;
+                let imm = self.expect_int("an immediate")?;
+                self.expect(Token::Comma, "`,`")?;
+                let rs = self.gpr()?;
+                Ok(SourceInstr::Ldui { rd, imm, rs })
+            }
+            "LD" | "ST" => {
+                let first = self.gpr()?;
+                self.expect(Token::Comma, "`,`")?;
+                let rt = self.gpr()?;
+                self.expect(Token::LParen, "`(`")?;
+                let imm = self.expect_int("an address offset")?;
+                self.expect(Token::RParen, "`)`")?;
+                Ok(if mnemonic == "LD" {
+                    SourceInstr::Ld { rd: first, rt, imm }
+                } else {
+                    SourceInstr::St { rs: first, rt, imm }
+                })
+            }
+            "FMR" => {
+                let rd = self.gpr()?;
+                self.expect(Token::Comma, "`,`")?;
+                let qubit = self.qubit_reg()?;
+                Ok(SourceInstr::Fmr { rd, qubit })
+            }
+            "AND" | "OR" | "XOR" | "ADD" | "SUB" => {
+                let rd = self.gpr()?;
+                self.expect(Token::Comma, "`,`")?;
+                let rs = self.gpr()?;
+                self.expect(Token::Comma, "`,`")?;
+                let rt = self.gpr()?;
+                Ok(match mnemonic {
+                    "AND" => SourceInstr::And { rd, rs, rt },
+                    "OR" => SourceInstr::Or { rd, rs, rt },
+                    "XOR" => SourceInstr::Xor { rd, rs, rt },
+                    "ADD" => SourceInstr::Add { rd, rs, rt },
+                    _ => SourceInstr::Sub { rd, rs, rt },
+                })
+            }
+            "NOT" => {
+                let rd = self.gpr()?;
+                self.expect(Token::Comma, "`,`")?;
+                let rt = self.gpr()?;
+                Ok(SourceInstr::Not { rd, rt })
+            }
+            "QWAIT" => {
+                let cycles = self.expect_int("a waiting time")?;
+                Ok(SourceInstr::QWait { cycles })
+            }
+            "QWAITR" => {
+                let rs = self.gpr()?;
+                Ok(SourceInstr::QWaitR { rs })
+            }
+            "SMIS" => {
+                let sd = self.sreg()?;
+                self.expect(Token::Comma, "`,`")?;
+                let arg = self.smis_arg()?;
+                Ok(SourceInstr::Smis { sd, arg })
+            }
+            "SMIT" => {
+                let td = self.treg()?;
+                self.expect(Token::Comma, "`,`")?;
+                let arg = self.smit_arg()?;
+                Ok(SourceInstr::Smit { td, arg })
+            }
+            other => Err(AsmError::at(
+                self.line(),
+                AsmErrorKind::UnknownMnemonic(other.to_owned()),
+            )),
+        }
+    }
+
+    fn parse_bundle(&mut self, pi: Option<u32>) -> Result<SourceInstr, AsmError> {
+        let mut ops = Vec::new();
+        loop {
+            let name = self.expect_ident("a quantum operation name")?.to_owned();
+            let target = match self.peek() {
+                Some(Token::Ident(reg)) => {
+                    let t = self.parse_target(reg)?;
+                    self.next();
+                    Some(t)
+                }
+                _ => None,
+            };
+            ops.push(SourceOp { name, target });
+            if self.peek() == Some(&Token::Pipe) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        Ok(SourceInstr::Bundle(SourceBundle { pi, ops }))
+    }
+
+    fn parse_target(&self, text: &str) -> Result<SourceTarget, AsmError> {
+        match split_reg(text) {
+            Some(('s', idx)) => Ok(SourceTarget::S(SReg::new(idx))),
+            Some(('t', idx)) => Ok(SourceTarget::T(TReg::new(idx))),
+            _ => Err(AsmError::at(
+                self.line(),
+                AsmErrorKind::BadRegister(text.to_owned()),
+            )),
+        }
+    }
+
+    fn gpr(&mut self) -> Result<Gpr, AsmError> {
+        let line = self.line();
+        let text = self.expect_ident("a general purpose register")?;
+        match split_reg(text) {
+            Some(('r', idx)) => Ok(Gpr::new(idx)),
+            _ => Err(AsmError::at(line, AsmErrorKind::BadRegister(text.to_owned()))),
+        }
+    }
+
+    fn sreg(&mut self) -> Result<SReg, AsmError> {
+        let line = self.line();
+        let text = self.expect_ident("a single-qubit target register")?;
+        match split_reg(text) {
+            Some(('s', idx)) => Ok(SReg::new(idx)),
+            _ => Err(AsmError::at(line, AsmErrorKind::BadRegister(text.to_owned()))),
+        }
+    }
+
+    fn treg(&mut self) -> Result<TReg, AsmError> {
+        let line = self.line();
+        let text = self.expect_ident("a two-qubit target register")?;
+        match split_reg(text) {
+            Some(('t', idx)) => Ok(TReg::new(idx)),
+            _ => Err(AsmError::at(line, AsmErrorKind::BadRegister(text.to_owned()))),
+        }
+    }
+
+    fn qubit_reg(&mut self) -> Result<Qubit, AsmError> {
+        let line = self.line();
+        let text = self.expect_ident("a qubit measurement result register")?;
+        match split_reg(text) {
+            Some(('q', idx)) => Ok(Qubit::new(idx)),
+            _ => Err(AsmError::at(line, AsmErrorKind::BadRegister(text.to_owned()))),
+        }
+    }
+
+    fn cmp_flag(&mut self) -> Result<CmpFlag, AsmError> {
+        let line = self.line();
+        let text = self.expect_ident("a comparison flag")?;
+        text.parse().map_err(|_| {
+            AsmError::at(
+                line,
+                AsmErrorKind::Syntax {
+                    expected: "a comparison flag".to_owned(),
+                    found: format!("`{text}`"),
+                },
+            )
+        })
+    }
+
+    fn smis_arg(&mut self) -> Result<SmisArg, AsmError> {
+        if self.peek() == Some(&Token::LBrace) {
+            self.next();
+            let mut qubits = Vec::new();
+            if self.peek() != Some(&Token::RBrace) {
+                loop {
+                    let v = self.expect_int("a qubit address")?;
+                    if !(0..=255).contains(&v) {
+                        return Err(self.syntax_error("a qubit address in 0..=255"));
+                    }
+                    qubits.push(Qubit::new(v as u8));
+                    if self.peek() == Some(&Token::Comma) {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(Token::RBrace, "`}`")?;
+            Ok(SmisArg::Qubits(qubits))
+        } else {
+            let v = self.expect_int("a qubit list or mask")?;
+            if !(0..=u32::MAX as i64).contains(&v) {
+                return Err(self.syntax_error("a non-negative mask"));
+            }
+            Ok(SmisArg::Mask(v as u32))
+        }
+    }
+
+    fn smit_arg(&mut self) -> Result<SmitArg, AsmError> {
+        if self.peek() == Some(&Token::LBrace) {
+            self.next();
+            let mut pairs = Vec::new();
+            if self.peek() != Some(&Token::RBrace) {
+                loop {
+                    self.expect(Token::LParen, "`(`")?;
+                    let s = self.expect_int("a source qubit")?;
+                    self.expect(Token::Comma, "`,`")?;
+                    let t = self.expect_int("a target qubit")?;
+                    self.expect(Token::RParen, "`)`")?;
+                    if !(0..=255).contains(&s) || !(0..=255).contains(&t) {
+                        return Err(self.syntax_error("qubit addresses in 0..=255"));
+                    }
+                    pairs.push((Qubit::new(s as u8), Qubit::new(t as u8)));
+                    if self.peek() == Some(&Token::Comma) {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(Token::RBrace, "`}`")?;
+            Ok(SmitArg::Pairs(pairs))
+        } else {
+            let v = self.expect_int("a pair list or mask")?;
+            if !(0..=u32::MAX as i64).contains(&v) {
+                return Err(self.syntax_error("a non-negative mask"));
+            }
+            Ok(SmitArg::Mask(v as u32))
+        }
+    }
+}
+
+/// Splits a register identifier like `r12`, `S7`, `t3` or `q1` into its
+/// lower-cased prefix letter and numeric index.
+fn split_reg(text: &str) -> Option<(char, u8)> {
+    let mut chars = text.chars();
+    let head = chars.next()?.to_ascii_lowercase();
+    let rest = chars.as_str();
+    if rest.is_empty() || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse::<u8>().ok().map(|idx| (head, idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig3_program() {
+        // The two-qubit AllXY routine of Fig. 3.
+        let src = "\
+SMIS S0, {0}
+SMIS S2, {2}
+SMIS S7, {0, 2}
+QWAIT 10000
+0, Y S7
+1, X90 S0 | X S2
+1, MEASZ S7
+QWAIT 50";
+        let p = parse(src).unwrap();
+        assert_eq!(p.instructions().count(), 8);
+        match &p.items[4] {
+            Item::Instr {
+                instr: SourceInstr::Bundle(b),
+                ..
+            } => {
+                assert_eq!(b.pi, Some(0));
+                assert_eq!(b.ops.len(), 1);
+                assert_eq!(b.ops[0].name, "Y");
+                assert_eq!(b.ops[0].target, Some(SourceTarget::S(SReg::new(7))));
+            }
+            other => panic!("expected bundle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_fig4_active_reset() {
+        let src = "\
+SMIS S2, {2}
+QWAIT 10000
+X90 S2
+MEASZ S2
+QWAIT 50
+C_X S2
+MEASZ S2";
+        let p = parse(src).unwrap();
+        assert_eq!(p.instructions().count(), 7);
+        // Bare bundles default to no explicit PI.
+        match &p.items[2] {
+            Item::Instr {
+                instr: SourceInstr::Bundle(b),
+                ..
+            } => assert_eq!(b.pi, None),
+            other => panic!("expected bundle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_fig5_cfc_program() {
+        let src = "\
+SMIS S0, {0}
+SMIS S1, {1}
+LDI R0, 1
+MEASZ S1
+QWAIT 30
+FMR R1, Q1
+CMP R1, R0
+BR EQ, eq_path
+ne_path:
+X S0
+BR ALWAYS, next
+eq_path:
+Y S0
+next:
+";
+        let p = parse(src).unwrap();
+        let labels: Vec<&str> = p
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Label { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(labels, vec!["ne_path", "eq_path", "next"]);
+        assert_eq!(p.instructions().count(), 11);
+        assert!(p.instructions().any(|i| matches!(
+            i,
+            SourceInstr::Br {
+                flag: CmpFlag::Always,
+                target: BranchTarget::Label(l)
+            } if l == "next"
+        )));
+    }
+
+    #[test]
+    fn parses_vliw_bundle() {
+        let p = parse("2, X90 S0 | CZ T3 | QNOP").unwrap();
+        match &p.items[0] {
+            Item::Instr {
+                instr: SourceInstr::Bundle(b),
+                ..
+            } => {
+                assert_eq!(b.pi, Some(2));
+                assert_eq!(b.ops.len(), 3);
+                assert_eq!(b.ops[1].target, Some(SourceTarget::T(TReg::new(3))));
+                assert_eq!(b.ops[2].name, "QNOP");
+                assert_eq!(b.ops[2].target, None);
+            }
+            other => panic!("expected bundle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_smit_pairs() {
+        let p = parse("SMIT T3, {(1, 3), (2, 4)}").unwrap();
+        match &p.items[0] {
+            Item::Instr {
+                instr: SourceInstr::Smit { td, arg },
+                ..
+            } => {
+                assert_eq!(*td, TReg::new(3));
+                assert_eq!(
+                    *arg,
+                    SmitArg::Pairs(vec![
+                        (Qubit::new(1), Qubit::new(3)),
+                        (Qubit::new(2), Qubit::new(4))
+                    ])
+                );
+            }
+            other => panic!("expected SMIT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_mask_forms() {
+        let p = parse("SMIS S1, 0b101\nSMIT T0, 0x21").unwrap();
+        assert!(matches!(
+            &p.items[0],
+            Item::Instr {
+                instr: SourceInstr::Smis {
+                    arg: SmisArg::Mask(5),
+                    ..
+                },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &p.items[1],
+            Item::Instr {
+                instr: SourceInstr::Smit {
+                    arg: SmitArg::Mask(0x21),
+                    ..
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_memory_instructions() {
+        let p = parse("LD r2, r3(-4)\nST r2, r3(8)").unwrap();
+        assert!(matches!(
+            &p.items[0],
+            Item::Instr {
+                instr: SourceInstr::Ld { imm: -4, .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &p.items[1],
+            Item::Instr {
+                instr: SourceInstr::St { imm: 8, .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_ldui() {
+        let p = parse("LDUI r5, 100, r5").unwrap();
+        assert!(matches!(
+            &p.items[0],
+            Item::Instr {
+                instr: SourceInstr::Ldui { imm: 100, .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_logic_and_arith() {
+        let p = parse("AND r1, r2, r3\nXOR r4, r5, r6\nNOT r7, r8\nADD r0, r0, r1\nSUB r2, r3, r4")
+            .unwrap();
+        assert_eq!(p.instructions().count(), 5);
+    }
+
+    #[test]
+    fn negative_branch_offset() {
+        let p = parse("BR NE, -3").unwrap();
+        assert!(matches!(
+            &p.items[0],
+            Item::Instr {
+                instr: SourceInstr::Br {
+                    target: BranchTarget::Offset(-3),
+                    ..
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_register() {
+        let err = parse("LDI x0, 1").unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::BadRegister(_)));
+        let err = parse("CMP r1").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn rejects_bad_flag() {
+        let err = parse("BR FROB, 1").unwrap_err();
+        assert!(err.to_string().contains("comparison flag"));
+    }
+
+    #[test]
+    fn rejects_garbage_after_instruction() {
+        let err = parse("NOP NOP").unwrap_err();
+        // "NOP NOP" parses the first NOP then chokes on the second.
+        assert!(err.to_string().contains("end of line"), "{err}");
+    }
+
+    #[test]
+    fn mnemonics_case_insensitive() {
+        let p = parse("ldi r0, 1\nqwait 20").unwrap();
+        assert_eq!(p.instructions().count(), 2);
+    }
+
+    #[test]
+    fn label_then_instruction_on_next_line() {
+        let p = parse("loop:\nQWAIT 1\nBR ALWAYS, loop").unwrap();
+        assert_eq!(p.items.len(), 3);
+    }
+
+    #[test]
+    fn split_reg_parses() {
+        assert_eq!(split_reg("r12"), Some(('r', 12)));
+        assert_eq!(split_reg("S7"), Some(('s', 7)));
+        assert_eq!(split_reg("q1"), Some(('q', 1)));
+        // "X90" splits but its prefix is not a register-file letter, so
+        // register parsers reject it.
+        assert_eq!(split_reg("X90"), Some(('x', 90)));
+        assert_eq!(split_reg("r"), None);
+        assert_eq!(split_reg("r1x"), None);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the assembler front end: the lexer and
+//! parser never panic on arbitrary input, generated programs round-trip
+//! through text, and immediates are range-checked exactly at the field
+//! boundaries.
+
+use eqasm_asm::{assemble, lexer::lex, parser::parse};
+use eqasm_core::Instantiation;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The lexer returns Ok or Err — it never panics — on arbitrary
+    /// input, including non-ASCII.
+    #[test]
+    fn lexer_total(input in ".{0,200}") {
+        let _ = lex(&input);
+    }
+
+    /// The parser is total over arbitrary token-ish text.
+    #[test]
+    fn parser_total(input in "[A-Za-z0-9 ,:(){}|#\\n\\-]{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// The full assembler is total over arbitrary printable programs.
+    #[test]
+    fn assembler_total(input in "[ -~\\n]{0,300}") {
+        let inst = Instantiation::paper();
+        let _ = assemble(&input, &inst);
+    }
+
+    /// LDI range checking is exact at the signed 20-bit boundary.
+    #[test]
+    fn ldi_boundary(v in -(1i64 << 21)..(1i64 << 21)) {
+        let inst = Instantiation::paper();
+        let src = format!("LDI r0, {v}");
+        let ok = assemble(&src, &inst).is_ok();
+        let in_range = (-(1i64 << 19)..(1i64 << 19)).contains(&v);
+        prop_assert_eq!(ok, in_range, "value {}", v);
+    }
+
+    /// QWAIT range checking is exact at the 20-bit boundary.
+    #[test]
+    fn qwait_boundary(v in 0i64..(1i64 << 22)) {
+        let inst = Instantiation::paper();
+        let src = format!("QWAIT {v}");
+        let ok = assemble(&src, &inst).is_ok();
+        prop_assert_eq!(ok, v < (1 << 20));
+    }
+
+    /// PI range checking is exact at the 3-bit boundary.
+    #[test]
+    fn pi_boundary(v in 0u32..32) {
+        let inst = Instantiation::paper();
+        let src = format!("{v}, X S0");
+        let ok = assemble(&src, &inst).is_ok();
+        prop_assert_eq!(ok, v <= 7);
+    }
+
+    /// Register indices are checked against the 32-entry files.
+    #[test]
+    fn register_boundary(r in 0u32..64) {
+        let inst = Instantiation::paper();
+        prop_assert_eq!(assemble(&format!("LDI r{r}, 0"), &inst).is_ok(), r < 32);
+        prop_assert_eq!(assemble(&format!("SMIS S{r}, {{0}}"), &inst).is_ok(), r < 32);
+        prop_assert_eq!(
+            assemble(&format!("SMIT T{r}, {{(2, 0)}}"), &inst).is_ok(),
+            r < 32
+        );
+    }
+
+    /// Generated straight-line programs survive a text round trip:
+    /// assemble → render via Display/pretty → re-assemble equal.
+    #[test]
+    fn text_roundtrip(
+        ldis in prop::collection::vec((0u8..32, -1000i32..1000), 1..20),
+        waits in prop::collection::vec(1u32..1000, 1..10),
+    ) {
+        let inst = Instantiation::paper();
+        let mut src = String::new();
+        for (r, v) in &ldis {
+            src.push_str(&format!("LDI r{r}, {v}\n"));
+        }
+        for w in &waits {
+            src.push_str(&format!("QWAIT {w}\n"));
+        }
+        src.push_str("STOP\n");
+        let p1 = assemble(&src, &inst).unwrap();
+        let rendered: String = p1
+            .instructions()
+            .iter()
+            .map(|i| i.pretty(inst.ops()) + "\n")
+            .collect();
+        let p2 = assemble(&rendered, &inst).unwrap();
+        prop_assert_eq!(p1.instructions(), p2.instructions());
+    }
+
+    /// Labels may appear anywhere; resolved offsets always land inside
+    /// (or one past) the program.
+    #[test]
+    fn label_offsets_in_bounds(pos in 0usize..10, n in 1usize..10) {
+        let inst = Instantiation::paper();
+        let pos = pos.min(n);
+        let mut src = String::new();
+        for i in 0..n {
+            if i == pos {
+                src.push_str("target:\n");
+            }
+            src.push_str("NOP\n");
+        }
+        if pos == n {
+            src.push_str("target:\n");
+        }
+        src.push_str("BR ALWAYS, target\n");
+        let program = assemble(&src, &inst).unwrap();
+        let br_addr = program.len() - 1;
+        if let eqasm_core::Instruction::Br { offset, .. } = program[br_addr] {
+            let dest = br_addr as i64 + offset as i64;
+            prop_assert!(dest >= 0 && dest <= program.len() as i64);
+            prop_assert_eq!(dest as usize, pos);
+        } else {
+            prop_assert!(false, "last instruction must be BR");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Benchmarks the assembler front end: parse + assemble + encode of a
+//! large eQASM program (a 200-Clifford RB sequence rendered to text).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqasm_asm::{assemble, encoding};
+use eqasm_core::{Instantiation, Qubit};
+use eqasm_compiler::program_text;
+
+fn build_source() -> (Instantiation, String) {
+    let inst = Instantiation::paper_two_qubit();
+    let (program, _) = eqasm_workloads::rb_program(&inst, Qubit::new(0), 200, 2, 1).unwrap();
+    let text = program_text(&program, &inst);
+    (inst, text)
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let (inst, text) = build_source();
+    let lines = text.lines().count();
+    let mut group = c.benchmark_group("assembler");
+    group.throughput(criterion::Throughput::Elements(lines as u64));
+    group.bench_function("assemble_rb_program", |b| {
+        b.iter(|| assemble(std::hint::black_box(&text), &inst).unwrap())
+    });
+    let program = assemble(&text, &inst).unwrap();
+    group.bench_function("encode_program", |b| {
+        b.iter(|| encoding::encode_program(std::hint::black_box(program.instructions()), &inst).unwrap())
+    });
+    let words = encoding::encode_program(program.instructions(), &inst).unwrap();
+    group.bench_function("decode_program", |b| {
+        b.iter(|| encoding::decode_program(std::hint::black_box(&words), &inst).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_assembler);
+criterion_main!(benches);

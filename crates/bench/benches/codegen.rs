@@ -1,0 +1,43 @@
+//! Benchmarks the compiler back end: ASAP scheduling, the Fig. 7
+//! counting analysis and the emitting code generator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqasm_core::Instantiation;
+use eqasm_compiler::{count_instructions, emit, CodegenConfig, EmitOptions};
+use eqasm_workloads::{ising_schedule, rb_schedule, IsingParams};
+
+fn bench_codegen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codegen");
+    let rb = rb_schedule(7, 256, 1);
+    group.bench_function("count_rb_config9", |b| {
+        b.iter(|| count_instructions(std::hint::black_box(&rb), &CodegenConfig::paper()))
+    });
+    group.bench_function("count_rb_all_configs", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for cfg in 1..=10 {
+                for w in 1..=4 {
+                    if cfg == 2 && w < 2 {
+                        continue;
+                    }
+                    total += count_instructions(&rb, &CodegenConfig::fig7(cfg, w)).instructions;
+                }
+            }
+            total
+        })
+    });
+    let im = ising_schedule(&IsingParams::paper(), 1);
+    let inst = Instantiation::paper();
+    let opts = EmitOptions::bare();
+    // Emission needs configured names: RB uses the default gate set.
+    group.bench_function("emit_rb_paper_instantiation", |b| {
+        b.iter(|| emit(std::hint::black_box(&rb), &inst, &opts).unwrap().len())
+    });
+    group.bench_function("count_ising_config9", |b| {
+        b.iter(|| count_instructions(std::hint::black_box(&im), &CodegenConfig::paper()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codegen);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! End-to-end figure pipelines at benchmark scale: these run the same
+//! code paths as the `fig7_dse`, `fig11_allxy`, `fig12_rb`,
+//! `active_reset` and `grover_fidelity` binaries, downsized so
+//! `cargo bench` finishes quickly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqasm_bench::experiments::{
+    active_reset_experiment, allxy_experiment, fig12_noise, fig7_grid, grover_fidelity,
+    rb_curve, AllXyOptions, GroverOptions,
+};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig7_grid_small", |b| {
+        b.iter(|| fig7_grid(64, 1).len())
+    });
+    group.bench_function("fig11_one_shot_sweep", |b| {
+        let opts = AllXyOptions {
+            shots: 4,
+            ..AllXyOptions::default()
+        };
+        b.iter(|| allxy_experiment(&opts).len())
+    });
+    group.bench_function("fig12_single_curve", |b| {
+        b.iter(|| rb_curve(1, &[2, 8, 32, 64], 2, fig12_noise()).fit.f)
+    });
+    group.bench_function("active_reset_100_shots", |b| {
+        b.iter(|| active_reset_experiment(100, 100, 3))
+    });
+    group.bench_function("grover_tomography_small", |b| {
+        let opts = GroverOptions {
+            shots_per_setting: 30,
+            ..GroverOptions::default()
+        };
+        b.iter(|| grover_fidelity(&opts))
+    });
+    group.bench_function("t1_calibration_sweep", |b| {
+        use eqasm_bench::experiments::t1_experiment;
+        use eqasm_quantum::NoiseModel;
+        let noise = NoiseModel::with_coherence(25_000.0, 20_000.0);
+        let delays: Vec<u32> = (0..6).map(|i| i * 200).collect();
+        b.iter(|| t1_experiment(&delays, noise).recovered_ns)
+    });
+    group.bench_function("schedule_ablation", |b| {
+        use eqasm_bench::experiments::schedule_policy_ablation;
+        use eqasm_quantum::NoiseModel;
+        let noise = NoiseModel::with_coherence(25_000.0, 20_000.0);
+        b.iter(|| schedule_policy_ablation(100, noise))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benchmarks the QuMA v2 simulator: classical-cycle throughput on a
+//! feedback-free RB program and on the CFC feedback loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqasm_core::{Instantiation, Qubit};
+use eqasm_microarch::{QuMa, SimConfig};
+
+fn bench_machine(c: &mut Criterion) {
+    let inst = Instantiation::paper_two_qubit();
+    let (rb, _) = eqasm_workloads::rb_program(&inst, Qubit::new(0), 100, 2, 3).unwrap();
+    let mut group = c.benchmark_group("microarch");
+    group.bench_function("run_rb_100_cliffords", |b| {
+        let mut machine = QuMa::new(inst.clone(), SimConfig::default());
+        machine.load(&rb).unwrap();
+        b.iter(|| {
+            machine.reset();
+            let result = machine.run();
+            assert!(result.status.is_halted());
+            machine.stats().classical_cycles
+        })
+    });
+
+    let cfc = eqasm_asm::assemble(
+        "SMIS S0, {0}\nSMIS S1, {1}\nLDI R0, 1\nLDI r2, 0\nLDI r3, 16\nLDI r4, 1\nloop:\nQWAIT 100\n0, MEASZ S1\nQWAIT 30\nFMR R1, Q1\nCMP R1, R0\nBR EQ, eq\nX S0\nBR ALWAYS, n\neq:\nY S0\nn:\nQWAIT 10\nADD r2, r2, r4\nCMP r2, r3\nBR NE, loop\nSTOP",
+        &inst,
+    )
+    .unwrap();
+    group.bench_function("run_cfc_16_rounds", |b| {
+        let mut machine = QuMa::new(inst.clone(), SimConfig::default());
+        machine.load(cfc.instructions()).unwrap();
+        b.iter(|| {
+            machine.reset();
+            machine.run().status.is_halted()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

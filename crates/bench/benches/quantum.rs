@@ -1,0 +1,56 @@
+//! Benchmarks the qubit-plane substrate: state-vector and
+//! density-matrix gate application, exact noise channels and the
+//! Clifford tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqasm_quantum::{gates, noise, Clifford, DensityMatrix, StateVector};
+
+fn bench_quantum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantum");
+
+    group.bench_function("statevector_1q_gate_8q", |b| {
+        let mut psi = StateVector::zero_state(8);
+        let h = gates::hadamard();
+        b.iter(|| {
+            for q in 0..8 {
+                psi.apply_1q(q, &h);
+            }
+        })
+    });
+    group.bench_function("statevector_2q_gate_8q", |b| {
+        let mut psi = StateVector::zero_state(8);
+        let cz = gates::cz();
+        b.iter(|| {
+            for q in 0..7 {
+                psi.apply_2q(q, q + 1, &cz);
+            }
+        })
+    });
+    group.bench_function("density_1q_gate_4q", |b| {
+        let mut rho = DensityMatrix::zero_state(4);
+        let h = gates::hadamard();
+        b.iter(|| {
+            for q in 0..4 {
+                rho.apply_1q(q, &h);
+            }
+        })
+    });
+    group.bench_function("density_damping_channel_4q", |b| {
+        let mut rho = DensityMatrix::zero_state(4);
+        let kraus = noise::amplitude_phase_damping(0.01, 0.01);
+        b.iter(|| rho.apply_kraus_1q(0, &kraus))
+    });
+    group.bench_function("clifford_compose_chain", |b| {
+        b.iter(|| {
+            let mut acc = Clifford::identity();
+            for i in 0..1000usize {
+                acc = acc.compose(Clifford::from_index(i % 24).unwrap());
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantum);
+criterion_main!(benches);

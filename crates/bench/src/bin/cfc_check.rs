@@ -1,0 +1,23 @@
+//! Verifies **comprehensive feedback control** the way §5 does: the
+//! measurement unit produces alternating mock results and the selected
+//! X/Y operations must alternate on the outputs.
+//!
+//! Usage: `cargo run --release -p eqasm-bench --bin cfc_check [rounds]`
+
+use eqasm_bench::experiments::cfc_alternation;
+
+fn main() {
+    let rounds: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let gates = cfc_alternation(rounds, false);
+    println!("CFC validation with mock alternating measurement results:");
+    println!("  selected gates: {}", gates.join(" "));
+    let expected: Vec<&str> = (0..rounds as usize)
+        .map(|i| if i % 2 == 0 { "X" } else { "Y" })
+        .collect();
+    let ok = gates.iter().map(String::as_str).eq(expected.iter().copied());
+    println!("  alternation correct: {}", if ok { "yes" } else { "NO" });
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,21 @@
+//! Measures the **feedback latencies** of §5 from the execution trace,
+//! the way the paper measured them with an oscilloscope.
+//!
+//! Paper reference: fast conditional execution ~92 ns, CFC ~316 ns.
+//!
+//! Usage: `cargo run --release -p eqasm-bench --bin feedback_latency`
+
+use eqasm_bench::experiments::feedback_latency;
+
+fn main() {
+    let report = feedback_latency();
+    println!("Feedback latency (measurement result -> conditional output)");
+    println!(
+        "  fast conditional execution: {:>6.0} ns   (paper: ~92 ns)",
+        report.fast_conditional_ns
+    );
+    println!(
+        "  comprehensive feedback    : {:>6.0} ns   (paper: ~316 ns)",
+        report.cfc_ns
+    );
+}

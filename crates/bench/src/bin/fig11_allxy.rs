@@ -1,0 +1,31 @@
+//! Regenerates **Fig. 11**: the two-qubit AllXY staircase, corrected
+//! for readout errors.
+//!
+//! Usage: `cargo run --release -p eqasm-bench --bin fig11_allxy [shots]`
+
+use eqasm_bench::experiments::{allxy_experiment, AllXyOptions};
+
+fn main() {
+    let shots: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let opts = AllXyOptions {
+        shots,
+        ..AllXyOptions::default()
+    };
+    println!("Fig. 11 — two-qubit AllXY ({} shots/round, readout eps = {:.2}%, corrected)", opts.shots, 100.0 * opts.readout_error);
+    println!("{:>5} {:>10} {:>10} {:>10} {:>10}", "round", "ideal(q0)", "meas(q0)", "ideal(q2)", "meas(q2)");
+    let points = allxy_experiment(&opts);
+    let mut max_dev: f64 = 0.0;
+    for p in &points {
+        println!(
+            "{:>5} {:>10.2} {:>10.3} {:>10.2} {:>10.3}",
+            p.round, p.expected_a, p.measured_a, p.expected_b, p.measured_b
+        );
+        max_dev = max_dev
+            .max((p.measured_a - p.expected_a).abs())
+            .max((p.measured_b - p.expected_b).abs());
+    }
+    println!("\nmax |measured - ideal| = {max_dev:.3} (paper: 'matches well with the expectation')");
+}

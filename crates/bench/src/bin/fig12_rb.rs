@@ -1,0 +1,49 @@
+//! Regenerates **Fig. 12**: single-qubit randomized benchmarking for
+//! different intervals between gate starting points (320, 160, 80, 40,
+//! 20 ns), with the error per gate extracted from the exponential decay.
+//!
+//! Paper reference values: eps(320 ns)=0.71%, eps(160)=0.35%,
+//! eps(80)=0.20%, eps(40)=0.12%, eps(20)=0.10%.
+//!
+//! Usage: `cargo run --release -p eqasm-bench --bin fig12_rb [seeds] [max_k]`
+
+use eqasm_bench::experiments::fig12_sweep;
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let max_k: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    let mut ks: Vec<usize> = vec![2, 4, 8, 16, 32, 64, 128, 256, 384, 512, 768, 1024, 1536, 2000];
+    ks.retain(|&k| k <= max_k);
+    let intervals = [16u32, 8, 4, 2, 1]; // 320..20 ns
+    let paper = [0.71, 0.35, 0.20, 0.12, 0.10];
+
+    println!("Fig. 12 — RB vs gate interval ({seeds} sequences per length)");
+    let curves = fig12_sweep(&intervals, &ks, seeds);
+    for (curve, paper_eps) in curves.iter().zip(paper) {
+        println!("\ninterval {:>3} ns:", curve.interval_ns);
+        for (k, p) in &curve.points {
+            println!("  k={:>5}  survival={:.4}", *k as u64, p);
+        }
+        println!(
+            "  fit: f={:.6}  ->  eps/gate = {:.3}%   (paper: {:.2}%)",
+            curve.fit.f,
+            100.0 * curve.fit.error_per_gate(),
+            paper_eps
+        );
+    }
+    println!("\nSummary (eps per gate, measured vs paper):");
+    for (curve, paper_eps) in curves.iter().zip(paper) {
+        println!(
+            "  {:>3} ns: {:.3}%  vs  {:.2}%",
+            curve.interval_ns,
+            100.0 * curve.fit.error_per_gate(),
+            paper_eps
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Regenerates **Fig. 7**: number of instructions for architecture
+//! configurations 1–10 and VLIW widths 1–4, for the RB, IM and SR
+//! workloads, plus the effective-operations-per-bundle numbers the
+//! paper quotes for Config 9.
+//!
+//! Usage: `cargo run --release -p eqasm-bench --bin fig7_dse [rb_cliffords]`
+
+use eqasm_bench::experiments::fig7_grid;
+
+fn main() {
+    let rb_cliffords: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+    println!("Fig. 7 — instruction counts (RB = 7 qubits x {rb_cliffords} Cliffords)");
+    println!("Values are normalised to Config 1, w = 1 (the QuMIS-style baseline).\n");
+
+    let grid = fig7_grid(rb_cliffords, 42);
+
+    for workload in ["RB", "IM", "SR"] {
+        println!("== {workload} ==");
+        println!("{:>7} {:>10} {:>10} {:>10} {:>10}", "config", "w=1", "w=2", "w=3", "w=4");
+        for config in 1..=10u32 {
+            let mut row = format!("{config:>7}");
+            for width in 1..=4usize {
+                let cell = grid
+                    .iter()
+                    .find(|c| c.workload == workload && c.config == config && c.width == width);
+                match cell {
+                    Some(c) => row.push_str(&format!(" {:>10.3}", c.normalized)),
+                    None => row.push_str(&format!(" {:>10}", "-")),
+                }
+            }
+            println!("{row}");
+        }
+        println!();
+    }
+
+    println!("Key paper comparisons (reduction vs Config 1 at the same/shown width):");
+    let get = |wl: &str, cfg: u32, w: usize| {
+        grid.iter()
+            .find(|c| c.workload == wl && c.config == cfg && c.width == w)
+            .expect("cell exists")
+    };
+    let red = |wl: &str, cfg: u32, w: usize, base_cfg: u32, base_w: usize| {
+        let a = get(wl, cfg, w).instructions as f64;
+        let b = get(wl, base_cfg, base_w).instructions as f64;
+        1.0 - a / b
+    };
+    println!(
+        "  RB  Config1 w1->w4      : measured {:5.1}%   (paper: up to 62%)",
+        100.0 * red("RB", 1, 4, 1, 1)
+    );
+    println!(
+        "  RB  Config2 vs 1 (w2-4) : measured {:4.1}/{:4.1}/{:4.1}%  (paper: 20-33%)",
+        100.0 * red("RB", 2, 2, 1, 2),
+        100.0 * red("RB", 2, 3, 1, 3),
+        100.0 * red("RB", 2, 4, 1, 4)
+    );
+    println!(
+        "  IM  Config2 vs 1 (w2-4) : measured {:4.1}/{:4.1}/{:4.1}%  (paper: 24-45%)",
+        100.0 * red("IM", 2, 2, 1, 2),
+        100.0 * red("IM", 2, 3, 1, 3),
+        100.0 * red("IM", 2, 4, 1, 4)
+    );
+    println!(
+        "  SR  Config2 vs 1 (w2-4) : measured {:4.1}/{:4.1}/{:4.1}%  (paper: 43-50%)",
+        100.0 * red("SR", 2, 2, 1, 2),
+        100.0 * red("SR", 2, 3, 1, 3),
+        100.0 * red("SR", 2, 4, 1, 4)
+    );
+    println!(
+        "  RB  Config3 vs 1 (w1/w4): measured {:4.1}/{:4.1}%  (paper: 13-33%)",
+        100.0 * red("RB", 3, 1, 1, 1),
+        100.0 * red("RB", 3, 4, 1, 4)
+    );
+    println!(
+        "  IM  Config3 vs 1 (w1/w4): measured {:4.1}/{:4.1}%  (paper: 28-44%)",
+        100.0 * red("IM", 3, 1, 1, 1),
+        100.0 * red("IM", 3, 4, 1, 4)
+    );
+    println!(
+        "  SR  Config3 vs 1 (w1)   : measured {:4.1}%  (paper: ~17%)",
+        100.0 * red("SR", 3, 1, 1, 1)
+    );
+    println!(
+        "  SR  Config6 vs 1 (w1)   : measured {:4.1}%  (paper: up to 48%)",
+        100.0 * red("SR", 6, 1, 1, 1)
+    );
+    println!(
+        "  RB  SOMQ (8 vs 4, w2)   : measured {:4.1}%  (paper: max 42%)",
+        100.0 * red("RB", 8, 2, 4, 2)
+    );
+    println!(
+        "  SR  SOMQ (8 vs 4, w1)   : measured {:4.1}%  (paper: max ~4%)",
+        100.0 * red("SR", 8, 1, 4, 1)
+    );
+    for w in [1usize, 2, 3, 4] {
+        let im_red = red("IM", 9, w, 5, w);
+        print!("  IM  SOMQ (9 vs 5, w{w})   : {:4.1}%", 100.0 * im_red);
+        let paper = ["~24%", "~19%", "~9%", "~2%"][w - 1];
+        println!("  (paper: {paper})");
+    }
+
+    println!("\nEffective quantum operations per bundle, Config 9 (paper: RB 1.795/2.296/3.144, IM 1.485/1.622/1.623, SR 1.118/1.147/1.147 for w=2..4):");
+    for wl in ["RB", "IM", "SR"] {
+        let vals: Vec<String> = (2..=4)
+            .map(|w| format!("{:.3}", get(wl, 9, w).effective_ops))
+            .collect();
+        println!("  {wl}: {}", vals.join(" / "));
+    }
+}

@@ -1,0 +1,24 @@
+//! Demonstrates the **quantum operation issue-rate problem** (§1.2):
+//! a QuMIS-style instruction stream (one operation per word, explicit
+//! waits) exceeds R_allowed = 2 instructions per 20 ns cycle on a dense
+//! two-qubit workload and forces timeline slips, while the eQASM
+//! encoding (Config 9, w = 2, SOMQ) keeps up.
+//!
+//! Usage: `cargo run --release -p eqasm-bench --bin issue_rate [cliffords]`
+
+use eqasm_bench::experiments::issue_rate_comparison;
+
+fn main() {
+    let cliffords: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+    println!("Issue-rate comparison on back-to-back two-qubit RB ({cliffords} Cliffords/qubit)");
+    println!("R_allowed = 2 instructions per quantum cycle (100 MHz pipeline, 50 MHz timing)");
+    for row in issue_rate_comparison(cliffords, 5) {
+        println!(
+            "  {:<34} R_req = {:>5.2} instr/cycle, timeline slips = {}",
+            row.style, row.required_rate, row.slips
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates the **Rabi oscillation** calibration of §5: a sweep of
+//! user-configured `X_Amp_i` operations (compile-time QISA
+//! configuration) against the measured excited-state population.
+//!
+//! Usage: `cargo run --release -p eqasm-bench --bin rabi [points]`
+
+use eqasm_bench::experiments::rabi_sweep;
+use eqasm_workloads::rabi_expected_p1;
+
+fn main() {
+    let points: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(21);
+    let amps: Vec<f64> = (0..points).map(|i| 2.0 * i as f64 / (points - 1) as f64).collect();
+    println!("Rabi oscillation via X_AMP_i operations ({points} sweep points)");
+    println!("{:>8} {:>10} {:>10}", "amp", "P(1)", "ideal");
+    let mut max_dev: f64 = 0.0;
+    for (amp, p1) in rabi_sweep(&amps) {
+        let ideal = rabi_expected_p1(amp);
+        println!("{amp:>8.3} {p1:>10.4} {ideal:>10.4}");
+        max_dev = max_dev.max((p1 - ideal).abs());
+    }
+    println!("\nmax deviation from sin^2(pi*amp/2): {max_dev:.2e}");
+}

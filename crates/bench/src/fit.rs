@@ -1,0 +1,163 @@
+//! Curve fitting for the randomized-benchmarking analysis (Fig. 12).
+//!
+//! RB survival decays as `P(k) = A·f^k + B`; the Clifford fidelity comes
+//! from the decay constant `f` and the average error per gate follows
+//! the paper's formula ε = 1 − F_Cl^(1/1.875).
+
+/// The fitted decay `P(k) = a·f^k + b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayFit {
+    /// Amplitude.
+    pub a: f64,
+    /// Decay constant per Clifford.
+    pub f: f64,
+    /// Offset.
+    pub b: f64,
+    /// Sum of squared residuals.
+    pub sse: f64,
+}
+
+impl DecayFit {
+    /// The average error per Clifford: `r = (1 − f)·(d − 1)/d` with
+    /// `d = 2` for one qubit.
+    pub fn error_per_clifford(&self) -> f64 {
+        (1.0 - self.f) / 2.0
+    }
+
+    /// The average error per primitive gate, using the paper's
+    /// decomposition overhead: ε = 1 − F_Cl^(1/1.875).
+    pub fn error_per_gate(&self) -> f64 {
+        let f_cl = 1.0 - self.error_per_clifford();
+        1.0 - f_cl.powf(1.0 / 1.875)
+    }
+}
+
+/// Given `f`, the best (a, b) are a linear least-squares problem; this
+/// evaluates that solution and its SSE.
+fn solve_linear(points: &[(f64, f64)], f: f64) -> (f64, f64, f64) {
+    let n = points.len() as f64;
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for &(k, p) in points {
+        let x = f.powf(k);
+        sx += x;
+        sy += p;
+        sxx += x * x;
+        sxy += x * p;
+    }
+    let det = n * sxx - sx * sx;
+    let (a, b) = if det.abs() < 1e-15 {
+        (0.0, sy / n)
+    } else {
+        let a = (n * sxy - sx * sy) / det;
+        let b = (sy - a * sx) / n;
+        (a, b)
+    };
+    let mut sse = 0.0;
+    for &(k, p) in points {
+        let e = a * f.powf(k) + b - p;
+        sse += e * e;
+    }
+    (a, b, sse)
+}
+
+/// Fits `P(k) = a·f^k + b` to `(k, P)` samples by golden-section search
+/// over `f ∈ (0, 1)` with closed-form `a`, `b`.
+///
+/// # Panics
+///
+/// Panics on fewer than three points.
+pub fn fit_decay(points: &[(f64, f64)]) -> DecayFit {
+    assert!(points.len() >= 3, "decay fit needs at least three points");
+    let golden: f64 = (5.0_f64.sqrt() - 1.0) / 2.0;
+    let mut lo = 1e-6;
+    let mut hi = 1.0 - 1e-9;
+    let mut c = hi - golden * (hi - lo);
+    let mut d = lo + golden * (hi - lo);
+    let mut fc = solve_linear(points, c).2;
+    let mut fd = solve_linear(points, d).2;
+    for _ in 0..200 {
+        if fc < fd {
+            hi = d;
+            d = c;
+            fd = fc;
+            c = hi - golden * (hi - lo);
+            fc = solve_linear(points, c).2;
+        } else {
+            lo = c;
+            c = d;
+            fc = fd;
+            d = lo + golden * (hi - lo);
+            fd = solve_linear(points, d).2;
+        }
+        if hi - lo < 1e-12 {
+            break;
+        }
+    }
+    let f = (lo + hi) / 2.0;
+    let (a, b, sse) = solve_linear(points, f);
+    DecayFit { a, f, b, sse }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_known_decay() {
+        let (a, f, b) = (0.48f64, 0.995f64, 0.5f64);
+        let points: Vec<(f64, f64)> = (0..40)
+            .map(|i| {
+                let k = (i * 50) as f64;
+                (k, a * f.powf(k) + b)
+            })
+            .collect();
+        let fit = fit_decay(&points);
+        assert!((fit.f - f).abs() < 1e-6, "f = {}", fit.f);
+        assert!((fit.a - a).abs() < 1e-6);
+        assert!((fit.b - b).abs() < 1e-6);
+        assert!(fit.sse < 1e-12);
+    }
+
+    #[test]
+    fn tolerates_noise() {
+        let (a, f, b) = (0.5f64, 0.99f64, 0.5f64);
+        // Deterministic pseudo-noise.
+        let mut state = 7u64;
+        let mut noise = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * 0.005
+        };
+        let points: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let k = (i * 20) as f64;
+                (k, a * f.powf(k) + b + noise())
+            })
+            .collect();
+        let fit = fit_decay(&points);
+        assert!((fit.f - f).abs() < 5e-4, "f = {}", fit.f);
+    }
+
+    #[test]
+    fn error_formulas_match_paper() {
+        // A decay of f = 0.996 gives r_cl = 0.2% per Clifford and
+        // ε = 1 − (1 − r)^{1/1.875} ≈ 0.1068% per gate.
+        let fit = DecayFit {
+            a: 0.5,
+            f: 0.996,
+            b: 0.5,
+            sse: 0.0,
+        };
+        assert!((fit.error_per_clifford() - 0.002).abs() < 1e-12);
+        let eps = fit.error_per_gate();
+        assert!((eps - 0.001068).abs() < 1e-5, "eps = {eps}");
+    }
+
+    #[test]
+    #[should_panic(expected = "three points")]
+    fn too_few_points() {
+        let _ = fit_decay(&[(0.0, 1.0), (1.0, 0.9)]);
+    }
+}

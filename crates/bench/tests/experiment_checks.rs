@@ -1,0 +1,203 @@
+//! Downsized sanity checks of every experiment harness against the
+//! paper's reported numbers (the full-size runs live in the `src/bin`
+//! binaries and are recorded in `EXPERIMENTS.md`).
+
+use eqasm_bench::experiments::*;
+
+#[test]
+fn fig7_key_trends_match_paper() {
+    let grid = fig7_grid(128, 7);
+    let get = |wl: &str, cfg: u32, w: usize| {
+        grid.iter()
+            .find(|c| c.workload == wl && c.config == cfg && c.width == w)
+            .unwrap()
+    };
+    let red = |wl: &str, cfg: u32, w: usize, bcfg: u32, bw: usize| {
+        1.0 - get(wl, cfg, w).instructions as f64 / get(wl, bcfg, bw).instructions as f64
+    };
+    // RB: w scaling up to ~62%.
+    assert!((0.55..=0.68).contains(&red("RB", 1, 4, 1, 1)));
+    // RB: Config 2 vs 1 at w=2..4 in 20-33%.
+    for w in 2..=4 {
+        let r = red("RB", 2, w, 1, w);
+        assert!((0.15..=0.40).contains(&r), "RB cfg2 w{w}: {r}");
+    }
+    // SR: 1-bit PI ~17%, wide PI ~48%.
+    assert!((0.10..=0.25).contains(&red("SR", 3, 1, 1, 1)));
+    assert!((0.40..=0.55).contains(&red("SR", 6, 1, 1, 1)));
+    // IM: SOMQ benefit shrinks with width.
+    let im: Vec<f64> = (1..=4).map(|w| red("IM", 9, w, 5, w)).collect();
+    assert!(im[0] > im[3], "IM SOMQ benefit must shrink: {im:?}");
+    // Effective ops per bundle for Config 9, w=2 (paper: RB 1.795,
+    // IM 1.485, SR 1.118).
+    assert!((1.6..=2.0).contains(&get("RB", 9, 2).effective_ops));
+    assert!((1.3..=1.7).contains(&get("IM", 9, 2).effective_ops));
+    assert!((1.0..=1.25).contains(&get("SR", 9, 2).effective_ops));
+}
+
+#[test]
+fn fig11_staircase_shape() {
+    let opts = AllXyOptions {
+        shots: 60,
+        ..AllXyOptions::default()
+    };
+    let points = allxy_experiment(&opts);
+    assert_eq!(points.len(), 42);
+    // Group means must form the 0 / 0.5 / 1 staircase within shot noise.
+    for level in [0.0, 0.5, 1.0] {
+        let vals: Vec<f64> = points
+            .iter()
+            .filter(|p| p.expected_a == level)
+            .map(|p| p.measured_a)
+            .collect();
+        assert!(!vals.is_empty());
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!(
+            (mean - level).abs() < 0.1,
+            "level {level}: group mean {mean}"
+        );
+    }
+    // The three levels are clearly separated on both qubits.
+    let mean_of = |lvl: f64, b: bool| {
+        let vals: Vec<f64> = points
+            .iter()
+            .filter(|p| if b { p.expected_b == lvl } else { p.expected_a == lvl })
+            .map(|p| if b { p.measured_b } else { p.measured_a })
+            .collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    for b in [false, true] {
+        assert!(mean_of(0.0, b) < mean_of(0.5, b));
+        assert!(mean_of(0.5, b) < mean_of(1.0, b));
+    }
+}
+
+#[test]
+fn fig12_error_increases_with_interval() {
+    // Downsized: two intervals, short sequences — the monotone trend
+    // and rough magnitudes must already show.
+    let ks = [2usize, 8, 24, 48, 96];
+    let fast = rb_curve(1, &ks, 3, fig12_noise());
+    let slow = rb_curve(16, &ks, 3, fig12_noise());
+    let eps_fast = fast.fit.error_per_gate();
+    let eps_slow = slow.fit.error_per_gate();
+    assert!(
+        eps_slow > 3.0 * eps_fast,
+        "320 ns error ({eps_slow}) must far exceed 20 ns error ({eps_fast})"
+    );
+    assert!((0.0005..=0.002).contains(&eps_fast), "eps(20ns) = {eps_fast}");
+    assert!((0.004..=0.010).contains(&eps_slow), "eps(320ns) = {eps_slow}");
+}
+
+#[test]
+fn active_reset_near_82_7_percent() {
+    let p0 = active_reset_experiment(600, 100, 11);
+    assert!(
+        (0.78..=0.88).contains(&p0),
+        "reset probability {p0} should be ~0.827"
+    );
+}
+
+#[test]
+fn feedback_latencies_match_paper() {
+    let report = feedback_latency();
+    assert!(
+        (70.0..=110.0).contains(&report.fast_conditional_ns),
+        "fast path {} ns (paper ~92)",
+        report.fast_conditional_ns
+    );
+    assert!(
+        (280.0..=350.0).contains(&report.cfc_ns),
+        "CFC path {} ns (paper ~316)",
+        report.cfc_ns
+    );
+}
+
+#[test]
+fn cfc_alternates_with_mock_results() {
+    let gates = cfc_alternation(6, false);
+    assert_eq!(gates, vec!["X", "Y", "X", "Y", "X", "Y"]);
+    let gates = cfc_alternation(4, true);
+    assert_eq!(gates, vec!["Y", "X", "Y", "X"]);
+}
+
+#[test]
+fn grover_fidelity_near_85_6_percent() {
+    let opts = GroverOptions {
+        shots_per_setting: 150,
+        ..GroverOptions::default()
+    };
+    let f = grover_fidelity(&opts);
+    assert!((0.78..=0.92).contains(&f), "fidelity {f} should be ~0.856");
+}
+
+#[test]
+fn grover_fidelity_is_cz_limited() {
+    // Remove the CZ error and the fidelity recovers towards 1 — the
+    // paper's attribution ("limited by the CZ gate").
+    let noisy = grover_fidelity(&GroverOptions {
+        shots_per_setting: 120,
+        ..GroverOptions::default()
+    });
+    let clean = grover_fidelity(&GroverOptions {
+        shots_per_setting: 120,
+        cz_error: 0.0,
+        ..GroverOptions::default()
+    });
+    assert!(
+        clean > noisy + 0.05,
+        "removing CZ error must raise fidelity: {clean} vs {noisy}"
+    );
+    assert!(clean > 0.93, "near-ideal fidelity {clean}");
+}
+
+#[test]
+fn rabi_sweep_is_sinusoidal() {
+    let amps: Vec<f64> = (0..9).map(|i| i as f64 / 4.0).collect();
+    let sweep = rabi_sweep(&amps);
+    for (amp, p1) in sweep {
+        let ideal = eqasm_workloads::rabi_expected_p1(amp);
+        assert!((p1 - ideal).abs() < 1e-9, "amp {amp}: {p1} vs {ideal}");
+    }
+}
+
+#[test]
+fn issue_rate_separates_qumis_from_eqasm() {
+    let rows = issue_rate_comparison(150, 3);
+    let eqasm = rows.iter().find(|r| r.style.starts_with("eQASM")).unwrap();
+    let qumis = rows.iter().find(|r| r.style.starts_with("QuMIS")).unwrap();
+    assert_eq!(eqasm.slips, 0, "eQASM keeps up");
+    assert!(qumis.slips > 0, "QuMIS-style must violate the issue rate");
+    assert!(qumis.required_rate > eqasm.required_rate);
+}
+
+#[test]
+fn t1_and_ramsey_recover_configured_times() {
+    use eqasm_quantum::NoiseModel;
+    let noise = NoiseModel::with_coherence(25_000.0, 20_000.0);
+    let delays: Vec<u32> = (0..8).map(|i| i * 300).collect();
+    let t1 = t1_experiment(&delays, noise);
+    assert!(
+        (t1.recovered_ns - 25_000.0).abs() / 25_000.0 < 0.05,
+        "recovered T1 = {}",
+        t1.recovered_ns
+    );
+    let t2 = ramsey_experiment(&delays, noise);
+    assert!(
+        (t2.recovered_ns - 20_000.0).abs() / 20_000.0 < 0.05,
+        "recovered T2 = {}",
+        t2.recovered_ns
+    );
+}
+
+#[test]
+fn alap_beats_asap_under_decoherence() {
+    use eqasm_quantum::NoiseModel;
+    let noise = NoiseModel::with_coherence(25_000.0, 20_000.0);
+    let ablation = schedule_policy_ablation(300, noise);
+    assert!(
+        ablation.alap_p1 > ablation.asap_p1 + 0.1,
+        "ALAP must preserve the probe qubit: {ablation:?}"
+    );
+    assert!(ablation.alap_p1 > 0.99, "{ablation:?}");
+}

@@ -1,0 +1,379 @@
+//! Instruction-count analysis — the Fig. 7 design-space exploration.
+//!
+//! Counts how many instructions a timed circuit needs under a given
+//! architecture configuration: timing-specification method (ts1/ts2/ts3),
+//! PI field width, SOMQ on/off and VLIW width. Matches the paper's
+//! methodology (§4.2): target registers are assumed to always provide
+//! the required qubit (pair) list, so `SMIS`/`SMIT` setup is excluded —
+//! the numbers show the theoretical maximum benefit of SOMQ.
+
+use std::collections::BTreeMap;
+
+use crate::schedule::Schedule;
+
+/// The timing-specification methods compared in §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingSpec {
+    /// The QuMIS fashion: every timing point is specified by a separate
+    /// `QWAIT` instruction.
+    Ts1,
+    /// `QWAIT` may occupy a VLIW slot inside a bundle instruction
+    /// (requires width ≥ 2).
+    Ts2,
+    /// A PI field of `pi_bits` bits encodes short intervals; longer
+    /// waits fall back to separate `QWAIT`s. The paper's instantiation
+    /// uses `pi_bits = 3`.
+    Ts3 {
+        /// Width of the PI field in bits.
+        pi_bits: u32,
+    },
+}
+
+impl TimingSpec {
+    /// The largest interval the PI field can encode (0 for ts1/ts2).
+    pub fn max_pi(&self) -> u64 {
+        match self {
+            TimingSpec::Ts3 { pi_bits } => (1u64 << pi_bits) - 1,
+            _ => 0,
+        }
+    }
+}
+
+/// One architecture configuration of the Fig. 7 exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodegenConfig {
+    /// Timing-specification method.
+    pub timing: TimingSpec,
+    /// Single-operation-multiple-qubit execution enabled.
+    pub somq: bool,
+    /// VLIW width (operations per bundle instruction word).
+    pub vliw_width: usize,
+}
+
+impl CodegenConfig {
+    /// The configuration the paper instantiates: Config 9 with w = 2
+    /// (ts3, 3-bit PI, SOMQ).
+    pub const fn paper() -> Self {
+        CodegenConfig {
+            timing: TimingSpec::Ts3 { pi_bits: 3 },
+            somq: true,
+            vliw_width: 2,
+        }
+    }
+
+    /// The numbered configurations of Fig. 7 (1–10) at a given VLIW
+    /// width.
+    ///
+    /// | Config | timing | w_PI | SOMQ |
+    /// |---|---|---|---|
+    /// | 1 | ts1 | – | no |
+    /// | 2 | ts2 | – | no |
+    /// | 3–6 | ts3 | 1–4 | no |
+    /// | 7–10 | ts3 | 1–4 | yes |
+    ///
+    /// # Panics
+    ///
+    /// Panics for configuration numbers outside 1..=10.
+    pub fn fig7(config: u32, vliw_width: usize) -> Self {
+        let (timing, somq) = match config {
+            1 => (TimingSpec::Ts1, false),
+            2 => (TimingSpec::Ts2, false),
+            3..=6 => (TimingSpec::Ts3 { pi_bits: config - 2 }, false),
+            7..=10 => (TimingSpec::Ts3 { pi_bits: config - 6 }, true),
+            other => panic!("Fig. 7 configurations are numbered 1..=10, got {other}"),
+        };
+        CodegenConfig {
+            timing,
+            somq,
+            vliw_width,
+        }
+    }
+}
+
+impl Default for CodegenConfig {
+    fn default() -> Self {
+        CodegenConfig::paper()
+    }
+}
+
+/// The instruction counts for one (workload, configuration) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[non_exhaustive]
+pub struct CountReport {
+    /// Total instructions = `wait_instructions + bundle_words`.
+    pub instructions: u64,
+    /// Separate `QWAIT` instructions.
+    pub wait_instructions: u64,
+    /// Quantum bundle instruction words.
+    pub bundle_words: u64,
+    /// Gate operations in the schedule (pre-SOMQ).
+    pub operations: u64,
+    /// Operation slots after SOMQ merging.
+    pub slots: u64,
+    /// Timing points.
+    pub timing_points: u64,
+}
+
+impl CountReport {
+    /// Effective quantum operations per bundle word (the §4.2 metric
+    /// reported for Config 9).
+    pub fn effective_ops_per_bundle(&self) -> f64 {
+        if self.bundle_words == 0 {
+            0.0
+        } else {
+            self.slots as f64 / self.bundle_words as f64
+        }
+    }
+
+    /// Relative instruction-count reduction versus a baseline
+    /// configuration (positive = fewer instructions).
+    pub fn reduction_vs(&self, baseline: &CountReport) -> f64 {
+        if baseline.instructions == 0 {
+            0.0
+        } else {
+            1.0 - self.instructions as f64 / baseline.instructions as f64
+        }
+    }
+}
+
+/// Counts the instructions a schedule needs under a configuration.
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_compiler::{count_instructions, schedule_asap, Circuit, CodegenConfig, GateDurations};
+///
+/// let mut c = Circuit::new(2);
+/// c.single("X", 0)?;
+/// c.single("X", 1)?;
+/// let s = schedule_asap(&c, GateDurations::paper())?;
+/// // Baseline (Config 1, w = 1): 1 QWAIT + 2 single-op words.
+/// let base = count_instructions(&s, &CodegenConfig::fig7(1, 1));
+/// assert_eq!(base.instructions, 3);
+/// // Config 9 (paper): both X's SOMQ-merge into one slot, PI covers the
+/// // wait: a single instruction.
+/// let paper = count_instructions(&s, &CodegenConfig::paper());
+/// assert_eq!(paper.instructions, 1);
+/// # Ok::<(), eqasm_compiler::CompileError>(())
+/// ```
+pub fn count_instructions(schedule: &Schedule, cfg: &CodegenConfig) -> CountReport {
+    let w = cfg.vliw_width.max(1) as u64;
+    let mut report = CountReport::default();
+    let mut prev_start: Option<u64> = None;
+
+    for (start, gates) in schedule.points() {
+        report.timing_points += 1;
+        report.operations += gates.len() as u64;
+
+        // SOMQ merging: one slot per distinct (name, arity) at a point.
+        // Pairs at the same point are disjoint by construction (a qubit
+        // is never in two simultaneous gates), so merging by name is
+        // always mask-valid.
+        let slots: u64 = if cfg.somq {
+            let mut groups: BTreeMap<(&str, bool), u64> = BTreeMap::new();
+            for g in &gates {
+                *groups
+                    .entry((g.gate.name.as_str(), g.gate.is_two_qubit()))
+                    .or_insert(0) += 1;
+            }
+            groups.len() as u64
+        } else {
+            gates.len() as u64
+        };
+        report.slots += slots;
+
+        // Interval from the previous point; the first point is reached
+        // with an interval of start + 1 from the implicit origin.
+        let interval = match prev_start {
+            None => start + 1,
+            Some(p) => start - p,
+        };
+        prev_start = Some(start);
+
+        match cfg.timing {
+            TimingSpec::Ts1 => {
+                report.wait_instructions += 1;
+                report.bundle_words += slots.div_ceil(w);
+            }
+            TimingSpec::Ts2 => {
+                // The wait occupies one slot inside the bundle words.
+                report.bundle_words += (slots + 1).div_ceil(w);
+            }
+            TimingSpec::Ts3 { .. } => {
+                if interval > cfg.timing.max_pi() {
+                    report.wait_instructions += 1;
+                }
+                report.bundle_words += slots.div_ceil(w);
+            }
+        }
+    }
+    report.instructions = report.wait_instructions + report.bundle_words;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Circuit, GateDurations};
+    use crate::schedule::schedule_asap;
+
+    /// A dense RB-like schedule: `n` qubits, each with a gate every
+    /// cycle for `len` cycles, all with distinct names (worst case for
+    /// SOMQ).
+    fn dense_distinct(n: usize, len: u64) -> Schedule {
+        let mut c = Circuit::new(n);
+        for _t in 0..len {
+            for q in 0..n {
+                c.single(format!("G{q}"), q as u8).unwrap();
+            }
+        }
+        schedule_asap(&c, GateDurations::paper()).unwrap()
+    }
+
+    /// Same but every qubit plays the *same* gate each cycle (best case
+    /// for SOMQ).
+    fn dense_shared(n: usize, len: u64) -> Schedule {
+        let mut c = Circuit::new(n);
+        for t in 0..len {
+            for q in 0..n {
+                c.single(format!("L{t}"), q as u8).unwrap();
+            }
+        }
+        schedule_asap(&c, GateDurations::paper()).unwrap()
+    }
+
+    #[test]
+    fn fig7_config_table() {
+        assert_eq!(
+            CodegenConfig::fig7(1, 1).timing,
+            TimingSpec::Ts1
+        );
+        assert_eq!(CodegenConfig::fig7(2, 2).timing, TimingSpec::Ts2);
+        assert_eq!(
+            CodegenConfig::fig7(5, 2).timing,
+            TimingSpec::Ts3 { pi_bits: 3 }
+        );
+        assert!(!CodegenConfig::fig7(5, 2).somq);
+        assert_eq!(
+            CodegenConfig::fig7(9, 2).timing,
+            TimingSpec::Ts3 { pi_bits: 3 }
+        );
+        assert!(CodegenConfig::fig7(9, 2).somq);
+        assert_eq!(CodegenConfig::fig7(9, 2), CodegenConfig::paper());
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=10")]
+    fn fig7_rejects_config_eleven() {
+        let _ = CodegenConfig::fig7(11, 1);
+    }
+
+    #[test]
+    fn ts1_counts_one_wait_per_point() {
+        let s = dense_distinct(7, 10);
+        let r = count_instructions(&s, &CodegenConfig::fig7(1, 1));
+        // 10 points * (1 QWAIT + 7 ops).
+        assert_eq!(r.wait_instructions, 10);
+        assert_eq!(r.bundle_words, 70);
+        assert_eq!(r.instructions, 80);
+        assert_eq!(r.operations, 70);
+    }
+
+    #[test]
+    fn wider_vliw_reduces_rb_like_by_62_percent() {
+        // The paper: "By increasing w from 1 to 4, the number of
+        // instructions can be reduced up to 62% (RB)."
+        let s = dense_distinct(7, 50);
+        let base = count_instructions(&s, &CodegenConfig::fig7(1, 1));
+        let w4 = count_instructions(&s, &CodegenConfig::fig7(1, 4));
+        let red = w4.reduction_vs(&base);
+        assert!((red - 0.625).abs() < 0.01, "reduction {red}");
+    }
+
+    #[test]
+    fn ts2_packs_wait_into_slots() {
+        let s = dense_distinct(7, 10);
+        // w = 2: ceil((7+1)/2) = 4 words/point vs ts1's 1 + ceil(7/2) = 5.
+        let ts2 = count_instructions(&s, &CodegenConfig::fig7(2, 2));
+        let ts1 = count_instructions(&s, &CodegenConfig::fig7(1, 2));
+        assert_eq!(ts2.instructions, 40);
+        assert_eq!(ts1.instructions, 50);
+        assert!((ts2.reduction_vs(&ts1) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ts3_removes_waits_for_short_intervals() {
+        let s = dense_distinct(7, 10);
+        // All intervals are 1 cycle: any PI width covers them.
+        let r = count_instructions(&s, &CodegenConfig::fig7(3, 1));
+        assert_eq!(r.wait_instructions, 0);
+        assert_eq!(r.instructions, 70);
+    }
+
+    #[test]
+    fn ts3_falls_back_to_qwait_for_long_intervals() {
+        // Sequential measurements: interval 15 cycles > max PI of 7.
+        let mut c = Circuit::new(1);
+        for _ in 0..5 {
+            c.measure(0).unwrap();
+        }
+        let s = schedule_asap(&c, GateDurations::paper()).unwrap();
+        let r = count_instructions(&s, &CodegenConfig::fig7(5, 1));
+        // First point interval 1 fits PI; the other 4 need QWAITs.
+        assert_eq!(r.wait_instructions, 4);
+        assert_eq!(r.bundle_words, 5);
+    }
+
+    #[test]
+    fn pi_width_matters_for_medium_intervals() {
+        // Two-cycle intervals: a 1-bit PI (max 1) needs QWAITs, a 2-bit
+        // PI (max 3) does not.
+        let mut c = Circuit::new(2);
+        for _ in 0..10 {
+            c.two("CZ", 0, 1).unwrap();
+        }
+        let s = schedule_asap(&c, GateDurations::paper()).unwrap();
+        let narrow = count_instructions(&s, &CodegenConfig::fig7(3, 1));
+        let wide = count_instructions(&s, &CodegenConfig::fig7(4, 1));
+        assert_eq!(narrow.wait_instructions, 9);
+        assert_eq!(wide.wait_instructions, 0);
+    }
+
+    #[test]
+    fn somq_merges_shared_names() {
+        let s = dense_shared(7, 10);
+        let plain = count_instructions(&s, &CodegenConfig::fig7(5, 1));
+        let somq = count_instructions(&s, &CodegenConfig::fig7(9, 1));
+        assert_eq!(plain.slots, 70);
+        assert_eq!(somq.slots, 10, "7 same-name ops merge into 1 slot");
+        assert!(somq.instructions < plain.instructions);
+    }
+
+    #[test]
+    fn somq_useless_for_distinct_names() {
+        let s = dense_distinct(7, 10);
+        let plain = count_instructions(&s, &CodegenConfig::fig7(5, 2));
+        let somq = count_instructions(&s, &CodegenConfig::fig7(9, 2));
+        assert_eq!(plain.instructions, somq.instructions);
+    }
+
+    #[test]
+    fn effective_ops_per_bundle_bounded_by_width() {
+        let s = dense_distinct(7, 10);
+        for w in 1..=4 {
+            let r = count_instructions(&s, &CodegenConfig::fig7(9, w));
+            let eff = r.effective_ops_per_bundle();
+            assert!(eff <= w as f64 + 1e-9, "w={w}: eff={eff}");
+            assert!(eff > 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_schedule_counts_zero() {
+        let c = Circuit::new(2);
+        let s = schedule_asap(&c, GateDurations::paper()).unwrap();
+        let r = count_instructions(&s, &CodegenConfig::paper());
+        assert_eq!(r.instructions, 0);
+        assert_eq!(r.effective_ops_per_bundle(), 0.0);
+    }
+}

@@ -1,0 +1,448 @@
+//! The emitting code generator: timed circuit → runnable eQASM.
+//!
+//! Unlike the counting analysis (Fig. 7), this generator produces real
+//! executable instructions for a concrete instantiation: it allocates
+//! single- and two-qubit target registers (with LRU reuse of the 32 + 32
+//! register files), emits `SMIS`/`SMIT` setup, merges same-named
+//! operations at a timing point (SOMQ), encodes short intervals in the
+//! PI field and long ones as `QWAIT`s, splits bundles to the VLIW width
+//! and appends `STOP`.
+
+use std::collections::BTreeMap;
+
+use eqasm_core::{
+    Bundle, BundleOp, Instantiation, Instruction, OpArity, SReg, TReg,
+};
+
+use crate::error::CompileError;
+use crate::ir::GateKind;
+use crate::schedule::Schedule;
+
+/// Options controlling emission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmitOptions {
+    /// A `QWAIT` prepended before the first gate — the paper's programs
+    /// idle 10000 cycles (200 µs) to (re-)initialise qubits by
+    /// relaxation.
+    pub init_wait: u32,
+    /// A trailing `QWAIT` after the last gate (e.g. to let a measurement
+    /// finish before `STOP`, as in Fig. 3).
+    pub final_wait: u32,
+    /// Append a `STOP` instruction.
+    pub append_stop: bool,
+}
+
+impl EmitOptions {
+    /// The paper's experiment shape: 10000-cycle initialisation, a
+    /// 50-cycle trailing wait and a final `STOP`.
+    pub const fn experiment() -> Self {
+        EmitOptions {
+            init_wait: 10_000,
+            final_wait: 50,
+            append_stop: true,
+        }
+    }
+
+    /// Bare emission: no extra waits, with `STOP`.
+    pub const fn bare() -> Self {
+        EmitOptions {
+            init_wait: 0,
+            final_wait: 0,
+            append_stop: true,
+        }
+    }
+}
+
+impl Default for EmitOptions {
+    fn default() -> Self {
+        EmitOptions::experiment()
+    }
+}
+
+/// An LRU allocator over one target-register file.
+#[derive(Debug)]
+struct RegAlloc {
+    /// mask currently held by each register (`None` = never written).
+    held: Vec<Option<u32>>,
+    /// Last-use stamp per register.
+    stamp: Vec<u64>,
+    clock: u64,
+}
+
+impl RegAlloc {
+    fn new(count: usize) -> Self {
+        RegAlloc {
+            held: vec![None; count],
+            stamp: vec![0; count],
+            clock: 0,
+        }
+    }
+
+    /// Returns the register holding `mask`, emitting a set-mask
+    /// instruction through `write` when a (re)load is needed.
+    fn get(&mut self, mask: u32, mut write: impl FnMut(usize, u32)) -> usize {
+        self.clock += 1;
+        if let Some(idx) = self.held.iter().position(|&h| h == Some(mask)) {
+            self.stamp[idx] = self.clock;
+            return idx;
+        }
+        // Free register first, else evict the least recently used.
+        let idx = match self.held.iter().position(|h| h.is_none()) {
+            Some(free) => free,
+            None => {
+                let (idx, _) = self
+                    .stamp
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &s)| s)
+                    .expect("register file is non-empty");
+                idx
+            }
+        };
+        self.held[idx] = Some(mask);
+        self.stamp[idx] = self.clock;
+        write(idx, mask);
+        idx
+    }
+}
+
+/// Emits `QWAIT`s covering an arbitrary interval (respecting the 20-bit
+/// immediate).
+fn emit_waits(out: &mut Vec<Instruction>, mut cycles: u64, max_imm: u32) {
+    while cycles > 0 {
+        let chunk = cycles.min(max_imm as u64) as u32;
+        out.push(Instruction::QWait { cycles: chunk });
+        cycles -= chunk as u64;
+    }
+}
+
+/// Generates runnable eQASM for a timed circuit on an instantiation.
+///
+/// Operation names are resolved against the instantiation's operation
+/// configuration (§3.2); two-qubit gates must use allowed pairs of the
+/// topology.
+///
+/// # Errors
+///
+/// Returns [`CompileError::UnknownOperation`] for unconfigured names and
+/// [`CompileError::DisallowedPair`] for pairs the chip cannot couple.
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_compiler::{emit, schedule_asap, Circuit, EmitOptions, GateDurations};
+/// use eqasm_core::Instantiation;
+///
+/// let inst = Instantiation::paper();
+/// let mut c = Circuit::new(7);
+/// c.single("Y", 0)?;
+/// c.single("Y", 2)?;
+/// c.measure(0)?;
+/// let s = schedule_asap(&c, GateDurations::paper())?;
+/// let program = emit(&s, &inst, &EmitOptions::experiment())?;
+/// assert!(program.len() >= 4); // SMIS + QWAIT + bundles + STOP
+/// # Ok::<(), eqasm_compiler::CompileError>(())
+/// ```
+pub fn emit(
+    schedule: &Schedule,
+    inst: &Instantiation,
+    opts: &EmitOptions,
+) -> Result<Vec<Instruction>, CompileError> {
+    let params = inst.params();
+    let topo = inst.topology();
+    let w = params.vliw_width;
+    let max_pi = params.max_pi() as u64;
+    let max_qwait = params.max_qwait();
+
+    let mut out: Vec<Instruction> = Vec::new();
+    let mut s_alloc = RegAlloc::new(params.num_sregs);
+    let mut t_alloc = RegAlloc::new(params.num_tregs);
+
+    emit_waits(&mut out, opts.init_wait as u64, max_qwait);
+
+    let mut prev_start: Option<u64> = None;
+    for (start, gates) in schedule.points() {
+        // Group by (name, arity) for SOMQ; BTreeMap keeps output
+        // deterministic.
+        let mut singles: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        let mut twos: BTreeMap<String, Vec<eqasm_core::QubitPair>> = BTreeMap::new();
+        for g in &gates {
+            match &g.gate.kind {
+                GateKind::Single { qubit } | GateKind::Measure { qubit } => {
+                    singles
+                        .entry(g.gate.name.to_ascii_uppercase())
+                        .or_default()
+                        .push(qubit.raw());
+                }
+                GateKind::Two { pair } => {
+                    twos.entry(g.gate.name.to_ascii_uppercase())
+                        .or_default()
+                        .push(*pair);
+                }
+            }
+        }
+
+        // Resolve names and build bundle slots, emitting SMIS/SMIT for
+        // masks not already held in a register.
+        let mut slots: Vec<BundleOp> = Vec::new();
+        for (name, qubits) in &singles {
+            let def = inst
+                .ops()
+                .by_name(name)
+                .map_err(|_| CompileError::UnknownOperation { name: name.clone() })?;
+            if def.arity() != OpArity::SingleQubit {
+                return Err(CompileError::UnknownOperation {
+                    name: format!("{name} (configured as two-qubit)"),
+                });
+            }
+            let mask = topo.single_mask(
+                &qubits.iter().map(|&q| eqasm_core::Qubit::new(q)).collect::<Vec<_>>(),
+            )?;
+            let reg = s_alloc.get(mask, |idx, m| {
+                out.push(Instruction::Smis {
+                    sd: SReg::new(idx as u8),
+                    mask: m,
+                });
+            });
+            slots.push(BundleOp::single(def.opcode(), SReg::new(reg as u8)));
+        }
+        for (name, pairs) in &twos {
+            let def = inst
+                .ops()
+                .by_name(name)
+                .map_err(|_| CompileError::UnknownOperation { name: name.clone() })?;
+            if def.arity() != OpArity::TwoQubit {
+                return Err(CompileError::UnknownOperation {
+                    name: format!("{name} (configured as single-qubit)"),
+                });
+            }
+            for pair in pairs {
+                if !topo.is_allowed(*pair) {
+                    return Err(CompileError::DisallowedPair {
+                        name: name.clone(),
+                        pair: (pair.source(), pair.target()),
+                    });
+                }
+            }
+            let mask = topo.pair_mask(pairs)?;
+            let reg = t_alloc.get(mask, |idx, m| {
+                out.push(Instruction::Smit {
+                    td: TReg::new(idx as u8),
+                    mask: m,
+                });
+            });
+            slots.push(BundleOp::two(def.opcode(), TReg::new(reg as u8)));
+        }
+
+        // Interval handling (ts3 with the instantiation's PI width).
+        let interval = match prev_start {
+            None => start + 1,
+            Some(p) => start - p,
+        };
+        prev_start = Some(start);
+        let first_pi = if interval > max_pi {
+            emit_waits(&mut out, interval, max_qwait);
+            0u8
+        } else {
+            interval as u8
+        };
+
+        // Split to VLIW width, PI on the first word, 0 on continuations,
+        // QNOP padding on the last (§3.4.2).
+        for (chunk_idx, chunk) in slots.chunks(w).enumerate() {
+            let mut ops = chunk.to_vec();
+            while ops.len() < w {
+                ops.push(BundleOp::QNOP);
+            }
+            let pi = if chunk_idx == 0 { first_pi } else { 0 };
+            out.push(Instruction::Bundle(Bundle::with_pre_interval(pi, ops)));
+        }
+    }
+
+    emit_waits(&mut out, opts.final_wait as u64, max_qwait);
+    if opts.append_stop {
+        out.push(Instruction::Stop);
+    }
+    Ok(out)
+}
+
+/// Renders emitted instructions as re-assemblable text (quantum
+/// operation names resolved through the instantiation).
+pub fn program_text(instructions: &[Instruction], inst: &Instantiation) -> String {
+    let mut out = String::new();
+    for i in instructions {
+        out.push_str(&i.pretty(inst.ops()));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Circuit, GateDurations};
+    use crate::schedule::schedule_asap;
+
+    fn emit_simple(c: &Circuit, opts: &EmitOptions) -> Vec<Instruction> {
+        let inst = Instantiation::paper();
+        let s = schedule_asap(c, GateDurations::paper()).unwrap();
+        emit(&s, &inst, opts).unwrap()
+    }
+
+    #[test]
+    fn somq_merges_into_one_mask() {
+        let mut c = Circuit::new(7);
+        c.single("X", 0).unwrap();
+        c.single("X", 2).unwrap();
+        c.single("X", 5).unwrap();
+        let program = emit_simple(&c, &EmitOptions::bare());
+        // One SMIS with the merged mask, one bundle, one STOP.
+        let smis: Vec<&Instruction> = program
+            .iter()
+            .filter(|i| matches!(i, Instruction::Smis { .. }))
+            .collect();
+        assert_eq!(smis.len(), 1);
+        assert!(matches!(
+            smis[0],
+            Instruction::Smis { mask: 0b100101, .. }
+        ));
+        let bundles = program
+            .iter()
+            .filter(|i| matches!(i, Instruction::Bundle(_)))
+            .count();
+        assert_eq!(bundles, 1);
+    }
+
+    #[test]
+    fn registers_are_reused_for_repeated_masks() {
+        let mut c = Circuit::new(7);
+        for _ in 0..10 {
+            c.single("X", 0).unwrap();
+        }
+        let program = emit_simple(&c, &EmitOptions::bare());
+        let smis = program
+            .iter()
+            .filter(|i| matches!(i, Instruction::Smis { .. }))
+            .count();
+        assert_eq!(smis, 1, "the same mask must not be re-loaded");
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        // 40 distinct masks through a 32-entry file: the first 32 take
+        // free registers, the rest evict the least recently used; a
+        // repeated mask is reused without a write.
+        let mut alloc = RegAlloc::new(32);
+        let mut writes = Vec::new();
+        for mask in 0..40u32 {
+            alloc.get(mask + 1, |idx, m| writes.push((idx, m)));
+        }
+        assert_eq!(writes.len(), 40, "every distinct mask needs one write");
+        // Mask 40 is resident; mask 1 was evicted (LRU) and reloads.
+        let before = writes.len();
+        alloc.get(40, |idx, m| writes.push((idx, m)));
+        assert_eq!(writes.len(), before, "resident mask must not reload");
+        alloc.get(1, |idx, m| writes.push((idx, m)));
+        assert_eq!(writes.len(), before + 1, "evicted mask must reload");
+    }
+
+    #[test]
+    fn long_interval_uses_qwait_short_uses_pi() {
+        let mut c = Circuit::new(7);
+        c.single("X", 0).unwrap();
+        c.measure(0).unwrap(); // starts at 1, interval 1 -> PI
+        c.single("Y", 0).unwrap(); // starts at 16, interval 15 -> QWAIT
+        let program = emit_simple(&c, &EmitOptions::bare());
+        let qwaits: Vec<u32> = program
+            .iter()
+            .filter_map(|i| match i {
+                Instruction::QWait { cycles } => Some(*cycles),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(qwaits, vec![15]);
+    }
+
+    #[test]
+    fn huge_wait_split_across_qwaits() {
+        let mut out = Vec::new();
+        emit_waits(&mut out, 3_000_000, (1 << 20) - 1);
+        assert_eq!(out.len(), 3);
+        let total: u64 = out
+            .iter()
+            .map(|i| match i {
+                Instruction::QWait { cycles } => *cycles as u64,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 3_000_000);
+    }
+
+    #[test]
+    fn bundles_split_to_width_two() {
+        // Three distinct ops at one point: 2 bundle words, second with
+        // PI 0 and a QNOP pad.
+        let mut c = Circuit::new(7);
+        c.single("X", 0).unwrap();
+        c.single("Y", 2).unwrap();
+        c.single("X90", 5).unwrap();
+        let program = emit_simple(&c, &EmitOptions::bare());
+        let bundles: Vec<&Bundle> = program
+            .iter()
+            .filter_map(|i| match i {
+                Instruction::Bundle(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(bundles.len(), 2);
+        assert_eq!(bundles[0].ops.len(), 2);
+        assert_eq!(bundles[1].pre_interval, 0);
+        assert!(bundles[1].ops[1].is_qnop());
+    }
+
+    #[test]
+    fn unknown_operation_rejected() {
+        let inst = Instantiation::paper();
+        let mut c = Circuit::new(7);
+        c.single("FROBNICATE", 0).unwrap();
+        let s = schedule_asap(&c, GateDurations::paper()).unwrap();
+        let err = emit(&s, &inst, &EmitOptions::bare()).unwrap_err();
+        assert!(matches!(err, CompileError::UnknownOperation { .. }));
+    }
+
+    #[test]
+    fn disallowed_pair_rejected() {
+        let inst = Instantiation::paper();
+        let mut c = Circuit::new(7);
+        c.two("CZ", 0, 1).unwrap(); // 0-1 not coupled on surface7
+        let s = schedule_asap(&c, GateDurations::paper()).unwrap();
+        let err = emit(&s, &inst, &EmitOptions::bare()).unwrap_err();
+        assert!(matches!(err, CompileError::DisallowedPair { .. }));
+    }
+
+    #[test]
+    fn init_and_final_waits_emitted() {
+        let mut c = Circuit::new(7);
+        c.single("X", 0).unwrap();
+        let program = emit_simple(&c, &EmitOptions::experiment());
+        assert!(matches!(program[0], Instruction::QWait { cycles: 10_000 }));
+        assert!(matches!(program.last(), Some(Instruction::Stop)));
+        let penult = &program[program.len() - 2];
+        assert!(matches!(penult, Instruction::QWait { cycles: 50 }));
+    }
+
+    #[test]
+    fn emitted_text_reassembles() {
+        let inst = Instantiation::paper();
+        let mut c = Circuit::new(7);
+        c.single("Y", 0).unwrap();
+        c.single("Y", 2).unwrap();
+        c.two("CZ", 2, 0).unwrap();
+        c.measure(0).unwrap();
+        let s = schedule_asap(&c, GateDurations::paper()).unwrap();
+        let program = emit(&s, &inst, &EmitOptions::experiment()).unwrap();
+        let text = program_text(&program, &inst);
+        let reassembled = eqasm_asm::assemble(&text, &inst).unwrap();
+        assert_eq!(reassembled.instructions(), program.as_slice());
+    }
+}

@@ -1,0 +1,103 @@
+//! Compiler back-end errors.
+
+use std::error::Error;
+use std::fmt;
+
+use eqasm_core::{CoreError, Qubit};
+
+/// Errors raised while scheduling or generating eQASM code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// A gate references a qubit outside the circuit.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: Qubit,
+        /// The circuit's qubit count.
+        num_qubits: usize,
+    },
+    /// A gate name is not present in the operation configuration used
+    /// for emission.
+    UnknownOperation {
+        /// The unresolved name.
+        name: String,
+    },
+    /// A two-qubit gate uses a pair the target topology does not allow.
+    DisallowedPair {
+        /// The operation name.
+        name: String,
+        /// The offending pair, as (source, target).
+        pair: (Qubit, Qubit),
+    },
+    /// More distinct target masks are live at one timing point than the
+    /// register file can hold.
+    RegisterPressure {
+        /// Number of masks needed simultaneously.
+        needed: usize,
+        /// Register-file size.
+        available: usize,
+    },
+    /// Error bubbled up from the ISA model.
+    Core(CoreError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "gate on {qubit} but the circuit has {num_qubits} qubits")
+            }
+            CompileError::UnknownOperation { name } => {
+                write!(f, "operation `{name}` is not in the operation configuration")
+            }
+            CompileError::DisallowedPair { name, pair } => write!(
+                f,
+                "operation `{name}` on pair ({}, {}) which the topology does not allow",
+                pair.0.index(),
+                pair.1.index()
+            ),
+            CompileError::RegisterPressure { needed, available } => write!(
+                f,
+                "{needed} distinct target masks needed at one point but only {available} registers exist"
+            ),
+            CompileError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for CompileError {
+    fn from(e: CoreError) -> Self {
+        CompileError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let e = CompileError::UnknownOperation { name: "Q".into() };
+        assert!(!e.to_string().is_empty());
+        let e = CompileError::RegisterPressure {
+            needed: 40,
+            available: 32,
+        };
+        assert!(e.to_string().contains("40"));
+    }
+
+    #[test]
+    fn error_trait() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<CompileError>();
+    }
+}

@@ -1,0 +1,310 @@
+//! The gate-level circuit intermediate representation.
+//!
+//! This is the compiler's input: a hardware-independent list of named
+//! gates on qubits, equivalent to the QASM stage of the paper's
+//! compilation model (Fig. 1). Gate *names* are resolved against the
+//! compile-time operation configuration only at emission time (§3.2), so
+//! workload generators can use arbitrary operation names (calibration
+//! pulses, parameterised rotations) as the paper intends.
+
+use eqasm_core::{Qubit, QubitPair};
+
+use crate::error::CompileError;
+
+/// What a gate acts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GateKind {
+    /// A single-qubit operation.
+    Single {
+        /// Target qubit.
+        qubit: Qubit,
+    },
+    /// A two-qubit operation on a directed pair.
+    Two {
+        /// The directed (source, target) pair.
+        pair: QubitPair,
+    },
+    /// A computational-basis measurement.
+    Measure {
+        /// Measured qubit.
+        qubit: Qubit,
+    },
+}
+
+/// One named gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// The operation name (matched case-insensitively at emission).
+    pub name: String,
+    /// Operands.
+    pub kind: GateKind,
+}
+
+impl Gate {
+    /// The qubits this gate occupies.
+    pub fn qubits(&self) -> Vec<Qubit> {
+        match &self.kind {
+            GateKind::Single { qubit } | GateKind::Measure { qubit } => vec![*qubit],
+            GateKind::Two { pair } => vec![pair.source(), pair.target()],
+        }
+    }
+
+    /// Returns `true` for two-qubit gates.
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self.kind, GateKind::Two { .. })
+    }
+
+    /// Returns `true` for measurements.
+    pub fn is_measurement(&self) -> bool {
+        matches!(self.kind, GateKind::Measure { .. })
+    }
+}
+
+/// Gate durations, in quantum cycles, used by the scheduler.
+///
+/// The paper's target chip (§4.2): single-qubit gates 1 cycle, two-qubit
+/// gates 2 cycles, measurement 15 cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateDurations {
+    /// Single-qubit gate duration.
+    pub single: u32,
+    /// Two-qubit gate duration.
+    pub two: u32,
+    /// Measurement duration.
+    pub measure: u32,
+}
+
+impl GateDurations {
+    /// The paper's durations (§4.2).
+    pub const fn paper() -> Self {
+        GateDurations {
+            single: 1,
+            two: 2,
+            measure: 15,
+        }
+    }
+
+    /// The duration of a gate.
+    pub fn of(&self, gate: &Gate) -> u32 {
+        match gate.kind {
+            GateKind::Single { .. } => self.single,
+            GateKind::Two { .. } => self.two,
+            GateKind::Measure { .. } => self.measure,
+        }
+    }
+}
+
+impl Default for GateDurations {
+    fn default() -> Self {
+        GateDurations::paper()
+    }
+}
+
+/// A gate-level circuit.
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_compiler::Circuit;
+///
+/// let mut c = Circuit::new(2);
+/// c.single("X90", 0)?;
+/// c.two("CZ", 0, 1)?;
+/// c.measure_all();
+/// assert_eq!(c.len(), 4);
+/// assert_eq!(c.two_qubit_fraction(), 0.25);
+/// # Ok::<(), eqasm_compiler::CompileError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    num_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` when the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gates in program order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    fn check_qubit(&self, q: u8) -> Result<Qubit, CompileError> {
+        let qubit = Qubit::new(q);
+        if qubit.index() >= self.num_qubits {
+            return Err(CompileError::QubitOutOfRange {
+                qubit,
+                num_qubits: self.num_qubits,
+            });
+        }
+        Ok(qubit)
+    }
+
+    /// Appends a single-qubit gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::QubitOutOfRange`] for bad operands.
+    pub fn single(&mut self, name: impl Into<String>, qubit: u8) -> Result<&mut Self, CompileError> {
+        let qubit = self.check_qubit(qubit)?;
+        self.gates.push(Gate {
+            name: name.into(),
+            kind: GateKind::Single { qubit },
+        });
+        Ok(self)
+    }
+
+    /// Appends a two-qubit gate on the directed pair `(source, target)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::QubitOutOfRange`] for bad operands and
+    /// [`CompileError::DisallowedPair`] when source and target coincide.
+    pub fn two(
+        &mut self,
+        name: impl Into<String>,
+        source: u8,
+        target: u8,
+    ) -> Result<&mut Self, CompileError> {
+        let s = self.check_qubit(source)?;
+        let t = self.check_qubit(target)?;
+        if s == t {
+            return Err(CompileError::DisallowedPair {
+                name: name.into(),
+                pair: (s, t),
+            });
+        }
+        self.gates.push(Gate {
+            name: name.into(),
+            kind: GateKind::Two {
+                pair: QubitPair::new(s, t),
+            },
+        });
+        Ok(self)
+    }
+
+    /// Appends a measurement (operation name `MEASZ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::QubitOutOfRange`] for bad operands.
+    pub fn measure(&mut self, qubit: u8) -> Result<&mut Self, CompileError> {
+        let qubit = self.check_qubit(qubit)?;
+        self.gates.push(Gate {
+            name: "MEASZ".to_owned(),
+            kind: GateKind::Measure { qubit },
+        });
+        Ok(self)
+    }
+
+    /// Measures every qubit.
+    pub fn measure_all(&mut self) -> &mut Self {
+        for q in 0..self.num_qubits as u8 {
+            self.measure(q).expect("qubit in range by construction");
+        }
+        self
+    }
+
+    /// The fraction of gates that are two-qubit gates (the workload
+    /// metric of §4.2: IM < 1 %, SR ≈ 39 %).
+    pub fn two_qubit_fraction(&self) -> f64 {
+        if self.gates.is_empty() {
+            return 0.0;
+        }
+        self.gates.iter().filter(|g| g.is_two_qubit()).count() as f64 / self.gates.len() as f64
+    }
+
+    /// Appends all gates of another circuit.
+    pub fn extend(&mut self, other: &Circuit) {
+        self.gates.extend(other.gates.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_counts() {
+        let mut c = Circuit::new(3);
+        c.single("X", 0).unwrap();
+        c.single("Y", 1).unwrap();
+        c.two("CZ", 0, 1).unwrap();
+        c.measure(2).unwrap();
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert!((c.two_qubit_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut c = Circuit::new(2);
+        assert!(matches!(
+            c.single("X", 2),
+            Err(CompileError::QubitOutOfRange { .. })
+        ));
+        assert!(c.two("CZ", 0, 3).is_err());
+        assert!(c.measure(9).is_err());
+    }
+
+    #[test]
+    fn gate_qubits() {
+        let mut c = Circuit::new(3);
+        c.two("CZ", 2, 0).unwrap();
+        let g = &c.gates()[0];
+        assert_eq!(g.qubits(), vec![Qubit::new(2), Qubit::new(0)]);
+        assert!(g.is_two_qubit());
+        assert!(!g.is_measurement());
+    }
+
+    #[test]
+    fn measure_all_adds_n_measurements() {
+        let mut c = Circuit::new(4);
+        c.measure_all();
+        assert_eq!(c.len(), 4);
+        assert!(c.gates().iter().all(|g| g.is_measurement()));
+    }
+
+    #[test]
+    fn durations_match_paper() {
+        let d = GateDurations::paper();
+        let mut c = Circuit::new(2);
+        c.single("X", 0).unwrap();
+        c.two("CZ", 0, 1).unwrap();
+        c.measure(0).unwrap();
+        assert_eq!(d.of(&c.gates()[0]), 1);
+        assert_eq!(d.of(&c.gates()[1]), 2);
+        assert_eq!(d.of(&c.gates()[2]), 15);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Circuit::new(2);
+        a.single("X", 0).unwrap();
+        let mut b = Circuit::new(2);
+        b.single("Y", 1).unwrap();
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+    }
+}

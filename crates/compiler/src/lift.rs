@@ -1,0 +1,219 @@
+//! Lifting executable eQASM back to timing-free circuit semantics.
+//!
+//! The paper's conclusion observes: "by removing the timing information
+//! in the eQASM description, the quantum semantics of the program can be
+//! kept and further converted into another executable format targeting
+//! another hardware platform." This module implements that
+//! retargeting path: [`lift_program`] walks an executable instruction
+//! stream, tracks the target-register file contents, expands SOMQ masks
+//! and reconstructs the gate-level [`Circuit`] — which can then be
+//! re-scheduled and re-emitted for a different instantiation.
+
+use eqasm_core::{Instantiation, Instruction, OpArity, OpTarget};
+
+use crate::error::CompileError;
+use crate::ir::Circuit;
+
+/// Lifts an executable program back into a hardware-independent
+/// circuit, dropping all timing (waits and pre-intervals) and classical
+/// control instructions.
+///
+/// Control flow is not followed: the instruction stream is interpreted
+/// linearly, as the paper's "removing the timing information" transform
+/// implies for feed-forward-free code.
+///
+/// # Errors
+///
+/// Returns [`CompileError::UnknownOperation`] if a bundle references an
+/// opcode missing from the instantiation, or mask-validation errors
+/// from the ISA model.
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_compiler::{emit, lift_program, schedule_asap, Circuit, EmitOptions, GateDurations};
+/// use eqasm_core::Instantiation;
+///
+/// let inst = Instantiation::paper();
+/// let mut c = Circuit::new(7);
+/// c.single("Y90", 0)?;
+/// c.two("CZ", 2, 0)?;
+/// c.measure(0)?;
+/// let schedule = schedule_asap(&c, GateDurations::paper())?;
+/// let program = emit(&schedule, &inst, &EmitOptions::experiment())?;
+///
+/// // Round trip: the lifted circuit has the same gates.
+/// let lifted = lift_program(&program, &inst)?;
+/// assert_eq!(lifted.len(), c.len());
+/// # Ok::<(), eqasm_compiler::CompileError>(())
+/// ```
+pub fn lift_program(
+    program: &[Instruction],
+    inst: &Instantiation,
+) -> Result<Circuit, CompileError> {
+    let topo = inst.topology();
+    let params = inst.params();
+    let mut sregs = vec![0u32; params.num_sregs];
+    let mut tregs = vec![0u32; params.num_tregs];
+    let mut circuit = Circuit::new(topo.num_qubits());
+
+    for instruction in program {
+        match instruction {
+            Instruction::Smis { sd, mask } => {
+                topo.check_single_mask(*mask)?;
+                sregs[sd.index()] = *mask;
+            }
+            Instruction::Smit { td, mask } => {
+                topo.check_pair_mask(*mask)?;
+                tregs[td.index()] = *mask;
+            }
+            Instruction::Bundle(bundle) => {
+                for op in &bundle.ops {
+                    if op.is_qnop() {
+                        continue;
+                    }
+                    let def = inst.ops().by_opcode(op.opcode).map_err(|_| {
+                        CompileError::UnknownOperation {
+                            name: format!("opcode {:#x}", op.opcode.raw()),
+                        }
+                    })?;
+                    match (def.arity(), op.target) {
+                        (OpArity::SingleQubit, OpTarget::S(s)) => {
+                            let mask = sregs[s.index()];
+                            for q in topo.qubits_in_mask(mask) {
+                                if def.is_measurement() {
+                                    circuit.measure(q.raw())?;
+                                } else {
+                                    circuit.single(def.name(), q.raw())?;
+                                }
+                            }
+                        }
+                        (OpArity::TwoQubit, OpTarget::T(t)) => {
+                            let mask = tregs[t.index()];
+                            for pair in topo.pairs_in_mask(mask) {
+                                circuit.two(def.name(), pair.source().raw(), pair.target().raw())?;
+                            }
+                        }
+                        _ => {
+                            return Err(CompileError::UnknownOperation {
+                                name: format!(
+                                    "{} with a mismatched target operand",
+                                    def.name()
+                                ),
+                            })
+                        }
+                    }
+                }
+            }
+            // Timing and auxiliary classical instructions carry no
+            // quantum semantics.
+            _ => {}
+        }
+    }
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::{emit, EmitOptions};
+    use crate::ir::{GateDurations, GateKind};
+    use crate::schedule::schedule_asap;
+    use eqasm_core::Topology;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new(7);
+        c.single("Y90", 0).unwrap();
+        c.single("Y90", 3).unwrap();
+        c.two("CZ", 0, 3).unwrap();
+        c.single("YM90", 3).unwrap();
+        c.measure(0).unwrap();
+        c.measure(3).unwrap();
+        c
+    }
+
+    #[test]
+    fn lift_inverts_emit() {
+        let inst = Instantiation::paper();
+        let c = sample_circuit();
+        let schedule = schedule_asap(&c, GateDurations::paper()).unwrap();
+        let program = emit(&schedule, &inst, &EmitOptions::experiment()).unwrap();
+        let lifted = lift_program(&program, &inst).unwrap();
+        // Same multiset of gates (order may differ across parallel
+        // groups but this circuit is sequential enough to match).
+        assert_eq!(lifted.len(), c.len());
+        let count = |c: &Circuit, name: &str| {
+            c.gates().iter().filter(|g| g.name == name).count()
+        };
+        for name in ["Y90", "YM90", "CZ", "MEASZ"] {
+            assert_eq!(count(&lifted, name), count(&c, name), "{name}");
+        }
+    }
+
+    #[test]
+    fn lift_expands_somq_masks() {
+        let inst = Instantiation::paper();
+        let program = eqasm_asm::assemble(
+            "SMIS S7, {0, 2, 5}\nQWAIT 10\n0, X S7\nSTOP",
+            &inst,
+        )
+        .unwrap();
+        let lifted = lift_program(program.instructions(), &inst).unwrap();
+        assert_eq!(lifted.len(), 3, "one gate per selected qubit");
+        assert!(lifted.gates().iter().all(|g| g.name == "X"));
+    }
+
+    #[test]
+    fn lift_drops_timing_and_classical() {
+        let inst = Instantiation::paper();
+        let program = eqasm_asm::assemble(
+            "LDI r0, 5\nQWAIT 100\nSMIS S0, {1}\nQWAITR r0\n1, Y S0\nNOP\nSTOP",
+            &inst,
+        )
+        .unwrap();
+        let lifted = lift_program(program.instructions(), &inst).unwrap();
+        assert_eq!(lifted.len(), 1);
+        assert_eq!(lifted.gates()[0].name, "Y");
+    }
+
+    #[test]
+    fn retarget_surface7_program_to_linear_chip() {
+        // The conclusion's scenario: take a program compiled for the
+        // seven-qubit surface chip, strip timing, re-emit for a
+        // different topology (a linear chip where (0,1) is coupled).
+        let inst7 = Instantiation::paper();
+        let mut c = Circuit::new(7);
+        c.single("Y90", 0).unwrap();
+        c.single("Y90", 1).unwrap();
+        c.measure(0).unwrap();
+        let schedule = schedule_asap(&c, GateDurations::paper()).unwrap();
+        let program7 = emit(&schedule, &inst7, &EmitOptions::experiment()).unwrap();
+
+        let lifted = lift_program(&program7, &inst7).unwrap();
+        let linear = inst7.clone().with_topology(Topology::linear(7));
+        let schedule2 = schedule_asap(&lifted, GateDurations::paper()).unwrap();
+        let program_linear = emit(&schedule2, &linear, &EmitOptions::bare()).unwrap();
+        assert!(!program_linear.is_empty());
+        // And it lifts back to the same gates again.
+        let lifted2 = lift_program(&program_linear, &linear).unwrap();
+        assert_eq!(lifted2.len(), lifted.len());
+    }
+
+    #[test]
+    fn lift_preserves_pair_direction() {
+        let inst = Instantiation::paper();
+        let program = eqasm_asm::assemble(
+            "SMIT T0, {(3, 1)}\nQWAIT 10\n1, CNOT T0\nSTOP",
+            &inst,
+        )
+        .unwrap();
+        let lifted = lift_program(program.instructions(), &inst).unwrap();
+        match &lifted.gates()[0].kind {
+            GateKind::Two { pair } => {
+                assert_eq!(pair.source().index(), 3);
+                assert_eq!(pair.target().index(), 1);
+            }
+            other => panic!("expected two-qubit gate, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! The ASAP list scheduler: gate-level circuit → timed circuit.
+//!
+//! The second compilation step of the paper's model (Fig. 1) performs
+//! scheduling against hardware constraints. Here each gate starts as
+//! soon as all its operand qubits are free, respecting the §4.2 gate
+//! durations. The resulting [`Schedule`] is the common input of both the
+//! instruction-count analysis (Fig. 7) and the emitting code generator.
+
+use eqasm_core::Qubit;
+
+use crate::error::CompileError;
+use crate::ir::{Circuit, Gate, GateDurations};
+
+/// A gate with its scheduled start cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedGate {
+    /// Start cycle (quantum cycles from the schedule origin).
+    pub start: u64,
+    /// Duration, in cycles.
+    pub duration: u32,
+    /// The gate.
+    pub gate: Gate,
+}
+
+/// A timed circuit, sorted by start cycle.
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_compiler::{schedule_asap, Circuit, GateDurations};
+///
+/// let mut c = Circuit::new(2);
+/// c.single("X", 0)?; // cycle 0
+/// c.single("Y", 0)?; // cycle 1 (same qubit)
+/// c.single("X", 1)?; // cycle 0 (independent qubit)
+/// let s = schedule_asap(&c, GateDurations::paper())?;
+/// assert_eq!(s.makespan(), 2);
+/// assert_eq!(s.num_points(), 2);
+/// # Ok::<(), eqasm_compiler::CompileError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    num_qubits: usize,
+    ops: Vec<TimedGate>,
+    makespan: u64,
+}
+
+impl Schedule {
+    /// Builds a schedule from explicitly timed gates (used by workload
+    /// generators that control timing directly). Gates are sorted by
+    /// start cycle; program order is preserved within a cycle.
+    pub fn from_timed(num_qubits: usize, mut ops: Vec<TimedGate>) -> Self {
+        ops.sort_by_key(|t| t.start);
+        let makespan = ops
+            .iter()
+            .map(|t| t.start + t.duration as u64)
+            .max()
+            .unwrap_or(0);
+        Schedule {
+            num_qubits,
+            ops,
+            makespan,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The timed gates, sorted by start cycle.
+    pub fn ops(&self) -> &[TimedGate] {
+        &self.ops
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` for an empty schedule.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total schedule length in cycles.
+    pub fn makespan(&self) -> u64 {
+        self.makespan
+    }
+
+    /// Number of distinct timing points (start cycles).
+    pub fn num_points(&self) -> usize {
+        let mut points: Vec<u64> = self.ops.iter().map(|t| t.start).collect();
+        points.dedup();
+        points.len()
+    }
+
+    /// Iterates over `(start_cycle, gates)` groups in time order.
+    pub fn points(&self) -> Vec<(u64, Vec<&TimedGate>)> {
+        let mut out: Vec<(u64, Vec<&TimedGate>)> = Vec::new();
+        for op in &self.ops {
+            match out.last_mut() {
+                Some((start, group)) if *start == op.start => group.push(op),
+                _ => out.push((op.start, vec![op])),
+            }
+        }
+        out
+    }
+
+    /// Average number of gates per timing point.
+    pub fn avg_ops_per_point(&self) -> f64 {
+        let points = self.num_points();
+        if points == 0 {
+            0.0
+        } else {
+            self.ops.len() as f64 / points as f64
+        }
+    }
+}
+
+/// Schedules a circuit as-soon-as-possible.
+///
+/// # Errors
+///
+/// Returns [`CompileError::QubitOutOfRange`] if a gate addresses a qubit
+/// outside the circuit (only possible for hand-built [`Gate`] lists).
+pub fn schedule_asap(circuit: &Circuit, durations: GateDurations) -> Result<Schedule, CompileError> {
+    let n = circuit.num_qubits();
+    let mut avail: Vec<u64> = vec![0; n];
+    let mut ops = Vec::with_capacity(circuit.len());
+    for gate in circuit.gates() {
+        let qubits = gate.qubits();
+        for &q in &qubits {
+            if q.index() >= n {
+                return Err(CompileError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: n,
+                });
+            }
+        }
+        let start = qubits
+            .iter()
+            .map(|q: &Qubit| avail[q.index()])
+            .max()
+            .unwrap_or(0);
+        let duration = durations.of(gate);
+        for &q in &qubits {
+            avail[q.index()] = start + duration as u64;
+        }
+        ops.push(TimedGate {
+            start,
+            duration,
+            gate: gate.clone(),
+        });
+    }
+    Ok(Schedule::from_timed(n, ops))
+}
+
+/// Schedules a circuit as-late-as-possible against the makespan of its
+/// ASAP schedule.
+///
+/// ALAP pushes gates towards the *end* of the program, minimising the
+/// idle time between a qubit's last gate and its measurement — which
+/// matters on NISQ hardware exactly as Fig. 12 demonstrates (errors
+/// accumulate during idling). The ablation bench compares the two
+/// policies under the calibrated noise model.
+///
+/// # Errors
+///
+/// Returns [`CompileError::QubitOutOfRange`] for invalid operands.
+pub fn schedule_alap(circuit: &Circuit, durations: GateDurations) -> Result<Schedule, CompileError> {
+    let asap = schedule_asap(circuit, durations)?;
+    let makespan = asap.makespan();
+    let n = circuit.num_qubits();
+    // Walk backwards: each gate ends as late as its qubits allow.
+    let mut deadline: Vec<u64> = vec![makespan; n];
+    let mut ops: Vec<TimedGate> = Vec::with_capacity(circuit.len());
+    for gate in circuit.gates().iter().rev() {
+        let qubits = gate.qubits();
+        for &q in &qubits {
+            if q.index() >= n {
+                return Err(CompileError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: n,
+                });
+            }
+        }
+        let duration = durations.of(gate);
+        let end = qubits
+            .iter()
+            .map(|q: &Qubit| deadline[q.index()])
+            .min()
+            .unwrap_or(makespan);
+        let start = end.saturating_sub(duration as u64);
+        for &q in &qubits {
+            deadline[q.index()] = start;
+        }
+        ops.push(TimedGate {
+            start,
+            duration,
+            gate: gate.clone(),
+        });
+    }
+    Ok(Schedule::from_timed(n, ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_qubits_run_in_parallel() {
+        let mut c = Circuit::new(3);
+        c.single("X", 0).unwrap();
+        c.single("Y", 1).unwrap();
+        c.single("X90", 2).unwrap();
+        let s = schedule_asap(&c, GateDurations::paper()).unwrap();
+        assert!(s.ops().iter().all(|t| t.start == 0));
+        assert_eq!(s.makespan(), 1);
+        assert_eq!(s.num_points(), 1);
+        assert!((s.avg_ops_per_point() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_qubit_serialises() {
+        let mut c = Circuit::new(1);
+        c.single("X", 0).unwrap();
+        c.single("Y", 0).unwrap();
+        c.single("X", 0).unwrap();
+        let s = schedule_asap(&c, GateDurations::paper()).unwrap();
+        let starts: Vec<u64> = s.ops().iter().map(|t| t.start).collect();
+        assert_eq!(starts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn two_qubit_gate_blocks_both_operands() {
+        let mut c = Circuit::new(2);
+        c.two("CZ", 0, 1).unwrap(); // 0..2
+        c.single("X", 0).unwrap(); // 2
+        c.single("Y", 1).unwrap(); // 2
+        let s = schedule_asap(&c, GateDurations::paper()).unwrap();
+        assert_eq!(s.ops()[0].start, 0);
+        assert_eq!(s.ops()[1].start, 2);
+        assert_eq!(s.ops()[2].start, 2);
+    }
+
+    #[test]
+    fn measurement_duration_respected() {
+        let mut c = Circuit::new(1);
+        c.measure(0).unwrap();
+        c.single("X", 0).unwrap();
+        let s = schedule_asap(&c, GateDurations::paper()).unwrap();
+        assert_eq!(s.ops()[1].start, 15);
+        assert_eq!(s.makespan(), 16);
+    }
+
+    #[test]
+    fn dependency_chain_with_two_qubit_gates() {
+        // CZ(0,1) then CZ(1,2): serialised by the shared qubit.
+        let mut c = Circuit::new(3);
+        c.two("CZ", 0, 1).unwrap();
+        c.two("CZ", 1, 2).unwrap();
+        c.two("CZ", 0, 2).unwrap();
+        let s = schedule_asap(&c, GateDurations::paper()).unwrap();
+        let starts: Vec<u64> = s.ops().iter().map(|t| t.start).collect();
+        assert_eq!(starts, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn points_grouping() {
+        let mut c = Circuit::new(2);
+        c.single("X", 0).unwrap();
+        c.single("Y", 1).unwrap();
+        c.single("X90", 0).unwrap();
+        let s = schedule_asap(&c, GateDurations::paper()).unwrap();
+        let points = s.points();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].1.len(), 2);
+        assert_eq!(points[1].1.len(), 1);
+    }
+
+    #[test]
+    fn from_timed_sorts_and_computes_makespan() {
+        use crate::ir::GateKind;
+        let g = |start: u64| TimedGate {
+            start,
+            duration: 1,
+            gate: Gate {
+                name: "X".into(),
+                kind: GateKind::Single {
+                    qubit: Qubit::new(0),
+                },
+            },
+        };
+        let s = Schedule::from_timed(1, vec![g(5), g(1), g(3)]);
+        let starts: Vec<u64> = s.ops().iter().map(|t| t.start).collect();
+        assert_eq!(starts, vec![1, 3, 5]);
+        assert_eq!(s.makespan(), 6);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let c = Circuit::new(2);
+        let s = schedule_asap(&c, GateDurations::paper()).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.makespan(), 0);
+        assert_eq!(s.avg_ops_per_point(), 0.0);
+    }
+
+    #[test]
+    fn alap_pushes_gates_late() {
+        // One early gate on q0, a long chain on q1: ALAP moves the q0
+        // gate next to the end instead of cycle 0.
+        let mut c = Circuit::new(2);
+        c.single("X", 0).unwrap();
+        for _ in 0..5 {
+            c.single("Y", 1).unwrap();
+        }
+        let asap = schedule_asap(&c, GateDurations::paper()).unwrap();
+        let alap = schedule_alap(&c, GateDurations::paper()).unwrap();
+        assert_eq!(asap.makespan(), alap.makespan());
+        let x_asap = asap.ops().iter().find(|t| t.gate.name == "X").unwrap().start;
+        let x_alap = alap.ops().iter().find(|t| t.gate.name == "X").unwrap().start;
+        assert_eq!(x_asap, 0);
+        assert_eq!(x_alap, 4, "ALAP must defer the isolated gate");
+    }
+
+    #[test]
+    fn alap_preserves_dependencies() {
+        let mut c = Circuit::new(3);
+        c.single("X", 0).unwrap();
+        c.two("CZ", 0, 1).unwrap();
+        c.single("Y", 1).unwrap();
+        c.measure(2).unwrap();
+        let alap = schedule_alap(&c, GateDurations::paper()).unwrap();
+        let start_of = |name: &str| {
+            alap.ops().iter().find(|t| t.gate.name == name).unwrap().start
+        };
+        assert!(start_of("X") < start_of("CZ"));
+        assert!(start_of("CZ") + 2 <= start_of("Y"));
+    }
+
+    #[test]
+    fn alap_equals_asap_for_sequential_chain() {
+        let mut c = Circuit::new(1);
+        for _ in 0..6 {
+            c.single("X", 0).unwrap();
+        }
+        let asap = schedule_asap(&c, GateDurations::paper()).unwrap();
+        let alap = schedule_alap(&c, GateDurations::paper()).unwrap();
+        let a: Vec<u64> = asap.ops().iter().map(|t| t.start).collect();
+        let b: Vec<u64> = alap.ops().iter().map(|t| t.start).collect();
+        assert_eq!(a, b);
+    }
+}

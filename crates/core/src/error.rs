@@ -1,0 +1,180 @@
+//! Error type shared by the ISA-model layer.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::qubit::{PairAddr, Qubit, QubitPair};
+
+/// Errors raised while constructing or validating ISA-model values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A qubit address is out of range for the topology.
+    InvalidQubit {
+        /// The offending qubit.
+        qubit: Qubit,
+        /// Number of qubits the topology provides.
+        num_qubits: usize,
+    },
+    /// A directed pair is not an allowed qubit pair of the topology.
+    InvalidPair {
+        /// The offending pair.
+        pair: QubitPair,
+    },
+    /// A pair address is out of range for the topology.
+    InvalidPairAddr {
+        /// The offending address.
+        addr: PairAddr,
+        /// Number of directed edges the topology provides.
+        num_pairs: usize,
+    },
+    /// A mask has bits set beyond the topology's qubit/pair count.
+    MaskOutOfRange {
+        /// The raw mask value.
+        mask: u32,
+        /// The number of valid bits.
+        width: u32,
+    },
+    /// Two selected edges of a two-qubit target register share a qubit
+    /// (§4.3: the assembler must reject such register values).
+    TargetRegisterConflict {
+        /// First selected pair.
+        first: QubitPair,
+        /// Second selected pair, sharing a qubit with `first`.
+        second: QubitPair,
+    },
+    /// A quantum operation name is not present in the operation
+    /// configuration.
+    UnknownOperation {
+        /// The unresolved name.
+        name: String,
+    },
+    /// A quantum opcode is not present in the operation configuration.
+    UnknownOpcode {
+        /// The unresolved opcode value.
+        opcode: u16,
+    },
+    /// An operation name was configured twice.
+    DuplicateOperation {
+        /// The duplicated name.
+        name: String,
+    },
+    /// The opcode space of the instantiation (9 bits in the paper's
+    /// instantiation) is exhausted.
+    OpcodeSpaceExhausted {
+        /// Number of opcodes the instantiation supports.
+        capacity: usize,
+    },
+    /// A register index is out of range for the instantiation.
+    InvalidRegister {
+        /// Register-file kind, e.g. "GPR", "S", "T".
+        kind: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Size of the register file.
+        count: usize,
+    },
+    /// An immediate value does not fit the instruction field.
+    ImmediateOutOfRange {
+        /// Field description, e.g. "QWAIT imm".
+        field: &'static str,
+        /// The offending value.
+        value: i64,
+        /// Number of bits the field provides.
+        bits: u32,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidQubit { qubit, num_qubits } => write!(
+                f,
+                "qubit {qubit} is out of range for a {num_qubits}-qubit topology"
+            ),
+            CoreError::InvalidPair { pair } => {
+                write!(f, "pair {pair} is not an allowed qubit pair of the topology")
+            }
+            CoreError::InvalidPairAddr { addr, num_pairs } => write!(
+                f,
+                "pair address {addr} is out of range for a topology with {num_pairs} directed edges"
+            ),
+            CoreError::MaskOutOfRange { mask, width } => write!(
+                f,
+                "mask {mask:#x} has bits set beyond the {width}-bit field of this topology"
+            ),
+            CoreError::TargetRegisterConflict { first, second } => write!(
+                f,
+                "invalid two-qubit target register value: pairs {first} and {second} share a qubit"
+            ),
+            CoreError::UnknownOperation { name } => {
+                write!(f, "quantum operation `{name}` is not configured")
+            }
+            CoreError::UnknownOpcode { opcode } => {
+                write!(f, "quantum opcode {opcode:#x} is not configured")
+            }
+            CoreError::DuplicateOperation { name } => {
+                write!(f, "quantum operation `{name}` is configured twice")
+            }
+            CoreError::OpcodeSpaceExhausted { capacity } => write!(
+                f,
+                "opcode space exhausted: the instantiation supports {capacity} quantum opcodes"
+            ),
+            CoreError::InvalidRegister { kind, index, count } => write!(
+                f,
+                "{kind} register index {index} is out of range (register file has {count} entries)"
+            ),
+            CoreError::ImmediateOutOfRange { field, value, bits } => {
+                write!(f, "value {value} does not fit in the {bits}-bit {field} field")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let samples: Vec<CoreError> = vec![
+            CoreError::InvalidQubit {
+                qubit: Qubit::new(9),
+                num_qubits: 7,
+            },
+            CoreError::InvalidPair {
+                pair: QubitPair::from_raw(0, 4),
+            },
+            CoreError::TargetRegisterConflict {
+                first: QubitPair::from_raw(2, 0),
+                second: QubitPair::from_raw(0, 3),
+            },
+            CoreError::UnknownOperation {
+                name: "FOO".to_owned(),
+            },
+            CoreError::ImmediateOutOfRange {
+                field: "QWAIT imm",
+                value: 1 << 30,
+                bits: 20,
+            },
+        ];
+        for e in samples {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            let first = msg.chars().next().unwrap();
+            assert!(
+                first.is_lowercase() || !first.is_alphabetic(),
+                "error message should start lowercase: {msg}"
+            );
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CoreError>();
+    }
+}

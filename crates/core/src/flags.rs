@@ -1,0 +1,417 @@
+//! Comparison flags and execution flags.
+//!
+//! *Comparison flags* (§2.3.4) store the result of `CMP Rs, Rt` and are
+//! consumed by `BR` and `FBR`. *Execution flags* (§2.3.8) are per-qubit
+//! flags derived automatically from the latest measurement results and
+//! consumed by fast conditional execution (§3.5, §4.3).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A comparison flag selectable by `BR` and `FBR`.
+///
+/// `CMP Rs, Rt` sets all flags at once from the signed and unsigned
+/// comparison of the two registers. `ALWAYS` is hard-wired to `1` and
+/// `NEVER` to `0`, so `BR ALWAYS, label` is an unconditional jump
+/// (used in Fig. 5 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_core::{CmpFlag, CmpFlags};
+///
+/// let flags = CmpFlags::compare(3, 5);
+/// assert!(flags.get(CmpFlag::Ne));
+/// assert!(flags.get(CmpFlag::Lt));
+/// assert!(!flags.get(CmpFlag::Eq));
+/// assert!(flags.get(CmpFlag::Always));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CmpFlag {
+    /// Constant `1`.
+    Always,
+    /// Constant `0`.
+    Never,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+    /// Unsigned less-or-equal.
+    Leu,
+    /// Unsigned greater-than.
+    Gtu,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+}
+
+impl CmpFlag {
+    /// All flags in encoding order.
+    pub const ALL: [CmpFlag; 12] = [
+        CmpFlag::Always,
+        CmpFlag::Never,
+        CmpFlag::Eq,
+        CmpFlag::Ne,
+        CmpFlag::Ltu,
+        CmpFlag::Geu,
+        CmpFlag::Leu,
+        CmpFlag::Gtu,
+        CmpFlag::Lt,
+        CmpFlag::Ge,
+        CmpFlag::Le,
+        CmpFlag::Gt,
+    ];
+
+    /// The 4-bit encoding used in the branch instruction word.
+    pub const fn encode(self) -> u8 {
+        match self {
+            CmpFlag::Always => 0,
+            CmpFlag::Never => 1,
+            CmpFlag::Eq => 2,
+            CmpFlag::Ne => 3,
+            CmpFlag::Ltu => 4,
+            CmpFlag::Geu => 5,
+            CmpFlag::Leu => 6,
+            CmpFlag::Gtu => 7,
+            CmpFlag::Lt => 8,
+            CmpFlag::Ge => 9,
+            CmpFlag::Le => 10,
+            CmpFlag::Gt => 11,
+        }
+    }
+
+    /// Decodes a 4-bit flag encoding.
+    pub fn decode(bits: u8) -> Option<CmpFlag> {
+        CmpFlag::ALL.get(bits as usize).copied()
+    }
+
+    /// The assembly mnemonic of the flag.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            CmpFlag::Always => "ALWAYS",
+            CmpFlag::Never => "NEVER",
+            CmpFlag::Eq => "EQ",
+            CmpFlag::Ne => "NE",
+            CmpFlag::Ltu => "LTU",
+            CmpFlag::Geu => "GEU",
+            CmpFlag::Leu => "LEU",
+            CmpFlag::Gtu => "GTU",
+            CmpFlag::Lt => "LT",
+            CmpFlag::Ge => "GE",
+            CmpFlag::Le => "LE",
+            CmpFlag::Gt => "GT",
+        }
+    }
+}
+
+impl fmt::Display for CmpFlag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Error returned when parsing an unknown comparison-flag mnemonic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCmpFlagError {
+    text: String,
+}
+
+impl fmt::Display for ParseCmpFlagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown comparison flag `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseCmpFlagError {}
+
+impl FromStr for CmpFlag {
+    type Err = ParseCmpFlagError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let upper = s.to_ascii_uppercase();
+        CmpFlag::ALL
+            .iter()
+            .copied()
+            .find(|f| f.mnemonic() == upper)
+            .ok_or(ParseCmpFlagError {
+                text: s.to_owned(),
+            })
+    }
+}
+
+/// The architectural comparison-flag state set by `CMP` (§2.3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CmpFlags {
+    bits: u16,
+}
+
+impl CmpFlags {
+    /// Power-on state: all comparison results cleared (`ALWAYS` still
+    /// reads as `1`).
+    pub fn new() -> Self {
+        // Equivalent to comparing 0 with 0.
+        CmpFlags::compare(0, 0)
+    }
+
+    /// Computes all flags from the raw 32-bit register values, comparing
+    /// both unsigned and signed (two's complement) interpretations.
+    pub fn compare(rs: u32, rt: u32) -> Self {
+        let s = rs as i32;
+        let t = rt as i32;
+        let mut bits = 0u16;
+        let mut set = |flag: CmpFlag, value: bool| {
+            if value {
+                bits |= 1 << flag.encode();
+            }
+        };
+        set(CmpFlag::Always, true);
+        set(CmpFlag::Never, false);
+        set(CmpFlag::Eq, rs == rt);
+        set(CmpFlag::Ne, rs != rt);
+        set(CmpFlag::Ltu, rs < rt);
+        set(CmpFlag::Geu, rs >= rt);
+        set(CmpFlag::Leu, rs <= rt);
+        set(CmpFlag::Gtu, rs > rt);
+        set(CmpFlag::Lt, s < t);
+        set(CmpFlag::Ge, s >= t);
+        set(CmpFlag::Le, s <= t);
+        set(CmpFlag::Gt, s > t);
+        CmpFlags { bits }
+    }
+
+    /// Reads one flag.
+    pub fn get(self, flag: CmpFlag) -> bool {
+        self.bits & (1 << flag.encode()) != 0
+    }
+}
+
+/// The execution-flag kinds of the paper's instantiation (§4.3).
+///
+/// "Four types of combinatorial logic are used to define the execution
+/// flags: (1) '1' (the default for unconditional execution); (2) '1' iff
+/// the last finished measurement result is |1⟩; (3) '1' iff the last
+/// finished measurement result is |0⟩; (4) '1' iff the last two finished
+/// measurements get the same result."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecFlag {
+    /// Unconditional execution (flag constant `1`).
+    #[default]
+    Always,
+    /// `1` iff the last finished measurement result is `|1⟩`.
+    LastIsOne,
+    /// `1` iff the last finished measurement result is `|0⟩`.
+    LastIsZero,
+    /// `1` iff the last two finished measurements agree.
+    LastTwoEqual,
+}
+
+impl ExecFlag {
+    /// All execution-flag kinds of this instantiation, in encoding order.
+    pub const ALL: [ExecFlag; 4] = [
+        ExecFlag::Always,
+        ExecFlag::LastIsOne,
+        ExecFlag::LastIsZero,
+        ExecFlag::LastTwoEqual,
+    ];
+
+    /// The 2-bit selection signal attached to each micro-operation.
+    pub const fn encode(self) -> u8 {
+        match self {
+            ExecFlag::Always => 0,
+            ExecFlag::LastIsOne => 1,
+            ExecFlag::LastIsZero => 2,
+            ExecFlag::LastTwoEqual => 3,
+        }
+    }
+
+    /// Decodes a 2-bit selection signal.
+    pub fn decode(bits: u8) -> Option<ExecFlag> {
+        ExecFlag::ALL.get(bits as usize).copied()
+    }
+}
+
+impl fmt::Display for ExecFlag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExecFlag::Always => "always",
+            ExecFlag::LastIsOne => "last=1",
+            ExecFlag::LastIsZero => "last=0",
+            ExecFlag::LastTwoEqual => "last-two-equal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-qubit execution-flag register (§2.3.8).
+///
+/// The register is updated automatically by the microarchitecture each
+/// time a measurement result for the qubit returns from the
+/// analog-digital interface; it remembers the last two finished results.
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_core::{ExecFlag, ExecFlagRegister};
+///
+/// let mut r = ExecFlagRegister::new();
+/// assert!(r.get(ExecFlag::Always));
+/// r.on_result(true);
+/// assert!(r.get(ExecFlag::LastIsOne));
+/// r.on_result(true);
+/// assert!(r.get(ExecFlag::LastTwoEqual));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecFlagRegister {
+    last: Option<bool>,
+    before_last: Option<bool>,
+}
+
+impl ExecFlagRegister {
+    /// Power-on state: no measurements finished yet. Only `Always` reads
+    /// as `1`.
+    pub const fn new() -> Self {
+        ExecFlagRegister {
+            last: None,
+            before_last: None,
+        }
+    }
+
+    /// Updates the flags with a freshly finished measurement result.
+    pub fn on_result(&mut self, result: bool) {
+        self.before_last = self.last;
+        self.last = Some(result);
+    }
+
+    /// Reads the selected execution flag.
+    pub fn get(self, flag: ExecFlag) -> bool {
+        match flag {
+            ExecFlag::Always => true,
+            ExecFlag::LastIsOne => self.last == Some(true),
+            ExecFlag::LastIsZero => self.last == Some(false),
+            ExecFlag::LastTwoEqual => match (self.last, self.before_last) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+
+    /// The last finished measurement result, if any.
+    pub fn last_result(self) -> Option<bool> {
+        self.last
+    }
+
+    /// Resets to the power-on state.
+    pub fn reset(&mut self) {
+        *self = ExecFlagRegister::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_encode_decode_roundtrip() {
+        for flag in CmpFlag::ALL {
+            assert_eq!(CmpFlag::decode(flag.encode()), Some(flag));
+        }
+        assert_eq!(CmpFlag::decode(12), None);
+    }
+
+    #[test]
+    fn flag_parse_roundtrip() {
+        for flag in CmpFlag::ALL {
+            let parsed: CmpFlag = flag.mnemonic().parse().unwrap();
+            assert_eq!(parsed, flag);
+            // Case-insensitive.
+            let parsed: CmpFlag = flag.mnemonic().to_lowercase().parse().unwrap();
+            assert_eq!(parsed, flag);
+        }
+        assert!("XYZZY".parse::<CmpFlag>().is_err());
+    }
+
+    #[test]
+    fn compare_equal() {
+        let f = CmpFlags::compare(7, 7);
+        assert!(f.get(CmpFlag::Eq));
+        assert!(!f.get(CmpFlag::Ne));
+        assert!(f.get(CmpFlag::Geu));
+        assert!(f.get(CmpFlag::Leu));
+        assert!(f.get(CmpFlag::Ge));
+        assert!(f.get(CmpFlag::Le));
+        assert!(!f.get(CmpFlag::Lt));
+        assert!(!f.get(CmpFlag::Gt));
+        assert!(f.get(CmpFlag::Always));
+        assert!(!f.get(CmpFlag::Never));
+    }
+
+    #[test]
+    fn compare_signed_vs_unsigned() {
+        // -1 (0xffff_ffff) vs 1: signed less-than, unsigned greater-than.
+        let f = CmpFlags::compare(0xffff_ffff, 1);
+        assert!(f.get(CmpFlag::Lt));
+        assert!(!f.get(CmpFlag::Ltu));
+        assert!(f.get(CmpFlag::Gtu));
+        assert!(!f.get(CmpFlag::Gt));
+        assert!(f.get(CmpFlag::Ne));
+    }
+
+    #[test]
+    fn default_state_always_set() {
+        let f = CmpFlags::new();
+        assert!(f.get(CmpFlag::Always));
+        assert!(!f.get(CmpFlag::Never));
+        assert!(f.get(CmpFlag::Eq));
+    }
+
+    #[test]
+    fn exec_flag_encode_roundtrip() {
+        for flag in ExecFlag::ALL {
+            assert_eq!(ExecFlag::decode(flag.encode()), Some(flag));
+        }
+        assert_eq!(ExecFlag::decode(4), None);
+    }
+
+    #[test]
+    fn exec_flags_track_last_two_results() {
+        let mut r = ExecFlagRegister::new();
+        // Before any measurement only Always is set.
+        assert!(r.get(ExecFlag::Always));
+        assert!(!r.get(ExecFlag::LastIsOne));
+        assert!(!r.get(ExecFlag::LastIsZero));
+        assert!(!r.get(ExecFlag::LastTwoEqual));
+
+        r.on_result(false);
+        assert!(r.get(ExecFlag::LastIsZero));
+        assert!(!r.get(ExecFlag::LastIsOne));
+        // Only one result so far: last-two-equal still 0.
+        assert!(!r.get(ExecFlag::LastTwoEqual));
+
+        r.on_result(false);
+        assert!(r.get(ExecFlag::LastTwoEqual));
+
+        r.on_result(true);
+        assert!(r.get(ExecFlag::LastIsOne));
+        assert!(!r.get(ExecFlag::LastIsZero));
+        assert!(!r.get(ExecFlag::LastTwoEqual));
+        assert_eq!(r.last_result(), Some(true));
+    }
+
+    #[test]
+    fn exec_flag_reset() {
+        let mut r = ExecFlagRegister::new();
+        r.on_result(true);
+        r.reset();
+        assert_eq!(r.last_result(), None);
+        assert!(!r.get(ExecFlag::LastIsOne));
+    }
+}

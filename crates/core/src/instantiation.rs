@@ -1,0 +1,251 @@
+//! A concrete eQASM instantiation: topology + architecture parameters +
+//! operation configuration (§2.4, §4.2).
+//!
+//! eQASM defines assembly semantics and mapping rules; the binary format
+//! and the concrete field widths are chosen when the QISA is
+//! *instantiated* for a particular chip and control setup. This module
+//! bundles those choices. [`Instantiation::paper()`] reproduces the
+//! paper's instantiation: 32-bit instructions, VLIW width 2, 3-bit PI,
+//! 32 + 32 mask-format target registers, a 20-bit `QWAIT` immediate and a
+//! 9-bit quantum opcode, targeting the seven-qubit chip of Fig. 6.
+
+use crate::error::CoreError;
+use crate::opconfig::OpConfig;
+use crate::topology::Topology;
+
+/// The architectural field widths and register-file sizes chosen at
+/// instantiation time (§4.2 and Fig. 8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchParams {
+    /// Number of quantum operations per bundle instruction word (w).
+    pub vliw_width: usize,
+    /// Width of the pre-interval field, in bits (w_PI).
+    pub pi_bits: u32,
+    /// Width of the quantum opcode field, in bits.
+    pub opcode_bits: u32,
+    /// Number of general purpose registers.
+    pub num_gprs: usize,
+    /// Number of single-qubit target registers.
+    pub num_sregs: usize,
+    /// Number of two-qubit target registers.
+    pub num_tregs: usize,
+    /// Width of the `QWAIT` immediate, in bits ("only the least
+    /// significant 20 bits of the Imm field ... are used", §4.2).
+    pub qwait_bits: u32,
+    /// Width of the `LDI` immediate, in bits (Table 1: `Imm[19..0]`).
+    pub ldi_bits: u32,
+    /// Width of the `LDUI` immediate, in bits (Table 1: `Imm[14..0]`).
+    pub ldui_bits: u32,
+    /// Width of the `BR` offset, in bits (instantiation-defined).
+    pub branch_offset_bits: u32,
+    /// Width of the `LD`/`ST` address offset, in bits
+    /// (instantiation-defined).
+    pub mem_offset_bits: u32,
+    /// Size of the data memory, in 32-bit words (eQASM itself does not
+    /// define a size, §2.3.2; this is a simulator parameter).
+    pub data_memory_words: usize,
+}
+
+impl ArchParams {
+    /// The parameters of the paper's instantiation (§4.2).
+    pub fn paper() -> Self {
+        ArchParams {
+            vliw_width: 2,
+            pi_bits: 3,
+            opcode_bits: 9,
+            num_gprs: 32,
+            num_sregs: 32,
+            num_tregs: 32,
+            qwait_bits: 20,
+            ldi_bits: 20,
+            ldui_bits: 15,
+            branch_offset_bits: 21,
+            mem_offset_bits: 15,
+            data_memory_words: 4096,
+        }
+    }
+
+    /// The largest pre-interval encodable in the PI field.
+    pub fn max_pi(&self) -> u32 {
+        (1u32 << self.pi_bits) - 1
+    }
+
+    /// The largest `QWAIT` immediate.
+    pub fn max_qwait(&self) -> u32 {
+        (1u32 << self.qwait_bits) - 1
+    }
+
+    /// Checks that a pre-interval fits the PI field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ImmediateOutOfRange`] when it does not.
+    pub fn check_pi(&self, pi: u32) -> Result<(), CoreError> {
+        if pi > self.max_pi() {
+            return Err(CoreError::ImmediateOutOfRange {
+                field: "bundle pre-interval",
+                value: pi as i64,
+                bits: self.pi_bits,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks that a waiting time fits the `QWAIT` immediate field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ImmediateOutOfRange`] when it does not.
+    pub fn check_qwait(&self, cycles: u32) -> Result<(), CoreError> {
+        if cycles > self.max_qwait() {
+            return Err(CoreError::ImmediateOutOfRange {
+                field: "QWAIT imm",
+                value: cycles as i64,
+                bits: self.qwait_bits,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for ArchParams {
+    fn default() -> Self {
+        ArchParams::paper()
+    }
+}
+
+/// A complete eQASM instantiation.
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_core::Instantiation;
+///
+/// let inst = Instantiation::paper();
+/// assert_eq!(inst.params().vliw_width, 2);
+/// assert_eq!(inst.topology().num_qubits(), 7);
+/// assert!(inst.ops().contains("MEASZ"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instantiation {
+    topology: Topology,
+    params: ArchParams,
+    ops: OpConfig,
+}
+
+impl Instantiation {
+    /// Builds an instantiation from explicit parts.
+    pub fn new(topology: Topology, params: ArchParams, ops: OpConfig) -> Self {
+        Instantiation {
+            topology,
+            params,
+            ops,
+        }
+    }
+
+    /// The paper's instantiation for the seven-qubit chip (§4.1–4.2) with
+    /// the default gate set of §5.
+    pub fn paper() -> Self {
+        Instantiation::new(
+            Topology::surface7(),
+            ArchParams::paper(),
+            OpConfig::default_config(),
+        )
+    }
+
+    /// The paper's instantiation retargeted at the two-qubit validation
+    /// chip of §5 (same parameters, different topology configuration
+    /// file).
+    pub fn paper_two_qubit() -> Self {
+        Instantiation::new(
+            Topology::two_qubit(),
+            ArchParams::paper(),
+            OpConfig::default_config(),
+        )
+    }
+
+    /// The chip topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The architectural parameters.
+    pub fn params(&self) -> &ArchParams {
+        &self.params
+    }
+
+    /// The quantum operation configuration.
+    pub fn ops(&self) -> &OpConfig {
+        &self.ops
+    }
+
+    /// Replaces the operation configuration (compile-time
+    /// reconfiguration, §3.2), keeping topology and parameters.
+    pub fn with_ops(mut self, ops: OpConfig) -> Self {
+        self.ops = ops;
+        self
+    }
+
+    /// Replaces the topology (e.g. to load the two-qubit configuration
+    /// file of §5), keeping parameters and operations.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_params_match_section_4_2() {
+        let p = ArchParams::paper();
+        assert_eq!(p.vliw_width, 2);
+        assert_eq!(p.pi_bits, 3);
+        assert_eq!(p.opcode_bits, 9);
+        assert_eq!(p.num_sregs, 32);
+        assert_eq!(p.num_tregs, 32);
+        assert_eq!(p.qwait_bits, 20);
+        assert_eq!(p.max_pi(), 7);
+        assert_eq!(p.max_qwait(), (1 << 20) - 1);
+    }
+
+    #[test]
+    fn pi_range_check() {
+        let p = ArchParams::paper();
+        assert!(p.check_pi(0).is_ok());
+        assert!(p.check_pi(7).is_ok());
+        assert!(matches!(
+            p.check_pi(8),
+            Err(CoreError::ImmediateOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn qwait_range_check() {
+        let p = ArchParams::paper();
+        assert!(p.check_qwait(10_000).is_ok());
+        assert!(p.check_qwait((1 << 20) - 1).is_ok());
+        assert!(p.check_qwait(1 << 20).is_err());
+    }
+
+    #[test]
+    fn two_qubit_instantiation_uses_renamed_qubits() {
+        let inst = Instantiation::paper_two_qubit();
+        assert_eq!(inst.topology().name(), "two-qubit");
+        // Qubits are named 0 and 2 per §5.
+        assert!(inst
+            .topology()
+            .is_allowed(crate::QubitPair::from_raw(0, 2)));
+    }
+
+    #[test]
+    fn with_ops_swaps_configuration() {
+        let inst = Instantiation::paper();
+        let empty = OpConfig::builder(9).build();
+        let inst = inst.with_ops(empty);
+        assert!(inst.ops().is_empty());
+        assert_eq!(inst.topology().num_qubits(), 7);
+    }
+}

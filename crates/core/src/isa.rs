@@ -1,0 +1,357 @@
+//! The executable eQASM instruction set (Table 1).
+//!
+//! [`Instruction`] is the *resolved* form of an eQASM instruction: labels
+//! have become branch offsets, operation names have become opcodes and
+//! qubit lists have become masks. This is what the assembler produces,
+//! what the binary encoder serialises and what the microarchitecture
+//! executes. The textual/AST form lives in the `eqasm-asm` crate.
+
+use std::fmt;
+
+use crate::flags::CmpFlag;
+use crate::opconfig::{OpConfig, QOpcode};
+use crate::qubit::Qubit;
+use crate::registers::{Gpr, SReg, TReg};
+
+/// The target-register operand of a quantum bundle operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpTarget {
+    /// A single-qubit target register `Si`.
+    S(SReg),
+    /// A two-qubit target register `Ti`.
+    T(TReg),
+    /// No operand (`QNOP`).
+    None,
+}
+
+impl fmt::Display for OpTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpTarget::S(s) => write!(f, "{s}"),
+            OpTarget::T(t) => write!(f, "{t}"),
+            OpTarget::None => Ok(()),
+        }
+    }
+}
+
+/// One quantum operation slot inside a bundle: an opcode plus its target
+/// register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BundleOp {
+    /// The configured quantum opcode.
+    pub opcode: QOpcode,
+    /// The target register operand.
+    pub target: OpTarget,
+}
+
+impl BundleOp {
+    /// The `QNOP` slot filler (§3.4.2).
+    pub const QNOP: BundleOp = BundleOp {
+        opcode: QOpcode::QNOP,
+        target: OpTarget::None,
+    };
+
+    /// Creates a single-qubit operation slot.
+    pub const fn single(opcode: QOpcode, s: SReg) -> Self {
+        BundleOp {
+            opcode,
+            target: OpTarget::S(s),
+        }
+    }
+
+    /// Creates a two-qubit operation slot.
+    pub const fn two(opcode: QOpcode, t: TReg) -> Self {
+        BundleOp {
+            opcode,
+            target: OpTarget::T(t),
+        }
+    }
+
+    /// Returns `true` for the `QNOP` filler.
+    pub const fn is_qnop(&self) -> bool {
+        self.opcode.is_qnop()
+    }
+}
+
+/// A quantum bundle: `[PI,] op [| op]*` (§3.4.1).
+///
+/// `pre_interval` (PI) is the number of cycles between the previously
+/// generated timing point and the point at which this bundle's operations
+/// trigger; it defaults to 1 and may be 0 to extend the previous point.
+/// In the *executable* form the number of ops is at most the VLIW width
+/// of the instantiation; the assembler splits longer assembly-level
+/// bundles into consecutive instructions with PI = 0.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bundle {
+    /// The pre-interval, in cycles.
+    pub pre_interval: u8,
+    /// The operation slots (`QNOP`s may pad the tail).
+    pub ops: Vec<BundleOp>,
+}
+
+impl Bundle {
+    /// Creates a bundle with the default pre-interval of 1.
+    pub fn new(ops: Vec<BundleOp>) -> Self {
+        Bundle {
+            pre_interval: 1,
+            ops,
+        }
+    }
+
+    /// Creates a bundle with an explicit pre-interval.
+    pub fn with_pre_interval(pre_interval: u8, ops: Vec<BundleOp>) -> Self {
+        Bundle { pre_interval, ops }
+    }
+
+    /// Number of non-`QNOP` operations in the bundle.
+    pub fn effective_ops(&self) -> usize {
+        self.ops.iter().filter(|op| !op.is_qnop()).count()
+    }
+}
+
+/// One executable eQASM instruction (Table 1).
+///
+/// Auxiliary classical instructions come first, then the quantum
+/// instructions (waiting, target-register setting and bundles). `Nop`
+/// and `Stop` are instantiation-specific additions documented in
+/// `DESIGN.md` (the paper's §3.1.3 notes `QWAIT 0` is equivalent to a
+/// NOP; `STOP` terminates a simulated program).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the field names mirror the Table 1 operand names
+pub enum Instruction {
+    /// No operation.
+    Nop,
+    /// Halts the processor (instantiation-specific).
+    Stop,
+    /// `CMP Rs, Rt` — compare two GPRs into the comparison flags.
+    Cmp { rs: Gpr, rt: Gpr },
+    /// `BR <flag>, Offset` — jump to `PC + Offset` (in instructions) if
+    /// the flag is set.
+    Br { flag: CmpFlag, offset: i32 },
+    /// `FBR <flag>, Rd` — fetch a comparison flag into a GPR.
+    Fbr { flag: CmpFlag, rd: Gpr },
+    /// `LDI Rd, Imm` — `Rd = sign_ext(Imm[19..0], 32)`.
+    Ldi { rd: Gpr, imm: i32 },
+    /// `LDUI Rd, Imm, Rs` — `Rd = Imm[14..0] :: Rs[16..0]`.
+    Ldui { rd: Gpr, imm: u16, rs: Gpr },
+    /// `LD Rd, Rt(Imm)` — load from memory address `Rt + Imm`.
+    Ld { rd: Gpr, rt: Gpr, imm: i32 },
+    /// `ST Rs, Rt(Imm)` — store to memory address `Rt + Imm`.
+    St { rs: Gpr, rt: Gpr, imm: i32 },
+    /// `FMR Rd, Qi` — fetch the last measurement result of qubit *i*;
+    /// stalls while `Qi` is invalid (§3.6).
+    Fmr { rd: Gpr, qubit: Qubit },
+    /// `AND Rd, Rs, Rt`.
+    And { rd: Gpr, rs: Gpr, rt: Gpr },
+    /// `OR Rd, Rs, Rt`.
+    Or { rd: Gpr, rs: Gpr, rt: Gpr },
+    /// `XOR Rd, Rs, Rt`.
+    Xor { rd: Gpr, rs: Gpr, rt: Gpr },
+    /// `NOT Rd, Rt`.
+    Not { rd: Gpr, rt: Gpr },
+    /// `ADD Rd, Rs, Rt` (wrapping).
+    Add { rd: Gpr, rs: Gpr, rt: Gpr },
+    /// `SUB Rd, Rs, Rt` (wrapping).
+    Sub { rd: Gpr, rs: Gpr, rt: Gpr },
+    /// `QWAIT Imm` — specify a timing point `Imm` cycles after the last
+    /// one.
+    QWait { cycles: u32 },
+    /// `QWAITR Rs` — like `QWAIT` with the interval read from a GPR.
+    QWaitR { rs: Gpr },
+    /// `SMIS Sd, <mask>` — set a single-qubit target register.
+    Smis { sd: SReg, mask: u32 },
+    /// `SMIT Td, <mask>` — set a two-qubit target register.
+    Smit { td: TReg, mask: u32 },
+    /// A quantum bundle.
+    Bundle(Bundle),
+}
+
+impl Instruction {
+    /// Returns `true` for quantum instructions — those forwarded to the
+    /// quantum pipeline (waiting, target-register setting and bundles);
+    /// auxiliary classical instructions return `false`.
+    pub fn is_quantum(&self) -> bool {
+        matches!(
+            self,
+            Instruction::QWait { .. }
+                | Instruction::QWaitR { .. }
+                | Instruction::Smis { .. }
+                | Instruction::Smit { .. }
+                | Instruction::Bundle(_)
+        )
+    }
+
+    /// Renders the instruction as assembly text, resolving quantum
+    /// opcodes to their configured names.
+    ///
+    /// Bundles are printed with an explicit PI (`1, X s0`), which is
+    /// accepted by the parser and unambiguous. Masks are printed in the
+    /// brace-list form when a config is supplied.
+    pub fn pretty(&self, cfg: &OpConfig) -> String {
+        match self {
+            Instruction::Bundle(b) => {
+                let ops: Vec<String> = b
+                    .ops
+                    .iter()
+                    .map(|op| {
+                        if op.is_qnop() {
+                            "QNOP".to_owned()
+                        } else {
+                            let name = cfg
+                                .by_opcode(op.opcode)
+                                .map(|d| d.name().to_owned())
+                                .unwrap_or_else(|_| op.opcode.to_string());
+                            match op.target {
+                                OpTarget::None => name,
+                                t => format!("{name} {t}"),
+                            }
+                        }
+                    })
+                    .collect();
+                format!("{}, {}", b.pre_interval, ops.join(" | "))
+            }
+            other => other.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    /// Renders assembly text. Quantum opcodes inside bundles are shown in
+    /// raw form (`q0x001`); use [`Instruction::pretty`] to resolve names.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Nop => write!(f, "NOP"),
+            Instruction::Stop => write!(f, "STOP"),
+            Instruction::Cmp { rs, rt } => write!(f, "CMP {rs}, {rt}"),
+            Instruction::Br { flag, offset } => write!(f, "BR {flag}, {offset}"),
+            Instruction::Fbr { flag, rd } => write!(f, "FBR {flag}, {rd}"),
+            Instruction::Ldi { rd, imm } => write!(f, "LDI {rd}, {imm}"),
+            Instruction::Ldui { rd, imm, rs } => write!(f, "LDUI {rd}, {imm}, {rs}"),
+            Instruction::Ld { rd, rt, imm } => write!(f, "LD {rd}, {rt}({imm})"),
+            Instruction::St { rs, rt, imm } => write!(f, "ST {rs}, {rt}({imm})"),
+            Instruction::Fmr { rd, qubit } => write!(f, "FMR {rd}, {}", qubit),
+            Instruction::And { rd, rs, rt } => write!(f, "AND {rd}, {rs}, {rt}"),
+            Instruction::Or { rd, rs, rt } => write!(f, "OR {rd}, {rs}, {rt}"),
+            Instruction::Xor { rd, rs, rt } => write!(f, "XOR {rd}, {rs}, {rt}"),
+            Instruction::Not { rd, rt } => write!(f, "NOT {rd}, {rt}"),
+            Instruction::Add { rd, rs, rt } => write!(f, "ADD {rd}, {rs}, {rt}"),
+            Instruction::Sub { rd, rs, rt } => write!(f, "SUB {rd}, {rs}, {rt}"),
+            Instruction::QWait { cycles } => write!(f, "QWAIT {cycles}"),
+            Instruction::QWaitR { rs } => write!(f, "QWAITR {rs}"),
+            Instruction::Smis { sd, mask } => write!(f, "SMIS {sd}, {mask:#x}"),
+            Instruction::Smit { td, mask } => write!(f, "SMIT {td}, {mask:#x}"),
+            Instruction::Bundle(b) => {
+                let ops: Vec<String> = b
+                    .ops
+                    .iter()
+                    .map(|op| {
+                        if op.is_qnop() {
+                            "QNOP".to_owned()
+                        } else {
+                            match op.target {
+                                OpTarget::None => op.opcode.to_string(),
+                                t => format!("{} {t}", op.opcode),
+                            }
+                        }
+                    })
+                    .collect();
+                write!(f, "{}, {}", b.pre_interval, ops.join(" | "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opconfig::OpConfig;
+
+    #[test]
+    fn quantum_classification() {
+        assert!(Instruction::QWait { cycles: 3 }.is_quantum());
+        assert!(Instruction::QWaitR { rs: Gpr::new(0) }.is_quantum());
+        assert!(Instruction::Smis {
+            sd: SReg::new(0),
+            mask: 1
+        }
+        .is_quantum());
+        assert!(Instruction::Smit {
+            td: TReg::new(0),
+            mask: 1
+        }
+        .is_quantum());
+        assert!(Instruction::Bundle(Bundle::new(vec![])).is_quantum());
+        assert!(!Instruction::Nop.is_quantum());
+        assert!(!Instruction::Cmp {
+            rs: Gpr::new(0),
+            rt: Gpr::new(1)
+        }
+        .is_quantum());
+        assert!(!Instruction::Fmr {
+            rd: Gpr::new(0),
+            qubit: Qubit::new(1)
+        }
+        .is_quantum());
+    }
+
+    #[test]
+    fn bundle_effective_ops_ignores_qnop() {
+        let cfg = OpConfig::default_config();
+        let x = cfg.by_name("X").unwrap().opcode();
+        let b = Bundle::with_pre_interval(
+            0,
+            vec![BundleOp::single(x, SReg::new(1)), BundleOp::QNOP],
+        );
+        assert_eq!(b.effective_ops(), 1);
+        assert_eq!(b.pre_interval, 0);
+    }
+
+    #[test]
+    fn default_pre_interval_is_one() {
+        // §3.1.2: PI "defaults to 1 if not specified".
+        let b = Bundle::new(vec![]);
+        assert_eq!(b.pre_interval, 1);
+    }
+
+    #[test]
+    fn display_classical() {
+        let i = Instruction::Ldi {
+            rd: Gpr::new(0),
+            imm: 1,
+        };
+        assert_eq!(i.to_string(), "LDI r0, 1");
+        let i = Instruction::Br {
+            flag: CmpFlag::Eq,
+            offset: 4,
+        };
+        assert_eq!(i.to_string(), "BR EQ, 4");
+        let i = Instruction::Ld {
+            rd: Gpr::new(2),
+            rt: Gpr::new(3),
+            imm: -4,
+        };
+        assert_eq!(i.to_string(), "LD r2, r3(-4)");
+    }
+
+    #[test]
+    fn pretty_resolves_names() {
+        let cfg = OpConfig::default_config();
+        let x = cfg.by_name("X").unwrap().opcode();
+        let cz = cfg.by_name("CZ").unwrap().opcode();
+        let b = Instruction::Bundle(Bundle::with_pre_interval(
+            2,
+            vec![
+                BundleOp::single(x, SReg::new(5)),
+                BundleOp::two(cz, TReg::new(3)),
+            ],
+        ));
+        assert_eq!(b.pretty(&cfg), "2, X s5 | CZ t3");
+    }
+
+    #[test]
+    fn qnop_pretty() {
+        let cfg = OpConfig::default_config();
+        let b = Instruction::Bundle(Bundle::with_pre_interval(0, vec![BundleOp::QNOP]));
+        assert_eq!(b.pretty(&cfg), "0, QNOP");
+    }
+}

@@ -1,0 +1,58 @@
+//! # eqasm-core — the eQASM ISA model
+//!
+//! This crate models the architecture-level concepts of **eQASM**, the
+//! executable quantum instruction set architecture of Fu et al.
+//! (HPCA 2019): physical qubits and chip topologies, the architectural
+//! state of Fig. 2 (general purpose registers, comparison flags,
+//! single-/two-qubit operation target registers, qubit measurement result
+//! registers, execution flags), the instruction set of Table 1, the
+//! microcode model of §4.3 and the compile-time quantum operation
+//! configuration of §3.2.
+//!
+//! It is the shared foundation of the whole workspace: the assembler
+//! (`eqasm-asm`), the QuMA v2 microarchitecture simulator
+//! (`eqasm-microarch`) and the compiler back end (`eqasm-compiler`) all
+//! speak the types defined here.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use eqasm_core::{Instantiation, Instruction, Bundle, BundleOp, SReg};
+//!
+//! // The paper's instantiation: seven-qubit chip, VLIW width 2,
+//! // 3-bit pre-interval, 9-bit quantum opcodes.
+//! let inst = Instantiation::paper();
+//!
+//! // Build the executable form of `1, X s0 | Y s1` by hand.
+//! let x = inst.ops().by_name("X")?.opcode();
+//! let y = inst.ops().by_name("Y")?.opcode();
+//! let bundle = Instruction::Bundle(Bundle::with_pre_interval(
+//!     1,
+//!     vec![BundleOp::single(x, SReg::new(0)), BundleOp::single(y, SReg::new(1))],
+//! ));
+//! assert!(bundle.is_quantum());
+//! # Ok::<(), eqasm_core::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+mod flags;
+mod instantiation;
+mod isa;
+mod microcode;
+mod opconfig;
+mod qubit;
+mod registers;
+mod topology;
+
+pub use error::CoreError;
+pub use flags::{CmpFlag, CmpFlags, ExecFlag, ExecFlagRegister, ParseCmpFlagError};
+pub use instantiation::{ArchParams, Instantiation};
+pub use isa::{Bundle, BundleOp, Instruction, OpTarget};
+pub use microcode::{Codeword, DeviceKind, MicroInstruction, MicroOp};
+pub use opconfig::{OpArity, OpConfig, OpConfigBuilder, OpDef, PulseKind, QOpcode, TwoQubitGate};
+pub use qubit::{PairAddr, Qubit, QubitPair};
+pub use registers::{Gpr, GprFile, MaskFile, MeasurementRegister, SReg, TReg};
+pub use topology::{OpSelect, PairRole, Topology};

@@ -1,0 +1,232 @@
+//! The microcode model: micro-operations and the Q control store.
+//!
+//! eQASM decodes quantum opcodes through a microcode unit (§3.2, §4.3):
+//! each opcode is translated into one micro-operation for a single-qubit
+//! operation, or a pair (`µ op_src`, `µ op_tgt`) for a two-qubit
+//! operation. Micro-operations carry a *codeword* that selects a
+//! pre-uploaded pulse in the codeword-triggered pulse generation unit, a
+//! device kind, a duration and the execution-flag selection used by fast
+//! conditional execution.
+
+use std::fmt;
+
+use crate::flags::ExecFlag;
+
+/// A codeword identifying one pre-uploaded pulse in the analog-digital
+/// interface (§4.4: "All operations on UHFQCs and HDAWGs are codeword
+/// triggered").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Codeword(u32);
+
+impl Codeword {
+    /// Creates a codeword.
+    pub const fn new(value: u32) -> Self {
+        Codeword(value)
+    }
+
+    /// Returns the raw codeword value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Codeword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cw{}", self.0)
+    }
+}
+
+impl From<u32> for Codeword {
+    fn from(v: u32) -> Self {
+        Codeword(v)
+    }
+}
+
+/// The class of control electronics a micro-operation drives (Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Microwave pulse generation (HDAWG + VSM): single-qubit x/y
+    /// rotations.
+    Microwave,
+    /// Flux pulse generation (HDAWG flux lines): two-qubit CZ gates and
+    /// single-qubit z rotations.
+    Flux,
+    /// Measurement pulse generation and discrimination (UHFQC per
+    /// feedline).
+    Measurement,
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DeviceKind::Microwave => "microwave",
+            DeviceKind::Flux => "flux",
+            DeviceKind::Measurement => "measurement",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One micro-operation: the unit of work sent to a device at one timing
+/// point.
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_core::{Codeword, DeviceKind, ExecFlag, MicroOp};
+///
+/// let mw = MicroOp::new(Codeword::new(3), DeviceKind::Microwave, 1);
+/// assert_eq!(mw.condition(), ExecFlag::Always);
+/// let conditional = mw.with_condition(ExecFlag::LastIsOne);
+/// assert_eq!(conditional.condition(), ExecFlag::LastIsOne);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MicroOp {
+    codeword: Codeword,
+    device: DeviceKind,
+    duration_cycles: u32,
+    condition: ExecFlag,
+}
+
+impl MicroOp {
+    /// Creates an unconditional micro-operation.
+    pub const fn new(codeword: Codeword, device: DeviceKind, duration_cycles: u32) -> Self {
+        MicroOp {
+            codeword,
+            device,
+            duration_cycles,
+            condition: ExecFlag::Always,
+        }
+    }
+
+    /// Returns a copy gated on the given execution flag (fast conditional
+    /// execution, §3.5).
+    pub const fn with_condition(mut self, condition: ExecFlag) -> Self {
+        self.condition = condition;
+        self
+    }
+
+    /// The pulse codeword.
+    pub const fn codeword(self) -> Codeword {
+        self.codeword
+    }
+
+    /// The device class this micro-operation drives.
+    pub const fn device(self) -> DeviceKind {
+        self.device
+    }
+
+    /// Duration of the triggered pulse, in quantum cycles.
+    pub const fn duration_cycles(self) -> u32 {
+        self.duration_cycles
+    }
+
+    /// The execution-flag selection signal for fast conditional
+    /// execution.
+    pub const fn condition(self) -> ExecFlag {
+        self.condition
+    }
+}
+
+impl fmt::Display for MicroOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{} ({} cy, {})",
+            self.codeword, self.device, self.duration_cycles, self.condition
+        )
+    }
+}
+
+/// The microinstruction a quantum opcode decodes into: one
+/// micro-operation for single-qubit operations, a source/target pair for
+/// two-qubit operations (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicroInstruction {
+    /// Single-qubit operation: `µ op` applied to every selected qubit.
+    Single(MicroOp),
+    /// Two-qubit operation: `µ op_src` applied to the source qubit and
+    /// `µ op_tgt` to the target qubit of every selected pair.
+    Pair {
+        /// Micro-operation applied to the source qubit.
+        src: MicroOp,
+        /// Micro-operation applied to the target qubit.
+        tgt: MicroOp,
+    },
+}
+
+impl MicroInstruction {
+    /// Returns `true` for a two-qubit (pair) microinstruction.
+    pub const fn is_pair(&self) -> bool {
+        matches!(self, MicroInstruction::Pair { .. })
+    }
+
+    /// The longest micro-operation duration, i.e. how long the operation
+    /// occupies its qubits.
+    pub fn duration_cycles(&self) -> u32 {
+        match self {
+            MicroInstruction::Single(op) => op.duration_cycles(),
+            MicroInstruction::Pair { src, tgt } => {
+                src.duration_cycles().max(tgt.duration_cycles())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codeword_roundtrip() {
+        let cw = Codeword::new(42);
+        assert_eq!(cw.raw(), 42);
+        assert_eq!(Codeword::from(42u32), cw);
+        assert_eq!(cw.to_string(), "cw42");
+    }
+
+    #[test]
+    fn micro_op_accessors() {
+        let op = MicroOp::new(Codeword::new(7), DeviceKind::Flux, 2);
+        assert_eq!(op.codeword(), Codeword::new(7));
+        assert_eq!(op.device(), DeviceKind::Flux);
+        assert_eq!(op.duration_cycles(), 2);
+        assert_eq!(op.condition(), ExecFlag::Always);
+    }
+
+    #[test]
+    fn conditional_micro_op() {
+        let op = MicroOp::new(Codeword::new(1), DeviceKind::Microwave, 1)
+            .with_condition(ExecFlag::LastIsOne);
+        assert_eq!(op.condition(), ExecFlag::LastIsOne);
+    }
+
+    #[test]
+    fn pair_duration_is_max() {
+        let src = MicroOp::new(Codeword::new(1), DeviceKind::Flux, 2);
+        let tgt = MicroOp::new(Codeword::new(2), DeviceKind::Flux, 3);
+        let mi = MicroInstruction::Pair { src, tgt };
+        assert!(mi.is_pair());
+        assert_eq!(mi.duration_cycles(), 3);
+    }
+
+    #[test]
+    fn single_duration() {
+        let mi = MicroInstruction::Single(MicroOp::new(
+            Codeword::new(1),
+            DeviceKind::Microwave,
+            1,
+        ));
+        assert!(!mi.is_pair());
+        assert_eq!(mi.duration_cycles(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        let op = MicroOp::new(Codeword::new(3), DeviceKind::Measurement, 15);
+        let text = op.to_string();
+        assert!(text.contains("cw3"));
+        assert!(text.contains("measurement"));
+        assert!(text.contains("15 cy"));
+    }
+}

@@ -1,0 +1,560 @@
+//! Compile-time quantum operation configuration (§3.2).
+//!
+//! eQASM does not fix a set of quantum operations at QISA design time.
+//! Instead, the programmer configures the available operations at compile
+//! time: the assembler learns the *name → opcode* mapping, the microcode
+//! unit learns the *opcode → microinstruction* mapping, and the pulse
+//! generator learns the *codeword → pulse* mapping. This module holds all
+//! three tables in one consistent [`OpConfig`] value, built with
+//! [`OpConfigBuilder`], so the assembler, microcode unit and pulse library
+//! can never disagree.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::CoreError;
+use crate::flags::ExecFlag;
+use crate::microcode::{Codeword, DeviceKind, MicroInstruction, MicroOp};
+
+/// A quantum opcode value. Opcode 0 is always `QNOP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QOpcode(u16);
+
+impl QOpcode {
+    /// The quantum no-operation filling unused VLIW slots (§3.4.2).
+    pub const QNOP: QOpcode = QOpcode(0);
+
+    /// Creates an opcode.
+    pub const fn new(value: u16) -> Self {
+        QOpcode(value)
+    }
+
+    /// Returns the raw opcode value.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Returns `true` for the `QNOP` opcode.
+    pub const fn is_qnop(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for QOpcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{:#05x}", self.0)
+    }
+}
+
+/// Whether an operation targets an `Si` or `Ti` register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpArity {
+    /// Operates on the qubits selected by a single-qubit target register.
+    SingleQubit,
+    /// Operates on the allowed pairs selected by a two-qubit target
+    /// register.
+    TwoQubit,
+}
+
+/// The physical effect of a pulse codeword, consumed by the
+/// analog-digital interface of the microarchitecture simulator.
+///
+/// Rotation angles are in radians. A two-qubit gate is realised by a
+/// *pair* of flux pulses (`TwoQubitSrc`/`TwoQubitTgt` with the same
+/// [`TwoQubitGate`]) triggered at the same timing point on the two qubits
+/// of an allowed pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PulseKind {
+    /// No physical effect (identity / marker pulse).
+    None,
+    /// Rotation about the x axis by the given angle.
+    Rx(f64),
+    /// Rotation about the y axis by the given angle.
+    Ry(f64),
+    /// Rotation about the z axis by the given angle.
+    Rz(f64),
+    /// Hadamard (composite microwave pulse; supported as a configured
+    /// operation, decomposed on hardware).
+    Hadamard,
+    /// The source-qubit half of a two-qubit gate.
+    TwoQubitSrc(TwoQubitGate),
+    /// The target-qubit half of a two-qubit gate.
+    TwoQubitTgt(TwoQubitGate),
+    /// A measurement pulse in the computational (z) basis.
+    Measure,
+}
+
+/// Two-qubit gates realisable by paired flux pulses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TwoQubitGate {
+    /// Controlled-phase gate (the native gate of the target chip, §4.1).
+    Cz,
+    /// Controlled-NOT (source = control, target = NOT target); supported
+    /// as a configured operation per the paper's `SMIT`/`CNOT` example.
+    Cnot,
+    /// Controlled phase rotation by an arbitrary angle.
+    CPhase(f64),
+    /// Swap gate.
+    Swap,
+}
+
+/// The full definition of one configured quantum operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpDef {
+    name: String,
+    opcode: QOpcode,
+    arity: OpArity,
+    duration_cycles: u32,
+    micro: MicroInstruction,
+}
+
+impl OpDef {
+    /// The operation's assembly name (stored upper-case; lookup is
+    /// case-insensitive).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The opcode the assembler emits for this operation.
+    pub fn opcode(&self) -> QOpcode {
+        self.opcode
+    }
+
+    /// Whether the operation reads an `Si` or `Ti` register.
+    pub fn arity(&self) -> OpArity {
+        self.arity
+    }
+
+    /// How long the operation occupies its qubit(s), in quantum cycles.
+    pub fn duration_cycles(&self) -> u32 {
+        self.duration_cycles
+    }
+
+    /// The microinstruction the microcode unit produces for this opcode.
+    pub fn micro(&self) -> &MicroInstruction {
+        &self.micro
+    }
+
+    /// Returns `true` if this operation is a measurement (drives the
+    /// measurement device). Measurements additionally increment the CFC
+    /// pending counter of each measured qubit at issue time (§4.3).
+    pub fn is_measurement(&self) -> bool {
+        match &self.micro {
+            MicroInstruction::Single(op) => op.device() == DeviceKind::Measurement,
+            MicroInstruction::Pair { .. } => false,
+        }
+    }
+}
+
+/// The consistent compile-time configuration of quantum operations:
+/// assembler names, microcode and the pulse library (§3.2).
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_core::{OpConfig, PulseKind};
+/// use std::f64::consts::PI;
+///
+/// let mut builder = OpConfig::builder(9);
+/// builder.single("X", 1, PulseKind::Rx(PI)).unwrap();
+/// builder.measurement("MEASZ", 15).unwrap();
+/// let cfg = builder.build();
+/// let x = cfg.by_name("x").unwrap(); // case-insensitive
+/// assert_eq!(cfg.by_opcode(x.opcode()).unwrap().name(), "X");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpConfig {
+    defs: Vec<OpDef>,
+    by_name: BTreeMap<String, usize>,
+    by_opcode: BTreeMap<u16, usize>,
+    pulses: BTreeMap<u32, PulseKind>,
+    opcode_bits: u32,
+}
+
+impl OpConfig {
+    /// Starts building a configuration for an instantiation with the
+    /// given opcode width (9 bits in the paper's instantiation).
+    pub fn builder(opcode_bits: u32) -> OpConfigBuilder {
+        OpConfigBuilder {
+            cfg: OpConfig {
+                defs: Vec::new(),
+                by_name: BTreeMap::new(),
+                by_opcode: BTreeMap::new(),
+                pulses: BTreeMap::new(),
+                opcode_bits,
+            },
+            next_opcode: 1,
+            next_codeword: 1,
+        }
+    }
+
+    /// The default configuration of the paper's experiments (§5):
+    /// single-qubit gates {I, X, Y, X90, Y90, Xm90, Ym90}, a two-qubit CZ
+    /// gate and MEASZ — plus H, Z, Z90, Zm90, CNOT and the conditional
+    /// C_X / C_Y / C0_X used by active reset.
+    ///
+    /// Durations follow §4.2: single-qubit gates 1 cycle, two-qubit gates
+    /// 2 cycles, measurement 15 cycles (a cycle is 20 ns).
+    pub fn default_config() -> Self {
+        use std::f64::consts::{FRAC_PI_2, PI};
+        let mut b = OpConfig::builder(9);
+        let r = &mut b;
+        // The unwraps below cannot fail: names are distinct and the
+        // opcode space (511 entries) is ample.
+        r.single("I", 1, PulseKind::None).unwrap();
+        r.single("X", 1, PulseKind::Rx(PI)).unwrap();
+        r.single("Y", 1, PulseKind::Ry(PI)).unwrap();
+        r.single("X90", 1, PulseKind::Rx(FRAC_PI_2)).unwrap();
+        r.single("Y90", 1, PulseKind::Ry(FRAC_PI_2)).unwrap();
+        r.single("XM90", 1, PulseKind::Rx(-FRAC_PI_2)).unwrap();
+        r.single("YM90", 1, PulseKind::Ry(-FRAC_PI_2)).unwrap();
+        r.single("H", 1, PulseKind::Hadamard).unwrap();
+        r.single("Z", 1, PulseKind::Rz(PI)).unwrap();
+        r.single("Z90", 1, PulseKind::Rz(FRAC_PI_2)).unwrap();
+        r.single("ZM90", 1, PulseKind::Rz(-FRAC_PI_2)).unwrap();
+        r.two("CZ", 2, TwoQubitGate::Cz).unwrap();
+        r.two("CNOT", 2, TwoQubitGate::Cnot).unwrap();
+        r.two("SWAP", 2, TwoQubitGate::Swap).unwrap();
+        r.measurement("MEASZ", 15).unwrap();
+        // Fast-conditional variants (§3.5): C_X executes iff the last
+        // measurement result of the qubit is |1⟩.
+        r.single_conditional("C_X", 1, PulseKind::Rx(PI), ExecFlag::LastIsOne)
+            .unwrap();
+        r.single_conditional("C_Y", 1, PulseKind::Ry(PI), ExecFlag::LastIsOne)
+            .unwrap();
+        r.single_conditional("C0_X", 1, PulseKind::Rx(PI), ExecFlag::LastIsZero)
+            .unwrap();
+        // The fourth flag kind of the instantiation (§4.3): execute iff
+        // the last two finished measurements of the qubit agree.
+        r.single_conditional("CE_X", 1, PulseKind::Rx(PI), ExecFlag::LastTwoEqual)
+            .unwrap();
+        b.build()
+    }
+
+    /// Looks up an operation by (case-insensitive) assembly name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownOperation`] for unconfigured names.
+    pub fn by_name(&self, name: &str) -> Result<&OpDef, CoreError> {
+        self.by_name
+            .get(&name.to_ascii_uppercase())
+            .map(|&i| &self.defs[i])
+            .ok_or_else(|| CoreError::UnknownOperation {
+                name: name.to_owned(),
+            })
+    }
+
+    /// Looks up an operation by opcode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownOpcode`] for unconfigured opcodes.
+    pub fn by_opcode(&self, opcode: QOpcode) -> Result<&OpDef, CoreError> {
+        self.by_opcode
+            .get(&opcode.raw())
+            .map(|&i| &self.defs[i])
+            .ok_or(CoreError::UnknownOpcode {
+                opcode: opcode.raw(),
+            })
+    }
+
+    /// Returns `true` if a name is configured.
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(&name.to_ascii_uppercase())
+    }
+
+    /// Iterates over all configured operations in opcode order.
+    pub fn iter(&self) -> impl Iterator<Item = &OpDef> + '_ {
+        self.by_opcode.values().map(move |&i| &self.defs[i])
+    }
+
+    /// Number of configured operations (excluding `QNOP`).
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Returns `true` if no operations are configured.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// The pulse effect registered for a codeword, if any (the pulse
+    /// library of the codeword-triggered pulse generation unit).
+    pub fn pulse(&self, codeword: Codeword) -> Option<&PulseKind> {
+        self.pulses.get(&codeword.raw())
+    }
+
+    /// The opcode width of this instantiation.
+    pub fn opcode_bits(&self) -> u32 {
+        self.opcode_bits
+    }
+}
+
+/// Incrementally builds an [`OpConfig`], auto-assigning opcodes and
+/// codewords so that the three tables stay consistent.
+#[derive(Debug, Clone)]
+pub struct OpConfigBuilder {
+    cfg: OpConfig,
+    next_opcode: u16,
+    next_codeword: u32,
+}
+
+impl OpConfigBuilder {
+    fn alloc_opcode(&mut self) -> Result<QOpcode, CoreError> {
+        let capacity = 1usize << self.cfg.opcode_bits;
+        if (self.next_opcode as usize) >= capacity {
+            return Err(CoreError::OpcodeSpaceExhausted { capacity });
+        }
+        let op = QOpcode::new(self.next_opcode);
+        self.next_opcode += 1;
+        Ok(op)
+    }
+
+    fn alloc_codeword(&mut self, pulse: PulseKind) -> Codeword {
+        let cw = Codeword::new(self.next_codeword);
+        self.next_codeword += 1;
+        self.cfg.pulses.insert(cw.raw(), pulse);
+        cw
+    }
+
+    fn insert(&mut self, def: OpDef) -> Result<(), CoreError> {
+        let key = def.name.clone();
+        if self.cfg.by_name.contains_key(&key) {
+            return Err(CoreError::DuplicateOperation { name: key });
+        }
+        let index = self.cfg.defs.len();
+        self.cfg.by_opcode.insert(def.opcode.raw(), index);
+        self.cfg.by_name.insert(key, index);
+        self.cfg.defs.push(def);
+        Ok(())
+    }
+
+    /// Configures an unconditional single-qubit operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DuplicateOperation`] if the name is taken and
+    /// [`CoreError::OpcodeSpaceExhausted`] if the opcode space is full.
+    pub fn single(
+        &mut self,
+        name: &str,
+        duration_cycles: u32,
+        pulse: PulseKind,
+    ) -> Result<QOpcode, CoreError> {
+        self.single_conditional(name, duration_cycles, pulse, ExecFlag::Always)
+    }
+
+    /// Configures a single-qubit operation gated on an execution flag
+    /// (fast conditional execution, §3.5).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OpConfigBuilder::single`].
+    pub fn single_conditional(
+        &mut self,
+        name: &str,
+        duration_cycles: u32,
+        pulse: PulseKind,
+        condition: ExecFlag,
+    ) -> Result<QOpcode, CoreError> {
+        let opcode = self.alloc_opcode()?;
+        let device = match pulse {
+            PulseKind::Rz(_) => DeviceKind::Flux,
+            PulseKind::Measure => DeviceKind::Measurement,
+            _ => DeviceKind::Microwave,
+        };
+        let cw = self.alloc_codeword(pulse);
+        let micro = MicroInstruction::Single(
+            MicroOp::new(cw, device, duration_cycles).with_condition(condition),
+        );
+        self.insert(OpDef {
+            name: name.to_ascii_uppercase(),
+            opcode,
+            arity: OpArity::SingleQubit,
+            duration_cycles,
+            micro,
+        })?;
+        Ok(opcode)
+    }
+
+    /// Configures a two-qubit operation realised by paired flux pulses.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OpConfigBuilder::single`].
+    pub fn two(
+        &mut self,
+        name: &str,
+        duration_cycles: u32,
+        gate: TwoQubitGate,
+    ) -> Result<QOpcode, CoreError> {
+        let opcode = self.alloc_opcode()?;
+        let src_cw = self.alloc_codeword(PulseKind::TwoQubitSrc(gate));
+        let tgt_cw = self.alloc_codeword(PulseKind::TwoQubitTgt(gate));
+        let micro = MicroInstruction::Pair {
+            src: MicroOp::new(src_cw, DeviceKind::Flux, duration_cycles),
+            tgt: MicroOp::new(tgt_cw, DeviceKind::Flux, duration_cycles),
+        };
+        self.insert(OpDef {
+            name: name.to_ascii_uppercase(),
+            opcode,
+            arity: OpArity::TwoQubit,
+            duration_cycles,
+            micro,
+        })?;
+        Ok(opcode)
+    }
+
+    /// Configures a computational-basis measurement operation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OpConfigBuilder::single`].
+    pub fn measurement(&mut self, name: &str, duration_cycles: u32) -> Result<QOpcode, CoreError> {
+        let opcode = self.alloc_opcode()?;
+        let cw = self.alloc_codeword(PulseKind::Measure);
+        let micro = MicroInstruction::Single(MicroOp::new(
+            cw,
+            DeviceKind::Measurement,
+            duration_cycles,
+        ));
+        self.insert(OpDef {
+            name: name.to_ascii_uppercase(),
+            opcode,
+            arity: OpArity::SingleQubit,
+            duration_cycles,
+            micro,
+        })?;
+        Ok(opcode)
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> OpConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qnop_is_zero() {
+        assert!(QOpcode::QNOP.is_qnop());
+        assert!(!QOpcode::new(1).is_qnop());
+        assert_eq!(QOpcode::QNOP.raw(), 0);
+    }
+
+    #[test]
+    fn default_config_contains_paper_gate_set() {
+        // §5: "eQASM is then configured to include single-qubit gates
+        // {I, X, Y, X90, Y90, Xm90, Ym90} and a two-qubit CZ gate".
+        let cfg = OpConfig::default_config();
+        for name in ["I", "X", "Y", "X90", "Y90", "XM90", "YM90", "CZ", "MEASZ"] {
+            assert!(cfg.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let cfg = OpConfig::default_config();
+        assert_eq!(cfg.by_name("measz").unwrap().name(), "MEASZ");
+        assert_eq!(cfg.by_name("Cz").unwrap().name(), "CZ");
+    }
+
+    #[test]
+    fn opcode_roundtrip() {
+        let cfg = OpConfig::default_config();
+        for def in cfg.iter() {
+            let back = cfg.by_opcode(def.opcode()).unwrap();
+            assert_eq!(back.name(), def.name());
+        }
+    }
+
+    #[test]
+    fn unknown_lookups_fail() {
+        let cfg = OpConfig::default_config();
+        assert!(matches!(
+            cfg.by_name("NOT_A_GATE"),
+            Err(CoreError::UnknownOperation { .. })
+        ));
+        assert!(matches!(
+            cfg.by_opcode(QOpcode::new(500)),
+            Err(CoreError::UnknownOpcode { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut b = OpConfig::builder(9);
+        b.single("X", 1, PulseKind::Rx(std::f64::consts::PI)).unwrap();
+        let err = b.single("x", 1, PulseKind::Rx(1.0)).unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateOperation { .. }));
+    }
+
+    #[test]
+    fn opcode_space_exhaustion() {
+        let mut b = OpConfig::builder(2); // only opcodes 1..=3 available
+        b.single("A", 1, PulseKind::None).unwrap();
+        b.single("B", 1, PulseKind::None).unwrap();
+        b.single("C", 1, PulseKind::None).unwrap();
+        let err = b.single("D", 1, PulseKind::None).unwrap_err();
+        assert!(matches!(err, CoreError::OpcodeSpaceExhausted { capacity: 4 }));
+    }
+
+    #[test]
+    fn measurement_flagged() {
+        let cfg = OpConfig::default_config();
+        assert!(cfg.by_name("MEASZ").unwrap().is_measurement());
+        assert!(!cfg.by_name("X").unwrap().is_measurement());
+        assert!(!cfg.by_name("CZ").unwrap().is_measurement());
+    }
+
+    #[test]
+    fn two_qubit_ops_have_pair_micro() {
+        let cfg = OpConfig::default_config();
+        let cz = cfg.by_name("CZ").unwrap();
+        assert_eq!(cz.arity(), OpArity::TwoQubit);
+        assert!(cz.micro().is_pair());
+        assert_eq!(cz.duration_cycles(), 2);
+    }
+
+    #[test]
+    fn conditional_ops_carry_flag() {
+        let cfg = OpConfig::default_config();
+        let cx = cfg.by_name("C_X").unwrap();
+        match cx.micro() {
+            MicroInstruction::Single(op) => assert_eq!(op.condition(), ExecFlag::LastIsOne),
+            _ => panic!("C_X must be single-qubit"),
+        }
+    }
+
+    #[test]
+    fn pulse_library_consistent() {
+        let cfg = OpConfig::default_config();
+        let x = cfg.by_name("X").unwrap();
+        let cw = match x.micro() {
+            MicroInstruction::Single(op) => op.codeword(),
+            _ => unreachable!(),
+        };
+        match cfg.pulse(cw) {
+            Some(PulseKind::Rx(theta)) => {
+                assert!((theta - std::f64::consts::PI).abs() < 1e-12)
+            }
+            other => panic!("unexpected pulse {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rz_uses_flux_device() {
+        // §4.4: flux pulses implement two-qubit CZ gates *and*
+        // single-qubit z rotations.
+        let cfg = OpConfig::default_config();
+        let z = cfg.by_name("Z90").unwrap();
+        match z.micro() {
+            MicroInstruction::Single(op) => assert_eq!(op.device(), DeviceKind::Flux),
+            _ => unreachable!(),
+        }
+    }
+}

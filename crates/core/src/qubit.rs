@@ -1,0 +1,248 @@
+//! Physical qubit addresses and directed qubit pairs.
+//!
+//! eQASM addresses qubits by their *physical address*, a small integer
+//! assigned by the quantum chip (§2.3.9 of the paper). Two-qubit operations
+//! act on *allowed qubit pairs*: ordered pairs of qubits connected on the
+//! chip, represented as directed edges of the topology graph (§3.3.1).
+
+use std::fmt;
+
+/// The physical address of a qubit on the quantum chip.
+///
+/// This is a zero-based index into the quantum register (§2.3.9). The
+/// paper's instantiation targets a seven-qubit chip, so addresses 0–6 are
+/// used there, but the type supports up to 256 qubits for other
+/// instantiations.
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_core::Qubit;
+///
+/// let q = Qubit::new(2);
+/// assert_eq!(q.index(), 2);
+/// assert_eq!(q.to_string(), "q2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Qubit(u8);
+
+impl Qubit {
+    /// Creates a qubit address from a physical index.
+    pub const fn new(index: u8) -> Self {
+        Qubit(index)
+    }
+
+    /// Returns the physical address as a `usize`, convenient for indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw physical address.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u8> for Qubit {
+    fn from(v: u8) -> Self {
+        Qubit(v)
+    }
+}
+
+impl From<Qubit> for usize {
+    fn from(q: Qubit) -> usize {
+        q.index()
+    }
+}
+
+/// A directed *allowed qubit pair* — an edge of the chip topology.
+///
+/// In the directed edge `(source, target)` the first qubit is called the
+/// *source qubit* and the second the *target qubit* (§3.3.1). The same
+/// physical coupling appears twice in a topology, once per direction,
+/// because a two-qubit gate such as CNOT acts differently on its two
+/// operands.
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_core::{Qubit, QubitPair};
+///
+/// let pair = QubitPair::new(Qubit::new(2), Qubit::new(0));
+/// assert_eq!(pair.source(), Qubit::new(2));
+/// assert_eq!(pair.target(), Qubit::new(0));
+/// assert_eq!(pair.reversed(), QubitPair::new(Qubit::new(0), Qubit::new(2)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QubitPair {
+    source: Qubit,
+    target: Qubit,
+}
+
+impl QubitPair {
+    /// Creates a directed pair from source and target qubits.
+    pub const fn new(source: Qubit, target: Qubit) -> Self {
+        QubitPair { source, target }
+    }
+
+    /// Convenience constructor from raw physical addresses.
+    pub const fn from_raw(source: u8, target: u8) -> Self {
+        QubitPair {
+            source: Qubit::new(source),
+            target: Qubit::new(target),
+        }
+    }
+
+    /// The source qubit of the directed pair.
+    pub const fn source(self) -> Qubit {
+        self.source
+    }
+
+    /// The target qubit of the directed pair.
+    pub const fn target(self) -> Qubit {
+        self.target
+    }
+
+    /// Returns the same coupling in the opposite direction.
+    pub const fn reversed(self) -> Self {
+        QubitPair {
+            source: self.target,
+            target: self.source,
+        }
+    }
+
+    /// Returns `true` if `qubit` is either endpoint of the pair.
+    pub fn contains(self, qubit: Qubit) -> bool {
+        self.source == qubit || self.target == qubit
+    }
+
+    /// Returns `true` if the two pairs share at least one qubit.
+    ///
+    /// Two pairs that share a qubit may not be selected in the same
+    /// two-qubit target register (§4.3: "it is invalid if two edges
+    /// connecting to the same qubit are selected in the same T register").
+    pub fn overlaps(self, other: QubitPair) -> bool {
+        self.contains(other.source) || self.contains(other.target)
+    }
+}
+
+impl fmt::Display for QubitPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.source.index(), self.target.index())
+    }
+}
+
+impl From<(u8, u8)> for QubitPair {
+    fn from((s, t): (u8, u8)) -> Self {
+        QubitPair::from_raw(s, t)
+    }
+}
+
+/// The address of an allowed qubit pair within a topology.
+///
+/// Pair addresses index the directed edges of the chip topology; they are
+/// the bit positions of two-qubit target-register masks (§3.3.2 and Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PairAddr(u8);
+
+impl PairAddr {
+    /// Creates a pair address.
+    pub const fn new(index: u8) -> Self {
+        PairAddr(index)
+    }
+
+    /// Returns the address as a `usize`, convenient for indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw address.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for PairAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u8> for PairAddr {
+    fn from(v: u8) -> Self {
+        PairAddr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_roundtrip() {
+        let q = Qubit::new(5);
+        assert_eq!(q.index(), 5);
+        assert_eq!(q.raw(), 5);
+        assert_eq!(usize::from(q), 5);
+        assert_eq!(Qubit::from(5u8), q);
+    }
+
+    #[test]
+    fn qubit_display() {
+        assert_eq!(Qubit::new(0).to_string(), "q0");
+        assert_eq!(Qubit::new(255).to_string(), "q255");
+    }
+
+    #[test]
+    fn pair_endpoints() {
+        let p = QubitPair::from_raw(2, 0);
+        assert_eq!(p.source(), Qubit::new(2));
+        assert_eq!(p.target(), Qubit::new(0));
+        assert!(p.contains(Qubit::new(2)));
+        assert!(p.contains(Qubit::new(0)));
+        assert!(!p.contains(Qubit::new(1)));
+    }
+
+    #[test]
+    fn pair_reverse_is_involution() {
+        let p = QubitPair::from_raw(1, 3);
+        assert_eq!(p.reversed().reversed(), p);
+        assert_eq!(p.reversed(), QubitPair::from_raw(3, 1));
+    }
+
+    #[test]
+    fn pair_overlap() {
+        let a = QubitPair::from_raw(0, 1);
+        let b = QubitPair::from_raw(1, 2);
+        let c = QubitPair::from_raw(3, 4);
+        assert!(a.overlaps(b));
+        assert!(b.overlaps(a));
+        assert!(!a.overlaps(c));
+        // A pair always overlaps itself.
+        assert!(a.overlaps(a));
+    }
+
+    #[test]
+    fn pair_display() {
+        assert_eq!(QubitPair::from_raw(1, 3).to_string(), "(1, 3)");
+    }
+
+    #[test]
+    fn pair_from_tuple() {
+        let p: QubitPair = (2, 4).into();
+        assert_eq!(p, QubitPair::from_raw(2, 4));
+    }
+
+    #[test]
+    fn pair_addr() {
+        let a = PairAddr::new(9);
+        assert_eq!(a.index(), 9);
+        assert_eq!(a.to_string(), "e9");
+    }
+}

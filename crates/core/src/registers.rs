@@ -1,0 +1,389 @@
+//! Register-file indices and architectural register state (Fig. 2).
+//!
+//! eQASM's architectural state contains a general-purpose register file
+//! (`Ri`), single-qubit operation target registers (`Si`), two-qubit
+//! operation target registers (`Ti`) and one-bit qubit measurement result
+//! registers (`Qi`). This module provides strongly typed indices for each
+//! file plus the register-file value containers used by the
+//! microarchitecture simulator.
+
+use std::fmt;
+
+use crate::error::CoreError;
+
+macro_rules! reg_index {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal, $kind:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u8);
+
+        impl $name {
+            /// Creates a register index.
+            pub const fn new(index: u8) -> Self {
+                Self(index)
+            }
+
+            /// Returns the index as `usize`, convenient for indexing.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw index.
+            pub const fn raw(self) -> u8 {
+                self.0
+            }
+
+            /// Checks the index against a register-file size.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`CoreError::InvalidRegister`] if `index >= count`.
+            pub fn checked(self, count: usize) -> Result<Self, CoreError> {
+                if self.index() < count {
+                    Ok(self)
+                } else {
+                    Err(CoreError::InvalidRegister {
+                        kind: $kind,
+                        index: self.index(),
+                        count,
+                    })
+                }
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u8> for $name {
+            fn from(v: u8) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+reg_index!(
+    /// Index of a 32-bit general purpose register `Ri` (§2.3.3).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eqasm_core::Gpr;
+    /// assert_eq!(Gpr::new(3).to_string(), "r3");
+    /// ```
+    Gpr,
+    "r",
+    "GPR"
+);
+
+reg_index!(
+    /// Index of a single-qubit operation target register `Si` (§2.3.5).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eqasm_core::SReg;
+    /// assert_eq!(SReg::new(7).to_string(), "s7");
+    /// ```
+    SReg,
+    "s",
+    "S"
+);
+
+reg_index!(
+    /// Index of a two-qubit operation target register `Ti` (§2.3.5).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eqasm_core::TReg;
+    /// assert_eq!(TReg::new(3).to_string(), "t3");
+    /// ```
+    TReg,
+    "t",
+    "T"
+);
+
+/// The general-purpose register file: a set of 32-bit registers (§2.3.3).
+///
+/// Register `r0` is an ordinary register in eQASM (not hardwired to zero).
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_core::{Gpr, GprFile};
+///
+/// let mut file = GprFile::new(32);
+/// file.write(Gpr::new(3), 42);
+/// assert_eq!(file.read(Gpr::new(3)), 42);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GprFile {
+    regs: Vec<u32>,
+}
+
+impl GprFile {
+    /// Creates a zero-initialised register file with `count` registers.
+    pub fn new(count: usize) -> Self {
+        GprFile {
+            regs: vec![0; count],
+        }
+    }
+
+    /// Number of registers in the file.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Returns `true` if the file has no registers.
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Reads a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range; indices are validated at
+    /// assembly time.
+    pub fn read(&self, r: Gpr) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range; indices are validated at
+    /// assembly time.
+    pub fn write(&mut self, r: Gpr, value: u32) {
+        self.regs[r.index()] = value;
+    }
+
+    /// Resets every register to zero.
+    pub fn reset(&mut self) {
+        self.regs.iter_mut().for_each(|r| *r = 0);
+    }
+}
+
+/// A target-register file holding mask values (either single-qubit masks
+/// for `Si` or allowed-pair masks for `Ti`).
+///
+/// The mask format is instantiation-defined (§3.3.2); this container just
+/// stores the raw masks, which are interpreted against a
+/// [`Topology`](crate::Topology).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskFile {
+    masks: Vec<u32>,
+}
+
+impl MaskFile {
+    /// Creates a zero-initialised mask file with `count` registers.
+    pub fn new(count: usize) -> Self {
+        MaskFile {
+            masks: vec![0; count],
+        }
+    }
+
+    /// Number of registers in the file.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Returns `true` if the file has no registers.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Reads the mask at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range; indices are validated at
+    /// assembly time.
+    pub fn read(&self, index: usize) -> u32 {
+        self.masks[index]
+    }
+
+    /// Writes the mask at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range; indices are validated at
+    /// assembly time.
+    pub fn write(&mut self, index: usize, mask: u32) {
+        self.masks[index] = mask;
+    }
+
+    /// Resets every mask to zero.
+    pub fn reset(&mut self) {
+        self.masks.iter_mut().for_each(|m| *m = 0);
+    }
+}
+
+/// One qubit measurement result register `Qi` together with its CFC
+/// validity counter `Ci` (§2.3.7 and §4.3).
+///
+/// `Qi` stores the result of the last *finished* measurement on qubit *i*.
+/// The counter `Ci` counts pending measurement instructions: it increments
+/// when a measurement instruction on the qubit is issued from the
+/// classical pipeline and decrements when the measurement discrimination
+/// unit writes a result back. `Qi` is *valid* only while `Ci == 0`;
+/// `FMR` stalls on an invalid register.
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_core::MeasurementRegister;
+///
+/// let mut q = MeasurementRegister::new();
+/// assert!(q.is_valid());
+/// q.on_measurement_issued();
+/// assert!(!q.is_valid());
+/// q.on_result(true);
+/// assert!(q.is_valid());
+/// assert_eq!(q.value(), Some(true));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeasurementRegister {
+    value: Option<bool>,
+    pending: u32,
+}
+
+impl MeasurementRegister {
+    /// Creates a register with no result yet and no pending measurements.
+    pub const fn new() -> Self {
+        MeasurementRegister {
+            value: None,
+            pending: 0,
+        }
+    }
+
+    /// Called when a measurement instruction on this qubit is issued from
+    /// the classical pipeline to the quantum pipeline: invalidates `Qi`
+    /// by incrementing `Ci`.
+    pub fn on_measurement_issued(&mut self) {
+        self.pending += 1;
+    }
+
+    /// Called when the measurement discrimination unit writes back a
+    /// result: stores the value and decrements `Ci`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no measurement was pending — that would be a
+    /// microarchitecture bug, not a program error.
+    pub fn on_result(&mut self, result: bool) {
+        assert!(self.pending > 0, "measurement result without pending measurement");
+        self.pending -= 1;
+        self.value = Some(result);
+    }
+
+    /// Called when a pending measurement is cancelled before producing a
+    /// result (a conditional measurement whose execution flag read `0`):
+    /// decrements `Ci` without touching the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no measurement was pending.
+    pub fn on_measurement_cancelled(&mut self) {
+        assert!(self.pending > 0, "measurement cancelled without pending measurement");
+        self.pending -= 1;
+    }
+
+    /// `Qi` is valid only when the counter `Ci` is zero.
+    pub fn is_valid(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Number of measurement instructions still in flight for this qubit.
+    pub fn pending(&self) -> u32 {
+        self.pending
+    }
+
+    /// The last written result, if a measurement ever finished.
+    ///
+    /// Note that validity gates *reading* the register via `FMR`; the raw
+    /// value is still inspectable (the paper's execution-flag logic uses
+    /// the last finished result irrespective of validity, §4.3).
+    pub fn value(&self) -> Option<bool> {
+        self.value
+    }
+
+    /// Resets the register to its power-on state.
+    pub fn reset(&mut self) {
+        *self = MeasurementRegister::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_file_read_write() {
+        let mut f = GprFile::new(32);
+        assert_eq!(f.len(), 32);
+        assert!(!f.is_empty());
+        f.write(Gpr::new(31), 0xdead_beef);
+        assert_eq!(f.read(Gpr::new(31)), 0xdead_beef);
+        f.reset();
+        assert_eq!(f.read(Gpr::new(31)), 0);
+    }
+
+    #[test]
+    fn checked_register_index() {
+        assert!(Gpr::new(31).checked(32).is_ok());
+        let err = Gpr::new(32).checked(32).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidRegister { kind: "GPR", .. }));
+        assert!(SReg::new(5).checked(32).is_ok());
+        assert!(TReg::new(40).checked(32).is_err());
+    }
+
+    #[test]
+    fn mask_file() {
+        let mut f = MaskFile::new(32);
+        f.write(7, 0b11);
+        assert_eq!(f.read(7), 0b11);
+        assert_eq!(f.read(0), 0);
+        f.reset();
+        assert_eq!(f.read(7), 0);
+    }
+
+    #[test]
+    fn measurement_register_validity_protocol() {
+        let mut q = MeasurementRegister::new();
+        assert!(q.is_valid());
+        assert_eq!(q.value(), None);
+
+        // Two overlapping measurements: Qi stays invalid until both
+        // results returned; value tracks the *last finished* result.
+        q.on_measurement_issued();
+        q.on_measurement_issued();
+        assert!(!q.is_valid());
+        assert_eq!(q.pending(), 2);
+        q.on_result(true);
+        assert!(!q.is_valid());
+        assert_eq!(q.value(), Some(true));
+        q.on_result(false);
+        assert!(q.is_valid());
+        assert_eq!(q.value(), Some(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "without pending")]
+    fn unexpected_result_panics() {
+        let mut q = MeasurementRegister::new();
+        q.on_result(true);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Gpr::new(0).to_string(), "r0");
+        assert_eq!(SReg::new(12).to_string(), "s12");
+        assert_eq!(TReg::new(3).to_string(), "t3");
+    }
+}

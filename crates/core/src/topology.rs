@@ -1,0 +1,700 @@
+//! Quantum chip topologies: available qubits and allowed qubit pairs.
+//!
+//! The *quantum chip topology* (§3.3.1) is a directed graph whose vertices
+//! are the available qubits and whose edges are the allowed qubit pairs —
+//! ordered pairs of qubits on which a physical two-qubit gate can be
+//! applied directly. The topology determines the width and interpretation
+//! of the single- and two-qubit target-register masks, and it is consulted
+//! by the assembler (validity of `SMIT` values) and by the quantum
+//! microinstruction buffer (mask → micro-operation selection, §4.3).
+
+use std::fmt;
+
+use crate::error::CoreError;
+use crate::qubit::{PairAddr, Qubit, QubitPair};
+
+/// The role a qubit plays within a selected allowed pair.
+///
+/// Used when resolving a two-qubit target-register mask into per-qubit
+/// micro-operation selection signals (Table 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PairRole {
+    /// The qubit is the source of the selected pair (`µ op_src`).
+    Source,
+    /// The qubit is the target of the selected pair (`µ op_tgt`).
+    Target,
+}
+
+/// The per-qubit micro-operation selection signal (Table 2).
+///
+/// For every qubit, mask resolution yields exactly one of these values:
+///
+/// | value | operation to select |
+/// |-------|---------------------|
+/// | `None` | no operation |
+/// | `Src` | `µ op_src` |
+/// | `Tgt` | `µ op_tgt` |
+/// | `Single` | `µ op` (single-qubit operation) |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OpSelect {
+    /// `'00'` — no operation on this qubit.
+    #[default]
+    None,
+    /// `'01'` — apply the source micro-operation.
+    Src,
+    /// `'10'` — apply the target micro-operation.
+    Tgt,
+    /// `'11'` — apply the single-qubit micro-operation.
+    Single,
+}
+
+impl OpSelect {
+    /// Returns the two-bit encoding used by the microarchitecture
+    /// (Table 2: `'00'`, `'01'`, `'10'`, `'11'`).
+    pub const fn bits(self) -> u8 {
+        match self {
+            OpSelect::None => 0b00,
+            OpSelect::Src => 0b01,
+            OpSelect::Tgt => 0b10,
+            OpSelect::Single => 0b11,
+        }
+    }
+}
+
+/// A quantum chip topology: qubits, directed allowed pairs, feedlines.
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_core::{Topology, QubitPair};
+///
+/// let topo = Topology::surface7();
+/// assert_eq!(topo.num_qubits(), 7);
+/// assert_eq!(topo.num_pairs(), 16);
+/// // Allowed qubit pair 0 has qubit 2 as source and qubit 0 as target.
+/// assert_eq!(topo.pair(0.into()).unwrap(), QubitPair::from_raw(2, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    name: String,
+    num_qubits: usize,
+    pairs: Vec<QubitPair>,
+    feedlines: Vec<Vec<Qubit>>,
+}
+
+impl Topology {
+    /// Builds a topology from an explicit list of directed allowed pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidQubit`] if any pair references a qubit
+    /// outside `0..num_qubits`, and [`CoreError::InvalidPair`] if a pair
+    /// connects a qubit to itself or the same directed pair is listed
+    /// twice.
+    pub fn new(
+        name: impl Into<String>,
+        num_qubits: usize,
+        pairs: Vec<QubitPair>,
+        feedlines: Vec<Vec<Qubit>>,
+    ) -> Result<Self, CoreError> {
+        for &p in &pairs {
+            for q in [p.source(), p.target()] {
+                if q.index() >= num_qubits {
+                    return Err(CoreError::InvalidQubit {
+                        qubit: q,
+                        num_qubits,
+                    });
+                }
+            }
+            if p.source() == p.target() {
+                return Err(CoreError::InvalidPair { pair: p });
+            }
+        }
+        for (i, &p) in pairs.iter().enumerate() {
+            if pairs[..i].contains(&p) {
+                return Err(CoreError::InvalidPair { pair: p });
+            }
+        }
+        for line in &feedlines {
+            for &q in line {
+                if q.index() >= num_qubits {
+                    return Err(CoreError::InvalidQubit {
+                        qubit: q,
+                        num_qubits,
+                    });
+                }
+            }
+        }
+        Ok(Topology {
+            name: name.into(),
+            num_qubits,
+            pairs,
+            feedlines,
+        })
+    }
+
+    /// The seven-qubit superconducting chip of the paper's instantiation
+    /// (Fig. 6): a distance-2 surface-code patch.
+    ///
+    /// The reconstruction (documented in `DESIGN.md`) satisfies every
+    /// constraint stated in the paper:
+    ///
+    /// * 16 directed edges with addresses 0–15, edge `k + 8` being the
+    ///   reverse of edge `k`;
+    /// * edge 0 = (2 → 0);
+    /// * qubit 0 participates exactly in edges {0, 1, 8, 9}, as the target
+    ///   of {0, 9} and the source of {1, 8};
+    /// * feedline 0 reads qubits {0, 2, 3, 5, 6}; feedline 1 reads {1, 4}.
+    pub fn surface7() -> Self {
+        // Undirected couplings of the distance-2 surface-code patch.
+        // Data qubits {0, 1, 5, 6}; X ancilla 3 (degree 4); Z ancillas
+        // {2, 4} (degree 2). Edge k is the listed direction, edge k + 8
+        // its reverse.
+        let forward = [
+            (2, 0), // edge 0
+            (0, 3), // edge 1
+            (2, 5), // edge 2
+            (3, 5), // edge 3
+            (3, 6), // edge 4
+            (3, 1), // edge 5
+            (4, 1), // edge 6
+            (4, 6), // edge 7
+        ];
+        let mut pairs: Vec<QubitPair> = forward
+            .iter()
+            .map(|&(s, t)| QubitPair::from_raw(s, t))
+            .collect();
+        let reversed: Vec<QubitPair> = pairs.iter().map(|p| p.reversed()).collect();
+        pairs.extend(reversed);
+        let feedlines = vec![
+            vec![0, 2, 3, 5, 6].into_iter().map(Qubit::new).collect(),
+            vec![1, 4].into_iter().map(Qubit::new).collect(),
+        ];
+        Topology::new("surface7", 7, pairs, feedlines)
+            .expect("surface7 topology is statically valid")
+    }
+
+    /// The two-qubit processor used to validate eQASM in §5.
+    ///
+    /// "The two qubits are interconnected and coupled to a single
+    /// feedline. A configuration file is used to specify the quantum chip
+    /// topology with the two qubits renamed as qubit 0 and 2."
+    pub fn two_qubit() -> Self {
+        let pairs = vec![QubitPair::from_raw(0, 2), QubitPair::from_raw(2, 0)];
+        let feedlines = vec![vec![Qubit::new(0), Qubit::new(2)]];
+        // Qubit addresses 0 and 2 are used; address 1 exists but is
+        // unconnected, exactly as in the paper's renaming.
+        Topology::new("two-qubit", 3, pairs, feedlines)
+            .expect("two-qubit topology is statically valid")
+    }
+
+    /// The IBM QX2 five-qubit topology referenced in §3.3.2, which has six
+    /// undirected couplings (twelve directed allowed pairs).
+    pub fn ibm_qx2() -> Self {
+        let forward = [(0, 1), (0, 2), (1, 2), (3, 2), (3, 4), (4, 2)];
+        let mut pairs: Vec<QubitPair> = forward
+            .iter()
+            .map(|&(s, t)| QubitPair::from_raw(s, t))
+            .collect();
+        let reversed: Vec<QubitPair> = pairs.iter().map(|p| p.reversed()).collect();
+        pairs.extend(reversed);
+        let feedlines = vec![(0..5).map(Qubit::new).collect()];
+        Topology::new("ibm-qx2", 5, pairs, feedlines).expect("qx2 topology is statically valid")
+    }
+
+    /// A fully connected `n`-qubit processor (e.g. the five-qubit trapped
+    /// ion processor of §3.3.2, where any ordered pair is allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or larger than 16 (the directed-edge count would
+    /// exceed a practical mask width).
+    pub fn fully_connected(n: usize) -> Self {
+        assert!(n > 0 && n <= 16, "fully connected topology supports 1..=16 qubits");
+        let mut pairs = Vec::new();
+        for s in 0..n {
+            for t in 0..n {
+                if s != t {
+                    pairs.push(QubitPair::from_raw(s as u8, t as u8));
+                }
+            }
+        }
+        let feedlines = vec![(0..n as u8).map(Qubit::new).collect()];
+        Topology::new(format!("fully-connected-{n}"), n, pairs, feedlines)
+            .expect("fully connected topology is statically valid")
+    }
+
+    /// A linear chain of `n` qubits (nearest-neighbour coupling, both
+    /// directions). Useful as a generic NISQ-style test topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or larger than 32.
+    pub fn linear(n: usize) -> Self {
+        assert!(n > 0 && n <= 32, "linear topology supports 1..=32 qubits");
+        let mut pairs = Vec::new();
+        for i in 0..n.saturating_sub(1) {
+            pairs.push(QubitPair::from_raw(i as u8, i as u8 + 1));
+        }
+        let rev: Vec<QubitPair> = pairs.iter().map(|p| p.reversed()).collect();
+        pairs.extend(rev);
+        let feedlines = vec![(0..n as u8).map(Qubit::new).collect()];
+        Topology::new(format!("linear-{n}"), n, pairs, feedlines)
+            .expect("linear topology is statically valid")
+    }
+
+    /// A human-readable name for the topology.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits (the width of single-qubit target masks).
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of directed allowed pairs (the width of two-qubit target
+    /// masks).
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Iterates over all qubits of the chip.
+    pub fn qubits(&self) -> impl Iterator<Item = Qubit> + '_ {
+        (0..self.num_qubits as u8).map(Qubit::new)
+    }
+
+    /// Iterates over `(address, pair)` for every directed allowed pair.
+    pub fn pairs(&self) -> impl Iterator<Item = (PairAddr, QubitPair)> + '_ {
+        self.pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (PairAddr::new(i as u8), p))
+    }
+
+    /// Looks up the directed pair stored at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidPairAddr`] if the address is out of
+    /// range.
+    pub fn pair(&self, addr: PairAddr) -> Result<QubitPair, CoreError> {
+        self.pairs
+            .get(addr.index())
+            .copied()
+            .ok_or(CoreError::InvalidPairAddr {
+                addr,
+                num_pairs: self.pairs.len(),
+            })
+    }
+
+    /// Finds the address of a directed pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidPair`] if the pair is not an allowed
+    /// pair of this topology.
+    pub fn addr_of(&self, pair: QubitPair) -> Result<PairAddr, CoreError> {
+        self.pairs
+            .iter()
+            .position(|&p| p == pair)
+            .map(|i| PairAddr::new(i as u8))
+            .ok_or(CoreError::InvalidPair { pair })
+    }
+
+    /// Returns `true` if `pair` is an allowed pair of this topology.
+    pub fn is_allowed(&self, pair: QubitPair) -> bool {
+        self.pairs.contains(&pair)
+    }
+
+    /// Returns every `(address, role)` in which `qubit` participates.
+    ///
+    /// For the paper's example: qubit 0 of `surface7` is connected to
+    /// edges 0, 1, 8 and 9 — as target of {0, 9} and source of {1, 8}.
+    pub fn edges_of(&self, qubit: Qubit) -> Vec<(PairAddr, PairRole)> {
+        self.pairs()
+            .filter_map(|(addr, p)| {
+                if p.source() == qubit {
+                    Some((addr, PairRole::Source))
+                } else if p.target() == qubit {
+                    Some((addr, PairRole::Target))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// The feedlines of the chip: groups of qubits measured through the
+    /// same readout line (Fig. 6).
+    pub fn feedlines(&self) -> &[Vec<Qubit>] {
+        &self.feedlines
+    }
+
+    /// Returns the feedline index that reads out `qubit`, if any.
+    pub fn feedline_of(&self, qubit: Qubit) -> Option<usize> {
+        self.feedlines.iter().position(|line| line.contains(&qubit))
+    }
+
+    /// Validates a single-qubit target mask: every set bit must denote an
+    /// existing qubit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MaskOutOfRange`] on stray bits.
+    pub fn check_single_mask(&self, mask: u32) -> Result<(), CoreError> {
+        let width = self.num_qubits as u32;
+        if width < 32 && mask >> width != 0 {
+            return Err(CoreError::MaskOutOfRange { mask, width });
+        }
+        Ok(())
+    }
+
+    /// Validates a two-qubit target mask: every set bit must denote an
+    /// existing allowed pair, and no two selected pairs may share a qubit
+    /// (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MaskOutOfRange`] on stray bits and
+    /// [`CoreError::TargetRegisterConflict`] when two selected pairs
+    /// overlap.
+    pub fn check_pair_mask(&self, mask: u32) -> Result<(), CoreError> {
+        let width = self.pairs.len() as u32;
+        if width < 32 && mask >> width != 0 {
+            return Err(CoreError::MaskOutOfRange { mask, width });
+        }
+        let selected: Vec<QubitPair> = self
+            .pairs()
+            .filter(|(addr, _)| mask & (1 << addr.index()) != 0)
+            .map(|(_, p)| p)
+            .collect();
+        for (i, &a) in selected.iter().enumerate() {
+            for &b in &selected[i + 1..] {
+                if a.overlaps(b) {
+                    return Err(CoreError::TargetRegisterConflict { first: a, second: b });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves a two-qubit target mask into the per-qubit
+    /// micro-operation selection signals of Table 2.
+    ///
+    /// This is the first resolution step performed by the quantum
+    /// microinstruction buffer (§4.3): `OpSel_i` is `Src`/`Tgt` when
+    /// qubit *i* is the source/target qubit of a selected pair, `None`
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`Topology::check_pair_mask`].
+    pub fn resolve_pair_mask(&self, mask: u32) -> Result<Vec<OpSelect>, CoreError> {
+        self.check_pair_mask(mask)?;
+        let mut sel = vec![OpSelect::None; self.num_qubits];
+        for (addr, pair) in self.pairs() {
+            if mask & (1 << addr.index()) != 0 {
+                sel[pair.source().index()] = OpSelect::Src;
+                sel[pair.target().index()] = OpSelect::Tgt;
+            }
+        }
+        Ok(sel)
+    }
+
+    /// Resolves a single-qubit target mask into per-qubit selection
+    /// signals (`Single` for selected qubits).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`Topology::check_single_mask`].
+    pub fn resolve_single_mask(&self, mask: u32) -> Result<Vec<OpSelect>, CoreError> {
+        self.check_single_mask(mask)?;
+        let sel = (0..self.num_qubits)
+            .map(|i| {
+                if mask & (1 << i) != 0 {
+                    OpSelect::Single
+                } else {
+                    OpSelect::None
+                }
+            })
+            .collect();
+        Ok(sel)
+    }
+
+    /// Builds a single-qubit mask from a list of qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidQubit`] for out-of-range qubits.
+    pub fn single_mask(&self, qubits: &[Qubit]) -> Result<u32, CoreError> {
+        let mut mask = 0u32;
+        for &q in qubits {
+            if q.index() >= self.num_qubits {
+                return Err(CoreError::InvalidQubit {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
+            }
+            mask |= 1 << q.index();
+        }
+        Ok(mask)
+    }
+
+    /// Builds a two-qubit mask from a list of directed pairs, validating
+    /// the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidPair`] for pairs the chip does not
+    /// allow, and the errors of [`Topology::check_pair_mask`].
+    pub fn pair_mask(&self, pairs: &[QubitPair]) -> Result<u32, CoreError> {
+        let mut mask = 0u32;
+        for &p in pairs {
+            let addr = self.addr_of(p)?;
+            mask |= 1 << addr.index();
+        }
+        self.check_pair_mask(mask)?;
+        Ok(mask)
+    }
+
+    /// Decodes a single-qubit mask into the selected qubits, in address
+    /// order.
+    pub fn qubits_in_mask(&self, mask: u32) -> Vec<Qubit> {
+        self.qubits()
+            .filter(|q| mask & (1 << q.index()) != 0)
+            .collect()
+    }
+
+    /// Decodes a two-qubit mask into the selected pairs, in address order.
+    pub fn pairs_in_mask(&self, mask: u32) -> Vec<QubitPair> {
+        self.pairs()
+            .filter(|(addr, _)| mask & (1 << addr.index()) != 0)
+            .map(|(_, p)| p)
+            .collect()
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} qubits, {} directed pairs)",
+            self.name,
+            self.num_qubits,
+            self.pairs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface7_counts() {
+        let t = Topology::surface7();
+        assert_eq!(t.num_qubits(), 7);
+        assert_eq!(t.num_pairs(), 16);
+    }
+
+    #[test]
+    fn surface7_edge0_is_2_to_0() {
+        // §3.3.1: "allowed qubit pair 0 has qubit 2 as the source qubit
+        // and qubit 0 as the target qubit".
+        let t = Topology::surface7();
+        assert_eq!(t.pair(PairAddr::new(0)).unwrap(), QubitPair::from_raw(2, 0));
+    }
+
+    #[test]
+    fn surface7_reverse_pairing() {
+        // Edge k + 8 is the reverse of edge k.
+        let t = Topology::surface7();
+        for k in 0..8u8 {
+            let fwd = t.pair(PairAddr::new(k)).unwrap();
+            let rev = t.pair(PairAddr::new(k + 8)).unwrap();
+            assert_eq!(fwd.reversed(), rev, "edge {k}");
+        }
+    }
+
+    #[test]
+    fn surface7_qubit0_edges() {
+        // §4.3: "Take qubit 0 as an example. It is connected to edges 0,
+        // 1, 8, and 9. When edge 0 or 9 (1 or 8) is selected in the mask,
+        // qubit 0 is the target (source) qubit."
+        let t = Topology::surface7();
+        let mut edges = t.edges_of(Qubit::new(0));
+        edges.sort();
+        assert_eq!(
+            edges,
+            vec![
+                (PairAddr::new(0), PairRole::Target),
+                (PairAddr::new(1), PairRole::Source),
+                (PairAddr::new(8), PairRole::Source),
+                (PairAddr::new(9), PairRole::Target),
+            ]
+        );
+    }
+
+    #[test]
+    fn surface7_feedlines() {
+        // Fig. 6: qubits 0, 2, 3, 5, 6 on feedline 0; qubits 1 and 4 on
+        // feedline 1.
+        let t = Topology::surface7();
+        for q in [0u8, 2, 3, 5, 6] {
+            assert_eq!(t.feedline_of(Qubit::new(q)), Some(0), "qubit {q}");
+        }
+        for q in [1u8, 4] {
+            assert_eq!(t.feedline_of(Qubit::new(q)), Some(1), "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn surface7_degree_distribution() {
+        // Distance-2 surface code: X ancilla (qubit 3) has degree 4,
+        // every other qubit degree 2 — counted in undirected couplings.
+        let t = Topology::surface7();
+        for q in t.qubits() {
+            let deg = t.edges_of(q).len() / 2; // two directions per coupling
+            if q == Qubit::new(3) {
+                assert_eq!(deg, 4, "X ancilla degree");
+            } else {
+                assert_eq!(deg, 2, "qubit {q} degree");
+            }
+        }
+    }
+
+    #[test]
+    fn two_qubit_topology() {
+        let t = Topology::two_qubit();
+        assert_eq!(t.num_pairs(), 2);
+        assert!(t.is_allowed(QubitPair::from_raw(0, 2)));
+        assert!(t.is_allowed(QubitPair::from_raw(2, 0)));
+        assert!(!t.is_allowed(QubitPair::from_raw(0, 1)));
+    }
+
+    #[test]
+    fn qx2_has_six_couplings() {
+        // §3.3.2: "a mask of 6 bits is more efficient for the IBM QX2 ...
+        // which has only six allowed qubit pairs" (six couplings; we store
+        // both directions).
+        let t = Topology::ibm_qx2();
+        assert_eq!(t.num_qubits(), 5);
+        assert_eq!(t.num_pairs(), 12);
+    }
+
+    #[test]
+    fn fully_connected_five_qubits_has_twenty_pairs() {
+        // §3.3.2: "a mask of 20 bits with each bit in the mask indicating
+        // one of all 20 different allowed qubit pairs".
+        let t = Topology::fully_connected(5);
+        assert_eq!(t.num_pairs(), 20);
+    }
+
+    #[test]
+    fn mask_roundtrip() {
+        let t = Topology::surface7();
+        let qs = vec![Qubit::new(0), Qubit::new(2)];
+        let mask = t.single_mask(&qs).unwrap();
+        assert_eq!(mask, 0b101);
+        assert_eq!(t.qubits_in_mask(mask), qs);
+    }
+
+    #[test]
+    fn single_mask_rejects_out_of_range() {
+        let t = Topology::surface7();
+        assert!(matches!(
+            t.single_mask(&[Qubit::new(7)]),
+            Err(CoreError::InvalidQubit { .. })
+        ));
+        assert!(matches!(
+            t.check_single_mask(1 << 7),
+            Err(CoreError::MaskOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn pair_mask_rejects_conflicts() {
+        // Edges 0 (2→0) and 1 (0→3) share qubit 0 — invalid in one T
+        // register (§4.3).
+        let t = Topology::surface7();
+        let err = t.check_pair_mask(0b11).unwrap_err();
+        assert!(matches!(err, CoreError::TargetRegisterConflict { .. }));
+    }
+
+    #[test]
+    fn pair_mask_accepts_disjoint_pairs() {
+        // (2→0) and (3→1) touch disjoint qubits.
+        let t = Topology::surface7();
+        let mask = t
+            .pair_mask(&[QubitPair::from_raw(2, 0), QubitPair::from_raw(3, 1)])
+            .unwrap();
+        assert!(t.check_pair_mask(mask).is_ok());
+        assert_eq!(
+            t.pairs_in_mask(mask),
+            vec![QubitPair::from_raw(2, 0), QubitPair::from_raw(3, 1)]
+        );
+    }
+
+    #[test]
+    fn opsel_example_from_paper() {
+        // §4.3: OpSel_0 = (T[0] ∨ T[9]) :: (T[1] ∨ T[8]).
+        let t = Topology::surface7();
+        // Select edge 0 (2→0): qubit 0 is target, qubit 2 is source.
+        let sel = t.resolve_pair_mask(1 << 0).unwrap();
+        assert_eq!(sel[0], OpSelect::Tgt);
+        assert_eq!(sel[2], OpSelect::Src);
+        assert_eq!(sel[1], OpSelect::None);
+        // Select edge 8 (0→2): roles swap.
+        let sel = t.resolve_pair_mask(1 << 8).unwrap();
+        assert_eq!(sel[0], OpSelect::Src);
+        assert_eq!(sel[2], OpSelect::Tgt);
+    }
+
+    #[test]
+    fn opsel_bits_match_table2() {
+        assert_eq!(OpSelect::None.bits(), 0b00);
+        assert_eq!(OpSelect::Src.bits(), 0b01);
+        assert_eq!(OpSelect::Tgt.bits(), 0b10);
+        assert_eq!(OpSelect::Single.bits(), 0b11);
+    }
+
+    #[test]
+    fn resolve_single_mask_sets_selected() {
+        let t = Topology::surface7();
+        let sel = t.resolve_single_mask(0b100_0001).unwrap();
+        assert_eq!(sel[0], OpSelect::Single);
+        assert_eq!(sel[6], OpSelect::Single);
+        assert_eq!(sel[3], OpSelect::None);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let err = Topology::new(
+            "bad",
+            2,
+            vec![QubitPair::from_raw(1, 1)],
+            vec![],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidPair { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let err = Topology::new(
+            "bad",
+            3,
+            vec![QubitPair::from_raw(0, 1), QubitPair::from_raw(0, 1)],
+            vec![],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidPair { .. }));
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        let t = Topology::surface7();
+        assert!(t.to_string().contains("surface7"));
+    }
+}

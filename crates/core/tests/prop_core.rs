@@ -1,0 +1,144 @@
+//! Property-based tests of the ISA model: topology invariants across
+//! all built-in chips, mask algebra, operation-configuration builder
+//! invariants and flag registers.
+
+use eqasm_core::{
+    ExecFlag, ExecFlagRegister, MeasurementRegister, OpConfig, PulseKind, Qubit, Topology,
+};
+use proptest::prelude::*;
+
+fn all_topologies() -> Vec<Topology> {
+    vec![
+        Topology::surface7(),
+        Topology::two_qubit(),
+        Topology::ibm_qx2(),
+        Topology::fully_connected(5),
+        Topology::linear(8),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Structural invariants hold for every built-in topology: pair
+    /// addresses are dense, every edge endpoint is a valid qubit, no
+    /// self loops, no duplicate directed edges, and `addr_of` inverts
+    /// `pair`.
+    #[test]
+    fn topology_invariants(idx in 0usize..5) {
+        let topo = &all_topologies()[idx];
+        let mut seen = Vec::new();
+        for (addr, pair) in topo.pairs() {
+            prop_assert!(pair.source().index() < topo.num_qubits());
+            prop_assert!(pair.target().index() < topo.num_qubits());
+            prop_assert_ne!(pair.source(), pair.target());
+            prop_assert!(!seen.contains(&pair));
+            seen.push(pair);
+            prop_assert_eq!(topo.addr_of(pair).unwrap(), addr);
+            prop_assert_eq!(topo.pair(addr).unwrap(), pair);
+        }
+        prop_assert_eq!(seen.len(), topo.num_pairs());
+    }
+
+    /// Every directed edge's reverse is also an edge, in every built-in
+    /// topology (couplings are symmetric hardware).
+    #[test]
+    fn edges_come_in_reversed_pairs(idx in 0usize..5) {
+        let topo = &all_topologies()[idx];
+        for (_, pair) in topo.pairs() {
+            prop_assert!(
+                topo.is_allowed(pair.reversed()),
+                "{} lacks reverse of {}", topo.name(), pair
+            );
+        }
+    }
+
+    /// Mask resolution marks exactly the selected qubits/roles and
+    /// nothing else.
+    #[test]
+    fn resolution_covers_exactly_selected(mask in 0u32..(1u32 << 16)) {
+        let topo = Topology::surface7();
+        if topo.check_pair_mask(mask).is_ok() {
+            let sel = topo.resolve_pair_mask(mask).unwrap();
+            let pairs = topo.pairs_in_mask(mask);
+            let mut expect = vec![eqasm_core::OpSelect::None; topo.num_qubits()];
+            for p in &pairs {
+                expect[p.source().index()] = eqasm_core::OpSelect::Src;
+                expect[p.target().index()] = eqasm_core::OpSelect::Tgt;
+            }
+            prop_assert_eq!(sel, expect);
+        }
+    }
+
+    /// The operation-configuration builder assigns unique opcodes and
+    /// codewords, and lookups invert each other, for arbitrary op-name
+    /// sets.
+    #[test]
+    fn opconfig_builder_invariants(names in prop::collection::btree_set("[A-Z][A-Z0-9_]{0,6}", 1..20)) {
+        let names: Vec<String> = names.into_iter().filter(|n| n != "QNOP").collect();
+        let mut b = OpConfig::builder(9);
+        for n in &names {
+            b.single(n, 1, PulseKind::Rx(0.5)).unwrap();
+        }
+        let cfg = b.build();
+        prop_assert_eq!(cfg.len(), names.len());
+        let mut opcodes = Vec::new();
+        for n in &names {
+            let def = cfg.by_name(n).unwrap();
+            prop_assert!(!def.opcode().is_qnop());
+            prop_assert!(!opcodes.contains(&def.opcode()));
+            opcodes.push(def.opcode());
+            prop_assert_eq!(cfg.by_opcode(def.opcode()).unwrap().name(), n.to_ascii_uppercase());
+        }
+    }
+
+    /// The measurement-register validity protocol: after any interleaving
+    /// of issue/result events with non-negative pending count, validity
+    /// is exactly "no pending measurements".
+    #[test]
+    fn qi_validity_protocol(events in prop::collection::vec(any::<bool>(), 0..40)) {
+        let mut reg = MeasurementRegister::new();
+        let mut pending = 0u32;
+        for issue in events {
+            if issue {
+                reg.on_measurement_issued();
+                pending += 1;
+            } else if pending > 0 {
+                reg.on_result(true);
+                pending -= 1;
+            }
+            prop_assert_eq!(reg.pending(), pending);
+            prop_assert_eq!(reg.is_valid(), pending == 0);
+        }
+    }
+
+    /// Execution flags track the last two results exactly.
+    #[test]
+    fn exec_flags_track_history(results in prop::collection::vec(any::<bool>(), 0..30)) {
+        let mut reg = ExecFlagRegister::new();
+        for (i, &r) in results.iter().enumerate() {
+            reg.on_result(r);
+            prop_assert!(reg.get(ExecFlag::Always));
+            prop_assert_eq!(reg.get(ExecFlag::LastIsOne), r);
+            prop_assert_eq!(reg.get(ExecFlag::LastIsZero), !r);
+            if i > 0 {
+                prop_assert_eq!(reg.get(ExecFlag::LastTwoEqual), results[i - 1] == r);
+            } else {
+                prop_assert!(!reg.get(ExecFlag::LastTwoEqual));
+            }
+        }
+    }
+
+    /// Feedlines of every topology cover disjoint qubit sets.
+    #[test]
+    fn feedlines_disjoint(idx in 0usize..5) {
+        let topo = &all_topologies()[idx];
+        let mut seen: Vec<Qubit> = Vec::new();
+        for line in topo.feedlines() {
+            for &q in line {
+                prop_assert!(!seen.contains(&q), "{} read out twice", q);
+                seen.push(q);
+            }
+        }
+    }
+}

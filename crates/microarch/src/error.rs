@@ -1,0 +1,153 @@
+//! Microarchitecture faults and load-time errors.
+
+use std::error::Error;
+use std::fmt;
+
+use eqasm_core::{CoreError, Qubit};
+
+/// An error raised while loading a program into the machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LoadError {
+    /// A bundle instruction holds more operations than the VLIW width.
+    BundleTooWide {
+        /// Offending instruction address.
+        addr: usize,
+        /// Number of operations.
+        ops: usize,
+        /// The VLIW width.
+        width: usize,
+    },
+    /// A bundle references an unconfigured quantum opcode.
+    UnknownOpcode {
+        /// Offending instruction address.
+        addr: usize,
+        /// The raw opcode.
+        opcode: u16,
+    },
+    /// The ISA model rejected part of the program.
+    Core(CoreError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::BundleTooWide { addr, ops, width } => write!(
+                f,
+                "instruction {addr}: bundle has {ops} operations but the VLIW width is {width}"
+            ),
+            LoadError::UnknownOpcode { addr, opcode } => {
+                write!(f, "instruction {addr}: unknown quantum opcode {opcode:#x}")
+            }
+            LoadError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for LoadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LoadError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for LoadError {
+    fn from(e: CoreError) -> Self {
+        LoadError::Core(e)
+    }
+}
+
+/// A runtime fault: the conditions under which the paper says "an error
+/// is raised, and the quantum processor stops" (§4.3), plus timing
+/// violations under [`TimingPolicy::Fault`](crate::TimingPolicy::Fault).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// Both VLIW lanes (or two bundle instructions extending the same
+    /// timing point) produced a micro-operation for the same qubit.
+    QubitConflict {
+        /// The doubly-driven qubit.
+        qubit: Qubit,
+        /// The timing point (quantum cycles).
+        point: u64,
+    },
+    /// The reserve phase fell behind the deterministic timing domain and
+    /// the policy forbids slipping.
+    TimelineSlip {
+        /// The timestamp the program asked for.
+        requested: u64,
+        /// The earliest feasible timestamp.
+        feasible: u64,
+    },
+    /// A data-memory access outside the configured memory.
+    MemoryOutOfRange {
+        /// The word address.
+        addr: i64,
+        /// Memory size in words.
+        size: usize,
+    },
+    /// The ISA model rejected a runtime value (e.g. an invalid mask
+    /// loaded into a target register by a decoded binary).
+    Core(CoreError),
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::QubitConflict { qubit, point } => write!(
+                f,
+                "two micro-operations target qubit {qubit} at timing point {point}"
+            ),
+            Fault::TimelineSlip { requested, feasible } => write!(
+                f,
+                "timing point {requested} is infeasible (earliest {feasible}): issue rate exceeded"
+            ),
+            Fault::MemoryOutOfRange { addr, size } => {
+                write!(f, "memory access at word {addr} outside {size}-word data memory")
+            }
+            Fault::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_error_display() {
+        let e = LoadError::BundleTooWide {
+            addr: 3,
+            ops: 4,
+            width: 2,
+        };
+        assert!(e.to_string().contains("instruction 3"));
+        assert!(e.to_string().contains("VLIW width is 2"));
+    }
+
+    #[test]
+    fn fault_display() {
+        let e = Fault::QubitConflict {
+            qubit: Qubit::new(2),
+            point: 77,
+        };
+        assert!(e.to_string().contains("q2"));
+        assert!(e.to_string().contains("77"));
+        let e = Fault::TimelineSlip {
+            requested: 5,
+            feasible: 9,
+        };
+        assert!(e.to_string().contains("issue rate"));
+    }
+
+    #[test]
+    fn error_traits() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<LoadError>();
+        check::<Fault>();
+    }
+}

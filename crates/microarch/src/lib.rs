@@ -1,0 +1,47 @@
+//! # eqasm-microarch — the QuMA v2 control microarchitecture simulator
+//!
+//! A cycle-accurate simulator of the quantum control microarchitecture
+//! that implements the instantiated eQASM (Fig. 9 of the paper): a
+//! classical pipeline at 100 MHz, a queue-based timing unit and fast
+//! conditional execution at 50 MHz (one 20 ns quantum cycle), a VLIW
+//! quantum pipeline with microcode-based decoding, mask-resolved SOMQ
+//! execution, comprehensive feedback control (`FMR` stalls on pending
+//! measurements) and a codeword-triggered analog-digital interface that
+//! drives simulated qubits (`eqasm-quantum`).
+//!
+//! ```
+//! use eqasm_asm::assemble;
+//! use eqasm_core::{Instantiation, Qubit};
+//! use eqasm_microarch::{QuMa, SimConfig};
+//!
+//! // Fig. 4 of the paper: active qubit reset via fast conditional
+//! // execution (C_X executes only when the last result was |1⟩).
+//! let inst = Instantiation::paper_two_qubit();
+//! let program = assemble(
+//!     "SMIS S2, {2}\nQWAIT 10000\nX90 S2\nMEASZ S2\nQWAIT 50\nC_X S2\nMEASZ S2\nQWAIT 50\nSTOP",
+//!     &inst,
+//! )?;
+//! let mut machine = QuMa::new(inst, SimConfig::default().with_seed(1));
+//! machine.load(program.instructions())?;
+//! let result = machine.run();
+//! assert!(result.status.is_halted());
+//! // Whatever the first measurement gave, the conditional X resets the
+//! // qubit to |0⟩ (readout here is ideal).
+//! assert_eq!(machine.measurement_value(Qubit::new(2)), Some(false));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod config;
+mod error;
+mod machine;
+mod stats;
+mod trace;
+
+pub use config::{LatencyModel, MeasurementSource, SimConfig, TimingPolicy};
+pub use error::{Fault, LoadError};
+pub use machine::QuMa;
+pub use stats::{RunResult, RunStats, RunStatus};
+pub use trace::{Trace, TraceEvent, TraceKind};

@@ -1,0 +1,139 @@
+//! Run statistics: instruction mix, timing behaviour and issue-rate
+//! metrics.
+
+/// Counters accumulated over one `run()`.
+///
+/// The issue-rate metrics quantify the quantum operation issue-rate
+/// problem of §1.2: `required_issue_rate()` approximates R_req (quantum
+/// instruction words per quantum cycle of timeline) and `timeline_slips`
+/// counts the cycles where R_req exceeded R_allowed and the timeline had
+/// to slip.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RunStats {
+    /// Simulated classical cycles.
+    pub classical_cycles: u64,
+    /// Simulated quantum cycles.
+    pub quantum_cycles: u64,
+    /// Classical (auxiliary) instructions executed.
+    pub classical_instructions: u64,
+    /// Quantum instructions executed (waits, target setting, bundles).
+    pub quantum_instructions: u64,
+    /// Quantum bundle instruction words executed.
+    pub bundle_words: u64,
+    /// Timing points created in the reserve phase.
+    pub timing_points: u64,
+    /// Device operations that reached the trigger stage.
+    pub ops_triggered: u64,
+    /// Operations cancelled by fast conditional execution.
+    pub ops_cancelled: u64,
+    /// Two-qubit gates applied.
+    pub two_qubit_gates: u64,
+    /// Measurement windows opened.
+    pub measurements: u64,
+    /// Cycles the classical pipeline stalled on `FMR`.
+    pub fmr_stall_cycles: u64,
+    /// Timeline slips (issue-rate violations under the slip policy).
+    pub timeline_slips: u64,
+    /// Total quantum cycles lost to slips.
+    pub slipped_cycles: u64,
+    /// Busy-overlap warnings (operation on a still-busy qubit).
+    pub busy_overlaps: u64,
+    /// The last timing point of the reserve timeline.
+    pub last_timing_point: u64,
+}
+
+impl RunStats {
+    /// Total instructions executed.
+    pub fn total_instructions(&self) -> u64 {
+        self.classical_instructions + self.quantum_instructions
+    }
+
+    /// Approximate R_req: quantum instruction words per quantum cycle of
+    /// constructed timeline (§1.2). Returns 0 when no timeline exists.
+    pub fn required_issue_rate(&self) -> f64 {
+        if self.last_timing_point == 0 {
+            return 0.0;
+        }
+        self.quantum_instructions as f64 / self.last_timing_point as f64
+    }
+
+    /// Effective quantum operations per bundle word (the §4.2 metric:
+    /// "the number of effective quantum operations in each quantum
+    /// bundle").
+    pub fn effective_ops_per_bundle(&self) -> f64 {
+        if self.bundle_words == 0 {
+            return 0.0;
+        }
+        (self.ops_triggered + self.ops_cancelled) as f64 / self.bundle_words as f64
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunStatus {
+    /// The program executed `STOP` (or ran past its last instruction)
+    /// and all queues drained.
+    Halted,
+    /// The configured cycle budget was exhausted first.
+    MaxCycles,
+    /// A fault stopped the processor (§4.3 error conditions).
+    Fault(crate::Fault),
+}
+
+impl RunStatus {
+    /// Returns `true` for a clean halt.
+    pub fn is_halted(&self) -> bool {
+        matches!(self, RunStatus::Halted)
+    }
+}
+
+/// The outcome of one `run()`: status plus statistics. The trace is
+/// retrieved separately from the machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Why the run ended.
+    pub status: RunStatus,
+    /// Counters.
+    pub stats: RunStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_rate_metric() {
+        let stats = RunStats {
+            quantum_instructions: 100,
+            last_timing_point: 50,
+            ..RunStats::default()
+        };
+        assert!((stats.required_issue_rate() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_ops_metric() {
+        let stats = RunStats {
+            ops_triggered: 6,
+            ops_cancelled: 2,
+            bundle_words: 4,
+            ..RunStats::default()
+        };
+        assert!((stats.effective_ops_per_bundle() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators() {
+        let stats = RunStats::default();
+        assert_eq!(stats.required_issue_rate(), 0.0);
+        assert_eq!(stats.effective_ops_per_bundle(), 0.0);
+        assert_eq!(stats.total_instructions(), 0);
+    }
+
+    #[test]
+    fn status_helpers() {
+        assert!(RunStatus::Halted.is_halted());
+        assert!(!RunStatus::MaxCycles.is_halted());
+    }
+}

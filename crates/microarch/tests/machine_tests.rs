@@ -1,0 +1,872 @@
+//! Behavioural tests of the QuMA v2 simulator: every Table 1
+//! instruction, the queue-based timing model (Fig. 3 semantics), fast
+//! conditional execution (Fig. 4), comprehensive feedback control
+//! (Fig. 5), SOMQ, VLIW conflicts and the issue-rate failure mode.
+
+use eqasm_asm::assemble;
+use eqasm_core::{Gpr, Instantiation, Qubit};
+use eqasm_microarch::{
+    Fault, LatencyModel, MeasurementSource, QuMa, RunStatus, SimConfig, TimingPolicy, TraceKind,
+};
+use eqasm_quantum::{NoiseModel, ReadoutModel};
+
+fn zero_latency() -> SimConfig {
+    SimConfig {
+        latency: LatencyModel::zero(),
+        ..SimConfig::default()
+    }
+}
+
+fn run_src(inst: &Instantiation, config: SimConfig, src: &str) -> QuMa {
+    let program = assemble(src, inst).expect("assembly failed");
+    let mut m = QuMa::new(inst.clone(), config);
+    m.load(program.instructions()).expect("load failed");
+    let result = m.run();
+    assert!(
+        result.status.is_halted(),
+        "machine did not halt cleanly: {:?}",
+        result.status
+    );
+    m
+}
+
+// ---------------------------------------------------------------------
+// Classical pipeline (Table 1, auxiliary classical instructions)
+// ---------------------------------------------------------------------
+
+#[test]
+fn alu_and_data_transfer() {
+    let inst = Instantiation::paper();
+    let m = run_src(
+        &inst,
+        zero_latency(),
+        "LDI r1, 5\n\
+         LDI r2, 7\n\
+         ADD r3, r1, r2\n\
+         SUB r4, r2, r1\n\
+         AND r5, r1, r2\n\
+         OR r6, r1, r2\n\
+         XOR r7, r1, r2\n\
+         NOT r8, r1\n\
+         ST r3, r0(4)\n\
+         LD r9, r0(4)\n\
+         STOP",
+    );
+    assert_eq!(m.gpr(Gpr::new(3)), 12);
+    assert_eq!(m.gpr(Gpr::new(4)), 2);
+    assert_eq!(m.gpr(Gpr::new(5)), 5 & 7);
+    assert_eq!(m.gpr(Gpr::new(6)), 5 | 7);
+    assert_eq!(m.gpr(Gpr::new(7)), 5 ^ 7);
+    assert_eq!(m.gpr(Gpr::new(8)), !5u32);
+    assert_eq!(m.memory_word(4), Some(12));
+    assert_eq!(m.gpr(Gpr::new(9)), 12);
+}
+
+#[test]
+fn ldi_sign_extends() {
+    let inst = Instantiation::paper();
+    let m = run_src(&inst, zero_latency(), "LDI r1, -2\nSTOP");
+    assert_eq!(m.gpr(Gpr::new(1)), -2i32 as u32);
+}
+
+#[test]
+fn ldui_concatenates() {
+    // LDUI Rd, Imm, Rs: Rd = Imm[14..0] :: Rs[16..0] (Table 1).
+    let inst = Instantiation::paper();
+    let m = run_src(
+        &inst,
+        zero_latency(),
+        "LDI r1, 99\nLDUI r2, 3, r1\nSTOP",
+    );
+    assert_eq!(m.gpr(Gpr::new(2)), (3 << 17) | 99);
+}
+
+#[test]
+fn cmp_br_loop_counts_to_five() {
+    let inst = Instantiation::paper();
+    let m = run_src(
+        &inst,
+        zero_latency(),
+        "LDI r0, 0\n\
+         LDI r1, 5\n\
+         LDI r2, 1\n\
+         loop:\n\
+         ADD r0, r0, r2\n\
+         CMP r0, r1\n\
+         BR NE, loop\n\
+         STOP",
+    );
+    assert_eq!(m.gpr(Gpr::new(0)), 5);
+}
+
+#[test]
+fn fbr_fetches_flag() {
+    let inst = Instantiation::paper();
+    let m = run_src(
+        &inst,
+        zero_latency(),
+        "LDI r1, 3\nLDI r2, 9\nCMP r1, r2\nFBR LT, r4\nFBR GT, r5\nFBR ALWAYS, r6\nSTOP",
+    );
+    assert_eq!(m.gpr(Gpr::new(4)), 1);
+    assert_eq!(m.gpr(Gpr::new(5)), 0);
+    assert_eq!(m.gpr(Gpr::new(6)), 1);
+}
+
+#[test]
+fn signed_vs_unsigned_branches() {
+    let inst = Instantiation::paper();
+    let m = run_src(
+        &inst,
+        zero_latency(),
+        "LDI r1, -1\nLDI r2, 1\nCMP r1, r2\nFBR LT, r3\nFBR LTU, r4\nSTOP",
+    );
+    assert_eq!(m.gpr(Gpr::new(3)), 1, "-1 < 1 signed");
+    assert_eq!(m.gpr(Gpr::new(4)), 0, "0xffffffff > 1 unsigned");
+}
+
+#[test]
+fn memory_fault_stops_machine() {
+    let inst = Instantiation::paper();
+    let program = assemble("LDI r1, 100000\nLD r2, r1(0)\nSTOP", &inst).unwrap();
+    let mut m = QuMa::new(inst, zero_latency());
+    m.load(program.instructions()).unwrap();
+    let result = m.run();
+    assert!(matches!(
+        result.status,
+        RunStatus::Fault(Fault::MemoryOutOfRange { .. })
+    ));
+}
+
+#[test]
+fn infinite_loop_hits_cycle_budget() {
+    let inst = Instantiation::paper();
+    let program = assemble("loop:\nBR ALWAYS, loop", &inst).unwrap();
+    let mut m = QuMa::new(
+        inst,
+        SimConfig {
+            max_classical_cycles: 1000,
+            ..zero_latency()
+        },
+    );
+    m.load(program.instructions()).unwrap();
+    let result = m.run();
+    assert_eq!(result.status, RunStatus::MaxCycles);
+}
+
+// ---------------------------------------------------------------------
+// Timing model (§3.1, Fig. 3)
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig3_cycle_exact_timing() {
+    // "According to the PI value, the Y gate happens immediately after
+    // the initialization, followed by the X90 and X gates 20 ns later
+    // and the measurement 40 ns later."
+    let inst = Instantiation::paper();
+    let m = run_src(
+        &inst,
+        zero_latency(),
+        "SMIS S0, {0}\n\
+         SMIS S2, {2}\n\
+         SMIS S7, {0, 2}\n\
+         QWAIT 10000\n\
+         0, Y S7\n\
+         1, X90 S0 | X S2\n\
+         1, MEASZ S7\n\
+         QWAIT 50\n\
+         STOP",
+    );
+    let ops = m.trace().executed_ops();
+    // Y on qubits 0 and 2 at the initialization point (qc 10000 =
+    // cc 20000 with 2 classical cycles per quantum cycle).
+    let y_ops: Vec<_> = ops.iter().filter(|(_, _, n)| *n == "Y").collect();
+    assert_eq!(y_ops.len(), 2);
+    assert!(y_ops.iter().all(|(cc, _, _)| *cc == 20000), "{y_ops:?}");
+    // X90 and X one cycle later.
+    let x90 = ops.iter().find(|(_, _, n)| *n == "X90").unwrap();
+    let x = ops.iter().find(|(_, _, n)| *n == "X").unwrap();
+    assert_eq!(x90.0, 20002);
+    assert_eq!(x.0, 20002);
+    assert_eq!(x90.1, Qubit::new(0));
+    assert_eq!(x.1, Qubit::new(2));
+    // Measurement another cycle later, on both qubits.
+    let meas: Vec<_> = ops.iter().filter(|(_, _, n)| *n == "MEASZ").collect();
+    assert_eq!(meas.len(), 2);
+    assert!(meas.iter().all(|(cc, _, _)| *cc == 20004));
+}
+
+#[test]
+fn example_3_1_3_back_to_back() {
+    // §3.1.3: four one-cycle operations triggered back-to-back using
+    // default PI, QWAITR, PI 0 after QWAIT, and explicit PI 1.
+    let inst = Instantiation::paper();
+    let m = run_src(
+        &inst,
+        zero_latency(),
+        "SMIS S0, {0}\n\
+         LDI r0, 1\n\
+         QWAIT 100\n\
+         0, X S0\n\
+         Y S0\n\
+         QWAITR r0\n\
+         0, X90 S0\n\
+         QWAIT 0\n\
+         1, Y90 S0\n\
+         STOP",
+    );
+    let ops = m.trace().executed_ops();
+    let cycles: Vec<u64> = ops.iter().map(|(cc, _, _)| *cc).collect();
+    assert_eq!(cycles, vec![200, 202, 204, 206], "{ops:?}");
+}
+
+#[test]
+fn qwait_zero_is_nop() {
+    let inst = Instantiation::paper();
+    let m = run_src(
+        &inst,
+        zero_latency(),
+        "SMIS S0, {0}\nQWAIT 100\n0, X S0\nQWAIT 0\nQWAIT 0\n1, Y S0\nSTOP",
+    );
+    let ops = m.trace().executed_ops();
+    assert_eq!(ops[0].0, 200);
+    assert_eq!(ops[1].0, 202, "QWAIT 0 must not advance the timeline");
+}
+
+#[test]
+fn qwaitr_uses_register_value() {
+    let inst = Instantiation::paper();
+    let m = run_src(
+        &inst,
+        zero_latency(),
+        "SMIS S0, {0}\nLDI r3, 25\nQWAIT 100\n0, X S0\nQWAITR r3\n0, Y S0\nSTOP",
+    );
+    let ops = m.trace().executed_ops();
+    assert_eq!(ops[1].0 - ops[0].0, 50, "25 quantum cycles = 50 classical");
+}
+
+// ---------------------------------------------------------------------
+// SOMQ and VLIW (§3.3, §3.4)
+// ---------------------------------------------------------------------
+
+#[test]
+fn somq_applies_one_op_to_many_qubits() {
+    let inst = Instantiation::paper();
+    let mut m = run_src(
+        &inst,
+        zero_latency(),
+        "SMIS S7, {0, 2, 5}\nQWAIT 100\n0, X S7\nSTOP",
+    );
+    for q in [0u8, 2, 5] {
+        assert!(
+            (m.prob1(Qubit::new(q)) - 1.0).abs() < 1e-9,
+            "qubit {q} not flipped"
+        );
+    }
+    for q in [1u8, 3, 4, 6] {
+        assert!(m.prob1(Qubit::new(q)) < 1e-9, "qubit {q} spuriously flipped");
+    }
+}
+
+#[test]
+fn vliw_lanes_trigger_simultaneously() {
+    let inst = Instantiation::paper();
+    let m = run_src(
+        &inst,
+        zero_latency(),
+        "SMIS S0, {0}\nSMIS S1, {1}\nQWAIT 100\n0, X S0 | Y S1\nSTOP",
+    );
+    let ops = m.trace().executed_ops();
+    assert_eq!(ops.len(), 2);
+    assert_eq!(ops[0].0, ops[1].0, "both lanes at the same timing point");
+}
+
+#[test]
+fn vliw_lane_conflict_faults() {
+    // §4.3: "If both VLIW lanes output one micro-operation on the same
+    // qubit, an error is raised, and the quantum processor stops."
+    let inst = Instantiation::paper();
+    let program = assemble("SMIS S0, {0}\nQWAIT 100\n0, X S0 | Y S0\nSTOP", &inst).unwrap();
+    let mut m = QuMa::new(inst, zero_latency());
+    m.load(program.instructions()).unwrap();
+    let result = m.run();
+    assert!(matches!(
+        result.status,
+        RunStatus::Fault(Fault::QubitConflict { .. })
+    ));
+}
+
+#[test]
+fn cross_bundle_same_point_conflict_faults() {
+    // §4.3: "if two different quantum bundle instructions specify a
+    // quantum operation on the same qubit, an error is raised".
+    let inst = Instantiation::paper();
+    let program =
+        assemble("SMIS S0, {0}\nQWAIT 100\n0, X S0\n0, Y S0\nSTOP", &inst).unwrap();
+    let mut m = QuMa::new(inst, zero_latency());
+    m.load(program.instructions()).unwrap();
+    let result = m.run();
+    assert!(matches!(
+        result.status,
+        RunStatus::Fault(Fault::QubitConflict { .. })
+    ));
+}
+
+#[test]
+fn two_qubit_gate_via_smit() {
+    let inst = Instantiation::paper_two_qubit();
+    let mut m = run_src(
+        &inst,
+        zero_latency(),
+        "SMIS S0, {0}\nSMIT T0, {(0, 2)}\nQWAIT 100\n0, X S0\n1, CNOT T0\nSTOP",
+    );
+    // X put qubit 0 (the CNOT source/control) in |1>, so the CNOT flips
+    // qubit 2.
+    assert!((m.prob1(Qubit::new(0)) - 1.0).abs() < 1e-9);
+    assert!((m.prob1(Qubit::new(2)) - 1.0).abs() < 1e-9);
+    assert_eq!(m.stats().two_qubit_gates, 1);
+}
+
+#[test]
+fn surface7_parallel_two_qubit_gates() {
+    // Two disjoint pairs in one T register: (2,0) and (3,1) are edges 0
+    // and 5 of the surface-7 topology.
+    let inst = Instantiation::paper();
+    let mut m = run_src(
+        &inst,
+        zero_latency(),
+        "SMIS S0, {2, 3}\nSMIT T1, {(2, 0), (3, 1)}\nQWAIT 100\n0, X S0\n1, CNOT T1\nSTOP",
+    );
+    for q in [0u8, 1, 2, 3] {
+        assert!(
+            (m.prob1(Qubit::new(q)) - 1.0).abs() < 1e-9,
+            "qubit {q} wrong"
+        );
+    }
+    assert_eq!(m.stats().two_qubit_gates, 2);
+}
+
+// ---------------------------------------------------------------------
+// Measurement, fast conditional execution (Fig. 4) and CFC (Fig. 5)
+// ---------------------------------------------------------------------
+
+#[test]
+fn measurement_writes_result_register() {
+    let inst = Instantiation::paper_two_qubit();
+    let m = run_src(
+        &inst,
+        zero_latency(),
+        "SMIS S0, {0}\nQWAIT 100\n0, X S0\n1, MEASZ S0\nQWAIT 50\nSTOP",
+    );
+    assert_eq!(m.measurement_value(Qubit::new(0)), Some(true));
+    assert_eq!(m.stats().measurements, 1);
+}
+
+#[test]
+fn measurement_duration_is_15_cycles() {
+    let inst = Instantiation::paper_two_qubit();
+    let m = run_src(
+        &inst,
+        zero_latency(),
+        "SMIS S0, {0}\nQWAIT 100\n0, MEASZ S0\nQWAIT 50\nSTOP",
+    );
+    let started = m
+        .trace()
+        .find(|k| matches!(k, TraceKind::MeasurementStarted { .. }))
+        .unwrap()
+        .cc;
+    let results = m.trace().measurement_results();
+    assert_eq!(results.len(), 1);
+    // 15 quantum cycles = 30 classical cycles (§4.2 gate times).
+    assert_eq!(results[0].0 - started, 30);
+}
+
+#[test]
+fn fast_conditional_c_x_executes_on_one() {
+    let inst = Instantiation::paper_two_qubit();
+    let mut m = run_src(
+        &inst,
+        zero_latency(),
+        "SMIS S2, {2}\nQWAIT 100\n0, X S2\n1, MEASZ S2\nQWAIT 50\nC_X S2\nQWAIT 5\nSTOP",
+    );
+    // Qubit was |1>, measured 1 -> C_X executes -> back to |0>.
+    let cx = m
+        .trace()
+        .ops_on(Qubit::new(2))
+        .into_iter()
+        .find(|e| matches!(&e.kind, TraceKind::OpTriggered { name, .. } if name == "C_X"))
+        .cloned()
+        .unwrap();
+    assert!(matches!(
+        cx.kind,
+        TraceKind::OpTriggered { executed: true, .. }
+    ));
+    assert!(m.prob1(Qubit::new(2)) < 1e-9);
+}
+
+#[test]
+fn fast_conditional_c_x_cancelled_on_zero() {
+    let inst = Instantiation::paper_two_qubit();
+    let mut m = run_src(
+        &inst,
+        zero_latency(),
+        "SMIS S2, {2}\nQWAIT 100\n0, MEASZ S2\nQWAIT 50\nC_X S2\nQWAIT 5\nSTOP",
+    );
+    let cx = m
+        .trace()
+        .ops_on(Qubit::new(2))
+        .into_iter()
+        .find(|e| matches!(&e.kind, TraceKind::OpTriggered { name, .. } if name == "C_X"))
+        .cloned()
+        .unwrap();
+    assert!(matches!(
+        cx.kind,
+        TraceKind::OpTriggered {
+            executed: false,
+            ..
+        }
+    ));
+    assert_eq!(m.stats().ops_cancelled, 1);
+    assert!(m.prob1(Qubit::new(2)) < 1e-9);
+}
+
+#[test]
+fn active_reset_always_ends_in_zero() {
+    // Fig. 4 with ideal readout: the conditional X deterministically
+    // resets the qubit regardless of the measurement outcome.
+    let inst = Instantiation::paper_two_qubit();
+    for seed in 0..20 {
+        let m = run_src(
+            &inst,
+            zero_latency().with_seed(seed),
+            "SMIS S2, {2}\nQWAIT 10000\nX90 S2\nMEASZ S2\nQWAIT 50\nC_X S2\nMEASZ S2\nQWAIT 50\nSTOP",
+        );
+        assert_eq!(
+            m.measurement_value(Qubit::new(2)),
+            Some(false),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn fmr_stalls_until_result_ready() {
+    let inst = Instantiation::paper_two_qubit();
+    let m = run_src(
+        &inst,
+        zero_latency(),
+        "SMIS S0, {0}\nQWAIT 100\n0, X S0\n1, MEASZ S0\nFMR r1, q0\nSTOP",
+    );
+    assert_eq!(m.gpr(Gpr::new(1)), 1);
+    assert!(
+        m.stats().fmr_stall_cycles > 20,
+        "FMR must stall through the measurement window, stalled {} cycles",
+        m.stats().fmr_stall_cycles
+    );
+}
+
+#[test]
+fn fmr_without_pending_measurement_does_not_stall() {
+    let inst = Instantiation::paper_two_qubit();
+    let m = run_src(&inst, zero_latency(), "FMR r1, q0\nSTOP");
+    assert_eq!(m.gpr(Gpr::new(1)), 0);
+    assert_eq!(m.stats().fmr_stall_cycles, 0);
+}
+
+#[test]
+fn fig5_cfc_branches_on_result_mock_one() {
+    // Mock results: first measurement of qubit 1 returns 1 -> eq_path
+    // -> Y on qubit 0.
+    let inst = Instantiation::paper_two_qubit();
+    let src = "\
+SMIS S0, {0}
+SMIS S1, {1}
+LDI R0, 1
+QWAIT 100
+0, MEASZ S1
+QWAIT 30
+FMR R1, Q1
+CMP R1, R0
+BR EQ, eq_path
+ne_path:
+X S0
+BR ALWAYS, next
+eq_path:
+Y S0
+next:
+QWAIT 10
+STOP";
+    let cfg = zero_latency()
+        .with_measurement_source(MeasurementSource::MockAlternating { start: true });
+    let m = run_src(&inst, cfg, src);
+    let ops = m.trace().executed_ops();
+    let gate_names: Vec<&str> = ops
+        .iter()
+        .filter(|(_, q, _)| *q == Qubit::new(0))
+        .map(|(_, _, n)| *n)
+        .collect();
+    assert_eq!(gate_names, vec!["Y"], "result 1 must select the Y path");
+}
+
+#[test]
+fn fig5_cfc_branches_on_result_mock_zero() {
+    let inst = Instantiation::paper_two_qubit();
+    let src = "\
+SMIS S0, {0}
+SMIS S1, {1}
+LDI R0, 1
+QWAIT 100
+0, MEASZ S1
+QWAIT 30
+FMR R1, Q1
+CMP R1, R0
+BR EQ, eq_path
+ne_path:
+X S0
+BR ALWAYS, next
+eq_path:
+Y S0
+next:
+QWAIT 10
+STOP";
+    let cfg = zero_latency()
+        .with_measurement_source(MeasurementSource::MockAlternating { start: false });
+    let m = run_src(&inst, cfg, src);
+    let gate_names: Vec<&str> = m
+        .trace()
+        .executed_ops()
+        .iter()
+        .filter(|(_, q, _)| *q == Qubit::new(0))
+        .map(|(_, _, n)| *n)
+        .collect();
+    assert_eq!(gate_names, vec!["X"], "result 0 must select the X path");
+}
+
+#[test]
+fn cfc_alternation_over_loop() {
+    // The paper's CFC validation: alternating mock results produce
+    // alternating X and Y operations. Loop four times.
+    let inst = Instantiation::paper_two_qubit();
+    let src = "\
+SMIS S0, {0}
+SMIS S1, {1}
+LDI R0, 1
+LDI r2, 0
+LDI r3, 4
+LDI r4, 1
+loop:
+QWAIT 100
+0, MEASZ S1
+QWAIT 30
+FMR R1, Q1
+CMP R1, R0
+BR EQ, eq_path
+X S0
+BR ALWAYS, next
+eq_path:
+Y S0
+next:
+QWAIT 10
+ADD r2, r2, r4
+CMP r2, r3
+BR NE, loop
+STOP";
+    let cfg = zero_latency()
+        .with_measurement_source(MeasurementSource::MockAlternating { start: false });
+    let m = run_src(&inst, cfg, src);
+    let gate_names: Vec<&str> = m
+        .trace()
+        .executed_ops()
+        .iter()
+        .filter(|(_, q, _)| *q == Qubit::new(0))
+        .map(|(_, _, n)| *n)
+        .collect();
+    assert_eq!(gate_names, vec!["X", "Y", "X", "Y"]);
+}
+
+#[test]
+fn mock_fixed_results() {
+    let inst = Instantiation::paper_two_qubit();
+    let cfg = zero_latency()
+        .with_measurement_source(MeasurementSource::MockFixed(vec![true, true, false]));
+    let m = run_src(
+        &inst,
+        cfg,
+        "SMIS S0, {0}\nQWAIT 100\n0, MEASZ S0\nQWAIT 20\nMEASZ S0\nQWAIT 20\nMEASZ S0\nQWAIT 20\nSTOP",
+    );
+    let reported: Vec<bool> = m
+        .trace()
+        .measurement_results()
+        .iter()
+        .map(|(_, _, _, r)| *r)
+        .collect();
+    assert_eq!(reported, vec![true, true, false]);
+}
+
+#[test]
+fn readout_error_corrupts_reports() {
+    let inst = Instantiation::paper_two_qubit();
+    let mut src = String::from("SMIS S0, {0}\nQWAIT 100\n");
+    for _ in 0..200 {
+        src.push_str("0, MEASZ S0\nQWAIT 20\n");
+    }
+    src.push_str("STOP");
+    let cfg = zero_latency().with_readout(ReadoutModel::symmetric(0.3)).with_seed(3);
+    let m = run_src(&inst, cfg, &src);
+    let results = m.trace().measurement_results();
+    assert_eq!(results.len(), 200);
+    // Qubit stays |0>: raw always false; ~30% reported true.
+    assert!(results.iter().all(|(_, _, raw, _)| !raw));
+    let flips = results.iter().filter(|(_, _, _, rep)| *rep).count();
+    assert!(
+        (40..=80).contains(&flips),
+        "expected ~60 readout flips, got {flips}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Noise and physics
+// ---------------------------------------------------------------------
+
+#[test]
+fn t1_decay_during_idle() {
+    let inst = Instantiation::paper_two_qubit();
+    let noise = NoiseModel::with_coherence(1000.0, 2000.0);
+    // X at point p, second X at p+100 (2000 ns later): populations swap
+    // around the decayed state, P(1) = 1 - e^(-2).
+    let mut m = run_src(
+        &inst,
+        zero_latency().with_noise(noise),
+        "SMIS S0, {0}\nQWAIT 100\n0, X S0\nQWAIT 100\n0, X S0\nSTOP",
+    );
+    // A few extra classical cycles of decay accrue while the machine
+    // drains and halts, so allow a small tolerance below the ideal
+    // value.
+    let expect = 1.0 - (-2.0f64).exp();
+    let got = m.prob1(Qubit::new(0));
+    assert!(got <= expect + 1e-9 && (got - expect).abs() < 0.02, "got {got}, expected ~{expect}");
+}
+
+#[test]
+fn gate_depolarizing_error_applies() {
+    let inst = Instantiation::paper_two_qubit();
+    let noise = NoiseModel::ideal().with_gate_error(0.03, 0.0);
+    let mut m = run_src(
+        &inst,
+        zero_latency().with_noise(noise),
+        "SMIS S0, {0}\nQWAIT 100\n0, X S0\nSTOP",
+    );
+    let got = m.prob1(Qubit::new(0));
+    // One X with 3% depolarizing: P(1) = 1 - 2p/3.
+    let expect = 1.0 - 2.0 * 0.03 / 3.0;
+    assert!((got - expect).abs() < 1e-9, "got {got}");
+}
+
+#[test]
+fn busy_overlap_detected() {
+    let inst = Instantiation::paper_two_qubit();
+    let m = run_src(
+        &inst,
+        zero_latency(),
+        "SMIS S0, {0}\nQWAIT 100\n0, MEASZ S0\n1, X S0\nQWAIT 50\nSTOP",
+    );
+    assert!(m.stats().busy_overlaps >= 1);
+}
+
+// ---------------------------------------------------------------------
+// Issue rate / timeline slips (§1.2)
+// ---------------------------------------------------------------------
+
+#[test]
+fn dense_program_with_classical_padding_slips() {
+    // Each timing point advances 1 quantum cycle (2 classical cycles)
+    // but needs 4 classical cycles of instructions: R_req > R_allowed.
+    let inst = Instantiation::paper();
+    let mut src = String::from("SMIS S0, {0}\nQWAIT 10\n");
+    for _ in 0..30 {
+        src.push_str("1, X S0\nNOP\nNOP\nNOP\n");
+    }
+    src.push_str("STOP");
+    let program = assemble(&src, &inst).unwrap();
+
+    let mut m = QuMa::new(inst.clone(), zero_latency());
+    m.load(program.instructions()).unwrap();
+    let result = m.run();
+    assert!(result.status.is_halted());
+    assert!(
+        result.stats.timeline_slips > 0,
+        "over-dense program must slip: {:?}",
+        result.stats
+    );
+
+    // Under the hard real-time policy the same program faults.
+    let mut m = QuMa::new(
+        inst,
+        SimConfig {
+            timing_policy: TimingPolicy::Fault,
+            ..zero_latency()
+        },
+    );
+    m.load(program.instructions()).unwrap();
+    let result = m.run();
+    assert!(matches!(
+        result.status,
+        RunStatus::Fault(Fault::TimelineSlip { .. })
+    ));
+}
+
+#[test]
+fn feasible_program_does_not_slip() {
+    // One bundle per point, points 1 qc apart: exactly R_allowed.
+    let inst = Instantiation::paper();
+    let mut src = String::from("SMIS S0, {0}\nQWAIT 10\n");
+    for _ in 0..50 {
+        src.push_str("1, X S0\n");
+    }
+    src.push_str("STOP");
+    let m = run_src(&inst, zero_latency(), &src);
+    assert_eq!(m.stats().timeline_slips, 0);
+    assert_eq!(m.stats().ops_triggered, 50);
+}
+
+// ---------------------------------------------------------------------
+// Statistics and lifecycle
+// ---------------------------------------------------------------------
+
+#[test]
+fn stats_count_instruction_mix() {
+    let inst = Instantiation::paper_two_qubit();
+    let m = run_src(
+        &inst,
+        zero_latency(),
+        "LDI r0, 1\nSMIS S0, {0}\nQWAIT 100\n0, X S0\nQWAIT 10\nSTOP",
+    );
+    let s = m.stats();
+    assert_eq!(s.classical_instructions, 2); // LDI + STOP
+    assert_eq!(s.quantum_instructions, 4); // SMIS + QWAIT + bundle + QWAIT
+    assert_eq!(s.bundle_words, 1);
+    assert_eq!(s.ops_triggered, 1);
+    assert_eq!(s.timing_points, 2);
+}
+
+#[test]
+fn reset_replays_identically() {
+    let inst = Instantiation::paper_two_qubit();
+    let program = assemble(
+        "SMIS S0, {0}\nQWAIT 100\n0, X90 S0\n1, MEASZ S0\nQWAIT 50\nSTOP",
+        &inst,
+    )
+    .unwrap();
+    let mut m = QuMa::new(inst, zero_latency().with_seed(11));
+    m.load(program.instructions()).unwrap();
+    m.run();
+    let first = m.measurement_value(Qubit::new(0));
+    m.reset();
+    m.run();
+    assert_eq!(m.measurement_value(Qubit::new(0)), first);
+    m.reset_with_seed(12345);
+    m.run();
+    // Different seed may differ; just check it ran.
+    assert!(m.measurement_value(Qubit::new(0)).is_some());
+}
+
+#[test]
+fn load_rejects_wide_bundles() {
+    use eqasm_core::{Bundle, BundleOp, Instruction, SReg};
+    let inst = Instantiation::paper();
+    let x = inst.ops().by_name("X").unwrap().opcode();
+    let wide = Instruction::Bundle(Bundle::with_pre_interval(
+        1,
+        vec![
+            BundleOp::single(x, SReg::new(0)),
+            BundleOp::single(x, SReg::new(1)),
+            BundleOp::single(x, SReg::new(2)),
+        ],
+    ));
+    let mut m = QuMa::new(inst, zero_latency());
+    assert!(m.load(&[wide]).is_err());
+}
+
+#[test]
+fn program_without_stop_halts_at_end() {
+    let inst = Instantiation::paper_two_qubit();
+    let m = run_src(&inst, zero_latency(), "LDI r1, 9");
+    assert_eq!(m.gpr(Gpr::new(1)), 9);
+}
+
+#[test]
+fn default_latency_program_still_exact_relative_timing() {
+    // With the calibrated (non-zero) latency model, relative op timing
+    // is unchanged; only the constant ADI output offset moves.
+    let inst = Instantiation::paper();
+    let m = run_src(
+        &inst,
+        SimConfig::default(),
+        "SMIS S0, {0}\nQWAIT 1000\n0, X S0\n5, Y S0\nSTOP",
+    );
+    let ops = m.trace().executed_ops();
+    assert_eq!(ops.len(), 2);
+    assert_eq!(ops[1].0 - ops[0].0, 10, "5 quantum cycles apart");
+}
+
+#[test]
+fn last_two_equal_flag_gates_ce_x() {
+    // CE_X executes iff the last two finished measurements agree
+    // (execution-flag kind 4 of §4.3).
+    let inst = Instantiation::paper_two_qubit();
+    // Two measurements of |0>: results agree -> CE_X fires.
+    let mut m = run_src(
+        &inst,
+        zero_latency(),
+        "SMIS S0, {0}\nQWAIT 100\n0, MEASZ S0\nQWAIT 20\nMEASZ S0\nQWAIT 20\nCE_X S0\nQWAIT 5\nSTOP",
+    );
+    assert_eq!(m.stats().ops_cancelled, 0);
+    assert!((m.prob1(Qubit::new(0)) - 1.0).abs() < 1e-9, "CE_X fired");
+
+    // Flip between the measurements: results differ -> CE_X cancelled.
+    let mut m = run_src(
+        &inst,
+        zero_latency(),
+        "SMIS S0, {0}\nQWAIT 100\n0, MEASZ S0\nQWAIT 20\nX S0\nMEASZ S0\nQWAIT 20\nCE_X S0\nQWAIT 5\nSTOP",
+    );
+    assert_eq!(m.stats().ops_cancelled, 1);
+    assert!((m.prob1(Qubit::new(0)) - 1.0).abs() < 1e-9, "state untouched by cancelled CE_X");
+}
+
+#[test]
+fn conditional_measurement_cancellation_keeps_qi_valid() {
+    // A conditional operation that is *a measurement* and gets cancelled
+    // must undo its pending-counter increment, or FMR would deadlock.
+    use eqasm_core::{ExecFlag, OpConfig, PulseKind};
+    let mut b = OpConfig::builder(9);
+    b.single("X", 1, PulseKind::Rx(std::f64::consts::PI)).unwrap();
+    b.measurement("MEASZ", 15).unwrap();
+    // A measurement gated on last-is-one: cancelled when no 1 was seen.
+    let opcode = {
+        use eqasm_core::{DeviceKind, MicroOp, Codeword};
+        let _ = (DeviceKind::Measurement, MicroOp::new(Codeword::new(0), DeviceKind::Measurement, 1));
+        b.measurement("C_MEAS", 15).unwrap()
+    };
+    let _ = opcode;
+    let cfg = b.build();
+    // Rewire C_MEAS's condition by rebuilding: simpler — use the
+    // fast-conditional C_X path instead; this test covers the plain
+    // cancellation bookkeeping through exec flags on measurement ops
+    // configured via single_conditional + Measure pulse.
+    let mut b2 = OpConfig::builder(9);
+    b2.single("X", 1, PulseKind::Rx(std::f64::consts::PI)).unwrap();
+    b2.measurement("MEASZ", 15).unwrap();
+    b2.single_conditional("C_MEAS", 15, PulseKind::Measure, ExecFlag::LastIsOne)
+        .unwrap();
+    let cfg2 = b2.build();
+    drop(cfg);
+    let inst = Instantiation::paper_two_qubit().with_ops(cfg2);
+    // No prior 1-result: C_MEAS cancels; FMR afterwards must not stall
+    // forever (the machine must halt).
+    let m = run_src(
+        &inst,
+        zero_latency(),
+        "SMIS S0, {0}\nQWAIT 100\n0, MEASZ S0\nQWAIT 20\nC_MEAS S0\nQWAIT 20\nFMR r1, q0\nSTOP",
+    );
+    assert_eq!(m.gpr(Gpr::new(1)), 0);
+    assert_eq!(m.stats().ops_cancelled, 1);
+}

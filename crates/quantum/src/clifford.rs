@@ -1,0 +1,341 @@
+//! The single-qubit Clifford group and its decomposition into the
+//! primitive x/y rotations of the target chip.
+//!
+//! Randomized benchmarking (§5 and Fig. 12) applies random sequences of
+//! the 24 single-qubit Cliffords, each decomposed into primitive gates
+//! from {I, X, Y, X90, Y90, Xm90, Ym90}. The paper notes the
+//! decomposition increases the gate count by 1.875× on average — exactly
+//! the average length of the minimal decompositions computed here.
+
+use std::f64::consts::{FRAC_PI_2, PI};
+use std::sync::OnceLock;
+
+use crate::matrix::CMatrix;
+
+/// A primitive gate of the target chip: the x/y rotations the microwave
+/// pulse library provides (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Primitive {
+    /// Identity (an idling pulse slot).
+    I,
+    /// π rotation about x.
+    X,
+    /// π rotation about y.
+    Y,
+    /// π/2 rotation about x.
+    X90,
+    /// π/2 rotation about y.
+    Y90,
+    /// −π/2 rotation about x.
+    Xm90,
+    /// −π/2 rotation about y.
+    Ym90,
+}
+
+impl Primitive {
+    /// All primitives, in a fixed deterministic order.
+    pub const ALL: [Primitive; 7] = [
+        Primitive::I,
+        Primitive::X,
+        Primitive::Y,
+        Primitive::X90,
+        Primitive::Y90,
+        Primitive::Xm90,
+        Primitive::Ym90,
+    ];
+
+    /// The eQASM operation name of the primitive (matches
+    /// `OpConfig::default_config`).
+    pub const fn op_name(self) -> &'static str {
+        match self {
+            Primitive::I => "I",
+            Primitive::X => "X",
+            Primitive::Y => "Y",
+            Primitive::X90 => "X90",
+            Primitive::Y90 => "Y90",
+            Primitive::Xm90 => "XM90",
+            Primitive::Ym90 => "YM90",
+        }
+    }
+
+    /// The unitary of the primitive.
+    pub fn matrix(self) -> CMatrix {
+        match self {
+            Primitive::I => crate::gates::identity2(),
+            Primitive::X => crate::gates::rx(PI),
+            Primitive::Y => crate::gates::ry(PI),
+            Primitive::X90 => crate::gates::rx(FRAC_PI_2),
+            Primitive::Y90 => crate::gates::ry(FRAC_PI_2),
+            Primitive::Xm90 => crate::gates::rx(-FRAC_PI_2),
+            Primitive::Ym90 => crate::gates::ry(-FRAC_PI_2),
+        }
+    }
+}
+
+/// One of the 24 single-qubit Clifford gates.
+///
+/// Cliffords are identified by a stable index `0..24`; index 0 is the
+/// identity. Composition, inversion and minimal decomposition into
+/// [`Primitive`]s are table-driven and cheap.
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_quantum::Clifford;
+///
+/// let c = Clifford::from_index(5).unwrap();
+/// let inv = c.inverse();
+/// assert_eq!(c.compose(inv), Clifford::identity());
+/// // Average decomposition length over the group is 1.875 primitives.
+/// let total: usize = Clifford::all().map(|c| c.decomposition().len()).sum();
+/// assert_eq!(total, 45);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Clifford(u8);
+
+/// Number of single-qubit Cliffords.
+pub const CLIFFORD_COUNT: usize = 24;
+
+struct Tables {
+    matrices: Vec<CMatrix>,
+    decompositions: Vec<Vec<Primitive>>,
+    compose: Vec<[u8; CLIFFORD_COUNT]>,
+    inverse: [u8; CLIFFORD_COUNT],
+}
+
+fn find_up_to_phase(mats: &[CMatrix], u: &CMatrix) -> Option<usize> {
+    mats.iter().position(|m| m.approx_eq_up_to_phase(u, 1e-9))
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        // Breadth-first closure over products of the primitives. The BFS
+        // order makes index assignment deterministic (identity first) and
+        // yields *minimal* decompositions; I is its own one-gate
+        // decomposition, as in the physical pulse table.
+        let mut matrices: Vec<CMatrix> = vec![CMatrix::identity(2)];
+        let mut decompositions: Vec<Vec<Primitive>> = vec![vec![Primitive::I]];
+        let mut frontier: Vec<usize> = vec![0];
+        while !frontier.is_empty() && matrices.len() < CLIFFORD_COUNT {
+            let mut next = Vec::new();
+            for &idx in &frontier {
+                for p in Primitive::ALL {
+                    if p == Primitive::I {
+                        continue;
+                    }
+                    // New unitary = p ∘ existing (apply existing first).
+                    let u = &p.matrix() * &matrices[idx];
+                    if find_up_to_phase(&matrices, &u).is_none() {
+                        let mut dec = if decompositions[idx] == [Primitive::I] {
+                            Vec::new()
+                        } else {
+                            decompositions[idx].clone()
+                        };
+                        dec.push(p);
+                        matrices.push(u);
+                        decompositions.push(dec);
+                        next.push(matrices.len() - 1);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        assert_eq!(
+            matrices.len(),
+            CLIFFORD_COUNT,
+            "x/y rotations must generate all 24 Cliffords"
+        );
+
+        let mut compose = vec![[0u8; CLIFFORD_COUNT]; CLIFFORD_COUNT];
+        for a in 0..CLIFFORD_COUNT {
+            for b in 0..CLIFFORD_COUNT {
+                // compose[a][b] = the Clifford equal to (b after a),
+                // i.e. matrix(b) * matrix(a).
+                let u = &matrices[b] * &matrices[a];
+                let idx = find_up_to_phase(&matrices, &u)
+                    .expect("Clifford group is closed under composition");
+                compose[a][b] = idx as u8;
+            }
+        }
+        let mut inverse = [0u8; CLIFFORD_COUNT];
+        for a in 0..CLIFFORD_COUNT {
+            let inv = (0..CLIFFORD_COUNT)
+                .find(|&b| compose[a][b] == 0)
+                .expect("every group element has an inverse");
+            inverse[a] = inv as u8;
+        }
+        Tables {
+            matrices,
+            decompositions,
+            compose,
+            inverse,
+        }
+    })
+}
+
+impl Clifford {
+    /// The identity Clifford.
+    pub const fn identity() -> Self {
+        Clifford(0)
+    }
+
+    /// Creates a Clifford from its index, or `None` if out of range.
+    pub fn from_index(index: usize) -> Option<Self> {
+        (index < CLIFFORD_COUNT).then_some(Clifford(index as u8))
+    }
+
+    /// The stable index of this Clifford (`0..24`).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over the whole group.
+    pub fn all() -> impl Iterator<Item = Clifford> {
+        (0..CLIFFORD_COUNT).map(|i| Clifford(i as u8))
+    }
+
+    /// Samples a uniformly random Clifford.
+    pub fn random<R: rand::RngExt + ?Sized>(rng: &mut R) -> Self {
+        Clifford(rng.random_range(0..CLIFFORD_COUNT as u8))
+    }
+
+    /// The 2×2 unitary of this Clifford (up to global phase).
+    pub fn matrix(self) -> &'static CMatrix {
+        &tables().matrices[self.index()]
+    }
+
+    /// The minimal decomposition into chip primitives, applied left to
+    /// right.
+    pub fn decomposition(self) -> &'static [Primitive] {
+        &tables().decompositions[self.index()]
+    }
+
+    /// The Clifford equal to "`self`, then `next`".
+    pub fn compose(self, next: Clifford) -> Clifford {
+        Clifford(tables().compose[self.index()][next.index()])
+    }
+
+    /// The group inverse.
+    pub fn inverse(self) -> Clifford {
+        Clifford(tables().inverse[self.index()])
+    }
+}
+
+impl Default for Clifford {
+    fn default() -> Self {
+        Clifford::identity()
+    }
+}
+
+impl std::fmt::Display for Clifford {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn group_has_24_elements() {
+        assert_eq!(Clifford::all().count(), 24);
+        assert!(Clifford::from_index(24).is_none());
+        assert!(Clifford::from_index(23).is_some());
+    }
+
+    #[test]
+    fn average_decomposition_length_is_1_875() {
+        // §5: "each Clifford gate is decomposed into primitive x- and
+        // y-rotations the gate count is increased by 1.875 on average".
+        let total: usize = Clifford::all().map(|c| c.decomposition().len()).sum();
+        assert_eq!(total, 45, "total primitive count over the group");
+        assert!((total as f64 / 24.0 - 1.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decompositions_reproduce_matrices() {
+        for c in Clifford::all() {
+            let mut u = CMatrix::identity(2);
+            for p in c.decomposition() {
+                u = &p.matrix() * &u;
+            }
+            assert!(
+                u.approx_eq_up_to_phase(c.matrix(), 1e-9),
+                "decomposition of {c} does not reproduce its matrix"
+            );
+        }
+    }
+
+    #[test]
+    fn composition_table_matches_matrix_product() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let a = Clifford::random(&mut rng);
+            let b = Clifford::random(&mut rng);
+            let c = a.compose(b);
+            let u = &b.matrix().clone() * a.matrix();
+            assert!(u.approx_eq_up_to_phase(c.matrix(), 1e-9));
+        }
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        for c in Clifford::all() {
+            assert_eq!(c.compose(c.inverse()), Clifford::identity());
+            assert_eq!(c.inverse().compose(c), Clifford::identity());
+        }
+    }
+
+    #[test]
+    fn identity_has_trivial_decomposition() {
+        assert_eq!(Clifford::identity().decomposition(), &[Primitive::I]);
+    }
+
+    #[test]
+    fn all_primitives_appear_as_length_one_cliffords() {
+        for p in Primitive::ALL {
+            let idx = find_up_to_phase(
+                &Clifford::all().map(|c| c.matrix().clone()).collect::<Vec<_>>(),
+                &p.matrix(),
+            );
+            assert!(idx.is_some(), "{p:?} should be a Clifford");
+            let c = Clifford::from_index(idx.unwrap()).unwrap();
+            assert_eq!(c.decomposition().len(), 1, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn random_sequence_inversion() {
+        // The RB property: appending the inverse of the running product
+        // returns the state to |0>.
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let seq: Vec<Clifford> = (0..30).map(|_| Clifford::random(&mut rng)).collect();
+            let total = seq
+                .iter()
+                .fold(Clifford::identity(), |acc, &c| acc.compose(c));
+            let recovery = total.inverse();
+
+            let mut psi = crate::StateVector::zero_state(1);
+            for c in seq.iter().chain(std::iter::once(&recovery)) {
+                for p in c.decomposition() {
+                    psi.apply_1q(0, &p.matrix());
+                }
+            }
+            assert!(psi.prob1(0) < 1e-9, "sequence did not invert");
+        }
+    }
+
+    #[test]
+    fn max_decomposition_length_is_three() {
+        let max = Clifford::all()
+            .map(|c| c.decomposition().len())
+            .max()
+            .unwrap();
+        assert_eq!(max, 3);
+    }
+}

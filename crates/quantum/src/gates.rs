@@ -1,0 +1,175 @@
+//! Standard gate unitaries.
+//!
+//! Conventions: qubit 0 is the least significant bit of a basis-state
+//! index. Two-qubit matrices act on an ordered pair `(a, b)` where the
+//! bit of `a` is the most significant of the 2-bit block index, so
+//! `CNOT` as returned here has `a` as control and `b` as target when
+//! applied with [`StateVector::apply_2q`](crate::StateVector::apply_2q)`(u, a, b)`.
+
+use std::f64::consts::FRAC_1_SQRT_2;
+
+use crate::complex::C64;
+use crate::matrix::CMatrix;
+
+/// The 2×2 identity.
+pub fn identity2() -> CMatrix {
+    CMatrix::identity(2)
+}
+
+/// Rotation about the x axis: `Rx(θ) = exp(-iθX/2)`.
+pub fn rx(theta: f64) -> CMatrix {
+    let c = C64::real((theta / 2.0).cos());
+    let s = C64::new(0.0, -(theta / 2.0).sin());
+    CMatrix::from_rows(&[&[c, s], &[s, c]])
+}
+
+/// Rotation about the y axis: `Ry(θ) = exp(-iθY/2)`.
+pub fn ry(theta: f64) -> CMatrix {
+    let c = C64::real((theta / 2.0).cos());
+    let s = C64::real((theta / 2.0).sin());
+    CMatrix::from_rows(&[&[c, -s], &[s, c]])
+}
+
+/// Rotation about the z axis: `Rz(θ) = exp(-iθZ/2)`.
+pub fn rz(theta: f64) -> CMatrix {
+    CMatrix::from_rows(&[
+        &[C64::cis(-theta / 2.0), C64::ZERO],
+        &[C64::ZERO, C64::cis(theta / 2.0)],
+    ])
+}
+
+/// Pauli X.
+pub fn pauli_x() -> CMatrix {
+    CMatrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]])
+}
+
+/// Pauli Y.
+pub fn pauli_y() -> CMatrix {
+    CMatrix::from_rows(&[&[C64::ZERO, -C64::I], &[C64::I, C64::ZERO]])
+}
+
+/// Pauli Z.
+pub fn pauli_z() -> CMatrix {
+    CMatrix::from_rows(&[&[C64::ONE, C64::ZERO], &[C64::ZERO, C64::real(-1.0)]])
+}
+
+/// Hadamard.
+pub fn hadamard() -> CMatrix {
+    let h = C64::real(FRAC_1_SQRT_2);
+    CMatrix::from_rows(&[&[h, h], &[h, -h]])
+}
+
+/// The phase gate S = diag(1, i).
+pub fn s_gate() -> CMatrix {
+    CMatrix::from_rows(&[&[C64::ONE, C64::ZERO], &[C64::ZERO, C64::I]])
+}
+
+/// The T gate = diag(1, e^{iπ/4}).
+pub fn t_gate() -> CMatrix {
+    CMatrix::from_rows(&[
+        &[C64::ONE, C64::ZERO],
+        &[C64::ZERO, C64::cis(std::f64::consts::FRAC_PI_4)],
+    ])
+}
+
+/// Controlled-Z (symmetric in its qubits).
+pub fn cz() -> CMatrix {
+    let mut m = CMatrix::identity(4);
+    m[(3, 3)] = C64::real(-1.0);
+    m
+}
+
+/// Controlled-phase by `θ`: `diag(1, 1, 1, e^{iθ})`.
+pub fn cphase(theta: f64) -> CMatrix {
+    let mut m = CMatrix::identity(4);
+    m[(3, 3)] = C64::cis(theta);
+    m
+}
+
+/// CNOT with the first qubit of the pair as control.
+pub fn cnot() -> CMatrix {
+    let mut m = CMatrix::zeros(4, 4);
+    m[(0, 0)] = C64::ONE;
+    m[(1, 1)] = C64::ONE;
+    m[(2, 3)] = C64::ONE;
+    m[(3, 2)] = C64::ONE;
+    m
+}
+
+/// SWAP.
+pub fn swap() -> CMatrix {
+    let mut m = CMatrix::zeros(4, 4);
+    m[(0, 0)] = C64::ONE;
+    m[(1, 2)] = C64::ONE;
+    m[(2, 1)] = C64::ONE;
+    m[(3, 3)] = C64::ONE;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn rotations_are_unitary() {
+        for theta in [-PI, -1.0, 0.0, 0.5, PI, 2.7] {
+            assert!(rx(theta).is_unitary(1e-12), "rx({theta})");
+            assert!(ry(theta).is_unitary(1e-12), "ry({theta})");
+            assert!(rz(theta).is_unitary(1e-12), "rz({theta})");
+        }
+    }
+
+    #[test]
+    fn pi_rotations_equal_paulis_up_to_phase() {
+        assert!(rx(PI).approx_eq_up_to_phase(&pauli_x(), 1e-12));
+        assert!(ry(PI).approx_eq_up_to_phase(&pauli_y(), 1e-12));
+        assert!(rz(PI).approx_eq_up_to_phase(&pauli_z(), 1e-12));
+    }
+
+    #[test]
+    fn hadamard_properties() {
+        let h = hadamard();
+        assert!(h.is_unitary(1e-12));
+        assert!((&h * &h).approx_eq(&CMatrix::identity(2), 1e-12));
+        // H X H = Z.
+        assert!((&(&h * &pauli_x()) * &h).approx_eq(&pauli_z(), 1e-12));
+    }
+
+    #[test]
+    fn s_and_t() {
+        assert!((&s_gate() * &s_gate()).approx_eq(&pauli_z(), 1e-12));
+        assert!((&t_gate() * &t_gate()).approx_eq(&s_gate(), 1e-12));
+    }
+
+    #[test]
+    fn two_qubit_gates_unitary() {
+        assert!(cz().is_unitary(1e-12));
+        assert!(cnot().is_unitary(1e-12));
+        assert!(swap().is_unitary(1e-12));
+        assert!(cphase(1.3).is_unitary(1e-12));
+    }
+
+    #[test]
+    fn cz_is_cphase_pi() {
+        assert!(cz().approx_eq(&cphase(PI), 1e-12));
+    }
+
+    #[test]
+    fn cnot_truth_table() {
+        let c = cnot();
+        // |10> -> |11>, |11> -> |10> (first qubit = MSB of block index).
+        assert_eq!(c[(3, 2)], C64::ONE);
+        assert_eq!(c[(2, 3)], C64::ONE);
+        assert_eq!(c[(0, 0)], C64::ONE);
+        assert_eq!(c[(1, 1)], C64::ONE);
+    }
+
+    #[test]
+    fn cnot_from_cz_and_hadamards() {
+        // CNOT(a,b) = (I ⊗ H) CZ (I ⊗ H), with b the LSB of the pair.
+        let ih = CMatrix::identity(2).kron(&hadamard());
+        let built = &(&ih * &cz()) * &ih;
+        assert!(built.approx_eq(&cnot(), 1e-12));
+    }
+}

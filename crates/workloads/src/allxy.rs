@@ -1,0 +1,221 @@
+//! The AllXY calibration experiment (§5, Figs. 3 and 11).
+//!
+//! AllXY applies 21 pairs of single-qubit gates from
+//! {I, X, Y, X90, Y90} whose ideal excited-state populations form the
+//! characteristic 0 / 0.5 / 1 staircase that is highly sensitive to gate
+//! errors. The two-qubit variant drives both qubits simultaneously:
+//! "each gate pair in the sequence is repeated on the first qubit while
+//! the entire sequence is repeated on the second qubit", giving 42
+//! rounds.
+
+use eqasm_core::{Instantiation, Instruction, Qubit, SReg};
+use eqasm_compiler::CompileError;
+
+/// The 21 AllXY gate pairs with their ideal excited-state population.
+pub const ALLXY_PAIRS: [(&str, &str, f64); 21] = [
+    ("I", "I", 0.0),
+    ("X", "X", 0.0),
+    ("Y", "Y", 0.0),
+    ("X", "Y", 0.0),
+    ("Y", "X", 0.0),
+    ("X90", "I", 0.5),
+    ("Y90", "I", 0.5),
+    ("X90", "Y90", 0.5),
+    ("Y90", "X90", 0.5),
+    ("X90", "Y", 0.5),
+    ("Y90", "X", 0.5),
+    ("X", "Y90", 0.5),
+    ("Y", "X90", 0.5),
+    ("X90", "X", 0.5),
+    ("X", "X90", 0.5),
+    ("Y90", "Y", 0.5),
+    ("Y", "Y90", 0.5),
+    ("X", "I", 1.0),
+    ("Y", "I", 1.0),
+    ("X90", "X90", 1.0),
+    ("Y90", "Y90", 1.0),
+];
+
+/// The ideal excited-state population of pair `idx`.
+///
+/// # Panics
+///
+/// Panics if `idx >= 21`.
+pub fn allxy_expected(idx: usize) -> f64 {
+    ALLXY_PAIRS[idx].2
+}
+
+/// The gate-pair indices of round `round` (0..42) of the two-qubit
+/// AllXY sequence: the first qubit repeats each pair twice while the
+/// second cycles through the whole sequence.
+///
+/// # Panics
+///
+/// Panics if `round >= 42`.
+pub fn two_qubit_round(round: usize) -> (usize, usize) {
+    assert!(round < 42, "two-qubit AllXY has 42 rounds");
+    (round / 2, round % 21)
+}
+
+/// Builds the eQASM program of one two-qubit AllXY round, following the
+/// code shape of Fig. 3: initialisation by idling, the two gate pairs on
+/// consecutive timing points (VLIW bundles), a simultaneous SOMQ
+/// measurement and a trailing wait.
+///
+/// # Errors
+///
+/// Returns [`CompileError::UnknownOperation`] if the instantiation lacks
+/// one of the AllXY gates.
+pub fn allxy_program(
+    inst: &Instantiation,
+    qa: Qubit,
+    qb: Qubit,
+    pair_a: usize,
+    pair_b: usize,
+) -> Result<Vec<Instruction>, CompileError> {
+    allxy_program_with_init(inst, qa, qb, pair_a, pair_b, 10_000)
+}
+
+/// Like [`allxy_program`] but with a configurable initialisation idle
+/// time — shot-averaged harnesses shorten the 200 µs relaxation idle to
+/// keep simulation time reasonable.
+///
+/// # Errors
+///
+/// Same as [`allxy_program`].
+pub fn allxy_program_with_init(
+    inst: &Instantiation,
+    qa: Qubit,
+    qb: Qubit,
+    pair_a: usize,
+    pair_b: usize,
+    init_cycles: u32,
+) -> Result<Vec<Instruction>, CompileError> {
+    let ops = inst.ops();
+    let resolve = |name: &str| {
+        ops.by_name(name)
+            .map(|d| d.opcode())
+            .map_err(|_| CompileError::UnknownOperation {
+                name: name.to_owned(),
+            })
+    };
+    let (a1, a2, _) = ALLXY_PAIRS[pair_a];
+    let (b1, b2, _) = ALLXY_PAIRS[pair_b];
+    let measz = resolve("MEASZ")?;
+
+    let topo = inst.topology();
+    let mask_a = topo.single_mask(&[qa])?;
+    let mask_b = topo.single_mask(&[qb])?;
+    let mask_ab = topo.single_mask(&[qa, qb])?;
+
+    use eqasm_core::{Bundle, BundleOp};
+    let s_a = SReg::new(0);
+    let s_b = SReg::new(1);
+    let s_ab = SReg::new(2);
+    let program = vec![
+        Instruction::Smis { sd: s_a, mask: mask_a },
+        Instruction::Smis { sd: s_b, mask: mask_b },
+        Instruction::Smis { sd: s_ab, mask: mask_ab },
+        Instruction::QWait { cycles: init_cycles },
+        Instruction::Bundle(Bundle::with_pre_interval(
+            0,
+            vec![
+                BundleOp::single(resolve(a1)?, s_a),
+                BundleOp::single(resolve(b1)?, s_b),
+            ],
+        )),
+        Instruction::Bundle(Bundle::with_pre_interval(
+            1,
+            vec![
+                BundleOp::single(resolve(a2)?, s_a),
+                BundleOp::single(resolve(b2)?, s_b),
+            ],
+        )),
+        Instruction::Bundle(Bundle::with_pre_interval(
+            1,
+            vec![BundleOp::single(measz, s_ab), BundleOp::QNOP],
+        )),
+        Instruction::QWait { cycles: 50 },
+        Instruction::Stop,
+    ];
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqasm_quantum::{gates, StateVector};
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn gate_matrix(name: &str) -> eqasm_quantum::CMatrix {
+        match name {
+            "I" => gates::identity2(),
+            "X" => gates::rx(PI),
+            "Y" => gates::ry(PI),
+            "X90" => gates::rx(FRAC_PI_2),
+            "Y90" => gates::ry(FRAC_PI_2),
+            other => panic!("unexpected gate {other}"),
+        }
+    }
+
+    #[test]
+    fn table_has_5_12_4_structure() {
+        let zeros = ALLXY_PAIRS.iter().filter(|p| p.2 == 0.0).count();
+        let halves = ALLXY_PAIRS.iter().filter(|p| p.2 == 0.5).count();
+        let ones = ALLXY_PAIRS.iter().filter(|p| p.2 == 1.0).count();
+        assert_eq!((zeros, halves, ones), (5, 12, 4));
+    }
+
+    #[test]
+    fn expected_populations_match_ideal_evolution() {
+        // The staircase values are physics, not convention: verify every
+        // pair against the state-vector simulator.
+        for (i, (g1, g2, expect)) in ALLXY_PAIRS.iter().enumerate() {
+            let mut psi = StateVector::zero_state(1);
+            psi.apply_1q(0, &gate_matrix(g1));
+            psi.apply_1q(0, &gate_matrix(g2));
+            let p1 = psi.prob1(0);
+            assert!(
+                (p1 - expect).abs() < 1e-10,
+                "pair {i} ({g1}, {g2}): got {p1}, table says {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_qubit_rounds_cover_both_sequences() {
+        // First qubit: each pair twice; second qubit: sequence twice.
+        let a_indices: Vec<usize> = (0..42).map(|r| two_qubit_round(r).0).collect();
+        let b_indices: Vec<usize> = (0..42).map(|r| two_qubit_round(r).1).collect();
+        assert_eq!(a_indices[0], 0);
+        assert_eq!(a_indices[1], 0);
+        assert_eq!(a_indices[2], 1);
+        assert_eq!(a_indices[41], 20);
+        assert_eq!(b_indices[0], 0);
+        assert_eq!(b_indices[21], 0);
+        for idx in 0..21 {
+            assert_eq!(a_indices.iter().filter(|&&a| a == idx).count(), 2);
+            assert_eq!(b_indices.iter().filter(|&&b| b == idx).count(), 2);
+        }
+    }
+
+    #[test]
+    fn program_shape_matches_fig3() {
+        let inst = Instantiation::paper_two_qubit();
+        let p = allxy_program(&inst, Qubit::new(0), Qubit::new(2), 1, 5).unwrap();
+        assert_eq!(p.len(), 9);
+        assert!(matches!(p[3], Instruction::QWait { cycles: 10_000 }));
+        assert!(matches!(p[7], Instruction::QWait { cycles: 50 }));
+        assert!(matches!(p[8], Instruction::Stop));
+        match &p[4] {
+            Instruction::Bundle(b) => assert_eq!(b.pre_interval, 0),
+            other => panic!("expected bundle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "42 rounds")]
+    fn round_43_out_of_range() {
+        let _ = two_qubit_round(42);
+    }
+}

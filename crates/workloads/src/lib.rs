@@ -1,0 +1,38 @@
+//! # eqasm-workloads — the paper's benchmark and experiment workloads
+//!
+//! Generators for every workload the eQASM paper evaluates:
+//!
+//! * **RB** — randomized benchmarking: the Fig. 7 instruction-count
+//!   workload (7 qubits × 4096 Cliffords, back-to-back) and the Fig. 12
+//!   physical experiment (interval-swept sequences with recovery);
+//! * **IM** — the Ising-model workload (7 qubits, < 1 % two-qubit gates,
+//!   highly parallel), synthesised to the published profile;
+//! * **SR** — the Grover square-root workload (8 qubits, ~39 % two-qubit
+//!   gates, sequential), synthesised to the published profile;
+//! * **AllXY** — the single-/two-qubit calibration staircase (Figs. 3
+//!   and 11);
+//! * **Grover** — the two-qubit search algorithm with tomography
+//!   programs (the 85.6 % fidelity experiment);
+//! * **Rabi** — the amplitude-sweep calibration built on compile-time
+//!   operation configuration (`X_Amp_i`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod allxy;
+mod calibration;
+mod grover;
+mod ising;
+mod rabi;
+mod rb;
+mod square_root;
+
+pub use allxy::{allxy_expected, allxy_program, allxy_program_with_init, two_qubit_round, ALLXY_PAIRS};
+pub use calibration::{
+    ramsey_expected_p1, ramsey_program, t1_expected_p1, t1_program, t1_program_register_swept,
+};
+pub use grover::{grover_circuit, grover_target_state, grover_tomography_programs};
+pub use ising::{ising_runnable, ising_schedule, IsingParams};
+pub use rabi::{rabi_expected_p1, rabi_instantiation, rabi_opconfig, rabi_program};
+pub use rb::{rb_probe_program, rb_program, rb_schedule, RbSequence};
+pub use square_root::{square_root_schedule, SquareRootParams};

@@ -1,0 +1,260 @@
+//! Randomized benchmarking workloads.
+//!
+//! Two uses in the paper: the Fig. 7 instruction-count workload ("Each
+//! qubit is subject to 4096 single-qubit Clifford gates which have been
+//! decomposed into x and y rotations … every gate happens immediately
+//! following the previous one") and the Fig. 12 physical experiment
+//! (sequences of k random Cliffords plus a recovery Clifford, with a
+//! swept interval between gate starting points).
+
+use eqasm_core::{Instantiation, Instruction, Qubit};
+use eqasm_compiler::{emit, CompileError, EmitOptions, Gate, GateKind, Schedule, TimedGate};
+use eqasm_quantum::Clifford;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A randomized benchmarking sequence: `k` random Cliffords plus the
+/// recovery Clifford that inverts their product, returning the qubit to
+/// `|0⟩` in the absence of errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RbSequence {
+    /// The random Cliffords, in application order.
+    pub cliffords: Vec<Clifford>,
+    /// The final inverting Clifford.
+    pub recovery: Clifford,
+}
+
+impl RbSequence {
+    /// Samples a sequence of length `k` (excluding recovery).
+    pub fn sample(k: usize, rng: &mut StdRng) -> Self {
+        let cliffords: Vec<Clifford> = (0..k).map(|_| Clifford::random(rng)).collect();
+        let total = cliffords
+            .iter()
+            .fold(Clifford::identity(), |acc, &c| acc.compose(c));
+        RbSequence {
+            cliffords,
+            recovery: total.inverse(),
+        }
+    }
+
+    /// All Cliffords including the recovery.
+    pub fn with_recovery(&self) -> impl Iterator<Item = Clifford> + '_ {
+        self.cliffords
+            .iter()
+            .copied()
+            .chain(std::iter::once(self.recovery))
+    }
+
+    /// The primitive-gate names of the full sequence, decomposed into
+    /// the chip's x/y rotations.
+    pub fn primitive_names(&self) -> Vec<&'static str> {
+        self.with_recovery()
+            .flat_map(|c| c.decomposition().iter().map(|p| p.op_name()))
+            .collect()
+    }
+}
+
+/// The Fig. 7 RB workload: `num_qubits` qubits each running
+/// `cliffords_per_qubit` random Cliffords decomposed into primitives,
+/// back-to-back (every primitive 1 cycle).
+pub fn rb_schedule(num_qubits: usize, cliffords_per_qubit: usize, seed: u64) -> Schedule {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = Vec::new();
+    for q in 0..num_qubits {
+        let mut t = 0u64;
+        for _ in 0..cliffords_per_qubit {
+            let c = Clifford::random(&mut rng);
+            for p in c.decomposition() {
+                ops.push(TimedGate {
+                    start: t,
+                    duration: 1,
+                    gate: Gate {
+                        name: p.op_name().to_owned(),
+                        kind: GateKind::Single {
+                            qubit: Qubit::new(q as u8),
+                        },
+                    },
+                });
+                t += 1;
+            }
+        }
+    }
+    Schedule::from_timed(num_qubits, ops)
+}
+
+/// Builds the Fig. 12 RB program: a single-qubit sequence of `k`
+/// Cliffords (plus recovery) with consecutive primitive-gate *starting
+/// points* spaced `interval_cycles` apart, ending in a measurement.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] from emission (all names are in the
+/// default configuration, so this only fails for exotic instantiations).
+pub fn rb_program(
+    inst: &Instantiation,
+    qubit: Qubit,
+    k: usize,
+    interval_cycles: u32,
+    seed: u64,
+) -> Result<(Vec<Instruction>, RbSequence), CompileError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let seq = RbSequence::sample(k, &mut rng);
+    let mut ops = Vec::new();
+    let mut t = 0u64;
+    for name in seq.primitive_names() {
+        ops.push(TimedGate {
+            start: t,
+            duration: 1,
+            gate: Gate {
+                name: name.to_owned(),
+                kind: GateKind::Single { qubit },
+            },
+        });
+        t += interval_cycles as u64;
+    }
+    ops.push(TimedGate {
+        start: t,
+        duration: 15,
+        gate: Gate {
+            name: "MEASZ".to_owned(),
+            kind: GateKind::Measure { qubit },
+        },
+    });
+    let schedule = Schedule::from_timed(qubit.index() + 1, ops);
+    let program = emit(&schedule, inst, &EmitOptions::experiment())?;
+    Ok((program, seq))
+}
+
+/// Like [`rb_program`] but *without* the final measurement and with a
+/// configurable initialisation idle: the survival probability is read
+/// directly from the simulated state, giving shot-noise-free decay
+/// curves (see `DESIGN.md` on the Fig. 12 methodology).
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] from emission.
+pub fn rb_probe_program(
+    inst: &Instantiation,
+    qubit: Qubit,
+    k: usize,
+    interval_cycles: u32,
+    seed: u64,
+    init_cycles: u32,
+) -> Result<(Vec<Instruction>, RbSequence), CompileError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let seq = RbSequence::sample(k, &mut rng);
+    let mut ops = Vec::new();
+    let mut t = 0u64;
+    for name in seq.primitive_names() {
+        ops.push(TimedGate {
+            start: t,
+            duration: 1,
+            gate: Gate {
+                name: name.to_owned(),
+                kind: GateKind::Single { qubit },
+            },
+        });
+        t += interval_cycles as u64;
+    }
+    let schedule = Schedule::from_timed(qubit.index() + 1, ops);
+    let opts = EmitOptions {
+        init_wait: init_cycles,
+        final_wait: 0,
+        append_stop: true,
+    };
+    let program = emit(&schedule, inst, &opts)?;
+    Ok((program, seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqasm_compiler::{count_instructions, CodegenConfig};
+    use eqasm_quantum::StateVector;
+
+    #[test]
+    fn sequence_inverts_to_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for k in [0, 1, 5, 50] {
+            let seq = RbSequence::sample(k, &mut rng);
+            let mut psi = StateVector::zero_state(1);
+            for c in seq.with_recovery() {
+                for p in c.decomposition() {
+                    psi.apply_1q(0, &p.matrix());
+                }
+            }
+            assert!(psi.prob1(0) < 1e-9, "k={k} did not invert");
+        }
+    }
+
+    #[test]
+    fn primitive_count_matches_1_875_average() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let seq = RbSequence::sample(4000, &mut rng);
+        let names = seq.primitive_names();
+        let per_clifford = names.len() as f64 / 4001.0;
+        assert!(
+            (per_clifford - 1.875).abs() < 0.05,
+            "avg primitives per Clifford = {per_clifford}"
+        );
+    }
+
+    #[test]
+    fn rb_schedule_is_dense() {
+        // Back-to-back gates on every qubit: ~1 op per qubit per cycle.
+        let s = rb_schedule(7, 100, 3);
+        let avg = s.avg_ops_per_point();
+        assert!(avg > 6.0, "RB should be maximally parallel, avg {avg}");
+    }
+
+    #[test]
+    fn rb_schedule_reproduces_fig7_w_scaling() {
+        // Config 1, w 1 -> 4 gives ~62% reduction on RB (§4.2).
+        let s = rb_schedule(7, 200, 4);
+        let base = count_instructions(&s, &CodegenConfig::fig7(1, 1));
+        let w4 = count_instructions(&s, &CodegenConfig::fig7(1, 4));
+        let red = w4.reduction_vs(&base);
+        assert!((0.55..=0.68).contains(&red), "reduction {red}");
+    }
+
+    #[test]
+    fn rb_schedule_somq_benefit_in_paper_range() {
+        // Config 8 vs Config 4 at w = 2: the paper reports a maximum
+        // SOMQ reduction of 42% for RB.
+        let s = rb_schedule(7, 300, 5);
+        let plain = count_instructions(&s, &CodegenConfig::fig7(4, 2));
+        let somq = count_instructions(&s, &CodegenConfig::fig7(8, 2));
+        let red = somq.reduction_vs(&plain);
+        assert!((0.30..=0.50).contains(&red), "SOMQ reduction {red}");
+    }
+
+    #[test]
+    fn rb_program_spacing() {
+        let inst = Instantiation::paper_two_qubit();
+        let (program, _) = rb_program(&inst, Qubit::new(0), 10, 16, 7).unwrap();
+        // 16-cycle spacing exceeds the 3-bit PI: QWAITs appear between
+        // bundles.
+        let qwaits = program
+            .iter()
+            .filter(|i| matches!(i, Instruction::QWait { cycles } if *cycles == 16))
+            .count();
+        assert!(qwaits > 5, "expected inter-gate QWAITs, found {qwaits}");
+        // Tight spacing fits in PI: no 1-cycle QWAITs.
+        let (program, _) = rb_program(&inst, Qubit::new(0), 10, 1, 7).unwrap();
+        let qwaits = program
+            .iter()
+            .filter(|i| matches!(i, Instruction::QWait { cycles } if *cycles == 1))
+            .count();
+        assert_eq!(qwaits, 0);
+    }
+
+    #[test]
+    fn rb_program_deterministic_per_seed() {
+        let inst = Instantiation::paper_two_qubit();
+        let (a, _) = rb_program(&inst, Qubit::new(0), 20, 2, 9).unwrap();
+        let (b, _) = rb_program(&inst, Qubit::new(0), 20, 2, 9).unwrap();
+        assert_eq!(a, b);
+        let (c, _) = rb_program(&inst, Qubit::new(0), 20, 2, 10).unwrap();
+        assert_ne!(a, c);
+    }
+}

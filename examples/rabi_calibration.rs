@@ -1,0 +1,49 @@
+//! The Rabi calibration experiment of §5 — the showcase of eQASM's
+//! compile-time configurable operations: a sweep of `X_Amp_i` pulses is
+//! configured into the QISA (assembler + microcode + pulse library stay
+//! consistent automatically) without any ISA change.
+//!
+//! Run with: `cargo run --release --example rabi_calibration`
+
+use eqasm::prelude::*;
+use eqasm::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = Instantiation::paper_two_qubit();
+    // Reconfigure the QISA at 'compile time' with 17 amplitude points.
+    let amps: Vec<f64> = (0..17).map(|i| i as f64 / 8.0).collect();
+    let inst = workloads::rabi_instantiation(&base, &amps);
+    println!(
+        "configured {} quantum operations (X_AMP_0..X_AMP_{} and MEASZ)",
+        inst.ops().len(),
+        amps.len() - 1
+    );
+
+    let q = Qubit::new(0);
+    println!("\n{:>8} {:>10} {:>10}", "amp", "P(1)", "ideal");
+    let mut peak_amp = 0.0;
+    let mut peak_p1 = 0.0f64;
+    for (i, &amp) in amps.iter().enumerate() {
+        let program = workloads::rabi_program(&inst, q, i)?;
+        // Shot-based readout, as on hardware.
+        let mut machine = QuMa::new(inst.clone(), SimConfig::default());
+        machine.load(&program)?;
+        let shots = 300;
+        let mut ones = 0u32;
+        for shot in 0..shots {
+            machine.reset_with_seed(shot);
+            machine.run();
+            ones += machine.measurement_value(q).unwrap() as u32;
+        }
+        let p1 = ones as f64 / shots as f64;
+        if p1 > peak_p1 {
+            peak_p1 = p1;
+            peak_amp = amp;
+        }
+        println!("{amp:>8.3} {p1:>10.3} {:>10.3}", workloads::rabi_expected_p1(amp));
+    }
+    println!(
+        "\ncalibrated pi-pulse amplitude: {peak_amp:.3} (ideal 1.000) -> configure X := X_AMP at that amplitude"
+    );
+    Ok(())
+}

@@ -1,0 +1,213 @@
+//! `eqasm-cli` — assemble, disassemble, inspect and execute eQASM
+//! programs from the command line.
+//!
+//! ```text
+//! eqasm-cli asm    <file.eqasm>            assemble; print 32-bit words
+//! eqasm-cli disasm <file.hex>              decode hex words; print assembly
+//! eqasm-cli run    <file.eqasm> [options]  execute on the QuMA v2 simulator
+//! eqasm-cli lift   <file.eqasm>            strip timing; print the circuit
+//!
+//! options for `run`:
+//!   --seed <n>       RNG seed (default 0)
+//!   --shots <n>      repeat execution n times (default 1)
+//!   --chip <name>    surface7 | two-qubit (default surface7)
+//!   --trace          print the executed-operation trace
+//! ```
+
+use std::process::ExitCode;
+
+use eqasm::asm::{disassemble_source, encoding};
+use eqasm::compiler::lift_program;
+use eqasm::prelude::*;
+
+fn load_instantiation(chip: &str) -> Result<Instantiation, String> {
+    match chip {
+        "surface7" => Ok(Instantiation::paper()),
+        "two-qubit" => Ok(Instantiation::paper_two_qubit()),
+        other => Err(format!(
+            "unknown chip `{other}` (expected `surface7` or `two-qubit`)"
+        )),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: eqasm-cli <asm|disasm|run|lift> <file> [--seed n] [--shots n] [--chip name] [--trace]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return usage();
+    }
+    let command = args[0].as_str();
+    let path = args[1].as_str();
+
+    let mut seed = 0u64;
+    let mut shots = 1u64;
+    let mut chip = "surface7".to_owned();
+    let mut trace = false;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().unwrap_or(0);
+                i += 2;
+            }
+            "--shots" if i + 1 < args.len() => {
+                shots = args[i + 1].parse().unwrap_or(1);
+                i += 2;
+            }
+            "--chip" if i + 1 < args.len() => {
+                chip = args[i + 1].clone();
+                i += 2;
+            }
+            "--trace" => {
+                trace = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown option `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let inst = match load_instantiation(&chip) {
+        Ok(inst) => inst,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = match command {
+        "asm" => cmd_asm(&text, &inst),
+        "disasm" => cmd_disasm(&text, &inst),
+        "run" => cmd_run(&text, &inst, seed, shots, trace),
+        "lift" => cmd_lift(&text, &inst),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_asm(text: &str, inst: &Instantiation) -> Result<(), String> {
+    let program = assemble(text, inst).map_err(|e| e.to_string())?;
+    let words =
+        encoding::encode_program(program.instructions(), inst).map_err(|e| e.to_string())?;
+    for w in words {
+        println!("{w:08x}");
+    }
+    Ok(())
+}
+
+fn cmd_disasm(text: &str, inst: &Instantiation) -> Result<(), String> {
+    let mut words = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        let clean = line.trim().trim_start_matches("0x");
+        if clean.is_empty() || clean.starts_with('#') {
+            continue;
+        }
+        let w = u32::from_str_radix(clean, 16)
+            .map_err(|e| format!("line {}: bad hex word `{clean}`: {e}", line_no + 1))?;
+        words.push(w);
+    }
+    let out = disassemble_source(&words, inst).map_err(|e| e.to_string())?;
+    print!("{out}");
+    Ok(())
+}
+
+fn cmd_run(
+    text: &str,
+    inst: &Instantiation,
+    seed: u64,
+    shots: u64,
+    trace: bool,
+) -> Result<(), String> {
+    let program = assemble(text, inst).map_err(|e| e.to_string())?;
+    let mut machine = QuMa::new(inst.clone(), SimConfig::default().with_seed(seed));
+    machine
+        .load(program.instructions())
+        .map_err(|e| e.to_string())?;
+    let num_qubits = inst.topology().num_qubits();
+    let mut ones = vec![0u64; num_qubits];
+    let mut measured = vec![false; num_qubits];
+    for shot in 0..shots {
+        machine.reset_with_seed(seed.wrapping_add(shot));
+        let result = machine.run();
+        match result.status {
+            RunStatus::Halted => {}
+            RunStatus::MaxCycles => return Err("cycle budget exhausted".to_owned()),
+            RunStatus::Fault(f) => return Err(format!("fault: {f}")),
+        }
+        for q in 0..num_qubits {
+            if let Some(v) = machine.measurement_value(Qubit::new(q as u8)) {
+                measured[q] = true;
+                ones[q] += v as u64;
+            }
+        }
+        if trace && shot == 0 {
+            println!("# trace (shot 0):");
+            for (cc, q, name) in machine.trace().executed_ops() {
+                println!("#   cc {cc:>8}  {q}  {name}");
+            }
+        }
+    }
+    let stats = machine.stats();
+    println!(
+        "halted after {} classical cycles ({} instructions, {} bundles, {} measurements/shot)",
+        stats.classical_cycles,
+        stats.total_instructions(),
+        stats.bundle_words,
+        stats.measurements
+    );
+    for q in 0..num_qubits {
+        if measured[q] {
+            println!(
+                "q{q}: P(1) = {:.4}  ({} / {shots} shots)",
+                ones[q] as f64 / shots as f64,
+                ones[q]
+            );
+        }
+    }
+    if stats.timeline_slips > 0 {
+        println!("warning: {} timeline slips (issue rate exceeded)", stats.timeline_slips);
+    }
+    Ok(())
+}
+
+fn cmd_lift(text: &str, inst: &Instantiation) -> Result<(), String> {
+    let program = assemble(text, inst).map_err(|e| e.to_string())?;
+    let circuit = lift_program(program.instructions(), inst).map_err(|e| e.to_string())?;
+    println!("# timing-free circuit ({} gates):", circuit.len());
+    for gate in circuit.gates() {
+        match &gate.kind {
+            eqasm::compiler::GateKind::Single { qubit } => println!("{} q{}", gate.name, qubit.index()),
+            eqasm::compiler::GateKind::Two { pair } => println!(
+                "{} q{} q{}",
+                gate.name,
+                pair.source().index(),
+                pair.target().index()
+            ),
+            eqasm::compiler::GateKind::Measure { qubit } => {
+                println!("MEASZ q{}", qubit.index())
+            }
+        }
+    }
+    Ok(())
+}

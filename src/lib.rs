@@ -1,0 +1,80 @@
+//! # eqasm — an executable quantum instruction set architecture
+//!
+//! A production-quality Rust reproduction of **"eQASM: An Executable
+//! Quantum Instruction Set Architecture"** (Fu et al., HPCA 2019): the
+//! full eQASM toolchain — ISA model, assembler/disassembler with the
+//! paper's 32-bit binary instantiation, a cycle-accurate simulator of
+//! the QuMA v2 control microarchitecture driving simulated
+//! superconducting qubits, a compiler back end with the Fig. 7
+//! design-space exploration, and the complete experiment suite of the
+//! paper's evaluation.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `eqasm-core` | qubits, topologies, registers, instructions, operation configuration |
+//! | [`quantum`] | `eqasm-quantum` | state-vector / density-matrix simulators, noise, Cliffords, tomography |
+//! | [`asm`] | `eqasm-asm` | lexer, parser, assembler, 32-bit encoder, disassembler |
+//! | [`microarch`] | `eqasm-microarch` | the QuMA v2 cycle-accurate machine |
+//! | [`compiler`] | `eqasm-compiler` | circuit IR, ASAP scheduler, counting + emitting code generators |
+//! | [`workloads`] | `eqasm-workloads` | RB, Ising, square-root, AllXY, Grover, Rabi generators |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use eqasm::prelude::*;
+//!
+//! // The paper's instantiation, retargeted at the two-qubit chip.
+//! let inst = Instantiation::paper_two_qubit();
+//!
+//! // Fig. 4: active qubit reset via fast conditional execution.
+//! let program = assemble(
+//!     "SMIS S2, {2}\n\
+//!      QWAIT 10000\n\
+//!      X90 S2\n\
+//!      MEASZ S2\n\
+//!      QWAIT 50\n\
+//!      C_X S2\n\
+//!      MEASZ S2\n\
+//!      QWAIT 50\n\
+//!      STOP",
+//!     &inst,
+//! )?;
+//!
+//! let mut machine = QuMa::new(inst, SimConfig::default().with_seed(7));
+//! machine.load(program.instructions())?;
+//! assert!(machine.run().status.is_halted());
+//! // The conditional X reset the qubit: the final measurement reads 0.
+//! assert_eq!(machine.measurement_value(Qubit::new(2)), Some(false));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use eqasm_asm as asm;
+pub use eqasm_compiler as compiler;
+pub use eqasm_core as core;
+pub use eqasm_microarch as microarch;
+pub use eqasm_quantum as quantum;
+pub use eqasm_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use eqasm_asm::{assemble, disassemble, Assembler, Program};
+    pub use eqasm_compiler::{
+        count_instructions, emit, schedule_asap, Circuit, CodegenConfig, EmitOptions,
+        GateDurations,
+    };
+    pub use eqasm_core::{
+        ArchParams, Bundle, BundleOp, CmpFlag, ExecFlag, Gpr, Instantiation, Instruction,
+        OpConfig, PulseKind, QOpcode, Qubit, QubitPair, SReg, TReg, Topology,
+    };
+    pub use eqasm_microarch::{
+        LatencyModel, MeasurementSource, QuMa, RunStatus, SimConfig, TimingPolicy, TraceKind,
+    };
+    pub use eqasm_quantum::{
+        Backend, Clifford, DensityBackend, NoiseModel, PureBackend, ReadoutModel, StateVector,
+    };
+}

@@ -1,0 +1,271 @@
+//! Cross-crate integration: gate-level circuits through the compiler,
+//! assembler text, binary encoding and the machine, with the final
+//! quantum state checked against direct simulation.
+
+use eqasm::compiler::{emit, program_text, schedule_asap, Circuit, EmitOptions, GateDurations};
+use eqasm::prelude::*;
+use eqasm::quantum::gates;
+use eqasm::workloads;
+
+fn run_instructions(inst: &Instantiation, program: &[Instruction], seed: u64) -> QuMa {
+    let mut machine = QuMa::new(inst.clone(), SimConfig::default().with_seed(seed));
+    machine.load(program).expect("loads");
+    let result = machine.run();
+    assert!(result.status.is_halted(), "status {:?}", result.status);
+    machine
+}
+
+#[test]
+fn compiled_ghz_state_on_surface7() {
+    // A 5-qubit GHZ on the star around the X ancilla (qubit 3): H on 3,
+    // then CNOTs to 0, 1, 5, 6 (all allowed pairs of Fig. 6).
+    let inst = Instantiation::paper();
+    let mut c = Circuit::new(7);
+    c.single("H", 3).unwrap();
+    for t in [0u8, 1, 5, 6] {
+        c.two("CNOT", 3, t).unwrap();
+    }
+    c.measure_all();
+    let schedule = schedule_asap(&c, GateDurations::paper()).unwrap();
+    let program = emit(&schedule, &inst, &EmitOptions::experiment()).unwrap();
+
+    for seed in 0..30u64 {
+        let machine = run_instructions(&inst, &program, seed);
+        let ghz: Vec<bool> = [3u8, 0, 1, 5, 6]
+            .iter()
+            .map(|&q| machine.measurement_value(Qubit::new(q)).unwrap())
+            .collect();
+        assert!(
+            ghz.iter().all(|&b| b == ghz[0]),
+            "GHZ outcomes must agree: {ghz:?} (seed {seed})"
+        );
+        // Spectator qubits stay in |0⟩.
+        for q in [2u8, 4] {
+            assert_eq!(machine.measurement_value(Qubit::new(q)), Some(false));
+        }
+    }
+}
+
+#[test]
+fn compiled_circuit_matches_direct_simulation() {
+    // A runnable Ising trotter circuit (without measurements) through
+    // the full stack must yield exactly the same state as applying the
+    // scheduled gates directly to a state vector.
+    let inst = Instantiation::paper().with_topology(Topology::linear(4));
+    let full = workloads::ising_runnable(4, 3).unwrap();
+    // Strip the measurements for state comparison.
+    let mut c = Circuit::new(4);
+    for g in full.gates() {
+        match &g.kind {
+            eqasm::compiler::GateKind::Single { qubit } => {
+                c.single(g.name.clone(), qubit.raw()).unwrap();
+            }
+            eqasm::compiler::GateKind::Two { pair } => {
+                c.two(g.name.clone(), pair.source().raw(), pair.target().raw())
+                    .unwrap();
+            }
+            eqasm::compiler::GateKind::Measure { .. } => {}
+        }
+    }
+    let schedule = schedule_asap(&c, GateDurations::paper()).unwrap();
+    let program = emit(&schedule, &inst, &EmitOptions::bare()).unwrap();
+    let mut machine = run_instructions(&inst, &program, 0);
+
+    // Direct reference simulation in schedule order.
+    let mut psi = StateVector::zero_state(4);
+    for timed in schedule.ops() {
+        match &timed.gate.kind {
+            eqasm::compiler::GateKind::Single { qubit } => {
+                let u = match timed.gate.name.as_str() {
+                    "X90" => gates::rx(std::f64::consts::FRAC_PI_2),
+                    "Z90" => gates::rz(std::f64::consts::FRAC_PI_2),
+                    other => panic!("unexpected gate {other}"),
+                };
+                psi.apply_1q(qubit.index(), &u);
+            }
+            eqasm::compiler::GateKind::Two { pair } => {
+                psi.apply_2q(pair.source().index(), pair.target().index(), &gates::cz());
+            }
+            eqasm::compiler::GateKind::Measure { .. } => {}
+        }
+    }
+    for q in 0..4 {
+        let machine_p1 = machine.prob1(Qubit::new(q as u8));
+        let direct_p1 = psi.prob1(q);
+        assert!(
+            (machine_p1 - direct_p1).abs() < 1e-9,
+            "qubit {q}: machine {machine_p1} vs direct {direct_p1}"
+        );
+    }
+}
+
+#[test]
+fn emitted_text_round_trips_through_assembler_and_machine() {
+    // compiler → text → assembler → binary → machine gives the same
+    // trace as compiler → machine directly.
+    let inst = Instantiation::paper();
+    let mut c = Circuit::new(7);
+    c.single("Y90", 0).unwrap();
+    c.single("Y90", 2).unwrap();
+    c.two("CZ", 2, 0).unwrap();
+    c.single("YM90", 0).unwrap();
+    c.measure(0).unwrap();
+    c.measure(2).unwrap();
+    let schedule = schedule_asap(&c, GateDurations::paper()).unwrap();
+    let program = emit(&schedule, &inst, &EmitOptions::experiment()).unwrap();
+
+    let text = program_text(&program, &inst);
+    let reassembled = assemble(&text, &inst).unwrap();
+    assert_eq!(reassembled.instructions(), program.as_slice());
+
+    let direct = run_instructions(&inst, &program, 9);
+    let via_text = run_instructions(&inst, reassembled.instructions(), 9);
+    assert_eq!(
+        direct.trace().executed_ops(),
+        via_text.trace().executed_ops()
+    );
+    assert_eq!(
+        direct.measurement_value(Qubit::new(0)),
+        via_text.measurement_value(Qubit::new(0))
+    );
+}
+
+#[test]
+fn grover_finds_marked_state_on_machine_without_noise() {
+    let inst = Instantiation::paper_two_qubit();
+    for target in 0..4u8 {
+        let programs = workloads::grover_tomography_programs(
+            &inst,
+            Qubit::new(0),
+            Qubit::new(2),
+            target,
+        )
+        .unwrap();
+        // ZZ setting (last): direct computational-basis readout.
+        let (_, _, program) = &programs[8];
+        let machine = run_instructions(&inst, program, u64::from(target));
+        let results = machine.trace().measurement_results();
+        let bit = |q: Qubit| {
+            results
+                .iter()
+                .find(|(_, qq, _, _)| *qq == q)
+                .map(|(_, _, _, r)| *r)
+                .unwrap()
+        };
+        let found = ((bit(Qubit::new(0)) as u8) << 1) | bit(Qubit::new(2)) as u8;
+        assert_eq!(found, target, "Grover must find |{target:02b}⟩ noiselessly");
+    }
+}
+
+#[test]
+fn rb_sequence_survives_noiselessly_on_machine() {
+    let inst = Instantiation::paper().with_topology(Topology::linear(1));
+    for seed in 0..5u64 {
+        let (program, _) =
+            workloads::rb_probe_program(&inst, Qubit::new(0), 50, 1, seed, 10).unwrap();
+        let mut machine = run_instructions(&inst, &program, seed);
+        assert!(
+            machine.prob1(Qubit::new(0)) < 1e-9,
+            "noiseless RB must return to |0⟩ (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn sr_workload_emits_and_runs_on_linear8() {
+    // The synthetic SR schedule uses chain-adjacent CNOTs: it must emit
+    // for a linear 8-qubit instantiation and execute without faults.
+    let inst = Instantiation::paper().with_topology(Topology::linear(8));
+    let params = workloads::SquareRootParams {
+        iterations: 1,
+        cascade_len: 30,
+        ..workloads::SquareRootParams::paper()
+    };
+    let schedule = workloads::square_root_schedule(&params, 3);
+    // The default configuration lacks T/TDG; configure exactly the
+    // operation set SR needs (compile-time configuration, §3.2).
+    let mut builder = OpConfig::builder(9);
+    builder.single("H", 1, PulseKind::Hadamard).unwrap();
+    builder
+        .single("T", 1, PulseKind::Rz(std::f64::consts::FRAC_PI_4))
+        .unwrap();
+    builder
+        .single("TDG", 1, PulseKind::Rz(-std::f64::consts::FRAC_PI_4))
+        .unwrap();
+    builder
+        .single("Z90", 1, PulseKind::Rz(std::f64::consts::FRAC_PI_2))
+        .unwrap();
+    builder
+        .two("CNOT", 2, eqasm::core::TwoQubitGate::Cnot)
+        .unwrap();
+    builder.measurement("MEASZ", 15).unwrap();
+    let inst = inst.with_ops(builder.build());
+
+    let program = emit(&schedule, &inst, &EmitOptions::bare()).unwrap();
+    let machine = run_instructions(&inst, &program, 0);
+    assert!(machine.stats().two_qubit_gates > 0);
+    assert_eq!(machine.stats().measurements, 8);
+}
+
+#[test]
+fn seven_qubit_parallel_layer_via_compiler() {
+    // All seven qubits get Y90 in one SOMQ slot; measurement confirms
+    // superpositions everywhere.
+    let inst = Instantiation::paper();
+    let mut c = Circuit::new(7);
+    for q in 0..7 {
+        c.single("Y90", q).unwrap();
+    }
+    let schedule = schedule_asap(&c, GateDurations::paper()).unwrap();
+    let program = emit(&schedule, &inst, &EmitOptions::bare()).unwrap();
+    // One SMIS + one bundle (+ STOP): SOMQ packs the layer.
+    assert_eq!(program.len(), 3, "{program:?}");
+    let mut machine = run_instructions(&inst, &program, 0);
+    for q in 0..7u8 {
+        assert!((machine.prob1(Qubit::new(q)) - 0.5).abs() < 1e-9, "qubit {q}");
+    }
+}
+
+#[test]
+fn teleportation_via_cfc_corrections() {
+    // The intro's motivating workload: teleport a state from qubit 2 to
+    // qubit 3 through ancilla 0 on the surface-7 chip, with the X and Z
+    // corrections applied through two dependent FMR/CMP/BR branches.
+    let inst = Instantiation::paper();
+    let program_src = |prep: &str, verify: &str| {
+        format!(
+            "SMIS S2, {{2}}\nSMIS S0, {{0}}\nSMIS S3, {{3}}\nSMIS S4, {{0, 2}}\n\
+             SMIT T0, {{(0, 3)}}\nSMIT T1, {{(2, 0)}}\nLDI r0, 1\nQWAIT 100\n\
+             0, {prep} S2\n1, H S0\n2, CNOT T0\n2, CNOT T1\n2, H S2\n1, MEASZ S4\nQWAIT 30\n\
+             FMR r1, q0\nCMP r1, r0\nBR NE, skip_x\nX S3\nskip_x:\n\
+             FMR r2, q2\nCMP r2, r0\nBR NE, skip_z\nZ S3\nskip_z:\nQWAIT 5\n{verify}QWAIT 5\nSTOP"
+        )
+    };
+    for (prep, verify, expect) in [
+        ("I", "", 0.0),
+        ("X", "", 1.0),
+        ("H", "1, H S3\n", 0.0),
+        ("Y90", "1, YM90 S3\n", 0.0),
+    ] {
+        let program = assemble(&program_src(prep, verify), &inst).unwrap();
+        let mut machine = QuMa::new(inst.clone(), SimConfig::default());
+        machine.load(program.instructions()).unwrap();
+        let mut seen = [false; 4];
+        for shot in 0..40u64 {
+            machine.reset_with_seed(shot * 31 + 7);
+            assert!(machine.run().status.is_halted());
+            let m_src = machine.measurement_value(Qubit::new(2)).unwrap() as usize;
+            let m_anc = machine.measurement_value(Qubit::new(0)).unwrap() as usize;
+            seen[(m_src << 1) | m_anc] = true;
+            let p1 = machine.prob1(Qubit::new(3));
+            assert!(
+                (p1 - expect).abs() < 1e-9,
+                "prep {prep}, outcome ({m_src},{m_anc}): target P(1) = {p1}"
+            );
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all four Bell outcomes must occur for prep {prep}: {seen:?}"
+        );
+    }
+}

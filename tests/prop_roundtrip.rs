@@ -1,0 +1,198 @@
+//! Property-based tests: binary encode/decode round trips over randomly
+//! generated valid instructions, assembler/disassembler round trips,
+//! mask invariants and comparison-flag consistency.
+
+use eqasm::asm::{disassemble_source, encoding};
+use eqasm::prelude::*;
+use proptest::prelude::*;
+
+fn paper() -> Instantiation {
+    Instantiation::paper()
+}
+
+/// Greedily drops edges that overlap an earlier-kept edge, producing a
+/// valid two-qubit target-register value from an arbitrary bit pattern.
+fn sanitize_pair_mask(mask: u32) -> u32 {
+    let topo = Topology::surface7();
+    let mut kept: Vec<QubitPair> = Vec::new();
+    let mut out = 0u32;
+    for (addr, pair) in topo.pairs() {
+        if mask & (1 << addr.index()) != 0 && !kept.iter().any(|k| k.overlaps(pair)) {
+            kept.push(pair);
+            out |= 1 << addr.index();
+        }
+    }
+    out
+}
+
+/// Strategy for a random valid executable instruction for the paper's
+/// instantiation.
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    let gpr = || (0u8..32).prop_map(Gpr::new);
+    let sreg = || (0u8..32).prop_map(SReg::new);
+    let treg = || (0u8..32).prop_map(TReg::new);
+    let flag = || (0usize..12).prop_map(|i| CmpFlag::ALL[i]);
+    // Opcode names present in the default configuration.
+    let qop_single = prop_oneof![
+        Just("I"),
+        Just("X"),
+        Just("Y"),
+        Just("X90"),
+        Just("Y90"),
+        Just("XM90"),
+        Just("YM90"),
+        Just("H"),
+        Just("MEASZ"),
+        Just("C_X"),
+    ];
+    let qop_two = prop_oneof![Just("CZ"), Just("CNOT"), Just("SWAP")];
+
+    prop_oneof![
+        Just(Instruction::Nop),
+        Just(Instruction::Stop),
+        (gpr(), gpr()).prop_map(|(rs, rt)| Instruction::Cmp { rs, rt }),
+        (flag(), -(1i32 << 20)..(1i32 << 20) - 1)
+            .prop_map(|(flag, offset)| Instruction::Br { flag, offset }),
+        (flag(), gpr()).prop_map(|(flag, rd)| Instruction::Fbr { flag, rd }),
+        (gpr(), -(1i32 << 19)..(1i32 << 19) - 1)
+            .prop_map(|(rd, imm)| Instruction::Ldi { rd, imm }),
+        (gpr(), 0u16..(1 << 15), gpr()).prop_map(|(rd, imm, rs)| Instruction::Ldui {
+            rd,
+            imm,
+            rs
+        }),
+        (gpr(), gpr(), -(1i32 << 14)..(1i32 << 14) - 1)
+            .prop_map(|(rd, rt, imm)| Instruction::Ld { rd, rt, imm }),
+        (gpr(), gpr(), -(1i32 << 14)..(1i32 << 14) - 1)
+            .prop_map(|(rs, rt, imm)| Instruction::St { rs, rt, imm }),
+        (gpr(), 0u8..7).prop_map(|(rd, q)| Instruction::Fmr {
+            rd,
+            qubit: Qubit::new(q)
+        }),
+        (gpr(), gpr(), gpr()).prop_map(|(rd, rs, rt)| Instruction::And { rd, rs, rt }),
+        (gpr(), gpr(), gpr()).prop_map(|(rd, rs, rt)| Instruction::Or { rd, rs, rt }),
+        (gpr(), gpr(), gpr()).prop_map(|(rd, rs, rt)| Instruction::Xor { rd, rs, rt }),
+        (gpr(), gpr()).prop_map(|(rd, rt)| Instruction::Not { rd, rt }),
+        (gpr(), gpr(), gpr()).prop_map(|(rd, rs, rt)| Instruction::Add { rd, rs, rt }),
+        (gpr(), gpr(), gpr()).prop_map(|(rd, rs, rt)| Instruction::Sub { rd, rs, rt }),
+        (0u32..1 << 20).prop_map(|cycles| Instruction::QWait { cycles }),
+        gpr().prop_map(|rs| Instruction::QWaitR { rs }),
+        (sreg(), 0u32..1 << 7).prop_map(|(sd, mask)| Instruction::Smis { sd, mask }),
+        (treg(), 0u32..1 << 16).prop_map(|(td, mask)| Instruction::Smit {
+            td,
+            // Keep only a conflict-free subset of the drawn edges so the
+            // value is one the assembler itself could have produced
+            // (§4.3 forbids overlapping pairs in one T register).
+            mask: sanitize_pair_mask(mask),
+        }),
+        (
+            0u8..8,
+            qop_single.clone(),
+            sreg(),
+            prop::option::of((qop_two, treg()))
+        )
+            .prop_map(|(pi, name1, s1, second)| {
+                let inst = paper();
+                let op1 = BundleOp::single(inst.ops().by_name(name1).unwrap().opcode(), s1);
+                let op2 = match second {
+                    Some((name2, t2)) => {
+                        BundleOp::two(inst.ops().by_name(name2).unwrap().opcode(), t2)
+                    }
+                    None => BundleOp::QNOP,
+                };
+                Instruction::Bundle(Bundle::with_pre_interval(pi.min(7), vec![op1, op2]))
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every valid instruction encodes to 32 bits and decodes back to
+    /// itself (Fig. 8 round trip).
+    #[test]
+    fn encode_decode_roundtrip(instr in arb_instruction()) {
+        let inst = paper();
+        let word = encoding::encode(&instr, &inst).expect("encodes");
+        let back = encoding::decode(word, &inst).expect("decodes");
+        prop_assert_eq!(back, instr);
+    }
+
+    /// Single-format instructions always have bit 31 clear; bundles set
+    /// it (the format discriminator of Fig. 8).
+    #[test]
+    fn format_discriminator(instr in arb_instruction()) {
+        let inst = paper();
+        let word = encoding::encode(&instr, &inst).expect("encodes");
+        let is_bundle = matches!(instr, Instruction::Bundle(_));
+        prop_assert_eq!(word >> 31 == 1, is_bundle);
+    }
+
+    /// Disassembled binaries re-assemble to the identical binary.
+    #[test]
+    fn disassemble_reassemble(instrs in prop::collection::vec(arb_instruction(), 1..40)) {
+        let inst = paper();
+        // Branch offsets must stay inside the program for reassembly
+        // equivalence (labels are not preserved, raw offsets are), so
+        // this property uses the raw-offset form which the parser
+        // accepts directly.
+        let words = encoding::encode_program(&instrs, &inst).expect("encodes");
+        let text = disassemble_source(&words, &inst).expect("disassembles");
+        let program = assemble(&text, &inst).expect("re-assembles");
+        let words2 = encoding::encode_program(program.instructions(), &inst).expect("re-encodes");
+        prop_assert_eq!(words, words2);
+    }
+
+    /// Single-qubit masks round-trip through qubit lists.
+    #[test]
+    fn single_mask_roundtrip(mask in 0u32..(1 << 7)) {
+        let topo = Topology::surface7();
+        let qubits = topo.qubits_in_mask(mask);
+        prop_assert_eq!(topo.single_mask(&qubits).unwrap(), mask);
+    }
+
+    /// Valid pair masks round-trip; invalid ones are rejected for
+    /// exactly the overlap/out-of-range reasons.
+    #[test]
+    fn pair_mask_validation(mask in 0u32..(1 << 16)) {
+        let topo = Topology::surface7();
+        match topo.check_pair_mask(mask) {
+            Ok(()) => {
+                let pairs = topo.pairs_in_mask(mask);
+                prop_assert_eq!(topo.pair_mask(&pairs).unwrap(), mask);
+                // No two selected pairs share a qubit.
+                for (i, a) in pairs.iter().enumerate() {
+                    for b in &pairs[i + 1..] {
+                        prop_assert!(!a.overlaps(*b));
+                    }
+                }
+            }
+            Err(_) => {
+                // Some pair of selected edges must overlap (width is
+                // always in range for 16-bit masks on surface7).
+                let pairs = topo.pairs_in_mask(mask);
+                let mut overlap = false;
+                for (i, a) in pairs.iter().enumerate() {
+                    for b in &pairs[i + 1..] {
+                        overlap |= a.overlaps(*b);
+                    }
+                }
+                prop_assert!(overlap, "rejected mask {mask:#x} without overlap");
+            }
+        }
+    }
+
+    /// CMP flags are internally consistent for any register values.
+    #[test]
+    fn cmp_flags_consistent(a in any::<u32>(), b in any::<u32>()) {
+        use eqasm::core::CmpFlags;
+        let flags = CmpFlags::compare(a, b);
+        prop_assert!(flags.get(CmpFlag::Always));
+        prop_assert!(!flags.get(CmpFlag::Never));
+        prop_assert_eq!(flags.get(CmpFlag::Eq), !flags.get(CmpFlag::Ne));
+        prop_assert_eq!(flags.get(CmpFlag::Ltu), !flags.get(CmpFlag::Geu));
+        prop_assert_eq!(flags.get(CmpFlag::Lt), !flags.get(CmpFlag::Ge));
+        prop_assert_eq!(flags.get(CmpFlag::Leu), flags.get(CmpFlag::Ltu) || flags.get(CmpFlag::Eq));
+        prop_assert_eq!(flags.get(CmpFlag::Gt), flags.get(CmpFlag::Ge) && flags.get(CmpFlag::Ne));
+    }
+}
