@@ -16,9 +16,7 @@
 
 use std::collections::BTreeMap;
 
-use eqasm_core::{
-    Bundle, BundleOp, CoreError, Instantiation, Instruction, OpArity, Qubit,
-};
+use eqasm_core::{Bundle, BundleOp, CoreError, Instantiation, Instruction, OpArity, Qubit};
 
 use crate::ast::{
     BranchTarget, Item, SmisArg, SmitArg, SourceBundle, SourceInstr, SourceProgram, SourceTarget,
@@ -193,7 +191,13 @@ impl<'a> Assembler<'a> {
         AsmError::at(line, AsmErrorKind::Core(e))
     }
 
-    fn check_signed(&self, line: usize, field: &'static str, value: i64, bits: u32) -> Result<i32, AsmError> {
+    fn check_signed(
+        &self,
+        line: usize,
+        field: &'static str,
+        value: i64,
+        bits: u32,
+    ) -> Result<i32, AsmError> {
         let min = -(1i64 << (bits - 1));
         let max = (1i64 << (bits - 1)) - 1;
         if value < min || value > max {
@@ -205,7 +209,13 @@ impl<'a> Assembler<'a> {
         Ok(value as i32)
     }
 
-    fn check_unsigned(&self, line: usize, field: &'static str, value: i64, bits: u32) -> Result<u32, AsmError> {
+    fn check_unsigned(
+        &self,
+        line: usize,
+        field: &'static str,
+        value: i64,
+        bits: u32,
+    ) -> Result<u32, AsmError> {
         let max = (1i64 << bits) - 1;
         if value < 0 || value > max {
             return Err(Self::core_err(
@@ -331,11 +341,13 @@ impl<'a> Assembler<'a> {
             }
             SourceInstr::QWaitR { rs } => one(Instruction::QWaitR { rs: gpr(*rs)? }),
             SourceInstr::Smis { sd, arg } => {
-                let sd = sd.checked(p.num_sregs).map_err(|e| Self::core_err(line, e))?;
+                let sd = sd
+                    .checked(p.num_sregs)
+                    .map_err(|e| Self::core_err(line, e))?;
                 let mask = match arg {
-                    SmisArg::Qubits(qs) => topo
-                        .single_mask(qs)
-                        .map_err(|e| Self::core_err(line, e))?,
+                    SmisArg::Qubits(qs) => {
+                        topo.single_mask(qs).map_err(|e| Self::core_err(line, e))?
+                    }
                     SmisArg::Mask(m) => {
                         topo.check_single_mask(*m)
                             .map_err(|e| Self::core_err(line, e))?;
@@ -345,14 +357,17 @@ impl<'a> Assembler<'a> {
                 one(Instruction::Smis { sd, mask })
             }
             SourceInstr::Smit { td, arg } => {
-                let td = td.checked(p.num_tregs).map_err(|e| Self::core_err(line, e))?;
+                let td = td
+                    .checked(p.num_tregs)
+                    .map_err(|e| Self::core_err(line, e))?;
                 let mask = match arg {
                     SmitArg::Pairs(pairs) => {
                         let pairs: Vec<eqasm_core::QubitPair> = pairs
                             .iter()
                             .map(|&(s, t)| eqasm_core::QubitPair::new(s, t))
                             .collect();
-                        topo.pair_mask(&pairs).map_err(|e| Self::core_err(line, e))?
+                        topo.pair_mask(&pairs)
+                            .map_err(|e| Self::core_err(line, e))?
                     }
                     SmitArg::Mask(m) => {
                         topo.check_pair_mask(*m)
@@ -387,18 +402,21 @@ impl<'a> Assembler<'a> {
                 slots.push(BundleOp::QNOP);
                 continue;
             }
-            let def = self
-                .inst
-                .ops()
-                .by_name(&op.name)
-                .map_err(|_| AsmError::at(line, AsmErrorKind::UnknownMnemonic(op.name.clone())))?;
+            let def =
+                self.inst.ops().by_name(&op.name).map_err(|_| {
+                    AsmError::at(line, AsmErrorKind::UnknownMnemonic(op.name.clone()))
+                })?;
             let slot = match (def.arity(), op.target) {
                 (OpArity::SingleQubit, Some(SourceTarget::S(s))) => {
-                    let s = s.checked(p.num_sregs).map_err(|e| Self::core_err(line, e))?;
+                    let s = s
+                        .checked(p.num_sregs)
+                        .map_err(|e| Self::core_err(line, e))?;
                     BundleOp::single(def.opcode(), s)
                 }
                 (OpArity::TwoQubit, Some(SourceTarget::T(t))) => {
-                    let t = t.checked(p.num_tregs).map_err(|e| Self::core_err(line, e))?;
+                    let t = t
+                        .checked(p.num_tregs)
+                        .map_err(|e| Self::core_err(line, e))?;
                     BundleOp::two(def.opcode(), t)
                 }
                 (OpArity::SingleQubit, _) => {
@@ -433,7 +451,9 @@ impl<'a> Assembler<'a> {
                 ops.push(BundleOp::QNOP);
             }
             let chunk_pi = if chunk_idx == 0 { pi as u8 } else { 0 };
-            out.push(Instruction::Bundle(Bundle::with_pre_interval(chunk_pi, ops)));
+            out.push(Instruction::Bundle(Bundle::with_pre_interval(
+                chunk_pi, ops,
+            )));
         }
         Ok(out)
     }
@@ -706,7 +726,7 @@ mod tests {
         let inst = inst();
         assert!(assemble("SMIS S0, 0b1111111", &inst).is_ok());
         assert!(assemble("SMIS S0, 0b11111111", &inst).is_err()); // 8th bit
-        // Raw T mask with conflict (edges 0 and 1 share qubit 0).
+                                                                  // Raw T mask with conflict (edges 0 and 1 share qubit 0).
         assert!(assemble("SMIT T0, 0b11", &inst).is_err());
         assert!(assemble("SMIT T0, 0b100001", &inst).is_ok()); // edges 0, 5
     }

@@ -129,7 +129,10 @@ STOP";
         let text = disassemble_source(&w1, &inst).unwrap();
         let p2 = assemble(&text, &inst).unwrap();
         let w2 = encode_program(p2.instructions(), &inst).unwrap();
-        assert_eq!(w1, w2, "disassembled source must re-encode identically:\n{text}");
+        assert_eq!(
+            w1, w2,
+            "disassembled source must re-encode identically:\n{text}"
+        );
     }
 
     #[test]

@@ -19,8 +19,8 @@
 //! documented per opcode below.
 
 use eqasm_core::{
-    Bundle, BundleOp, CmpFlag, Gpr, Instantiation, Instruction, OpArity, OpTarget, QOpcode,
-    Qubit, SReg, TReg,
+    Bundle, BundleOp, CmpFlag, Gpr, Instantiation, Instruction, OpArity, OpTarget, QOpcode, Qubit,
+    SReg, TReg,
 };
 
 use crate::error::{AsmError, AsmErrorKind};
@@ -400,7 +400,10 @@ fn decode_bundle(word: u32, inst: &Instantiation) -> Result<Instruction, AsmErro
 /// # Errors
 ///
 /// See [`encode`].
-pub fn encode_program(instructions: &[Instruction], inst: &Instantiation) -> Result<Vec<u32>, AsmError> {
+pub fn encode_program(
+    instructions: &[Instruction],
+    inst: &Instantiation,
+) -> Result<Vec<u32>, AsmError> {
     instructions.iter().map(|i| encode(i, inst)).collect()
 }
 
@@ -533,7 +536,10 @@ mod tests {
         let cz = inst.ops().by_name("CZ").unwrap().opcode();
         roundtrip(Instruction::Bundle(Bundle::with_pre_interval(
             7,
-            vec![BundleOp::single(x, SReg::new(31)), BundleOp::two(cz, TReg::new(30))],
+            vec![
+                BundleOp::single(x, SReg::new(31)),
+                BundleOp::two(cz, TReg::new(30)),
+            ],
         )));
         roundtrip(Instruction::Bundle(Bundle::with_pre_interval(
             0,

@@ -94,42 +94,66 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, AsmError> {
                 }
                 ',' => {
                     chars.next();
-                    out.push(Spanned { token: Token::Comma, line: line_no });
+                    out.push(Spanned {
+                        token: Token::Comma,
+                        line: line_no,
+                    });
                     emitted = true;
                 }
                 ':' => {
                     chars.next();
-                    out.push(Spanned { token: Token::Colon, line: line_no });
+                    out.push(Spanned {
+                        token: Token::Colon,
+                        line: line_no,
+                    });
                     emitted = true;
                 }
                 '|' => {
                     chars.next();
-                    out.push(Spanned { token: Token::Pipe, line: line_no });
+                    out.push(Spanned {
+                        token: Token::Pipe,
+                        line: line_no,
+                    });
                     emitted = true;
                 }
                 '{' => {
                     chars.next();
-                    out.push(Spanned { token: Token::LBrace, line: line_no });
+                    out.push(Spanned {
+                        token: Token::LBrace,
+                        line: line_no,
+                    });
                     emitted = true;
                 }
                 '}' => {
                     chars.next();
-                    out.push(Spanned { token: Token::RBrace, line: line_no });
+                    out.push(Spanned {
+                        token: Token::RBrace,
+                        line: line_no,
+                    });
                     emitted = true;
                 }
                 '(' => {
                     chars.next();
-                    out.push(Spanned { token: Token::LParen, line: line_no });
+                    out.push(Spanned {
+                        token: Token::LParen,
+                        line: line_no,
+                    });
                     emitted = true;
                 }
                 ')' => {
                     chars.next();
-                    out.push(Spanned { token: Token::RParen, line: line_no });
+                    out.push(Spanned {
+                        token: Token::RParen,
+                        line: line_no,
+                    });
                     emitted = true;
                 }
                 '-' => {
                     chars.next();
-                    out.push(Spanned { token: Token::Minus, line: line_no });
+                    out.push(Spanned {
+                        token: Token::Minus,
+                        line: line_no,
+                    });
                     emitted = true;
                 }
                 '0'..='9' => {
@@ -143,9 +167,13 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, AsmError> {
                         }
                     }
                     let text = &code[start..end];
-                    let value = parse_int(text)
-                        .ok_or_else(|| AsmError::at(line_no, AsmErrorKind::BadInteger(text.to_owned())))?;
-                    out.push(Spanned { token: Token::Int(value), line: line_no });
+                    let value = parse_int(text).ok_or_else(|| {
+                        AsmError::at(line_no, AsmErrorKind::BadInteger(text.to_owned()))
+                    })?;
+                    out.push(Spanned {
+                        token: Token::Int(value),
+                        line: line_no,
+                    });
                     emitted = true;
                 }
                 c if c.is_ascii_alphabetic() || c == '_' || c == '.' => {
@@ -170,7 +198,10 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, AsmError> {
             }
         }
         if emitted {
-            out.push(Spanned { token: Token::Newline, line: line_no });
+            out.push(Spanned {
+                token: Token::Newline,
+                line: line_no,
+            });
         }
     }
     Ok(out)
@@ -178,9 +209,15 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, AsmError> {
 
 fn parse_int(text: &str) -> Option<i64> {
     let clean = text.replace('_', "");
-    if let Some(hex) = clean.strip_prefix("0x").or_else(|| clean.strip_prefix("0X")) {
+    if let Some(hex) = clean
+        .strip_prefix("0x")
+        .or_else(|| clean.strip_prefix("0X"))
+    {
         i64::from_str_radix(hex, 16).ok()
-    } else if let Some(bin) = clean.strip_prefix("0b").or_else(|| clean.strip_prefix("0B")) {
+    } else if let Some(bin) = clean
+        .strip_prefix("0b")
+        .or_else(|| clean.strip_prefix("0B"))
+    {
         i64::from_str_radix(bin, 2).ok()
     } else {
         clean.parse().ok()
@@ -281,8 +318,14 @@ mod tests {
 
     #[test]
     fn hex_and_binary_literals() {
-        assert_eq!(toks("QWAIT 0x10"), vec![Token::Ident("QWAIT".into()), Token::Int(16), Token::Newline]);
-        assert_eq!(toks("QWAIT 0b101"), vec![Token::Ident("QWAIT".into()), Token::Int(5), Token::Newline]);
+        assert_eq!(
+            toks("QWAIT 0x10"),
+            vec![Token::Ident("QWAIT".into()), Token::Int(16), Token::Newline]
+        );
+        assert_eq!(
+            toks("QWAIT 0b101"),
+            vec![Token::Ident("QWAIT".into()), Token::Int(5), Token::Newline]
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@ use crate::lexer::{lex, Spanned, Token};
 /// instructions (Table 1); everything else on an instruction line is a
 /// quantum bundle.
 const MNEMONICS: &[&str] = &[
-    "NOP", "STOP", "CMP", "BR", "FBR", "LDI", "LDUI", "LD", "ST", "FMR", "AND", "OR", "XOR",
-    "NOT", "ADD", "SUB", "QWAIT", "QWAITR", "SMIS", "SMIT",
+    "NOP", "STOP", "CMP", "BR", "FBR", "LDI", "LDUI", "LD", "ST", "FMR", "AND", "OR", "XOR", "NOT",
+    "ADD", "SUB", "QWAIT", "QWAITR", "SMIS", "SMIT",
 ];
 
 /// Parses eQASM assembly text.
@@ -323,7 +323,10 @@ impl<'t> Parser<'t> {
         let text = self.expect_ident("a general purpose register")?;
         match split_reg(text) {
             Some(('r', idx)) => Ok(Gpr::new(idx)),
-            _ => Err(AsmError::at(line, AsmErrorKind::BadRegister(text.to_owned()))),
+            _ => Err(AsmError::at(
+                line,
+                AsmErrorKind::BadRegister(text.to_owned()),
+            )),
         }
     }
 
@@ -332,7 +335,10 @@ impl<'t> Parser<'t> {
         let text = self.expect_ident("a single-qubit target register")?;
         match split_reg(text) {
             Some(('s', idx)) => Ok(SReg::new(idx)),
-            _ => Err(AsmError::at(line, AsmErrorKind::BadRegister(text.to_owned()))),
+            _ => Err(AsmError::at(
+                line,
+                AsmErrorKind::BadRegister(text.to_owned()),
+            )),
         }
     }
 
@@ -341,7 +347,10 @@ impl<'t> Parser<'t> {
         let text = self.expect_ident("a two-qubit target register")?;
         match split_reg(text) {
             Some(('t', idx)) => Ok(TReg::new(idx)),
-            _ => Err(AsmError::at(line, AsmErrorKind::BadRegister(text.to_owned()))),
+            _ => Err(AsmError::at(
+                line,
+                AsmErrorKind::BadRegister(text.to_owned()),
+            )),
         }
     }
 
@@ -350,7 +359,10 @@ impl<'t> Parser<'t> {
         let text = self.expect_ident("a qubit measurement result register")?;
         match split_reg(text) {
             Some(('q', idx)) => Ok(Qubit::new(idx)),
-            _ => Err(AsmError::at(line, AsmErrorKind::BadRegister(text.to_owned()))),
+            _ => Err(AsmError::at(
+                line,
+                AsmErrorKind::BadRegister(text.to_owned()),
+            )),
         }
     }
 

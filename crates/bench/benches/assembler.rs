@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use eqasm_asm::{assemble, encoding};
-use eqasm_core::{Instantiation, Qubit};
 use eqasm_compiler::program_text;
+use eqasm_core::{Instantiation, Qubit};
 
 fn build_source() -> (Instantiation, String) {
     let inst = Instantiation::paper_two_qubit();
@@ -23,7 +23,9 @@ fn bench_assembler(c: &mut Criterion) {
     });
     let program = assemble(&text, &inst).unwrap();
     group.bench_function("encode_program", |b| {
-        b.iter(|| encoding::encode_program(std::hint::black_box(program.instructions()), &inst).unwrap())
+        b.iter(|| {
+            encoding::encode_program(std::hint::black_box(program.instructions()), &inst).unwrap()
+        })
     });
     let words = encoding::encode_program(program.instructions(), &inst).unwrap();
     group.bench_function("decode_program", |b| {

@@ -2,8 +2,8 @@
 //! counting analysis and the emitting code generator.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use eqasm_core::Instantiation;
 use eqasm_compiler::{count_instructions, emit, CodegenConfig, EmitOptions};
+use eqasm_core::Instantiation;
 use eqasm_workloads::{ising_schedule, rb_schedule, IsingParams};
 
 fn bench_codegen(c: &mut Criterion) {

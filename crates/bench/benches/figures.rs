@@ -5,17 +5,15 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use eqasm_bench::experiments::{
-    active_reset_experiment, allxy_experiment, fig12_noise, fig7_grid, grover_fidelity,
-    rb_curve, AllXyOptions, GroverOptions,
+    active_reset_experiment, allxy_experiment, fig12_noise, fig7_grid, grover_fidelity, rb_curve,
+    AllXyOptions, GroverOptions,
 };
 
 fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
 
-    group.bench_function("fig7_grid_small", |b| {
-        b.iter(|| fig7_grid(64, 1).len())
-    });
+    group.bench_function("fig7_grid_small", |b| b.iter(|| fig7_grid(64, 1).len()));
     group.bench_function("fig11_one_shot_sweep", |b| {
         let opts = AllXyOptions {
             shots: 4,

@@ -1,0 +1,65 @@
+//! Benchmarks the shot-execution runtime: shots/sec at 1/2/4/8
+//! workers on a fixed RB workload, plus the mixed-workload driver.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eqasm_core::{Instantiation, Qubit, Topology};
+use eqasm_microarch::SimConfig;
+use eqasm_quantum::{NoiseModel, ReadoutModel};
+use eqasm_runtime::{Job, MixedWorkload, ShotEngine, WorkloadKind, WorkloadSpec};
+use eqasm_workloads::rb_program;
+
+const SHOTS: u64 = 256;
+
+fn rb_job() -> Job {
+    let inst = Instantiation::paper().with_topology(Topology::linear(1));
+    let (program, _) = rb_program(&inst, Qubit::new(0), 24, 1, 0x5eed).expect("rb emits");
+    let config = SimConfig::default()
+        .with_noise(NoiseModel::with_coherence(25_000.0, 25_000.0).with_gate_error(0.0009, 0.0))
+        .with_readout(ReadoutModel::symmetric(0.05));
+    Job::new("rb-k24", inst, program)
+        .with_config(config)
+        .with_shots(SHOTS)
+        .with_seed(1)
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SHOTS));
+
+    let job = rb_job();
+    for workers in [1usize, 2, 4, 8] {
+        let engine = ShotEngine::new(workers);
+        group.bench_function(&format!("rb_shots_w{workers}"), |b| {
+            b.iter(|| engine.run_job(&job).expect("runs"))
+        });
+    }
+
+    group.bench_function("mixed_workload_w4", |b| {
+        let mix = MixedWorkload::new()
+            .push(
+                WorkloadSpec::new(
+                    "rb",
+                    WorkloadKind::Rb {
+                        k: 24,
+                        interval_cycles: 1,
+                        sequence_seed: 5,
+                    },
+                    64,
+                )
+                .with_weight(2),
+            )
+            .push(WorkloadSpec::new(
+                "reset",
+                WorkloadKind::ActiveReset { init_cycles: 100 },
+                64,
+            ));
+        let engine = ShotEngine::new(4);
+        b.iter(|| mix.run(&engine).expect("runs"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -15,5 +15,8 @@ fn main() {
         .unwrap_or(4000);
     let p0 = active_reset_experiment(shots, 200, 7);
     println!("Active qubit reset ({shots} shots)");
-    println!("  P(|0>) after conditional C_X = {:.1}%   (paper: 82.7%)", 100.0 * p0);
+    println!(
+        "  P(|0>) after conditional C_X = {:.1}%   (paper: 82.7%)",
+        100.0 * p0
+    );
 }

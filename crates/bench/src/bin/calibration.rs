@@ -43,5 +43,7 @@ fn main() {
         "  probe qubit survival: ASAP = {:.4}, ALAP = {:.4}",
         ablation.asap_p1, ablation.alap_p1
     );
-    println!("  ALAP defers the lone gate next to the end of the program, avoiding the idle decay.");
+    println!(
+        "  ALAP defers the lone gate next to the end of the program, avoiding the idle decay."
+    );
 }

@@ -17,7 +17,10 @@ fn main() {
     let expected: Vec<&str> = (0..rounds as usize)
         .map(|i| if i % 2 == 0 { "X" } else { "Y" })
         .collect();
-    let ok = gates.iter().map(String::as_str).eq(expected.iter().copied());
+    let ok = gates
+        .iter()
+        .map(String::as_str)
+        .eq(expected.iter().copied());
     println!("  alternation correct: {}", if ok { "yes" } else { "NO" });
     std::process::exit(if ok { 0 } else { 1 });
 }

@@ -14,8 +14,15 @@ fn main() {
         shots,
         ..AllXyOptions::default()
     };
-    println!("Fig. 11 — two-qubit AllXY ({} shots/round, readout eps = {:.2}%, corrected)", opts.shots, 100.0 * opts.readout_error);
-    println!("{:>5} {:>10} {:>10} {:>10} {:>10}", "round", "ideal(q0)", "meas(q0)", "ideal(q2)", "meas(q2)");
+    println!(
+        "Fig. 11 — two-qubit AllXY ({} shots/round, readout eps = {:.2}%, corrected)",
+        opts.shots,
+        100.0 * opts.readout_error
+    );
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>10}",
+        "round", "ideal(q0)", "meas(q0)", "ideal(q2)", "meas(q2)"
+    );
     let points = allxy_experiment(&opts);
     let mut max_dev: f64 = 0.0;
     for p in &points {
@@ -27,5 +34,7 @@ fn main() {
             .max((p.measured_a - p.expected_a).abs())
             .max((p.measured_b - p.expected_b).abs());
     }
-    println!("\nmax |measured - ideal| = {max_dev:.3} (paper: 'matches well with the expectation')");
+    println!(
+        "\nmax |measured - ideal| = {max_dev:.3} (paper: 'matches well with the expectation')"
+    );
 }

@@ -18,7 +18,9 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(2000);
-    let mut ks: Vec<usize> = vec![2, 4, 8, 16, 32, 64, 128, 256, 384, 512, 768, 1024, 1536, 2000];
+    let mut ks: Vec<usize> = vec![
+        2, 4, 8, 16, 32, 64, 128, 256, 384, 512, 768, 1024, 1536, 2000,
+    ];
     ks.retain(|&k| k <= max_k);
     let intervals = [16u32, 8, 4, 2, 1]; // 320..20 ns
     let paper = [0.71, 0.35, 0.20, 0.12, 0.10];

@@ -19,7 +19,10 @@ fn main() {
 
     for workload in ["RB", "IM", "SR"] {
         println!("== {workload} ==");
-        println!("{:>7} {:>10} {:>10} {:>10} {:>10}", "config", "w=1", "w=2", "w=3", "w=4");
+        println!(
+            "{:>7} {:>10} {:>10} {:>10} {:>10}",
+            "config", "w=1", "w=2", "w=3", "w=4"
+        );
         for config in 1..=10u32 {
             let mut row = format!("{config:>7}");
             for width in 1..=4usize {

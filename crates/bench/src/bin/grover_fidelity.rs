@@ -22,5 +22,9 @@ fn main() {
         opts.target, opts.shots_per_setting
     );
     let f = grover_fidelity(&opts);
-    println!("  MLE fidelity to |{:02b}> = {:.1}%   (paper: 85.6%)", opts.target, 100.0 * f);
+    println!(
+        "  MLE fidelity to |{:02b}> = {:.1}%   (paper: 85.6%)",
+        opts.target,
+        100.0 * f
+    );
 }

@@ -12,7 +12,9 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(21);
-    let amps: Vec<f64> = (0..points).map(|i| 2.0 * i as f64 / (points - 1) as f64).collect();
+    let amps: Vec<f64> = (0..points)
+        .map(|i| 2.0 * i as f64 / (points - 1) as f64)
+        .collect();
     println!("Rabi oscillation via X_AMP_i operations ({points} sweep points)");
     println!("{:>8} {:>10} {:>10}", "amp", "P(1)", "ideal");
     let mut max_dev: f64 = 0.0;

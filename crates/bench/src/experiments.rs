@@ -5,9 +5,8 @@
 
 use eqasm_core::{Instantiation, Instruction, Qubit, Topology};
 use eqasm_microarch::{MeasurementSource, QuMa, SimConfig, TraceKind};
-use eqasm_quantum::{
-    tomography, MeasBasis, NoiseModel, ReadoutModel, TomographyAccumulator,
-};
+use eqasm_quantum::{tomography, MeasBasis, NoiseModel, ReadoutModel, TomographyAccumulator};
+use eqasm_runtime::{Job, ShotEngine, WorkloadKind};
 use eqasm_workloads as workloads;
 
 use crate::fit::{fit_decay, DecayFit};
@@ -119,6 +118,8 @@ pub struct AllXyOptions {
     pub readout_error: f64,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker threads for the shot engine (0 = machine parallelism).
+    pub workers: usize,
 }
 
 impl Default for AllXyOptions {
@@ -129,6 +130,7 @@ impl Default for AllXyOptions {
             gate_error: 0.0015,
             readout_error: 0.0956,
             seed: 1,
+            workers: 0,
         }
     }
 }
@@ -136,48 +138,47 @@ impl Default for AllXyOptions {
 /// Runs the two-qubit AllXY experiment of Fig. 11 on the two-qubit
 /// validation chip (qubits 0 and 2) and returns the 42 readout-corrected
 /// staircase points.
+///
+/// All 42 rounds are submitted to the shot engine as one job stream,
+/// so both rounds and shots fan out across the pool.
 pub fn allxy_experiment(opts: &AllXyOptions) -> Vec<AllXyPoint> {
     let inst = Instantiation::paper_two_qubit();
     let (qa, qb) = (Qubit::new(0), Qubit::new(2));
     let noise = NoiseModel::ideal().with_gate_error(opts.gate_error, 0.0);
     let readout = ReadoutModel::symmetric(opts.readout_error);
-    let mut out = Vec::with_capacity(42);
-    for round in 0..42 {
-        let (pa, pb) = workloads::two_qubit_round(round);
-        let program =
-            workloads::allxy_program_with_init(&inst, qa, qb, pa, pb, opts.init_cycles)
-                .expect("AllXY gates are in the default configuration");
-        let mut ones_a = 0u64;
-        let mut ones_b = 0u64;
-        let mut machine = QuMa::new(
-            inst.clone(),
-            SimConfig::default().with_noise(noise).with_readout(readout),
-        );
-        machine.load(&program).expect("program loads");
-        for shot in 0..opts.shots {
-            machine.reset_with_seed(opts.seed ^ ((round as u64) << 32) ^ shot);
-            let result = machine.run();
-            assert!(result.status.is_halted(), "AllXY round {round} did not halt");
-            for (_, qubit, _, reported) in machine.trace().measurement_results() {
-                if qubit == qa && reported {
-                    ones_a += 1;
-                }
-                if qubit == qb && reported {
-                    ones_b += 1;
-                }
+    let config = SimConfig::default().with_noise(noise).with_readout(readout);
+    let jobs: Vec<Job> = (0..42)
+        .map(|round| {
+            let (pa, pb) = workloads::two_qubit_round(round);
+            let program =
+                workloads::allxy_program_with_init(&inst, qa, qb, pa, pb, opts.init_cycles)
+                    .expect("AllXY gates are in the default configuration");
+            Job::new(format!("allxy#{round}"), inst.clone(), program)
+                .with_config(config.clone())
+                .with_shots(opts.shots)
+                .with_seed(opts.seed ^ ((round as u64) << 32))
+        })
+        .collect();
+    let results = ShotEngine::new(opts.workers)
+        .run_jobs(&jobs)
+        .expect("AllXY programs load");
+    results
+        .iter()
+        .enumerate()
+        .map(|(round, result)| {
+            assert_eq!(result.non_halted, 0, "AllXY round {round} did not halt");
+            let (pa, pb) = workloads::two_qubit_round(round);
+            let observed_a = result.ones_fraction(qa.index()).expect("qubit A measured");
+            let observed_b = result.ones_fraction(qb.index()).expect("qubit B measured");
+            AllXyPoint {
+                round,
+                expected_a: workloads::allxy_expected(pa),
+                expected_b: workloads::allxy_expected(pb),
+                measured_a: readout.correct_p1(observed_a),
+                measured_b: readout.correct_p1(observed_b),
             }
-        }
-        let observed_a = ones_a as f64 / opts.shots as f64;
-        let observed_b = ones_b as f64 / opts.shots as f64;
-        out.push(AllXyPoint {
-            round,
-            expected_a: workloads::allxy_expected(pa),
-            expected_b: workloads::allxy_expected(pb),
-            measured_a: readout.correct_p1(observed_a),
-            measured_b: readout.correct_p1(observed_b),
-        });
-    }
-    out
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -207,20 +208,16 @@ pub struct RbCurve {
 ///
 /// Survival is the exact ground-state population of the simulated qubit
 /// at the end of each sequence (shot-noise-free; see `DESIGN.md`),
-/// averaged over `seeds` random sequences per length.
-pub fn rb_curve(
-    interval_cycles: u32,
-    ks: &[usize],
-    seeds: u64,
-    noise: NoiseModel,
-) -> RbCurve {
+/// averaged over `seeds` random sequences per length. Every
+/// `(length, sequence)` cell is one single-shot job on the shot
+/// engine, so the whole curve fans out across the worker pool.
+pub fn rb_curve(interval_cycles: u32, ks: &[usize], seeds: u64, noise: NoiseModel) -> RbCurve {
     // A one-qubit chip keeps the density matrix 2×2.
     let inst = Instantiation::paper().with_topology(Topology::linear(1));
     let qubit = Qubit::new(0);
     let config = SimConfig::default().with_noise(noise);
-    let mut points = Vec::with_capacity(ks.len());
+    let mut jobs = Vec::with_capacity(ks.len() * seeds as usize);
     for &k in ks {
-        let mut total = 0.0;
         for seed in 0..seeds {
             let (program, _) = workloads::rb_probe_program(
                 &inst,
@@ -231,9 +228,25 @@ pub fn rb_curve(
                 10,
             )
             .expect("RB primitives are configured");
-            let mut machine = run_program(&inst, &program, config.clone());
-            total += 1.0 - machine.prob1(qubit);
+            jobs.push(
+                Job::new(format!("rb-k{k}-s{seed}"), inst.clone(), program)
+                    .with_config(config.clone()),
+            );
         }
+    }
+    let results = ShotEngine::default()
+        .run_jobs(&jobs)
+        .expect("RB programs load");
+    let mut points = Vec::with_capacity(ks.len());
+    for (i, &k) in ks.iter().enumerate() {
+        let cells = &results[i * seeds as usize..(i + 1) * seeds as usize];
+        let total: f64 = cells
+            .iter()
+            .map(|r| {
+                assert_eq!(r.non_halted, 0, "RB job {} did not halt", r.name);
+                1.0 - r.mean_prob1[qubit.index()]
+            })
+            .sum();
         points.push((k as f64, total / seeds as f64));
     }
     let fit = fit_decay(&points);
@@ -261,32 +274,23 @@ pub fn fig12_sweep(intervals: &[u32], ks: &[usize], seeds: u64) -> Vec<RbCurve> 
 /// C_X, measure. Returns the fraction of final measurements reporting
 /// |0⟩ (the paper: 82.7 %, limited by readout fidelity).
 pub fn active_reset_experiment(shots: u64, init_cycles: u32, seed: u64) -> f64 {
-    let inst = Instantiation::paper_two_qubit();
     let q = Qubit::new(2);
-    let src = format!(
-        "SMIS S2, {{2}}\nQWAIT {init_cycles}\nX90 S2\nMEASZ S2\nQWAIT 50\nC_X S2\nMEASZ S2\nQWAIT 50\nSTOP"
-    );
-    let program = eqasm_asm::assemble(&src, &inst).expect("reset program assembles");
-    let config = SimConfig::default().with_readout(ReadoutModel::paper_reset());
-    let mut machine = QuMa::new(inst, config);
-    machine.load(program.instructions()).expect("loads");
-    let mut zeros = 0u64;
-    for shot in 0..shots {
-        machine.reset_with_seed(seed.wrapping_add(shot));
-        let result = machine.run();
-        assert!(result.status.is_halted());
-        let results = machine.trace().measurement_results();
-        let finals: Vec<bool> = results
-            .iter()
-            .filter(|(_, qubit, _, _)| *qubit == q)
-            .map(|(_, _, _, reported)| *reported)
-            .collect();
-        assert_eq!(finals.len(), 2, "two measurements per shot");
-        if !finals[1] {
-            zeros += 1;
-        }
-    }
-    zeros as f64 / shots as f64
+    let (inst, program) = WorkloadKind::ActiveReset { init_cycles }
+        .build()
+        .expect("reset program assembles");
+    // The runtime's seed derivation (`base_seed + shot`) matches this
+    // experiment's historical scheme exactly, so the ported version is
+    // bit-compatible with the serial loop it replaces. The histogram
+    // keys on each qubit's *final* measurement — precisely the
+    // post-reset readout the paper reports.
+    let job = Job::new("active-reset", inst, program)
+        .with_config(SimConfig::default().with_readout(ReadoutModel::paper_reset()))
+        .with_shots(shots)
+        .with_seed(seed);
+    let result = ShotEngine::default().run_job(&job).expect("program loads");
+    assert_eq!(result.non_halted, 0, "active reset did not halt");
+    let p1 = result.ones_fraction(q.index()).expect("qubit measured");
+    1.0 - p1
 }
 
 // ---------------------------------------------------------------------
@@ -387,8 +391,8 @@ pub fn cfc_alternation(rounds: u32, start: bool) -> Vec<String> {
          ADD r2, r2, r4\nCMP r2, r3\nBR NE, loop\nSTOP"
     );
     let program = eqasm_asm::assemble(&src, &inst).expect("assembles");
-    let config = SimConfig::default()
-        .with_measurement_source(MeasurementSource::MockAlternating { start });
+    let config =
+        SimConfig::default().with_measurement_source(MeasurementSource::MockAlternating { start });
     let machine = run_program(&inst, program.instructions(), config);
     machine
         .trace()
@@ -417,6 +421,8 @@ pub struct GroverOptions {
     pub target: u8,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker threads for the shot engine (0 = machine parallelism).
+    pub workers: usize,
 }
 
 impl Default for GroverOptions {
@@ -427,6 +433,7 @@ impl Default for GroverOptions {
             single_error: 0.001,
             target: 0b11,
             seed: 3,
+            workers: 0,
         }
     }
 }
@@ -434,31 +441,42 @@ impl Default for GroverOptions {
 /// Runs the two-qubit Grover search through the full stack, performs
 /// state tomography over the nine Pauli settings and returns the
 /// maximum-likelihood fidelity to the marked state.
+///
+/// The nine tomography settings are one job stream on the shot engine;
+/// each setting's shot counts come back as an outcome histogram that
+/// feeds the tomography accumulator.
 pub fn grover_fidelity(opts: &GroverOptions) -> f64 {
     let inst = Instantiation::paper_two_qubit();
     let (qa, qb) = (Qubit::new(0), Qubit::new(2));
     let noise = NoiseModel::ideal().with_gate_error(opts.single_error, opts.cz_error);
     let programs = workloads::grover_tomography_programs(&inst, qa, qb, opts.target)
         .expect("Grover programs emit");
+    let jobs: Vec<Job> = programs
+        .iter()
+        .enumerate()
+        .map(|(setting_idx, (_, _, program))| {
+            Job::new(
+                format!("grover-setting{setting_idx}"),
+                inst.clone(),
+                program.clone(),
+            )
+            .with_config(SimConfig::default().with_noise(noise))
+            .with_shots(opts.shots_per_setting)
+            .with_seed(opts.seed ^ ((setting_idx as u64) << 40))
+        })
+        .collect();
+    let results = ShotEngine::new(opts.workers)
+        .run_jobs(&jobs)
+        .expect("Grover programs load");
     let mut acc = TomographyAccumulator::new();
-    for (setting_idx, (ba, bb, program)) in programs.iter().enumerate() {
-        let mut machine = QuMa::new(inst.clone(), SimConfig::default().with_noise(noise));
-        machine.load(program).expect("loads");
-        for shot in 0..opts.shots_per_setting {
-            machine.reset_with_seed(
-                opts.seed ^ ((setting_idx as u64) << 40) ^ shot.wrapping_mul(0x2545f491),
-            );
-            let result = machine.run();
-            assert!(result.status.is_halted());
-            let results = machine.trace().measurement_results();
-            let bit = |q: Qubit| {
-                results
-                    .iter()
-                    .find(|(_, qubit, _, _)| *qubit == q)
-                    .map(|(_, _, _, rep)| *rep)
-                    .expect("both qubits measured")
-            };
-            acc.add_shot(*ba, *bb, bit(qa), bit(qb));
+    for ((ba, bb, _), result) in programs.iter().zip(&results) {
+        assert_eq!(result.non_halted, 0, "{} did not halt", result.name);
+        for (outcome, &count) in result.histogram.iter() {
+            let bit_a = outcome.get(qa.index()).expect("qubit A measured");
+            let bit_b = outcome.get(qb.index()).expect("qubit B measured");
+            for _ in 0..count {
+                acc.add_shot(*ba, *bb, bit_a, bit_b);
+            }
         }
     }
     let expectations = acc.expectations();
@@ -479,7 +497,9 @@ pub fn rabi_sweep(amplitudes: &[f64]) -> Vec<(f64, f64)> {
     let base = Instantiation::paper_two_qubit();
     let inst = workloads::rabi_instantiation(&base, amplitudes);
     let q = Qubit::new(0);
-    amplitudes
+    // One single-shot job per amplitude: the sweep fans out across the
+    // pool while each point stays an exact-population probe.
+    let jobs: Vec<Job> = amplitudes
         .iter()
         .enumerate()
         .map(|(i, &amp)| {
@@ -488,8 +508,18 @@ pub fn rabi_sweep(amplitudes: &[f64]) -> Vec<(f64, f64)> {
             let mut program = workloads::rabi_program(&inst, q, i).expect("program builds");
             // Drop the MEASZ bundle (index 3) for exact readout.
             program.remove(3);
-            let mut machine = run_program(&inst, &program, SimConfig::default());
-            (amp, machine.prob1(q))
+            Job::new(format!("rabi-a{amp:.3}"), inst.clone(), program)
+        })
+        .collect();
+    let results = ShotEngine::default()
+        .run_jobs(&jobs)
+        .expect("Rabi programs load");
+    amplitudes
+        .iter()
+        .zip(&results)
+        .map(|(&amp, result)| {
+            assert_eq!(result.non_halted, 0, "{} did not halt", result.name);
+            (amp, result.mean_prob1[q.index()])
         })
         .collect()
 }

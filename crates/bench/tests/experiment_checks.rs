@@ -61,7 +61,13 @@ fn fig11_staircase_shape() {
     let mean_of = |lvl: f64, b: bool| {
         let vals: Vec<f64> = points
             .iter()
-            .filter(|p| if b { p.expected_b == lvl } else { p.expected_a == lvl })
+            .filter(|p| {
+                if b {
+                    p.expected_b == lvl
+                } else {
+                    p.expected_a == lvl
+                }
+            })
             .map(|p| if b { p.measured_b } else { p.measured_a })
             .collect();
         vals.iter().sum::<f64>() / vals.len() as f64
@@ -85,8 +91,14 @@ fn fig12_error_increases_with_interval() {
         eps_slow > 3.0 * eps_fast,
         "320 ns error ({eps_slow}) must far exceed 20 ns error ({eps_fast})"
     );
-    assert!((0.0005..=0.002).contains(&eps_fast), "eps(20ns) = {eps_fast}");
-    assert!((0.004..=0.010).contains(&eps_slow), "eps(320ns) = {eps_slow}");
+    assert!(
+        (0.0005..=0.002).contains(&eps_fast),
+        "eps(20ns) = {eps_fast}"
+    );
+    assert!(
+        (0.004..=0.010).contains(&eps_slow),
+        "eps(320ns) = {eps_slow}"
+    );
 }
 
 #[test]

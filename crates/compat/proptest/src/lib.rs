@@ -1,0 +1,665 @@
+//! Vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this path crate
+//! provides the subset of proptest the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_filter` /
+//!   `prop_filter_map` combinators;
+//! * range, tuple, [`Just`], [`any`], regex-subset string strategies;
+//! * `prop::collection::{vec, btree_set}` and `prop::option::of`;
+//! * the [`proptest!`], [`prop_oneof!`] and `prop_assert*` macros;
+//! * [`ProptestConfig`] with `with_cases`.
+//!
+//! Differences from real proptest: cases are generated from a
+//! deterministic per-test RNG and failures are **not shrunk** — the
+//! failing input is printed as-is. That keeps the vendored crate small
+//! while preserving the tests' semantics (random exploration of the
+//! input space with reproducible failures).
+
+use std::fmt::Debug;
+
+pub use config::ProptestConfig;
+
+/// The RNG driving test-case generation.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Configuration types.
+pub mod config {
+    /// How many cases each property runs, mirroring
+    /// `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// Test-runner helpers used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    /// A deterministic RNG for one property, derived from the test
+    /// name so every property explores a different stream but each
+    /// `cargo test` run is reproducible.
+    pub fn new_rng(test_name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+
+    /// Prints the failing input when a property panics: the guard is
+    /// alive for the duration of one case and notices unwinding.
+    pub struct CaseGuard {
+        rendered: Option<String>,
+        case: u32,
+    }
+
+    impl CaseGuard {
+        /// Arms a guard for case number `case` with the pre-rendered
+        /// input description.
+        pub fn new(rendered: String, case: u32) -> Self {
+            CaseGuard {
+                rendered: Some(rendered),
+                case,
+            }
+        }
+
+        /// Disarms the guard (the case passed).
+        pub fn disarm(&mut self) {
+            self.rendered = None;
+        }
+    }
+
+    impl Drop for CaseGuard {
+        fn drop(&mut self) {
+            if let Some(r) = self.rendered.take() {
+                if std::thread::panicking() {
+                    eprintln!("proptest: case #{} failed with input: {}", self.case, r);
+                }
+            }
+        }
+    }
+}
+
+/// The strategy trait and combinators.
+pub mod strategy {
+    use super::{Debug, TestRng};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values where `f` returns `true`.
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+
+        /// Maps values through `f`, regenerating while `f` returns
+        /// `None`.
+        fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> Option<O>,
+        {
+            FilterMap {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Maximum regeneration attempts before a filter gives up.
+    const MAX_FILTER_TRIES: u32 = 10_000;
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..MAX_FILTER_TRIES {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter({:?}) rejected every candidate", self.reason);
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    #[derive(Clone)]
+    pub struct FilterMap<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for FilterMap<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> Option<O>,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            for _ in 0..MAX_FILTER_TRIES {
+                if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter_map({:?}) rejected every candidate",
+                self.reason
+            );
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (built by
+    /// [`crate::prop_oneof!`]).
+    pub struct Union<V> {
+        options: Vec<Rc<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union over `options` (must be nonempty).
+        pub fn new(options: Vec<Rc<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            use rand::RngExt;
+            let idx = rng.random_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::RngExt;
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::RngExt;
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            use rand::RngExt;
+            rng.random_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    /// A value drawn from the whole domain of `T`.
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl<T: rand::StandardDist + Debug> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            use rand::RngExt;
+            rng.random()
+        }
+    }
+
+    /// Mirrors `proptest::arbitrary::any`: the full-domain strategy
+    /// for `T`.
+    pub fn any<T: rand::StandardDist + Debug>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    // ---------------------------------------------------------------
+    // Regex-subset string strategies
+    // ---------------------------------------------------------------
+
+    /// One parsed pattern atom: a set of char ranges plus a repeat
+    /// count.
+    #[derive(Clone, Debug)]
+    struct Atom {
+        ranges: Vec<(char, char)>,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(char, char)> {
+        let mut out = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = chars.next().expect("unterminated [class] in pattern");
+            let lit = match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        out.push((p, p));
+                    }
+                    return out;
+                }
+                '\\' => match chars.next().expect("dangling escape in pattern") {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                },
+                '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                    let lo = pending.take().expect("checked");
+                    let hi = match chars.next().expect("unterminated range") {
+                        '\\' => match chars.next().expect("dangling escape") {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        },
+                        other => other,
+                    };
+                    out.push((lo, hi));
+                    continue;
+                }
+                other => other,
+            };
+            if let Some(p) = pending.replace(lit) {
+                out.push((p, p));
+            }
+        }
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<Atom> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms: Vec<Atom> = Vec::new();
+        while let Some(c) = chars.next() {
+            match c {
+                '.' => atoms.push(Atom {
+                    // Printable ASCII, a tab, plus a couple of
+                    // non-ASCII code points so `.` exercises unicode
+                    // handling like real proptest does.
+                    ranges: vec![
+                        (' ', '~'),
+                        ('\t', '\t'),
+                        ('\u{e9}', '\u{e9}'),
+                        ('\u{4e2d}', '\u{4e2d}'),
+                    ],
+                    min: 1,
+                    max: 1,
+                }),
+                '[' => atoms.push(Atom {
+                    ranges: parse_class(&mut chars),
+                    min: 1,
+                    max: 1,
+                }),
+                '{' => {
+                    let mut spec = String::new();
+                    for d in chars.by_ref() {
+                        if d == '}' {
+                            break;
+                        }
+                        spec.push(d);
+                    }
+                    let atom = atoms.last_mut().expect("quantifier without atom");
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => {
+                            atom.min = lo.trim().parse().expect("bad {m,n} bound");
+                            atom.max = hi.trim().parse().expect("bad {m,n} bound");
+                        }
+                        None => {
+                            let n: u32 = spec.trim().parse().expect("bad {n} bound");
+                            atom.min = n;
+                            atom.max = n;
+                        }
+                    }
+                }
+                '\\' => {
+                    let lit = match chars.next().expect("dangling escape in pattern") {
+                        'n' => '\n',
+                        't' => '\t',
+                        other => other,
+                    };
+                    atoms.push(Atom {
+                        ranges: vec![(lit, lit)],
+                        min: 1,
+                        max: 1,
+                    });
+                }
+                lit => atoms.push(Atom {
+                    ranges: vec![(lit, lit)],
+                    min: 1,
+                    max: 1,
+                }),
+            }
+        }
+        atoms
+    }
+
+    /// `&str` patterns act as regex-subset string strategies, like in
+    /// real proptest. Supported: literal chars, `.`, `[...]` classes
+    /// with ranges and `\n`-style escapes, and `{m}` / `{m,n}`
+    /// quantifiers.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            use rand::RngExt;
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for atom in &atoms {
+                let count = rng.random_range(atom.min..=atom.max);
+                for _ in 0..count {
+                    let (lo, hi) = atom.ranges[rng.random_range(0..atom.ranges.len())];
+                    let span = hi as u32 - lo as u32 + 1;
+                    let c = char::from_u32(lo as u32 + rng.random_range(0..span)).unwrap_or(lo);
+                    out.push(c);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection`, `prop::option`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::TestRng;
+        use rand::RngExt;
+        use std::collections::BTreeSet;
+        use std::fmt::Debug;
+        use std::ops::Range;
+
+        /// See [`vec`].
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// A `Vec` of values from `element` with a length drawn from
+        /// `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.random_range(self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// See [`btree_set`].
+        #[derive(Clone)]
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// A `BTreeSet` built from up to `size` drawn values
+        /// (duplicates collapse, like in real proptest).
+        pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { element, size }
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord + Debug,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+                let len = rng.random_range(self.size.clone());
+                let mut out = BTreeSet::new();
+                for _ in 0..len.max(self.size.start) {
+                    out.insert(self.element.generate(rng));
+                }
+                out
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::strategy::Strategy;
+        use crate::TestRng;
+        use rand::RngExt;
+        use std::fmt::Debug;
+
+        /// See [`of`].
+        #[derive(Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `Some(value)` three times out of four, `None` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S>
+        where
+            S::Value: Debug,
+        {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.random_range(0..4usize) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::config::ProptestConfig;
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property, reporting the failing input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "prop_assert failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*); };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*); };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(std::rc::Rc::new($strat) as std::rc::Rc<dyn $crate::strategy::Strategy<Value = _>>,)+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{ @with_config ($cfg) $($rest)* }
+    };
+    (@with_config ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::new_rng(stringify!($name));
+            for case in 0..config.cases {
+                let case_values = ( $($crate::strategy::Strategy::generate(&($strat), &mut rng),)+ );
+                let mut guard = $crate::test_runner::CaseGuard::new(
+                    format!("{:?}", case_values),
+                    case,
+                );
+                let ( $($arg,)+ ) = case_values;
+                { $body }
+                guard.disarm();
+            }
+        }
+        $crate::proptest!{ @with_config ($cfg) $($rest)* }
+    };
+    (@with_config ($cfg:expr)) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!{ @with_config ($crate::config::ProptestConfig::default()) $($rest)* }
+    };
+}

@@ -1,0 +1,280 @@
+//! Vendored, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this workspace
+//! ships the slice of the `rand` API it actually uses as a path crate:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator seeded
+//!   through SplitMix64 (the workspace only ever constructs it via
+//!   [`SeedableRng::seed_from_u64`], so stability across platforms is
+//!   guaranteed by this crate alone);
+//! * [`SeedableRng`] — `seed_from_u64`;
+//! * [`RngExt`] — `random::<T>()` and `random_range(range)`, the
+//!   post-0.9-style method names the simulator code was written
+//!   against (this pin is the reconciliation of the nonstandard
+//!   `rand::RngExt` import: the trait is defined here, once, instead
+//!   of drifting between `Rng`/`RngExt` across rand versions).
+//!
+//! Everything is `no_std`-free plain Rust with no transitive
+//! dependencies, which keeps the workspace building fully offline.
+
+/// A source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is a pure function of
+    /// `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling of a type from the "standard" distribution (uniform over
+/// the value domain; `[0, 1)` for floats).
+pub trait StandardDist: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// A range that knows how to sample a uniform value from itself.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng`, uniform over the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// The convenience methods the workspace calls on any RNG.
+pub trait RngExt: RngCore {
+    /// Draws a value of type `T` from the standard distribution
+    /// (uniform bits for integers/bools, uniform `[0, 1)` for floats).
+    fn random<T: StandardDist>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+impl StandardDist for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform bits into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardDist for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardDist for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardDist for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardDist for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+/// Uniform integer in `[0, width)` by rejection sampling (no modulo
+/// bias). `width` must be nonzero.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, width: u128) -> u128 {
+    debug_assert!(width > 0);
+    if width.is_power_of_two() {
+        return u128::sample(rng) & (width - 1);
+    }
+    let zone = u128::MAX - (u128::MAX % width + 1) % width;
+    loop {
+        let v = u128::sample(rng);
+        if v <= zone {
+            return v % width;
+        }
+    }
+}
+
+/// Types with a uniform sampler over half-open / closed intervals.
+/// One blanket [`SampleRange`] impl per range shape keeps integer
+/// literal inference working exactly like the real `rand` crate.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform value in `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`).
+    fn sample_interval<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_interval<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+            ) -> $t {
+                let width = (hi as i128 - lo as i128 + inclusive as i128) as u128;
+                assert!(width > 0, "cannot sample empty range");
+                (lo as i128 + uniform_below(rng, width) as i128) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_interval<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: f64,
+        hi: f64,
+        _inclusive: bool,
+    ) -> f64 {
+        assert!(lo < hi, "cannot sample empty range");
+        lo + (hi - lo) * f64::sample(rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_interval(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_interval(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++ state seeded through
+    /// SplitMix64. Deterministic, portable, and fast; not
+    /// cryptographically secure (nothing here needs that).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..16).map(|_| a.random()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.random()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.random()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 15];
+        for _ in 0..10_000 {
+            let k = rng.random_range(1..16usize);
+            assert!((1..16).contains(&k));
+            seen[k - 1] = true;
+            let v = rng.random_range(3..=7u64);
+            assert!((3..=7).contains(&v));
+            let q = rng.random_range(0..24u8);
+            assert!(q < 24);
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn float_range_uniformish() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            sum += rng.random_range(-10.0f64..10.0);
+        }
+        assert!((sum / n as f64).abs() < 0.2);
+    }
+}

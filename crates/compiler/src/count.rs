@@ -78,8 +78,18 @@ impl CodegenConfig {
         let (timing, somq) = match config {
             1 => (TimingSpec::Ts1, false),
             2 => (TimingSpec::Ts2, false),
-            3..=6 => (TimingSpec::Ts3 { pi_bits: config - 2 }, false),
-            7..=10 => (TimingSpec::Ts3 { pi_bits: config - 6 }, true),
+            3..=6 => (
+                TimingSpec::Ts3 {
+                    pi_bits: config - 2,
+                },
+                false,
+            ),
+            7..=10 => (
+                TimingSpec::Ts3 {
+                    pi_bits: config - 6,
+                },
+                true,
+            ),
             other => panic!("Fig. 7 configurations are numbered 1..=10, got {other}"),
         };
         CodegenConfig {
@@ -244,10 +254,7 @@ mod tests {
 
     #[test]
     fn fig7_config_table() {
-        assert_eq!(
-            CodegenConfig::fig7(1, 1).timing,
-            TimingSpec::Ts1
-        );
+        assert_eq!(CodegenConfig::fig7(1, 1).timing, TimingSpec::Ts1);
         assert_eq!(CodegenConfig::fig7(2, 2).timing, TimingSpec::Ts2);
         assert_eq!(
             CodegenConfig::fig7(5, 2).timing,

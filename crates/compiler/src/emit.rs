@@ -10,9 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use eqasm_core::{
-    Bundle, BundleOp, Instantiation, Instruction, OpArity, SReg, TReg,
-};
+use eqasm_core::{Bundle, BundleOp, Instantiation, Instruction, OpArity, SReg, TReg};
 
 use crate::error::CompileError;
 use crate::ir::GateKind;
@@ -196,7 +194,10 @@ pub fn emit(
                 });
             }
             let mask = topo.single_mask(
-                &qubits.iter().map(|&q| eqasm_core::Qubit::new(q)).collect::<Vec<_>>(),
+                &qubits
+                    .iter()
+                    .map(|&q| eqasm_core::Qubit::new(q))
+                    .collect::<Vec<_>>(),
             )?;
             let reg = s_alloc.get(mask, |idx, m| {
                 out.push(Instruction::Smis {
@@ -302,10 +303,7 @@ mod tests {
             .filter(|i| matches!(i, Instruction::Smis { .. }))
             .collect();
         assert_eq!(smis.len(), 1);
-        assert!(matches!(
-            smis[0],
-            Instruction::Smis { mask: 0b100101, .. }
-        ));
+        assert!(matches!(smis[0], Instruction::Smis { mask: 0b100101, .. }));
         let bundles = program
             .iter()
             .filter(|i| matches!(i, Instruction::Bundle(_)))

@@ -166,7 +166,11 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns [`CompileError::QubitOutOfRange`] for bad operands.
-    pub fn single(&mut self, name: impl Into<String>, qubit: u8) -> Result<&mut Self, CompileError> {
+    pub fn single(
+        &mut self,
+        name: impl Into<String>,
+        qubit: u8,
+    ) -> Result<&mut Self, CompileError> {
         let qubit = self.check_qubit(qubit)?;
         self.gates.push(Gate {
             name: name.into(),

@@ -50,6 +50,6 @@ mod schedule;
 pub use count::{count_instructions, CodegenConfig, CountReport, TimingSpec};
 pub use emit::{emit, program_text, EmitOptions};
 pub use error::CompileError;
-pub use lift::lift_program;
 pub use ir::{Circuit, Gate, GateDurations, GateKind};
+pub use lift::lift_program;
 pub use schedule::{schedule_alap, schedule_asap, Schedule, TimedGate};

@@ -91,15 +91,16 @@ pub fn lift_program(
                         (OpArity::TwoQubit, OpTarget::T(t)) => {
                             let mask = tregs[t.index()];
                             for pair in topo.pairs_in_mask(mask) {
-                                circuit.two(def.name(), pair.source().raw(), pair.target().raw())?;
+                                circuit.two(
+                                    def.name(),
+                                    pair.source().raw(),
+                                    pair.target().raw(),
+                                )?;
                             }
                         }
                         _ => {
                             return Err(CompileError::UnknownOperation {
-                                name: format!(
-                                    "{} with a mismatched target operand",
-                                    def.name()
-                                ),
+                                name: format!("{} with a mismatched target operand", def.name()),
                             })
                         }
                     }
@@ -142,9 +143,7 @@ mod tests {
         // Same multiset of gates (order may differ across parallel
         // groups but this circuit is sequential enough to match).
         assert_eq!(lifted.len(), c.len());
-        let count = |c: &Circuit, name: &str| {
-            c.gates().iter().filter(|g| g.name == name).count()
-        };
+        let count = |c: &Circuit, name: &str| c.gates().iter().filter(|g| g.name == name).count();
         for name in ["Y90", "YM90", "CZ", "MEASZ"] {
             assert_eq!(count(&lifted, name), count(&c, name), "{name}");
         }
@@ -153,11 +152,8 @@ mod tests {
     #[test]
     fn lift_expands_somq_masks() {
         let inst = Instantiation::paper();
-        let program = eqasm_asm::assemble(
-            "SMIS S7, {0, 2, 5}\nQWAIT 10\n0, X S7\nSTOP",
-            &inst,
-        )
-        .unwrap();
+        let program =
+            eqasm_asm::assemble("SMIS S7, {0, 2, 5}\nQWAIT 10\n0, X S7\nSTOP", &inst).unwrap();
         let lifted = lift_program(program.instructions(), &inst).unwrap();
         assert_eq!(lifted.len(), 3, "one gate per selected qubit");
         assert!(lifted.gates().iter().all(|g| g.name == "X"));
@@ -202,11 +198,8 @@ mod tests {
     #[test]
     fn lift_preserves_pair_direction() {
         let inst = Instantiation::paper();
-        let program = eqasm_asm::assemble(
-            "SMIT T0, {(3, 1)}\nQWAIT 10\n1, CNOT T0\nSTOP",
-            &inst,
-        )
-        .unwrap();
+        let program =
+            eqasm_asm::assemble("SMIT T0, {(3, 1)}\nQWAIT 10\n1, CNOT T0\nSTOP", &inst).unwrap();
         let lifted = lift_program(program.instructions(), &inst).unwrap();
         match &lifted.gates()[0].kind {
             GateKind::Two { pair } => {

@@ -124,7 +124,10 @@ impl Schedule {
 ///
 /// Returns [`CompileError::QubitOutOfRange`] if a gate addresses a qubit
 /// outside the circuit (only possible for hand-built [`Gate`] lists).
-pub fn schedule_asap(circuit: &Circuit, durations: GateDurations) -> Result<Schedule, CompileError> {
+pub fn schedule_asap(
+    circuit: &Circuit,
+    durations: GateDurations,
+) -> Result<Schedule, CompileError> {
     let n = circuit.num_qubits();
     let mut avail: Vec<u64> = vec![0; n];
     let mut ops = Vec::with_capacity(circuit.len());
@@ -168,7 +171,10 @@ pub fn schedule_asap(circuit: &Circuit, durations: GateDurations) -> Result<Sche
 /// # Errors
 ///
 /// Returns [`CompileError::QubitOutOfRange`] for invalid operands.
-pub fn schedule_alap(circuit: &Circuit, durations: GateDurations) -> Result<Schedule, CompileError> {
+pub fn schedule_alap(
+    circuit: &Circuit,
+    durations: GateDurations,
+) -> Result<Schedule, CompileError> {
     let asap = schedule_asap(circuit, durations)?;
     let makespan = asap.makespan();
     let n = circuit.num_qubits();
@@ -319,8 +325,18 @@ mod tests {
         let asap = schedule_asap(&c, GateDurations::paper()).unwrap();
         let alap = schedule_alap(&c, GateDurations::paper()).unwrap();
         assert_eq!(asap.makespan(), alap.makespan());
-        let x_asap = asap.ops().iter().find(|t| t.gate.name == "X").unwrap().start;
-        let x_alap = alap.ops().iter().find(|t| t.gate.name == "X").unwrap().start;
+        let x_asap = asap
+            .ops()
+            .iter()
+            .find(|t| t.gate.name == "X")
+            .unwrap()
+            .start;
+        let x_alap = alap
+            .ops()
+            .iter()
+            .find(|t| t.gate.name == "X")
+            .unwrap()
+            .start;
         assert_eq!(x_asap, 0);
         assert_eq!(x_alap, 4, "ALAP must defer the isolated gate");
     }
@@ -334,7 +350,11 @@ mod tests {
         c.measure(2).unwrap();
         let alap = schedule_alap(&c, GateDurations::paper()).unwrap();
         let start_of = |name: &str| {
-            alap.ops().iter().find(|t| t.gate.name == name).unwrap().start
+            alap.ops()
+                .iter()
+                .find(|t| t.gate.name == name)
+                .unwrap()
+                .start
         };
         assert!(start_of("X") < start_of("CZ"));
         assert!(start_of("CZ") + 2 <= start_of("Y"));

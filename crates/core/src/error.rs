@@ -93,7 +93,10 @@ impl fmt::Display for CoreError {
                 "qubit {qubit} is out of range for a {num_qubits}-qubit topology"
             ),
             CoreError::InvalidPair { pair } => {
-                write!(f, "pair {pair} is not an allowed qubit pair of the topology")
+                write!(
+                    f,
+                    "pair {pair} is not an allowed qubit pair of the topology"
+                )
             }
             CoreError::InvalidPairAddr { addr, num_pairs } => write!(
                 f,
@@ -125,7 +128,10 @@ impl fmt::Display for CoreError {
                 "{kind} register index {index} is out of range (register file has {count} entries)"
             ),
             CoreError::ImmediateOutOfRange { field, value, bits } => {
-                write!(f, "value {value} does not fit in the {bits}-bit {field} field")
+                write!(
+                    f,
+                    "value {value} does not fit in the {bits}-bit {field} field"
+                )
             }
         }
     }

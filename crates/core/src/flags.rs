@@ -142,9 +142,7 @@ impl FromStr for CmpFlag {
             .iter()
             .copied()
             .find(|f| f.mnemonic() == upper)
-            .ok_or(ParseCmpFlagError {
-                text: s.to_owned(),
-            })
+            .ok_or(ParseCmpFlagError { text: s.to_owned() })
     }
 }
 

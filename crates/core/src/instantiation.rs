@@ -235,9 +235,7 @@ mod tests {
         let inst = Instantiation::paper_two_qubit();
         assert_eq!(inst.topology().name(), "two-qubit");
         // Qubits are named 0 and 2 per §5.
-        assert!(inst
-            .topology()
-            .is_allowed(crate::QubitPair::from_raw(0, 2)));
+        assert!(inst.topology().is_allowed(crate::QubitPair::from_raw(0, 2)));
     }
 
     #[test]

@@ -298,10 +298,8 @@ mod tests {
     fn bundle_effective_ops_ignores_qnop() {
         let cfg = OpConfig::default_config();
         let x = cfg.by_name("X").unwrap().opcode();
-        let b = Bundle::with_pre_interval(
-            0,
-            vec![BundleOp::single(x, SReg::new(1)), BundleOp::QNOP],
-        );
+        let b =
+            Bundle::with_pre_interval(0, vec![BundleOp::single(x, SReg::new(1)), BundleOp::QNOP]);
         assert_eq!(b.effective_ops(), 1);
         assert_eq!(b.pre_interval, 0);
     }

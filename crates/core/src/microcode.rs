@@ -166,9 +166,7 @@ impl MicroInstruction {
     pub fn duration_cycles(&self) -> u32 {
         match self {
             MicroInstruction::Single(op) => op.duration_cycles(),
-            MicroInstruction::Pair { src, tgt } => {
-                src.duration_cycles().max(tgt.duration_cycles())
-            }
+            MicroInstruction::Pair { src, tgt } => src.duration_cycles().max(tgt.duration_cycles()),
         }
     }
 }
@@ -212,11 +210,7 @@ mod tests {
 
     #[test]
     fn single_duration() {
-        let mi = MicroInstruction::Single(MicroOp::new(
-            Codeword::new(1),
-            DeviceKind::Microwave,
-            1,
-        ));
+        let mi = MicroInstruction::Single(MicroOp::new(Codeword::new(1), DeviceKind::Microwave, 1));
         assert!(!mi.is_pair());
         assert_eq!(mi.duration_cycles(), 1);
     }

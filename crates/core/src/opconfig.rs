@@ -414,11 +414,8 @@ impl OpConfigBuilder {
     pub fn measurement(&mut self, name: &str, duration_cycles: u32) -> Result<QOpcode, CoreError> {
         let opcode = self.alloc_opcode()?;
         let cw = self.alloc_codeword(PulseKind::Measure);
-        let micro = MicroInstruction::Single(MicroOp::new(
-            cw,
-            DeviceKind::Measurement,
-            duration_cycles,
-        ));
+        let micro =
+            MicroInstruction::Single(MicroOp::new(cw, DeviceKind::Measurement, duration_cycles));
         self.insert(OpDef {
             name: name.to_ascii_uppercase(),
             opcode,
@@ -488,7 +485,8 @@ mod tests {
     #[test]
     fn duplicate_name_rejected() {
         let mut b = OpConfig::builder(9);
-        b.single("X", 1, PulseKind::Rx(std::f64::consts::PI)).unwrap();
+        b.single("X", 1, PulseKind::Rx(std::f64::consts::PI))
+            .unwrap();
         let err = b.single("x", 1, PulseKind::Rx(1.0)).unwrap_err();
         assert!(matches!(err, CoreError::DuplicateOperation { .. }));
     }
@@ -500,7 +498,10 @@ mod tests {
         b.single("B", 1, PulseKind::None).unwrap();
         b.single("C", 1, PulseKind::None).unwrap();
         let err = b.single("D", 1, PulseKind::None).unwrap_err();
-        assert!(matches!(err, CoreError::OpcodeSpaceExhausted { capacity: 4 }));
+        assert!(matches!(
+            err,
+            CoreError::OpcodeSpaceExhausted { capacity: 4 }
+        ));
     }
 
     #[test]

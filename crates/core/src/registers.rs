@@ -277,7 +277,10 @@ impl MeasurementRegister {
     /// Panics if no measurement was pending — that would be a
     /// microarchitecture bug, not a program error.
     pub fn on_result(&mut self, result: bool) {
-        assert!(self.pending > 0, "measurement result without pending measurement");
+        assert!(
+            self.pending > 0,
+            "measurement result without pending measurement"
+        );
         self.pending -= 1;
         self.value = Some(result);
     }
@@ -290,7 +293,10 @@ impl MeasurementRegister {
     ///
     /// Panics if no measurement was pending.
     pub fn on_measurement_cancelled(&mut self) {
-        assert!(self.pending > 0, "measurement cancelled without pending measurement");
+        assert!(
+            self.pending > 0,
+            "measurement cancelled without pending measurement"
+        );
         self.pending -= 1;
     }
 
@@ -338,7 +344,10 @@ mod tests {
     fn checked_register_index() {
         assert!(Gpr::new(31).checked(32).is_ok());
         let err = Gpr::new(32).checked(32).unwrap_err();
-        assert!(matches!(err, CoreError::InvalidRegister { kind: "GPR", .. }));
+        assert!(matches!(
+            err,
+            CoreError::InvalidRegister { kind: "GPR", .. }
+        ));
         assert!(SReg::new(5).checked(32).is_ok());
         assert!(TReg::new(40).checked(32).is_err());
     }

@@ -210,7 +210,10 @@ impl Topology {
     /// Panics if `n` is 0 or larger than 16 (the directed-edge count would
     /// exceed a practical mask width).
     pub fn fully_connected(n: usize) -> Self {
-        assert!(n > 0 && n <= 16, "fully connected topology supports 1..=16 qubits");
+        assert!(
+            n > 0 && n <= 16,
+            "fully connected topology supports 1..=16 qubits"
+        );
         let mut pairs = Vec::new();
         for s in 0..n {
             for t in 0..n {
@@ -372,7 +375,10 @@ impl Topology {
         for (i, &a) in selected.iter().enumerate() {
             for &b in &selected[i + 1..] {
                 if a.overlaps(b) {
-                    return Err(CoreError::TargetRegisterConflict { first: a, second: b });
+                    return Err(CoreError::TargetRegisterConflict {
+                        first: a,
+                        second: b,
+                    });
                 }
             }
         }
@@ -670,13 +676,7 @@ mod tests {
 
     #[test]
     fn rejects_self_loop() {
-        let err = Topology::new(
-            "bad",
-            2,
-            vec![QubitPair::from_raw(1, 1)],
-            vec![],
-        )
-        .unwrap_err();
+        let err = Topology::new("bad", 2, vec![QubitPair::from_raw(1, 1)], vec![]).unwrap_err();
         assert!(matches!(err, CoreError::InvalidPair { .. }));
     }
 

@@ -100,12 +100,18 @@ impl fmt::Display for Fault {
                 f,
                 "two micro-operations target qubit {qubit} at timing point {point}"
             ),
-            Fault::TimelineSlip { requested, feasible } => write!(
+            Fault::TimelineSlip {
+                requested,
+                feasible,
+            } => write!(
                 f,
                 "timing point {requested} is infeasible (earliest {feasible}): issue rate exceeded"
             ),
             Fault::MemoryOutOfRange { addr, size } => {
-                write!(f, "memory access at word {addr} outside {size}-word data memory")
+                write!(
+                    f,
+                    "memory access at word {addr} outside {size}-word data memory"
+                )
             }
             Fault::Core(e) => write!(f, "{e}"),
         }

@@ -282,6 +282,16 @@ impl QuMa {
         self.reset_with_seed(self.config.seed);
     }
 
+    /// Runs one shot: resets all state under `seed` (keeping the
+    /// loaded program) and executes to completion. This is the cheap
+    /// machine-reuse entry point the shot-execution runtime drives —
+    /// the per-shot cost is one reset plus the run itself, with no
+    /// re-validation or re-allocation of the program.
+    pub fn run_shot(&mut self, seed: u64) -> RunResult {
+        self.reset_with_seed(seed);
+        self.run()
+    }
+
     // ---------------------------------------------------------------
     // Accessors
     // ---------------------------------------------------------------
@@ -511,8 +521,7 @@ impl QuMa {
                 self.stats.classical_instructions += 1;
             }
             Instruction::Ldui { rd, imm, rs } => {
-                self.gprs[rd.index()] =
-                    ((imm as u32) << 17) | (self.gprs[rs.index()] & 0x1ffff);
+                self.gprs[rd.index()] = ((imm as u32) << 17) | (self.gprs[rs.index()] & 0x1ffff);
                 self.stats.classical_instructions += 1;
             }
             Instruction::Ld { rd, rt, imm } => {
@@ -532,7 +541,10 @@ impl QuMa {
             Instruction::St { rs, rt, imm } => {
                 let addr = self.gprs[rt.index()] as i64 + imm as i64;
                 let value = self.gprs[rs.index()];
-                match usize::try_from(addr).ok().and_then(|a| self.memory.get_mut(a)) {
+                match usize::try_from(addr)
+                    .ok()
+                    .and_then(|a| self.memory.get_mut(a))
+                {
                     Some(slot) => *slot = value,
                     None => {
                         self.fault = Some(Fault::MemoryOutOfRange {
@@ -581,13 +593,11 @@ impl QuMa {
                 self.stats.classical_instructions += 1;
             }
             Instruction::Add { rd, rs, rt } => {
-                self.gprs[rd.index()] =
-                    self.gprs[rs.index()].wrapping_add(self.gprs[rt.index()]);
+                self.gprs[rd.index()] = self.gprs[rs.index()].wrapping_add(self.gprs[rt.index()]);
                 self.stats.classical_instructions += 1;
             }
             Instruction::Sub { rd, rs, rt } => {
-                self.gprs[rd.index()] =
-                    self.gprs[rs.index()].wrapping_sub(self.gprs[rt.index()]);
+                self.gprs[rd.index()] = self.gprs[rs.index()].wrapping_sub(self.gprs[rt.index()]);
                 self.stats.classical_instructions += 1;
             }
             // ---- quantum instructions: forwarded to the quantum
@@ -777,10 +787,9 @@ impl QuMa {
                         _ => unreachable!("two-qubit op has pair micro"),
                     };
                     for pair in pairs {
-                        for (is_src_half, m, q) in [
-                            (true, src_m, pair.source()),
-                            (false, tgt_m, pair.target()),
-                        ] {
+                        for (is_src_half, m, q) in
+                            [(true, src_m, pair.source()), (false, tgt_m, pair.target())]
+                        {
                             self.enqueue_op(
                                 ts,
                                 ReadyOp {
@@ -920,8 +929,10 @@ impl QuMa {
                 }
                 OpEffect::Measure => {
                     self.stats.measurements += 1;
-                    self.trace
-                        .record(self.clock_cc, TraceKind::MeasurementStarted { qubit: op.qubit });
+                    self.trace.record(
+                        self.clock_cc,
+                        TraceKind::MeasurementStarted { qubit: op.qubit },
+                    );
                     let result_cc = (ts + op.duration_qc as u64) * self.ccpq();
                     let (raw, reported) = self.sample_measurement(op.qubit, result_cc);
                     self.results_due

@@ -44,6 +44,27 @@ pub struct RunStats {
 }
 
 impl RunStats {
+    /// Accumulates another run's counters into this one (used by the
+    /// shot-execution runtime to roll statistics up across shots).
+    /// Additive counters sum; `last_timing_point` keeps the maximum.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.classical_cycles += other.classical_cycles;
+        self.quantum_cycles += other.quantum_cycles;
+        self.classical_instructions += other.classical_instructions;
+        self.quantum_instructions += other.quantum_instructions;
+        self.bundle_words += other.bundle_words;
+        self.timing_points += other.timing_points;
+        self.ops_triggered += other.ops_triggered;
+        self.ops_cancelled += other.ops_cancelled;
+        self.two_qubit_gates += other.two_qubit_gates;
+        self.measurements += other.measurements;
+        self.fmr_stall_cycles += other.fmr_stall_cycles;
+        self.timeline_slips += other.timeline_slips;
+        self.slipped_cycles += other.slipped_cycles;
+        self.busy_overlaps += other.busy_overlaps;
+        self.last_timing_point = self.last_timing_point.max(other.last_timing_point);
+    }
+
     /// Total instructions executed.
     pub fn total_instructions(&self) -> u64 {
         self.classical_instructions + self.quantum_instructions

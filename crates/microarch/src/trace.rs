@@ -149,9 +149,7 @@ impl Trace {
     pub fn ops_on(&self, qubit: Qubit) -> Vec<&TraceEvent> {
         self.events
             .iter()
-            .filter(|e| {
-                matches!(&e.kind, TraceKind::OpTriggered { qubit: q, .. } if *q == qubit)
-            })
+            .filter(|e| matches!(&e.kind, TraceKind::OpTriggered { qubit: q, .. } if *q == qubit))
             .collect()
     }
 

@@ -73,11 +73,7 @@ fn ldi_sign_extends() {
 fn ldui_concatenates() {
     // LDUI Rd, Imm, Rs: Rd = Imm[14..0] :: Rs[16..0] (Table 1).
     let inst = Instantiation::paper();
-    let m = run_src(
-        &inst,
-        zero_latency(),
-        "LDI r1, 99\nLDUI r2, 3, r1\nSTOP",
-    );
+    let m = run_src(&inst, zero_latency(), "LDI r1, 99\nLDUI r2, 3, r1\nSTOP");
     assert_eq!(m.gpr(Gpr::new(2)), (3 << 17) | 99);
 }
 
@@ -263,7 +259,10 @@ fn somq_applies_one_op_to_many_qubits() {
         );
     }
     for q in [1u8, 3, 4, 6] {
-        assert!(m.prob1(Qubit::new(q)) < 1e-9, "qubit {q} spuriously flipped");
+        assert!(
+            m.prob1(Qubit::new(q)) < 1e-9,
+            "qubit {q} spuriously flipped"
+        );
     }
 }
 
@@ -300,8 +299,7 @@ fn cross_bundle_same_point_conflict_faults() {
     // §4.3: "if two different quantum bundle instructions specify a
     // quantum operation on the same qubit, an error is raised".
     let inst = Instantiation::paper();
-    let program =
-        assemble("SMIS S0, {0}\nQWAIT 100\n0, X S0\n0, Y S0\nSTOP", &inst).unwrap();
+    let program = assemble("SMIS S0, {0}\nQWAIT 100\n0, X S0\n0, Y S0\nSTOP", &inst).unwrap();
     let mut m = QuMa::new(inst, zero_latency());
     m.load(program.instructions()).unwrap();
     let result = m.run();
@@ -495,8 +493,8 @@ Y S0
 next:
 QWAIT 10
 STOP";
-    let cfg = zero_latency()
-        .with_measurement_source(MeasurementSource::MockAlternating { start: true });
+    let cfg =
+        zero_latency().with_measurement_source(MeasurementSource::MockAlternating { start: true });
     let m = run_src(&inst, cfg, src);
     let ops = m.trace().executed_ops();
     let gate_names: Vec<&str> = ops
@@ -528,8 +526,8 @@ Y S0
 next:
 QWAIT 10
 STOP";
-    let cfg = zero_latency()
-        .with_measurement_source(MeasurementSource::MockAlternating { start: false });
+    let cfg =
+        zero_latency().with_measurement_source(MeasurementSource::MockAlternating { start: false });
     let m = run_src(&inst, cfg, src);
     let gate_names: Vec<&str> = m
         .trace()
@@ -570,8 +568,8 @@ ADD r2, r2, r4
 CMP r2, r3
 BR NE, loop
 STOP";
-    let cfg = zero_latency()
-        .with_measurement_source(MeasurementSource::MockAlternating { start: false });
+    let cfg =
+        zero_latency().with_measurement_source(MeasurementSource::MockAlternating { start: false });
     let m = run_src(&inst, cfg, src);
     let gate_names: Vec<&str> = m
         .trace()
@@ -610,7 +608,9 @@ fn readout_error_corrupts_reports() {
         src.push_str("0, MEASZ S0\nQWAIT 20\n");
     }
     src.push_str("STOP");
-    let cfg = zero_latency().with_readout(ReadoutModel::symmetric(0.3)).with_seed(3);
+    let cfg = zero_latency()
+        .with_readout(ReadoutModel::symmetric(0.3))
+        .with_seed(3);
     let m = run_src(&inst, cfg, &src);
     let results = m.trace().measurement_results();
     assert_eq!(results.len(), 200);
@@ -643,7 +643,10 @@ fn t1_decay_during_idle() {
     // value.
     let expect = 1.0 - (-2.0f64).exp();
     let got = m.prob1(Qubit::new(0));
-    assert!(got <= expect + 1e-9 && (got - expect).abs() < 0.02, "got {got}, expected ~{expect}");
+    assert!(
+        got <= expect + 1e-9 && (got - expect).abs() < 0.02,
+        "got {got}, expected ~{expect}"
+    );
 }
 
 #[test]
@@ -829,7 +832,10 @@ fn last_two_equal_flag_gates_ce_x() {
         "SMIS S0, {0}\nQWAIT 100\n0, MEASZ S0\nQWAIT 20\nX S0\nMEASZ S0\nQWAIT 20\nCE_X S0\nQWAIT 5\nSTOP",
     );
     assert_eq!(m.stats().ops_cancelled, 1);
-    assert!((m.prob1(Qubit::new(0)) - 1.0).abs() < 1e-9, "state untouched by cancelled CE_X");
+    assert!(
+        (m.prob1(Qubit::new(0)) - 1.0).abs() < 1e-9,
+        "state untouched by cancelled CE_X"
+    );
 }
 
 #[test]
@@ -838,12 +844,16 @@ fn conditional_measurement_cancellation_keeps_qi_valid() {
     // must undo its pending-counter increment, or FMR would deadlock.
     use eqasm_core::{ExecFlag, OpConfig, PulseKind};
     let mut b = OpConfig::builder(9);
-    b.single("X", 1, PulseKind::Rx(std::f64::consts::PI)).unwrap();
+    b.single("X", 1, PulseKind::Rx(std::f64::consts::PI))
+        .unwrap();
     b.measurement("MEASZ", 15).unwrap();
     // A measurement gated on last-is-one: cancelled when no 1 was seen.
     let opcode = {
-        use eqasm_core::{DeviceKind, MicroOp, Codeword};
-        let _ = (DeviceKind::Measurement, MicroOp::new(Codeword::new(0), DeviceKind::Measurement, 1));
+        use eqasm_core::{Codeword, DeviceKind, MicroOp};
+        let _ = (
+            DeviceKind::Measurement,
+            MicroOp::new(Codeword::new(0), DeviceKind::Measurement, 1),
+        );
         b.measurement("C_MEAS", 15).unwrap()
     };
     let _ = opcode;
@@ -853,7 +863,8 @@ fn conditional_measurement_cancellation_keeps_qi_valid() {
     // cancellation bookkeeping through exec flags on measurement ops
     // configured via single_conditional + Measure pulse.
     let mut b2 = OpConfig::builder(9);
-    b2.single("X", 1, PulseKind::Rx(std::f64::consts::PI)).unwrap();
+    b2.single("X", 1, PulseKind::Rx(std::f64::consts::PI))
+        .unwrap();
     b2.measurement("MEASZ", 15).unwrap();
     b2.single_conditional("C_MEAS", 15, PulseKind::Measure, ExecFlag::LastIsOne)
         .unwrap();

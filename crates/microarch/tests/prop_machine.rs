@@ -19,8 +19,7 @@ fn zero_latency() -> SimConfig {
 fn arb_classical() -> impl Strategy<Value = Instruction> {
     let gpr = || (0u8..8).prop_map(Gpr::new);
     prop_oneof![
-        (gpr(), -(1i32 << 19)..(1i32 << 19) - 1)
-            .prop_map(|(rd, imm)| Instruction::Ldi { rd, imm }),
+        (gpr(), -(1i32 << 19)..(1i32 << 19) - 1).prop_map(|(rd, imm)| Instruction::Ldi { rd, imm }),
         (gpr(), 0u16..1 << 15, gpr()).prop_map(|(rd, imm, rs)| Instruction::Ldui { rd, imm, rs }),
         (gpr(), gpr(), gpr()).prop_map(|(rd, rs, rt)| Instruction::Add { rd, rs, rt }),
         (gpr(), gpr(), gpr()).prop_map(|(rd, rs, rt)| Instruction::Sub { rd, rs, rt }),
@@ -67,7 +66,9 @@ fn reference(program: &[Instruction]) -> (Vec<u32>, Vec<u32>) {
             Instruction::And { rd, rs, rt } => {
                 regs[rd.index()] = regs[rs.index()] & regs[rt.index()]
             }
-            Instruction::Or { rd, rs, rt } => regs[rd.index()] = regs[rs.index()] | regs[rt.index()],
+            Instruction::Or { rd, rs, rt } => {
+                regs[rd.index()] = regs[rs.index()] | regs[rt.index()]
+            }
             Instruction::Xor { rd, rs, rt } => {
                 regs[rd.index()] = regs[rs.index()] ^ regs[rt.index()]
             }
@@ -162,7 +163,7 @@ proptest! {
         // Zero waits merge operations onto one timing point, which is a
         // same-qubit conflict — the machine must fault exactly when a
         // zero interval appears; otherwise timing is exact.
-        if waits.iter().any(|&w| w == 0) {
+        if waits.contains(&0) {
             prop_assert!(!result.status.is_halted());
         } else {
             prop_assert!(result.status.is_halted());

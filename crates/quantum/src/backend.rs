@@ -92,7 +92,8 @@ impl Backend for DensityBackend {
     fn apply_1q(&mut self, q: usize, u: &CMatrix) {
         self.rho.apply_1q(q, u);
         if self.noise.depol_1q > 0.0 {
-            self.rho.apply_kraus_1q(q, &depolarizing_1q(self.noise.depol_1q));
+            self.rho
+                .apply_kraus_1q(q, &depolarizing_1q(self.noise.depol_1q));
         }
     }
 

@@ -299,7 +299,9 @@ mod tests {
     fn all_primitives_appear_as_length_one_cliffords() {
         for p in Primitive::ALL {
             let idx = find_up_to_phase(
-                &Clifford::all().map(|c| c.matrix().clone()).collect::<Vec<_>>(),
+                &Clifford::all()
+                    .map(|c| c.matrix().clone())
+                    .collect::<Vec<_>>(),
                 &p.matrix(),
             );
             assert!(idx.is_some(), "{p:?} should be a Clifford");

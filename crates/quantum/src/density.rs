@@ -225,7 +225,10 @@ impl DensityMatrix {
     /// Panics if qubits coincide or are out of range, or the matrix is
     /// not 4×4.
     pub fn apply_2q(&mut self, qa: usize, qb: usize, u: &CMatrix) {
-        assert!(qa < self.num_qubits && qb < self.num_qubits, "qubit out of range");
+        assert!(
+            qa < self.num_qubits && qb < self.num_qubits,
+            "qubit out of range"
+        );
         assert_ne!(qa, qb, "two-qubit gate needs distinct qubits");
         assert_eq!((u.rows(), u.cols()), (4, 4), "expected a 4x4 matrix");
         self.left_mul_2q(qa, qb, u);
@@ -268,7 +271,10 @@ impl DensityMatrix {
     /// Panics if qubits coincide/are out of range or operators are not
     /// 4×4.
     pub fn apply_kraus_2q(&mut self, qa: usize, qb: usize, kraus: &[CMatrix]) {
-        assert!(qa < self.num_qubits && qb < self.num_qubits, "qubit out of range");
+        assert!(
+            qa < self.num_qubits && qb < self.num_qubits,
+            "qubit out of range"
+        );
         assert_ne!(qa, qb, "two-qubit channel needs distinct qubits");
         let mut acc: Option<DensityMatrix> = None;
         for k in kraus {
@@ -352,8 +358,8 @@ impl DensityMatrix {
         let mut total = C64::ZERO;
         for i in 0..self.dim {
             for j in 0..self.dim {
-                total += psi.amplitudes()[i].conj() * self.data[i * self.dim + j]
-                    * psi.amplitudes()[j];
+                total +=
+                    psi.amplitudes()[i].conj() * self.data[i * self.dim + j] * psi.amplitudes()[j];
             }
         }
         total.re

@@ -418,7 +418,9 @@ mod tests {
     fn trace_of_paulis_is_zero() {
         assert!(pauli_x().trace().approx_eq(C64::ZERO, 1e-15));
         assert!(pauli_z().trace().approx_eq(C64::ZERO, 1e-15));
-        assert!(CMatrix::identity(4).trace().approx_eq(C64::real(4.0), 1e-15));
+        assert!(CMatrix::identity(4)
+            .trace()
+            .approx_eq(C64::real(4.0), 1e-15));
     }
 
     #[test]
@@ -487,7 +489,9 @@ mod tests {
         let mut b = CMatrix::zeros(4, 4);
         let mut seed = 1u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / (1u64 << 31) as f64 - 1.0
         };
         for i in 0..4 {

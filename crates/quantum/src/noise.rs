@@ -24,10 +24,7 @@ pub fn amplitude_phase_damping(gamma: f64, lambda: f64) -> Vec<CMatrix> {
     assert!((0.0..=1.0).contains(&lambda), "lambda out of range");
     assert!(gamma + lambda <= 1.0 + 1e-12, "gamma + lambda exceeds 1");
     let keep = (1.0 - gamma - lambda).max(0.0).sqrt();
-    let k0 = CMatrix::from_rows(&[
-        &[C64::ONE, C64::ZERO],
-        &[C64::ZERO, C64::real(keep)],
-    ]);
+    let k0 = CMatrix::from_rows(&[&[C64::ONE, C64::ZERO], &[C64::ZERO, C64::real(keep)]]);
     let k1 = CMatrix::from_rows(&[
         &[C64::ZERO, C64::real(gamma.sqrt())],
         &[C64::ZERO, C64::ZERO],
@@ -134,7 +131,10 @@ impl NoiseModel {
     ///
     /// Panics if `t2 > 2·t1` (unphysical) or either time is non-positive.
     pub fn with_coherence(t1_ns: f64, t2_ns: f64) -> Self {
-        assert!(t1_ns > 0.0 && t2_ns > 0.0, "coherence times must be positive");
+        assert!(
+            t1_ns > 0.0 && t2_ns > 0.0,
+            "coherence times must be positive"
+        );
         assert!(t2_ns <= 2.0 * t1_ns + 1e-9, "T2 cannot exceed 2*T1");
         NoiseModel {
             t1_ns,
@@ -375,9 +375,7 @@ mod tests {
         let ro = ReadoutModel::symmetric(0.2);
         let mut rng = StdRng::seed_from_u64(9);
         let n = 5000;
-        let flips = (0..n)
-            .filter(|_| !ro.corrupt(true, &mut rng))
-            .count();
+        let flips = (0..n).filter(|_| !ro.corrupt(true, &mut rng)).count();
         let f = flips as f64 / n as f64;
         assert!((f - 0.2).abs() < 0.02, "flip rate {f}");
     }

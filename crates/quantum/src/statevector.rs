@@ -52,7 +52,10 @@ impl StateVector {
     /// norm.
     pub fn from_amplitudes(amps: Vec<C64>) -> Self {
         let n = amps.len();
-        assert!(n.is_power_of_two() && n > 0, "length must be a power of two");
+        assert!(
+            n.is_power_of_two() && n > 0,
+            "length must be a power of two"
+        );
         let num_qubits = n.trailing_zeros() as usize;
         let mut sv = StateVector { num_qubits, amps };
         let norm = sv.norm();
@@ -115,7 +118,10 @@ impl StateVector {
     /// Panics if the qubits coincide or are out of range, or the matrix
     /// is not 4×4.
     pub fn apply_2q(&mut self, qa: usize, qb: usize, u: &CMatrix) {
-        assert!(qa < self.num_qubits && qb < self.num_qubits, "qubit out of range");
+        assert!(
+            qa < self.num_qubits && qb < self.num_qubits,
+            "qubit out of range"
+        );
         assert_ne!(qa, qb, "two-qubit gate needs distinct qubits");
         assert_eq!((u.rows(), u.cols()), (4, 4), "expected a 4x4 matrix");
         let ba = 1usize << qa;

@@ -310,12 +310,6 @@ mod tests {
                     let bits = ((out & 0b10) >> 1) | ((out & 0b01) << 1);
                     let p = work.basis_probability(bits);
                     let n = (p * shots as f64).round() as u64;
-                    for _ in 0..n.min(1000) {
-                        // Insert counts in bulk via repeated add_shot to
-                        // exercise the public API (capped for speed).
-                    }
-                    // Direct count injection through the public API:
-                    for _ in 0..0 {}
                     let bit_a = out & 0b10 != 0;
                     let bit_b = out & 0b01 != 0;
                     for _ in 0..n / 100 {
@@ -343,7 +337,11 @@ mod tests {
                 for k in 0..100 {
                     let bit = k % 2 == 0;
                     let bit_a = if a == MeasBasis::Z { false } else { bit };
-                    let bit_b = if b == MeasBasis::Z { false } else { (k / 2) % 2 == 0 };
+                    let bit_b = if b == MeasBasis::Z {
+                        false
+                    } else {
+                        (k / 2) % 2 == 0
+                    };
                     acc.add_shot(a, b, bit_a, bit_b);
                 }
             }

@@ -1,0 +1,270 @@
+//! Aggregated results of a job: measurement histograms, rolled-up
+//! machine statistics and latency/throughput figures.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use eqasm_microarch::RunStats;
+
+/// The final measurement outcome of one shot, packed as two bit masks
+/// over qubit indices: `measured` marks qubits that produced a result,
+/// `bits` holds those results. Supports up to 64 qubits — far beyond
+/// the paper's seven-qubit surface chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BitString {
+    /// Which qubits were measured.
+    pub measured: u64,
+    /// The measured values, LSB = qubit 0; bits outside `measured` are
+    /// zero.
+    pub bits: u64,
+}
+
+impl BitString {
+    /// An outcome with no measurements.
+    pub const EMPTY: BitString = BitString {
+        measured: 0,
+        bits: 0,
+    };
+
+    /// Records qubit `q`'s result.
+    pub fn set(&mut self, q: usize, value: bool) {
+        self.measured |= 1 << q;
+        if value {
+            self.bits |= 1 << q;
+        }
+    }
+
+    /// The result of qubit `q`, if it was measured.
+    pub fn get(&self, q: usize) -> Option<bool> {
+        (self.measured >> q & 1 == 1).then(|| self.bits >> q & 1 == 1)
+    }
+}
+
+impl fmt::Display for BitString {
+    /// Renders measured qubits MSB-first as a ket, e.g. `|q2=1 q0=0⟩`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.measured == 0 {
+            return write!(f, "|∅⟩");
+        }
+        write!(f, "|")?;
+        let mut first = true;
+        for q in (0..64).rev() {
+            if self.measured >> q & 1 == 1 {
+                if !first {
+                    write!(f, " ")?;
+                }
+                first = false;
+                write!(f, "q{}={}", q, (self.bits >> q) & 1)?;
+            }
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// Counts of final measurement outcomes over a job's shots. Backed by
+/// a `BTreeMap` so iteration order — and therefore rendered reports —
+/// is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<BitString, u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: BitString) {
+        *self.counts.entry(outcome).or_insert(0) += 1;
+    }
+
+    /// Adds every count of `other` into this histogram. Merging is
+    /// commutative and associative, so any merge order yields the same
+    /// histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&k, &v) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Total recorded shots.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// The count of one outcome.
+    pub fn count(&self, outcome: &BitString) -> u64 {
+        self.counts.get(outcome).copied().unwrap_or(0)
+    }
+
+    /// Iterates outcomes in deterministic (bit-pattern) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&BitString, &u64)> {
+        self.counts.iter()
+    }
+
+    /// Number of distinct outcomes.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Fraction of shots in which qubit `q` was measured as `|1⟩`,
+    /// over the shots in which it was measured at all. `None` if it
+    /// was never measured.
+    pub fn ones_fraction(&self, q: usize) -> Option<f64> {
+        let mut measured = 0u64;
+        let mut ones = 0u64;
+        for (k, &n) in &self.counts {
+            if let Some(v) = k.get(q) {
+                measured += n;
+                if v {
+                    ones += n;
+                }
+            }
+        }
+        (measured > 0).then(|| ones as f64 / measured as f64)
+    }
+}
+
+/// Wall-clock latency percentiles over per-shot execution times.
+///
+/// Unlike the histogram and statistics roll-ups, these are *measured*
+/// quantities — they vary run to run and are reported for capacity
+/// planning, not for reproducibility.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Median per-shot latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile per-shot latency, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile per-shot latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Mean per-shot latency, nanoseconds.
+    pub mean_ns: u64,
+    /// Slowest shot, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    /// Computes percentiles from raw per-shot durations (need not be
+    /// sorted). Returns all-zero stats for an empty slice.
+    pub fn from_durations(durations_ns: &[u64]) -> Self {
+        if durations_ns.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = durations_ns.to_vec();
+        sorted.sort_unstable();
+        let pct = |q: f64| {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            sorted[rank.min(sorted.len() - 1)]
+        };
+        LatencyStats {
+            p50_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            p99_ns: pct(0.99),
+            mean_ns: (sorted.iter().sum::<u64>() / sorted.len() as u64),
+            max_ns: *sorted.last().expect("nonempty"),
+        }
+    }
+}
+
+/// Everything the engine learned from running one [`crate::Job`].
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's name.
+    pub name: String,
+    /// Shots executed.
+    pub shots: u64,
+    /// Final-measurement outcome counts. Deterministic for a given
+    /// job, independent of worker count.
+    pub histogram: Histogram,
+    /// Machine counters summed over all shots. Deterministic.
+    pub stats: RunStats,
+    /// Mean post-run `P(|1⟩)` per qubit, averaged over shots in shot
+    /// order (bit-identical across worker counts thanks to fixed batch
+    /// boundaries).
+    pub mean_prob1: Vec<f64>,
+    /// Raw per-shot wall-clock durations in shot order, nanoseconds.
+    pub latencies_ns: Vec<u64>,
+    /// Percentiles over [`JobResult::latencies_ns`].
+    pub latency: LatencyStats,
+    /// The job's active wall-clock window: from its first batch
+    /// starting to its last batch finishing. Time the pool spent on
+    /// *other* jobs before this one was picked up is excluded.
+    pub elapsed: Duration,
+    /// `shots / elapsed` over the active window.
+    pub shots_per_sec: f64,
+    /// Absolute bounds of the active window, for merging job results
+    /// into workload-level spans.
+    pub(crate) window: Option<(std::time::Instant, std::time::Instant)>,
+    /// Shots that did not halt cleanly (fault or cycle-budget
+    /// exhaustion).
+    pub non_halted: u64,
+    /// Shot index and status description of the first failure, if any.
+    pub first_failure: Option<(u64, String)>,
+}
+
+impl JobResult {
+    /// Fraction of shots measuring qubit `q` as `|1⟩` (`None` if the
+    /// program never measures it).
+    pub fn ones_fraction(&self, q: usize) -> Option<f64> {
+        self.histogram.ones_fraction(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitstring_set_get_display() {
+        let mut b = BitString::EMPTY;
+        b.set(0, false);
+        b.set(2, true);
+        assert_eq!(b.get(0), Some(false));
+        assert_eq!(b.get(2), Some(true));
+        assert_eq!(b.get(1), None);
+        assert_eq!(b.to_string(), "|q2=1 q0=0⟩");
+        assert_eq!(BitString::EMPTY.to_string(), "|∅⟩");
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative() {
+        let mut one = BitString::EMPTY;
+        one.set(0, true);
+        let mut zero = BitString::EMPTY;
+        zero.set(0, false);
+        let mut a = Histogram::new();
+        a.record(zero);
+        a.record(one);
+        let mut b = Histogram::new();
+        b.record(one);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total(), 3);
+        assert_eq!(ab.count(&one), 2);
+        assert_eq!(ab.ones_fraction(0), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let durations: Vec<u64> = (1..=100).collect();
+        let l = LatencyStats::from_durations(&durations);
+        assert_eq!(l.p50_ns, 50);
+        assert_eq!(l.p95_ns, 95);
+        assert_eq!(l.p99_ns, 99);
+        assert_eq!(l.max_ns, 100);
+        assert_eq!(l.mean_ns, 50);
+        assert_eq!(LatencyStats::from_durations(&[]), LatencyStats::default());
+    }
+}

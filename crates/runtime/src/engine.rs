@@ -1,0 +1,338 @@
+//! The worker pool: fans a job's shots (and whole job batches) out
+//! across threads, each driving its own `QuMa` instance, and merges
+//! batch results deterministically.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use eqasm_microarch::{QuMa, RunStats};
+
+use crate::aggregate::{BitString, Histogram, JobResult, LatencyStats};
+use crate::error::RuntimeError;
+use crate::job::{default_batch_size, partition_shots, Job};
+
+/// A shot-execution engine with a fixed worker count.
+///
+/// # Determinism
+///
+/// Shot `i` of a job always runs under seed `base_seed + i` on a
+/// machine that was fully reset beforehand, so each shot's outcome is
+/// independent of which worker ran it and what that worker ran
+/// earlier. Batch boundaries are a pure function of the shot count
+/// (never of the worker count), and floating-point roll-ups are folded
+/// in batch order — aggregate results are therefore **bit-identical**
+/// for any `workers ≥ 1`. Only wall-clock figures (latency
+/// percentiles, shots/sec) vary between runs.
+///
+/// # Examples
+///
+/// ```
+/// use eqasm_asm::assemble;
+/// use eqasm_core::Instantiation;
+/// use eqasm_runtime::{Job, ShotEngine};
+///
+/// let inst = Instantiation::paper_two_qubit();
+/// let program = assemble(
+///     "SMIS S2, {2}\nQWAIT 100\nX90 S2\nMEASZ S2\nQWAIT 50\nSTOP",
+///     &inst,
+/// )?;
+/// let job = Job::new("x90", inst, program.instructions().to_vec())
+///     .with_shots(200)
+///     .with_seed(7);
+/// let result = ShotEngine::new(2).run_job(&job)?;
+/// assert_eq!(result.shots, 200);
+/// // X90 prepares an equal superposition: both outcomes appear.
+/// assert!(result.ones_fraction(2).unwrap() > 0.3);
+/// assert!(result.ones_fraction(2).unwrap() < 0.7);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShotEngine {
+    workers: usize,
+    batch_size: Option<u64>,
+}
+
+/// What one worker produced for one batch of one job.
+struct BatchOut {
+    job: usize,
+    batch: usize,
+    histogram: Histogram,
+    stats: RunStats,
+    prob1_sum: Vec<f64>,
+    durations_ns: Vec<u64>,
+    non_halted: u64,
+    first_failure: Option<(u64, String)>,
+    started_at: Instant,
+    finished_at: Instant,
+}
+
+/// A batch task: run `range` shots of job `job`.
+struct Task {
+    job: usize,
+    batch: usize,
+    range: std::ops::Range<u64>,
+}
+
+impl ShotEngine {
+    /// An engine with `workers` threads; `0` selects the machine's
+    /// available parallelism.
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            workers
+        };
+        ShotEngine {
+            workers,
+            batch_size: None,
+        }
+    }
+
+    /// A single-threaded engine (the serial reference).
+    pub fn serial() -> Self {
+        ShotEngine::new(1)
+    }
+
+    /// Overrides the shot batch size. The default is
+    /// [`default_batch_size`]; results are identical either way, the
+    /// knob only trades scheduling overhead against load balance.
+    pub fn with_batch_size(mut self, batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be nonzero");
+        self.batch_size = Some(batch_size);
+        self
+    }
+
+    /// The worker count this engine runs with.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs one job to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Load`] if the program fails machine
+    /// validation (detected on the first worker that loads it).
+    pub fn run_job(&self, job: &Job) -> Result<JobResult, RuntimeError> {
+        let mut results = self.run_jobs(std::slice::from_ref(job))?;
+        Ok(results.pop().expect("one job in, one result out"))
+    }
+
+    /// Runs a batch of jobs, fanning both jobs and their shot batches
+    /// across the pool. Results come back in job order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Load`] if any program fails machine
+    /// validation. Validation happens on the worker that first picks
+    /// the job up (not in a serial prologue — a large job stream would
+    /// otherwise pay one throwaway machine construction per job before
+    /// any parallel work starts); the failing job's remaining batches
+    /// are skipped and the first error, in job order, is returned
+    /// after the pool drains.
+    pub fn run_jobs(&self, jobs: &[Job]) -> Result<Vec<JobResult>, RuntimeError> {
+        // Batch boundaries depend only on each job's shot count.
+        let mut tasks = Vec::new();
+        for (j, job) in jobs.iter().enumerate() {
+            let batch = self
+                .batch_size
+                .unwrap_or_else(|| default_batch_size(job.shots));
+            for (b, range) in partition_shots(job.shots, batch).into_iter().enumerate() {
+                tasks.push(Task {
+                    job: j,
+                    batch: b,
+                    range,
+                });
+            }
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let outputs: Mutex<Vec<BatchOut>> = Mutex::new(Vec::with_capacity(tasks.len()));
+        let load_errors: Mutex<std::collections::BTreeMap<usize, RuntimeError>> =
+            Mutex::new(std::collections::BTreeMap::new());
+        let worker_count = self.workers.min(tasks.len()).max(1);
+
+        std::thread::scope(|scope| {
+            for _ in 0..worker_count {
+                scope.spawn(|| {
+                    // Each worker owns one machine at a time, rebuilt
+                    // only when it switches jobs.
+                    let mut cached: Option<(usize, QuMa)> = None;
+                    loop {
+                        let t = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(t) else { break };
+                        if load_errors
+                            .lock()
+                            .expect("error map poisoned")
+                            .contains_key(&task.job)
+                        {
+                            continue; // job already failed validation
+                        }
+                        let job = &jobs[task.job];
+                        if !matches!(&cached, Some((j, _)) if *j == task.job) {
+                            // The engine never reads traces (it
+                            // aggregates through measurement_value and
+                            // prob1), so recording them per shot would
+                            // be pure overhead on every batch.
+                            let mut config = job.config.clone();
+                            config.record_trace = false;
+                            let mut m = QuMa::new(job.inst.clone(), config);
+                            if let Err(source) = m.load(&job.program) {
+                                load_errors
+                                    .lock()
+                                    .expect("error map poisoned")
+                                    .entry(task.job)
+                                    .or_insert(RuntimeError::Load {
+                                        job: job.name.clone(),
+                                        source,
+                                    });
+                                continue;
+                            }
+                            cached = Some((task.job, m));
+                        }
+                        let machine = &mut cached.as_mut().expect("just cached").1;
+                        let out = run_batch(machine, job, task);
+                        outputs.lock().expect("collector poisoned").push(out);
+                    }
+                });
+            }
+        });
+
+        let mut load_errors = load_errors.into_inner().expect("error map poisoned");
+        if let Some((_, err)) = load_errors.pop_first() {
+            return Err(err);
+        }
+
+        let mut outputs = outputs.into_inner().expect("collector poisoned");
+        // Deterministic fold order: by (job, batch index).
+        outputs.sort_by_key(|o| (o.job, o.batch));
+
+        let mut results: Vec<JobResult> = jobs
+            .iter()
+            .map(|job| JobResult {
+                name: job.name.clone(),
+                shots: job.shots,
+                histogram: Histogram::new(),
+                stats: RunStats::default(),
+                mean_prob1: vec![0.0; job.inst.topology().num_qubits()],
+                latencies_ns: Vec::with_capacity(job.shots as usize),
+                latency: LatencyStats::default(),
+                elapsed: Duration::ZERO,
+                shots_per_sec: 0.0,
+                window: None,
+                non_halted: 0,
+                first_failure: None,
+            })
+            .collect();
+
+        // Per-job active window: first batch start to last batch end,
+        // so a job's shots/sec is not diluted by time the pool spent
+        // on *other* jobs before this one was picked up.
+        let mut windows: Vec<Option<(Instant, Instant)>> = vec![None; jobs.len()];
+        for out in outputs {
+            let r = &mut results[out.job];
+            r.histogram.merge(&out.histogram);
+            r.stats.merge(&out.stats);
+            for (acc, s) in r.mean_prob1.iter_mut().zip(&out.prob1_sum) {
+                *acc += s;
+            }
+            r.latencies_ns.extend_from_slice(&out.durations_ns);
+            r.non_halted += out.non_halted;
+            if r.first_failure.is_none() {
+                r.first_failure = out.first_failure;
+            }
+            windows[out.job] = Some(match windows[out.job] {
+                None => (out.started_at, out.finished_at),
+                Some((s, f)) => (s.min(out.started_at), f.max(out.finished_at)),
+            });
+        }
+        for (r, window) in results.iter_mut().zip(&windows) {
+            r.window = *window;
+            if let Some((start, finish)) = window {
+                r.elapsed = finish.duration_since(*start);
+            }
+        }
+        for r in &mut results {
+            if r.shots > 0 {
+                for p in &mut r.mean_prob1 {
+                    *p /= r.shots as f64;
+                }
+            }
+            r.latency = LatencyStats::from_durations(&r.latencies_ns);
+            let secs = r.elapsed.as_secs_f64();
+            r.shots_per_sec = if secs > 0.0 {
+                r.shots as f64 / secs
+            } else {
+                0.0
+            };
+        }
+        Ok(results)
+    }
+}
+
+impl Default for ShotEngine {
+    /// The machine's available parallelism.
+    fn default() -> Self {
+        ShotEngine::new(0)
+    }
+}
+
+/// Human-readable description of a non-halted run status (faults have
+/// a `Display` impl; `Debug` would leak raw struct syntax into CLI
+/// error messages).
+fn describe_status(status: &eqasm_microarch::RunStatus) -> String {
+    match status {
+        eqasm_microarch::RunStatus::Halted => "halted".to_owned(),
+        eqasm_microarch::RunStatus::MaxCycles => "cycle budget exhausted".to_owned(),
+        eqasm_microarch::RunStatus::Fault(f) => format!("fault: {f}"),
+    }
+}
+
+/// Runs one contiguous shot range on a prepared machine.
+fn run_batch(machine: &mut QuMa, job: &Job, task: &Task) -> BatchOut {
+    let started_at = Instant::now();
+    let n = job.inst.topology().num_qubits();
+    let mut histogram = Histogram::new();
+    let mut stats = RunStats::default();
+    let mut prob1_sum = vec![0.0f64; n];
+    let mut durations_ns = Vec::with_capacity((task.range.end - task.range.start) as usize);
+    let mut non_halted = 0;
+    let mut first_failure = None;
+
+    for shot in task.range.clone() {
+        let t0 = Instant::now();
+        let result = machine.run_shot(job.shot_seed(shot));
+        durations_ns.push(t0.elapsed().as_nanos() as u64);
+        stats.merge(&result.stats);
+        if !result.status.is_halted() {
+            non_halted += 1;
+            if first_failure.is_none() {
+                first_failure = Some((shot, describe_status(&result.status)));
+            }
+        }
+        let mut outcome = BitString::EMPTY;
+        for q in 0..n {
+            if let Some(v) = machine.measurement_value(eqasm_core::Qubit::new(q as u8)) {
+                outcome.set(q, v);
+            }
+        }
+        histogram.record(outcome);
+        for (q, acc) in prob1_sum.iter_mut().enumerate() {
+            *acc += machine.prob1(eqasm_core::Qubit::new(q as u8));
+        }
+    }
+
+    BatchOut {
+        job: task.job,
+        batch: task.batch,
+        histogram,
+        stats,
+        prob1_sum,
+        durations_ns,
+        non_halted,
+        first_failure,
+        started_at,
+        finished_at: Instant::now(),
+    }
+}

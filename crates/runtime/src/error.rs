@@ -1,0 +1,58 @@
+//! Runtime error type.
+
+use std::fmt;
+
+/// Errors surfaced while building or launching runtime work.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// A job's program failed machine validation.
+    Load {
+        /// The offending job's name.
+        job: String,
+        /// The underlying load error.
+        source: eqasm_microarch::LoadError,
+    },
+    /// A workload generator failed to assemble its program text.
+    Asm(eqasm_asm::AsmError),
+    /// A workload generator failed to emit its program.
+    Compile(eqasm_compiler::CompileError),
+    /// A workload spec is structurally invalid (bad sweep index,
+    /// unknown chip, zero weight…).
+    Spec(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Load { job, source } => {
+                write!(f, "job `{job}` failed to load: {source}")
+            }
+            RuntimeError::Asm(e) => write!(f, "workload assembly failed: {e}"),
+            RuntimeError::Compile(e) => write!(f, "workload emission failed: {e}"),
+            RuntimeError::Spec(msg) => write!(f, "invalid workload spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Load { source, .. } => Some(source),
+            RuntimeError::Asm(e) => Some(e),
+            RuntimeError::Compile(e) => Some(e),
+            RuntimeError::Spec(_) => None,
+        }
+    }
+}
+
+impl From<eqasm_asm::AsmError> for RuntimeError {
+    fn from(e: eqasm_asm::AsmError) -> Self {
+        RuntimeError::Asm(e)
+    }
+}
+
+impl From<eqasm_compiler::CompileError> for RuntimeError {
+    fn from(e: eqasm_compiler::CompileError) -> Self {
+        RuntimeError::Compile(e)
+    }
+}

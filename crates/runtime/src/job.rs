@@ -1,0 +1,139 @@
+//! The unit of work the engine executes: an assembled program plus
+//! everything needed to run it for many shots.
+
+use eqasm_core::{Instantiation, Instruction};
+use eqasm_microarch::SimConfig;
+
+/// An assembled program scheduled for repeated execution.
+///
+/// A job is self-contained: the instantiation it targets, the
+/// simulator configuration, how many shots to run and the base seed.
+/// Shot `i` always runs under seed `base_seed + i` (wrapping), so a
+/// job's aggregate results are a pure function of the job itself —
+/// independent of worker count, scheduling order or machine reuse.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Display name used in reports.
+    pub name: String,
+    /// The instantiation the program targets.
+    pub inst: Instantiation,
+    /// The assembled instruction stream.
+    pub program: Vec<Instruction>,
+    /// Simulator configuration (noise, readout, latencies, backend).
+    pub config: SimConfig,
+    /// Number of shots to execute.
+    pub shots: u64,
+    /// Seed of shot 0; shot `i` uses `base_seed.wrapping_add(i)`.
+    pub base_seed: u64,
+}
+
+impl Job {
+    /// Builds a single-shot job with the default simulator
+    /// configuration and seed 0.
+    pub fn new(name: impl Into<String>, inst: Instantiation, program: Vec<Instruction>) -> Self {
+        Job {
+            name: name.into(),
+            inst,
+            program,
+            config: SimConfig::default(),
+            shots: 1,
+            base_seed: 0,
+        }
+    }
+
+    /// Returns the job with the given simulator configuration.
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Returns the job with the given shot count.
+    pub fn with_shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Returns the job with the given base seed.
+    pub fn with_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// The seed of shot `index`.
+    pub fn shot_seed(&self, index: u64) -> u64 {
+        self.base_seed.wrapping_add(index)
+    }
+}
+
+/// Splits `shots` into contiguous batches of at most `batch_size`
+/// shots. Every shot index in `0..shots` appears in exactly one batch,
+/// in order; batch boundaries depend only on `(shots, batch_size)` —
+/// never on worker count — which is what makes aggregate f64
+/// reductions bit-identical across pool sizes.
+///
+/// # Panics
+///
+/// Panics if `batch_size` is zero.
+pub fn partition_shots(shots: u64, batch_size: u64) -> Vec<std::ops::Range<u64>> {
+    assert!(batch_size > 0, "batch_size must be nonzero");
+    let mut out = Vec::with_capacity(shots.div_ceil(batch_size) as usize);
+    let mut start = 0;
+    while start < shots {
+        let end = (start + batch_size).min(shots);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// The batch size used when the engine is not given an explicit one:
+/// small enough that every worker gets several batches (load balance),
+/// large enough that per-batch overhead stays negligible. Depends only
+/// on the shot count, so results are reproducible across pool sizes by
+/// construction.
+pub fn default_batch_size(shots: u64) -> u64 {
+    (shots / 64).clamp(1, 256)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_exactly() {
+        for shots in [0u64, 1, 7, 64, 65, 1000] {
+            for batch in [1u64, 3, 64, 1024] {
+                let parts = partition_shots(shots, batch);
+                let mut next = 0;
+                for r in &parts {
+                    assert_eq!(r.start, next, "contiguous");
+                    assert!(r.end > r.start, "nonempty");
+                    assert!(r.end - r.start <= batch, "bounded");
+                    next = r.end;
+                }
+                assert_eq!(next, shots, "covers all shots");
+            }
+        }
+    }
+
+    #[test]
+    fn default_batch_size_bounds() {
+        assert_eq!(default_batch_size(0), 1);
+        assert_eq!(default_batch_size(1), 1);
+        assert_eq!(default_batch_size(640), 10);
+        assert_eq!(default_batch_size(1_000_000), 256);
+    }
+
+    #[test]
+    fn shot_seed_derivation() {
+        let job = Job::new(
+            "t",
+            eqasm_core::Instantiation::paper_two_qubit(),
+            vec![eqasm_core::Instruction::Stop],
+        )
+        .with_seed(100);
+        assert_eq!(job.shot_seed(0), 100);
+        assert_eq!(job.shot_seed(5), 105);
+        assert_eq!(Job::new("t2", job.inst.clone(), vec![]).shot_seed(3), 3);
+    }
+}

@@ -8,8 +8,8 @@
 //! the entire sequence is repeated on the second qubit", giving 42
 //! rounds.
 
-use eqasm_core::{Instantiation, Instruction, Qubit, SReg};
 use eqasm_compiler::CompileError;
+use eqasm_core::{Instantiation, Instruction, Qubit, SReg};
 
 /// The 21 AllXY gate pairs with their ideal excited-state population.
 pub const ALLXY_PAIRS: [(&str, &str, f64); 21] = [
@@ -113,10 +113,21 @@ pub fn allxy_program_with_init(
     let s_b = SReg::new(1);
     let s_ab = SReg::new(2);
     let program = vec![
-        Instruction::Smis { sd: s_a, mask: mask_a },
-        Instruction::Smis { sd: s_b, mask: mask_b },
-        Instruction::Smis { sd: s_ab, mask: mask_ab },
-        Instruction::QWait { cycles: init_cycles },
+        Instruction::Smis {
+            sd: s_a,
+            mask: mask_a,
+        },
+        Instruction::Smis {
+            sd: s_b,
+            mask: mask_b,
+        },
+        Instruction::Smis {
+            sd: s_ab,
+            mask: mask_ab,
+        },
+        Instruction::QWait {
+            cycles: init_cycles,
+        },
         Instruction::Bundle(Bundle::with_pre_interval(
             0,
             vec![

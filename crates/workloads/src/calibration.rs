@@ -13,8 +13,8 @@
 //! The register-valued wait (`QWAITR`) variant sweeps the delay from a
 //! GPR, demonstrating the data-driven timing the ISA provides.
 
-use eqasm_core::{Bundle, BundleOp, Gpr, Instantiation, Instruction, Qubit, SReg};
 use eqasm_compiler::CompileError;
+use eqasm_core::{Bundle, BundleOp, Gpr, Instantiation, Instruction, Qubit, SReg};
 
 fn resolve(inst: &Instantiation, name: &str) -> Result<eqasm_core::QOpcode, CompileError> {
     inst.ops()
@@ -153,9 +153,9 @@ pub fn ramsey_expected_p1(t_ns: f64, t1_ns: f64, t2_ns: f64) -> f64 {
     // coherence decays with T2 while the z component relaxes with T1.
     let coherence = (-t_ns / t2_ns).exp();
     let z = 1.0 - (1.0 - 0.0) * (1.0 - (-t_ns / t1_ns).exp()); // towards |0⟩: z -> 1
-    // Second X90 rotates the remaining coherence into population:
-    // P(1) = (1 - y·cos - ... ) — for our axis conventions the result
-    // reduces to ½(1 + coherence) up to the small T1 correction on z.
+                                                               // Second X90 rotates the remaining coherence into population:
+                                                               // P(1) = (1 - y·cos - ... ) — for our axis conventions the result
+                                                               // reduces to ½(1 + coherence) up to the small T1 correction on z.
     let _ = z;
     0.5 * (1.0 + coherence)
 }

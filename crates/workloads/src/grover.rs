@@ -11,10 +11,8 @@
 //! by X gates selecting the marked computational state) and the
 //! diffusion operator (H·X layers around a CZ).
 
+use eqasm_compiler::{emit, schedule_asap, Circuit, CompileError, EmitOptions, GateDurations};
 use eqasm_core::{Instantiation, Instruction, Qubit};
-use eqasm_compiler::{
-    emit, schedule_asap, Circuit, CompileError, EmitOptions, GateDurations,
-};
 use eqasm_quantum::{MeasBasis, StateVector, C64};
 
 /// Builds the two-qubit Grover circuit marking `target` (2-bit value;
@@ -145,7 +143,7 @@ mod tests {
         // Joint distribution over (qubit0, qubit2).
         let mut dist = vec![0.0; 4];
         for (idx, amp) in psi.amplitudes().iter().enumerate() {
-            let bit_a = (idx >> 0) & 1; // qubit 0
+            let bit_a = idx & 1; // qubit 0
             let bit_b = (idx >> 2) & 1; // qubit 2
             dist[(bit_a << 1) | bit_b] += amp.norm_sqr();
         }
@@ -189,8 +187,7 @@ mod tests {
     #[test]
     fn tomography_programs_cover_nine_settings() {
         let inst = Instantiation::paper_two_qubit();
-        let programs =
-            grover_tomography_programs(&inst, Qubit::new(0), Qubit::new(2), 3).unwrap();
+        let programs = grover_tomography_programs(&inst, Qubit::new(0), Qubit::new(2), 3).unwrap();
         assert_eq!(programs.len(), 9);
         // Every program ends with STOP and contains two measurements.
         for (_, _, p) in &programs {

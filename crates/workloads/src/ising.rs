@@ -12,8 +12,8 @@
 //! couplings (< 1 % two-qubit gates). A small *runnable* trotter circuit
 //! over the default gate set is provided for end-to-end tests.
 
-use eqasm_core::QubitPair;
 use eqasm_compiler::{Circuit, CompileError, Gate, GateKind, Schedule, TimedGate};
+use eqasm_core::QubitPair;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -241,7 +241,7 @@ mod tests {
     #[test]
     fn runnable_circuit_well_formed() {
         let c = ising_runnable(4, 3).unwrap();
-        assert!(c.len() > 0);
+        assert!(!c.is_empty());
         // 3 steps * (4 X90 + 4 Z90 + 3 CZ) + 4 measurements.
         assert_eq!(c.len(), 3 * (4 + 4 + 3) + 4);
         assert!(c.two_qubit_fraction() > 0.0);

@@ -27,7 +27,9 @@ mod rabi;
 mod rb;
 mod square_root;
 
-pub use allxy::{allxy_expected, allxy_program, allxy_program_with_init, two_qubit_round, ALLXY_PAIRS};
+pub use allxy::{
+    allxy_expected, allxy_program, allxy_program_with_init, two_qubit_round, ALLXY_PAIRS,
+};
 pub use calibration::{
     ramsey_expected_p1, ramsey_program, t1_expected_p1, t1_program, t1_program_register_swept,
 };

@@ -9,8 +9,8 @@
 //! the amplitude sweep exists purely as a set of user-defined operations
 //! in the [`eqasm_core::OpConfig`]; no ISA change is needed.
 
-use eqasm_core::{Instantiation, Instruction, OpConfig, PulseKind, Qubit, SReg};
 use eqasm_compiler::CompileError;
+use eqasm_core::{Instantiation, Instruction, OpConfig, PulseKind, Qubit, SReg};
 
 /// Builds an operation configuration containing one `X_AMP_i` operation
 /// per amplitude (a fixed-length pulse with amplitude-proportional
@@ -22,11 +22,14 @@ use eqasm_compiler::CompileError;
 pub fn rabi_opconfig(amplitudes: &[f64]) -> OpConfig {
     let mut b = OpConfig::builder(9);
     for (i, &amp) in amplitudes.iter().enumerate() {
-        b.single(&format!("X_AMP_{i}"), 1, PulseKind::Rx(std::f64::consts::PI * amp))
-            .expect("amplitude sweep exceeds the opcode space");
+        b.single(
+            &format!("X_AMP_{i}"),
+            1,
+            PulseKind::Rx(std::f64::consts::PI * amp),
+        )
+        .expect("amplitude sweep exceeds the opcode space");
     }
-    b.measurement("MEASZ", 15)
-        .expect("opcode space exhausted");
+    b.measurement("MEASZ", 15).expect("opcode space exhausted");
     b.build()
 }
 

@@ -7,8 +7,8 @@
 //! (sequences of k random Cliffords plus a recovery Clifford, with a
 //! swept interval between gate starting points).
 
-use eqasm_core::{Instantiation, Instruction, Qubit};
 use eqasm_compiler::{emit, CompileError, EmitOptions, Gate, GateKind, Schedule, TimedGate};
+use eqasm_core::{Instantiation, Instruction, Qubit};
 use eqasm_quantum::Clifford;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

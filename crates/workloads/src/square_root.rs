@@ -13,8 +13,8 @@
 //! long sequential CNOT/T cascades implementing the oracle and
 //! diffusion arithmetic.
 
-use eqasm_core::{Qubit, QubitPair};
 use eqasm_compiler::{Gate, GateKind, Schedule, TimedGate};
+use eqasm_core::{Qubit, QubitPair};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 

@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             zeros += 1;
         }
         // Count how often the C_X actually fired.
-        let fired = machine.trace().executed_ops().iter().any(|(_, _, n)| *n == "C_X");
+        let fired = machine
+            .trace()
+            .executed_ops()
+            .iter()
+            .any(|(_, _, n)| *n == "C_X");
         conditional_fired += fired as u32;
     }
     println!("active qubit reset over {shots} shots:");

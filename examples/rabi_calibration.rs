@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             peak_p1 = p1;
             peak_amp = amp;
         }
-        println!("{amp:>8.3} {p1:>10.3} {:>10.3}", workloads::rabi_expected_p1(amp));
+        println!(
+            "{amp:>8.3} {p1:>10.3} {:>10.3}",
+            workloads::rabi_expected_p1(amp)
+        );
     }
     println!(
         "\ncalibrated pi-pulse amplitude: {peak_amp:.3} (ideal 1.000) -> configure X := X_AMP at that amplitude"

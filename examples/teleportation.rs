@@ -53,12 +53,7 @@ fn teleport_program(prep: &str, verify: Option<&str>) -> String {
     )
 }
 
-fn run_case(
-    inst: &Instantiation,
-    prep: &str,
-    verify: Option<&str>,
-    shots: u64,
-) -> (f64, [u32; 4]) {
+fn run_case(inst: &Instantiation, prep: &str, verify: Option<&str>, shots: u64) -> (f64, [u32; 4]) {
     let program = assemble(&teleport_program(prep, verify), inst).expect("assembles");
     let mut machine = QuMa::new(inst.clone(), SimConfig::default());
     machine.load(program.instructions()).expect("loads");
@@ -85,7 +80,12 @@ fn main() {
         ("I", None, 0.0, "teleport |0>          -> target P(1)"),
         ("X", None, 1.0, "teleport |1>          -> target P(1)"),
         ("H", Some("H"), 0.0, "teleport |+>, then H  -> target P(1)"),
-        ("X90", Some("XM90"), 0.0, "teleport Rx(90)|0>, undo -> target P(1)"),
+        (
+            "X90",
+            Some("XM90"),
+            0.0,
+            "teleport Rx(90)|0>, undo -> target P(1)",
+        ),
     ] {
         let (p1, branches) = run_case(&inst, prep, verify, shots);
         println!(

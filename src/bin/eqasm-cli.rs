@@ -2,16 +2,24 @@
 //! programs from the command line.
 //!
 //! ```text
-//! eqasm-cli asm    <file.eqasm>            assemble; print 32-bit words
-//! eqasm-cli disasm <file.hex>              decode hex words; print assembly
-//! eqasm-cli run    <file.eqasm> [options]  execute on the QuMA v2 simulator
-//! eqasm-cli lift   <file.eqasm>            strip timing; print the circuit
+//! eqasm-cli asm      <file.eqasm>            assemble; print 32-bit words
+//! eqasm-cli disasm   <file.hex>              decode hex words; print assembly
+//! eqasm-cli run      <file.eqasm> [options]  execute on the QuMA v2 simulator
+//! eqasm-cli lift     <file.eqasm>            strip timing; print the circuit
+//! eqasm-cli workload <spec> [options]        drive a built-in workload mix
 //!
 //! options for `run`:
 //!   --seed <n>       RNG seed (default 0)
 //!   --shots <n>      repeat execution n times (default 1)
+//!   --workers <n>    shot-engine worker threads (default: machine parallelism)
 //!   --chip <name>    surface7 | two-qubit (default surface7)
-//!   --trace          print the executed-operation trace
+//!   --trace          print the executed-operation trace of shot 0
+//!
+//! workload specs: rabi | allxy | rb | active-reset | mix
+//! options for `workload`:
+//!   --shots <n>      shots per job instance (default 400)
+//!   --workers <n>    shot-engine worker threads (default: machine parallelism)
+//!   --seed <n>       base seed (default 0)
 //! ```
 
 use std::process::ExitCode;
@@ -19,6 +27,7 @@ use std::process::ExitCode;
 use eqasm::asm::{disassemble_source, encoding};
 use eqasm::compiler::lift_program;
 use eqasm::prelude::*;
+use eqasm::runtime::{Job, MixedWorkload, ShotEngine, WorkloadKind, WorkloadReport, WorkloadSpec};
 
 fn load_instantiation(chip: &str) -> Result<Instantiation, String> {
     match chip {
@@ -32,7 +41,7 @@ fn load_instantiation(chip: &str) -> Result<Instantiation, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: eqasm-cli <asm|disasm|run|lift> <file> [--seed n] [--shots n] [--chip name] [--trace]"
+        "usage: eqasm-cli <asm|disasm|run|lift> <file> [--seed n] [--shots n] [--workers n] [--chip name] [--trace]\n       eqasm-cli workload <rabi|allxy|rb|active-reset|mix> [--shots n] [--workers n] [--seed n]"
     );
     ExitCode::from(2)
 }
@@ -43,10 +52,11 @@ fn main() -> ExitCode {
         return usage();
     }
     let command = args[0].as_str();
-    let path = args[1].as_str();
+    let target = args[1].as_str();
 
     let mut seed = 0u64;
-    let mut shots = 1u64;
+    let mut shots: Option<u64> = None;
+    let mut workers = 0usize;
     let mut chip = "surface7".to_owned();
     let mut trace = false;
     let mut i = 2;
@@ -57,7 +67,11 @@ fn main() -> ExitCode {
                 i += 2;
             }
             "--shots" if i + 1 < args.len() => {
-                shots = args[i + 1].parse().unwrap_or(1);
+                shots = args[i + 1].parse().ok();
+                i += 2;
+            }
+            "--workers" if i + 1 < args.len() => {
+                workers = args[i + 1].parse().unwrap_or(0);
                 i += 2;
             }
             "--chip" if i + 1 < args.len() => {
@@ -75,6 +89,16 @@ fn main() -> ExitCode {
         }
     }
 
+    if command == "workload" {
+        return match cmd_workload(target, shots.unwrap_or(400), workers, seed) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let inst = match load_instantiation(&chip) {
         Ok(inst) => inst,
         Err(e) => {
@@ -82,10 +106,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let text = match std::fs::read_to_string(path) {
+    let text = match std::fs::read_to_string(target) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
+            eprintln!("error: cannot read {target}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -93,7 +117,7 @@ fn main() -> ExitCode {
     let result = match command {
         "asm" => cmd_asm(&text, &inst),
         "disasm" => cmd_disasm(&text, &inst),
-        "run" => cmd_run(&text, &inst, seed, shots, trace),
+        "run" => cmd_run(&text, &inst, seed, shots.unwrap_or(1), workers, trace),
         "lift" => cmd_lift(&text, &inst),
         _ => return usage(),
     };
@@ -137,58 +161,184 @@ fn cmd_run(
     inst: &Instantiation,
     seed: u64,
     shots: u64,
+    workers: usize,
     trace: bool,
 ) -> Result<(), String> {
     let program = assemble(text, inst).map_err(|e| e.to_string())?;
-    let mut machine = QuMa::new(inst.clone(), SimConfig::default().with_seed(seed));
-    machine
-        .load(program.instructions())
-        .map_err(|e| e.to_string())?;
-    let num_qubits = inst.topology().num_qubits();
-    let mut ones = vec![0u64; num_qubits];
-    let mut measured = vec![false; num_qubits];
-    for shot in 0..shots {
-        machine.reset_with_seed(seed.wrapping_add(shot));
-        let result = machine.run();
-        match result.status {
-            RunStatus::Halted => {}
-            RunStatus::MaxCycles => return Err("cycle budget exhausted".to_owned()),
-            RunStatus::Fault(f) => return Err(format!("fault: {f}")),
-        }
-        for q in 0..num_qubits {
-            if let Some(v) = machine.measurement_value(Qubit::new(q as u8)) {
-                measured[q] = true;
-                ones[q] += v as u64;
-            }
-        }
-        if trace && shot == 0 {
-            println!("# trace (shot 0):");
-            for (cc, q, name) in machine.trace().executed_ops() {
-                println!("#   cc {cc:>8}  {q}  {name}");
-            }
+
+    if trace {
+        // The trace of shot 0, reproduced on a local machine — the
+        // engine disables trace recording on its workers.
+        let mut machine = QuMa::new(inst.clone(), SimConfig::default().with_seed(seed));
+        machine
+            .load(program.instructions())
+            .map_err(|e| e.to_string())?;
+        machine.run_shot(seed);
+        println!("# trace (shot 0):");
+        for (cc, q, name) in machine.trace().executed_ops() {
+            println!("#   cc {cc:>8}  {q}  {name}");
         }
     }
-    let stats = machine.stats();
+
+    let job = Job::new("cli-run", inst.clone(), program.instructions().to_vec())
+        .with_config(SimConfig::default().with_seed(seed))
+        .with_shots(shots)
+        .with_seed(seed);
+    let engine = ShotEngine::new(workers);
+    let result = engine.run_job(&job).map_err(|e| e.to_string())?;
+
+    if let Some((shot, status)) = &result.first_failure {
+        return Err(format!(
+            "{} of {} shots did not halt (first: shot {shot}: {status})",
+            result.non_halted, result.shots
+        ));
+    }
+
+    let per_shot = |v: u64| v / shots.max(1);
     println!(
-        "halted after {} classical cycles ({} instructions, {} bundles, {} measurements/shot)",
-        stats.classical_cycles,
-        stats.total_instructions(),
-        stats.bundle_words,
-        stats.measurements
+        "halted after {} classical cycles/shot ({} instructions, {} bundles, {} measurements/shot)",
+        per_shot(result.stats.classical_cycles),
+        per_shot(result.stats.total_instructions()),
+        per_shot(result.stats.bundle_words),
+        per_shot(result.stats.measurements)
     );
-    for q in 0..num_qubits {
-        if measured[q] {
+    println!(
+        "{} shots on {} workers in {:.1} ms ({:.0} shots/s; latency p50 {:.1} µs, p95 {:.1} µs, p99 {:.1} µs)",
+        result.shots,
+        engine.workers(),
+        result.elapsed.as_secs_f64() * 1e3,
+        result.shots_per_sec,
+        result.latency.p50_ns as f64 / 1e3,
+        result.latency.p95_ns as f64 / 1e3,
+        result.latency.p99_ns as f64 / 1e3,
+    );
+    for q in 0..inst.topology().num_qubits() {
+        // Count from the histogram: a qubit whose measurement is
+        // conditional may be measured in only a subset of shots, so
+        // the denominator is measured shots, not total shots.
+        let (mut ones, mut measured) = (0u64, 0u64);
+        for (outcome, &count) in result.histogram.iter() {
+            if let Some(v) = outcome.get(q) {
+                measured += count;
+                if v {
+                    ones += count;
+                }
+            }
+        }
+        if measured > 0 {
             println!(
-                "q{q}: P(1) = {:.4}  ({} / {shots} shots)",
-                ones[q] as f64 / shots as f64,
-                ones[q]
+                "q{q}: P(1) = {:.4}  ({ones} / {measured} measured shots)",
+                ones as f64 / measured as f64
             );
         }
     }
-    if stats.timeline_slips > 0 {
-        println!("warning: {} timeline slips (issue rate exceeded)", stats.timeline_slips);
+    if result.histogram.len() > 1 {
+        println!("outcomes:");
+        for (outcome, count) in result.histogram.iter() {
+            println!(
+                "  {outcome}  {count:>8}  ({:.2}%)",
+                *count as f64 * 100.0 / shots.max(1) as f64
+            );
+        }
+    }
+    if result.stats.timeline_slips > 0 {
+        println!(
+            "warning: {} timeline slips (issue rate exceeded)",
+            result.stats.timeline_slips
+        );
     }
     Ok(())
+}
+
+/// Builds the named workload mix and drives it on the shot engine.
+fn cmd_workload(spec: &str, shots: u64, workers: usize, seed: u64) -> Result<(), String> {
+    let rabi = || {
+        let amplitudes: Vec<f64> = (0..8).map(|i| i as f64 / 4.0).collect();
+        WorkloadSpec::new(
+            "rabi",
+            WorkloadKind::Rabi {
+                amplitudes,
+                amplitude_index: 2,
+            },
+            shots,
+        )
+    };
+    let allxy = || {
+        WorkloadSpec::new(
+            "allxy",
+            WorkloadKind::AllXy {
+                round: 21,
+                init_cycles: 100,
+            },
+            shots,
+        )
+    };
+    let rb = || {
+        WorkloadSpec::new(
+            "rb",
+            WorkloadKind::Rb {
+                k: 48,
+                interval_cycles: 1,
+                sequence_seed: seed ^ 0x5eed,
+            },
+            shots,
+        )
+    };
+    let reset = || {
+        WorkloadSpec::new(
+            "active-reset",
+            WorkloadKind::ActiveReset { init_cycles: 100 },
+            shots,
+        )
+    };
+
+    let mix = match spec {
+        "rabi" => MixedWorkload::new().push(rabi().with_seed(seed)),
+        "allxy" => MixedWorkload::new().push(allxy().with_seed(seed)),
+        "rb" => MixedWorkload::new().push(rb().with_seed(seed)),
+        "active-reset" => MixedWorkload::new().push(reset().with_seed(seed)),
+        "mix" => MixedWorkload::new()
+            .push(rb().with_seed(seed).with_weight(4))
+            .push(allxy().with_seed(seed ^ 1).with_weight(2))
+            .push(reset().with_seed(seed ^ 2).with_weight(2))
+            .push(rabi().with_seed(seed ^ 3)),
+        other => {
+            return Err(format!(
+                "unknown workload `{other}` (expected rabi|allxy|rb|active-reset|mix)"
+            ))
+        }
+    };
+
+    let engine = ShotEngine::new(workers);
+    let report = mix.run(&engine).map_err(|e| e.to_string())?;
+    println!(
+        "workload `{spec}`: {} jobs, {} shots on {} workers",
+        report.aggregate.jobs,
+        report.aggregate.shots,
+        engine.workers()
+    );
+    println!(
+        "{:>14} {:>6} {:>9} {:>11} {:>10} {:>10} {:>10} {:>8}",
+        "workload", "jobs", "shots", "shots/s", "p50 µs", "p95 µs", "p99 µs", "slips"
+    );
+    for w in report.per_workload.iter().chain([&report.aggregate]) {
+        print_workload_row(w);
+    }
+    Ok(())
+}
+
+fn print_workload_row(w: &WorkloadReport) {
+    println!(
+        "{:>14} {:>6} {:>9} {:>11.0} {:>10.1} {:>10.1} {:>10.1} {:>8}",
+        w.name,
+        w.jobs,
+        w.shots,
+        w.shots_per_sec,
+        w.latency.p50_ns as f64 / 1e3,
+        w.latency.p95_ns as f64 / 1e3,
+        w.latency.p99_ns as f64 / 1e3,
+        w.stats.timeline_slips,
+    );
 }
 
 fn cmd_lift(text: &str, inst: &Instantiation) -> Result<(), String> {
@@ -197,7 +347,9 @@ fn cmd_lift(text: &str, inst: &Instantiation) -> Result<(), String> {
     println!("# timing-free circuit ({} gates):", circuit.len());
     for gate in circuit.gates() {
         match &gate.kind {
-            eqasm::compiler::GateKind::Single { qubit } => println!("{} q{}", gate.name, qubit.index()),
+            eqasm::compiler::GateKind::Single { qubit } => {
+                println!("{} q{}", gate.name, qubit.index())
+            }
             eqasm::compiler::GateKind::Two { pair } => println!(
                 "{} q{} q{}",
                 gate.name,

@@ -19,6 +19,7 @@
 //! | [`microarch`] | `eqasm-microarch` | the QuMA v2 cycle-accurate machine |
 //! | [`compiler`] | `eqasm-compiler` | circuit IR, ASAP scheduler, counting + emitting code generators |
 //! | [`workloads`] | `eqasm-workloads` | RB, Ising, square-root, AllXY, Grover, Rabi generators |
+//! | [`runtime`] | `eqasm-runtime` | parallel shot-execution engine: jobs, worker pool, histograms, mixed workloads |
 //!
 //! ## Quick start
 //!
@@ -58,23 +59,26 @@ pub use eqasm_compiler as compiler;
 pub use eqasm_core as core;
 pub use eqasm_microarch as microarch;
 pub use eqasm_quantum as quantum;
+pub use eqasm_runtime as runtime;
 pub use eqasm_workloads as workloads;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use eqasm_asm::{assemble, disassemble, Assembler, Program};
     pub use eqasm_compiler::{
-        count_instructions, emit, schedule_asap, Circuit, CodegenConfig, EmitOptions,
-        GateDurations,
+        count_instructions, emit, schedule_asap, Circuit, CodegenConfig, EmitOptions, GateDurations,
     };
     pub use eqasm_core::{
-        ArchParams, Bundle, BundleOp, CmpFlag, ExecFlag, Gpr, Instantiation, Instruction,
-        OpConfig, PulseKind, QOpcode, Qubit, QubitPair, SReg, TReg, Topology,
+        ArchParams, Bundle, BundleOp, CmpFlag, ExecFlag, Gpr, Instantiation, Instruction, OpConfig,
+        PulseKind, QOpcode, Qubit, QubitPair, SReg, TReg, Topology,
     };
     pub use eqasm_microarch::{
         LatencyModel, MeasurementSource, QuMa, RunStatus, SimConfig, TimingPolicy, TraceKind,
     };
     pub use eqasm_quantum::{
         Backend, Clifford, DensityBackend, NoiseModel, PureBackend, ReadoutModel, StateVector,
+    };
+    pub use eqasm_runtime::{
+        Histogram, Job, JobResult, MixedWorkload, ShotEngine, WorkloadKind, WorkloadSpec,
     };
 }

@@ -134,13 +134,9 @@ fn emitted_text_round_trips_through_assembler_and_machine() {
 fn grover_finds_marked_state_on_machine_without_noise() {
     let inst = Instantiation::paper_two_qubit();
     for target in 0..4u8 {
-        let programs = workloads::grover_tomography_programs(
-            &inst,
-            Qubit::new(0),
-            Qubit::new(2),
-            target,
-        )
-        .unwrap();
+        let programs =
+            workloads::grover_tomography_programs(&inst, Qubit::new(0), Qubit::new(2), target)
+                .unwrap();
         // ZZ setting (last): direct computational-basis readout.
         let (_, _, program) = &programs[8];
         let machine = run_instructions(&inst, program, u64::from(target));
@@ -222,7 +218,10 @@ fn seven_qubit_parallel_layer_via_compiler() {
     assert_eq!(program.len(), 3, "{program:?}");
     let mut machine = run_instructions(&inst, &program, 0);
     for q in 0..7u8 {
-        assert!((machine.prob1(Qubit::new(q)) - 0.5).abs() < 1e-9, "qubit {q}");
+        assert!(
+            (machine.prob1(Qubit::new(q)) - 0.5).abs() < 1e-9,
+            "qubit {q}"
+        );
     }
 }
 

@@ -54,17 +54,18 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
         (flag(), -(1i32 << 20)..(1i32 << 20) - 1)
             .prop_map(|(flag, offset)| Instruction::Br { flag, offset }),
         (flag(), gpr()).prop_map(|(flag, rd)| Instruction::Fbr { flag, rd }),
-        (gpr(), -(1i32 << 19)..(1i32 << 19) - 1)
-            .prop_map(|(rd, imm)| Instruction::Ldi { rd, imm }),
-        (gpr(), 0u16..(1 << 15), gpr()).prop_map(|(rd, imm, rs)| Instruction::Ldui {
+        (gpr(), -(1i32 << 19)..(1i32 << 19) - 1).prop_map(|(rd, imm)| Instruction::Ldi { rd, imm }),
+        (gpr(), 0u16..(1 << 15), gpr()).prop_map(|(rd, imm, rs)| Instruction::Ldui { rd, imm, rs }),
+        (gpr(), gpr(), -(1i32 << 14)..(1i32 << 14) - 1).prop_map(|(rd, rt, imm)| Instruction::Ld {
             rd,
-            imm,
-            rs
+            rt,
+            imm
         }),
-        (gpr(), gpr(), -(1i32 << 14)..(1i32 << 14) - 1)
-            .prop_map(|(rd, rt, imm)| Instruction::Ld { rd, rt, imm }),
-        (gpr(), gpr(), -(1i32 << 14)..(1i32 << 14) - 1)
-            .prop_map(|(rs, rt, imm)| Instruction::St { rs, rt, imm }),
+        (gpr(), gpr(), -(1i32 << 14)..(1i32 << 14) - 1).prop_map(|(rs, rt, imm)| Instruction::St {
+            rs,
+            rt,
+            imm
+        }),
         (gpr(), 0u8..7).prop_map(|(rd, q)| Instruction::Fmr {
             rd,
             qubit: Qubit::new(q)
