@@ -1,13 +1,14 @@
 //! Measures shot-engine throughput (shots/sec) at 1/2/4/8 workers on
-//! an RB workload and emits a `BENCH_runtime.json` trajectory point
-//! for trend tracking.
+//! an RB workload, then runs the same traffic through the `eqasm-serve`
+//! job queue to record queue wait vs active time per job, and emits a
+//! `BENCH_runtime.json` trajectory point for trend tracking.
 //!
 //! Usage: `cargo run --release -p eqasm-bench --bin throughput [shots] [out.json]`
 
 use eqasm_core::{Instantiation, Qubit, Topology};
 use eqasm_microarch::SimConfig;
 use eqasm_quantum::{NoiseModel, ReadoutModel};
-use eqasm_runtime::{Job, ShotEngine};
+use eqasm_runtime::{Job, JobQueue, ServeConfig, ShotEngine, Submission};
 use eqasm_workloads::rb_program;
 
 fn main() {
@@ -75,10 +76,62 @@ fn main() {
         ));
     }
 
+    // Serve-mode: the same RB traffic split over two tenants through
+    // the job queue, so the trajectory also tracks how long a job sits
+    // queued (scheduling delay) vs how long it actively runs.
+    let serve_workers = 2usize;
+    let per_job = (shots / 4).max(1);
+    println!("\nserve mode: 4 jobs × {per_job} shots, 2 tenants (cal weight 3, batch weight 1), {serve_workers} workers");
+    let queue = JobQueue::new(
+        ServeConfig::default()
+            .with_workers(serve_workers)
+            .with_batch_size(64),
+    );
+    queue.register_tenant("cal", 3, u64::MAX);
+    queue.register_tenant("batch", 1, u64::MAX);
+    let mut handles = Vec::new();
+    for i in 0..2u64 {
+        for tenant in ["cal", "batch"] {
+            let j = job
+                .clone()
+                .with_shots(per_job)
+                .with_seed(1 + i * per_job + if tenant == "cal" { 0 } else { 1 << 32 });
+            let named = Job {
+                name: format!("{tenant}-{i}"),
+                ..j
+            };
+            handles.extend(
+                queue
+                    .submit(Submission::job(tenant, named))
+                    .expect("submits"),
+            );
+        }
+    }
+    println!(
+        "{:>10} {:>8} {:>12} {:>10} {:>10}",
+        "job", "tenant", "shots/s", "wait ms", "active ms"
+    );
+    let mut serve_rows = Vec::new();
+    for handle in &handles {
+        let result = handle.wait().expect("queued job completes");
+        let snap = handle.snapshot();
+        let wait_ms = snap.queue_wait.as_secs_f64() * 1e3;
+        let active_ms = snap.active.as_secs_f64() * 1e3;
+        println!(
+            "{:>10} {:>8} {:>12.0} {:>10.1} {:>10.1}",
+            result.name, snap.tenant, result.shots_per_sec, wait_ms, active_ms
+        );
+        serve_rows.push(format!(
+            "    {{\"job\": \"{}\", \"tenant\": \"{}\", \"shots\": {}, \"shots_per_sec\": {:.1}, \"queue_wait_ms\": {:.2}, \"active_ms\": {:.2}}}",
+            result.name, snap.tenant, result.shots, result.shots_per_sec, wait_ms, active_ms
+        ));
+    }
+
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"bench\": \"runtime\",\n  \"workload\": \"rb-k24\",\n  \"shots\": {shots},\n  \"host_parallelism\": {available},\n  \"points\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+        "{{\n  \"bench\": \"runtime\",\n  \"workload\": \"rb-k24\",\n  \"shots\": {shots},\n  \"host_parallelism\": {available},\n  \"points\": [\n{}\n  ],\n  \"serve\": {{\n    \"workers\": {serve_workers},\n    \"jobs\": [\n{}\n    ]\n  }}\n}}\n",
+        rows.join(",\n"),
+        serve_rows.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write trajectory point");
     println!("wrote {out_path} (host parallelism: {available})");

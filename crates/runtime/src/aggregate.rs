@@ -155,6 +155,10 @@ pub struct LatencyStats {
 impl LatencyStats {
     /// Computes percentiles from raw per-shot durations (need not be
     /// sorted). Returns all-zero stats for an empty slice.
+    ///
+    /// The mean is accumulated in `u128`: a long service run sums
+    /// nanosecond durations over arbitrarily many shots, and a `u64`
+    /// accumulator overflows after only ~2e10 shot-seconds.
     pub fn from_durations(durations_ns: &[u64]) -> Self {
         if durations_ns.is_empty() {
             return LatencyStats::default();
@@ -165,11 +169,12 @@ impl LatencyStats {
             let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
             sorted[rank.min(sorted.len() - 1)]
         };
+        let sum: u128 = sorted.iter().map(|&d| d as u128).sum();
         LatencyStats {
             p50_ns: pct(0.50),
             p95_ns: pct(0.95),
             p99_ns: pct(0.99),
-            mean_ns: (sorted.iter().sum::<u64>() / sorted.len() as u64),
+            mean_ns: (sum / sorted.len() as u128) as u64,
             max_ns: *sorted.last().expect("nonempty"),
         }
     }
@@ -192,8 +197,13 @@ pub struct JobResult {
     /// boundaries).
     pub mean_prob1: Vec<f64>,
     /// Raw per-shot wall-clock durations in shot order, nanoseconds.
+    /// **Empty unless** the engine was built with
+    /// [`crate::ShotEngine::with_raw_latencies`]`(true)` — retaining 8
+    /// bytes per shot unconditionally is unbounded growth for a
+    /// service holding results of million-shot jobs.
     pub latencies_ns: Vec<u64>,
-    /// Percentiles over [`JobResult::latencies_ns`].
+    /// Percentiles over the full per-shot duration stream. Exact
+    /// whether or not [`JobResult::latencies_ns`] is retained.
     pub latency: LatencyStats,
     /// The job's active wall-clock window: from its first batch
     /// starting to its last batch finishing. Time the pool spent on
@@ -266,5 +276,16 @@ mod tests {
         assert_eq!(l.max_ns, 100);
         assert_eq!(l.mean_ns, 50);
         assert_eq!(LatencyStats::from_durations(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn latency_mean_survives_huge_sums() {
+        // Two durations near u64::MAX would overflow a u64 accumulator
+        // (the long-service-run regime: ~5 GHz-ns × hours of shots).
+        let big = u64::MAX / 2 + 7;
+        let l = LatencyStats::from_durations(&[big, big]);
+        assert_eq!(l.mean_ns, big);
+        assert_eq!(l.max_ns, big);
+        assert_eq!(l.p50_ns, big);
     }
 }

@@ -51,20 +51,21 @@ use crate::job::{default_batch_size, partition_shots, Job};
 pub struct ShotEngine {
     workers: usize,
     batch_size: Option<u64>,
+    retain_latencies: bool,
 }
 
 /// What one worker produced for one batch of one job.
-struct BatchOut {
-    job: usize,
-    batch: usize,
-    histogram: Histogram,
-    stats: RunStats,
-    prob1_sum: Vec<f64>,
-    durations_ns: Vec<u64>,
-    non_halted: u64,
-    first_failure: Option<(u64, String)>,
-    started_at: Instant,
-    finished_at: Instant,
+pub(crate) struct BatchOut {
+    pub(crate) job: usize,
+    pub(crate) batch: usize,
+    pub(crate) histogram: Histogram,
+    pub(crate) stats: RunStats,
+    pub(crate) prob1_sum: Vec<f64>,
+    pub(crate) durations_ns: Vec<u64>,
+    pub(crate) non_halted: u64,
+    pub(crate) first_failure: Option<(u64, String)>,
+    pub(crate) started_at: Instant,
+    pub(crate) finished_at: Instant,
 }
 
 /// A batch task: run `range` shots of job `job`.
@@ -86,6 +87,7 @@ impl ShotEngine {
         ShotEngine {
             workers,
             batch_size: None,
+            retain_latencies: false,
         }
     }
 
@@ -97,9 +99,24 @@ impl ShotEngine {
     /// Overrides the shot batch size. The default is
     /// [`default_batch_size`]; results are identical either way, the
     /// knob only trades scheduling overhead against load balance.
+    ///
+    /// A batch size of `0` is clamped to `1`: this is a library
+    /// builder on a service path, so a malformed request degrades to
+    /// the smallest batch instead of panicking the pool.
     pub fn with_batch_size(mut self, batch_size: u64) -> Self {
-        assert!(batch_size > 0, "batch size must be nonzero");
-        self.batch_size = Some(batch_size);
+        self.batch_size = Some(batch_size.max(1));
+        self
+    }
+
+    /// Retains the raw per-shot duration vector in each
+    /// [`JobResult`]'s [`JobResult::latencies_ns`]. Off by default:
+    /// raw retention costs 8 bytes per shot *after* the run, which is
+    /// unbounded growth for a long-lived service holding results of
+    /// million-shot jobs. [`LatencyStats`] stays exact either way —
+    /// percentiles are computed from the full duration stream before
+    /// it is dropped.
+    pub fn with_raw_latencies(mut self, retain: bool) -> Self {
+        self.retain_latencies = retain;
         self
     }
 
@@ -171,28 +188,23 @@ impl ShotEngine {
                         }
                         let job = &jobs[task.job];
                         if !matches!(&cached, Some((j, _)) if *j == task.job) {
-                            // The engine never reads traces (it
-                            // aggregates through measurement_value and
-                            // prob1), so recording them per shot would
-                            // be pure overhead on every batch.
-                            let mut config = job.config.clone();
-                            config.record_trace = false;
-                            let mut m = QuMa::new(job.inst.clone(), config);
-                            if let Err(source) = m.load(&job.program) {
-                                load_errors
-                                    .lock()
-                                    .expect("error map poisoned")
-                                    .entry(task.job)
-                                    .or_insert(RuntimeError::Load {
-                                        job: job.name.clone(),
-                                        source,
-                                    });
-                                continue;
+                            match build_machine(job) {
+                                Ok(m) => cached = Some((task.job, m)),
+                                Err(source) => {
+                                    load_errors
+                                        .lock()
+                                        .expect("error map poisoned")
+                                        .entry(task.job)
+                                        .or_insert(RuntimeError::Load {
+                                            job: job.name.clone(),
+                                            source,
+                                        });
+                                    continue;
+                                }
                             }
-                            cached = Some((task.job, m));
                         }
                         let machine = &mut cached.as_mut().expect("just cached").1;
-                        let out = run_batch(machine, job, task);
+                        let out = run_batch(machine, job, task.job, task.batch, task.range.clone());
                         outputs.lock().expect("collector poisoned").push(out);
                     }
                 });
@@ -216,7 +228,7 @@ impl ShotEngine {
                 histogram: Histogram::new(),
                 stats: RunStats::default(),
                 mean_prob1: vec![0.0; job.inst.topology().num_qubits()],
-                latencies_ns: Vec::with_capacity(job.shots as usize),
+                latencies_ns: Vec::new(),
                 latency: LatencyStats::default(),
                 elapsed: Duration::ZERO,
                 shots_per_sec: 0.0,
@@ -228,8 +240,14 @@ impl ShotEngine {
 
         // Per-job active window: first batch start to last batch end,
         // so a job's shots/sec is not diluted by time the pool spent
-        // on *other* jobs before this one was picked up.
+        // on *other* jobs before this one was picked up. Durations
+        // are accumulated in a transient scratch so exact percentiles
+        // can be computed even when raw retention is off.
         let mut windows: Vec<Option<(Instant, Instant)>> = vec![None; jobs.len()];
+        let mut durations: Vec<Vec<u64>> = jobs
+            .iter()
+            .map(|job| Vec::with_capacity(job.shots as usize))
+            .collect();
         for out in outputs {
             let r = &mut results[out.job];
             r.histogram.merge(&out.histogram);
@@ -237,7 +255,7 @@ impl ShotEngine {
             for (acc, s) in r.mean_prob1.iter_mut().zip(&out.prob1_sum) {
                 *acc += s;
             }
-            r.latencies_ns.extend_from_slice(&out.durations_ns);
+            durations[out.job].extend_from_slice(&out.durations_ns);
             r.non_halted += out.non_halted;
             if r.first_failure.is_none() {
                 r.first_failure = out.first_failure;
@@ -253,13 +271,16 @@ impl ShotEngine {
                 r.elapsed = finish.duration_since(*start);
             }
         }
-        for r in &mut results {
+        for (r, durs) in results.iter_mut().zip(durations) {
             if r.shots > 0 {
                 for p in &mut r.mean_prob1 {
                     *p /= r.shots as f64;
                 }
             }
-            r.latency = LatencyStats::from_durations(&r.latencies_ns);
+            r.latency = LatencyStats::from_durations(&durs);
+            if self.retain_latencies {
+                r.latencies_ns = durs;
+            }
             let secs = r.elapsed.as_secs_f64();
             r.shots_per_sec = if secs > 0.0 {
                 r.shots as f64 / secs
@@ -289,18 +310,36 @@ fn describe_status(status: &eqasm_microarch::RunStatus) -> String {
     }
 }
 
+/// Builds and loads a fresh machine for `job`. The engine never reads
+/// traces (it aggregates through `measurement_value` and `prob1`), so
+/// recording them per shot would be pure overhead on every batch —
+/// trace recording is force-disabled here.
+pub(crate) fn build_machine(job: &Job) -> Result<QuMa, eqasm_microarch::LoadError> {
+    let mut config = job.config.clone();
+    config.record_trace = false;
+    let mut m = QuMa::new(job.inst.clone(), config);
+    m.load(&job.program)?;
+    Ok(m)
+}
+
 /// Runs one contiguous shot range on a prepared machine.
-fn run_batch(machine: &mut QuMa, job: &Job, task: &Task) -> BatchOut {
+pub(crate) fn run_batch(
+    machine: &mut QuMa,
+    job: &Job,
+    job_idx: usize,
+    batch_idx: usize,
+    range: std::ops::Range<u64>,
+) -> BatchOut {
     let started_at = Instant::now();
     let n = job.inst.topology().num_qubits();
     let mut histogram = Histogram::new();
     let mut stats = RunStats::default();
     let mut prob1_sum = vec![0.0f64; n];
-    let mut durations_ns = Vec::with_capacity((task.range.end - task.range.start) as usize);
+    let mut durations_ns = Vec::with_capacity((range.end - range.start) as usize);
     let mut non_halted = 0;
     let mut first_failure = None;
 
-    for shot in task.range.clone() {
+    for shot in range {
         let t0 = Instant::now();
         let result = machine.run_shot(job.shot_seed(shot));
         durations_ns.push(t0.elapsed().as_nanos() as u64);
@@ -324,8 +363,8 @@ fn run_batch(machine: &mut QuMa, job: &Job, task: &Task) -> BatchOut {
     }
 
     BatchOut {
-        job: task.job,
-        batch: task.batch,
+        job: job_idx,
+        batch: batch_idx,
         histogram,
         stats,
         prob1_sum,

@@ -19,6 +19,12 @@ pub enum RuntimeError {
     /// A workload spec is structurally invalid (bad sweep index,
     /// unknown chip, zero weight…).
     Spec(String),
+    /// A queued job failed inside the serve pool, or the pool shut
+    /// down before the job completed. The message preserves the
+    /// worker-side error rendering (the original error is consumed on
+    /// a worker thread; every poller of the handle gets this clonable
+    /// form).
+    Service(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -30,6 +36,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Asm(e) => write!(f, "workload assembly failed: {e}"),
             RuntimeError::Compile(e) => write!(f, "workload emission failed: {e}"),
             RuntimeError::Spec(msg) => write!(f, "invalid workload spec: {msg}"),
+            RuntimeError::Service(msg) => write!(f, "service failure: {msg}"),
         }
     }
 }
@@ -41,6 +48,7 @@ impl std::error::Error for RuntimeError {
             RuntimeError::Asm(e) => Some(e),
             RuntimeError::Compile(e) => Some(e),
             RuntimeError::Spec(_) => None,
+            RuntimeError::Service(_) => None,
         }
     }
 }

@@ -14,7 +14,12 @@
 //!   shot latencies and shots/sec throughput;
 //! * [`WorkloadSpec`] / [`MixedWorkload`] — declarative experiment
 //!   driving: named generators from `eqasm-workloads`, weights, and a
-//!   mixed-traffic driver with per-workload and aggregate reports.
+//!   mixed-traffic driver with per-workload and aggregate reports;
+//! * [`serve`] — the long-lived service front end: a polling
+//!   [`JobQueue`] with per-tenant weighted-fair scheduling (deficit
+//!   round-robin plus in-flight-shot quotas), streaming
+//!   [`PartialResult`] snapshots that are exact prefixes of the final
+//!   merge, and a program cache keyed by [`WorkloadKind`].
 //!
 //! ## Determinism
 //!
@@ -52,10 +57,14 @@ mod aggregate;
 mod engine;
 mod error;
 mod job;
+pub mod serve;
 mod workload;
 
 pub use aggregate::{BitString, Histogram, JobResult, LatencyStats};
 pub use engine::ShotEngine;
 pub use error::RuntimeError;
 pub use job::{default_batch_size, partition_shots, Job};
+pub use serve::{
+    CacheStats, JobHandle, JobQueue, PartialResult, ServeConfig, Submission, TenantId,
+};
 pub use workload::{MixedReport, MixedWorkload, WorkloadKind, WorkloadReport, WorkloadSpec};

@@ -1,0 +1,1260 @@
+//! `eqasm-serve` — a polling job-queue front end over the shot engine.
+//!
+//! The [`crate::ShotEngine`] of PR 1 is a synchronous library call:
+//! one caller, one batch of jobs, one blocking `run_jobs`. This module
+//! turns it into the long-lived service the control stack exists for:
+//!
+//! * [`Submission`] — a [`Job`] or a [`WorkloadSpec`] tagged with a
+//!   [`TenantId`];
+//! * [`JobQueue`] — accepts submissions, hands back [`JobHandle`]s for
+//!   polling, and drives a background worker pool;
+//! * **weighted-fair scheduling** — the next batch is picked by
+//!   deficit round-robin over per-tenant weights, with a per-tenant
+//!   in-flight-shot quota, so one tenant's million-shot sweep cannot
+//!   starve another's calibration loop;
+//! * [`PartialResult`] — a streaming snapshot per job (histogram,
+//!   machine stats, mean `P(|1⟩)`, `shots_done / shots_total`) that
+//!   pollers can read at any time;
+//! * a **program cache** keyed by [`WorkloadKind`], so mixed-traffic
+//!   streams stop rebuilding identical programs per job instance.
+//!
+//! ## Snapshot determinism
+//!
+//! Completed batches are folded into each job's snapshot strictly in
+//! batch-index order (out-of-order completions are stashed until the
+//! prefix is contiguous). A snapshot whose `shots_done` is `k` batches
+//! worth of shots is therefore **bit-identical** — histogram, stats
+//! and mean-`P(|1⟩)` — to serially running just those first `k`
+//! batches, and the final result is bit-identical to
+//! [`crate::ShotEngine::run_job`] on the same job. Streaming partial
+//! histograms are exact prefixes of the final answer, not
+//! approximations.
+//!
+//! ## Example
+//!
+//! ```
+//! use eqasm_asm::assemble;
+//! use eqasm_core::Instantiation;
+//! use eqasm_runtime::{serve::{JobQueue, ServeConfig, Submission}, Job};
+//!
+//! let inst = Instantiation::paper_two_qubit();
+//! let program = assemble(
+//!     "SMIS S2, {2}\nQWAIT 100\nX90 S2\nMEASZ S2\nQWAIT 50\nSTOP",
+//!     &inst,
+//! )?;
+//! let job = Job::new("x90", inst, program.instructions().to_vec()).with_shots(64);
+//!
+//! let queue = JobQueue::new(ServeConfig::default().with_workers(2));
+//! let handles = queue.submit(Submission::job("cal-team", job))?;
+//! let result = handles[0].wait()?;
+//! assert_eq!(result.shots, 64);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use eqasm_core::{Instantiation, Instruction};
+use eqasm_microarch::{QuMa, RunStats};
+
+use crate::aggregate::{Histogram, JobResult, LatencyStats};
+use crate::engine::{build_machine, run_batch, BatchOut};
+use crate::error::RuntimeError;
+use crate::job::{default_batch_size, partition_shots, Job};
+use crate::workload::{WorkloadKind, WorkloadSpec};
+
+/// Identifies the tenant a submission is accounted against. Cheap to
+/// clone; compares by name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(Arc<str>);
+
+impl TenantId {
+    /// A tenant id from a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TenantId(Arc::from(name.into().as_str()))
+    }
+
+    /// The tenant's name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for TenantId {
+    fn from(name: &str) -> Self {
+        TenantId::new(name)
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `pad` (not `write_str`) so callers' width/alignment
+        // specifiers apply when laying out report tables.
+        f.pad(&self.0)
+    }
+}
+
+/// A unit of work handed to the queue: a prebuilt [`Job`] or a
+/// declarative [`WorkloadSpec`] (expanded to `weight` job instances
+/// through the program cache), tagged with the [`TenantId`] it is
+/// accounted against.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    tenant: TenantId,
+    work: Work,
+}
+
+#[derive(Debug, Clone)]
+enum Work {
+    Job(Box<Job>),
+    Spec(Box<WorkloadSpec>),
+}
+
+impl Submission {
+    /// Submits one prebuilt job under `tenant`.
+    pub fn job(tenant: impl Into<TenantId>, job: Job) -> Self {
+        Submission {
+            tenant: tenant.into(),
+            work: Work::Job(Box::new(job)),
+        }
+    }
+
+    /// Submits a workload spec under `tenant`: the spec's `weight`
+    /// field is its instance count (as in [`crate::MixedWorkload`]),
+    /// and all instances share one cached program build.
+    pub fn workload(tenant: impl Into<TenantId>, spec: WorkloadSpec) -> Self {
+        Submission {
+            tenant: tenant.into(),
+            work: Work::Spec(Box::new(spec)),
+        }
+    }
+
+    /// The tenant this submission is accounted against.
+    pub fn tenant(&self) -> &TenantId {
+        &self.tenant
+    }
+}
+
+impl From<(&str, Job)> for Submission {
+    fn from((tenant, job): (&str, Job)) -> Self {
+        Submission::job(tenant, job)
+    }
+}
+
+/// Configuration of a [`JobQueue`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads; `0` selects the machine's available
+    /// parallelism.
+    pub workers: usize,
+    /// Shot batch size override (clamped to at least 1). `None` uses
+    /// [`default_batch_size`] per job. The batch size is also the
+    /// scheduler's fairness granularity: one batch is the smallest
+    /// unit of work a tenant can be granted.
+    pub batch_size: Option<u64>,
+    /// Scheduling weight for tenants that were never explicitly
+    /// registered (clamped to at least 1).
+    pub default_weight: u32,
+    /// In-flight-shot quota for tenants that were never explicitly
+    /// registered.
+    pub default_quota: u64,
+    /// Retain raw per-shot durations in final [`JobResult`]s (see
+    /// [`crate::ShotEngine::with_raw_latencies`]). Off by default:
+    /// a long-lived queue holding million-shot results must not grow
+    /// by 8 bytes per executed shot.
+    pub retain_latencies: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            batch_size: None,
+            default_weight: 1,
+            default_quota: u64::MAX,
+            retain_latencies: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Returns the config with the given worker count (`0` = machine
+    /// parallelism).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Returns the config with a fixed shot batch size (clamped to at
+    /// least 1).
+    pub fn with_batch_size(mut self, batch_size: u64) -> Self {
+        self.batch_size = Some(batch_size.max(1));
+        self
+    }
+
+    /// Returns the config with defaults for unregistered tenants.
+    pub fn with_tenant_defaults(mut self, weight: u32, quota: u64) -> Self {
+        self.default_weight = weight.max(1);
+        self.default_quota = quota;
+        self
+    }
+
+    /// Returns the config with raw per-shot latency retention.
+    pub fn with_raw_latencies(mut self, retain: bool) -> Self {
+        self.retain_latencies = retain;
+        self
+    }
+}
+
+/// Program-cache hit/miss counters, for observability and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Spec submissions served from a cached program build.
+    pub hits: u64,
+    /// Spec submissions that had to build their program.
+    pub misses: u64,
+    /// Distinct programs currently cached.
+    pub entries: usize,
+}
+
+/// Hashable identity of a [`WorkloadKind`]: every field that feeds the
+/// program build, with `f64`s compared by bit pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum CacheKey {
+    Rabi {
+        amplitude_bits: Vec<u64>,
+        index: usize,
+    },
+    AllXy {
+        round: usize,
+        init_cycles: u32,
+    },
+    Rb {
+        k: usize,
+        interval_cycles: u32,
+        sequence_seed: u64,
+    },
+    ActiveReset {
+        init_cycles: u32,
+    },
+    Source {
+        text: String,
+    },
+}
+
+impl CacheKey {
+    fn of(kind: &WorkloadKind) -> Self {
+        match kind {
+            WorkloadKind::Rabi {
+                amplitudes,
+                amplitude_index,
+            } => CacheKey::Rabi {
+                amplitude_bits: amplitudes.iter().map(|a| a.to_bits()).collect(),
+                index: *amplitude_index,
+            },
+            WorkloadKind::AllXy { round, init_cycles } => CacheKey::AllXy {
+                round: *round,
+                init_cycles: *init_cycles,
+            },
+            WorkloadKind::Rb {
+                k,
+                interval_cycles,
+                sequence_seed,
+            } => CacheKey::Rb {
+                k: *k,
+                interval_cycles: *interval_cycles,
+                sequence_seed: *sequence_seed,
+            },
+            WorkloadKind::ActiveReset { init_cycles } => CacheKey::ActiveReset {
+                init_cycles: *init_cycles,
+            },
+            WorkloadKind::Source { text } => CacheKey::Source { text: text.clone() },
+        }
+    }
+}
+
+/// Assembled programs keyed by the [`WorkloadKind`] that builds them.
+/// The kind is the complete input of the build (the `SimConfig` only
+/// affects execution), so equal kinds always yield equal programs.
+struct ProgramCache {
+    entries: HashMap<CacheKey, Arc<(Instantiation, Vec<Instruction>)>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ProgramCache {
+    fn new() -> Self {
+        ProgramCache {
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cached build for `key`, counting a hit when present.
+    fn lookup(&mut self, key: &CacheKey) -> Option<Arc<(Instantiation, Vec<Instruction>)>> {
+        let built = self.entries.get(key).map(Arc::clone);
+        if built.is_some() {
+            self.hits += 1;
+        }
+        built
+    }
+
+    /// Stores a build produced outside the lock, counting a miss. If
+    /// a concurrent submission raced the build in first, the earlier
+    /// artifact wins (counted as a hit) so every instance of a kind
+    /// shares one program.
+    fn insert(
+        &mut self,
+        key: CacheKey,
+        built: Arc<(Instantiation, Vec<Instruction>)>,
+    ) -> Arc<(Instantiation, Vec<Instruction>)> {
+        if let Some(existing) = self.entries.get(&key) {
+            self.hits += 1;
+            return Arc::clone(existing);
+        }
+        self.misses += 1;
+        self.entries.insert(key, Arc::clone(&built));
+        built
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.entries.len(),
+        }
+    }
+}
+
+/// A point-in-time view of a queued job, readable at any moment
+/// between submission and completion.
+///
+/// All deterministic fields (histogram, stats, `mean_prob1`) cover
+/// exactly the first [`PartialResult::batches_done`] batches and are
+/// bit-identical to a serial run of just those batches — see the
+/// module docs.
+#[derive(Debug, Clone)]
+pub struct PartialResult {
+    /// The job's name.
+    pub name: String,
+    /// The tenant the job is accounted against.
+    pub tenant: TenantId,
+    /// Shots in the folded prefix so far.
+    pub shots_done: u64,
+    /// Total shots the job was submitted with.
+    pub shots_total: u64,
+    /// Batches folded into this snapshot (the contiguous prefix).
+    pub batches_done: usize,
+    /// Total batches of the job.
+    pub batches_total: usize,
+    /// Outcome counts over the folded prefix.
+    pub histogram: Histogram,
+    /// Machine counters over the folded prefix.
+    pub stats: RunStats,
+    /// Mean post-run `P(|1⟩)` per qubit over the folded prefix.
+    pub mean_prob1: Vec<f64>,
+    /// Latency percentiles over the folded prefix.
+    pub latency: LatencyStats,
+    /// Prefix shots that did not halt cleanly.
+    pub non_halted: u64,
+    /// Whether the job has fully completed (successfully or not).
+    pub done: bool,
+    /// The failure message, if the job's program failed to load.
+    pub failed: Option<String>,
+    /// Time from submission until the job's first batch started (or
+    /// until this snapshot, while it is still queued).
+    pub queue_wait: Duration,
+    /// Active span so far: first folded batch start to last folded
+    /// batch end.
+    pub active: Duration,
+}
+
+impl PartialResult {
+    /// Completed fraction in `[0, 1]` (`1.0` for zero-shot jobs).
+    pub fn progress(&self) -> f64 {
+        if self.shots_total == 0 {
+            1.0
+        } else {
+            self.shots_done as f64 / self.shots_total as f64
+        }
+    }
+}
+
+/// One batch waiting to be dispatched.
+struct PendingBatch {
+    job: usize,
+    batch: usize,
+    range: std::ops::Range<u64>,
+}
+
+impl PendingBatch {
+    fn cost(&self) -> u64 {
+        self.range.end - self.range.start
+    }
+}
+
+/// A batch a worker has been granted, with everything needed to run it
+/// outside the queue lock.
+struct DispatchedTask {
+    job_id: usize,
+    batch: usize,
+    range: std::ops::Range<u64>,
+    job: Arc<Job>,
+    tenant: usize,
+}
+
+impl DispatchedTask {
+    fn cost(&self) -> u64 {
+        self.range.end - self.range.start
+    }
+}
+
+/// Per-tenant scheduling state: a FIFO of pending batches plus the
+/// deficit-round-robin accounting that spreads pool time by weight.
+struct TenantState {
+    id: TenantId,
+    weight: u32,
+    quota: u64,
+    queue: VecDeque<PendingBatch>,
+    /// Shot credit accumulated from round visits; spending it admits
+    /// batches.
+    deficit: u64,
+    /// True once this ring visit has already granted the quantum.
+    credited: bool,
+    /// Shots dispatched but not yet completed.
+    inflight: u64,
+    /// Shots completed, for fairness accounting.
+    shots_done: u64,
+}
+
+/// Batch-index-ordered accumulation of one job's completed batches.
+struct PartialState {
+    /// Contiguous batches folded so far.
+    folded: usize,
+    /// Completed batches waiting for their prefix (keyed by batch
+    /// index).
+    stash: BTreeMap<usize, BatchOut>,
+    shots_done: u64,
+    histogram: Histogram,
+    stats: RunStats,
+    prob1_sum: Vec<f64>,
+    durations_ns: Vec<u64>,
+    non_halted: u64,
+    first_failure: Option<(u64, String)>,
+    window: Option<(Instant, Instant)>,
+}
+
+impl PartialState {
+    fn new(num_qubits: usize) -> Self {
+        PartialState {
+            folded: 0,
+            stash: BTreeMap::new(),
+            shots_done: 0,
+            histogram: Histogram::new(),
+            stats: RunStats::default(),
+            prob1_sum: vec![0.0; num_qubits],
+            durations_ns: Vec::new(),
+            non_halted: 0,
+            first_failure: None,
+            window: None,
+        }
+    }
+
+    /// Stashes a completed batch and folds the contiguous prefix —
+    /// the same fold, in the same order, as the engine's final merge.
+    fn absorb(&mut self, out: BatchOut) {
+        self.stash.insert(out.batch, out);
+        while let Some(next) = self.stash.remove(&self.folded) {
+            self.shots_done += next.durations_ns.len() as u64;
+            self.histogram.merge(&next.histogram);
+            self.stats.merge(&next.stats);
+            for (acc, s) in self.prob1_sum.iter_mut().zip(&next.prob1_sum) {
+                *acc += s;
+            }
+            self.durations_ns.extend_from_slice(&next.durations_ns);
+            self.non_halted += next.non_halted;
+            if self.first_failure.is_none() {
+                self.first_failure = next.first_failure;
+            }
+            self.window = Some(match self.window {
+                None => (next.started_at, next.finished_at),
+                Some((s, f)) => (s.min(next.started_at), f.max(next.finished_at)),
+            });
+            self.folded += 1;
+        }
+    }
+
+    fn mean_prob1(&self) -> Vec<f64> {
+        if self.shots_done == 0 {
+            return self.prob1_sum.clone();
+        }
+        self.prob1_sum
+            .iter()
+            .map(|s| s / self.shots_done as f64)
+            .collect()
+    }
+}
+
+/// A job tracked by the queue.
+struct JobEntry {
+    job: Arc<Job>,
+    tenant: usize,
+    batches_total: usize,
+    submitted_at: Instant,
+    partial: PartialState,
+    final_result: Option<JobResult>,
+    failed: Option<String>,
+}
+
+impl JobEntry {
+    fn done(&self) -> bool {
+        self.final_result.is_some() || self.failed.is_some()
+    }
+}
+
+/// Everything behind the queue's mutex.
+struct QueueState {
+    tenants: Vec<TenantState>,
+    tenant_index: HashMap<TenantId, usize>,
+    ring_cursor: usize,
+    jobs: Vec<JobEntry>,
+    cache: ProgramCache,
+    /// Undispatched batches across all tenants (fast idle check).
+    pending: usize,
+    /// The DRR quantum unit: at least the largest batch cost ever
+    /// enqueued, so one credit always affords one batch and a full
+    /// scheduler pass is O(tenants).
+    quantum_unit: u64,
+    config: ServeConfig,
+}
+
+impl QueueState {
+    fn new(config: ServeConfig) -> Self {
+        QueueState {
+            tenants: Vec::new(),
+            tenant_index: HashMap::new(),
+            ring_cursor: 0,
+            jobs: Vec::new(),
+            cache: ProgramCache::new(),
+            pending: 0,
+            quantum_unit: 1,
+            config,
+        }
+    }
+
+    /// Index of `id`'s state, creating it with the configured defaults
+    /// on first sight.
+    fn tenant_slot(&mut self, id: &TenantId) -> usize {
+        if let Some(&idx) = self.tenant_index.get(id) {
+            return idx;
+        }
+        let idx = self.tenants.len();
+        self.tenants.push(TenantState {
+            id: id.clone(),
+            weight: self.config.default_weight.max(1),
+            quota: self.config.default_quota,
+            queue: VecDeque::new(),
+            deficit: 0,
+            credited: false,
+            inflight: 0,
+            shots_done: 0,
+        });
+        self.tenant_index.insert(id.clone(), idx);
+        idx
+    }
+
+    /// Enqueues one job under tenant `tenant`; returns its job id.
+    fn enqueue_job(&mut self, tenant: usize, job: Job) -> usize {
+        let job_id = self.jobs.len();
+        let batch = self
+            .config
+            .batch_size
+            .unwrap_or_else(|| default_batch_size(job.shots))
+            .max(1);
+        let ranges = partition_shots(job.shots, batch);
+        let num_qubits = job.inst.topology().num_qubits();
+        let entry = JobEntry {
+            job: Arc::new(job),
+            tenant,
+            batches_total: ranges.len(),
+            submitted_at: Instant::now(),
+            partial: PartialState::new(num_qubits),
+            final_result: None,
+            failed: None,
+        };
+        self.jobs.push(entry);
+        for (b, range) in ranges.into_iter().enumerate() {
+            self.quantum_unit = self.quantum_unit.max(range.end - range.start);
+            self.tenants[tenant].queue.push_back(PendingBatch {
+                job: job_id,
+                batch: b,
+                range,
+            });
+            self.pending += 1;
+        }
+        if self.jobs[job_id].batches_total == 0 {
+            // A zero-shot job completes at submission, like the
+            // engine's empty-job path.
+            self.finalize(job_id);
+        }
+        job_id
+    }
+
+    /// Deficit-round-robin pick of the next batch to run.
+    ///
+    /// Visiting a tenant credits its deficit once per ring visit with
+    /// `weight × quantum_unit` shots; a batch is granted by spending
+    /// its shot cost from the deficit, and the cursor stays on a
+    /// tenant while it can still pay — so over a full ring rotation
+    /// each backlogged tenant is granted work in proportion to its
+    /// weight. Idle tenants forfeit their credit (classic DRR), and a
+    /// tenant at its in-flight-shot quota is skipped without losing
+    /// banked credit.
+    fn next_task(&mut self) -> Option<DispatchedTask> {
+        if self.pending == 0 || self.tenants.is_empty() {
+            return None;
+        }
+        let n = self.tenants.len();
+        // One credit always affords one batch (quantum_unit ≥ any
+        // batch cost), so if a full pass over the ring grants nothing,
+        // every queue is empty or quota-blocked.
+        for _ in 0..=n {
+            let idx = self.ring_cursor % n;
+            let quantum = (self.tenants[idx].weight as u64).saturating_mul(self.quantum_unit);
+            let t = &mut self.tenants[idx];
+            let Some(head) = t.queue.front() else {
+                t.deficit = 0;
+                t.credited = false;
+                self.ring_cursor += 1;
+                continue;
+            };
+            let cost = head.cost();
+            // Quota blocks only when the tenant already has work in
+            // flight: a lone batch always dispatches even if it alone
+            // exceeds the quota, otherwise a quota smaller than one
+            // batch's cost would stall the tenant's jobs forever
+            // (wait() would hang with no error).
+            if t.inflight > 0 && t.inflight.saturating_add(cost) > t.quota {
+                t.credited = false;
+                self.ring_cursor += 1;
+                continue;
+            }
+            if t.deficit < cost && !t.credited {
+                t.deficit = t.deficit.saturating_add(quantum);
+                t.credited = true;
+            }
+            if t.deficit >= cost {
+                t.deficit -= cost;
+                t.inflight += cost;
+                let b = t.queue.pop_front().expect("head exists");
+                self.pending -= 1;
+                let entry = &self.jobs[b.job];
+                return Some(DispatchedTask {
+                    job_id: b.job,
+                    batch: b.batch,
+                    range: b.range,
+                    job: Arc::clone(&entry.job),
+                    tenant: idx,
+                });
+            }
+            t.credited = false;
+            self.ring_cursor += 1;
+        }
+        None
+    }
+
+    /// Folds a completed batch back in and finalizes the job when its
+    /// last batch lands.
+    fn complete(&mut self, task: &DispatchedTask, out: BatchOut) {
+        let t = &mut self.tenants[task.tenant];
+        t.inflight = t.inflight.saturating_sub(task.cost());
+        t.shots_done += task.cost();
+        let entry = &mut self.jobs[task.job_id];
+        entry.partial.absorb(out);
+        if entry.partial.folded == entry.batches_total && entry.final_result.is_none() {
+            self.finalize(task.job_id);
+        }
+    }
+
+    /// Marks `job_id` failed (program load error), cancels its pending
+    /// batches and releases the failing task's in-flight shots.
+    fn fail(&mut self, task: &DispatchedTask, message: String) {
+        let t = &mut self.tenants[task.tenant];
+        t.inflight = t.inflight.saturating_sub(task.cost());
+        let before = t.queue.len();
+        t.queue.retain(|b| b.job != task.job_id);
+        let cancelled = before - t.queue.len();
+        self.pending -= cancelled;
+        let entry = &mut self.jobs[task.job_id];
+        if entry.failed.is_none() && entry.final_result.is_none() {
+            entry.failed = Some(message);
+        }
+    }
+
+    /// Seals a fully-folded job into its final [`JobResult`] —
+    /// bit-identical to the engine's merge of the same batches.
+    fn finalize(&mut self, job_id: usize) {
+        let retain = self.config.retain_latencies;
+        let entry = &mut self.jobs[job_id];
+        let p = &mut entry.partial;
+        let mut elapsed = Duration::ZERO;
+        if let Some((start, finish)) = p.window {
+            elapsed = finish.duration_since(start);
+        }
+        let secs = elapsed.as_secs_f64();
+        let latency = LatencyStats::from_durations(&p.durations_ns);
+        let durations = std::mem::take(&mut p.durations_ns);
+        entry.final_result = Some(JobResult {
+            name: entry.job.name.clone(),
+            shots: entry.job.shots,
+            histogram: p.histogram.clone(),
+            stats: p.stats,
+            mean_prob1: p.mean_prob1(),
+            latencies_ns: if retain { durations } else { Vec::new() },
+            latency,
+            elapsed,
+            shots_per_sec: if secs > 0.0 {
+                entry.job.shots as f64 / secs
+            } else {
+                0.0
+            },
+            window: p.window,
+            non_halted: p.non_halted,
+            first_failure: p.first_failure.clone(),
+        });
+    }
+
+    /// A snapshot of `job_id` at this instant, plus the raw prefix
+    /// durations when percentiles still need computing. Sorting a
+    /// million-shot duration vector is too expensive to do while
+    /// holding the queue mutex (it would stall every worker), so the
+    /// caller computes [`LatencyStats`] from the returned copy *after*
+    /// releasing the lock; `None` means the snapshot's `latency` field
+    /// is already final.
+    fn snapshot_inner(&self, job_id: usize, now: Instant) -> (PartialResult, Option<Vec<u64>>) {
+        let entry = &self.jobs[job_id];
+        let p = &entry.partial;
+        let queue_wait = match p.window {
+            Some((start, _)) => start.duration_since(entry.submitted_at),
+            None => now.duration_since(entry.submitted_at),
+        };
+        let active = match p.window {
+            Some((start, finish)) => finish.duration_since(start),
+            None => Duration::ZERO,
+        };
+        if let Some(final_result) = &entry.final_result {
+            let snapshot = PartialResult {
+                name: final_result.name.clone(),
+                tenant: self.tenants[entry.tenant].id.clone(),
+                shots_done: final_result.shots,
+                shots_total: final_result.shots,
+                batches_done: entry.batches_total,
+                batches_total: entry.batches_total,
+                histogram: final_result.histogram.clone(),
+                stats: final_result.stats,
+                mean_prob1: final_result.mean_prob1.clone(),
+                latency: final_result.latency,
+                non_halted: final_result.non_halted,
+                done: true,
+                failed: None,
+                queue_wait,
+                active,
+            };
+            return (snapshot, None);
+        }
+        // In-progress: `latency` stays default here; the caller fills
+        // it in from the returned duration copy once the lock is gone.
+        let snapshot = PartialResult {
+            name: entry.job.name.clone(),
+            tenant: self.tenants[entry.tenant].id.clone(),
+            shots_done: p.shots_done,
+            shots_total: entry.job.shots,
+            batches_done: p.folded,
+            batches_total: entry.batches_total,
+            histogram: p.histogram.clone(),
+            stats: p.stats,
+            mean_prob1: p.mean_prob1(),
+            latency: LatencyStats::default(),
+            non_halted: p.non_halted,
+            done: entry.done(),
+            failed: entry.failed.clone(),
+            queue_wait,
+            active,
+        };
+        (snapshot, Some(p.durations_ns.clone()))
+    }
+
+    /// A snapshot of `job_id` with percentiles resolved — test-path
+    /// convenience; the public [`JobHandle::snapshot`] does the
+    /// percentile work outside the queue lock.
+    #[cfg(test)]
+    fn snapshot(&self, job_id: usize, now: Instant) -> PartialResult {
+        let (mut snapshot, durations) = self.snapshot_inner(job_id, now);
+        if let Some(durations) = durations {
+            snapshot.latency = LatencyStats::from_durations(&durations);
+        }
+        snapshot
+    }
+}
+
+/// Shared between the queue handle, its workers and job handles.
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Workers wait here for dispatchable batches.
+    work_ready: Condvar,
+    /// Pollers wait here for job completion.
+    progress: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A polling handle to one queued job.
+#[derive(Clone)]
+pub struct JobHandle {
+    shared: Arc<Shared>,
+    job: usize,
+}
+
+impl JobHandle {
+    /// The current [`PartialResult`] snapshot — callable at any time,
+    /// including after completion.
+    pub fn snapshot(&self) -> PartialResult {
+        let now = Instant::now();
+        let (mut snapshot, durations) = {
+            let state = self.shared.state.lock().expect("queue state poisoned");
+            state.snapshot_inner(self.job, now)
+        };
+        // Percentiles sort the whole prefix — O(n log n) work that
+        // must not run under the queue mutex, where it would stall
+        // every worker each time a client polls a large job.
+        if let Some(durations) = durations {
+            snapshot.latency = LatencyStats::from_durations(&durations);
+        }
+        snapshot
+    }
+
+    /// Whether the job has completed (successfully or not).
+    pub fn is_done(&self) -> bool {
+        let state = self.shared.state.lock().expect("queue state poisoned");
+        state.jobs[self.job].done()
+    }
+
+    /// Blocks until the job completes and returns its final result —
+    /// bit-identical to [`crate::ShotEngine::run_job`] on the same
+    /// job.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Service`] if the job's program failed to load
+    /// on a worker, or if the queue shut down before the job finished.
+    pub fn wait(&self) -> Result<JobResult, RuntimeError> {
+        let mut state = self.shared.state.lock().expect("queue state poisoned");
+        loop {
+            let entry = &state.jobs[self.job];
+            if let Some(message) = &entry.failed {
+                return Err(RuntimeError::Service(message.clone()));
+            }
+            if let Some(final_result) = &entry.final_result {
+                return Ok(final_result.clone());
+            }
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return Err(RuntimeError::Service(format!(
+                    "queue shut down before job `{}` completed",
+                    entry.job.name
+                )));
+            }
+            state = self
+                .shared
+                .progress
+                .wait(state)
+                .expect("queue state poisoned");
+        }
+    }
+}
+
+/// The job-queue front end: accepts [`Submission`]s, schedules their
+/// shot batches across a background worker pool by weighted-fair
+/// deficit round-robin over tenants, and exposes streaming
+/// [`PartialResult`] snapshots through [`JobHandle`]s.
+///
+/// Dropping the queue shuts the pool down; jobs still queued or
+/// running at that point report [`RuntimeError::Service`] from
+/// [`JobHandle::wait`].
+pub struct JobQueue {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl JobQueue {
+    /// Starts a queue with `config.workers` background workers.
+    pub fn new(config: ServeConfig) -> Self {
+        let worker_count = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState::new(config)),
+            work_ready: Condvar::new(),
+            progress: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("eqasm-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        JobQueue { shared, workers }
+    }
+
+    /// The number of background workers.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Sets (or updates) a tenant's scheduling weight and
+    /// in-flight-shot quota. Weight is clamped to at least 1 — a
+    /// zero-weight tenant would starve forever without any signal.
+    /// The quota bounds *concurrent* in-flight shots but never blocks
+    /// a tenant with nothing in flight, so a quota smaller than one
+    /// batch (even 0) throttles to serial execution instead of
+    /// hanging the tenant's jobs.
+    pub fn register_tenant(&self, id: impl Into<TenantId>, weight: u32, quota: u64) {
+        let id = id.into();
+        let mut state = self.shared.state.lock().expect("queue state poisoned");
+        let slot = state.tenant_slot(&id);
+        state.tenants[slot].weight = weight.max(1);
+        state.tenants[slot].quota = quota;
+    }
+
+    /// Accepts a submission and returns one [`JobHandle`] per job it
+    /// expands to: exactly one for a [`Submission::job`], the spec's
+    /// `weight` instances for a [`Submission::workload`] (all sharing
+    /// one cached program build).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec/build failures; nothing is enqueued on error.
+    pub fn submit(
+        &self,
+        submission: impl Into<Submission>,
+    ) -> Result<Vec<JobHandle>, RuntimeError> {
+        let submission = submission.into();
+        // Program builds (assembly + emission) can be expensive, so
+        // they never run under the queue mutex — a cache miss would
+        // otherwise stall every worker, completion and poller for the
+        // build's duration. Double-checked: peek the cache, build
+        // unlocked, then insert (first build wins a race).
+        let jobs = match submission.work {
+            Work::Job(job) => vec![*job],
+            Work::Spec(spec) => {
+                let key = CacheKey::of(&spec.kind);
+                let cached = {
+                    let mut state = self.shared.state.lock().expect("queue state poisoned");
+                    state.cache.lookup(&key)
+                };
+                let built = match cached {
+                    Some(built) => built,
+                    None => {
+                        let fresh = Arc::new(spec.kind.build()?);
+                        let mut state = self.shared.state.lock().expect("queue state poisoned");
+                        state.cache.insert(key, fresh)
+                    }
+                };
+                (0..spec.weight.max(1))
+                    .map(|i| spec.instance_with_program(i, built.0.clone(), built.1.clone()))
+                    .collect::<Result<Vec<Job>, RuntimeError>>()?
+            }
+        };
+        let mut state = self.shared.state.lock().expect("queue state poisoned");
+        let tenant = state.tenant_slot(&submission.tenant);
+        let handles = jobs
+            .into_iter()
+            .map(|job| JobHandle {
+                shared: Arc::clone(&self.shared),
+                job: state.enqueue_job(tenant, job),
+            })
+            .collect();
+        drop(state);
+        self.shared.work_ready.notify_all();
+        self.shared.progress.notify_all();
+        Ok(handles)
+    }
+
+    /// Program-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let state = self.shared.state.lock().expect("queue state poisoned");
+        state.cache.stats()
+    }
+
+    /// Completed shots per tenant, in registration order — the
+    /// fairness ledger the scheduler is balancing.
+    pub fn tenant_progress(&self) -> Vec<(TenantId, u64)> {
+        let state = self.shared.state.lock().expect("queue state poisoned");
+        state
+            .tenants
+            .iter()
+            .map(|t| (t.id.clone(), t.shots_done))
+            .collect()
+    }
+
+    /// Stops the workers. Jobs not yet finished stay unfinished;
+    /// their handles report a service error from [`JobHandle::wait`].
+    pub fn shutdown(&mut self) {
+        {
+            // The flag must flip while holding the state mutex:
+            // workers and pollers check it under the lock before
+            // parking on a condvar, so an unlocked store could land in
+            // the window between their check and their `wait()` — the
+            // notification below would then precede the park and the
+            // thread would sleep forever (a lost wakeup).
+            let _state = self.shared.state.lock().expect("queue state poisoned");
+            self.shared.shutdown.store(true, Ordering::Release);
+        }
+        self.shared.work_ready.notify_all();
+        self.shared.progress.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for JobQueue {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One background worker: pull a batch under the lock, run it outside
+/// the lock on a per-job cached machine, fold the result back in.
+fn worker_loop(shared: &Shared) {
+    let mut cached: Option<(usize, QuMa)> = None;
+    loop {
+        let task = {
+            let mut state = shared.state.lock().expect("queue state poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(task) = state.next_task() {
+                    break task;
+                }
+                state = shared.work_ready.wait(state).expect("queue state poisoned");
+            }
+        };
+
+        if !matches!(&cached, Some((j, _)) if *j == task.job_id) {
+            match build_machine(&task.job) {
+                Ok(machine) => cached = Some((task.job_id, machine)),
+                Err(source) => {
+                    let message = RuntimeError::Load {
+                        job: task.job.name.clone(),
+                        source,
+                    }
+                    .to_string();
+                    let mut state = shared.state.lock().expect("queue state poisoned");
+                    state.fail(&task, message);
+                    drop(state);
+                    shared.work_ready.notify_all();
+                    shared.progress.notify_all();
+                    continue;
+                }
+            }
+        }
+        let machine = &mut cached.as_mut().expect("just cached").1;
+        let out = run_batch(
+            machine,
+            &task.job,
+            task.job_id,
+            task.batch,
+            task.range.clone(),
+        );
+
+        let mut state = shared.state.lock().expect("queue state poisoned");
+        state.complete(&task, out);
+        drop(state);
+        // Completion both frees quota (wake workers) and may have
+        // finished a job (wake pollers).
+        shared.work_ready.notify_all();
+        shared.progress.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny real job: active reset on the two-qubit chip.
+    fn tiny_job(name: &str, shots: u64) -> Job {
+        let (inst, program) = WorkloadKind::ActiveReset { init_cycles: 20 }
+            .build()
+            .expect("builds");
+        Job::new(name, inst, program).with_shots(shots)
+    }
+
+    /// A state with `weights.len()` tenants, each with `batches`
+    /// pending unit-cost-8 batches of one job.
+    fn loaded_state(weights: &[u32], quotas: &[u64], batches: usize) -> QueueState {
+        let mut state = QueueState::new(ServeConfig::default().with_batch_size(8));
+        for (i, (&w, &q)) in weights.iter().zip(quotas).enumerate() {
+            let id = TenantId::new(format!("t{i}"));
+            let slot = state.tenant_slot(&id);
+            state.tenants[slot].weight = w;
+            state.tenants[slot].quota = q;
+            state.enqueue_job(slot, tiny_job(&format!("job-{i}"), 8 * batches as u64));
+        }
+        state
+    }
+
+    #[test]
+    fn drr_dispatch_tracks_weights_within_tolerance() {
+        // Weights 3:1, unlimited quota, completions immediate: over
+        // any window the granted shot share must track the weights.
+        let mut state = loaded_state(&[3, 1], &[u64::MAX, u64::MAX], 400);
+        let mut granted = [0u64; 2];
+        for _ in 0..400 {
+            let task = state.next_task().expect("backlog remains");
+            granted[task.tenant] += task.cost();
+            // Complete immediately: quotas never bind.
+            let t = &mut state.tenants[task.tenant];
+            t.inflight -= task.cost();
+            t.shots_done += task.cost();
+        }
+        let share = granted[0] as f64 / (granted[0] + granted[1]) as f64;
+        assert!(
+            (share - 0.75).abs() <= 0.05,
+            "weight-3 tenant got {share:.3} of shots, expected 0.75 ± 0.05"
+        );
+    }
+
+    #[test]
+    fn drr_quota_bounds_inflight_shots() {
+        // Quota of 16 shots = two 8-shot batches in flight at most.
+        let mut state = loaded_state(&[1], &[16], 32);
+        let a = state.next_task().expect("first batch fits quota");
+        let b = state.next_task().expect("second batch fits quota");
+        assert_eq!(state.tenants[0].inflight, 16);
+        assert!(
+            state.next_task().is_none(),
+            "third batch must be quota-blocked"
+        );
+        // Completing one batch frees quota for exactly one more.
+        let t = &mut state.tenants[0];
+        t.inflight -= a.cost();
+        t.shots_done += a.cost();
+        let c = state.next_task().expect("freed quota readmits work");
+        assert_eq!(state.tenants[0].inflight, 16);
+        assert!(state.next_task().is_none());
+        drop((b, c));
+    }
+
+    #[test]
+    fn drr_quota_below_batch_cost_still_makes_progress() {
+        // Regression: a quota smaller than one batch's cost (8 shots
+        // here) used to block the head batch forever — wait() would
+        // hang with no error. It now degrades to serial execution.
+        let mut state = loaded_state(&[1], &[4], 3);
+        for _ in 0..3 {
+            let task = state
+                .next_task()
+                .expect("a lone batch dispatches despite a tiny quota");
+            assert!(
+                state.next_task().is_none(),
+                "second batch stays blocked while one is in flight"
+            );
+            let t = &mut state.tenants[task.tenant];
+            t.inflight -= task.cost();
+            t.shots_done += task.cost();
+        }
+        assert!(state.next_task().is_none(), "queue drained");
+        assert_eq!(state.tenants[0].shots_done, 24);
+    }
+
+    #[test]
+    fn drr_idle_tenants_forfeit_credit() {
+        let mut state = loaded_state(&[5, 1], &[u64::MAX, u64::MAX], 2);
+        // Drain tenant 0 entirely; its banked deficit must reset when
+        // its queue empties, not fund a future burst.
+        while state.tenants[0].queue.front().is_some() {
+            let task = state.next_task().expect("work pending");
+            let t = &mut state.tenants[task.tenant];
+            t.inflight -= task.cost();
+            t.shots_done += task.cost();
+            if task.tenant == 0 && state.tenants[0].queue.is_empty() {
+                break;
+            }
+        }
+        while state.next_task().is_some() {
+            let t = &mut state.tenants[1];
+            t.inflight = 0;
+        }
+        assert_eq!(state.tenants[0].deficit, 0, "idle tenant keeps no credit");
+    }
+
+    #[test]
+    fn out_of_order_completion_folds_in_batch_order() {
+        // Dispatch every batch, complete them in REVERSE order, and
+        // check each intermediate snapshot only ever exposes the
+        // contiguous prefix — then verify the final result against the
+        // engine on the same job.
+        let job = tiny_job("ooo", 64).with_seed(11);
+        let mut state = QueueState::new(ServeConfig::default().with_batch_size(8));
+        let slot = state.tenant_slot(&TenantId::new("t"));
+        let job_id = state.enqueue_job(slot, job.clone());
+
+        let mut tasks = Vec::new();
+        while let Some(task) = state.next_task() {
+            tasks.push(task);
+        }
+        assert_eq!(tasks.len(), 8);
+
+        let mut machine = build_machine(&job).expect("loads");
+        let mut outs: Vec<BatchOut> = tasks
+            .iter()
+            .map(|t| run_batch(&mut machine, &job, t.job_id, t.batch, t.range.clone()))
+            .collect();
+        outs.reverse();
+        let reversed_tasks: Vec<&DispatchedTask> = tasks.iter().rev().collect();
+        for (task, out) in reversed_tasks.into_iter().zip(outs) {
+            let batches_before = state.jobs[job_id].partial.folded;
+            state.complete(task, out);
+            let snap = state.snapshot(job_id, Instant::now());
+            // Prefix-only: nothing folds until batch 0 arrives (last).
+            if task.batch > 0 {
+                assert_eq!(snap.batches_done, batches_before);
+                assert_eq!(snap.shots_done, 8 * batches_before as u64);
+            }
+        }
+        let snap = state.snapshot(job_id, Instant::now());
+        assert!(snap.done);
+        assert_eq!(snap.shots_done, 64);
+
+        let engine_result = crate::ShotEngine::serial()
+            .with_batch_size(8)
+            .run_job(&job)
+            .expect("engine runs");
+        let final_result = state.jobs[job_id].final_result.as_ref().expect("finalized");
+        assert_eq!(final_result.histogram, engine_result.histogram);
+        assert_eq!(final_result.stats, engine_result.stats);
+        assert_eq!(final_result.mean_prob1, engine_result.mean_prob1);
+    }
+
+    #[test]
+    fn zero_shot_jobs_complete_immediately() {
+        let mut state = QueueState::new(ServeConfig::default());
+        let slot = state.tenant_slot(&TenantId::new("t"));
+        let job_id = state.enqueue_job(slot, tiny_job("empty", 0));
+        let snap = state.snapshot(job_id, Instant::now());
+        assert!(snap.done);
+        assert_eq!(snap.shots_total, 0);
+        assert_eq!(snap.progress(), 1.0);
+        assert!(state.next_task().is_none());
+    }
+}

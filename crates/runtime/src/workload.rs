@@ -147,7 +147,11 @@ pub struct WorkloadSpec {
     /// stream (relative traffic share).
     pub weight: u32,
     /// Base seed of the first instance; instance `i` starts at
-    /// `base_seed + i * shots` so shot seeds never collide.
+    /// `base_seed + i * shots` so shot seeds never collide. All seed
+    /// arithmetic wraps modulo 2⁶⁴ — an adversarial `base_seed` near
+    /// `u64::MAX` shifts which seeds are used but can never panic
+    /// (debug) or silently collide more than the modular layout
+    /// implies (release).
     pub base_seed: u64,
     /// Simulator configuration for every instance.
     pub config: SimConfig,
@@ -190,20 +194,44 @@ impl WorkloadSpec {
     ///
     /// Propagates generator failures; rejects zero-weight specs.
     pub fn build_instance(&self, instance: u32) -> Result<Job, RuntimeError> {
+        let (inst, program) = self.kind.build()?;
+        self.instance_with_program(instance, inst, program)
+    }
+
+    /// Builds the job for instance `instance` from an already-built
+    /// `(instantiation, program)` pair — the path taken by
+    /// [`crate::serve`]'s program cache, which builds each distinct
+    /// [`WorkloadKind`] once and stamps out instances from the cached
+    /// artifact.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero-weight specs (a silent drop would remove that
+    /// tenant's traffic without any signal).
+    pub fn instance_with_program(
+        &self,
+        instance: u32,
+        inst: Instantiation,
+        program: Vec<Instruction>,
+    ) -> Result<Job, RuntimeError> {
         if self.weight == 0 {
             return Err(RuntimeError::Spec(format!(
                 "workload `{}` has weight 0",
                 self.name
             )));
         }
-        let (inst, program) = self.kind.build()?;
         Ok(Job {
             name: format!("{}#{}", self.name, instance),
             inst,
             program,
             config: self.config.clone(),
             shots: self.shots,
-            base_seed: self.base_seed.wrapping_add(instance as u64 * self.shots),
+            // Wrapping on both the stride multiply and the add: for a
+            // base seed near u64::MAX the unchecked forms panic in
+            // debug and wrap inconsistently in release.
+            base_seed: self
+                .base_seed
+                .wrapping_add((instance as u64).wrapping_mul(self.shots)),
         })
     }
 }
@@ -353,7 +381,10 @@ impl MixedWorkload {
         // Split the tags from the jobs by move — no job (program +
         // instantiation) is cloned on the way to the engine.
         let (tags, jobs): (Vec<usize>, Vec<Job>) = self.jobs()?.into_iter().unzip();
-        let results = engine.run_jobs(&jobs)?;
+        // Workload-level percentiles merge raw duration streams across
+        // job instances, so this driver opts into retention; the raw
+        // vectors die with the `JobResult`s when this call returns.
+        let results = engine.clone().with_raw_latencies(true).run_jobs(&jobs)?;
 
         let mut per_workload: Vec<WorkloadReport> = self
             .specs
@@ -429,6 +460,22 @@ mod tests {
         let zero = WorkloadSpec::new("zero", WorkloadKind::ActiveReset { init_cycles: 10 }, 1)
             .with_weight(0);
         assert!(zero.build_instance(0).is_err());
+    }
+
+    #[test]
+    fn instance_seeding_wraps_at_u64_max() {
+        // An adversarial base seed near u64::MAX must not panic the
+        // instance-stride arithmetic; it wraps modulo 2⁶⁴.
+        let spec = WorkloadSpec::new("edge", WorkloadKind::ActiveReset { init_cycles: 10 }, 1000)
+            .with_weight(4)
+            .with_seed(u64::MAX - 1);
+        let j0 = spec.build_instance(0).unwrap();
+        let j3 = spec.build_instance(3).unwrap();
+        assert_eq!(j0.base_seed, u64::MAX - 1);
+        assert_eq!(j3.base_seed, (u64::MAX - 1).wrapping_add(3000));
+        // The per-shot seeds derived from the wrapped base also wrap.
+        assert_eq!(j0.shot_seed(1), u64::MAX);
+        assert_eq!(j0.shot_seed(2), 0);
     }
 
     #[test]

@@ -28,13 +28,31 @@ fn noisy_rb_job(shots: u64, base_seed: u64) -> Job {
         .with_seed(base_seed)
 }
 
+/// Pool sizes the suite checks against the serial reference. CI runs
+/// the suite once per fixed count via `EQASM_TEST_WORKERS=n` (a comma
+/// list also works) so a scheduler change cannot silently break the
+/// bit-identical-merge contract at any specific width; without the
+/// variable the suite covers 2 and 8.
+fn worker_counts() -> Vec<usize> {
+    std::env::var("EQASM_TEST_WORKERS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&w| w > 0)
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![2, 8])
+}
+
 #[test]
 fn aggregates_identical_across_worker_counts() {
     let job = noisy_rb_job(96, 1234);
     let reference = ShotEngine::new(1).run_job(&job).expect("runs");
     assert_eq!(reference.shots, 96);
     assert!(reference.histogram.total() == 96);
-    for workers in [2usize, 8] {
+    for workers in worker_counts() {
         let result = ShotEngine::new(workers).run_job(&job).expect("runs");
         assert_eq!(
             reference.histogram, result.histogram,
@@ -111,15 +129,63 @@ fn mixed_workload_deterministic_across_workers() {
                 .with_config(SimConfig::default().with_readout(ReadoutModel::paper_reset())),
         );
     let serial = mix.run(&ShotEngine::new(1)).expect("runs");
-    let pooled = mix.run(&ShotEngine::new(8)).expect("runs");
     assert_eq!(serial.aggregate.shots, 80);
-    assert_eq!(pooled.aggregate.shots, 80);
-    for (s, p) in serial.per_workload.iter().zip(&pooled.per_workload) {
-        assert_eq!(s.name, p.name);
-        assert_eq!(s.histogram, p.histogram, "workload {} diverged", s.name);
-        assert_eq!(s.stats, p.stats);
+    for workers in worker_counts() {
+        let pooled = mix.run(&ShotEngine::new(workers)).expect("runs");
+        assert_eq!(pooled.aggregate.shots, 80);
+        for (s, p) in serial.per_workload.iter().zip(&pooled.per_workload) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.histogram, p.histogram, "workload {} diverged", s.name);
+            assert_eq!(s.stats, p.stats);
+        }
+        assert_eq!(serial.aggregate.histogram, pooled.aggregate.histogram);
     }
-    assert_eq!(serial.aggregate.histogram, pooled.aggregate.histogram);
+}
+
+#[test]
+fn zero_batch_size_is_clamped_not_fatal() {
+    // Regression: `with_batch_size(0)` used to `assert!` inside a
+    // library builder — a malformed service request could take down
+    // the whole pool. It now clamps to 1 and runs normally.
+    let job = noisy_rb_job(32, 5);
+    let clamped = ShotEngine::new(2)
+        .with_batch_size(0)
+        .run_job(&job)
+        .expect("clamped engine runs");
+    let one = ShotEngine::new(2)
+        .with_batch_size(1)
+        .run_job(&job)
+        .expect("runs");
+    assert_eq!(clamped.histogram, one.histogram);
+    assert_eq!(clamped.stats, one.stats);
+}
+
+#[test]
+fn shot_seeding_wraps_at_u64_max() {
+    // Shots that walk the seed space across u64::MAX must wrap, not
+    // panic (debug) or collide beyond the modular layout (release).
+    let job = noisy_rb_job(64, u64::MAX - 16);
+    let a = ShotEngine::new(1).run_job(&job).expect("runs");
+    let b = ShotEngine::new(4).run_job(&job).expect("runs");
+    assert_eq!(a.histogram, b.histogram);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.histogram.total(), 64);
+}
+
+#[test]
+fn raw_latencies_are_opt_in() {
+    let job = noisy_rb_job(48, 9);
+    let spare = ShotEngine::new(2).run_job(&job).expect("runs");
+    assert!(
+        spare.latencies_ns.is_empty(),
+        "raw per-shot durations must not be retained by default"
+    );
+    assert!(spare.latency.max_ns > 0, "percentiles stay exact");
+    let retained = ShotEngine::new(2)
+        .with_raw_latencies(true)
+        .run_job(&job)
+        .expect("runs");
+    assert_eq!(retained.latencies_ns.len(), 48);
 }
 
 proptest! {

@@ -7,6 +7,9 @@
 //! eqasm-cli run      <file.eqasm> [options]  execute on the QuMA v2 simulator
 //! eqasm-cli lift     <file.eqasm>            strip timing; print the circuit
 //! eqasm-cli workload <spec> [options]        drive a built-in workload mix
+//! eqasm-cli serve    <spec> [options]        same mix through the job queue:
+//!                                            per-tenant fair scheduling with
+//!                                            streaming progress lines
 //!
 //! options for `run`:
 //!   --seed <n>       RNG seed (default 0)
@@ -16,9 +19,9 @@
 //!   --trace          print the executed-operation trace of shot 0
 //!
 //! workload specs: rabi | allxy | rb | active-reset | mix
-//! options for `workload`:
+//! options for `workload` and `serve`:
 //!   --shots <n>      shots per job instance (default 400)
-//!   --workers <n>    shot-engine worker threads (default: machine parallelism)
+//!   --workers <n>    worker threads (default: machine parallelism)
 //!   --seed <n>       base seed (default 0)
 //! ```
 
@@ -27,7 +30,10 @@ use std::process::ExitCode;
 use eqasm::asm::{disassemble_source, encoding};
 use eqasm::compiler::lift_program;
 use eqasm::prelude::*;
-use eqasm::runtime::{Job, MixedWorkload, ShotEngine, WorkloadKind, WorkloadReport, WorkloadSpec};
+use eqasm::runtime::{
+    Job, JobHandle, JobQueue, MixedWorkload, PartialResult, ServeConfig, ShotEngine, Submission,
+    WorkloadKind, WorkloadReport, WorkloadSpec,
+};
 
 fn load_instantiation(chip: &str) -> Result<Instantiation, String> {
     match chip {
@@ -41,7 +47,7 @@ fn load_instantiation(chip: &str) -> Result<Instantiation, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: eqasm-cli <asm|disasm|run|lift> <file> [--seed n] [--shots n] [--workers n] [--chip name] [--trace]\n       eqasm-cli workload <rabi|allxy|rb|active-reset|mix> [--shots n] [--workers n] [--seed n]"
+        "usage: eqasm-cli <asm|disasm|run|lift> <file> [--seed n] [--shots n] [--workers n] [--chip name] [--trace]\n       eqasm-cli <workload|serve> <rabi|allxy|rb|active-reset|mix> [--shots n] [--workers n] [--seed n]"
     );
     ExitCode::from(2)
 }
@@ -89,8 +95,13 @@ fn main() -> ExitCode {
         }
     }
 
-    if command == "workload" {
-        return match cmd_workload(target, shots.unwrap_or(400), workers, seed) {
+    if command == "workload" || command == "serve" {
+        let result = if command == "workload" {
+            cmd_workload(target, shots.unwrap_or(400), workers, seed)
+        } else {
+            cmd_serve(target, shots.unwrap_or(400), workers, seed)
+        };
+        return match result {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -250,8 +261,10 @@ fn cmd_run(
     Ok(())
 }
 
-/// Builds the named workload mix and drives it on the shot engine.
-fn cmd_workload(spec: &str, shots: u64, workers: usize, seed: u64) -> Result<(), String> {
+/// Builds the named built-in workload list: one weighted spec per
+/// traffic class, shared by the `workload` (synchronous mix) and
+/// `serve` (job queue) subcommands.
+fn built_in_specs(spec: &str, shots: u64, seed: u64) -> Result<Vec<WorkloadSpec>, String> {
     let rabi = || {
         let amplitudes: Vec<f64> = (0..8).map(|i| i as f64 / 4.0).collect();
         WorkloadSpec::new(
@@ -292,22 +305,29 @@ fn cmd_workload(spec: &str, shots: u64, workers: usize, seed: u64) -> Result<(),
         )
     };
 
-    let mix = match spec {
-        "rabi" => MixedWorkload::new().push(rabi().with_seed(seed)),
-        "allxy" => MixedWorkload::new().push(allxy().with_seed(seed)),
-        "rb" => MixedWorkload::new().push(rb().with_seed(seed)),
-        "active-reset" => MixedWorkload::new().push(reset().with_seed(seed)),
-        "mix" => MixedWorkload::new()
-            .push(rb().with_seed(seed).with_weight(4))
-            .push(allxy().with_seed(seed ^ 1).with_weight(2))
-            .push(reset().with_seed(seed ^ 2).with_weight(2))
-            .push(rabi().with_seed(seed ^ 3)),
-        other => {
-            return Err(format!(
-                "unknown workload `{other}` (expected rabi|allxy|rb|active-reset|mix)"
-            ))
-        }
-    };
+    match spec {
+        "rabi" => Ok(vec![rabi().with_seed(seed)]),
+        "allxy" => Ok(vec![allxy().with_seed(seed)]),
+        "rb" => Ok(vec![rb().with_seed(seed)]),
+        "active-reset" => Ok(vec![reset().with_seed(seed)]),
+        "mix" => Ok(vec![
+            rb().with_seed(seed).with_weight(4),
+            allxy().with_seed(seed ^ 1).with_weight(2),
+            reset().with_seed(seed ^ 2).with_weight(2),
+            rabi().with_seed(seed ^ 3),
+        ]),
+        other => Err(format!(
+            "unknown workload `{other}` (expected rabi|allxy|rb|active-reset|mix)"
+        )),
+    }
+}
+
+/// Builds the named workload mix and drives it on the shot engine.
+fn cmd_workload(spec: &str, shots: u64, workers: usize, seed: u64) -> Result<(), String> {
+    let mut mix = MixedWorkload::new();
+    for s in built_in_specs(spec, shots, seed)? {
+        mix = mix.push(s);
+    }
 
     let engine = ShotEngine::new(workers);
     let report = mix.run(&engine).map_err(|e| e.to_string())?;
@@ -339,6 +359,97 @@ fn print_workload_row(w: &WorkloadReport) {
         w.latency.p99_ns as f64 / 1e3,
         w.stats.timeline_slips,
     );
+}
+
+/// Drives the named workload through the `eqasm-serve` job queue:
+/// every spec becomes a tenant whose scheduling weight is its traffic
+/// weight, progress lines stream while the pool runs, and the final
+/// table reports queue wait vs active time per job.
+fn cmd_serve(spec: &str, shots: u64, workers: usize, seed: u64) -> Result<(), String> {
+    let specs = built_in_specs(spec, shots, seed)?;
+    let queue = JobQueue::new(ServeConfig::default().with_workers(workers));
+
+    let started = std::time::Instant::now();
+    let mut handles: Vec<JobHandle> = Vec::new();
+    for s in &specs {
+        queue.register_tenant(s.name.as_str(), s.weight, u64::MAX);
+        handles.extend(
+            queue
+                .submit(Submission::workload(s.name.as_str(), s.clone()))
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    let total: u64 = handles.iter().map(|h| h.snapshot().shots_total).sum();
+    println!(
+        "serve `{spec}`: {} jobs, {total} shots on {} workers",
+        handles.len(),
+        queue.workers()
+    );
+
+    // Streaming progress: one line whenever the folded shot count
+    // moves, with per-tenant completion fractions.
+    let mut last_done = u64::MAX;
+    loop {
+        let snaps: Vec<PartialResult> = handles.iter().map(|h| h.snapshot()).collect();
+        let done: u64 = snaps.iter().map(|s| s.shots_done).sum();
+        if done != last_done {
+            last_done = done;
+            let mut per_tenant: Vec<(String, u64, u64)> = Vec::new();
+            for s in &snaps {
+                match per_tenant
+                    .iter_mut()
+                    .find(|(t, _, _)| *t == s.tenant.as_str())
+                {
+                    Some((_, d, t)) => {
+                        *d += s.shots_done;
+                        *t += s.shots_total;
+                    }
+                    None => per_tenant.push((s.tenant.to_string(), s.shots_done, s.shots_total)),
+                }
+            }
+            let fields: Vec<String> = per_tenant
+                .iter()
+                .map(|(t, d, tot)| format!("{t} {d}/{tot}"))
+                .collect();
+            println!(
+                "[{:7.3}s] {done:>8}/{total} shots ({:3.0}%)  {}",
+                started.elapsed().as_secs_f64(),
+                done as f64 * 100.0 / total.max(1) as f64,
+                fields.join("  ")
+            );
+        }
+        if snaps.iter().all(|s| s.done) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    println!(
+        "{:>16} {:>12} {:>8} {:>11} {:>10} {:>10} {:>10}",
+        "job", "tenant", "shots", "shots/s", "p50 µs", "wait ms", "active ms"
+    );
+    for handle in &handles {
+        let snap = handle.snapshot();
+        match handle.wait() {
+            Ok(r) => println!(
+                "{:>16} {:>12} {:>8} {:>11.0} {:>10.1} {:>10.1} {:>10.1}",
+                r.name,
+                snap.tenant,
+                r.shots,
+                r.shots_per_sec,
+                r.latency.p50_ns as f64 / 1e3,
+                snap.queue_wait.as_secs_f64() * 1e3,
+                snap.active.as_secs_f64() * 1e3,
+            ),
+            Err(e) => println!("{:>16} {:>12} failed: {e}", snap.name, snap.tenant),
+        }
+    }
+    let cache = queue.cache_stats();
+    println!(
+        "program cache: {} built, {} reused ({} distinct programs)",
+        cache.misses, cache.hits, cache.entries
+    );
+    Ok(())
 }
 
 fn cmd_lift(text: &str, inst: &Instantiation) -> Result<(), String> {

@@ -19,7 +19,7 @@
 //! | [`microarch`] | `eqasm-microarch` | the QuMA v2 cycle-accurate machine |
 //! | [`compiler`] | `eqasm-compiler` | circuit IR, ASAP scheduler, counting + emitting code generators |
 //! | [`workloads`] | `eqasm-workloads` | RB, Ising, square-root, AllXY, Grover, Rabi generators |
-//! | [`runtime`] | `eqasm-runtime` | parallel shot-execution engine: jobs, worker pool, histograms, mixed workloads |
+//! | [`runtime`] | `eqasm-runtime` | parallel shot-execution engine and the `eqasm-serve` job queue: jobs, worker pool, histograms, mixed workloads, tenant-fair scheduling with streaming partial results |
 //!
 //! ## Quick start
 //!
@@ -79,6 +79,7 @@ pub mod prelude {
         Backend, Clifford, DensityBackend, NoiseModel, PureBackend, ReadoutModel, StateVector,
     };
     pub use eqasm_runtime::{
-        Histogram, Job, JobResult, MixedWorkload, ShotEngine, WorkloadKind, WorkloadSpec,
+        Histogram, Job, JobQueue, JobResult, MixedWorkload, PartialResult, ServeConfig, ShotEngine,
+        Submission, TenantId, WorkloadKind, WorkloadSpec,
     };
 }
