@@ -1,6 +1,8 @@
 //! Measures shot-engine throughput (shots/sec) at 1/2/4/8 workers on
-//! an RB workload, then runs the same traffic through the `eqasm-serve`
-//! job queue to record queue wait vs active time per job, and emits a
+//! an RB workload, runs the same traffic through the `eqasm-serve`
+//! job queue to record queue wait vs active time per job, then runs a
+//! loopback-remote section (local slots + an in-process worker daemon
+//! over the wire protocol) to price the transport, and emits a
 //! `BENCH_runtime.json` trajectory point for trend tracking.
 //!
 //! Usage: `cargo run --release -p eqasm-bench --bin throughput [shots] [out.json]`
@@ -8,7 +10,10 @@
 use eqasm_core::{Instantiation, Qubit, Topology};
 use eqasm_microarch::SimConfig;
 use eqasm_quantum::{NoiseModel, ReadoutModel};
-use eqasm_runtime::{Job, JobQueue, ServeConfig, ShotEngine, Submission};
+use eqasm_runtime::{
+    spawn_worker, ExecBackend, Job, JobQueue, LocalBackend, RemoteBackend, ServeConfig, ShotEngine,
+    Submission, WorkerConfig,
+};
 use eqasm_workloads::rb_program;
 
 fn main() {
@@ -127,9 +132,56 @@ fn main() {
         ));
     }
 
+    // Loopback-remote: the same job through a mixed pool — one local
+    // slot plus two remote slots on an in-process worker daemon. On
+    // one host this prices the wire protocol (encode + TCP + decode)
+    // against pure-local dispatch; across hosts the same code path is
+    // the cross-host sharding fabric. Results are asserted
+    // bit-identical to the engine — a benchmark that quietly computed
+    // something different would be worse than no benchmark.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let worker = spawn_worker(
+        listener,
+        WorkerConfig::default()
+            .with_name("bench-worker")
+            .with_capacity(2),
+    )
+    .expect("spawn worker");
+    let mut backends: Vec<Box<dyn ExecBackend>> = vec![Box::new(LocalBackend::new(0))];
+    let mut remote_slots = 0;
+    for backend in RemoteBackend::connect_pool(worker.addr().to_string()).expect("attach worker") {
+        remote_slots += 1;
+        backends.push(Box::new(backend));
+    }
+    let pool_size = backends.len();
+    let remote_queue =
+        JobQueue::with_backends(ServeConfig::default().with_batch_size(64), backends);
+    let started = std::time::Instant::now();
+    let handle = remote_queue
+        .submit(Submission::job("bench", job.clone()))
+        .expect("submits")
+        .remove(0);
+    let remote_result = handle.wait().expect("completes");
+    let wall = started.elapsed().as_secs_f64();
+    let reference = ShotEngine::serial()
+        .with_batch_size(64)
+        .run_job(&job)
+        .expect("reference runs");
+    assert_eq!(
+        remote_result.histogram, reference.histogram,
+        "loopback-remote run must be bit-identical to the local engine"
+    );
+    assert_eq!(remote_result.stats, reference.stats);
+    assert_eq!(remote_result.mean_prob1, reference.mean_prob1);
+    let remote_rate = shots as f64 / wall.max(1e-9);
+    println!(
+        "\nloopback-remote: 1 local + {remote_slots} remote slots, {shots} shots, {:.0} shots/s (bit-identical to engine)",
+        remote_rate
+    );
+
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"bench\": \"runtime\",\n  \"workload\": \"rb-k24\",\n  \"shots\": {shots},\n  \"host_parallelism\": {available},\n  \"points\": [\n{}\n  ],\n  \"serve\": {{\n    \"workers\": {serve_workers},\n    \"jobs\": [\n{}\n    ]\n  }}\n}}\n",
+        "{{\n  \"bench\": \"runtime\",\n  \"workload\": \"rb-k24\",\n  \"shots\": {shots},\n  \"host_parallelism\": {available},\n  \"points\": [\n{}\n  ],\n  \"serve\": {{\n    \"workers\": {serve_workers},\n    \"jobs\": [\n{}\n    ]\n  }},\n  \"remote\": {{\n    \"pool\": {pool_size},\n    \"remote_slots\": {remote_slots},\n    \"shots_per_sec\": {remote_rate:.1},\n    \"bit_identical\": true\n  }}\n}}\n",
         rows.join(",\n"),
         serve_rows.join(",\n")
     );

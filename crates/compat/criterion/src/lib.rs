@@ -8,12 +8,31 @@
 //!
 //! Measurement model: each `bench_function` first sizes the iteration
 //! count so one sample takes roughly [`TARGET_SAMPLE_NANOS`], then
-//! takes `sample_size` samples and reports the median, min and max
-//! time per iteration (plus derived throughput when configured). That
-//! is deliberately simpler than real criterion — no warm-up phases,
-//! outlier classification or HTML reports — but produces stable,
-//! comparable ns/iter numbers for trend tracking.
+//! takes `sample_size` samples and reports the median, mean, sample
+//! standard deviation, min and max time per iteration (plus derived
+//! throughput when configured). That is deliberately simpler than
+//! real criterion — no warm-up phases, outlier classification or HTML
+//! reports — but produces stable, comparable ns/iter numbers for
+//! trend tracking.
+//!
+//! ## Machine-readable output for regression gating
+//!
+//! Besides the human line, every benchmark **appends** one JSON object
+//! (per line) to `target/bench.json` (override the path with the
+//! `EQASM_BENCH_JSON` environment variable, disable with
+//! `EQASM_BENCH_JSON=0`):
+//!
+//! ```json
+//! {"id":"group/name","median_ns":123.4,"mean_ns":125.0,"stddev_ns":2.1,
+//!  "min_ns":120.9,"max_ns":130.2,"iters":100,"samples":10}
+//! ```
+//!
+//! Append semantics let one `cargo bench` run (many bench binaries,
+//! many processes) accumulate into a single file; CI deletes the file
+//! before a run and diffs the collected lines against the previous
+//! run's to gate regressions (`jq -s` turns the lines into an array).
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Rough wall-clock budget of a single sample, in nanoseconds.
@@ -144,6 +163,16 @@ where
     samples.sort_by(|a, b| a.total_cmp(b));
     let median = samples[samples.len() / 2];
     let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    // Sample (n-1) standard deviation: the regression gate wants to
+    // know whether a median shift is noise or signal, which needs the
+    // run-to-run spread, not the population formula's underestimate.
+    let stddev = if samples.len() > 1 {
+        (samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (samples.len() - 1) as f64)
+            .sqrt()
+    } else {
+        0.0
+    };
 
     let rate = |ns_per_iter: f64, n: u64| n as f64 / (ns_per_iter * 1e-9);
     let extra = match throughput {
@@ -154,8 +183,105 @@ where
         None => String::new(),
     };
     println!(
-        "bench: {id:<48} {median:>14.1} ns/iter (min {lo:.1}, max {hi:.1}, {iters} iters x {sample_size} samples){extra}"
+        "bench: {id:<48} {median:>14.1} ns/iter (mean {mean:.1} ± {stddev:.1}, min {lo:.1}, max {hi:.1}, {iters} iters x {sample_size} samples){extra}"
     );
+    record_json(
+        id,
+        &BenchRecord {
+            median,
+            mean,
+            stddev,
+            min: lo,
+            max: hi,
+            iters,
+            samples: sample_size,
+        },
+    );
+}
+
+/// One benchmark's measured figures, as written to `target/bench.json`.
+struct BenchRecord {
+    median: f64,
+    mean: f64,
+    stddev: f64,
+    min: f64,
+    max: f64,
+    iters: u64,
+    samples: usize,
+}
+
+/// Appends this benchmark's figures as one JSON line to the bench
+/// trajectory file. Failures are reported to stderr but never fail
+/// the benchmark — measurement beats bookkeeping.
+fn record_json(id: &str, r: &BenchRecord) {
+    let path = match std::env::var("EQASM_BENCH_JSON") {
+        Ok(p) if p == "0" => return,
+        Ok(p) => std::path::PathBuf::from(p),
+        Err(_) => default_bench_json_path(),
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() && std::fs::create_dir_all(parent).is_err() {
+            eprintln!(
+                "bench: cannot create {} — skipping JSON record",
+                parent.display()
+            );
+            return;
+        }
+    }
+    // Benchmark ids come from string literals in this workspace, but
+    // escape the JSON-significant characters anyway.
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"id\":\"{escaped}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"stddev_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"iters\":{},\"samples\":{}}}\n",
+        r.median, r.mean, r.stddev, r.min, r.max, r.iters, r.samples
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if written.is_err() {
+        eprintln!(
+            "bench: cannot append to {} — skipping JSON record",
+            path.display()
+        );
+    }
+}
+
+/// The default trajectory path: `<workspace>/target/bench.json`.
+///
+/// Cargo runs bench binaries with the *package* directory as CWD, so
+/// a bare `target/` would scatter per-crate files. Walk up from the
+/// package to the first ancestor holding a `Cargo.lock` (the
+/// workspace root) so every bench binary of one run appends to the
+/// same file; honor `CARGO_TARGET_DIR` when the operator moved the
+/// target directory.
+fn default_bench_json_path() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return std::path::PathBuf::from(dir).join("bench.json");
+    }
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(std::path::PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut dir = start.as_path();
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("target").join("bench.json");
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return std::path::PathBuf::from("target").join("bench.json"),
+        }
+    }
 }
 
 /// Declares a function that runs a list of benchmark functions, like

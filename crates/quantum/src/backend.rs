@@ -22,7 +22,11 @@ use crate::statevector::StateVector;
 ///
 /// All implementations are deterministic given the seed supplied at
 /// construction.
-pub trait Backend {
+///
+/// `Send` is a supertrait so machines owning a `Box<dyn Backend>` can
+/// move between threads — the shot runtime hands whole machines (not
+/// just work) to pool and backend threads.
+pub trait Backend: Send {
     /// Number of qubits in the register.
     fn num_qubits(&self) -> usize;
 

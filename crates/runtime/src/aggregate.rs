@@ -81,6 +81,15 @@ impl Histogram {
         *self.counts.entry(outcome).or_insert(0) += 1;
     }
 
+    /// Adds `count` observations of one outcome at once — the wire
+    /// decoder's path (per-occurrence [`Histogram::record`] would be
+    /// O(count) for nothing).
+    pub fn add(&mut self, outcome: BitString, count: u64) {
+        if count > 0 {
+            *self.counts.entry(outcome).or_insert(0) += count;
+        }
+    }
+
     /// Adds every count of `other` into this histogram. Merging is
     /// commutative and associative, so any merge order yields the same
     /// histogram.

@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 use eqasm_microarch::{QuMa, RunStats};
 
 use crate::aggregate::{BitString, Histogram, JobResult, LatencyStats};
+use crate::backend::BatchOut;
 use crate::error::RuntimeError;
 use crate::job::{default_batch_size, partition_shots, Job};
 
@@ -54,16 +55,15 @@ pub struct ShotEngine {
     retain_latencies: bool,
 }
 
-/// What one worker produced for one batch of one job.
-pub(crate) struct BatchOut {
+/// A completed [`BatchOut`] tagged with its merge position and the
+/// coordinator-side wall-clock window. The tag never crosses a host
+/// boundary — remote batches are stamped by the coordinator when they
+/// arrive, which only affects the (explicitly non-deterministic)
+/// timing figures.
+pub(crate) struct TaggedBatch {
     pub(crate) job: usize,
     pub(crate) batch: usize,
-    pub(crate) histogram: Histogram,
-    pub(crate) stats: RunStats,
-    pub(crate) prob1_sum: Vec<f64>,
-    pub(crate) durations_ns: Vec<u64>,
-    pub(crate) non_halted: u64,
-    pub(crate) first_failure: Option<(u64, String)>,
+    pub(crate) out: BatchOut,
     pub(crate) started_at: Instant,
     pub(crate) finished_at: Instant,
 }
@@ -165,7 +165,7 @@ impl ShotEngine {
         }
 
         let cursor = AtomicUsize::new(0);
-        let outputs: Mutex<Vec<BatchOut>> = Mutex::new(Vec::with_capacity(tasks.len()));
+        let outputs: Mutex<Vec<TaggedBatch>> = Mutex::new(Vec::with_capacity(tasks.len()));
         let load_errors: Mutex<std::collections::BTreeMap<usize, RuntimeError>> =
             Mutex::new(std::collections::BTreeMap::new());
         let worker_count = self.workers.min(tasks.len()).max(1);
@@ -204,8 +204,18 @@ impl ShotEngine {
                             }
                         }
                         let machine = &mut cached.as_mut().expect("just cached").1;
-                        let out = run_batch(machine, job, task.job, task.batch, task.range.clone());
-                        outputs.lock().expect("collector poisoned").push(out);
+                        let started_at = Instant::now();
+                        let out = run_batch(machine, job, task.range.clone());
+                        outputs
+                            .lock()
+                            .expect("collector poisoned")
+                            .push(TaggedBatch {
+                                job: task.job,
+                                batch: task.batch,
+                                out,
+                                started_at,
+                                finished_at: Instant::now(),
+                            });
                     }
                 });
             }
@@ -248,21 +258,21 @@ impl ShotEngine {
             .iter()
             .map(|job| Vec::with_capacity(job.shots as usize))
             .collect();
-        for out in outputs {
-            let r = &mut results[out.job];
-            r.histogram.merge(&out.histogram);
-            r.stats.merge(&out.stats);
-            for (acc, s) in r.mean_prob1.iter_mut().zip(&out.prob1_sum) {
+        for tagged in outputs {
+            let r = &mut results[tagged.job];
+            r.histogram.merge(&tagged.out.histogram);
+            r.stats.merge(&tagged.out.stats);
+            for (acc, s) in r.mean_prob1.iter_mut().zip(&tagged.out.prob1_sum) {
                 *acc += s;
             }
-            durations[out.job].extend_from_slice(&out.durations_ns);
-            r.non_halted += out.non_halted;
+            durations[tagged.job].extend_from_slice(&tagged.out.durations_ns);
+            r.non_halted += tagged.out.non_halted;
             if r.first_failure.is_none() {
-                r.first_failure = out.first_failure;
+                r.first_failure = tagged.out.first_failure;
             }
-            windows[out.job] = Some(match windows[out.job] {
-                None => (out.started_at, out.finished_at),
-                Some((s, f)) => (s.min(out.started_at), f.max(out.finished_at)),
+            windows[tagged.job] = Some(match windows[tagged.job] {
+                None => (tagged.started_at, tagged.finished_at),
+                Some((s, f)) => (s.min(tagged.started_at), f.max(tagged.finished_at)),
             });
         }
         for (r, window) in results.iter_mut().zip(&windows) {
@@ -322,14 +332,11 @@ pub(crate) fn build_machine(job: &Job) -> Result<QuMa, eqasm_microarch::LoadErro
     Ok(m)
 }
 
-/// Runs one contiguous shot range on a prepared machine.
-pub(crate) fn run_batch(
-    machine: &mut QuMa,
-    job: &Job,
-    job_idx: usize,
-    batch_idx: usize,
-    range: std::ops::Range<u64>,
-) -> BatchOut {
+/// Runs one contiguous shot range on a prepared machine. The
+/// deterministic fields of the returned [`BatchOut`] depend only on
+/// `(job, range)` — this is the common execution path of every
+/// backend, local or (on the far side of the socket) remote.
+pub(crate) fn run_batch(machine: &mut QuMa, job: &Job, range: std::ops::Range<u64>) -> BatchOut {
     let started_at = Instant::now();
     let n = job.inst.topology().num_qubits();
     let mut histogram = Histogram::new();
@@ -363,15 +370,12 @@ pub(crate) fn run_batch(
     }
 
     BatchOut {
-        job: job_idx,
-        batch: batch_idx,
         histogram,
         stats,
         prob1_sum,
         durations_ns,
         non_halted,
         first_failure,
-        started_at,
-        finished_at: Instant::now(),
+        elapsed_ns: started_at.elapsed().as_nanos() as u64,
     }
 }

@@ -25,6 +25,38 @@ pub enum RuntimeError {
     /// a worker thread; every poller of the handle gets this clonable
     /// form).
     Service(String),
+    /// An execution backend's transport failed (connection refused or
+    /// dropped, malformed or version-skewed frames). The *range* that
+    /// was being run is fine — the serve pool re-dispatches it to
+    /// another backend; only this backend is suspect.
+    Transport {
+        /// The failing backend's name.
+        backend: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// A submission was rejected at admission: accepting it would push
+    /// the tenant's queued-but-not-started shots past its pending cap.
+    /// Nothing was enqueued; the client should back off and resubmit.
+    AdmissionRejected {
+        /// The tenant whose backlog is full.
+        tenant: String,
+        /// Queued-but-not-started shots the tenant already has.
+        pending_shots: u64,
+        /// Shots the rejected submission would have added.
+        requested_shots: u64,
+        /// The tenant's pending-shot cap.
+        cap: u64,
+    },
+}
+
+impl RuntimeError {
+    /// True for failures of the *backend*, not the work: the shot
+    /// range that hit this error can be re-dispatched to another
+    /// backend and is expected to succeed there.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, RuntimeError::Transport { .. })
+    }
 }
 
 impl fmt::Display for RuntimeError {
@@ -37,6 +69,19 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Compile(e) => write!(f, "workload emission failed: {e}"),
             RuntimeError::Spec(msg) => write!(f, "invalid workload spec: {msg}"),
             RuntimeError::Service(msg) => write!(f, "service failure: {msg}"),
+            RuntimeError::Transport { backend, message } => {
+                write!(f, "backend `{backend}` transport failure: {message}")
+            }
+            RuntimeError::AdmissionRejected {
+                tenant,
+                pending_shots,
+                requested_shots,
+                cap,
+            } => write!(
+                f,
+                "tenant `{tenant}` rejected at admission: {pending_shots} shots pending + \
+                 {requested_shots} requested would exceed the {cap}-shot cap"
+            ),
         }
     }
 }
@@ -49,6 +94,8 @@ impl std::error::Error for RuntimeError {
             RuntimeError::Compile(e) => Some(e),
             RuntimeError::Spec(_) => None,
             RuntimeError::Service(_) => None,
+            RuntimeError::Transport { .. } => None,
+            RuntimeError::AdmissionRejected { .. } => None,
         }
     }
 }

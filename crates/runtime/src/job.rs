@@ -11,7 +11,11 @@ use eqasm_microarch::SimConfig;
 /// Shot `i` always runs under seed `base_seed + i` (wrapping), so a
 /// job's aggregate results are a pure function of the job itself —
 /// independent of worker count, scheduling order or machine reuse.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field structurally; backends use it as
+/// the machine-cache key (equal jobs are interchangeable by the purity
+/// argument above).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Job {
     /// Display name used in reports.
     pub name: String,

@@ -19,15 +19,53 @@
 //!   [`JobQueue`] with per-tenant weighted-fair scheduling (deficit
 //!   round-robin plus in-flight-shot quotas), streaming
 //!   [`PartialResult`] snapshots that are exact prefixes of the final
-//!   merge, and a program cache keyed by [`WorkloadKind`].
+//!   merge, a program cache keyed by [`WorkloadKind`], and per-tenant
+//!   pending-shot admission control;
+//! * [`ExecBackend`] — the transport-agnostic execution API: one
+//!   backend value is one execution *slot* that runs contiguous shot
+//!   ranges ([`BatchOut`] per range). [`LocalBackend`] drives a
+//!   machine on the calling thread; [`RemoteBackend`] ships ranges to
+//!   a worker daemon ([`run_worker`] / `eqasm-cli worker`) over TCP;
+//! * [`wire`] — the hand-rolled, length-prefixed, versioned binary
+//!   protocol behind [`RemoteBackend`]: explicit encoders for jobs
+//!   (instantiation, instruction stream, simulator config) and batch
+//!   results, a magic + version handshake, and typed decode errors.
 //!
-//! ## Determinism
+//! ## Determinism — including across hosts
 //!
 //! Shot `i` of a job always runs under seed `base_seed + i` on a fully
 //! reset machine, batch boundaries depend only on the shot count, and
 //! floating-point roll-ups fold in batch order — so every aggregate
 //! (histograms, statistics, mean populations) is **bit-identical** for
 //! any worker count. Only wall-clock figures vary.
+//!
+//! The backend split extends that argument across machines. Three
+//! facts carry it:
+//!
+//! 1. **A batch is a pure function of `(job, range)`** — seeds derive
+//!    from the job, every shot runs on a fully reset machine, and the
+//!    in-batch `f64` folds run in shot order on one thread, wherever
+//!    that thread is.
+//! 2. **The wire is bit-exact** — [`wire`] encodes every `f64` by IEEE
+//!    bit pattern ([`f64::to_bits`]), so a remote worker simulates the
+//!    *identical* job and returns the *identical* sums a local slot
+//!    would (property-tested over NaN payloads, signed zeros,
+//!    infinities and subnormals).
+//! 3. **The fold is placement-blind** — the serve queue folds
+//!    completed batches strictly in batch-index order (out-of-order
+//!    arrivals are stashed), so which backend ran which range, how
+//!    ranges interleaved, and even a range that failed on one backend
+//!    and was re-dispatched to another, are all invisible to the
+//!    merged aggregates and to every streaming [`PartialResult`]
+//!    prefix.
+//!
+//! Hence the cross-host guarantee: a job executed through any mix of
+//! local and remote backends — at any worker/host count, with any
+//! failover along the way — produces aggregates bit-identical to
+//! [`ShotEngine::run_job`] on one thread. A worker daemon dying
+//! mid-range loses only *work*: the coordinator re-dispatches the
+//! range (bounded retries, preferring other backends) and only ever
+//! folds complete, well-formed batch results.
 //!
 //! ## Example
 //!
@@ -54,16 +92,21 @@
 #![warn(rust_2018_idioms)]
 
 mod aggregate;
+mod backend;
 mod engine;
 mod error;
 mod job;
+mod net;
 pub mod serve;
+pub mod wire;
 mod workload;
 
 pub use aggregate::{BitString, Histogram, JobResult, LatencyStats};
+pub use backend::{BackendDescriptor, BackendKind, BatchOut, ExecBackend, LocalBackend};
 pub use engine::ShotEngine;
 pub use error::RuntimeError;
 pub use job::{default_batch_size, partition_shots, Job};
+pub use net::{ping, run_worker, spawn_worker, RemoteBackend, WorkerConfig, WorkerHandle};
 pub use serve::{
     CacheStats, JobHandle, JobQueue, PartialResult, ServeConfig, Submission, TenantId,
 };

@@ -1,0 +1,753 @@
+//! TCP transport for the wire protocol: the long-lived **worker
+//! daemon** that executes shot ranges for remote coordinators, and the
+//! [`RemoteBackend`] client that makes such a worker look like any
+//! other [`ExecBackend`] slot.
+//!
+//! ## Topology
+//!
+//! One worker daemon serves many connections; each connection is one
+//! execution *slot* (one thread, one cached machine) mirroring the
+//! local pool's one-machine-per-worker design. A coordinator that
+//! wants `n`-way parallelism on a worker opens `n` connections
+//! ([`RemoteBackend::connect_pool`] opens as many as the worker
+//! advertises in its handshake). Requests on one connection are
+//! strictly sequential — request, response, request — so there is no
+//! interleaving to get wrong and a dropped connection maps cleanly to
+//! "this slot died".
+//!
+//! ## Failure model
+//!
+//! * Handshake problems (bad magic, version skew) are typed
+//!   [`wire::ErrorMsg`] responses, then the connection closes.
+//! * A program that fails machine validation is reported as
+//!   [`wire::ErrorKind::Load`] — the coordinator fails the job, it
+//!   would fail identically everywhere.
+//! * Everything else (connection reset, truncated frame, worker
+//!   killed mid-batch) surfaces as [`RuntimeError::Transport`]; the
+//!   serve pool re-dispatches the range to another backend. A batch
+//!   is only ever folded from a complete, well-formed response, so a
+//!   worker dying mid-range can lose *work* but never corrupt a
+//!   result.
+//!
+//! Workers trust their coordinators (no authentication or transport
+//! encryption in v1 — run them on a private network; see ROADMAP).
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use eqasm_microarch::QuMa;
+
+use crate::backend::{BackendDescriptor, BackendKind, BatchOut, ExecBackend};
+use crate::engine::{build_machine, run_batch};
+use crate::error::RuntimeError;
+use crate::job::Job;
+use crate::wire::{
+    self, ErrorKind, ErrorMsg, Hello, HelloAck, RunRange, WireError, PROTOCOL_VERSION,
+};
+
+// ---------------------------------------------------------------------
+// Worker daemon
+// ---------------------------------------------------------------------
+
+/// Configuration of a worker daemon.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Self-reported name, echoed in the handshake and in backend
+    /// descriptors on the coordinator.
+    pub name: String,
+    /// Concurrent-slot capacity advertised in the handshake. The
+    /// worker does not *enforce* it — it sizes
+    /// [`RemoteBackend::connect_pool`] on the client.
+    pub capacity: usize,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            name: "eqasm-worker".to_owned(),
+            capacity: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+impl WorkerConfig {
+    /// Returns the config with the given name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Returns the config with the given advertised capacity (clamped
+    /// to at least 1).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+}
+
+/// A handle to an in-process worker daemon, used by tests, benches and
+/// embedded deployments. The CLI's `eqasm-cli worker` uses the
+/// blocking [`run_worker`] instead.
+pub struct WorkerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<(u64, TcpStream)>>>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// The address the worker is listening on (useful with a
+    /// port-0 bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Abruptly severs every open connection and stops accepting new
+    /// ones — the "worker host died mid-job" failure, as a method, so
+    /// failover paths can be tested deterministically. Clients see
+    /// transport errors on their next (or in-flight) request.
+    pub fn kill(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        for (_, conn) in self.conns.lock().expect("conn list poisoned").drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        // Unblock the accept loop so the thread exits.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        self.kill();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Starts a worker daemon on `listener` in background threads and
+/// returns a handle that stops it on drop (or explicitly via
+/// [`WorkerHandle::kill`]).
+pub fn spawn_worker(listener: TcpListener, config: WorkerConfig) -> std::io::Result<WorkerHandle> {
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let conns: Arc<Mutex<Vec<(u64, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_conns = Arc::clone(&conns);
+    let accept_config = config;
+    let accept_thread = std::thread::Builder::new()
+        .name("eqasm-worker-accept".to_owned())
+        .spawn(move || {
+            let mut next_id = 0u64;
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let id = next_id;
+                next_id += 1;
+                if let Ok(clone) = stream.try_clone() {
+                    accept_conns
+                        .lock()
+                        .expect("conn list poisoned")
+                        .push((id, clone));
+                }
+                let config = accept_config.clone();
+                let conns = Arc::clone(&accept_conns);
+                let _ = std::thread::Builder::new()
+                    .name("eqasm-worker-conn".to_owned())
+                    .spawn(move || {
+                        serve_connection(stream, &config);
+                        // Prune this connection's kill-handle clone:
+                        // a long-lived embedded worker must not leak
+                        // one duplicated fd per past connection.
+                        conns
+                            .lock()
+                            .expect("conn list poisoned")
+                            .retain(|(i, _)| *i != id);
+                    });
+            }
+        })?;
+
+    Ok(WorkerHandle {
+        addr,
+        shutdown,
+        conns,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// Runs a worker daemon on `listener`, blocking forever — the body of
+/// `eqasm-cli worker --listen <addr>`.
+///
+/// Transient `accept` failures (a client resetting mid-handshake, fd
+/// pressure during a reconnect storm) are reported to stderr and
+/// survived — a long-lived daemon must not take all its slots offline
+/// over one bad accept. Only a poisoned listener could loop here, and
+/// the backoff keeps even that from spinning a core.
+pub fn run_worker(listener: TcpListener, config: WorkerConfig) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("worker: accept failed ({e}); continuing");
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        let config = config.clone();
+        std::thread::Builder::new()
+            .name("eqasm-worker-conn".to_owned())
+            .spawn(move || serve_connection(stream, &config))?;
+    }
+    Ok(())
+}
+
+/// Sends a typed error frame, ignoring transport failures (the
+/// connection is about to close anyway).
+fn send_error(stream: &mut TcpStream, kind: ErrorKind, message: String) {
+    let msg = ErrorMsg {
+        kind,
+        version: PROTOCOL_VERSION,
+        message,
+    };
+    let _ = wire::write_frame(stream, wire::tag::ERROR, &msg.encode());
+}
+
+/// One connection = one execution slot: handshake, then a sequential
+/// request/response loop with a per-connection machine cache.
+fn serve_connection(mut stream: TcpStream, config: &WorkerConfig) {
+    let _ = stream.set_nodelay(true);
+
+    // Handshake: the first frame must be a valid, version-matched
+    // Hello — nothing else on the connection is interpreted before it.
+    match wire::read_frame(&mut stream) {
+        Ok((wire::tag::HELLO, payload)) => match Hello::decode(&payload) {
+            Ok(hello) if hello.version == PROTOCOL_VERSION => {
+                let ack = HelloAck {
+                    version: PROTOCOL_VERSION,
+                    capacity: config.capacity as u32,
+                    name: config.name.clone(),
+                };
+                if wire::write_frame(&mut stream, wire::tag::HELLO_ACK, &ack.encode()).is_err() {
+                    return;
+                }
+            }
+            Ok(hello) => {
+                send_error(
+                    &mut stream,
+                    ErrorKind::Version,
+                    format!(
+                        "worker speaks v{PROTOCOL_VERSION}, client sent v{}",
+                        hello.version
+                    ),
+                );
+                return;
+            }
+            Err(e) => {
+                send_error(&mut stream, ErrorKind::Malformed, format!("bad hello: {e}"));
+                return;
+            }
+        },
+        Ok((tag, _)) => {
+            send_error(
+                &mut stream,
+                ErrorKind::Malformed,
+                format!("expected hello, got frame tag {tag:#04x}"),
+            );
+            return;
+        }
+        Err(_) => return,
+    }
+
+    // The slot's cache: the last job's encoded bytes, the decoded job
+    // and its loaded machine. Comparing raw bytes (memcmp) decides
+    // reuse — exact, and cheaper than decoding every request.
+    let mut cached: Option<(Vec<u8>, Job, QuMa)> = None;
+
+    loop {
+        let (tag, payload) = match wire::read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(_) => return, // disconnect or garbage: drop the slot
+        };
+        match tag {
+            wire::tag::PING => {
+                if wire::write_frame(&mut stream, wire::tag::PONG, &[]).is_err() {
+                    return;
+                }
+            }
+            wire::tag::RUN_RANGE => {
+                let request = match RunRange::decode(&payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        send_error(
+                            &mut stream,
+                            ErrorKind::Malformed,
+                            format!("bad request: {e}"),
+                        );
+                        return;
+                    }
+                };
+                if request.start > request.end {
+                    send_error(
+                        &mut stream,
+                        ErrorKind::Malformed,
+                        format!("inverted range {}..{}", request.start, request.end),
+                    );
+                    return;
+                }
+                if !matches!(&cached, Some((bytes, _, _)) if *bytes == request.job_bytes) {
+                    let job = match wire::decode_job(&request.job_bytes) {
+                        Ok(job) => job,
+                        Err(e) => {
+                            send_error(&mut stream, ErrorKind::Malformed, format!("bad job: {e}"));
+                            return;
+                        }
+                    };
+                    match build_machine(&job) {
+                        Ok(machine) => cached = Some((request.job_bytes.clone(), job, machine)),
+                        Err(e) => {
+                            // Load failures are *job* failures, not
+                            // connection failures: report and keep
+                            // serving (the coordinator may send other
+                            // jobs on this slot).
+                            send_error(
+                                &mut stream,
+                                ErrorKind::Load,
+                                format!("job `{}` failed to load: {e}", job.name),
+                            );
+                            continue;
+                        }
+                    }
+                }
+                let (_, job, machine) = cached.as_mut().expect("just cached");
+                let out = run_batch(machine, job, request.start..request.end);
+                if wire::write_frame(&mut stream, wire::tag::BATCH, &wire::encode_batch_out(&out))
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            other => {
+                send_error(
+                    &mut stream,
+                    ErrorKind::Malformed,
+                    format!("unexpected frame tag {other:#04x}"),
+                );
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Remote backend (client)
+// ---------------------------------------------------------------------
+
+/// An [`ExecBackend`] that ships shot ranges to a worker daemon over
+/// one TCP connection.
+///
+/// Determinism carries over the wire by construction: the worker runs
+/// the identical `run_batch` code path on a bit-exact copy of the job
+/// (the wire encodes `f64`s by bit pattern), so the [`BatchOut`] it
+/// returns is the one a local backend would have produced.
+///
+/// On a transport failure the backend reconnects and retries the
+/// request once; if the worker is still unreachable it reports
+/// [`RuntimeError::Transport`] and the serve pool re-dispatches the
+/// range elsewhere.
+pub struct RemoteBackend {
+    addr: String,
+    name: String,
+    protocol: u16,
+    capacity: u32,
+    stream: Option<TcpStream>,
+    /// Client-side encode cache: the last job sent and its bytes, so
+    /// consecutive ranges of one job encode once.
+    encoded: Option<(Job, Vec<u8>)>,
+}
+
+impl std::fmt::Debug for RemoteBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteBackend")
+            .field("addr", &self.addr)
+            .field("name", &self.name)
+            .field("protocol", &self.protocol)
+            .field("connected", &self.stream.is_some())
+            .finish()
+    }
+}
+
+impl RemoteBackend {
+    /// Connects to a worker and performs the versioned handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Transport`] when the worker is unreachable,
+    /// does not speak the protocol (bad magic), or speaks a different
+    /// version of it.
+    pub fn connect(addr: impl Into<String>) -> Result<Self, RuntimeError> {
+        let addr = addr.into();
+        let (stream, ack) = handshake(&addr).map_err(|e| RuntimeError::Transport {
+            backend: format!("remote {addr}"),
+            message: e.to_string(),
+        })?;
+        Ok(RemoteBackend {
+            addr,
+            name: ack.name,
+            protocol: ack.version,
+            capacity: ack.capacity.max(1),
+            stream: Some(stream),
+            encoded: None,
+        })
+    }
+
+    /// Connects one backend per slot the worker advertises — the
+    /// "give me this worker's full parallelism" constructor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RemoteBackend::connect`] failures; a worker that
+    /// accepted the first connection but refuses later ones yields the
+    /// connections that did succeed (at least one).
+    pub fn connect_pool(addr: impl Into<String>) -> Result<Vec<Self>, RuntimeError> {
+        let addr = addr.into();
+        let first = RemoteBackend::connect(addr.clone())?;
+        let want = first.capacity as usize;
+        let mut pool = vec![first];
+        while pool.len() < want {
+            match RemoteBackend::connect(addr.clone()) {
+                Ok(backend) => pool.push(backend),
+                Err(_) => break, // partial pool beats no pool
+            }
+        }
+        Ok(pool)
+    }
+
+    /// The slot capacity the worker advertised.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// The worker's self-reported name.
+    pub fn worker_name(&self) -> &str {
+        &self.name
+    }
+
+    fn transport_err(&self, e: impl std::fmt::Display) -> RuntimeError {
+        RuntimeError::Transport {
+            backend: format!("{} ({})", self.name, self.addr),
+            message: e.to_string(),
+        }
+    }
+
+    /// One request/response exchange on the current stream.
+    /// `request_payload` is a pre-encoded [`RunRange`] payload.
+    fn exchange(&mut self, request_payload: &[u8]) -> Result<BatchOut, Exchange> {
+        let stream = self.stream.as_mut().ok_or(Exchange::Reconnect)?;
+        if wire::write_frame(stream, wire::tag::RUN_RANGE, request_payload).is_err() {
+            return Err(Exchange::Reconnect);
+        }
+        let (tag, payload) = match wire::read_frame(stream) {
+            Ok(frame) => frame,
+            Err(WireError::Io(_)) => return Err(Exchange::Reconnect),
+            Err(e) => return Err(Exchange::Fatal(e.to_string())),
+        };
+        match tag {
+            wire::tag::BATCH => wire::decode_batch_out(&payload)
+                .map_err(|e| Exchange::Fatal(format!("undecodable batch: {e}"))),
+            wire::tag::ERROR => {
+                let msg = ErrorMsg::decode(&payload)
+                    .map_err(|e| Exchange::Fatal(format!("undecodable error frame: {e}")))?;
+                match msg.kind {
+                    ErrorKind::Load => Err(Exchange::Load(msg.message)),
+                    _ => Err(Exchange::Fatal(msg.to_string())),
+                }
+            }
+            other => Err(Exchange::Fatal(format!(
+                "unexpected frame tag {other:#04x}"
+            ))),
+        }
+    }
+}
+
+/// Outcome classification of one exchange attempt.
+enum Exchange {
+    /// The connection is gone; reconnect and retry once.
+    Reconnect,
+    /// The peer answered with something that will not improve on
+    /// retry over this transport (protocol or load failure).
+    Fatal(String),
+    /// The worker rejected the *job* (validation failure): fail the
+    /// job, do not retry anywhere.
+    Load(String),
+}
+
+fn handshake(addr: &str) -> Result<(TcpStream, HelloAck), WireError> {
+    let mut last_err: Option<std::io::Error> = None;
+    let mut stream = None;
+    for candidate in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&candidate, Duration::from_secs(5)) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    let mut stream = stream.ok_or_else(|| {
+        WireError::Io(last_err.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "no addresses resolved",
+            )
+        }))
+    })?;
+    stream.set_nodelay(true).ok();
+    let hello = Hello {
+        version: PROTOCOL_VERSION,
+    };
+    wire::write_frame(&mut stream, wire::tag::HELLO, &hello.encode())?;
+    let (tag, payload) = wire::read_frame(&mut stream)?;
+    match tag {
+        wire::tag::HELLO_ACK => {
+            let ack = HelloAck::decode(&payload)?;
+            if ack.version != PROTOCOL_VERSION {
+                return Err(WireError::VersionMismatch {
+                    ours: PROTOCOL_VERSION,
+                    theirs: ack.version,
+                });
+            }
+            Ok((stream, ack))
+        }
+        wire::tag::ERROR => {
+            let msg = ErrorMsg::decode(&payload)?;
+            match msg.kind {
+                ErrorKind::Version => Err(WireError::VersionMismatch {
+                    ours: PROTOCOL_VERSION,
+                    theirs: msg.version,
+                }),
+                _ => Err(WireError::Remote(msg)),
+            }
+        }
+        other => Err(WireError::UnknownTag {
+            what: "handshake response",
+            tag: other,
+        }),
+    }
+}
+
+impl ExecBackend for RemoteBackend {
+    fn descriptor(&self) -> BackendDescriptor {
+        BackendDescriptor {
+            name: self.name.clone(),
+            kind: BackendKind::Remote {
+                addr: self.addr.clone(),
+                protocol: self.protocol,
+            },
+            slots: 1,
+        }
+    }
+
+    fn run_range(&mut self, job: &Job, range: Range<u64>) -> Result<BatchOut, RuntimeError> {
+        if !matches!(&self.encoded, Some((cached, _)) if cached == job) {
+            let bytes = wire::encode_job(job).map_err(|e| {
+                // An unencodable job is a caller bug, not a transport
+                // fault — surface it as a service failure.
+                RuntimeError::Service(format!("job `{}` cannot be encoded: {e}", job.name))
+            })?;
+            self.encoded = Some((job.clone(), bytes));
+        }
+        // Encode the frame payload once, borrowing the cached job
+        // bytes — for large programs those bytes dominate the
+        // request, and cloning them per batch would double the
+        // per-range memory traffic.
+        let request = RunRange::encode_parts(
+            range.start,
+            range.end,
+            &self.encoded.as_ref().expect("just encoded").1,
+        );
+
+        // One transparent reconnect: a worker that restarted between
+        // batches (or an idle connection a middlebox dropped) should
+        // not count as a backend failure.
+        for attempt in 0..2 {
+            match self.exchange(&request) {
+                Ok(out) => return Ok(out),
+                Err(Exchange::Load(message)) => {
+                    return Err(RuntimeError::Service(format!(
+                        "worker {}: {message}",
+                        self.name
+                    )))
+                }
+                Err(Exchange::Fatal(message)) => {
+                    self.stream = None;
+                    return Err(self.transport_err(message));
+                }
+                Err(Exchange::Reconnect) => {
+                    self.stream = None;
+                    if attempt == 0 {
+                        match handshake(&self.addr) {
+                            Ok((stream, ack)) => {
+                                self.name = ack.name;
+                                self.stream = Some(stream);
+                            }
+                            Err(e) => return Err(self.transport_err(e)),
+                        }
+                    }
+                }
+            }
+        }
+        Err(self.transport_err("connection lost twice running one range"))
+    }
+}
+
+/// Sends a liveness probe over a dedicated short-lived connection.
+/// Returns the worker's handshake metadata.
+///
+/// # Errors
+///
+/// [`WireError`] when the worker is unreachable or unhealthy.
+pub fn ping(addr: &str) -> Result<HelloAck, WireError> {
+    let (mut stream, ack) = handshake(addr)?;
+    wire::write_frame(&mut stream, wire::tag::PING, &[])?;
+    let (tag, _) = wire::read_frame(&mut stream)?;
+    if tag != wire::tag::PONG {
+        return Err(WireError::UnknownTag {
+            what: "ping response",
+            tag,
+        });
+    }
+    stream.flush().ok();
+    Ok(ack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spawn_local_worker(capacity: usize) -> WorkerHandle {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        spawn_worker(
+            listener,
+            WorkerConfig::default()
+                .with_name("test-worker")
+                .with_capacity(capacity),
+        )
+        .expect("spawn worker")
+    }
+
+    fn tiny_job(shots: u64) -> Job {
+        let (inst, program) = crate::WorkloadKind::ActiveReset { init_cycles: 20 }
+            .build()
+            .expect("builds");
+        Job::new("net-test", inst, program)
+            .with_shots(shots)
+            .with_seed(5)
+    }
+
+    #[test]
+    fn handshake_and_ping() {
+        let worker = spawn_local_worker(3);
+        let ack = ping(&worker.addr().to_string()).expect("pings");
+        assert_eq!(ack.name, "test-worker");
+        assert_eq!(ack.capacity, 3);
+        assert_eq!(ack.version, PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn remote_range_matches_local_range() {
+        let worker = spawn_local_worker(1);
+        let job = tiny_job(16);
+        let mut remote = RemoteBackend::connect(worker.addr().to_string()).expect("connects");
+        let mut local = crate::LocalBackend::new(0);
+        for range in [0..8u64, 8..16] {
+            let r = remote.run_range(&job, range.clone()).expect("remote runs");
+            let l = local.run_range(&job, range).expect("local runs");
+            assert_eq!(r.histogram, l.histogram);
+            assert_eq!(r.stats, l.stats);
+            assert_eq!(r.prob1_sum, l.prob1_sum, "bit-identical f64 sums");
+            assert_eq!(r.shots(), l.shots());
+        }
+    }
+
+    #[test]
+    fn connect_pool_sizes_to_advertised_capacity() {
+        let worker = spawn_local_worker(2);
+        let pool = RemoteBackend::connect_pool(worker.addr().to_string()).expect("pools");
+        assert_eq!(pool.len(), 2);
+        for backend in &pool {
+            assert_eq!(backend.worker_name(), "test-worker");
+        }
+    }
+
+    #[test]
+    fn remote_load_failure_is_not_transport() {
+        let worker = spawn_local_worker(1);
+        let bad = crate::backend::tests::unloadable_job();
+        let mut remote = RemoteBackend::connect(worker.addr().to_string()).expect("connects");
+        let err = remote.run_range(&bad, 0..1).expect_err("load fails");
+        assert!(!err.is_transport(), "{err}");
+        // The slot survives a load failure: a good job still runs.
+        let out = remote.run_range(&tiny_job(4), 0..4).expect("recovers");
+        assert_eq!(out.shots(), 4);
+    }
+
+    #[test]
+    fn killed_worker_yields_transport_error() {
+        let worker = spawn_local_worker(1);
+        let mut remote = RemoteBackend::connect(worker.addr().to_string()).expect("connects");
+        remote
+            .run_range(&tiny_job(4), 0..4)
+            .expect("first range runs");
+        worker.kill();
+        let err = remote
+            .run_range(&tiny_job(4), 0..4)
+            .expect_err("dead worker fails");
+        assert!(err.is_transport(), "{err}");
+    }
+
+    #[test]
+    fn reconnect_after_idle_disconnect() {
+        let worker = spawn_local_worker(1);
+        let mut remote = RemoteBackend::connect(worker.addr().to_string()).expect("connects");
+        // Sever just this connection (worker stays up): the next
+        // request reconnects transparently.
+        if let Some(stream) = remote.stream.take() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let out = remote.run_range(&tiny_job(4), 0..4).expect("reconnects");
+        assert_eq!(out.shots(), 4);
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let worker = spawn_local_worker(1);
+        let mut stream = TcpStream::connect(worker.addr()).expect("connects");
+        let bad_hello = Hello {
+            version: PROTOCOL_VERSION + 1,
+        };
+        wire::write_frame(&mut stream, wire::tag::HELLO, &bad_hello.encode()).unwrap();
+        let (tag, payload) = wire::read_frame(&mut stream).expect("gets answer");
+        assert_eq!(tag, wire::tag::ERROR);
+        let msg = ErrorMsg::decode(&payload).expect("typed error");
+        assert_eq!(msg.kind, ErrorKind::Version);
+        assert_eq!(msg.version, PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let worker = spawn_local_worker(1);
+        let mut stream = TcpStream::connect(worker.addr()).expect("connects");
+        wire::write_frame(&mut stream, wire::tag::HELLO, b"XXXX\x01\x00").unwrap();
+        let (tag, payload) = wire::read_frame(&mut stream).expect("gets answer");
+        assert_eq!(tag, wire::tag::ERROR);
+        let msg = ErrorMsg::decode(&payload).expect("typed error");
+        assert_eq!(msg.kind, ErrorKind::Malformed);
+    }
+}

@@ -16,7 +16,18 @@
 //!   machine stats, mean `P(|1⟩)`, `shots_done / shots_total`) that
 //!   pollers can read at any time;
 //! * a **program cache** keyed by [`WorkloadKind`], so mixed-traffic
-//!   streams stop rebuilding identical programs per job instance.
+//!   streams stop rebuilding identical programs per job instance;
+//! * a **backend pool** — dispatch drives `Box<dyn `[`ExecBackend`]`>`
+//!   slots, so the same queue schedules onto local threads
+//!   ([`crate::LocalBackend`]), remote workers
+//!   ([`crate::RemoteBackend`]) or any mix
+//!   ([`JobQueue::with_backends`]); a batch lost to a backend failure
+//!   is re-dispatched to another backend with bounded retries;
+//! * **admission control** — a per-tenant cap on queued-but-not-started
+//!   shots ([`ServeConfig::with_pending_cap`]); a submission that would
+//!   exceed it is rejected with
+//!   [`RuntimeError::AdmissionRejected`] instead of growing the queue
+//!   without bound.
 //!
 //! ## Snapshot determinism
 //!
@@ -58,10 +69,11 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use eqasm_core::{Instantiation, Instruction};
-use eqasm_microarch::{QuMa, RunStats};
+use eqasm_microarch::RunStats;
 
 use crate::aggregate::{Histogram, JobResult, LatencyStats};
-use crate::engine::{build_machine, run_batch, BatchOut};
+use crate::backend::{BackendDescriptor, ExecBackend, LocalBackend};
+use crate::engine::TaggedBatch;
 use crate::error::RuntimeError;
 use crate::job::{default_batch_size, partition_shots, Job};
 use crate::workload::{WorkloadKind, WorkloadSpec};
@@ -166,6 +178,17 @@ pub struct ServeConfig {
     /// a long-lived queue holding million-shot results must not grow
     /// by 8 bytes per executed shot.
     pub retain_latencies: bool,
+    /// Admission cap on a tenant's queued-but-not-started shots.
+    /// `u64::MAX` (the default) disables admission control. Unlike the
+    /// in-flight quota — which only *paces* a tenant — this bounds
+    /// queue memory: a runaway client that keeps submitting gets
+    /// [`RuntimeError::AdmissionRejected`] instead of growing the
+    /// queue without limit.
+    pub pending_cap: u64,
+    /// How many times a batch lost to a backend transport failure is
+    /// re-dispatched before its job is failed. Each retry prefers a
+    /// backend other than the one that just failed.
+    pub max_batch_retries: u32,
 }
 
 impl Default for ServeConfig {
@@ -176,6 +199,8 @@ impl Default for ServeConfig {
             default_weight: 1,
             default_quota: u64::MAX,
             retain_latencies: false,
+            pending_cap: u64::MAX,
+            max_batch_retries: 3,
         }
     }
 }
@@ -205,6 +230,18 @@ impl ServeConfig {
     /// Returns the config with raw per-shot latency retention.
     pub fn with_raw_latencies(mut self, retain: bool) -> Self {
         self.retain_latencies = retain;
+        self
+    }
+
+    /// Returns the config with a per-tenant pending-shot admission cap.
+    pub fn with_pending_cap(mut self, cap: u64) -> Self {
+        self.pending_cap = cap;
+        self
+    }
+
+    /// Returns the config with a batch re-dispatch retry limit.
+    pub fn with_max_batch_retries(mut self, retries: u32) -> Self {
+        self.max_batch_retries = retries;
         self
     }
 }
@@ -389,6 +426,12 @@ struct PendingBatch {
     job: usize,
     batch: usize,
     range: std::ops::Range<u64>,
+    /// *Distinct* backends this batch has failed on (bounded by the
+    /// pool size). Its length is the retry budget spent: two dead
+    /// backends ping-ponging one batch must not burn the budget a
+    /// healthy third backend would clear, so repeat failures on a
+    /// backend already in this list are free.
+    failed_on: Vec<usize>,
 }
 
 impl PendingBatch {
@@ -397,14 +440,17 @@ impl PendingBatch {
     }
 }
 
-/// A batch a worker has been granted, with everything needed to run it
-/// outside the queue lock.
+/// A batch a backend has been granted, with everything needed to run
+/// it outside the queue lock.
 struct DispatchedTask {
     job_id: usize,
     batch: usize,
     range: std::ops::Range<u64>,
     job: Arc<Job>,
     tenant: usize,
+    /// Distinct backends this batch had already failed on when
+    /// granted (carried so a re-failure keeps the history).
+    failed_on: Vec<usize>,
 }
 
 impl DispatchedTask {
@@ -429,6 +475,10 @@ struct TenantState {
     inflight: u64,
     /// Shots completed, for fairness accounting.
     shots_done: u64,
+    /// Queued-but-not-started shots (the admission-control ledger).
+    pending_shots: u64,
+    /// Admission cap on `pending_shots`.
+    pending_cap: u64,
 }
 
 /// Batch-index-ordered accumulation of one job's completed batches.
@@ -437,7 +487,7 @@ struct PartialState {
     folded: usize,
     /// Completed batches waiting for their prefix (keyed by batch
     /// index).
-    stash: BTreeMap<usize, BatchOut>,
+    stash: BTreeMap<usize, TaggedBatch>,
     shots_done: u64,
     histogram: Histogram,
     stats: RunStats,
@@ -466,19 +516,22 @@ impl PartialState {
 
     /// Stashes a completed batch and folds the contiguous prefix —
     /// the same fold, in the same order, as the engine's final merge.
-    fn absorb(&mut self, out: BatchOut) {
-        self.stash.insert(out.batch, out);
+    /// Whether a stashed batch came from a local thread or across a
+    /// socket is invisible here: its deterministic fields are
+    /// bit-identical either way.
+    fn absorb(&mut self, tagged: TaggedBatch) {
+        self.stash.insert(tagged.batch, tagged);
         while let Some(next) = self.stash.remove(&self.folded) {
-            self.shots_done += next.durations_ns.len() as u64;
-            self.histogram.merge(&next.histogram);
-            self.stats.merge(&next.stats);
-            for (acc, s) in self.prob1_sum.iter_mut().zip(&next.prob1_sum) {
+            self.shots_done += next.out.durations_ns.len() as u64;
+            self.histogram.merge(&next.out.histogram);
+            self.stats.merge(&next.out.stats);
+            for (acc, s) in self.prob1_sum.iter_mut().zip(&next.out.prob1_sum) {
                 *acc += s;
             }
-            self.durations_ns.extend_from_slice(&next.durations_ns);
-            self.non_halted += next.non_halted;
+            self.durations_ns.extend_from_slice(&next.out.durations_ns);
+            self.non_halted += next.out.non_halted;
             if self.first_failure.is_none() {
-                self.first_failure = next.first_failure;
+                self.first_failure = next.out.first_failure;
             }
             self.window = Some(match self.window {
                 None => (next.started_at, next.finished_at),
@@ -529,6 +582,10 @@ struct QueueState {
     /// enqueued, so one credit always affords one batch and a full
     /// scheduler pass is O(tenants).
     quantum_unit: u64,
+    /// Backend slots still running their dispatch loop. When the last
+    /// one retires with work outstanding, the queue fails the
+    /// remaining jobs rather than hanging their pollers.
+    active_backends: usize,
     config: ServeConfig,
 }
 
@@ -542,6 +599,7 @@ impl QueueState {
             cache: ProgramCache::new(),
             pending: 0,
             quantum_unit: 1,
+            active_backends: 1,
             config,
         }
     }
@@ -562,6 +620,8 @@ impl QueueState {
             credited: false,
             inflight: 0,
             shots_done: 0,
+            pending_shots: 0,
+            pending_cap: self.config.pending_cap,
         });
         self.tenant_index.insert(id.clone(), idx);
         idx
@@ -587,12 +647,20 @@ impl QueueState {
             failed: None,
         };
         self.jobs.push(entry);
+        if self.active_backends == 0 && self.jobs[job_id].batches_total > 0 {
+            // Every backend already retired: accepting the job would
+            // hang its pollers forever. Fail it at submission.
+            self.jobs[job_id].failed = Some("no execution backends remain in the pool".to_owned());
+            return job_id;
+        }
         for (b, range) in ranges.into_iter().enumerate() {
             self.quantum_unit = self.quantum_unit.max(range.end - range.start);
+            self.tenants[tenant].pending_shots += range.end - range.start;
             self.tenants[tenant].queue.push_back(PendingBatch {
                 job: job_id,
                 batch: b,
                 range,
+                failed_on: Vec::new(),
             });
             self.pending += 1;
         }
@@ -604,7 +672,8 @@ impl QueueState {
         job_id
     }
 
-    /// Deficit-round-robin pick of the next batch to run.
+    /// Deficit-round-robin pick of the next batch to run on backend
+    /// `backend_id`.
     ///
     /// Visiting a tenant credits its deficit once per ring visit with
     /// `weight × quantum_unit` shots; a batch is granted by spending
@@ -614,11 +683,18 @@ impl QueueState {
     /// weight. Idle tenants forfeit their credit (classic DRR), and a
     /// tenant at its in-flight-shot quota is skipped without losing
     /// banked credit.
-    fn next_task(&mut self) -> Option<DispatchedTask> {
+    ///
+    /// A batch whose last attempt failed on `backend_id` is not handed
+    /// back to it while another backend is alive (it is rotated to the
+    /// back of its tenant's queue for someone else) — re-dispatch goes
+    /// *to another backend*, falling back to self-retry only when this
+    /// is the last slot standing.
+    fn next_task(&mut self, backend_id: usize) -> Option<DispatchedTask> {
         if self.pending == 0 || self.tenants.is_empty() {
             return None;
         }
         let n = self.tenants.len();
+        let exclude_self = self.active_backends > 1;
         // One credit always affords one batch (quantum_unit ≥ any
         // batch cost), so if a full pass over the ring grants nothing,
         // every queue is empty or quota-blocked.
@@ -626,6 +702,29 @@ impl QueueState {
             let idx = self.ring_cursor % n;
             let quantum = (self.tenants[idx].weight as u64).saturating_mul(self.quantum_unit);
             let t = &mut self.tenants[idx];
+            if exclude_self {
+                // Rotate batches whose *most recent* failure was on
+                // this backend to the back; if that is the whole
+                // queue, leave the tenant for the other backends this
+                // visit. Excluding by the full failure history would
+                // risk a batch every living backend once failed being
+                // skipped by all of them forever; excluding the last
+                // failer alone guarantees someone is always eligible.
+                let len = t.queue.len();
+                let mut rotated = 0;
+                while rotated < len
+                    && matches!(t.queue.front(), Some(b) if b.failed_on.last() == Some(&backend_id))
+                {
+                    let b = t.queue.pop_front().expect("front exists");
+                    t.queue.push_back(b);
+                    rotated += 1;
+                }
+                if len > 0 && rotated == len {
+                    t.credited = false;
+                    self.ring_cursor += 1;
+                    continue;
+                }
+            }
             let Some(head) = t.queue.front() else {
                 t.deficit = 0;
                 t.credited = false;
@@ -650,6 +749,7 @@ impl QueueState {
             if t.deficit >= cost {
                 t.deficit -= cost;
                 t.inflight += cost;
+                t.pending_shots = t.pending_shots.saturating_sub(cost);
                 let b = t.queue.pop_front().expect("head exists");
                 self.pending -= 1;
                 let entry = &self.jobs[b.job];
@@ -659,6 +759,7 @@ impl QueueState {
                     range: b.range,
                     job: Arc::clone(&entry.job),
                     tenant: idx,
+                    failed_on: b.failed_on,
                 });
             }
             t.credited = false;
@@ -669,22 +770,30 @@ impl QueueState {
 
     /// Folds a completed batch back in and finalizes the job when its
     /// last batch lands.
-    fn complete(&mut self, task: &DispatchedTask, out: BatchOut) {
+    fn complete(&mut self, task: &DispatchedTask, tagged: TaggedBatch) {
         let t = &mut self.tenants[task.tenant];
         t.inflight = t.inflight.saturating_sub(task.cost());
         t.shots_done += task.cost();
         let entry = &mut self.jobs[task.job_id];
-        entry.partial.absorb(out);
+        entry.partial.absorb(tagged);
         if entry.partial.folded == entry.batches_total && entry.final_result.is_none() {
             self.finalize(task.job_id);
         }
     }
 
-    /// Marks `job_id` failed (program load error), cancels its pending
-    /// batches and releases the failing task's in-flight shots.
+    /// Marks `job_id` failed (program load error, retries exhausted),
+    /// cancels its pending batches and releases the failing task's
+    /// in-flight shots.
     fn fail(&mut self, task: &DispatchedTask, message: String) {
         let t = &mut self.tenants[task.tenant];
         t.inflight = t.inflight.saturating_sub(task.cost());
+        let cancelled_shots: u64 = t
+            .queue
+            .iter()
+            .filter(|b| b.job == task.job_id)
+            .map(|b| b.cost())
+            .sum();
+        t.pending_shots = t.pending_shots.saturating_sub(cancelled_shots);
         let before = t.queue.len();
         t.queue.retain(|b| b.job != task.job_id);
         let cancelled = before - t.queue.len();
@@ -693,6 +802,92 @@ impl QueueState {
         if entry.failed.is_none() && entry.final_result.is_none() {
             entry.failed = Some(message);
         }
+    }
+
+    /// Puts a batch whose backend failed back at the head of its
+    /// tenant's queue for re-dispatch (to a *different* backend while
+    /// one is alive — see [`QueueState::next_task`]). The retry
+    /// budget counts **distinct** failing backends: a repeat failure
+    /// on a backend already in the history is free, so two dead slots
+    /// ping-ponging a batch cannot exhaust the budget a healthy slot
+    /// would clear (the dead slots retire after their own consecutive
+    /// failure limit instead). When the batch has failed on more than
+    /// `max_batch_retries` distinct backends the job is failed.
+    fn requeue(&mut self, task: &DispatchedTask, backend_id: usize, message: &str) {
+        let mut failed_on = task.failed_on.clone();
+        if !failed_on.contains(&backend_id) {
+            failed_on.push(backend_id);
+        } else {
+            // Keep the exclusion (`next_task` shuns the most recent
+            // failer) pointing at this backend.
+            failed_on.retain(|&b| b != backend_id);
+            failed_on.push(backend_id);
+        }
+        if failed_on.len() as u32 > self.config.max_batch_retries {
+            self.fail(
+                task,
+                format!(
+                    "batch {} of job `{}` failed on {} distinct backends (last: {message})",
+                    task.batch,
+                    task.job.name,
+                    failed_on.len()
+                ),
+            );
+            return;
+        }
+        if self.jobs[task.job_id].done() {
+            // The job already failed through another batch; just
+            // release the in-flight shots.
+            let t = &mut self.tenants[task.tenant];
+            t.inflight = t.inflight.saturating_sub(task.cost());
+            return;
+        }
+        let t = &mut self.tenants[task.tenant];
+        t.inflight = t.inflight.saturating_sub(task.cost());
+        t.pending_shots += task.cost();
+        t.queue.push_front(PendingBatch {
+            job: task.job_id,
+            batch: task.batch,
+            range: task.range.clone(),
+            failed_on,
+        });
+        self.pending += 1;
+    }
+
+    /// Removes a retired backend slot from the active count. If it was
+    /// the last, every unfinished job is failed — with no slots left
+    /// nothing will ever complete them, and `wait()`ing pollers must
+    /// get an error rather than a hang.
+    fn retire_backend(&mut self) {
+        self.active_backends = self.active_backends.saturating_sub(1);
+        if self.active_backends > 0 {
+            return;
+        }
+        for t in &mut self.tenants {
+            t.queue.clear();
+            t.pending_shots = 0;
+            t.inflight = 0;
+        }
+        self.pending = 0;
+        for entry in &mut self.jobs {
+            if !entry.done() {
+                entry.failed = Some("every execution backend failed; job abandoned".to_owned());
+            }
+        }
+    }
+
+    /// Admission check for `requested` new shots from tenant `slot`.
+    fn admit(&self, slot: usize, requested: u64) -> Result<(), RuntimeError> {
+        let t = &self.tenants[slot];
+        if t.pending_shots.saturating_add(requested) > t.pending_cap {
+            return Err(RuntimeError::AdmissionRejected {
+                tenant: t.id.as_str().to_owned(),
+                pending_shots: t.pending_shots,
+                requested_shots: requested,
+                cap: t.pending_cap,
+            });
+        }
+        Ok(())
     }
 
     /// Seals a fully-folded job into its final [`JobResult`] —
@@ -876,47 +1071,85 @@ impl JobHandle {
 }
 
 /// The job-queue front end: accepts [`Submission`]s, schedules their
-/// shot batches across a background worker pool by weighted-fair
+/// shot batches across a pool of execution backends by weighted-fair
 /// deficit round-robin over tenants, and exposes streaming
 /// [`PartialResult`] snapshots through [`JobHandle`]s.
+///
+/// The pool is `Box<dyn `[`ExecBackend`]`>` slots — all local threads
+/// ([`JobQueue::new`]), or any mix of local and remote workers
+/// ([`JobQueue::with_backends`]). Batch-index-ordered folding makes
+/// the mix invisible to results: aggregates and partial prefixes are
+/// bit-identical whatever subset of the pool ran which ranges.
 ///
 /// Dropping the queue shuts the pool down; jobs still queued or
 /// running at that point report [`RuntimeError::Service`] from
 /// [`JobHandle::wait`].
 pub struct JobQueue {
     shared: Arc<Shared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Joined on shutdown. Behind a mutex so [`JobQueue::shutdown`]
+    /// can take `&self` — the flag and condvars already do.
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    descriptors: Vec<BackendDescriptor>,
 }
 
 impl JobQueue {
-    /// Starts a queue with `config.workers` background workers.
+    /// Starts a queue with `config.workers` local execution slots
+    /// (`0` = the machine's available parallelism).
     pub fn new(config: ServeConfig) -> Self {
         let worker_count = if config.workers == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             config.workers
         };
+        let backends = (0..worker_count)
+            .map(|i| Box::new(LocalBackend::new(i)) as Box<dyn ExecBackend>)
+            .collect();
+        JobQueue::with_backends(config, backends)
+    }
+
+    /// Starts a queue over an explicit backend pool — the cross-host
+    /// constructor. Each backend is one dispatch slot driven by its
+    /// own thread; an empty pool is upgraded to one local slot (a
+    /// queue with no way to execute would hang every submission).
+    pub fn with_backends(config: ServeConfig, mut backends: Vec<Box<dyn ExecBackend>>) -> Self {
+        if backends.is_empty() {
+            backends.push(Box::new(LocalBackend::new(0)));
+        }
+        let descriptors: Vec<BackendDescriptor> = backends.iter().map(|b| b.descriptor()).collect();
+        let mut state = QueueState::new(config);
+        state.active_backends = backends.len();
         let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState::new(config)),
+            state: Mutex::new(state),
             work_ready: Condvar::new(),
             progress: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
-        let workers = (0..worker_count)
-            .map(|i| {
+        let workers = backends
+            .into_iter()
+            .enumerate()
+            .map(|(i, backend)| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("eqasm-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || backend_loop(&shared, backend, i))
                     .expect("spawn serve worker")
             })
             .collect();
-        JobQueue { shared, workers }
+        JobQueue {
+            shared,
+            workers: Mutex::new(workers),
+            descriptors,
+        }
     }
 
-    /// The number of background workers.
+    /// The number of execution slots the pool started with.
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.descriptors.len()
+    }
+
+    /// Descriptors of the pool's backends, in slot order.
+    pub fn backends(&self) -> &[BackendDescriptor] {
+        &self.descriptors
     }
 
     /// Sets (or updates) a tenant's scheduling weight and
@@ -934,6 +1167,18 @@ impl JobQueue {
         state.tenants[slot].quota = quota;
     }
 
+    /// Sets (or updates) a tenant's pending-shot admission cap,
+    /// overriding [`ServeConfig::pending_cap`] for this tenant. The
+    /// cap bounds *queued-but-not-started* shots: work already
+    /// dispatched is unaffected, and a lowered cap only applies to
+    /// future submissions.
+    pub fn set_pending_cap(&self, id: impl Into<TenantId>, cap: u64) {
+        let id = id.into();
+        let mut state = self.shared.state.lock().expect("queue state poisoned");
+        let slot = state.tenant_slot(&id);
+        state.tenants[slot].pending_cap = cap;
+    }
+
     /// Accepts a submission and returns one [`JobHandle`] per job it
     /// expands to: exactly one for a [`Submission::job`], the spec's
     /// `weight` instances for a [`Submission::workload`] (all sharing
@@ -941,7 +1186,12 @@ impl JobQueue {
     ///
     /// # Errors
     ///
-    /// Propagates spec/build failures; nothing is enqueued on error.
+    /// Propagates spec/build failures, and rejects the whole
+    /// submission with [`RuntimeError::AdmissionRejected`] when the
+    /// tenant's queued-but-not-started shots plus this submission
+    /// would exceed its pending cap (admission is all-or-nothing: a
+    /// spec never enqueues a partial instance set). Nothing is
+    /// enqueued on error.
     pub fn submit(
         &self,
         submission: impl Into<Submission>,
@@ -973,8 +1223,10 @@ impl JobQueue {
                     .collect::<Result<Vec<Job>, RuntimeError>>()?
             }
         };
+        let requested: u64 = jobs.iter().fold(0u64, |acc, j| acc.saturating_add(j.shots));
         let mut state = self.shared.state.lock().expect("queue state poisoned");
         let tenant = state.tenant_slot(&submission.tenant);
+        state.admit(tenant, requested)?;
         let handles = jobs
             .into_iter()
             .map(|job| JobHandle {
@@ -1007,7 +1259,13 @@ impl JobQueue {
 
     /// Stops the workers. Jobs not yet finished stay unfinished;
     /// their handles report a service error from [`JobHandle::wait`].
-    pub fn shutdown(&mut self) {
+    ///
+    /// Takes `&self`: the flag and condvars already live behind the
+    /// shared `Arc`, so a queue cloned into handles or shared across
+    /// threads can be shut down without exclusive ownership —
+    /// consistent with every other method on the pool API. Safe to
+    /// call more than once; later calls are no-ops.
+    pub fn shutdown(&self) {
         {
             // The flag must flip while holding the state mutex:
             // workers and pollers check it under the lock before
@@ -1020,7 +1278,8 @@ impl JobQueue {
         }
         self.shared.work_ready.notify_all();
         self.shared.progress.notify_all();
-        for handle in self.workers.drain(..) {
+        let handles = std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
+        for handle in handles {
             let _ = handle.join();
         }
     }
@@ -1032,10 +1291,21 @@ impl Drop for JobQueue {
     }
 }
 
-/// One background worker: pull a batch under the lock, run it outside
-/// the lock on a per-job cached machine, fold the result back in.
-fn worker_loop(shared: &Shared) {
-    let mut cached: Option<(usize, QuMa)> = None;
+/// A backend retires after this many *consecutive* transport failures
+/// — it is presumed dead, and keeping it in the ring would burn one
+/// retry per batch it touches.
+const BACKEND_FAILURE_LIMIT: u32 = 3;
+
+/// One dispatch slot: pull a batch under the lock, run it on this
+/// slot's backend outside the lock, fold the result back in.
+///
+/// Failure handling: a transport error requeues the batch for
+/// re-dispatch (preferring other backends) and counts against this
+/// backend's health; any other error is a property of the *job*
+/// (program validation) and fails it. A backend that fails
+/// [`BACKEND_FAILURE_LIMIT`] times in a row retires from the pool.
+fn backend_loop(shared: &Shared, mut backend: Box<dyn ExecBackend>, backend_id: usize) {
+    let mut consecutive_failures = 0u32;
     loop {
         let task = {
             let mut state = shared.state.lock().expect("queue state poisoned");
@@ -1043,47 +1313,64 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                if let Some(task) = state.next_task() {
+                if let Some(task) = state.next_task(backend_id) {
                     break task;
                 }
                 state = shared.work_ready.wait(state).expect("queue state poisoned");
             }
         };
 
-        if !matches!(&cached, Some((j, _)) if *j == task.job_id) {
-            match build_machine(&task.job) {
-                Ok(machine) => cached = Some((task.job_id, machine)),
-                Err(source) => {
-                    let message = RuntimeError::Load {
-                        job: task.job.name.clone(),
-                        source,
-                    }
-                    .to_string();
-                    let mut state = shared.state.lock().expect("queue state poisoned");
-                    state.fail(&task, message);
-                    drop(state);
-                    shared.work_ready.notify_all();
-                    shared.progress.notify_all();
-                    continue;
+        // The batch itself runs outside the queue lock — on a local
+        // backend this is the machine loop, on a remote one the full
+        // request/response round trip.
+        match backend.run_range(&task.job, task.range.clone()) {
+            Ok(out) => {
+                consecutive_failures = 0;
+                let started_at = Instant::now()
+                    .checked_sub(Duration::from_nanos(out.elapsed_ns))
+                    .unwrap_or_else(Instant::now);
+                let tagged = TaggedBatch {
+                    job: task.job_id,
+                    batch: task.batch,
+                    out,
+                    started_at,
+                    finished_at: Instant::now(),
+                };
+                let mut state = shared.state.lock().expect("queue state poisoned");
+                state.complete(&task, tagged);
+                drop(state);
+                // Completion both frees quota (wake workers) and may
+                // have finished a job (wake pollers).
+                shared.work_ready.notify_all();
+                shared.progress.notify_all();
+            }
+            Err(err) if err.is_transport() => {
+                consecutive_failures += 1;
+                let retire = consecutive_failures >= BACKEND_FAILURE_LIMIT;
+                let mut state = shared.state.lock().expect("queue state poisoned");
+                state.requeue(&task, backend_id, &err.to_string());
+                if retire {
+                    state.retire_backend();
+                }
+                drop(state);
+                // The requeued batch must wake the *other* slots (this
+                // one will skip it), and retirement may have failed
+                // jobs pollers are waiting on.
+                shared.work_ready.notify_all();
+                shared.progress.notify_all();
+                if retire {
+                    return;
                 }
             }
+            Err(err) => {
+                consecutive_failures = 0;
+                let mut state = shared.state.lock().expect("queue state poisoned");
+                state.fail(&task, err.to_string());
+                drop(state);
+                shared.work_ready.notify_all();
+                shared.progress.notify_all();
+            }
         }
-        let machine = &mut cached.as_mut().expect("just cached").1;
-        let out = run_batch(
-            machine,
-            &task.job,
-            task.job_id,
-            task.batch,
-            task.range.clone(),
-        );
-
-        let mut state = shared.state.lock().expect("queue state poisoned");
-        state.complete(&task, out);
-        drop(state);
-        // Completion both frees quota (wake workers) and may have
-        // finished a job (wake pollers).
-        shared.work_ready.notify_all();
-        shared.progress.notify_all();
     }
 }
 
@@ -1120,7 +1407,7 @@ mod tests {
         let mut state = loaded_state(&[3, 1], &[u64::MAX, u64::MAX], 400);
         let mut granted = [0u64; 2];
         for _ in 0..400 {
-            let task = state.next_task().expect("backlog remains");
+            let task = state.next_task(0).expect("backlog remains");
             granted[task.tenant] += task.cost();
             // Complete immediately: quotas never bind.
             let t = &mut state.tenants[task.tenant];
@@ -1138,20 +1425,20 @@ mod tests {
     fn drr_quota_bounds_inflight_shots() {
         // Quota of 16 shots = two 8-shot batches in flight at most.
         let mut state = loaded_state(&[1], &[16], 32);
-        let a = state.next_task().expect("first batch fits quota");
-        let b = state.next_task().expect("second batch fits quota");
+        let a = state.next_task(0).expect("first batch fits quota");
+        let b = state.next_task(0).expect("second batch fits quota");
         assert_eq!(state.tenants[0].inflight, 16);
         assert!(
-            state.next_task().is_none(),
+            state.next_task(0).is_none(),
             "third batch must be quota-blocked"
         );
         // Completing one batch frees quota for exactly one more.
         let t = &mut state.tenants[0];
         t.inflight -= a.cost();
         t.shots_done += a.cost();
-        let c = state.next_task().expect("freed quota readmits work");
+        let c = state.next_task(0).expect("freed quota readmits work");
         assert_eq!(state.tenants[0].inflight, 16);
-        assert!(state.next_task().is_none());
+        assert!(state.next_task(0).is_none());
         drop((b, c));
     }
 
@@ -1163,17 +1450,17 @@ mod tests {
         let mut state = loaded_state(&[1], &[4], 3);
         for _ in 0..3 {
             let task = state
-                .next_task()
+                .next_task(0)
                 .expect("a lone batch dispatches despite a tiny quota");
             assert!(
-                state.next_task().is_none(),
+                state.next_task(0).is_none(),
                 "second batch stays blocked while one is in flight"
             );
             let t = &mut state.tenants[task.tenant];
             t.inflight -= task.cost();
             t.shots_done += task.cost();
         }
-        assert!(state.next_task().is_none(), "queue drained");
+        assert!(state.next_task(0).is_none(), "queue drained");
         assert_eq!(state.tenants[0].shots_done, 24);
     }
 
@@ -1183,7 +1470,7 @@ mod tests {
         // Drain tenant 0 entirely; its banked deficit must reset when
         // its queue empties, not fund a future burst.
         while state.tenants[0].queue.front().is_some() {
-            let task = state.next_task().expect("work pending");
+            let task = state.next_task(0).expect("work pending");
             let t = &mut state.tenants[task.tenant];
             t.inflight -= task.cost();
             t.shots_done += task.cost();
@@ -1191,7 +1478,7 @@ mod tests {
                 break;
             }
         }
-        while state.next_task().is_some() {
+        while state.next_task(0).is_some() {
             let t = &mut state.tenants[1];
             t.inflight = 0;
         }
@@ -1210,15 +1497,21 @@ mod tests {
         let job_id = state.enqueue_job(slot, job.clone());
 
         let mut tasks = Vec::new();
-        while let Some(task) = state.next_task() {
+        while let Some(task) = state.next_task(0) {
             tasks.push(task);
         }
         assert_eq!(tasks.len(), 8);
 
-        let mut machine = build_machine(&job).expect("loads");
-        let mut outs: Vec<BatchOut> = tasks
+        let mut machine = crate::engine::build_machine(&job).expect("loads");
+        let mut outs: Vec<TaggedBatch> = tasks
             .iter()
-            .map(|t| run_batch(&mut machine, &job, t.job_id, t.batch, t.range.clone()))
+            .map(|t| TaggedBatch {
+                job: t.job_id,
+                batch: t.batch,
+                out: crate::engine::run_batch(&mut machine, &job, t.range.clone()),
+                started_at: Instant::now(),
+                finished_at: Instant::now(),
+            })
             .collect();
         outs.reverse();
         let reversed_tasks: Vec<&DispatchedTask> = tasks.iter().rev().collect();
@@ -1247,6 +1540,163 @@ mod tests {
     }
 
     #[test]
+    fn admission_cap_is_a_pending_shot_ledger() {
+        // Deterministic runaway-client regression (no threads): a
+        // tenant may queue up to the cap, is rejected beyond it, and
+        // dispatching work frees admission capacity again.
+        let mut state = QueueState::new(
+            ServeConfig::default()
+                .with_batch_size(8)
+                .with_pending_cap(24),
+        );
+        let slot = state.tenant_slot(&TenantId::new("runaway"));
+
+        assert!(state.admit(slot, 16).is_ok());
+        state.enqueue_job(slot, tiny_job("a", 16));
+        assert_eq!(state.tenants[slot].pending_shots, 16);
+
+        assert!(state.admit(slot, 8).is_ok(), "exactly at cap admits");
+        state.enqueue_job(slot, tiny_job("b", 8));
+
+        let err = state.admit(slot, 8).expect_err("beyond cap rejects");
+        match err {
+            RuntimeError::AdmissionRejected {
+                tenant,
+                pending_shots,
+                requested_shots,
+                cap,
+            } => {
+                assert_eq!(tenant, "runaway");
+                assert_eq!(pending_shots, 24);
+                assert_eq!(requested_shots, 8);
+                assert_eq!(cap, 24);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+
+        // Another tenant has its own ledger.
+        let polite = state.tenant_slot(&TenantId::new("polite"));
+        assert!(state.admit(polite, 24).is_ok());
+
+        // Dispatching one batch moves 8 shots from pending to
+        // in-flight: the tenant admits again.
+        let task = state.next_task(0).expect("work pending");
+        assert_eq!(state.tenants[slot].pending_shots, 16);
+        assert!(state.admit(slot, 8).is_ok());
+        drop(task);
+    }
+
+    #[test]
+    fn requeued_batch_avoids_failing_backend_until_last() {
+        // Two active backends: a batch that failed on backend 0 must
+        // not be handed back to it while backend 1 is alive — but a
+        // lone surviving backend does retry its own failures.
+        let mut state = QueueState::new(ServeConfig::default().with_batch_size(8));
+        state.active_backends = 2;
+        let slot = state.tenant_slot(&TenantId::new("t"));
+        state.enqueue_job(slot, tiny_job("fo", 8));
+
+        let task = state.next_task(0).expect("dispatches");
+        state.requeue(&task, 0, "connection reset");
+        assert_eq!(state.pending, 1);
+        assert_eq!(state.tenants[slot].pending_shots, 8);
+
+        assert!(
+            state.next_task(0).is_none(),
+            "failing backend must not get its batch back"
+        );
+        let retry = state.next_task(1).expect("other backend takes it");
+        assert_eq!(retry.failed_on, [0]);
+
+        // Backend 1 also fails it; backend 1 then retires, leaving
+        // only backend 0 — which may now self-retry.
+        state.requeue(&retry, 1, "connection reset");
+        state.retire_backend();
+        assert_eq!(state.active_backends, 1);
+        let last = state.next_task(0).expect("last backend self-retries");
+        assert_eq!(last.failed_on, [0, 1]);
+    }
+
+    #[test]
+    fn dead_backend_ping_pong_does_not_burn_retry_budget() {
+        // Regression: two dead backends alternating failures on one
+        // batch must not exhaust a budget a healthy third backend
+        // would clear — only *distinct* failing backends count.
+        let mut state = QueueState::new(
+            ServeConfig::default()
+                .with_batch_size(8)
+                .with_max_batch_retries(3),
+        );
+        state.active_backends = 3;
+        let slot = state.tenant_slot(&TenantId::new("t"));
+        let job_id = state.enqueue_job(slot, tiny_job("pp", 8));
+
+        // Backends 0 and 1 ping-pong the batch three full rounds —
+        // six transport failures, but only two distinct backends.
+        for _ in 0..3 {
+            let a = state.next_task(0).expect("backend 0 grabs it");
+            state.requeue(&a, 0, "refused");
+            let b = state.next_task(1).expect("backend 1 grabs it");
+            state.requeue(&b, 1, "refused");
+        }
+        assert!(
+            !state.jobs[job_id].done(),
+            "six alternating failures on two backends must not fail the job"
+        );
+
+        // The healthy backend clears it.
+        let healthy = state.next_task(2).expect("healthy backend takes it");
+        assert_eq!(healthy.failed_on.len(), 2, "two distinct failers recorded");
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_the_job() {
+        let mut state = QueueState::new(
+            ServeConfig::default()
+                .with_batch_size(8)
+                .with_max_batch_retries(1),
+        );
+        let slot = state.tenant_slot(&TenantId::new("t"));
+        let job_id = state.enqueue_job(slot, tiny_job("doomed", 8));
+
+        // Budget counts distinct backends: two different backends
+        // failing the batch exceed a retry budget of 1.
+        state.active_backends = 2;
+        let first = state.next_task(0).expect("dispatches");
+        state.requeue(&first, 0, "reset");
+        let second = state.next_task(1).expect("one retry allowed");
+        state.requeue(&second, 1, "reset again");
+
+        assert!(state.jobs[job_id].done(), "job failed after budget");
+        assert!(state.jobs[job_id]
+            .failed
+            .as_deref()
+            .expect("failure message")
+            .contains("failed on 2 distinct backends"));
+        assert_eq!(state.pending, 0, "no orphaned batches");
+        assert_eq!(state.tenants[slot].pending_shots, 0);
+        assert_eq!(state.tenants[slot].inflight, 0);
+    }
+
+    #[test]
+    fn last_backend_retiring_fails_outstanding_jobs() {
+        let mut state = QueueState::new(ServeConfig::default().with_batch_size(8));
+        let slot = state.tenant_slot(&TenantId::new("t"));
+        let job_id = state.enqueue_job(slot, tiny_job("stranded", 16));
+
+        state.retire_backend();
+        assert_eq!(state.active_backends, 0);
+        assert!(state.jobs[job_id].done());
+        assert!(state.jobs[job_id].failed.is_some());
+        assert_eq!(state.pending, 0);
+
+        // Submissions after total pool loss fail at enqueue instead of
+        // hanging their pollers.
+        let late = state.enqueue_job(slot, tiny_job("late", 8));
+        assert!(state.jobs[late].failed.is_some());
+    }
+
+    #[test]
     fn zero_shot_jobs_complete_immediately() {
         let mut state = QueueState::new(ServeConfig::default());
         let slot = state.tenant_slot(&TenantId::new("t"));
@@ -1255,6 +1705,6 @@ mod tests {
         assert!(snap.done);
         assert_eq!(snap.shots_total, 0);
         assert_eq!(snap.progress(), 1.0);
-        assert!(state.next_task().is_none());
+        assert!(state.next_task(0).is_none());
     }
 }

@@ -1,0 +1,1539 @@
+//! The eQASM wire protocol: a hand-rolled, length-prefixed, versioned
+//! binary encoding of jobs and batch results, used by
+//! [`crate::RemoteBackend`] to ship shot ranges to remote workers.
+//!
+//! The build environment has no registry access (no serde), so every
+//! type that crosses a host boundary is encoded explicitly here:
+//! [`crate::Job`] (name, [`Instantiation`], instruction stream,
+//! [`SimConfig`], shots, base seed) and [`crate::BatchOut`]
+//! (histogram, [`RunStats`], `P(|1⟩)` sums, per-shot durations,
+//! failure info).
+//!
+//! ## Encoding rules
+//!
+//! * All integers are little-endian fixed width; `f64`s are encoded as
+//!   their IEEE-754 bit pattern via [`f64::to_bits`], so NaN payloads,
+//!   signed zeros and infinities round-trip **bit-exactly** — the
+//!   cross-host determinism guarantee depends on this (a remote worker
+//!   must fold the very same `f64`s a local one would).
+//! * Strings are a `u32` byte length plus UTF-8 bytes; sequences are a
+//!   `u32` count plus elements.
+//! * Sum types are a `u8` tag plus the variant payload; unknown tags
+//!   are typed decode errors, never panics.
+//! * [`OpConfig`] is encoded as a *builder replay*: the opcode width
+//!   plus each operation definition (name, duration, pulse/gate,
+//!   condition) in opcode order. The decoder replays
+//!   [`OpConfig::builder`], which reallocates identical opcodes and
+//!   codewords because the builder assigns both sequentially — the
+//!   builder is the only way to construct an `OpConfig`, so any config
+//!   a job can carry round-trips exactly.
+//!
+//! ## Framing and versioning
+//!
+//! Every message on a connection is a *frame*: a `u32` length, a `u8`
+//! message tag, then the payload. Connections open with a handshake —
+//! the client sends [`Hello`] (magic + [`PROTOCOL_VERSION`]), the
+//! server answers [`HelloAck`] (magic, version, capacity, worker name)
+//! or a typed [`ErrorMsg`] — so version skew is detected before any
+//! job bytes are interpreted. All decode failures surface as
+//! [`WireError`], never as panics: a malformed or truncated frame from
+//! the network must not take down a coordinator or a worker.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use eqasm_core::{
+    ArchParams, Bundle, BundleOp, CmpFlag, ExecFlag, Instantiation, Instruction, MicroInstruction,
+    OpArity, OpConfig, OpTarget, PulseKind, QOpcode, Qubit, QubitPair, SReg, TReg, Topology,
+    TwoQubitGate,
+};
+use eqasm_microarch::{LatencyModel, MeasurementSource, RunStats, SimConfig, TimingPolicy};
+use eqasm_quantum::{NoiseModel, ReadoutModel};
+
+use crate::aggregate::{BitString, Histogram};
+use crate::backend::BatchOut;
+use crate::job::Job;
+
+/// The four magic bytes opening every handshake: "eQASM Wire
+/// Protocol". A connection that does not start with them is not
+/// speaking this protocol at all (as opposed to speaking an
+/// incompatible *version* of it).
+pub const MAGIC: [u8; 4] = *b"EQWP";
+
+/// The protocol version this build speaks. Bumped on any change to the
+/// frame layout or the encoding of any type below; both ends must
+/// match exactly (there is no negotiation in v1).
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on a single frame's length. A `RunRange` frame carries
+/// one job (program + instantiation, typically kilobytes); a `Batch`
+/// frame carries one batch's durations (8 bytes/shot). 1 GiB is far
+/// beyond any legitimate frame and stops a corrupt length prefix from
+/// triggering a giant allocation.
+pub const MAX_FRAME_LEN: u32 = 1 << 30;
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Why an encode, decode or frame read failed.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed (includes clean EOF
+    /// mid-frame).
+    Io(std::io::Error),
+    /// The handshake did not open with [`MAGIC`].
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// Both ends speak the protocol, but different versions of it.
+    VersionMismatch {
+        /// The version this build speaks.
+        ours: u16,
+        /// The version the peer announced.
+        theirs: u16,
+    },
+    /// A payload ended before the field being decoded.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes remaining.
+        have: usize,
+    },
+    /// A sum-type tag byte has no known variant.
+    UnknownTag {
+        /// The enum being decoded.
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// The bytes decoded but describe an invalid value (bad topology,
+    /// duplicate operation name, non-UTF-8 string…).
+    Invalid(String),
+    /// A frame length prefix exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// The announced length.
+        len: u32,
+    },
+    /// The remote peer reported a typed protocol error.
+    Remote(ErrorMsg),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "transport i/o failed: {e}"),
+            WireError::BadMagic { found } => {
+                write!(f, "bad protocol magic {found:02x?} (expected {MAGIC:02x?})")
+            }
+            WireError::VersionMismatch { ours, theirs } => {
+                write!(
+                    f,
+                    "protocol version mismatch: we speak v{ours}, peer speaks v{theirs}"
+                )
+            }
+            WireError::Truncated { what, needed, have } => {
+                write!(
+                    f,
+                    "truncated frame decoding {what}: needed {needed} bytes, have {have}"
+                )
+            }
+            WireError::UnknownTag { what, tag } => {
+                write!(f, "unknown {what} tag {tag:#04x}")
+            }
+            WireError::Invalid(msg) => write!(f, "invalid wire value: {msg}"),
+            WireError::FrameTooLarge { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            WireError::Remote(e) => write!(f, "peer reported: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// True when retrying the same bytes against a *different* backend
+/// could succeed — transport failures, not semantic rejections.
+impl WireError {
+    /// Whether this failure is a transport fault (worth re-dispatching
+    /// the range to another backend) rather than a protocol or payload
+    /// defect (which would fail identically anywhere).
+    pub fn is_transport(&self) -> bool {
+        matches!(self, WireError::Io(_))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive writer / reader
+// ---------------------------------------------------------------------
+
+/// An append-only byte buffer with fixed-width primitive writers.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        // Bit pattern, not value: NaNs and signed zeros must survive.
+        self.put_u64(v.to_bits());
+    }
+
+    fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// A cursor over a received payload with typed-error primitive
+/// readers.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated {
+                what,
+                needed: n,
+                have: self.buf.len(),
+            });
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn get_u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn get_u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn get_u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn get_u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn get_i32(&mut self, what: &'static str) -> Result<i32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn get_f64(&mut self, what: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64(what)?))
+    }
+
+    fn get_bool(&mut self, what: &'static str) -> Result<bool, WireError> {
+        match self.get_u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::UnknownTag { what, tag }),
+        }
+    }
+
+    fn get_str(&mut self, what: &'static str) -> Result<String, WireError> {
+        let len = self.get_u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| WireError::Invalid(format!("{what}: non-UTF-8 string: {e}")))
+    }
+
+    fn get_bytes(&mut self, what: &'static str) -> Result<Vec<u8>, WireError> {
+        let len = self.get_u32(what)? as usize;
+        Ok(self.take(len, what)?.to_vec())
+    }
+
+    /// A count prefix, sanity-capped against the remaining payload so
+    /// a corrupt length cannot pre-allocate unbounded memory.
+    fn get_count(&mut self, what: &'static str, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.get_u32(what)? as usize;
+        let floor = n.saturating_mul(min_elem_bytes.max(1));
+        if floor > self.remaining() {
+            return Err(WireError::Truncated {
+                what,
+                needed: floor,
+                have: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Instructions
+// ---------------------------------------------------------------------
+
+mod itag {
+    pub const NOP: u8 = 0;
+    pub const STOP: u8 = 1;
+    pub const CMP: u8 = 2;
+    pub const BR: u8 = 3;
+    pub const FBR: u8 = 4;
+    pub const LDI: u8 = 5;
+    pub const LDUI: u8 = 6;
+    pub const LD: u8 = 7;
+    pub const ST: u8 = 8;
+    pub const FMR: u8 = 9;
+    pub const AND: u8 = 10;
+    pub const OR: u8 = 11;
+    pub const XOR: u8 = 12;
+    pub const NOT: u8 = 13;
+    pub const ADD: u8 = 14;
+    pub const SUB: u8 = 15;
+    pub const QWAIT: u8 = 16;
+    pub const QWAITR: u8 = 17;
+    pub const SMIS: u8 = 18;
+    pub const SMIT: u8 = 19;
+    pub const BUNDLE: u8 = 20;
+}
+
+fn put_cmp_flag(w: &mut Writer, flag: CmpFlag) {
+    w.put_u8(flag.encode());
+}
+
+fn get_cmp_flag(r: &mut Reader<'_>) -> Result<CmpFlag, WireError> {
+    let bits = r.get_u8("CmpFlag")?;
+    CmpFlag::decode(bits).ok_or(WireError::UnknownTag {
+        what: "CmpFlag",
+        tag: bits,
+    })
+}
+
+fn put_instruction(w: &mut Writer, instr: &Instruction) {
+    use itag::*;
+    match instr {
+        Instruction::Nop => w.put_u8(NOP),
+        Instruction::Stop => w.put_u8(STOP),
+        Instruction::Cmp { rs, rt } => {
+            w.put_u8(CMP);
+            w.put_u8(rs.raw());
+            w.put_u8(rt.raw());
+        }
+        Instruction::Br { flag, offset } => {
+            w.put_u8(BR);
+            put_cmp_flag(w, *flag);
+            w.put_i32(*offset);
+        }
+        Instruction::Fbr { flag, rd } => {
+            w.put_u8(FBR);
+            put_cmp_flag(w, *flag);
+            w.put_u8(rd.raw());
+        }
+        Instruction::Ldi { rd, imm } => {
+            w.put_u8(LDI);
+            w.put_u8(rd.raw());
+            w.put_i32(*imm);
+        }
+        Instruction::Ldui { rd, imm, rs } => {
+            w.put_u8(LDUI);
+            w.put_u8(rd.raw());
+            w.put_u16(*imm);
+            w.put_u8(rs.raw());
+        }
+        Instruction::Ld { rd, rt, imm } => {
+            w.put_u8(LD);
+            w.put_u8(rd.raw());
+            w.put_u8(rt.raw());
+            w.put_i32(*imm);
+        }
+        Instruction::St { rs, rt, imm } => {
+            w.put_u8(ST);
+            w.put_u8(rs.raw());
+            w.put_u8(rt.raw());
+            w.put_i32(*imm);
+        }
+        Instruction::Fmr { rd, qubit } => {
+            w.put_u8(FMR);
+            w.put_u8(rd.raw());
+            w.put_u8(qubit.raw());
+        }
+        Instruction::And { rd, rs, rt } => put_alu(w, AND, *rd, *rs, *rt),
+        Instruction::Or { rd, rs, rt } => put_alu(w, OR, *rd, *rs, *rt),
+        Instruction::Xor { rd, rs, rt } => put_alu(w, XOR, *rd, *rs, *rt),
+        Instruction::Not { rd, rt } => {
+            w.put_u8(NOT);
+            w.put_u8(rd.raw());
+            w.put_u8(rt.raw());
+        }
+        Instruction::Add { rd, rs, rt } => put_alu(w, ADD, *rd, *rs, *rt),
+        Instruction::Sub { rd, rs, rt } => put_alu(w, SUB, *rd, *rs, *rt),
+        Instruction::QWait { cycles } => {
+            w.put_u8(QWAIT);
+            w.put_u32(*cycles);
+        }
+        Instruction::QWaitR { rs } => {
+            w.put_u8(QWAITR);
+            w.put_u8(rs.raw());
+        }
+        Instruction::Smis { sd, mask } => {
+            w.put_u8(SMIS);
+            w.put_u8(sd.raw());
+            w.put_u32(*mask);
+        }
+        Instruction::Smit { td, mask } => {
+            w.put_u8(SMIT);
+            w.put_u8(td.raw());
+            w.put_u32(*mask);
+        }
+        Instruction::Bundle(b) => {
+            w.put_u8(BUNDLE);
+            w.put_u8(b.pre_interval);
+            w.put_u32(b.ops.len() as u32);
+            for op in &b.ops {
+                w.put_u16(op.opcode.raw());
+                match op.target {
+                    OpTarget::None => w.put_u8(0),
+                    OpTarget::S(s) => {
+                        w.put_u8(1);
+                        w.put_u8(s.raw());
+                    }
+                    OpTarget::T(t) => {
+                        w.put_u8(2);
+                        w.put_u8(t.raw());
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn put_alu(w: &mut Writer, tag: u8, rd: eqasm_core::Gpr, rs: eqasm_core::Gpr, rt: eqasm_core::Gpr) {
+    w.put_u8(tag);
+    w.put_u8(rd.raw());
+    w.put_u8(rs.raw());
+    w.put_u8(rt.raw());
+}
+
+fn get_gpr(r: &mut Reader<'_>) -> Result<eqasm_core::Gpr, WireError> {
+    Ok(eqasm_core::Gpr::new(r.get_u8("Gpr")?))
+}
+
+fn get_instruction(r: &mut Reader<'_>) -> Result<Instruction, WireError> {
+    use itag::*;
+    let tag = r.get_u8("Instruction")?;
+    Ok(match tag {
+        NOP => Instruction::Nop,
+        STOP => Instruction::Stop,
+        CMP => Instruction::Cmp {
+            rs: get_gpr(r)?,
+            rt: get_gpr(r)?,
+        },
+        BR => Instruction::Br {
+            flag: get_cmp_flag(r)?,
+            offset: r.get_i32("Br.offset")?,
+        },
+        FBR => Instruction::Fbr {
+            flag: get_cmp_flag(r)?,
+            rd: get_gpr(r)?,
+        },
+        LDI => Instruction::Ldi {
+            rd: get_gpr(r)?,
+            imm: r.get_i32("Ldi.imm")?,
+        },
+        LDUI => Instruction::Ldui {
+            rd: get_gpr(r)?,
+            imm: r.get_u16("Ldui.imm")?,
+            rs: get_gpr(r)?,
+        },
+        LD => Instruction::Ld {
+            rd: get_gpr(r)?,
+            rt: get_gpr(r)?,
+            imm: r.get_i32("Ld.imm")?,
+        },
+        ST => Instruction::St {
+            rs: get_gpr(r)?,
+            rt: get_gpr(r)?,
+            imm: r.get_i32("St.imm")?,
+        },
+        FMR => Instruction::Fmr {
+            rd: get_gpr(r)?,
+            qubit: Qubit::new(r.get_u8("Fmr.qubit")?),
+        },
+        AND => Instruction::And {
+            rd: get_gpr(r)?,
+            rs: get_gpr(r)?,
+            rt: get_gpr(r)?,
+        },
+        OR => Instruction::Or {
+            rd: get_gpr(r)?,
+            rs: get_gpr(r)?,
+            rt: get_gpr(r)?,
+        },
+        XOR => Instruction::Xor {
+            rd: get_gpr(r)?,
+            rs: get_gpr(r)?,
+            rt: get_gpr(r)?,
+        },
+        NOT => Instruction::Not {
+            rd: get_gpr(r)?,
+            rt: get_gpr(r)?,
+        },
+        ADD => Instruction::Add {
+            rd: get_gpr(r)?,
+            rs: get_gpr(r)?,
+            rt: get_gpr(r)?,
+        },
+        SUB => Instruction::Sub {
+            rd: get_gpr(r)?,
+            rs: get_gpr(r)?,
+            rt: get_gpr(r)?,
+        },
+        QWAIT => Instruction::QWait {
+            cycles: r.get_u32("QWait.cycles")?,
+        },
+        QWAITR => Instruction::QWaitR { rs: get_gpr(r)? },
+        SMIS => Instruction::Smis {
+            sd: SReg::new(r.get_u8("Smis.sd")?),
+            mask: r.get_u32("Smis.mask")?,
+        },
+        SMIT => Instruction::Smit {
+            td: TReg::new(r.get_u8("Smit.td")?),
+            mask: r.get_u32("Smit.mask")?,
+        },
+        BUNDLE => {
+            let pre_interval = r.get_u8("Bundle.pre_interval")?;
+            let n = r.get_count("Bundle.ops", 3)?;
+            let mut ops = Vec::with_capacity(n);
+            for _ in 0..n {
+                let opcode = QOpcode::new(r.get_u16("BundleOp.opcode")?);
+                let target = match r.get_u8("OpTarget")? {
+                    0 => OpTarget::None,
+                    1 => OpTarget::S(SReg::new(r.get_u8("OpTarget.S")?)),
+                    2 => OpTarget::T(TReg::new(r.get_u8("OpTarget.T")?)),
+                    tag => {
+                        return Err(WireError::UnknownTag {
+                            what: "OpTarget",
+                            tag,
+                        })
+                    }
+                };
+                ops.push(BundleOp { opcode, target });
+            }
+            Instruction::Bundle(Bundle { pre_interval, ops })
+        }
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "Instruction",
+                tag,
+            })
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Instantiation: topology + arch params + op config
+// ---------------------------------------------------------------------
+
+fn put_topology(w: &mut Writer, t: &Topology) {
+    w.put_str(t.name());
+    w.put_u32(t.num_qubits() as u32);
+    w.put_u32(t.num_pairs() as u32);
+    for (_, pair) in t.pairs() {
+        w.put_u8(pair.source().raw());
+        w.put_u8(pair.target().raw());
+    }
+    w.put_u32(t.feedlines().len() as u32);
+    for line in t.feedlines() {
+        w.put_u32(line.len() as u32);
+        for q in line {
+            w.put_u8(q.raw());
+        }
+    }
+}
+
+fn get_topology(r: &mut Reader<'_>) -> Result<Topology, WireError> {
+    let name = r.get_str("Topology.name")?;
+    let num_qubits = r.get_u32("Topology.num_qubits")? as usize;
+    let n_pairs = r.get_count("Topology.pairs", 2)?;
+    let mut pairs = Vec::with_capacity(n_pairs);
+    for _ in 0..n_pairs {
+        let s = r.get_u8("QubitPair.source")?;
+        let t = r.get_u8("QubitPair.target")?;
+        pairs.push(QubitPair::from_raw(s, t));
+    }
+    let n_lines = r.get_count("Topology.feedlines", 4)?;
+    let mut feedlines = Vec::with_capacity(n_lines);
+    for _ in 0..n_lines {
+        let n = r.get_count("Feedline.qubits", 1)?;
+        let mut line = Vec::with_capacity(n);
+        for _ in 0..n {
+            line.push(Qubit::new(r.get_u8("Feedline.qubit")?));
+        }
+        feedlines.push(line);
+    }
+    Topology::new(name, num_qubits, pairs, feedlines)
+        .map_err(|e| WireError::Invalid(format!("topology: {e}")))
+}
+
+fn put_arch_params(w: &mut Writer, p: &ArchParams) {
+    w.put_u32(p.vliw_width as u32);
+    w.put_u32(p.pi_bits);
+    w.put_u32(p.opcode_bits);
+    w.put_u32(p.num_gprs as u32);
+    w.put_u32(p.num_sregs as u32);
+    w.put_u32(p.num_tregs as u32);
+    w.put_u32(p.qwait_bits);
+    w.put_u32(p.ldi_bits);
+    w.put_u32(p.ldui_bits);
+    w.put_u32(p.branch_offset_bits);
+    w.put_u32(p.mem_offset_bits);
+    w.put_u64(p.data_memory_words as u64);
+}
+
+fn get_arch_params(r: &mut Reader<'_>) -> Result<ArchParams, WireError> {
+    Ok(ArchParams {
+        vliw_width: r.get_u32("ArchParams.vliw_width")? as usize,
+        pi_bits: r.get_u32("ArchParams.pi_bits")?,
+        opcode_bits: r.get_u32("ArchParams.opcode_bits")?,
+        num_gprs: r.get_u32("ArchParams.num_gprs")? as usize,
+        num_sregs: r.get_u32("ArchParams.num_sregs")? as usize,
+        num_tregs: r.get_u32("ArchParams.num_tregs")? as usize,
+        qwait_bits: r.get_u32("ArchParams.qwait_bits")?,
+        ldi_bits: r.get_u32("ArchParams.ldi_bits")?,
+        ldui_bits: r.get_u32("ArchParams.ldui_bits")?,
+        branch_offset_bits: r.get_u32("ArchParams.branch_offset_bits")?,
+        mem_offset_bits: r.get_u32("ArchParams.mem_offset_bits")?,
+        data_memory_words: r.get_u64("ArchParams.data_memory_words")? as usize,
+    })
+}
+
+fn put_pulse_kind(w: &mut Writer, p: &PulseKind) -> Result<(), WireError> {
+    match p {
+        PulseKind::None => w.put_u8(0),
+        PulseKind::Rx(theta) => {
+            w.put_u8(1);
+            w.put_f64(*theta);
+        }
+        PulseKind::Ry(theta) => {
+            w.put_u8(2);
+            w.put_f64(*theta);
+        }
+        PulseKind::Rz(theta) => {
+            w.put_u8(3);
+            w.put_f64(*theta);
+        }
+        PulseKind::Hadamard => w.put_u8(4),
+        PulseKind::Measure => w.put_u8(5),
+        // The src/tgt halves never appear as a *single-qubit* pulse —
+        // they exist only inside two-qubit definitions, which encode
+        // their gate instead.
+        PulseKind::TwoQubitSrc(_) | PulseKind::TwoQubitTgt(_) => {
+            return Err(WireError::Invalid(
+                "two-qubit pulse half in a single-qubit definition".to_owned(),
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn get_pulse_kind(r: &mut Reader<'_>) -> Result<PulseKind, WireError> {
+    Ok(match r.get_u8("PulseKind")? {
+        0 => PulseKind::None,
+        1 => PulseKind::Rx(r.get_f64("PulseKind.Rx")?),
+        2 => PulseKind::Ry(r.get_f64("PulseKind.Ry")?),
+        3 => PulseKind::Rz(r.get_f64("PulseKind.Rz")?),
+        4 => PulseKind::Hadamard,
+        5 => PulseKind::Measure,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "PulseKind",
+                tag,
+            })
+        }
+    })
+}
+
+fn put_two_qubit_gate(w: &mut Writer, g: &TwoQubitGate) {
+    match g {
+        TwoQubitGate::Cz => w.put_u8(0),
+        TwoQubitGate::Cnot => w.put_u8(1),
+        TwoQubitGate::CPhase(theta) => {
+            w.put_u8(2);
+            w.put_f64(*theta);
+        }
+        TwoQubitGate::Swap => w.put_u8(3),
+    }
+}
+
+fn get_two_qubit_gate(r: &mut Reader<'_>) -> Result<TwoQubitGate, WireError> {
+    Ok(match r.get_u8("TwoQubitGate")? {
+        0 => TwoQubitGate::Cz,
+        1 => TwoQubitGate::Cnot,
+        2 => TwoQubitGate::CPhase(r.get_f64("TwoQubitGate.CPhase")?),
+        3 => TwoQubitGate::Swap,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "TwoQubitGate",
+                tag,
+            })
+        }
+    })
+}
+
+/// Encodes an [`OpConfig`] as a builder replay. Fails (rather than
+/// silently mis-encoding) if a definition's pulse library entry is
+/// missing — impossible for builder-built configs, which are the only
+/// kind that exists.
+fn put_op_config(w: &mut Writer, cfg: &OpConfig) -> Result<(), WireError> {
+    w.put_u32(cfg.opcode_bits());
+    w.put_u32(cfg.len() as u32);
+    for def in cfg.iter() {
+        w.put_str(def.name());
+        w.put_u32(def.duration_cycles());
+        match (def.arity(), def.micro()) {
+            (OpArity::SingleQubit, MicroInstruction::Single(op)) => {
+                w.put_u8(0);
+                let pulse = cfg.pulse(op.codeword()).ok_or_else(|| {
+                    WireError::Invalid(format!(
+                        "operation `{}` has no pulse for {}",
+                        def.name(),
+                        op.codeword()
+                    ))
+                })?;
+                put_pulse_kind(w, pulse)?;
+                w.put_u8(op.condition().encode());
+            }
+            (OpArity::TwoQubit, MicroInstruction::Pair { src, .. }) => {
+                w.put_u8(1);
+                let gate = match cfg.pulse(src.codeword()) {
+                    Some(PulseKind::TwoQubitSrc(gate)) => *gate,
+                    other => {
+                        return Err(WireError::Invalid(format!(
+                            "operation `{}` has no source-pulse gate (found {other:?})",
+                            def.name()
+                        )))
+                    }
+                };
+                put_two_qubit_gate(w, &gate);
+            }
+            (arity, micro) => {
+                return Err(WireError::Invalid(format!(
+                    "operation `{}` mixes arity {arity:?} with micro {micro:?}",
+                    def.name()
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn get_op_config(r: &mut Reader<'_>) -> Result<OpConfig, WireError> {
+    let opcode_bits = r.get_u32("OpConfig.opcode_bits")?;
+    let n = r.get_count("OpConfig.defs", 6)?;
+    let mut builder = OpConfig::builder(opcode_bits);
+    for _ in 0..n {
+        let name = r.get_str("OpDef.name")?;
+        let duration = r.get_u32("OpDef.duration_cycles")?;
+        match r.get_u8("OpDef.kind")? {
+            0 => {
+                let pulse = get_pulse_kind(r)?;
+                let cond_bits = r.get_u8("OpDef.condition")?;
+                let condition = ExecFlag::decode(cond_bits).ok_or(WireError::UnknownTag {
+                    what: "ExecFlag",
+                    tag: cond_bits,
+                })?;
+                builder
+                    .single_conditional(&name, duration, pulse, condition)
+                    .map_err(|e| WireError::Invalid(format!("operation `{name}`: {e}")))?;
+            }
+            1 => {
+                let gate = get_two_qubit_gate(r)?;
+                builder
+                    .two(&name, duration, gate)
+                    .map_err(|e| WireError::Invalid(format!("operation `{name}`: {e}")))?;
+            }
+            tag => {
+                return Err(WireError::UnknownTag {
+                    what: "OpDef.kind",
+                    tag,
+                })
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+fn put_instantiation(w: &mut Writer, inst: &Instantiation) -> Result<(), WireError> {
+    put_topology(w, inst.topology());
+    put_arch_params(w, inst.params());
+    put_op_config(w, inst.ops())
+}
+
+fn get_instantiation(r: &mut Reader<'_>) -> Result<Instantiation, WireError> {
+    let topology = get_topology(r)?;
+    let params = get_arch_params(r)?;
+    let ops = get_op_config(r)?;
+    Ok(Instantiation::new(topology, params, ops))
+}
+
+// ---------------------------------------------------------------------
+// SimConfig
+// ---------------------------------------------------------------------
+
+fn put_sim_config(w: &mut Writer, c: &SimConfig) {
+    w.put_f64(c.cycle_time_ns);
+    w.put_u64(c.classical_per_quantum);
+    w.put_u64(c.latency.result_sync_cc);
+    w.put_u64(c.latency.quantum_decode_cc);
+    w.put_u64(c.latency.adi_output_cc);
+    w.put_u64(c.latency.stall_release_cc);
+    w.put_f64(c.noise.t1_ns);
+    w.put_f64(c.noise.t2_ns);
+    w.put_f64(c.noise.depol_1q);
+    w.put_f64(c.noise.depol_2q);
+    w.put_f64(c.readout.p_read1_given0);
+    w.put_f64(c.readout.p_read0_given1);
+    match &c.measurement_source {
+        MeasurementSource::Quantum => w.put_u8(0),
+        MeasurementSource::MockAlternating { start } => {
+            w.put_u8(1);
+            w.put_bool(*start);
+        }
+        MeasurementSource::MockFixed(values) => {
+            w.put_u8(2);
+            w.put_u32(values.len() as u32);
+            for &v in values {
+                w.put_bool(v);
+            }
+        }
+    }
+    w.put_u8(match c.timing_policy {
+        TimingPolicy::SlipAndCount => 0,
+        TimingPolicy::Fault => 1,
+    });
+    w.put_u64(c.seed);
+    w.put_u64(c.max_classical_cycles);
+    w.put_bool(c.density_backend);
+    w.put_bool(c.record_trace);
+}
+
+fn get_sim_config(r: &mut Reader<'_>) -> Result<SimConfig, WireError> {
+    let cycle_time_ns = r.get_f64("SimConfig.cycle_time_ns")?;
+    let classical_per_quantum = r.get_u64("SimConfig.classical_per_quantum")?;
+    let latency = LatencyModel {
+        result_sync_cc: r.get_u64("LatencyModel.result_sync_cc")?,
+        quantum_decode_cc: r.get_u64("LatencyModel.quantum_decode_cc")?,
+        adi_output_cc: r.get_u64("LatencyModel.adi_output_cc")?,
+        stall_release_cc: r.get_u64("LatencyModel.stall_release_cc")?,
+    };
+    let noise = NoiseModel {
+        t1_ns: r.get_f64("NoiseModel.t1_ns")?,
+        t2_ns: r.get_f64("NoiseModel.t2_ns")?,
+        depol_1q: r.get_f64("NoiseModel.depol_1q")?,
+        depol_2q: r.get_f64("NoiseModel.depol_2q")?,
+    };
+    let readout = ReadoutModel {
+        p_read1_given0: r.get_f64("ReadoutModel.p_read1_given0")?,
+        p_read0_given1: r.get_f64("ReadoutModel.p_read0_given1")?,
+    };
+    let measurement_source = match r.get_u8("MeasurementSource")? {
+        0 => MeasurementSource::Quantum,
+        1 => MeasurementSource::MockAlternating {
+            start: r.get_bool("MockAlternating.start")?,
+        },
+        2 => {
+            let n = r.get_count("MockFixed.values", 1)?;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(r.get_bool("MockFixed.value")?);
+            }
+            MeasurementSource::MockFixed(values)
+        }
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "MeasurementSource",
+                tag,
+            })
+        }
+    };
+    let timing_policy = match r.get_u8("TimingPolicy")? {
+        0 => TimingPolicy::SlipAndCount,
+        1 => TimingPolicy::Fault,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "TimingPolicy",
+                tag,
+            })
+        }
+    };
+    Ok(SimConfig {
+        cycle_time_ns,
+        classical_per_quantum,
+        latency,
+        noise,
+        readout,
+        measurement_source,
+        timing_policy,
+        seed: r.get_u64("SimConfig.seed")?,
+        max_classical_cycles: r.get_u64("SimConfig.max_classical_cycles")?,
+        density_backend: r.get_bool("SimConfig.density_backend")?,
+        record_trace: r.get_bool("SimConfig.record_trace")?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Job
+// ---------------------------------------------------------------------
+
+/// Encodes a complete [`Job`] — everything a remote worker needs to
+/// run any shot range of it.
+pub fn encode_job(job: &Job) -> Result<Vec<u8>, WireError> {
+    let mut w = Writer::new();
+    w.put_str(&job.name);
+    put_instantiation(&mut w, &job.inst)?;
+    w.put_u32(job.program.len() as u32);
+    for instr in &job.program {
+        put_instruction(&mut w, instr);
+    }
+    put_sim_config(&mut w, &job.config);
+    w.put_u64(job.shots);
+    w.put_u64(job.base_seed);
+    Ok(w.into_bytes())
+}
+
+/// Decodes a [`Job`] produced by [`encode_job`].
+pub fn decode_job(bytes: &[u8]) -> Result<Job, WireError> {
+    let mut r = Reader::new(bytes);
+    let job = get_job(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::Invalid(format!(
+            "{} trailing bytes after job",
+            r.remaining()
+        )));
+    }
+    Ok(job)
+}
+
+fn get_job(r: &mut Reader<'_>) -> Result<Job, WireError> {
+    let name = r.get_str("Job.name")?;
+    let inst = get_instantiation(r)?;
+    let n = r.get_count("Job.program", 1)?;
+    let mut program = Vec::with_capacity(n);
+    for _ in 0..n {
+        program.push(get_instruction(r)?);
+    }
+    let config = get_sim_config(r)?;
+    let shots = r.get_u64("Job.shots")?;
+    let base_seed = r.get_u64("Job.base_seed")?;
+    Ok(Job {
+        name,
+        inst,
+        program,
+        config,
+        shots,
+        base_seed,
+    })
+}
+
+// ---------------------------------------------------------------------
+// RunStats / Histogram / BatchOut
+// ---------------------------------------------------------------------
+
+fn put_run_stats(w: &mut Writer, s: &RunStats) {
+    // Field order is frozen by PROTOCOL_VERSION: a new counter in
+    // RunStats is a version bump, not a silent layout change.
+    w.put_u64(s.classical_cycles);
+    w.put_u64(s.quantum_cycles);
+    w.put_u64(s.classical_instructions);
+    w.put_u64(s.quantum_instructions);
+    w.put_u64(s.bundle_words);
+    w.put_u64(s.timing_points);
+    w.put_u64(s.ops_triggered);
+    w.put_u64(s.ops_cancelled);
+    w.put_u64(s.two_qubit_gates);
+    w.put_u64(s.measurements);
+    w.put_u64(s.fmr_stall_cycles);
+    w.put_u64(s.timeline_slips);
+    w.put_u64(s.slipped_cycles);
+    w.put_u64(s.busy_overlaps);
+    w.put_u64(s.last_timing_point);
+}
+
+fn get_run_stats(r: &mut Reader<'_>) -> Result<RunStats, WireError> {
+    // RunStats is #[non_exhaustive]; start from default and assign.
+    let mut s = RunStats::default();
+    s.classical_cycles = r.get_u64("RunStats.classical_cycles")?;
+    s.quantum_cycles = r.get_u64("RunStats.quantum_cycles")?;
+    s.classical_instructions = r.get_u64("RunStats.classical_instructions")?;
+    s.quantum_instructions = r.get_u64("RunStats.quantum_instructions")?;
+    s.bundle_words = r.get_u64("RunStats.bundle_words")?;
+    s.timing_points = r.get_u64("RunStats.timing_points")?;
+    s.ops_triggered = r.get_u64("RunStats.ops_triggered")?;
+    s.ops_cancelled = r.get_u64("RunStats.ops_cancelled")?;
+    s.two_qubit_gates = r.get_u64("RunStats.two_qubit_gates")?;
+    s.measurements = r.get_u64("RunStats.measurements")?;
+    s.fmr_stall_cycles = r.get_u64("RunStats.fmr_stall_cycles")?;
+    s.timeline_slips = r.get_u64("RunStats.timeline_slips")?;
+    s.slipped_cycles = r.get_u64("RunStats.slipped_cycles")?;
+    s.busy_overlaps = r.get_u64("RunStats.busy_overlaps")?;
+    s.last_timing_point = r.get_u64("RunStats.last_timing_point")?;
+    Ok(s)
+}
+
+fn put_histogram(w: &mut Writer, h: &Histogram) {
+    w.put_u32(h.len() as u32);
+    for (outcome, &count) in h.iter() {
+        w.put_u64(outcome.measured);
+        w.put_u64(outcome.bits);
+        w.put_u64(count);
+    }
+}
+
+fn get_histogram(r: &mut Reader<'_>) -> Result<Histogram, WireError> {
+    let n = r.get_count("Histogram.entries", 24)?;
+    let mut h = Histogram::new();
+    for _ in 0..n {
+        let outcome = BitString {
+            measured: r.get_u64("BitString.measured")?,
+            bits: r.get_u64("BitString.bits")?,
+        };
+        let count = r.get_u64("Histogram.count")?;
+        h.add(outcome, count);
+    }
+    Ok(h)
+}
+
+/// Encodes a [`BatchOut`] for the return trip.
+pub fn encode_batch_out(out: &BatchOut) -> Vec<u8> {
+    let mut w = Writer::new();
+    put_histogram(&mut w, &out.histogram);
+    put_run_stats(&mut w, &out.stats);
+    w.put_u32(out.prob1_sum.len() as u32);
+    for &p in &out.prob1_sum {
+        w.put_f64(p);
+    }
+    w.put_u64(out.durations_ns.len() as u64);
+    for &d in &out.durations_ns {
+        w.put_u64(d);
+    }
+    w.put_u64(out.non_halted);
+    match &out.first_failure {
+        None => w.put_u8(0),
+        Some((shot, message)) => {
+            w.put_u8(1);
+            w.put_u64(*shot);
+            w.put_str(message);
+        }
+    }
+    w.put_u64(out.elapsed_ns);
+    w.into_bytes()
+}
+
+/// Decodes a [`BatchOut`] produced by [`encode_batch_out`].
+pub fn decode_batch_out(bytes: &[u8]) -> Result<BatchOut, WireError> {
+    let mut r = Reader::new(bytes);
+    let histogram = get_histogram(&mut r)?;
+    let stats = get_run_stats(&mut r)?;
+    let n = r.get_count("BatchOut.prob1_sum", 8)?;
+    let mut prob1_sum = Vec::with_capacity(n);
+    for _ in 0..n {
+        prob1_sum.push(r.get_f64("BatchOut.prob1")?);
+    }
+    let n_durations = r.get_u64("BatchOut.durations_len")? as usize;
+    if n_durations.saturating_mul(8) > r.remaining() {
+        return Err(WireError::Truncated {
+            what: "BatchOut.durations",
+            needed: n_durations * 8,
+            have: r.remaining(),
+        });
+    }
+    let mut durations_ns = Vec::with_capacity(n_durations);
+    for _ in 0..n_durations {
+        durations_ns.push(r.get_u64("BatchOut.duration")?);
+    }
+    let non_halted = r.get_u64("BatchOut.non_halted")?;
+    let first_failure = match r.get_u8("BatchOut.first_failure")? {
+        0 => None,
+        1 => Some((
+            r.get_u64("BatchOut.failure_shot")?,
+            r.get_str("BatchOut.failure_message")?,
+        )),
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "BatchOut.first_failure",
+                tag,
+            })
+        }
+    };
+    let elapsed_ns = r.get_u64("BatchOut.elapsed_ns")?;
+    if r.remaining() != 0 {
+        return Err(WireError::Invalid(format!(
+            "{} trailing bytes after batch result",
+            r.remaining()
+        )));
+    }
+    Ok(BatchOut {
+        histogram,
+        stats,
+        prob1_sum,
+        durations_ns,
+        non_halted,
+        first_failure,
+        elapsed_ns,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Frames and messages
+// ---------------------------------------------------------------------
+
+/// Message tags carried in the frame header.
+pub mod tag {
+    /// Client → worker: magic + version.
+    pub const HELLO: u8 = 1;
+    /// Worker → client: magic + version + capacity + name.
+    pub const HELLO_ACK: u8 = 2;
+    /// Client → worker: run a shot range of an (inlined) job.
+    pub const RUN_RANGE: u8 = 3;
+    /// Worker → client: the range's [`crate::BatchOut`].
+    pub const BATCH: u8 = 4;
+    /// Either direction: a typed failure.
+    pub const ERROR: u8 = 5;
+    /// Client → worker: liveness probe.
+    pub const PING: u8 = 6;
+    /// Worker → client: liveness answer.
+    pub const PONG: u8 = 7;
+}
+
+/// Writes one frame: `u32` length (tag byte + payload), tag, payload.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> Result<(), WireError> {
+    let len = payload.len() as u64 + 1;
+    if len > MAX_FRAME_LEN as u64 {
+        return Err(WireError::FrameTooLarge { len: len as u32 });
+    }
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&[tag])?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, returning `(tag, payload)`. A peer that closes the
+/// connection cleanly before any frame surfaces as
+/// [`WireError::Io`] with [`std::io::ErrorKind::UnexpectedEof`].
+pub fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>), WireError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 {
+        return Err(WireError::Invalid("zero-length frame".to_owned()));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge { len });
+    }
+    // Tag byte first, payload straight into its own buffer: frames
+    // carry whole jobs and per-shot duration vectors, so an
+    // extract-the-tag shift of the body would be an O(frame) copy on
+    // every request and response.
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let mut payload = vec![0u8; len as usize - 1];
+    r.read_exact(&mut payload)?;
+    Ok((tag[0], payload))
+}
+
+/// The client half of the handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// The protocol version the client speaks.
+    pub version: u16,
+}
+
+impl Hello {
+    /// Encodes the hello payload (magic + version).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.buf.extend_from_slice(&MAGIC);
+        w.put_u16(self.version);
+        w.into_bytes()
+    }
+
+    /// Decodes and validates a hello payload.
+    pub fn decode(bytes: &[u8]) -> Result<Hello, WireError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.take(4, "Hello.magic")?;
+        if magic != MAGIC {
+            return Err(WireError::BadMagic {
+                found: [magic[0], magic[1], magic[2], magic[3]],
+            });
+        }
+        Ok(Hello {
+            version: r.get_u16("Hello.version")?,
+        })
+    }
+}
+
+/// The worker half of the handshake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloAck {
+    /// The protocol version the worker speaks.
+    pub version: u16,
+    /// How many ranges the worker is willing to run concurrently
+    /// (clients typically open this many connections).
+    pub capacity: u32,
+    /// The worker's self-reported name, for diagnostics.
+    pub name: String,
+}
+
+impl HelloAck {
+    /// Encodes the acknowledgement payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.buf.extend_from_slice(&MAGIC);
+        w.put_u16(self.version);
+        w.put_u32(self.capacity);
+        w.put_str(&self.name);
+        w.into_bytes()
+    }
+
+    /// Decodes and validates an acknowledgement payload.
+    pub fn decode(bytes: &[u8]) -> Result<HelloAck, WireError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.take(4, "HelloAck.magic")?;
+        if magic != MAGIC {
+            return Err(WireError::BadMagic {
+                found: [magic[0], magic[1], magic[2], magic[3]],
+            });
+        }
+        Ok(HelloAck {
+            version: r.get_u16("HelloAck.version")?,
+            capacity: r.get_u32("HelloAck.capacity")?,
+            name: r.get_str("HelloAck.name")?,
+        })
+    }
+}
+
+/// A request to run shots `start..end` of the inlined job.
+///
+/// The job is carried as its *encoded bytes* (not re-nested structs)
+/// so a worker can compare them against its cached program with a
+/// plain memcmp and skip the decode + machine rebuild when the same
+/// job sends many ranges — exactness without a job-registry handshake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunRange {
+    /// First shot index of the range.
+    pub start: u64,
+    /// One past the last shot index.
+    pub end: u64,
+    /// The [`encode_job`] bytes of the job.
+    pub job_bytes: Vec<u8>,
+}
+
+impl RunRange {
+    /// Encodes the request payload.
+    pub fn encode(&self) -> Vec<u8> {
+        RunRange::encode_parts(self.start, self.end, &self.job_bytes)
+    }
+
+    /// Encodes a request payload from borrowed job bytes — the
+    /// client's hot path, which keeps one cached encoding of the job
+    /// and must not clone it per range just to build the frame.
+    pub fn encode_parts(start: u64, end: u64, job_bytes: &[u8]) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.buf.reserve(8 + 8 + 4 + job_bytes.len());
+        w.put_u64(start);
+        w.put_u64(end);
+        w.put_bytes(job_bytes);
+        w.into_bytes()
+    }
+
+    /// Decodes a request payload.
+    pub fn decode(bytes: &[u8]) -> Result<RunRange, WireError> {
+        let mut r = Reader::new(bytes);
+        Ok(RunRange {
+            start: r.get_u64("RunRange.start")?,
+            end: r.get_u64("RunRange.end")?,
+            job_bytes: r.get_bytes("RunRange.job_bytes")?,
+        })
+    }
+}
+
+/// What kind of failure an [`ErrorMsg`] reports — the split decides
+/// the coordinator's reaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The job's program failed machine validation on the worker. The
+    /// same program fails everywhere: the job is failed, not retried.
+    Load,
+    /// The worker hit an internal fault running the range. Another
+    /// backend may succeed: the range is re-dispatched.
+    Internal,
+    /// The peer speaks an incompatible protocol version.
+    Version,
+    /// The peer sent bytes this version cannot interpret.
+    Malformed,
+}
+
+impl ErrorKind {
+    fn encode(self) -> u8 {
+        match self {
+            ErrorKind::Load => 0,
+            ErrorKind::Internal => 1,
+            ErrorKind::Version => 2,
+            ErrorKind::Malformed => 3,
+        }
+    }
+
+    fn decode(tag: u8) -> Result<Self, WireError> {
+        Ok(match tag {
+            0 => ErrorKind::Load,
+            1 => ErrorKind::Internal,
+            2 => ErrorKind::Version,
+            3 => ErrorKind::Malformed,
+            tag => {
+                return Err(WireError::UnknownTag {
+                    what: "ErrorKind",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// A typed failure sent instead of the expected response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorMsg {
+    /// The failure class.
+    pub kind: ErrorKind,
+    /// The sender's protocol version (meaningful for
+    /// [`ErrorKind::Version`]; zero otherwise is fine).
+    pub version: u16,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ErrorMsg {
+    /// Encodes the error payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(self.kind.encode());
+        w.put_u16(self.version);
+        w.put_str(&self.message);
+        w.into_bytes()
+    }
+
+    /// Decodes an error payload.
+    pub fn decode(bytes: &[u8]) -> Result<ErrorMsg, WireError> {
+        let mut r = Reader::new(bytes);
+        Ok(ErrorMsg {
+            kind: ErrorKind::decode(r.get_u8("ErrorMsg.kind")?)?,
+            version: r.get_u16("ErrorMsg.version")?,
+            message: r.get_str("ErrorMsg.message")?,
+        })
+    }
+}
+
+impl fmt::Display for ErrorMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ErrorKind::Load => write!(f, "program load failed: {}", self.message),
+            ErrorKind::Internal => write!(f, "worker fault: {}", self.message),
+            ErrorKind::Version => write!(
+                f,
+                "protocol version mismatch (peer speaks v{}): {}",
+                self.version, self.message
+            ),
+            ErrorKind::Malformed => write!(f, "malformed frame: {}", self.message),
+        }
+    }
+}
+
+/// A canonical fingerprint of an encoded job, used by worker-side
+/// caches and diagnostics. FNV-1a over the job bytes; collisions only
+/// affect *logging*, never correctness (caches compare full bytes).
+pub fn job_fingerprint(job_bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in job_bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_job() -> Job {
+        let inst = Instantiation::paper_two_qubit();
+        let program = vec![
+            Instruction::Smis {
+                sd: SReg::new(2),
+                mask: 0b100,
+            },
+            Instruction::QWait { cycles: 100 },
+            Instruction::Stop,
+        ];
+        Job::new("wire-sample", inst, program)
+            .with_shots(32)
+            .with_seed(7)
+    }
+
+    #[test]
+    fn job_roundtrip_is_exact() {
+        let job = sample_job();
+        let bytes = encode_job(&job).expect("encodes");
+        let back = decode_job(&bytes).expect("decodes");
+        assert_eq!(job, back);
+        // Canonical: re-encoding the decoded job yields the same bytes.
+        assert_eq!(bytes, encode_job(&back).expect("re-encodes"));
+    }
+
+    #[test]
+    fn surface7_instantiation_roundtrips() {
+        let job = Job::new(
+            "s7",
+            Instantiation::paper(),
+            vec![Instruction::Nop, Instruction::Stop],
+        );
+        let back = decode_job(&encode_job(&job).unwrap()).unwrap();
+        assert_eq!(job.inst, back.inst);
+        assert_eq!(back.inst.topology().num_pairs(), 16);
+        assert!(back.inst.ops().contains("MEASZ"));
+        assert!(back.inst.ops().by_name("C_X").is_ok());
+    }
+
+    #[test]
+    fn truncated_job_reports_typed_error() {
+        let bytes = encode_job(&sample_job()).unwrap();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode_job(&bytes[..cut]).expect_err("must fail");
+            assert!(
+                matches!(err, WireError::Truncated { .. } | WireError::Invalid(_)),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_job(&sample_job()).unwrap();
+        bytes.push(0xff);
+        assert!(matches!(decode_job(&bytes), Err(WireError::Invalid(_))));
+    }
+
+    #[test]
+    fn hello_magic_and_version() {
+        let hello = Hello {
+            version: PROTOCOL_VERSION,
+        };
+        let decoded = Hello::decode(&hello.encode()).unwrap();
+        assert_eq!(decoded, hello);
+
+        let mut corrupt = hello.encode();
+        corrupt[0] = b'X';
+        assert!(matches!(
+            Hello::decode(&corrupt),
+            Err(WireError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, tag::PING, b"abc").unwrap();
+        let (t, payload) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(t, tag::PING);
+        assert_eq!(payload, b"abc");
+    }
+
+    #[test]
+    fn oversized_frame_length_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_count_prefix_cannot_overallocate() {
+        // A histogram claiming u32::MAX entries in a 30-byte payload
+        // must fail on the count check, not try to allocate.
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX);
+        w.put_u64(1);
+        let err = get_histogram(&mut Reader::new(&w.into_bytes())).expect_err("rejects");
+        assert!(matches!(err, WireError::Truncated { .. }), "{err}");
+    }
+}

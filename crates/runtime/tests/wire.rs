@@ -1,0 +1,444 @@
+//! Property tests of the wire protocol: round-trip fidelity over
+//! random jobs and batch results (including `f64` bit patterns the
+//! cross-host determinism argument depends on), and typed rejection of
+//! malformed bytes.
+
+use eqasm_core::{
+    Bundle, BundleOp, CmpFlag, Gpr, Instantiation, Instruction, OpTarget, Qubit, SReg, TReg,
+    Topology,
+};
+use eqasm_microarch::{MeasurementSource, SimConfig, TimingPolicy};
+use eqasm_quantum::{NoiseModel, ReadoutModel};
+use eqasm_runtime::wire::{
+    self, decode_batch_out, decode_job, encode_batch_out, encode_job, WireError,
+};
+use eqasm_runtime::{BatchOut, BitString, Histogram, Job};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// An f64 from "interesting" bit patterns: ordinary values plus the
+/// ones naive (value-based) encodings corrupt — NaN with payload,
+/// signed zero, infinities, subnormals.
+fn edge_f64(selector: u8, ordinary: f64) -> f64 {
+    match selector % 8 {
+        0 => f64::NAN,
+        1 => f64::from_bits(0x7ff8_dead_beef_0001), // NaN with payload
+        2 => -0.0,
+        3 => f64::INFINITY,
+        4 => f64::NEG_INFINITY,
+        5 => f64::MIN_POSITIVE / 2.0, // subnormal
+        _ => ordinary,
+    }
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    (0u8..21, any::<u32>(), any::<i32>(), any::<u16>()).prop_map(|(tag, a, b, c)| {
+        let r = |v: u32| Gpr::new((v % 32) as u8);
+        match tag {
+            0 => Instruction::Nop,
+            1 => Instruction::Stop,
+            2 => Instruction::Cmp {
+                rs: r(a),
+                rt: r(a >> 8),
+            },
+            3 => Instruction::Br {
+                flag: CmpFlag::ALL[(a % 12) as usize],
+                offset: b,
+            },
+            4 => Instruction::Fbr {
+                flag: CmpFlag::ALL[(a % 12) as usize],
+                rd: r(a >> 8),
+            },
+            5 => Instruction::Ldi { rd: r(a), imm: b },
+            6 => Instruction::Ldui {
+                rd: r(a),
+                imm: c,
+                rs: r(a >> 8),
+            },
+            7 => Instruction::Ld {
+                rd: r(a),
+                rt: r(a >> 8),
+                imm: b,
+            },
+            8 => Instruction::St {
+                rs: r(a),
+                rt: r(a >> 8),
+                imm: b,
+            },
+            9 => Instruction::Fmr {
+                rd: r(a),
+                qubit: Qubit::new((a >> 8) as u8 % 7),
+            },
+            10 => Instruction::And {
+                rd: r(a),
+                rs: r(a >> 8),
+                rt: r(a >> 16),
+            },
+            11 => Instruction::Or {
+                rd: r(a),
+                rs: r(a >> 8),
+                rt: r(a >> 16),
+            },
+            12 => Instruction::Xor {
+                rd: r(a),
+                rs: r(a >> 8),
+                rt: r(a >> 16),
+            },
+            13 => Instruction::Not {
+                rd: r(a),
+                rt: r(a >> 8),
+            },
+            14 => Instruction::Add {
+                rd: r(a),
+                rs: r(a >> 8),
+                rt: r(a >> 16),
+            },
+            15 => Instruction::Sub {
+                rd: r(a),
+                rs: r(a >> 8),
+                rt: r(a >> 16),
+            },
+            16 => Instruction::QWait { cycles: a },
+            17 => Instruction::QWaitR { rs: r(a) },
+            18 => Instruction::Smis {
+                sd: SReg::new((a % 32) as u8),
+                mask: b as u32,
+            },
+            19 => Instruction::Smit {
+                td: TReg::new((a % 32) as u8),
+                mask: b as u32,
+            },
+            _ => {
+                // A bundle mixing a real op, a QNOP and explicit PI.
+                let ops = vec![
+                    BundleOp {
+                        opcode: eqasm_core::QOpcode::new(c % 512),
+                        target: match a % 3 {
+                            0 => OpTarget::None,
+                            1 => OpTarget::S(SReg::new((a >> 8) as u8 % 32)),
+                            _ => OpTarget::T(TReg::new((a >> 8) as u8 % 32)),
+                        },
+                    },
+                    BundleOp::QNOP,
+                ];
+                Instruction::Bundle(Bundle::with_pre_interval((a % 8) as u8, ops))
+            }
+        }
+    })
+}
+
+fn arb_instantiation() -> impl Strategy<Value = Instantiation> {
+    (0u8..4, 1usize..6).prop_map(|(kind, n)| match kind {
+        0 => Instantiation::paper(),
+        1 => Instantiation::paper_two_qubit(),
+        2 => Instantiation::paper().with_topology(Topology::linear(n)),
+        _ => Instantiation::paper().with_topology(Topology::fully_connected(n)),
+    })
+}
+
+fn arb_sim_config() -> impl Strategy<Value = SimConfig> {
+    (
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()),
+        (0.1f64..100.0, 0.0f64..1.0, 0.0f64..1.0),
+        any::<u64>(),
+        (0u8..3, any::<bool>(), any::<bool>(), any::<bool>()),
+    )
+        .prop_map(
+            |((s1, s2, s3, s4), (cycle, p0, p1), seed, (src, b0, b1, b2))| SimConfig {
+                cycle_time_ns: edge_f64(s1, cycle),
+                noise: NoiseModel {
+                    t1_ns: edge_f64(s2, cycle * 1000.0),
+                    t2_ns: edge_f64(s3, cycle * 800.0),
+                    depol_1q: p0,
+                    depol_2q: p1,
+                },
+                readout: ReadoutModel {
+                    p_read1_given0: edge_f64(s4, p0),
+                    p_read0_given1: p1,
+                },
+                measurement_source: match src {
+                    0 => MeasurementSource::Quantum,
+                    1 => MeasurementSource::MockAlternating { start: b0 },
+                    _ => MeasurementSource::MockFixed(vec![b0, b1, b2]),
+                },
+                timing_policy: if b1 {
+                    TimingPolicy::Fault
+                } else {
+                    TimingPolicy::SlipAndCount
+                },
+                seed,
+                max_classical_cycles: seed | 1,
+                density_backend: b2,
+                record_trace: b0,
+                ..SimConfig::default()
+            },
+        )
+}
+
+fn arb_job() -> impl Strategy<Value = Job> {
+    (
+        "[a-z][a-z0-9_-]{0,20}",
+        arb_instantiation(),
+        prop::collection::vec(arb_instruction(), 0..40),
+        arb_sim_config(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(name, inst, program, config, shots, seed)| {
+            Job::new(name, inst, program)
+                .with_config(config)
+                .with_shots(shots)
+                .with_seed(seed)
+        })
+}
+
+fn arb_batch_out() -> impl Strategy<Value = BatchOut> {
+    (
+        prop::collection::vec((any::<u64>(), any::<u64>(), 1u64..1000), 0..12),
+        prop::collection::vec((any::<u8>(), any::<u64>()), 0..8),
+        prop::collection::vec(any::<u64>(), 0..64),
+        (any::<u64>(), any::<u64>(), any::<bool>()),
+    )
+        .prop_map(
+            |(entries, prob1, durations, (non_halted, elapsed, failed))| {
+                let mut histogram = Histogram::new();
+                for (measured, bits, count) in entries {
+                    histogram.add(
+                        BitString {
+                            measured,
+                            bits: bits & measured,
+                        },
+                        count,
+                    );
+                }
+                let mut stats = eqasm_microarch::RunStats::default();
+                stats.classical_cycles = non_halted.wrapping_mul(3);
+                stats.measurements = non_halted.rotate_left(7);
+                BatchOut {
+                    histogram,
+                    stats,
+                    prob1_sum: prob1
+                        .into_iter()
+                        .map(|(sel, bits)| edge_f64(sel, f64::from_bits(bits | 1).fract()))
+                        .collect(),
+                    durations_ns: durations,
+                    non_halted,
+                    first_failure: failed.then(|| (non_halted, "fault: test".to_owned())),
+                    elapsed_ns: elapsed,
+                }
+            },
+        )
+}
+
+// ---------------------------------------------------------------------
+// Round-trip properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// decode(encode(job)) reproduces the job bit-exactly. Structural
+    /// equality would miss NaN fields (NaN != NaN), so the property is
+    /// canonical-bytes equality: re-encoding the decoded job yields
+    /// the identical byte string, which covers every f64 bit pattern.
+    #[test]
+    fn job_roundtrip_canonical_bytes(job in arb_job()) {
+        let bytes = encode_job(&job).expect("encodes");
+        let decoded = decode_job(&bytes).expect("decodes");
+        let re_encoded = encode_job(&decoded).expect("re-encodes");
+        prop_assert_eq!(&bytes, &re_encoded, "wire bytes must be canonical");
+        // Structural spot-checks on NaN-free fields.
+        prop_assert_eq!(&job.name, &decoded.name);
+        prop_assert_eq!(&job.program, &decoded.program);
+        prop_assert_eq!(job.shots, decoded.shots);
+        prop_assert_eq!(job.base_seed, decoded.base_seed);
+        prop_assert_eq!(job.inst.topology(), decoded.inst.topology());
+        prop_assert_eq!(job.inst.params(), decoded.inst.params());
+        prop_assert_eq!(job.inst.ops(), decoded.inst.ops());
+        prop_assert_eq!(job.config.seed, decoded.config.seed);
+        // f64 fields compare by bit pattern.
+        prop_assert_eq!(
+            job.config.cycle_time_ns.to_bits(),
+            decoded.config.cycle_time_ns.to_bits()
+        );
+        prop_assert_eq!(
+            job.config.noise.t1_ns.to_bits(),
+            decoded.config.noise.t1_ns.to_bits()
+        );
+        prop_assert_eq!(
+            job.config.readout.p_read1_given0.to_bits(),
+            decoded.config.readout.p_read1_given0.to_bits()
+        );
+    }
+
+    /// Same property for batch results, plus structural equality of
+    /// the deterministic aggregate fields.
+    #[test]
+    fn batch_out_roundtrip(out in arb_batch_out()) {
+        let bytes = encode_batch_out(&out);
+        let decoded = decode_batch_out(&bytes).expect("decodes");
+        prop_assert_eq!(&bytes, &encode_batch_out(&decoded));
+        prop_assert_eq!(&out.histogram, &decoded.histogram);
+        prop_assert_eq!(&out.stats, &decoded.stats);
+        prop_assert_eq!(&out.durations_ns, &decoded.durations_ns);
+        prop_assert_eq!(out.non_halted, decoded.non_halted);
+        prop_assert_eq!(&out.first_failure, &decoded.first_failure);
+        prop_assert_eq!(out.elapsed_ns, decoded.elapsed_ns);
+        let ours: Vec<u64> = out.prob1_sum.iter().map(|p| p.to_bits()).collect();
+        let theirs: Vec<u64> = decoded.prob1_sum.iter().map(|p| p.to_bits()).collect();
+        prop_assert_eq!(ours, theirs, "P(1) sums must round-trip bit-exactly");
+    }
+
+    /// Every strict prefix of an encoded job fails with a typed error
+    /// — never a panic, never a bogus success.
+    #[test]
+    fn truncation_always_rejected(job in arb_job(), cut_seed in any::<u64>()) {
+        let bytes = encode_job(&job).expect("encodes");
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        let err = decode_job(&bytes[..cut]).expect_err("prefix cannot decode");
+        prop_assert!(
+            matches!(
+                err,
+                WireError::Truncated { .. } | WireError::Invalid(_) | WireError::UnknownTag { .. }
+            ),
+            "unexpected error class: {}", err
+        );
+    }
+
+    /// Flipping the instruction-count prefix region or appending bytes
+    /// is always detected (the job codec consumes exactly its bytes).
+    #[test]
+    fn trailing_garbage_rejected(job in arb_job(), extra in 1usize..16) {
+        let mut bytes = encode_job(&job).expect("encodes");
+        bytes.extend(std::iter::repeat_n(0xabu8, extra));
+        prop_assert!(decode_job(&bytes).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic rejection cases
+// ---------------------------------------------------------------------
+
+#[test]
+fn bad_magic_is_typed() {
+    let hello = wire::Hello {
+        version: wire::PROTOCOL_VERSION,
+    };
+    let mut bytes = hello.encode();
+    bytes[0] ^= 0x20;
+    match wire::Hello::decode(&bytes) {
+        Err(WireError::BadMagic { found }) => assert_eq!(found[1..], wire::MAGIC[1..]),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn version_mismatch_reports_both_versions() {
+    // The client-side check: a HelloAck carrying a different version.
+    let ack = wire::HelloAck {
+        version: wire::PROTOCOL_VERSION + 7,
+        capacity: 1,
+        name: "future-worker".to_owned(),
+    };
+    let decoded = wire::HelloAck::decode(&ack.encode()).expect("well-formed");
+    assert_eq!(decoded.version, wire::PROTOCOL_VERSION + 7);
+    // net.rs turns this into WireError::VersionMismatch; the typed
+    // error renders both ends' versions for the operator.
+    let err = WireError::VersionMismatch {
+        ours: wire::PROTOCOL_VERSION,
+        theirs: decoded.version,
+    };
+    let rendered = err.to_string();
+    assert!(rendered.contains(&format!("v{}", wire::PROTOCOL_VERSION)));
+    assert!(rendered.contains(&format!("v{}", wire::PROTOCOL_VERSION + 7)));
+}
+
+#[test]
+fn unknown_instruction_tag_rejected() {
+    let job = Job::new(
+        "tagged",
+        Instantiation::paper_two_qubit(),
+        vec![Instruction::Stop],
+    );
+    let bytes = encode_job(&job).expect("encodes");
+    // The program's single instruction tag is the byte right before
+    // the trailing SimConfig + shots + seed block. Find it by
+    // re-encoding with a different instruction and diffing.
+    let nop_bytes = encode_job(&Job {
+        program: vec![Instruction::Nop],
+        ..job.clone()
+    })
+    .expect("encodes");
+    let diff_at = bytes
+        .iter()
+        .zip(&nop_bytes)
+        .position(|(a, b)| a != b)
+        .expect("programs differ");
+    let mut corrupt = bytes.clone();
+    corrupt[diff_at] = 0xee;
+    match decode_job(&corrupt) {
+        Err(WireError::UnknownTag { what, tag }) => {
+            assert_eq!(what, "Instruction");
+            assert_eq!(tag, 0xee);
+        }
+        other => panic!("expected UnknownTag, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_length_frame_rejected() {
+    let buf = 0u32.to_le_bytes().to_vec();
+    assert!(matches!(
+        wire::read_frame(&mut buf.as_slice()),
+        Err(WireError::Invalid(_))
+    ));
+}
+
+#[test]
+fn short_frame_body_is_io_error() {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&100u32.to_le_bytes());
+    buf.extend_from_slice(&[1, 2, 3]); // 97 bytes missing
+    assert!(matches!(
+        wire::read_frame(&mut buf.as_slice()),
+        Err(WireError::Io(_))
+    ));
+}
+
+#[test]
+fn run_range_frame_roundtrip() {
+    let job = Job::new(
+        "frame",
+        Instantiation::paper_two_qubit(),
+        vec![Instruction::Stop],
+    );
+    let request = wire::RunRange {
+        start: 128,
+        end: 256,
+        job_bytes: encode_job(&job).unwrap(),
+    };
+    let decoded = wire::RunRange::decode(&request.encode()).unwrap();
+    assert_eq!(decoded, request);
+    assert_eq!(decode_job(&decoded.job_bytes).unwrap(), job);
+}
+
+#[test]
+fn fingerprint_distinguishes_jobs() {
+    let a = encode_job(&Job::new(
+        "a",
+        Instantiation::paper_two_qubit(),
+        vec![Instruction::Stop],
+    ))
+    .unwrap();
+    let b = encode_job(&Job::new(
+        "b",
+        Instantiation::paper_two_qubit(),
+        vec![Instruction::Stop],
+    ))
+    .unwrap();
+    assert_ne!(wire::job_fingerprint(&a), wire::job_fingerprint(&b));
+    assert_eq!(wire::job_fingerprint(&a), wire::job_fingerprint(&a));
+}

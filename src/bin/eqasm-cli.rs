@@ -10,6 +10,9 @@
 //! eqasm-cli serve    <spec> [options]        same mix through the job queue:
 //!                                            per-tenant fair scheduling with
 //!                                            streaming progress lines
+//! eqasm-cli worker   --listen <addr>         long-lived remote shot worker
+//!                                            speaking the versioned wire
+//!                                            protocol
 //!
 //! options for `run`:
 //!   --seed <n>       RNG seed (default 0)
@@ -21,8 +24,16 @@
 //! workload specs: rabi | allxy | rb | active-reset | mix
 //! options for `workload` and `serve`:
 //!   --shots <n>      shots per job instance (default 400)
-//!   --workers <n>    worker threads (default: machine parallelism)
+//!   --workers <n>    local worker threads (default: machine parallelism)
 //!   --seed <n>       base seed (default 0)
+//!   --remote <a,b>   (serve only) comma-separated worker addresses; the
+//!                    queue opens one slot per advertised worker slot and
+//!                    mixes them with the local pool
+//!
+//! options for `worker`:
+//!   --listen <addr>  address to bind, e.g. 127.0.0.1:7777 (required)
+//!   --capacity <n>   advertised concurrent slots (default: parallelism)
+//!   --name <s>       worker name shown to coordinators (default: hostname-ish)
 //! ```
 
 use std::process::ExitCode;
@@ -31,8 +42,9 @@ use eqasm::asm::{disassemble_source, encoding};
 use eqasm::compiler::lift_program;
 use eqasm::prelude::*;
 use eqasm::runtime::{
-    Job, JobHandle, JobQueue, MixedWorkload, PartialResult, ServeConfig, ShotEngine, Submission,
-    WorkloadKind, WorkloadReport, WorkloadSpec,
+    ExecBackend, Job, JobHandle, JobQueue, LocalBackend, MixedWorkload, PartialResult,
+    RemoteBackend, ServeConfig, ShotEngine, Submission, WorkerConfig, WorkloadKind, WorkloadReport,
+    WorkloadSpec,
 };
 
 fn load_instantiation(chip: &str) -> Result<Instantiation, String> {
@@ -47,25 +59,39 @@ fn load_instantiation(chip: &str) -> Result<Instantiation, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: eqasm-cli <asm|disasm|run|lift> <file> [--seed n] [--shots n] [--workers n] [--chip name] [--trace]\n       eqasm-cli <workload|serve> <rabi|allxy|rb|active-reset|mix> [--shots n] [--workers n] [--seed n]"
+        "usage: eqasm-cli <asm|disasm|run|lift> <file> [--seed n] [--shots n] [--workers n] [--chip name] [--trace]\n       eqasm-cli <workload|serve> <rabi|allxy|rb|active-reset|mix> [--shots n] [--workers n] [--seed n] [--remote host:port,...]\n       eqasm-cli worker --listen <addr> [--capacity n] [--name s]"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() < 2 {
+    if args.is_empty() {
         return usage();
     }
     let command = args[0].as_str();
-    let target = args[1].as_str();
+
+    // `worker` takes only flags (no positional target).
+    let flag_start = if command == "worker" { 1 } else { 2 };
+    if args.len() < flag_start {
+        return usage();
+    }
+    let target = if command == "worker" {
+        ""
+    } else {
+        args[1].as_str()
+    };
 
     let mut seed = 0u64;
     let mut shots: Option<u64> = None;
     let mut workers = 0usize;
     let mut chip = "surface7".to_owned();
     let mut trace = false;
-    let mut i = 2;
+    let mut listen: Option<String> = None;
+    let mut capacity: Option<usize> = None;
+    let mut name: Option<String> = None;
+    let mut remotes: Vec<String> = Vec::new();
+    let mut i = flag_start;
     while i < args.len() {
         match args[i].as_str() {
             "--seed" if i + 1 < args.len() => {
@@ -88,6 +114,28 @@ fn main() -> ExitCode {
                 trace = true;
                 i += 1;
             }
+            "--listen" if i + 1 < args.len() => {
+                listen = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--capacity" if i + 1 < args.len() => {
+                capacity = args[i + 1].parse().ok();
+                i += 2;
+            }
+            "--name" if i + 1 < args.len() => {
+                name = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--remote" if i + 1 < args.len() => {
+                remotes.extend(
+                    args[i + 1]
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_owned),
+                );
+                i += 2;
+            }
             other => {
                 eprintln!("unknown option `{other}`");
                 return usage();
@@ -95,11 +143,25 @@ fn main() -> ExitCode {
         }
     }
 
+    if command == "worker" {
+        let Some(addr) = listen else {
+            eprintln!("error: worker requires --listen <addr>");
+            return usage();
+        };
+        return match cmd_worker(&addr, capacity, name) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     if command == "workload" || command == "serve" {
         let result = if command == "workload" {
             cmd_workload(target, shots.unwrap_or(400), workers, seed)
         } else {
-            cmd_serve(target, shots.unwrap_or(400), workers, seed)
+            cmd_serve(target, shots.unwrap_or(400), workers, seed, &remotes)
         };
         return match result {
             Ok(()) => ExitCode::SUCCESS,
@@ -361,13 +423,78 @@ fn print_workload_row(w: &WorkloadReport) {
     );
 }
 
+/// Runs the long-lived remote shot worker: binds `addr`, prints one
+/// status line and serves coordinators until killed.
+fn cmd_worker(addr: &str, capacity: Option<usize>, name: Option<String>) -> Result<(), String> {
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let mut config = WorkerConfig::default();
+    if let Some(capacity) = capacity {
+        config = config.with_capacity(capacity);
+    }
+    if let Some(name) = name {
+        config = config.with_name(name);
+    }
+    let bound = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| addr.to_owned());
+    println!(
+        "eqasm worker `{}` listening on {bound} ({} slots, wire protocol v{})",
+        config.name,
+        config.capacity,
+        eqasm::runtime::wire::PROTOCOL_VERSION,
+    );
+    eqasm::runtime::run_worker(listener, config).map_err(|e| e.to_string())
+}
+
+/// Builds the serve backend pool: `workers` local slots plus every
+/// advertised slot of each `--remote` worker.
+fn build_backend_pool(
+    workers: usize,
+    remotes: &[String],
+) -> Result<Vec<Box<dyn ExecBackend>>, String> {
+    let local = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        workers
+    };
+    let mut backends: Vec<Box<dyn ExecBackend>> = (0..local)
+        .map(|i| Box::new(LocalBackend::new(i)) as Box<dyn ExecBackend>)
+        .collect();
+    for addr in remotes {
+        let pool = RemoteBackend::connect_pool(addr.clone())
+            .map_err(|e| format!("cannot attach remote worker {addr}: {e}"))?;
+        for backend in pool {
+            backends.push(Box::new(backend));
+        }
+    }
+    Ok(backends)
+}
+
 /// Drives the named workload through the `eqasm-serve` job queue:
 /// every spec becomes a tenant whose scheduling weight is its traffic
 /// weight, progress lines stream while the pool runs, and the final
-/// table reports queue wait vs active time per job.
-fn cmd_serve(spec: &str, shots: u64, workers: usize, seed: u64) -> Result<(), String> {
+/// table reports queue wait vs active time per job. With `--remote`,
+/// the pool mixes local slots and remote workers — results are
+/// bit-identical to a pure-local run by the batch-fold argument.
+fn cmd_serve(
+    spec: &str,
+    shots: u64,
+    workers: usize,
+    seed: u64,
+    remotes: &[String],
+) -> Result<(), String> {
     let specs = built_in_specs(spec, shots, seed)?;
-    let queue = JobQueue::new(ServeConfig::default().with_workers(workers));
+    let queue = if remotes.is_empty() {
+        JobQueue::new(ServeConfig::default().with_workers(workers))
+    } else {
+        let backends = build_backend_pool(workers, remotes)?;
+        for backend in &backends {
+            println!("backend: {}", backend.descriptor());
+        }
+        JobQueue::with_backends(ServeConfig::default(), backends)
+    };
 
     let started = std::time::Instant::now();
     let mut handles: Vec<JobHandle> = Vec::new();
