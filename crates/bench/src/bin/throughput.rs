@@ -179,9 +179,65 @@ fn main() {
         remote_rate
     );
 
+    // Elastic: the same job on a deliberately degraded pool (one
+    // local slot), with a loopback worker attached **mid-run** —
+    // recording shots/sec before and after the attach. This prices
+    // what the pool supervisor buys a production deployment: a
+    // degraded coordinator regains throughput the moment a worker
+    // (re)joins, with the result still asserted bit-identical.
+    let elistener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let eworker = spawn_worker(
+        elistener,
+        WorkerConfig::default()
+            .with_name("elastic-worker")
+            .with_capacity(2),
+    )
+    .expect("spawn elastic worker");
+    let elastic_queue = JobQueue::with_backends(
+        ServeConfig::default().with_batch_size(64),
+        vec![Box::new(LocalBackend::new(0))],
+    );
+    let attach_at = shots / 2;
+    let estarted = std::time::Instant::now();
+    let ehandle = elastic_queue
+        .submit(Submission::job("elastic", job.clone()))
+        .expect("submits")
+        .remove(0);
+    // Degraded phase: wait for roughly half the shots on one slot.
+    let (before_shots, before_elapsed) = loop {
+        let snap = ehandle.snapshot();
+        if snap.shots_done >= attach_at || snap.done {
+            break (snap.shots_done, estarted.elapsed());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    };
+    let mut elastic_slots = 1usize;
+    for backend in
+        RemoteBackend::connect_pool(eworker.addr().to_string()).expect("attach elastic worker")
+    {
+        elastic_queue
+            .attach_backend(Box::new(backend))
+            .expect("attach elastic slot");
+        elastic_slots += 1;
+    }
+    let attach_elapsed = estarted.elapsed();
+    let elastic_result = ehandle.wait().expect("completes");
+    let after_elapsed = estarted.elapsed() - attach_elapsed;
+    assert_eq!(
+        elastic_result.histogram, reference.histogram,
+        "mid-run attach must be bit-identical to the local engine"
+    );
+    assert_eq!(elastic_result.stats, reference.stats);
+    assert_eq!(elastic_result.mean_prob1, reference.mean_prob1);
+    let before_rate = before_shots as f64 / before_elapsed.as_secs_f64().max(1e-9);
+    let after_rate = (shots - before_shots) as f64 / after_elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "\nelastic: 1 -> {elastic_slots} slots mid-run, {before_rate:.0} shots/s degraded -> {after_rate:.0} shots/s after attach (bit-identical)"
+    );
+
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"bench\": \"runtime\",\n  \"workload\": \"rb-k24\",\n  \"shots\": {shots},\n  \"host_parallelism\": {available},\n  \"points\": [\n{}\n  ],\n  \"serve\": {{\n    \"workers\": {serve_workers},\n    \"jobs\": [\n{}\n    ]\n  }},\n  \"remote\": {{\n    \"pool\": {pool_size},\n    \"remote_slots\": {remote_slots},\n    \"shots_per_sec\": {remote_rate:.1},\n    \"bit_identical\": true\n  }}\n}}\n",
+        "{{\n  \"bench\": \"runtime\",\n  \"workload\": \"rb-k24\",\n  \"shots\": {shots},\n  \"host_parallelism\": {available},\n  \"points\": [\n{}\n  ],\n  \"serve\": {{\n    \"workers\": {serve_workers},\n    \"jobs\": [\n{}\n    ]\n  }},\n  \"remote\": {{\n    \"pool\": {pool_size},\n    \"remote_slots\": {remote_slots},\n    \"shots_per_sec\": {remote_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"elastic\": {{\n    \"slots_before\": 1,\n    \"slots_after\": {elastic_slots},\n    \"attach_at_shots\": {before_shots},\n    \"shots_per_sec_before\": {before_rate:.1},\n    \"shots_per_sec_after\": {after_rate:.1},\n    \"bit_identical\": true\n  }}\n}}\n",
         rows.join(",\n"),
         serve_rows.join(",\n")
     );

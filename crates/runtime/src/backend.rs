@@ -21,6 +21,15 @@
 //! value is one execution *slot* (a worker thread, one socket to a
 //! remote daemon), and a pool is simply `Vec<Box<dyn ExecBackend>>` —
 //! concurrency lives in the pool, not in every implementation.
+//!
+//! Pool *membership* lives above the trait too: the serve queue's
+//! slot lifecycle ([`crate::serve::SlotState`]) attaches, drains and
+//! retires backends around a running job
+//! ([`crate::serve::JobQueue::attach_backend`] /
+//! [`detach_backend`](crate::serve::JobQueue::detach_backend)), and
+//! the [`crate::PoolSupervisor`] feeds it reconnected workers — a
+//! backend implementation only ever sees `run_range` calls and never
+//! needs to know it is being rotated in or out.
 
 use std::ops::Range;
 

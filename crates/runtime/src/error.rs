@@ -26,9 +26,11 @@ pub enum RuntimeError {
     /// form).
     Service(String),
     /// An execution backend's transport failed (connection refused or
-    /// dropped, malformed or version-skewed frames). The *range* that
-    /// was being run is fine — the serve pool re-dispatches it to
-    /// another backend; only this backend is suspect.
+    /// dropped, malformed or version-skewed frames, or a request that
+    /// exceeded its I/O deadline because the worker hung rather than
+    /// died). The *range* that was being run is fine — the serve pool
+    /// re-dispatches it to another backend; only this backend is
+    /// suspect, and enough of these in a row retire its slot.
     Transport {
         /// The failing backend's name.
         backend: String,

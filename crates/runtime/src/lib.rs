@@ -25,7 +25,18 @@
 //!   backend value is one execution *slot* that runs contiguous shot
 //!   ranges ([`BatchOut`] per range). [`LocalBackend`] drives a
 //!   machine on the calling thread; [`RemoteBackend`] ships ranges to
-//!   a worker daemon ([`run_worker`] / `eqasm-cli worker`) over TCP;
+//!   a worker daemon ([`run_worker`] / `eqasm-cli worker`) over TCP,
+//!   under an I/O deadline that turns hung workers into retirable
+//!   transport failures;
+//! * **live pool membership** — slots follow an
+//!   `Active → Draining → Retired` lifecycle
+//!   ([`serve::SlotState`]): [`serve::JobQueue::attach_backend`]
+//!   grows a *running* pool, [`serve::JobQueue::detach_backend`]
+//!   drains a slot cleanly, and the [`PoolSupervisor`] probes worker
+//!   addresses (static list and/or a re-read registry file) on a
+//!   backoff schedule, reattaching workers that restart mid-run — a
+//!   coordinator rides fleet churn instead of decaying to whatever
+//!   survived boot;
 //! * [`wire`] — the hand-rolled, length-prefixed, versioned binary
 //!   protocol behind [`RemoteBackend`]: explicit encoders for jobs
 //!   (instantiation, instruction stream, simulator config) and batch
@@ -67,6 +78,13 @@
 //! range (bounded retries, preferring other backends) and only ever
 //! folds complete, well-formed batch results.
 //!
+//! And because the fold never consults *which* slot delivered a batch,
+//! the guarantee extends to **live membership churn**: slots attached
+//! mid-run, drained mid-run, or killed and re-attached by the
+//! supervisor can reorder completions but never change a bit of any
+//! streamed prefix or final aggregate (proven by the churn suite in
+//! `tests/remote.rs`).
+//!
 //! ## Example
 //!
 //! ```
@@ -98,6 +116,7 @@ mod error;
 mod job;
 mod net;
 pub mod serve;
+mod supervisor;
 pub mod wire;
 mod workload;
 
@@ -106,8 +125,13 @@ pub use backend::{BackendDescriptor, BackendKind, BatchOut, ExecBackend, LocalBa
 pub use engine::ShotEngine;
 pub use error::RuntimeError;
 pub use job::{default_batch_size, partition_shots, Job};
-pub use net::{ping, run_worker, spawn_worker, RemoteBackend, WorkerConfig, WorkerHandle};
-pub use serve::{
-    CacheStats, JobHandle, JobQueue, PartialResult, ServeConfig, Submission, TenantId,
+pub use net::{
+    ping, ping_within, run_worker, run_worker_until, spawn_worker, RemoteBackend, WorkerConfig,
+    WorkerHandle, DEFAULT_IO_TIMEOUT,
 };
+pub use serve::{
+    CacheStats, JobHandle, JobQueue, PartialResult, ServeConfig, SlotState, SlotStatus, Submission,
+    TenantId,
+};
+pub use supervisor::{PoolSupervisor, SupervisorConfig, WorkerStatus};
 pub use workload::{MixedReport, MixedWorkload, WorkloadKind, WorkloadReport, WorkloadSpec};

@@ -28,6 +28,31 @@
 //!   is only ever folded from a complete, well-formed response, so a
 //!   worker dying mid-range can lose *work* but never corrupt a
 //!   result.
+//! * A worker that **hangs** — host wedged, process stopped, TCP
+//!   stack still acking — is caught by the client-side request
+//!   deadline ([`DEFAULT_IO_TIMEOUT`], configurable per backend): the
+//!   stalled request becomes [`RuntimeError::Transport`] and the same
+//!   re-dispatch/retire path takes over. Without the deadline a hung
+//!   worker wedged its dispatch slot forever, and retirement never
+//!   fired because no error ever surfaced.
+//!
+//! ## Worker lifecycle
+//!
+//! The daemon is built to *ride churn*, in both directions:
+//!
+//! * **Dying gracefully** — [`run_worker_until`] drains on shutdown:
+//!   it stops accepting, lets every in-flight batch finish and its
+//!   response reach the coordinator, then exits. `eqasm-cli worker`
+//!   wires SIGINT/SIGTERM to that flag, so a rolling restart never
+//!   loses a completed batch — coordinators just see slots retire.
+//! * **Coming back** — a restarted worker is picked up by the
+//!   coordinator's [`crate::PoolSupervisor`], which probes known
+//!   addresses on a backoff schedule, re-handshakes, and attaches
+//!   fresh slots to the live [`crate::serve::JobQueue`]
+//!   ([`JobQueue::attach_backend`](crate::serve::JobQueue::attach_backend)).
+//! * **Not dying needlessly** — one bad `accept` or one failed
+//!   connection-thread spawn costs one connection, never the daemon:
+//!   both are logged and survived.
 //!
 //! Workers trust their coordinators (no authentication or transport
 //! encryption in v1 — run them on a private network; see ROADMAP).
@@ -35,9 +60,9 @@
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use eqasm_microarch::QuMa;
 
@@ -48,6 +73,27 @@ use crate::job::Job;
 use crate::wire::{
     self, ErrorKind, ErrorMsg, Hello, HelloAck, RunRange, WireError, PROTOCOL_VERSION,
 };
+
+/// Default read/write deadline for remote requests. Generous — a
+/// legitimate million-shot range on a loaded worker can take a while —
+/// but finite: a worker that *hangs* (accepts requests, never answers)
+/// must eventually surface as a transport failure so the serve pool
+/// can re-dispatch the range and retire the slot, instead of wedging a
+/// dispatch thread forever.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How often a parked worker connection re-checks the drain flag while
+/// waiting for its next request.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// How often a nonblocking accept loop polls. Short enough that
+/// [`WorkerHandle::kill`] and daemon shutdown are prompt; long enough
+/// to cost nothing.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// How long a draining daemon waits for in-flight connections to
+/// finish their current batch before giving up on them.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
 
 // ---------------------------------------------------------------------
 // Worker daemon
@@ -110,13 +156,18 @@ impl WorkerHandle {
     /// ones — the "worker host died mid-job" failure, as a method, so
     /// failover paths can be tested deterministically. Clients see
     /// transport errors on their next (or in-flight) request.
+    ///
+    /// Reliable by construction: the accept loop polls a nonblocking
+    /// listener, so the shutdown flag alone stops it within one poll
+    /// interval. (It used to dial itself with a short connect timeout
+    /// to unblock a blocking accept — on a loaded host that connect
+    /// could time out and leave the accept thread parked until the
+    /// next real client.)
     pub fn kill(&self) {
         self.shutdown.store(true, Ordering::Release);
         for (_, conn) in self.conns.lock().expect("conn list poisoned").drain(..) {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
-        // Unblock the accept loop so the thread exits.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
     }
 }
 
@@ -134,6 +185,7 @@ impl Drop for WorkerHandle {
 /// [`WorkerHandle::kill`]).
 pub fn spawn_worker(listener: TcpListener, config: WorkerConfig) -> std::io::Result<WorkerHandle> {
     let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let conns: Arc<Mutex<Vec<(u64, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -144,11 +196,27 @@ pub fn spawn_worker(listener: TcpListener, config: WorkerConfig) -> std::io::Res
         .name("eqasm-worker-accept".to_owned())
         .spawn(move || {
             let mut next_id = 0u64;
-            for stream in listener.incoming() {
+            // Nonblocking accept poll: the shutdown flag alone stops
+            // this loop (see `WorkerHandle::kill` on why a blocking
+            // accept was a liability).
+            loop {
                 if accept_shutdown.load(Ordering::Acquire) {
                     break;
                 }
-                let Ok(stream) = stream else { continue };
+                let stream = match listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                        continue;
+                    }
+                    Err(_) => {
+                        // Transient accept failure: never take the
+                        // worker down over one bad accept.
+                        std::thread::sleep(ACCEPT_POLL);
+                        continue;
+                    }
+                };
+                let _ = stream.set_nonblocking(false);
                 let id = next_id;
                 next_id += 1;
                 if let Ok(clone) = stream.try_clone() {
@@ -159,10 +227,11 @@ pub fn spawn_worker(listener: TcpListener, config: WorkerConfig) -> std::io::Res
                 }
                 let config = accept_config.clone();
                 let conns = Arc::clone(&accept_conns);
-                let _ = std::thread::Builder::new()
+                let conn_shutdown = Arc::clone(&accept_shutdown);
+                if let Err(e) = std::thread::Builder::new()
                     .name("eqasm-worker-conn".to_owned())
                     .spawn(move || {
-                        serve_connection(stream, &config);
+                        serve_connection(stream, &config, &conn_shutdown);
                         // Prune this connection's kill-handle clone:
                         // a long-lived embedded worker must not leak
                         // one duplicated fd per past connection.
@@ -170,7 +239,18 @@ pub fn spawn_worker(listener: TcpListener, config: WorkerConfig) -> std::io::Res
                             .lock()
                             .expect("conn list poisoned")
                             .retain(|(i, _)| *i != id);
-                    });
+                    })
+                {
+                    // One connection lost to thread pressure; the
+                    // daemon (and its other slots) live on.
+                    eprintln!(
+                        "worker: could not spawn connection thread ({e}); dropping one connection"
+                    );
+                    accept_conns
+                        .lock()
+                        .expect("conn list poisoned")
+                        .retain(|(i, _)| *i != id);
+                }
             }
         })?;
 
@@ -182,28 +262,81 @@ pub fn spawn_worker(listener: TcpListener, config: WorkerConfig) -> std::io::Res
     })
 }
 
-/// Runs a worker daemon on `listener`, blocking forever — the body of
-/// `eqasm-cli worker --listen <addr>`.
-///
-/// Transient `accept` failures (a client resetting mid-handshake, fd
-/// pressure during a reconnect storm) are reported to stderr and
-/// survived — a long-lived daemon must not take all its slots offline
-/// over one bad accept. Only a poisoned listener could loop here, and
-/// the backoff keeps even that from spinning a core.
+/// Runs a worker daemon on `listener`, blocking until killed — the
+/// body of `eqasm-cli worker --listen <addr>`. Equivalent to
+/// [`run_worker_until`] with a flag that never flips.
 pub fn run_worker(listener: TcpListener, config: WorkerConfig) -> std::io::Result<()> {
-    for stream in listener.incoming() {
-        let stream = match stream {
-            Ok(stream) => stream,
+    run_worker_until(listener, config, &AtomicBool::new(false))
+}
+
+/// Runs a worker daemon on `listener` until `shutdown` flips, then
+/// **drains cleanly**: stops accepting, lets every in-flight batch
+/// finish and its response reach the coordinator, and closes idle
+/// connections — so a coordinator never loses a completed batch to a
+/// worker restart, it only sees slots retire. The CLI flips the flag
+/// from its SIGINT/SIGTERM handler, making rolling worker restarts a
+/// clean drain instead of an abrupt kill.
+///
+/// Availability hardening, both learned the hard way:
+///
+/// * Transient `accept` failures (a client resetting mid-handshake,
+///   fd pressure during a reconnect storm) are reported to stderr and
+///   survived — a long-lived daemon must not take all its slots
+///   offline over one bad accept.
+/// * A *thread-spawn* failure for one connection is the same story:
+///   log it, close that one connection, keep serving the others.
+///   (It used to propagate with `?` and take the whole daemon down —
+///   exactly the cascade the accept-loop hardening was meant to
+///   prevent.)
+pub fn run_worker_until(
+    listener: TcpListener,
+    config: WorkerConfig,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    // Connections watch this (not the caller's reference, which this
+    // function cannot outlive) and close after their current request.
+    let conn_shutdown = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
             Err(e) => {
                 eprintln!("worker: accept failed ({e}); continuing");
                 std::thread::sleep(Duration::from_millis(50));
                 continue;
             }
         };
+        let _ = stream.set_nonblocking(false);
         let config = config.clone();
-        std::thread::Builder::new()
+        let conn_shutdown = Arc::clone(&conn_shutdown);
+        let active_in_thread = Arc::clone(&active);
+        active.fetch_add(1, Ordering::SeqCst);
+        let spawned = std::thread::Builder::new()
             .name("eqasm-worker-conn".to_owned())
-            .spawn(move || serve_connection(stream, &config))?;
+            .spawn(move || {
+                serve_connection(stream, &config, &conn_shutdown);
+                active_in_thread.fetch_sub(1, Ordering::SeqCst);
+            });
+        if let Err(e) = spawned {
+            active.fetch_sub(1, Ordering::SeqCst);
+            eprintln!("worker: could not spawn connection thread ({e}); dropping one connection");
+        }
+    }
+    // Drain: no new work is accepted; every connection finishes the
+    // request it is running (a batch mid-execution completes and its
+    // response is written) and then closes.
+    conn_shutdown.store(true, Ordering::Release);
+    let deadline = Instant::now() + DRAIN_TIMEOUT;
+    while active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
     }
     Ok(())
 }
@@ -219,9 +352,40 @@ fn send_error(stream: &mut TcpStream, kind: ErrorKind, message: String) {
     let _ = wire::write_frame(stream, wire::tag::ERROR, &msg.encode());
 }
 
+/// Parks until `stream` has a readable byte (without consuming it),
+/// re-checking `shutdown` every [`IDLE_POLL`]. Returns `false` when
+/// the connection should close instead: peer EOF, a socket error, or a
+/// drain request. The read timeout is always cleared before returning
+/// `true`, so the subsequent frame read cannot be cut mid-frame by the
+/// poll deadline.
+fn wait_readable(stream: &TcpStream, shutdown: &AtomicBool) -> bool {
+    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return false;
+    }
+    let mut byte = [0u8; 1];
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return false;
+        }
+        match stream.peek(&mut byte) {
+            Ok(0) => return false, // peer closed
+            Ok(_) => return stream.set_read_timeout(None).is_ok(),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return false,
+        }
+    }
+}
+
 /// One connection = one execution slot: handshake, then a sequential
 /// request/response loop with a per-connection machine cache.
-fn serve_connection(mut stream: TcpStream, config: &WorkerConfig) {
+///
+/// `shutdown` is the daemon's drain flag: once it flips, the
+/// connection finishes the request it is executing (if any), writes
+/// the response, and closes instead of waiting for more work — the
+/// coordinator sees a clean slot retirement, never a lost batch.
+fn serve_connection(mut stream: TcpStream, config: &WorkerConfig, shutdown: &AtomicBool) {
     let _ = stream.set_nodelay(true);
 
     // Handshake: the first frame must be a valid, version-matched
@@ -271,6 +435,12 @@ fn serve_connection(mut stream: TcpStream, config: &WorkerConfig) {
     let mut cached: Option<(Vec<u8>, Job, QuMa)> = None;
 
     loop {
+        // Idle wait between requests is where a drain lands for a
+        // healthy slot; a request already in progress below finishes
+        // first (the flag is re-checked after the response).
+        if !wait_readable(&stream, shutdown) {
+            return;
+        }
         let (tag, payload) = match wire::read_frame(&mut stream) {
             Ok(frame) => frame,
             Err(_) => return, // disconnect or garbage: drop the slot
@@ -361,12 +531,25 @@ fn serve_connection(mut stream: TcpStream, config: &WorkerConfig) {
 /// request once; if the worker is still unreachable it reports
 /// [`RuntimeError::Transport`] and the serve pool re-dispatches the
 /// range elsewhere.
+///
+/// Every request runs under a read/write deadline
+/// ([`DEFAULT_IO_TIMEOUT`] unless overridden via
+/// [`RemoteBackend::connect_with_timeout`] /
+/// [`RemoteBackend::with_io_timeout`]): a worker that *hangs* — its
+/// host wedged, its process stopped but the TCP stack alive — turns
+/// into a [`RuntimeError::Transport`] after the deadline instead of
+/// blocking a dispatch slot forever. A timed-out request is **not**
+/// transparently retried (the same worker would very likely eat
+/// another full deadline); the error goes straight to the pool, whose
+/// re-dispatch/retire machinery handles it.
 pub struct RemoteBackend {
     addr: String,
     name: String,
     protocol: u16,
     capacity: u32,
     stream: Option<TcpStream>,
+    /// Read/write deadline on every exchange; `None` waits forever.
+    io_timeout: Option<Duration>,
     /// Client-side encode cache: the last job sent and its bytes, so
     /// consecutive ranges of one job encode once.
     encoded: Option<(Job, Vec<u8>)>,
@@ -384,7 +567,8 @@ impl std::fmt::Debug for RemoteBackend {
 }
 
 impl RemoteBackend {
-    /// Connects to a worker and performs the versioned handshake.
+    /// Connects to a worker and performs the versioned handshake,
+    /// with the [`DEFAULT_IO_TIMEOUT`] request deadline.
     ///
     /// # Errors
     ///
@@ -392,8 +576,18 @@ impl RemoteBackend {
     /// does not speak the protocol (bad magic), or speaks a different
     /// version of it.
     pub fn connect(addr: impl Into<String>) -> Result<Self, RuntimeError> {
+        RemoteBackend::connect_with_timeout(addr, Some(DEFAULT_IO_TIMEOUT))
+    }
+
+    /// [`RemoteBackend::connect`] with an explicit request deadline
+    /// (`None` waits forever — the pre-deadline behaviour, which a
+    /// hung worker can wedge).
+    pub fn connect_with_timeout(
+        addr: impl Into<String>,
+        io_timeout: Option<Duration>,
+    ) -> Result<Self, RuntimeError> {
         let addr = addr.into();
-        let (stream, ack) = handshake(&addr).map_err(|e| RuntimeError::Transport {
+        let (stream, ack) = handshake(&addr, io_timeout).map_err(|e| RuntimeError::Transport {
             backend: format!("remote {addr}"),
             message: e.to_string(),
         })?;
@@ -403,12 +597,14 @@ impl RemoteBackend {
             protocol: ack.version,
             capacity: ack.capacity.max(1),
             stream: Some(stream),
+            io_timeout,
             encoded: None,
         })
     }
 
     /// Connects one backend per slot the worker advertises — the
-    /// "give me this worker's full parallelism" constructor.
+    /// "give me this worker's full parallelism" constructor, with the
+    /// [`DEFAULT_IO_TIMEOUT`] request deadline.
     ///
     /// # Errors
     ///
@@ -416,17 +612,42 @@ impl RemoteBackend {
     /// accepted the first connection but refuses later ones yields the
     /// connections that did succeed (at least one).
     pub fn connect_pool(addr: impl Into<String>) -> Result<Vec<Self>, RuntimeError> {
+        RemoteBackend::connect_pool_with_timeout(addr, Some(DEFAULT_IO_TIMEOUT))
+    }
+
+    /// [`RemoteBackend::connect_pool`] with an explicit request
+    /// deadline for every pooled connection.
+    pub fn connect_pool_with_timeout(
+        addr: impl Into<String>,
+        io_timeout: Option<Duration>,
+    ) -> Result<Vec<Self>, RuntimeError> {
         let addr = addr.into();
-        let first = RemoteBackend::connect(addr.clone())?;
+        let first = RemoteBackend::connect_with_timeout(addr.clone(), io_timeout)?;
         let want = first.capacity as usize;
         let mut pool = vec![first];
         while pool.len() < want {
-            match RemoteBackend::connect(addr.clone()) {
+            match RemoteBackend::connect_with_timeout(addr.clone(), io_timeout) {
                 Ok(backend) => pool.push(backend),
                 Err(_) => break, // partial pool beats no pool
             }
         }
         Ok(pool)
+    }
+
+    /// Returns the backend with a different request deadline, applied
+    /// to the live connection immediately (`None` waits forever).
+    pub fn with_io_timeout(mut self, io_timeout: Option<Duration>) -> Self {
+        self.io_timeout = io_timeout;
+        if let Some(stream) = &self.stream {
+            let _ = stream.set_read_timeout(io_timeout);
+            let _ = stream.set_write_timeout(io_timeout);
+        }
+        self
+    }
+
+    /// The request deadline in force (`None` = wait forever).
+    pub fn io_timeout(&self) -> Option<Duration> {
+        self.io_timeout
     }
 
     /// The slot capacity the worker advertised.
@@ -449,12 +670,30 @@ impl RemoteBackend {
     /// One request/response exchange on the current stream.
     /// `request_payload` is a pre-encoded [`RunRange`] payload.
     fn exchange(&mut self, request_payload: &[u8]) -> Result<BatchOut, Exchange> {
+        let timeout = self.io_timeout;
+        let timed_out = |e: &std::io::Error| {
+            e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut
+        };
+        let stall = |what: &str| {
+            Exchange::Fatal(format!(
+                "worker stalled: no {what} progress within {timeout:?} — \
+                 treating the slot as hung"
+            ))
+        };
         let stream = self.stream.as_mut().ok_or(Exchange::Reconnect)?;
-        if wire::write_frame(stream, wire::tag::RUN_RANGE, request_payload).is_err() {
-            return Err(Exchange::Reconnect);
+        if let Err(e) = wire::write_frame(stream, wire::tag::RUN_RANGE, request_payload) {
+            // A stalled *write* (the worker stopped reading and the
+            // send buffer filled) is the hung-worker case, not a dead
+            // connection: retrying on a fresh connection would just
+            // eat another full deadline, so fail the slot now.
+            return match e {
+                WireError::Io(io) if timed_out(&io) => Err(stall("write")),
+                _ => Err(Exchange::Reconnect),
+            };
         }
         let (tag, payload) = match wire::read_frame(stream) {
             Ok(frame) => frame,
+            Err(WireError::Io(io)) if timed_out(&io) => return Err(stall("read")),
             Err(WireError::Io(_)) => return Err(Exchange::Reconnect),
             Err(e) => return Err(Exchange::Fatal(e.to_string())),
         };
@@ -488,7 +727,12 @@ enum Exchange {
     Load(String),
 }
 
-fn handshake(addr: &str) -> Result<(TcpStream, HelloAck), WireError> {
+/// Connects and performs the client side of the versioned handshake.
+/// `io_timeout` becomes the stream's read/write deadline — covering
+/// the handshake itself (a worker that accepts the TCP connection and
+/// then goes silent must not hang the caller) and every later request
+/// on the returned stream.
+fn handshake(addr: &str, io_timeout: Option<Duration>) -> Result<(TcpStream, HelloAck), WireError> {
     let mut last_err: Option<std::io::Error> = None;
     let mut stream = None;
     for candidate in addr.to_socket_addrs()? {
@@ -509,6 +753,10 @@ fn handshake(addr: &str) -> Result<(TcpStream, HelloAck), WireError> {
         }))
     })?;
     stream.set_nodelay(true).ok();
+    stream.set_read_timeout(io_timeout).map_err(WireError::Io)?;
+    stream
+        .set_write_timeout(io_timeout)
+        .map_err(WireError::Io)?;
     let hello = Hello {
         version: PROTOCOL_VERSION,
     };
@@ -592,7 +840,7 @@ impl ExecBackend for RemoteBackend {
                 Err(Exchange::Reconnect) => {
                     self.stream = None;
                     if attempt == 0 {
-                        match handshake(&self.addr) {
+                        match handshake(&self.addr, self.io_timeout) {
                             Ok((stream, ack)) => {
                                 self.name = ack.name;
                                 self.stream = Some(stream);
@@ -607,14 +855,21 @@ impl ExecBackend for RemoteBackend {
     }
 }
 
-/// Sends a liveness probe over a dedicated short-lived connection.
-/// Returns the worker's handshake metadata.
+/// Sends a liveness probe over a dedicated short-lived connection,
+/// under the [`DEFAULT_IO_TIMEOUT`] deadline. Returns the worker's
+/// handshake metadata.
 ///
 /// # Errors
 ///
 /// [`WireError`] when the worker is unreachable or unhealthy.
 pub fn ping(addr: &str) -> Result<HelloAck, WireError> {
-    let (mut stream, ack) = handshake(addr)?;
+    ping_within(addr, Some(DEFAULT_IO_TIMEOUT))
+}
+
+/// [`ping`] with an explicit deadline — what the pool supervisor uses,
+/// so one hung worker cannot stall a whole discovery sweep.
+pub fn ping_within(addr: &str, io_timeout: Option<Duration>) -> Result<HelloAck, WireError> {
+    let (mut stream, ack) = handshake(addr, io_timeout)?;
     wire::write_frame(&mut stream, wire::tag::PING, &[])?;
     let (tag, _) = wire::read_frame(&mut stream)?;
     if tag != wire::tag::PONG {
@@ -696,6 +951,114 @@ mod tests {
         // The slot survives a load failure: a good job still runs.
         let out = remote.run_range(&tiny_job(4), 0..4).expect("recovers");
         assert_eq!(out.shots(), 4);
+    }
+
+    /// A worker that *hangs* instead of dying: accepts the TCP
+    /// connection, completes the handshake, reads requests — and never
+    /// answers one. The pre-deadline client would block in
+    /// `read_frame` forever.
+    fn spawn_hung_worker() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        std::thread::spawn(move || {
+            let Ok((mut stream, _)) = listener.accept() else {
+                return;
+            };
+            let Ok((tag, payload)) = wire::read_frame(&mut stream) else {
+                return;
+            };
+            assert_eq!(tag, wire::tag::HELLO);
+            Hello::decode(&payload).expect("valid hello");
+            let ack = HelloAck {
+                version: PROTOCOL_VERSION,
+                capacity: 1,
+                name: "hung-worker".to_owned(),
+            };
+            let _ = wire::write_frame(&mut stream, wire::tag::HELLO_ACK, &ack.encode());
+            // Swallow the request, answer nothing, keep the
+            // connection open (the TCP stack stays healthy — only the
+            // "worker" is wedged).
+            let _ = wire::read_frame(&mut stream);
+            std::thread::sleep(Duration::from_secs(30));
+        });
+        addr
+    }
+
+    #[test]
+    fn hung_worker_times_out_as_transport_error() {
+        // Regression: with only connect_timeout set, a worker that
+        // accepted the request and then stalled blocked the dispatch
+        // slot forever — no error ever surfaced, so retirement never
+        // fired. The I/O deadline turns the stall into a transport
+        // error the re-dispatch/retire path can act on.
+        let addr = spawn_hung_worker();
+        let mut remote =
+            RemoteBackend::connect_with_timeout(addr.to_string(), Some(Duration::from_millis(200)))
+                .expect("handshake succeeds; only requests hang");
+        let started = Instant::now();
+        let err = remote
+            .run_range(&tiny_job(4), 0..4)
+            .expect_err("stalled request must not block forever");
+        assert!(err.is_transport(), "{err}");
+        assert!(err.to_string().contains("stalled"), "{err}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "deadline must fire in bounded time, took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn drained_worker_finishes_requests_then_exits() {
+        // run_worker_until: flipping the flag stops the accept loop
+        // and closes connections *between* requests — the daemon-side
+        // half of a clean rolling restart.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        let flag = Arc::new(AtomicBool::new(false));
+        let daemon_flag = Arc::clone(&flag);
+        let daemon = std::thread::spawn(move || {
+            run_worker_until(
+                listener,
+                WorkerConfig::default().with_name("drainer"),
+                &daemon_flag,
+            )
+        });
+
+        let mut remote = RemoteBackend::connect(addr.to_string()).expect("connects");
+        let out = remote.run_range(&tiny_job(4), 0..4).expect("serves");
+        assert_eq!(out.shots(), 4);
+
+        flag.store(true, Ordering::Release);
+        daemon
+            .join()
+            .expect("daemon thread")
+            .expect("clean drain exit");
+
+        // The drained daemon is gone: the next request cannot even
+        // reconnect.
+        let err = remote
+            .run_range(&tiny_job(4), 0..4)
+            .expect_err("drained daemon serves nothing");
+        assert!(err.is_transport(), "{err}");
+    }
+
+    #[test]
+    fn kill_stops_worker_promptly() {
+        // Regression for the kill race: kill() used to unblock the
+        // accept loop by dialing itself with a 200 ms connect timeout
+        // — on a loaded host the connect could time out and leave the
+        // accept thread parked until the next real client. The
+        // nonblocking accept poll makes kill + join bounded.
+        let worker = spawn_local_worker(1);
+        let started = Instant::now();
+        worker.kill();
+        drop(worker); // joins the accept thread
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "kill+join took {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

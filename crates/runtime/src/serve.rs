@@ -17,19 +17,26 @@
 //!   pollers can read at any time;
 //! * a **program cache** keyed by [`WorkloadKind`], so mixed-traffic
 //!   streams stop rebuilding identical programs per job instance;
-//! * a **backend pool** — dispatch drives `Box<dyn `[`ExecBackend`]`>`
-//!   slots, so the same queue schedules onto local threads
-//!   ([`crate::LocalBackend`]), remote workers
+//! * a **backend pool with live membership** — dispatch drives
+//!   `Box<dyn `[`ExecBackend`]`>` slots, so the same queue schedules
+//!   onto local threads ([`crate::LocalBackend`]), remote workers
 //!   ([`crate::RemoteBackend`]) or any mix
 //!   ([`JobQueue::with_backends`]); a batch lost to a backend failure
-//!   is re-dispatched to another backend with bounded retries;
+//!   is re-dispatched to another backend with bounded retries. Slots
+//!   follow the [`SlotState`] lifecycle (`Active → Draining →
+//!   Retired`): [`JobQueue::attach_backend`] adds capacity to the
+//!   *running* pool, [`JobQueue::detach_backend`] drains a slot
+//!   cleanly, repeated transport failures retire one automatically,
+//!   and [`JobQueue::pool_status`] reports it all — so a
+//!   [`crate::PoolSupervisor`] can ride worker-fleet churn instead of
+//!   letting the pool decay to whatever survived boot;
 //! * **admission control** — a per-tenant cap on queued-but-not-started
 //!   shots ([`ServeConfig::with_pending_cap`]); a submission that would
 //!   exceed it is rejected with
 //!   [`RuntimeError::AdmissionRejected`] instead of growing the queue
 //!   without bound.
 //!
-//! ## Snapshot determinism
+//! ## Snapshot determinism — including under pool churn
 //!
 //! Completed batches are folded into each job's snapshot strictly in
 //! batch-index order (out-of-order completions are stashed until the
@@ -40,6 +47,20 @@
 //! [`crate::ShotEngine::run_job`] on the same job. Streaming partial
 //! histograms are exact prefixes of the final answer, not
 //! approximations.
+//!
+//! The same argument makes **membership churn invisible**: a batch is
+//! a pure function of `(job, range)`, every slot (whenever it was
+//! attached, wherever it runs) produces the identical
+//! [`crate::BatchOut`] for a given range, and the fold never consults
+//! *which* slot
+//! delivered a batch — only its index. So attaching a slot mid-run,
+//! draining one, or a worker dying and being re-attached by the
+//! supervisor can reorder *completions*, which the stash absorbs, but
+//! can never change a single bit of any prefix or of the final
+//! aggregates. This is proven by the churn suite in
+//! `tests/remote.rs`, which checks every observed snapshot against
+//! serial per-prefix references while the pool is mutated under the
+//! job.
 //!
 //! ## Example
 //!
@@ -189,6 +210,22 @@ pub struct ServeConfig {
     /// re-dispatched before its job is failed. Each retry prefers a
     /// backend other than the one that just failed.
     pub max_batch_retries: u32,
+    /// What to do when the last live slot retires with work
+    /// outstanding. `false` (the default) fails every unfinished job —
+    /// the PR 3 behaviour, right for a static pool where no slot will
+    /// ever return. `true` keeps jobs queued through an empty-pool
+    /// window, for elastic pools where a [`crate::PoolSupervisor`]
+    /// (or an explicit [`JobQueue::attach_backend`]) is expected to
+    /// restore capacity; without one, `wait()` on those jobs blocks
+    /// until capacity returns or the queue shuts down.
+    pub hold_when_empty: bool,
+    /// Read/write deadline applied to [`crate::RemoteBackend`]s built
+    /// from this config (the CLI pool builder and the supervisor both
+    /// honour it). A worker that *hangs* — accepts requests but never
+    /// answers — then surfaces as [`RuntimeError::Transport`] after
+    /// this long instead of wedging its dispatch slot forever. `None`
+    /// disables the deadline.
+    pub remote_io_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -201,6 +238,8 @@ impl Default for ServeConfig {
             retain_latencies: false,
             pending_cap: u64::MAX,
             max_batch_retries: 3,
+            hold_when_empty: false,
+            remote_io_timeout: Some(crate::net::DEFAULT_IO_TIMEOUT),
         }
     }
 }
@@ -244,6 +283,75 @@ impl ServeConfig {
         self.max_batch_retries = retries;
         self
     }
+
+    /// Returns the config holding jobs (instead of failing them) while
+    /// the pool is empty — see [`ServeConfig::hold_when_empty`].
+    pub fn with_hold_when_empty(mut self, hold: bool) -> Self {
+        self.hold_when_empty = hold;
+        self
+    }
+
+    /// Returns the config with a remote I/O deadline (`None` disables)
+    /// — see [`ServeConfig::remote_io_timeout`].
+    pub fn with_remote_io_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.remote_io_timeout = timeout;
+        self
+    }
+}
+
+/// Lifecycle state of one dispatch slot in the pool.
+///
+/// ```text
+/// attach ──▶ Active ──▶ Draining ──▶ Retired
+///               │        (detach)       ▲
+///               └────────────────────────┘
+///                (consecutive transport failures,
+///                 or queue shutdown)
+/// ```
+///
+/// * **Active** — the slot's thread is dispatching batches.
+/// * **Draining** — [`JobQueue::detach_backend`] was called: the slot
+///   finishes the batch it is running (if any), takes no new work, and
+///   retires. Nothing is lost: an in-flight batch completes and folds
+///   normally.
+/// * **Retired** — the slot's thread has exited. Retired slot ids are
+///   never reused, so a worker that reconnects gets a *new* slot id
+///   (which keeps per-batch distinct-backend retry accounting honest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotState {
+    /// Dispatching batches.
+    Active,
+    /// Finishing its current batch, then retiring (clean detach).
+    Draining,
+    /// Thread exited; the slot is history.
+    Retired,
+}
+
+impl fmt::Display for SlotState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            SlotState::Active => "active",
+            SlotState::Draining => "draining",
+            SlotState::Retired => "retired",
+        })
+    }
+}
+
+/// A point-in-time descriptor of one pool slot, from
+/// [`JobQueue::pool_status`].
+#[derive(Debug, Clone)]
+pub struct SlotStatus {
+    /// The slot's id — its position in the attach order, never reused.
+    pub slot_id: usize,
+    /// Identity of the backend driving (or having driven) the slot.
+    pub descriptor: BackendDescriptor,
+    /// Where the slot is in its lifecycle.
+    pub state: SlotState,
+    /// Transport failures since the slot's last success. The slot
+    /// retires when this reaches the consecutive-failure limit.
+    pub consecutive_failures: u32,
+    /// Batches this slot completed successfully over its lifetime.
+    pub batches_completed: u64,
 }
 
 /// Program-cache hit/miss counters, for observability and tests.
@@ -569,6 +677,15 @@ impl JobEntry {
     }
 }
 
+/// Book-keeping for one dispatch slot (see [`SlotStatus`] for the
+/// public view).
+struct SlotInfo {
+    descriptor: BackendDescriptor,
+    state: SlotState,
+    consecutive_failures: u32,
+    batches_completed: u64,
+}
+
 /// Everything behind the queue's mutex.
 struct QueueState {
     tenants: Vec<TenantState>,
@@ -582,10 +699,14 @@ struct QueueState {
     /// enqueued, so one credit always affords one batch and a full
     /// scheduler pass is O(tenants).
     quantum_unit: u64,
-    /// Backend slots still running their dispatch loop. When the last
-    /// one retires with work outstanding, the queue fails the
-    /// remaining jobs rather than hanging their pollers.
-    active_backends: usize,
+    /// One entry per slot ever attached, in attach order; slot ids are
+    /// indices here and are never reused.
+    slots: Vec<SlotInfo>,
+    /// Slots not yet `Retired` (cached count of the live pool). When
+    /// it hits zero with work outstanding the queue either fails the
+    /// remaining jobs or — with [`ServeConfig::hold_when_empty`] —
+    /// parks them until capacity is attached again.
+    live: usize,
     config: ServeConfig,
 }
 
@@ -599,9 +720,39 @@ impl QueueState {
             cache: ProgramCache::new(),
             pending: 0,
             quantum_unit: 1,
-            active_backends: 1,
+            slots: Vec::new(),
+            live: 0,
             config,
         }
+    }
+
+    /// Registers a new dispatch slot and returns its (never-reused)
+    /// slot id.
+    fn add_slot(&mut self, descriptor: BackendDescriptor) -> usize {
+        let slot_id = self.slots.len();
+        self.slots.push(SlotInfo {
+            descriptor,
+            state: SlotState::Active,
+            consecutive_failures: 0,
+            batches_completed: 0,
+        });
+        self.live += 1;
+        slot_id
+    }
+
+    /// Public per-slot view, in attach order.
+    fn pool_status(&self) -> Vec<SlotStatus> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(slot_id, s)| SlotStatus {
+                slot_id,
+                descriptor: s.descriptor.clone(),
+                state: s.state,
+                consecutive_failures: s.consecutive_failures,
+                batches_completed: s.batches_completed,
+            })
+            .collect()
     }
 
     /// Index of `id`'s state, creating it with the configured defaults
@@ -647,9 +798,12 @@ impl QueueState {
             failed: None,
         };
         self.jobs.push(entry);
-        if self.active_backends == 0 && self.jobs[job_id].batches_total > 0 {
-            // Every backend already retired: accepting the job would
-            // hang its pollers forever. Fail it at submission.
+        if self.live == 0 && self.jobs[job_id].batches_total > 0 && !self.config.hold_when_empty {
+            // Every backend already retired and nothing will bring one
+            // back: accepting the job would hang its pollers forever.
+            // Fail it at submission. (With `hold_when_empty` the job is
+            // queued instead — a supervisor or an explicit attach is
+            // expected to restore capacity.)
             self.jobs[job_id].failed = Some("no execution backends remain in the pool".to_owned());
             return job_id;
         }
@@ -694,7 +848,7 @@ impl QueueState {
             return None;
         }
         let n = self.tenants.len();
-        let exclude_self = self.active_backends > 1;
+        let exclude_self = self.live > 1;
         // One credit always affords one batch (quantum_unit ≥ any
         // batch cost), so if a full pass over the ring grants nothing,
         // every queue is empty or quota-blocked.
@@ -854,13 +1008,21 @@ impl QueueState {
         self.pending += 1;
     }
 
-    /// Removes a retired backend slot from the active count. If it was
-    /// the last, every unfinished job is failed — with no slots left
-    /// nothing will ever complete them, and `wait()`ing pollers must
-    /// get an error rather than a hang.
-    fn retire_backend(&mut self) {
-        self.active_backends = self.active_backends.saturating_sub(1);
-        if self.active_backends > 0 {
+    /// Retires slot `slot_id` (failure limit reached, drain finished,
+    /// or queue shutdown). If it was the last live slot and the pool
+    /// is not configured to hold through empty windows, every
+    /// unfinished job is failed — with no slots left nothing will ever
+    /// complete them, and `wait()`ing pollers must get an error rather
+    /// than a hang. With [`ServeConfig::hold_when_empty`] the work
+    /// stays queued for whatever capacity attaches next.
+    fn retire_slot(&mut self, slot_id: usize) {
+        let slot = &mut self.slots[slot_id];
+        if slot.state == SlotState::Retired {
+            return;
+        }
+        slot.state = SlotState::Retired;
+        self.live -= 1;
+        if self.live > 0 || self.config.hold_when_empty {
             return;
         }
         for t in &mut self.tenants {
@@ -1081,15 +1243,26 @@ impl JobHandle {
 /// the mix invisible to results: aggregates and partial prefixes are
 /// bit-identical whatever subset of the pool ran which ranges.
 ///
+/// ## Live membership
+///
+/// Membership is dynamic: [`JobQueue::attach_backend`] adds a slot to
+/// the *running* pool (its dispatch thread starts pulling batches
+/// immediately), [`JobQueue::detach_backend`] drains one cleanly, and
+/// slots that keep failing retire on their own. Because results fold
+/// strictly in batch-index order, attach/detach/retire churn is
+/// invisible to aggregates and to every [`PartialResult`] prefix —
+/// only wall-clock changes. [`JobQueue::pool_status`] reports every
+/// slot's lifecycle state ([`SlotState`]).
+///
 /// Dropping the queue shuts the pool down; jobs still queued or
 /// running at that point report [`RuntimeError::Service`] from
 /// [`JobHandle::wait`].
 pub struct JobQueue {
     shared: Arc<Shared>,
     /// Joined on shutdown. Behind a mutex so [`JobQueue::shutdown`]
-    /// can take `&self` — the flag and condvars already do.
+    /// can take `&self` — the flag and condvars already do — and so
+    /// [`JobQueue::attach_backend`] can grow the pool mid-run.
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    descriptors: Vec<BackendDescriptor>,
 }
 
 impl JobQueue {
@@ -1110,46 +1283,141 @@ impl JobQueue {
     /// Starts a queue over an explicit backend pool — the cross-host
     /// constructor. Each backend is one dispatch slot driven by its
     /// own thread; an empty pool is upgraded to one local slot (a
-    /// queue with no way to execute would hang every submission).
+    /// queue with no way to execute would hang every submission)
+    /// unless [`ServeConfig::hold_when_empty`] says capacity will be
+    /// attached later.
     pub fn with_backends(config: ServeConfig, mut backends: Vec<Box<dyn ExecBackend>>) -> Self {
-        if backends.is_empty() {
+        if backends.is_empty() && !config.hold_when_empty {
             backends.push(Box::new(LocalBackend::new(0)));
         }
-        let descriptors: Vec<BackendDescriptor> = backends.iter().map(|b| b.descriptor()).collect();
-        let mut state = QueueState::new(config);
-        state.active_backends = backends.len();
         let shared = Arc::new(Shared {
-            state: Mutex::new(state),
+            state: Mutex::new(QueueState::new(config)),
             work_ready: Condvar::new(),
             progress: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
-        let workers = backends
-            .into_iter()
-            .enumerate()
-            .map(|(i, backend)| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("eqasm-serve-{i}"))
-                    .spawn(move || backend_loop(&shared, backend, i))
-                    .expect("spawn serve worker")
-            })
-            .collect();
-        JobQueue {
+        let queue = JobQueue {
             shared,
-            workers: Mutex::new(workers),
-            descriptors,
+            workers: Mutex::new(Vec::new()),
+        };
+        for backend in backends {
+            queue
+                .attach_backend(backend)
+                .expect("spawn initial serve worker");
         }
+        queue
     }
 
-    /// The number of execution slots the pool started with.
+    /// Attaches a new execution slot to the **running** pool: the
+    /// backend gets a fresh slot id and a dispatch thread that starts
+    /// pulling batches immediately — mid-job attach is the whole
+    /// point. Returns the slot id (usable with
+    /// [`JobQueue::detach_backend`] and visible in
+    /// [`JobQueue::pool_status`]).
+    ///
+    /// Safe at any time: batch-index-ordered folding keeps results
+    /// bit-identical no matter when capacity arrives. Attaching to a
+    /// queue that already shut down parks the slot as `Retired`
+    /// without running anything.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Service`] when the dispatch thread cannot be
+    /// spawned (transient thread/fd pressure). The pool is left
+    /// exactly as it was — the provisional slot is retired, never
+    /// counted live — so a supervisor can simply retry on its next
+    /// sweep instead of crashing the coordinator.
+    pub fn attach_backend(&self, backend: Box<dyn ExecBackend>) -> Result<usize, RuntimeError> {
+        let descriptor = backend.descriptor();
+        let slot_id = {
+            let mut state = self.shared.state.lock().expect("queue state poisoned");
+            state.add_slot(descriptor)
+        };
+        let shared = Arc::clone(&self.shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("eqasm-serve-{slot_id}"))
+            .spawn(move || backend_loop(&shared, backend, slot_id));
+        let handle = match spawned {
+            Ok(handle) => handle,
+            Err(e) => {
+                // Roll the slot back out of the live count; the id
+                // stays burned (ids are never reused) and shows up as
+                // Retired in pool_status.
+                let mut state = self.shared.state.lock().expect("queue state poisoned");
+                state.retire_slot(slot_id);
+                drop(state);
+                self.shared.progress.notify_all();
+                return Err(RuntimeError::Service(format!(
+                    "cannot spawn dispatch thread for slot {slot_id}: {e}"
+                )));
+            }
+        };
+        self.workers
+            .lock()
+            .expect("worker list poisoned")
+            .push(handle);
+        // The new slot may be the capacity a held-when-empty pool was
+        // waiting for; pollers learn nothing new, but waking them is
+        // harmless.
+        self.shared.work_ready.notify_all();
+        Ok(slot_id)
+    }
+
+    /// Drains and retires slot `slot_id`: the slot finishes the batch
+    /// it is currently running (if any), takes no new work, and its
+    /// thread exits. Returns immediately — watch
+    /// [`JobQueue::pool_status`] for the transition to
+    /// [`SlotState::Retired`]. No work is lost, and results are
+    /// unaffected (the fold is placement-blind).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Service`] if `slot_id` was never attached or
+    /// the slot is already draining or retired.
+    pub fn detach_backend(&self, slot_id: usize) -> Result<(), RuntimeError> {
+        {
+            let mut state = self.shared.state.lock().expect("queue state poisoned");
+            let Some(slot) = state.slots.get_mut(slot_id) else {
+                return Err(RuntimeError::Service(format!(
+                    "cannot detach slot {slot_id}: no such slot"
+                )));
+            };
+            if slot.state != SlotState::Active {
+                return Err(RuntimeError::Service(format!(
+                    "cannot detach slot {slot_id}: already {}",
+                    slot.state
+                )));
+            }
+            slot.state = SlotState::Draining;
+        }
+        // The slot may be parked waiting for work; wake it so the
+        // drain completes promptly even on an idle queue.
+        self.shared.work_ready.notify_all();
+        Ok(())
+    }
+
+    /// Every slot ever attached — active, draining and retired — in
+    /// attach order, with failure counters and lifetime batch counts.
+    pub fn pool_status(&self) -> Vec<SlotStatus> {
+        let state = self.shared.state.lock().expect("queue state poisoned");
+        state.pool_status()
+    }
+
+    /// The number of live (non-retired) execution slots right now.
     pub fn workers(&self) -> usize {
-        self.descriptors.len()
+        let state = self.shared.state.lock().expect("queue state poisoned");
+        state.live
     }
 
-    /// Descriptors of the pool's backends, in slot order.
-    pub fn backends(&self) -> &[BackendDescriptor] {
-        &self.descriptors
+    /// Descriptors of the live (non-retired) slots, in attach order.
+    pub fn backends(&self) -> Vec<BackendDescriptor> {
+        let state = self.shared.state.lock().expect("queue state poisoned");
+        state
+            .slots
+            .iter()
+            .filter(|s| s.state != SlotState::Retired)
+            .map(|s| s.descriptor.clone())
+            .collect()
     }
 
     /// Sets (or updates) a tenant's scheduling weight and
@@ -1301,19 +1569,38 @@ const BACKEND_FAILURE_LIMIT: u32 = 3;
 ///
 /// Failure handling: a transport error requeues the batch for
 /// re-dispatch (preferring other backends) and counts against this
-/// backend's health; any other error is a property of the *job*
-/// (program validation) and fails it. A backend that fails
+/// slot's health; any other error is a property of the *job* (program
+/// validation) and fails it. A slot that fails
 /// [`BACKEND_FAILURE_LIMIT`] times in a row retires from the pool.
-fn backend_loop(shared: &Shared, mut backend: Box<dyn ExecBackend>, backend_id: usize) {
-    let mut consecutive_failures = 0u32;
+///
+/// Lifecycle: the slot honours [`JobQueue::detach_backend`] by
+/// checking its own [`SlotState`] at every pick — a `Draining` slot
+/// retires instead of taking new work (the batch it just finished has
+/// already folded), so a drain never loses or duplicates a batch.
+fn backend_loop(shared: &Shared, mut backend: Box<dyn ExecBackend>, slot_id: usize) {
     loop {
         let task = {
             let mut state = shared.state.lock().expect("queue state poisoned");
             loop {
                 if shared.shutdown.load(Ordering::Acquire) {
+                    // Queue shutdown: mark the slot retired for
+                    // status readers, but skip the fail-outstanding
+                    // path — `wait()` already reports shutdown.
+                    if state.slots[slot_id].state != SlotState::Retired {
+                        state.slots[slot_id].state = SlotState::Retired;
+                        state.live -= 1;
+                    }
                     return;
                 }
-                if let Some(task) = state.next_task(backend_id) {
+                if state.slots[slot_id].state == SlotState::Draining {
+                    state.retire_slot(slot_id);
+                    drop(state);
+                    // Retirement may have failed jobs (empty pool
+                    // without hold_when_empty) that pollers wait on.
+                    shared.progress.notify_all();
+                    return;
+                }
+                if let Some(task) = state.next_task(slot_id) {
                     break task;
                 }
                 state = shared.work_ready.wait(state).expect("queue state poisoned");
@@ -1325,7 +1612,6 @@ fn backend_loop(shared: &Shared, mut backend: Box<dyn ExecBackend>, backend_id: 
         // request/response round trip.
         match backend.run_range(&task.job, task.range.clone()) {
             Ok(out) => {
-                consecutive_failures = 0;
                 let started_at = Instant::now()
                     .checked_sub(Duration::from_nanos(out.elapsed_ns))
                     .unwrap_or_else(Instant::now);
@@ -1337,6 +1623,8 @@ fn backend_loop(shared: &Shared, mut backend: Box<dyn ExecBackend>, backend_id: 
                     finished_at: Instant::now(),
                 };
                 let mut state = shared.state.lock().expect("queue state poisoned");
+                state.slots[slot_id].consecutive_failures = 0;
+                state.slots[slot_id].batches_completed += 1;
                 state.complete(&task, tagged);
                 drop(state);
                 // Completion both frees quota (wake workers) and may
@@ -1345,12 +1633,12 @@ fn backend_loop(shared: &Shared, mut backend: Box<dyn ExecBackend>, backend_id: 
                 shared.progress.notify_all();
             }
             Err(err) if err.is_transport() => {
-                consecutive_failures += 1;
-                let retire = consecutive_failures >= BACKEND_FAILURE_LIMIT;
                 let mut state = shared.state.lock().expect("queue state poisoned");
-                state.requeue(&task, backend_id, &err.to_string());
+                state.slots[slot_id].consecutive_failures += 1;
+                let retire = state.slots[slot_id].consecutive_failures >= BACKEND_FAILURE_LIMIT;
+                state.requeue(&task, slot_id, &err.to_string());
                 if retire {
-                    state.retire_backend();
+                    state.retire_slot(slot_id);
                 }
                 drop(state);
                 // The requeued batch must wake the *other* slots (this
@@ -1363,8 +1651,8 @@ fn backend_loop(shared: &Shared, mut backend: Box<dyn ExecBackend>, backend_id: 
                 }
             }
             Err(err) => {
-                consecutive_failures = 0;
                 let mut state = shared.state.lock().expect("queue state poisoned");
+                state.slots[slot_id].consecutive_failures = 0;
                 state.fail(&task, err.to_string());
                 drop(state);
                 shared.work_ready.notify_all();
@@ -1386,10 +1674,19 @@ mod tests {
         Job::new(name, inst, program).with_shots(shots)
     }
 
-    /// A state with `weights.len()` tenants, each with `batches`
-    /// pending unit-cost-8 batches of one job.
+    /// Registers `n` placeholder local slots, as `with_backends` would
+    /// for an `n`-backend pool.
+    fn add_local_slots(state: &mut QueueState, n: usize) {
+        for i in 0..n {
+            state.add_slot(LocalBackend::new(i).descriptor());
+        }
+    }
+
+    /// A state with one live slot and `weights.len()` tenants, each
+    /// with `batches` pending unit-cost-8 batches of one job.
     fn loaded_state(weights: &[u32], quotas: &[u64], batches: usize) -> QueueState {
         let mut state = QueueState::new(ServeConfig::default().with_batch_size(8));
+        add_local_slots(&mut state, 1);
         for (i, (&w, &q)) in weights.iter().zip(quotas).enumerate() {
             let id = TenantId::new(format!("t{i}"));
             let slot = state.tenant_slot(&id);
@@ -1493,6 +1790,7 @@ mod tests {
         // engine on the same job.
         let job = tiny_job("ooo", 64).with_seed(11);
         let mut state = QueueState::new(ServeConfig::default().with_batch_size(8));
+        add_local_slots(&mut state, 1);
         let slot = state.tenant_slot(&TenantId::new("t"));
         let job_id = state.enqueue_job(slot, job.clone());
 
@@ -1549,6 +1847,7 @@ mod tests {
                 .with_batch_size(8)
                 .with_pending_cap(24),
         );
+        add_local_slots(&mut state, 1);
         let slot = state.tenant_slot(&TenantId::new("runaway"));
 
         assert!(state.admit(slot, 16).is_ok());
@@ -1592,7 +1891,7 @@ mod tests {
         // not be handed back to it while backend 1 is alive — but a
         // lone surviving backend does retry its own failures.
         let mut state = QueueState::new(ServeConfig::default().with_batch_size(8));
-        state.active_backends = 2;
+        add_local_slots(&mut state, 2);
         let slot = state.tenant_slot(&TenantId::new("t"));
         state.enqueue_job(slot, tiny_job("fo", 8));
 
@@ -1611,8 +1910,8 @@ mod tests {
         // Backend 1 also fails it; backend 1 then retires, leaving
         // only backend 0 — which may now self-retry.
         state.requeue(&retry, 1, "connection reset");
-        state.retire_backend();
-        assert_eq!(state.active_backends, 1);
+        state.retire_slot(1);
+        assert_eq!(state.live, 1);
         let last = state.next_task(0).expect("last backend self-retries");
         assert_eq!(last.failed_on, [0, 1]);
     }
@@ -1627,7 +1926,7 @@ mod tests {
                 .with_batch_size(8)
                 .with_max_batch_retries(3),
         );
-        state.active_backends = 3;
+        add_local_slots(&mut state, 3);
         let slot = state.tenant_slot(&TenantId::new("t"));
         let job_id = state.enqueue_job(slot, tiny_job("pp", 8));
 
@@ -1656,12 +1955,11 @@ mod tests {
                 .with_batch_size(8)
                 .with_max_batch_retries(1),
         );
-        let slot = state.tenant_slot(&TenantId::new("t"));
-        let job_id = state.enqueue_job(slot, tiny_job("doomed", 8));
-
         // Budget counts distinct backends: two different backends
         // failing the batch exceed a retry budget of 1.
-        state.active_backends = 2;
+        add_local_slots(&mut state, 2);
+        let slot = state.tenant_slot(&TenantId::new("t"));
+        let job_id = state.enqueue_job(slot, tiny_job("doomed", 8));
         let first = state.next_task(0).expect("dispatches");
         state.requeue(&first, 0, "reset");
         let second = state.next_task(1).expect("one retry allowed");
@@ -1681,11 +1979,12 @@ mod tests {
     #[test]
     fn last_backend_retiring_fails_outstanding_jobs() {
         let mut state = QueueState::new(ServeConfig::default().with_batch_size(8));
+        add_local_slots(&mut state, 1);
         let slot = state.tenant_slot(&TenantId::new("t"));
         let job_id = state.enqueue_job(slot, tiny_job("stranded", 16));
 
-        state.retire_backend();
-        assert_eq!(state.active_backends, 0);
+        state.retire_slot(0);
+        assert_eq!(state.live, 0);
         assert!(state.jobs[job_id].done());
         assert!(state.jobs[job_id].failed.is_some());
         assert_eq!(state.pending, 0);
@@ -1694,6 +1993,59 @@ mod tests {
         // hanging their pollers.
         let late = state.enqueue_job(slot, tiny_job("late", 8));
         assert!(state.jobs[late].failed.is_some());
+    }
+
+    #[test]
+    fn hold_when_empty_parks_jobs_through_an_empty_pool_window() {
+        // The elastic-pool counterpart of the test above: with
+        // `hold_when_empty`, total pool loss parks work instead of
+        // failing it, and a freshly attached slot picks it back up.
+        let mut state = QueueState::new(
+            ServeConfig::default()
+                .with_batch_size(8)
+                .with_hold_when_empty(true),
+        );
+        add_local_slots(&mut state, 1);
+        let slot = state.tenant_slot(&TenantId::new("t"));
+        let job_id = state.enqueue_job(slot, tiny_job("parked", 16));
+
+        state.retire_slot(0);
+        assert_eq!(state.live, 0);
+        assert!(!state.jobs[job_id].done(), "job survives the empty pool");
+        assert_eq!(state.pending, 2, "both batches stay queued");
+
+        // Submissions during the empty window are accepted, not failed.
+        let during = state.enqueue_job(slot, tiny_job("during", 8));
+        assert!(!state.jobs[during].done());
+
+        // A new slot (fresh id — retired ids are never reused) drains
+        // the backlog.
+        let new_slot = state.add_slot(LocalBackend::new(9).descriptor());
+        assert_eq!(new_slot, 1);
+        assert!(state.next_task(new_slot).is_some());
+    }
+
+    #[test]
+    fn pool_status_reports_slot_lifecycle() {
+        let mut state = QueueState::new(ServeConfig::default());
+        add_local_slots(&mut state, 3);
+        state.slots[1].state = SlotState::Draining;
+        state.slots[1].consecutive_failures = 2;
+        state.retire_slot(2);
+
+        let status = state.pool_status();
+        assert_eq!(status.len(), 3);
+        assert_eq!(status[0].state, SlotState::Active);
+        assert_eq!(status[1].state, SlotState::Draining);
+        assert_eq!(status[1].consecutive_failures, 2);
+        assert_eq!(status[2].state, SlotState::Retired);
+        assert_eq!(state.live, 2);
+        for (i, s) in status.iter().enumerate() {
+            assert_eq!(s.slot_id, i);
+        }
+        // Retiring twice is a no-op, not a double-decrement.
+        state.retire_slot(2);
+        assert_eq!(state.live, 2);
     }
 
     #[test]

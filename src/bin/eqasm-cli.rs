@@ -29,11 +29,24 @@
 //!   --remote <a,b>   (serve only) comma-separated worker addresses; the
 //!                    queue opens one slot per advertised worker slot and
 //!                    mixes them with the local pool
+//!   --rediscover <s> (serve only) run a pool supervisor that re-probes
+//!                    the --remote (and --registry) addresses every <s>
+//!                    seconds, reattaching workers that restart mid-run
+//!                    and attaching newly listed ones
+//!   --registry <f>   (serve only, with --rediscover) a worker-address
+//!                    file (one host:port per line) re-read every probe
+//!                    sweep; addresses that leave the file are drained
 //!
 //! options for `worker`:
 //!   --listen <addr>  address to bind, e.g. 127.0.0.1:7777 (required)
 //!   --capacity <n>   advertised concurrent slots (default: parallelism)
 //!   --name <s>       worker name shown to coordinators (default: hostname-ish)
+//!
+//! `worker` drains cleanly on SIGINT/SIGTERM: it stops accepting, lets
+//! in-flight batches finish (coordinators see slots retire, never a
+//! lost batch), then exits — so rolling restarts compose with a
+//! coordinator-side `--rediscover` supervisor into zero-intervention
+//! fleet churn.
 //! ```
 
 use std::process::ExitCode;
@@ -43,9 +56,42 @@ use eqasm::compiler::lift_program;
 use eqasm::prelude::*;
 use eqasm::runtime::{
     ExecBackend, Job, JobHandle, JobQueue, LocalBackend, MixedWorkload, PartialResult,
-    RemoteBackend, ServeConfig, ShotEngine, Submission, WorkerConfig, WorkloadKind, WorkloadReport,
-    WorkloadSpec,
+    PoolSupervisor, RemoteBackend, ServeConfig, ShotEngine, Submission, SupervisorConfig,
+    WorkerConfig, WorkloadKind, WorkloadReport, WorkloadSpec,
 };
+
+/// SIGINT/SIGTERM → one atomic flag, so the worker daemon can drain
+/// (finish in-flight batches, then exit) instead of dying mid-range.
+/// Raw `signal(2)` over FFI — the environment has no `libc`-style
+/// crate, and an async-signal-safe handler needs nothing more than a
+/// single atomic store.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Flipped by the handler; `run_worker_until` watches it.
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::Release);
+    }
+
+    extern "C" {
+        // The previous handler may be SIG_DFL (null), so the return
+        // type must not be a (non-nullable) fn pointer.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
 
 fn load_instantiation(chip: &str) -> Result<Instantiation, String> {
     match chip {
@@ -59,7 +105,7 @@ fn load_instantiation(chip: &str) -> Result<Instantiation, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: eqasm-cli <asm|disasm|run|lift> <file> [--seed n] [--shots n] [--workers n] [--chip name] [--trace]\n       eqasm-cli <workload|serve> <rabi|allxy|rb|active-reset|mix> [--shots n] [--workers n] [--seed n] [--remote host:port,...]\n       eqasm-cli worker --listen <addr> [--capacity n] [--name s]"
+        "usage: eqasm-cli <asm|disasm|run|lift> <file> [--seed n] [--shots n] [--workers n] [--chip name] [--trace]\n       eqasm-cli <workload|serve> <rabi|allxy|rb|active-reset|mix> [--shots n] [--workers n] [--seed n] [--remote host:port,...] [--rediscover secs] [--registry file]\n       eqasm-cli worker --listen <addr> [--capacity n] [--name s]"
     );
     ExitCode::from(2)
 }
@@ -91,6 +137,8 @@ fn main() -> ExitCode {
     let mut capacity: Option<usize> = None;
     let mut name: Option<String> = None;
     let mut remotes: Vec<String> = Vec::new();
+    let mut rediscover: Option<f64> = None;
+    let mut registry: Option<String> = None;
     let mut i = flag_start;
     while i < args.len() {
         match args[i].as_str() {
@@ -136,6 +184,18 @@ fn main() -> ExitCode {
                 );
                 i += 2;
             }
+            "--rediscover" if i + 1 < args.len() => {
+                rediscover = args[i + 1].parse().ok().filter(|s: &f64| *s > 0.0);
+                if rediscover.is_none() {
+                    eprintln!("error: --rediscover wants a positive interval in seconds");
+                    return usage();
+                }
+                i += 2;
+            }
+            "--registry" if i + 1 < args.len() => {
+                registry = Some(args[i + 1].clone());
+                i += 2;
+            }
             other => {
                 eprintln!("unknown option `{other}`");
                 return usage();
@@ -161,7 +221,15 @@ fn main() -> ExitCode {
         let result = if command == "workload" {
             cmd_workload(target, shots.unwrap_or(400), workers, seed)
         } else {
-            cmd_serve(target, shots.unwrap_or(400), workers, seed, &remotes)
+            cmd_serve(
+                target,
+                shots.unwrap_or(400),
+                workers,
+                seed,
+                &remotes,
+                rediscover,
+                registry,
+            )
         };
         return match result {
             Ok(()) => ExitCode::SUCCESS,
@@ -445,14 +513,32 @@ fn cmd_worker(addr: &str, capacity: Option<usize>, name: Option<String>) -> Resu
         config.capacity,
         eqasm::runtime::wire::PROTOCOL_VERSION,
     );
-    eqasm::runtime::run_worker(listener, config).map_err(|e| e.to_string())
+    #[cfg(unix)]
+    {
+        // SIGINT/SIGTERM drain instead of kill: in-flight batches
+        // finish and reach their coordinators, then the daemon exits.
+        signals::install();
+        eqasm::runtime::run_worker_until(listener, config, &signals::SHUTDOWN)
+            .map_err(|e| e.to_string())?;
+        println!("eqasm worker drained cleanly; exiting");
+        Ok(())
+    }
+    #[cfg(not(unix))]
+    {
+        eqasm::runtime::run_worker(listener, config).map_err(|e| e.to_string())
+    }
 }
 
 /// Builds the serve backend pool: `workers` local slots plus every
-/// advertised slot of each `--remote` worker.
+/// advertised slot of each `--remote` worker, under the config's
+/// remote I/O deadline. With `tolerate_down` (a supervisor is
+/// running), a worker that is unreachable at startup is only a
+/// warning — the supervisor attaches it when it appears.
 fn build_backend_pool(
     workers: usize,
     remotes: &[String],
+    io_timeout: Option<std::time::Duration>,
+    tolerate_down: bool,
 ) -> Result<Vec<Box<dyn ExecBackend>>, String> {
     let local = if workers == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -463,10 +549,16 @@ fn build_backend_pool(
         .map(|i| Box::new(LocalBackend::new(i)) as Box<dyn ExecBackend>)
         .collect();
     for addr in remotes {
-        let pool = RemoteBackend::connect_pool(addr.clone())
-            .map_err(|e| format!("cannot attach remote worker {addr}: {e}"))?;
-        for backend in pool {
-            backends.push(Box::new(backend));
+        match RemoteBackend::connect_pool_with_timeout(addr.clone(), io_timeout) {
+            Ok(pool) => {
+                for backend in pool {
+                    backends.push(Box::new(backend));
+                }
+            }
+            Err(e) if tolerate_down => {
+                eprintln!("warning: worker {addr} is down ({e}); the supervisor will keep probing")
+            }
+            Err(e) => return Err(format!("cannot attach remote worker {addr}: {e}")),
         }
     }
     Ok(backends)
@@ -484,17 +576,53 @@ fn cmd_serve(
     workers: usize,
     seed: u64,
     remotes: &[String],
+    rediscover: Option<f64>,
+    registry: Option<String>,
 ) -> Result<(), String> {
     let specs = built_in_specs(spec, shots, seed)?;
-    let queue = if remotes.is_empty() {
-        JobQueue::new(ServeConfig::default().with_workers(workers))
+    let supervised = rediscover.is_some();
+    if supervised && remotes.is_empty() && registry.is_none() {
+        return Err("--rediscover needs --remote addresses and/or a --registry file".to_owned());
+    }
+    if registry.is_some() && !supervised {
+        // Silently ignoring the roster would leave the operator
+        // believing the fleet file is in effect.
+        return Err("--registry only takes effect with --rediscover <secs>".to_owned());
+    }
+    let serve_config = ServeConfig::default();
+    let queue = if remotes.is_empty() && !supervised {
+        JobQueue::new(serve_config.clone().with_workers(workers))
     } else {
-        let backends = build_backend_pool(workers, remotes)?;
+        let backends =
+            build_backend_pool(workers, remotes, serve_config.remote_io_timeout, supervised)?;
         for backend in &backends {
             println!("backend: {}", backend.descriptor());
         }
-        JobQueue::with_backends(ServeConfig::default(), backends)
+        // Under a supervisor, an empty-pool window parks jobs (capacity
+        // is expected back) instead of failing them.
+        JobQueue::with_backends(
+            serve_config.clone().with_hold_when_empty(supervised),
+            backends,
+        )
     };
+    let queue = std::sync::Arc::new(queue);
+    let _supervisor = rediscover.map(|secs| {
+        let mut config = SupervisorConfig::default()
+            .with_probe_interval(std::time::Duration::from_secs_f64(secs))
+            .with_io_timeout(serve_config.remote_io_timeout);
+        if let Some(path) = &registry {
+            config = config.with_registry(path);
+        }
+        println!(
+            "pool supervisor: probing {} address(es) every {secs}s{}",
+            remotes.len(),
+            registry
+                .as_deref()
+                .map(|r| format!(" + registry {r}"))
+                .unwrap_or_default()
+        );
+        PoolSupervisor::spawn(std::sync::Arc::clone(&queue), remotes.to_vec(), config)
+    });
 
     let started = std::time::Instant::now();
     let mut handles: Vec<JobHandle> = Vec::new();
@@ -514,9 +642,20 @@ fn cmd_serve(
     );
 
     // Streaming progress: one line whenever the folded shot count
-    // moves, with per-tenant completion fractions.
+    // moves, with per-tenant completion fractions; pool membership
+    // changes (supervisor attaches, drains, retirements) get a line of
+    // their own.
     let mut last_done = u64::MAX;
+    let mut last_pool = queue.workers();
     loop {
+        let pool = queue.workers();
+        if pool != last_pool {
+            println!(
+                "[{:7.3}s] pool: {last_pool} -> {pool} live slot(s)",
+                started.elapsed().as_secs_f64()
+            );
+            last_pool = pool;
+        }
         let snaps: Vec<PartialResult> = handles.iter().map(|h| h.snapshot()).collect();
         let done: u64 = snaps.iter().map(|s| s.shots_done).sum();
         if done != last_done {
@@ -576,6 +715,15 @@ fn cmd_serve(
         "program cache: {} built, {} reused ({} distinct programs)",
         cache.misses, cache.hits, cache.entries
     );
+    if !remotes.is_empty() || supervised {
+        println!("pool slots (lifetime):");
+        for slot in queue.pool_status() {
+            println!(
+                "  slot {:>3}  {:>8}  {:>6} batches  {}",
+                slot.slot_id, slot.state, slot.batches_completed, slot.descriptor
+            );
+        }
+    }
     Ok(())
 }
 
