@@ -7,12 +7,14 @@
 //!
 //! Usage: `cargo run --release -p eqasm-bench --bin throughput [shots] [out.json]`
 
+use std::sync::Arc;
+
 use eqasm_core::{Instantiation, Qubit, Topology};
 use eqasm_microarch::SimConfig;
 use eqasm_quantum::{NoiseModel, ReadoutModel};
 use eqasm_runtime::{
-    spawn_worker, ExecBackend, Job, JobQueue, LocalBackend, RemoteBackend, ServeConfig, ShotEngine,
-    Submission, WorkerConfig,
+    spawn_serve, spawn_worker, Client, ConnectOptions, ExecBackend, Job, JobQueue, LocalBackend,
+    RemoteBackend, ServeConfig, ServeNetConfig, ShotEngine, Submission, WorkerConfig,
 };
 use eqasm_workloads::rb_program;
 
@@ -235,11 +237,98 @@ fn main() {
         "\nelastic: 1 -> {elastic_slots} slots mid-run, {before_rate:.0} shots/s degraded -> {after_rate:.0} shots/s after attach (bit-identical)"
     );
 
+    // Client front door: the same job submitted over the wire-v2
+    // serve acceptor by a TCP client, streaming partial snapshots —
+    // pricing the full networked path (submit → schedule → stream →
+    // final), with the result asserted bit-identical as always.
+    let clistener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let client_queue = Arc::new(JobQueue::with_backends(
+        ServeConfig::default().with_batch_size(64),
+        vec![
+            Box::new(LocalBackend::new(0)),
+            Box::new(LocalBackend::new(1)),
+        ],
+    ));
+    let server = spawn_serve(
+        clistener,
+        Arc::clone(&client_queue),
+        ServeNetConfig::default().with_name("bench-serve"),
+    )
+    .expect("spawn serve front door");
+    let client = Client::connect(server.addr().to_string()).expect("client connects");
+    let cstarted = std::time::Instant::now();
+    let chandles = client
+        .submit(Submission::job("bench-client", job.clone()))
+        .expect("remote submit");
+    let mut snapshots_streamed = 0u64;
+    let client_result = chandles[0]
+        .watch(|_| snapshots_streamed += 1)
+        .expect("remote job completes");
+    let cwall = cstarted.elapsed().as_secs_f64();
+    assert_eq!(
+        client_result.histogram, reference.histogram,
+        "client-wire run must be bit-identical to the local engine"
+    );
+    assert_eq!(client_result.stats, reference.stats);
+    assert_eq!(client_result.mean_prob1, reference.mean_prob1);
+    let client_rate = shots as f64 / cwall.max(1e-9);
+    println!(
+        "\nclient front door: {shots} shots submitted over TCP, {snapshots_streamed} snapshots streamed, {client_rate:.0} shots/s (bit-identical)"
+    );
+
+    // Job-registry bandwidth: the same 8 ranges through a v2
+    // connection (LoadJob once + RunRangeById) and a v1-pinned one
+    // (full job bytes per range) — the measured per-range request
+    // cost the wire-v2 registry removes.
+    let blistener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let bworker = spawn_worker(
+        blistener,
+        WorkerConfig::default()
+            .with_name("bytes-worker")
+            .with_capacity(2),
+    )
+    .expect("spawn bytes worker");
+    let mut v2_backend = RemoteBackend::connect(bworker.addr().to_string()).expect("v2 connects");
+    let mut v1_backend = RemoteBackend::connect_opts(
+        bworker.addr().to_string(),
+        ConnectOptions::default().with_protocol_cap(1),
+    )
+    .expect("v1 connects");
+    assert_eq!(v2_backend.protocol(), 2);
+    assert_eq!(v1_backend.protocol(), 1);
+    let bench_ranges = 8u64;
+    let range_shots = (shots / bench_ranges).max(1);
+    for i in 0..bench_ranges {
+        let range = i * range_shots..(i + 1) * range_shots;
+        let a = v2_backend.run_range(&job, range.clone()).expect("v2 range");
+        let b = v1_backend.run_range(&job, range).expect("v1 range");
+        assert_eq!(a.histogram, b.histogram, "both protocols agree");
+    }
+    let t2 = v2_backend.traffic();
+    let t1 = v1_backend.traffic();
+    let per_range_v2 = t2.range_request_bytes / t2.range_requests.max(1);
+    let per_range_v1 = t1.range_request_bytes / t1.range_requests.max(1);
+    assert!(
+        per_range_v2 < per_range_v1,
+        "RunRangeById must reduce per-range request bytes"
+    );
+    println!(
+        "job registry: {per_range_v1} B/range (v1 inline) -> {per_range_v2} B/range (v2 by-id), \
+         one-time LoadJob {} B; total request bytes {} -> {}",
+        t2.load_request_bytes,
+        t1.total_request_bytes(),
+        t2.total_request_bytes(),
+    );
+
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"bench\": \"runtime\",\n  \"workload\": \"rb-k24\",\n  \"shots\": {shots},\n  \"host_parallelism\": {available},\n  \"points\": [\n{}\n  ],\n  \"serve\": {{\n    \"workers\": {serve_workers},\n    \"jobs\": [\n{}\n    ]\n  }},\n  \"remote\": {{\n    \"pool\": {pool_size},\n    \"remote_slots\": {remote_slots},\n    \"shots_per_sec\": {remote_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"elastic\": {{\n    \"slots_before\": 1,\n    \"slots_after\": {elastic_slots},\n    \"attach_at_shots\": {before_shots},\n    \"shots_per_sec_before\": {before_rate:.1},\n    \"shots_per_sec_after\": {after_rate:.1},\n    \"bit_identical\": true\n  }}\n}}\n",
+        "{{\n  \"bench\": \"runtime\",\n  \"workload\": \"rb-k24\",\n  \"shots\": {shots},\n  \"host_parallelism\": {available},\n  \"points\": [\n{}\n  ],\n  \"serve\": {{\n    \"workers\": {serve_workers},\n    \"jobs\": [\n{}\n    ]\n  }},\n  \"remote\": {{\n    \"pool\": {pool_size},\n    \"remote_slots\": {remote_slots},\n    \"shots_per_sec\": {remote_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"elastic\": {{\n    \"slots_before\": 1,\n    \"slots_after\": {elastic_slots},\n    \"attach_at_shots\": {before_shots},\n    \"shots_per_sec_before\": {before_rate:.1},\n    \"shots_per_sec_after\": {after_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"client\": {{\n    \"shots_per_sec\": {client_rate:.1},\n    \"snapshots_streamed\": {snapshots_streamed},\n    \"bit_identical\": true,\n    \"run_range_bytes_v1\": {per_range_v1},\n    \"run_range_bytes_v2\": {per_range_v2},\n    \"bytes_saved_per_range\": {},\n    \"load_job_bytes_once\": {},\n    \"total_request_bytes_v1\": {},\n    \"total_request_bytes_v2\": {}\n  }}\n}}\n",
         rows.join(",\n"),
-        serve_rows.join(",\n")
+        serve_rows.join(",\n"),
+        per_range_v1 - per_range_v2,
+        t2.load_request_bytes,
+        t1.total_request_bytes(),
+        t2.total_request_bytes()
     );
     std::fs::write(&out_path, &json).expect("write trajectory point");
     println!("wrote {out_path} (host parallelism: {available})");

@@ -1,0 +1,375 @@
+//! The network client for the serve front door: submit jobs to a
+//! remote `eqasm-cli serve --listen` coordinator, poll their
+//! progress, and stream [`PartialResult`] snapshots — each one a
+//! **bit-identical prefix** of the final aggregate, exactly as an
+//! in-process [`crate::serve::JobHandle`] poller would see.
+//!
+//! ## Shape
+//!
+//! * [`Client::connect`] performs the negotiating wire handshake
+//!   (version, optional PSK) against the coordinator's acceptor;
+//! * [`Client::submit`] sends any [`Submission`] — a prebuilt
+//!   [`crate::Job`] or a declarative [`crate::WorkloadSpec`] — and
+//!   returns one [`RemoteJobHandle`] per job it expanded to, mirroring
+//!   the in-process `JobQueue::submit` API;
+//! * [`RemoteJobHandle::poll`] fetches one snapshot,
+//!   [`RemoteJobHandle::watch`] streams snapshots until completion
+//!   (invoking a callback on each *new* prefix), and
+//!   [`RemoteJobHandle::wait`] blocks until the final
+//!   [`crate::JobResult`].
+//!
+//! ## Determinism across the client wire
+//!
+//! Every deterministic field (histograms, machine stats,
+//! mean-`P(|1⟩)`) crosses the wire by bit pattern, so the result a
+//! remote client receives is byte-for-byte the result
+//! [`crate::ShotEngine::run_job`] would compute for the same job —
+//! the serve queue's invariant, now provable from another process on
+//! another host (asserted in `tests/client.rs` and in CI).
+//!
+//! ## Concurrency model
+//!
+//! One `Client` is one connection, and requests on it are sequential:
+//! handles cloned from the same client share the connection behind a
+//! mutex, so a long [`RemoteJobHandle::watch`] holds off other
+//! requests on *that* client. Connections are cheap — open one client
+//! per concurrent watcher when that matters.
+
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+
+use crate::aggregate::JobResult;
+use crate::error::RuntimeError;
+use crate::net::{handshake, ConnectOptions};
+use crate::serve::{PartialResult, Submission};
+use crate::wire::{self, ErrorKind, ErrorMsg, RemoteJobInfo, SubmitAck, WireError};
+
+/// The shared connection state behind a [`Client`] and its handles.
+struct ClientConn {
+    stream: TcpStream,
+    addr: String,
+    /// Negotiated protocol version (the front door requires ≥ 2 for
+    /// submissions).
+    negotiated: u16,
+    server_name: String,
+}
+
+impl ClientConn {
+    fn transport(&self, e: impl std::fmt::Display) -> RuntimeError {
+        RuntimeError::Transport {
+            backend: format!("{} ({})", self.server_name, self.addr),
+            message: e.to_string(),
+        }
+    }
+
+    /// One request/response round trip.
+    fn request(&mut self, tag: u8, payload: &[u8]) -> Result<(u8, Vec<u8>), RuntimeError> {
+        wire::write_frame(&mut self.stream, tag, payload).map_err(|e| self.transport(e))?;
+        wire::read_frame(&mut self.stream).map_err(|e| self.transport(e))
+    }
+
+    /// Reads one streamed frame (no request side).
+    fn next_frame(&mut self) -> Result<(u8, Vec<u8>), RuntimeError> {
+        wire::read_frame(&mut self.stream).map_err(|e| self.transport(e))
+    }
+
+    /// Maps a typed server error onto the runtime error space.
+    fn remote_error(&self, payload: &[u8]) -> RuntimeError {
+        match ErrorMsg::decode(payload) {
+            Ok(msg) => match msg.kind {
+                ErrorKind::AuthFailed => RuntimeError::Auth(msg.message),
+                _ => RuntimeError::Service(msg.to_string()),
+            },
+            Err(e) => self.transport(format!("undecodable error frame: {e}")),
+        }
+    }
+}
+
+/// A connection to a remote serve coordinator — the network
+/// counterpart of holding a [`crate::serve::JobQueue`] in process.
+#[derive(Clone)]
+pub struct Client {
+    conn: Arc<Mutex<ClientConn>>,
+}
+
+impl Client {
+    /// Connects to a `serve --listen` coordinator with default
+    /// options (the [`crate::DEFAULT_IO_TIMEOUT`] request deadline,
+    /// no PSK).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Transport`] when the coordinator is
+    /// unreachable or speaks no common protocol version;
+    /// [`RuntimeError::Auth`] when PSK authentication fails;
+    /// [`RuntimeError::Service`] when the coordinator negotiated a
+    /// pre-v2 protocol (the front door is a v2 surface).
+    pub fn connect(addr: impl Into<String>) -> Result<Client, RuntimeError> {
+        Client::connect_opts(addr, ConnectOptions::default())
+    }
+
+    /// [`Client::connect`] with explicit [`ConnectOptions`] (request
+    /// deadline, pre-shared key, protocol cap).
+    pub fn connect_opts(
+        addr: impl Into<String>,
+        options: ConnectOptions,
+    ) -> Result<Client, RuntimeError> {
+        let addr = addr.into();
+        let (stream, ack) = handshake(&addr, &options).map_err(|e| match e {
+            WireError::AuthFailed { message } => RuntimeError::Auth(message),
+            e => RuntimeError::Transport {
+                backend: format!("serve {addr}"),
+                message: e.to_string(),
+            },
+        })?;
+        if ack.version < 2 {
+            return Err(RuntimeError::Service(format!(
+                "serve front door at {addr} negotiated wire v{} — submissions need v2",
+                ack.version
+            )));
+        }
+        Ok(Client {
+            conn: Arc::new(Mutex::new(ClientConn {
+                stream,
+                addr,
+                negotiated: ack.version,
+                server_name: ack.name,
+            })),
+        })
+    }
+
+    /// The coordinator's self-reported name.
+    pub fn server_name(&self) -> String {
+        self.conn
+            .lock()
+            .expect("client connection poisoned")
+            .server_name
+            .clone()
+    }
+
+    /// The negotiated protocol version.
+    pub fn protocol(&self) -> u16 {
+        self.conn
+            .lock()
+            .expect("client connection poisoned")
+            .negotiated
+    }
+
+    /// Submits work to the remote queue and returns one
+    /// [`RemoteJobHandle`] per job it expanded to — one for a
+    /// [`Submission::job`], the spec's `weight` instances for a
+    /// [`Submission::workload`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Service`] for server-side rejections
+    /// (admission caps render as their full message; spec build
+    /// failures likewise); [`RuntimeError::Transport`] when the
+    /// connection fails.
+    pub fn submit(
+        &self,
+        submission: impl Into<Submission>,
+    ) -> Result<Vec<RemoteJobHandle>, RuntimeError> {
+        let submission = submission.into();
+        let payload = wire::encode_submission(&submission)
+            .map_err(|e| RuntimeError::Service(format!("submission cannot be encoded: {e}")))?;
+        let mut conn = self.conn.lock().expect("client connection poisoned");
+        let (tag, resp) = conn.request(wire::tag::SUBMIT, &payload)?;
+        match tag {
+            wire::tag::SUBMIT_ACK => {
+                let ack = SubmitAck::decode(&resp)
+                    .map_err(|e| conn.transport(format!("undecodable submit ack: {e}")))?;
+                Ok(ack
+                    .jobs
+                    .into_iter()
+                    .map(|info| RemoteJobHandle {
+                        conn: Arc::clone(&self.conn),
+                        info,
+                    })
+                    .collect())
+            }
+            wire::tag::ERROR => Err(conn.remote_error(&resp)),
+            other => Err(conn.transport(format!("unexpected submit response tag {other:#04x}"))),
+        }
+    }
+
+    /// Fetches the current snapshot of the job with coordinator id
+    /// `job_id` — jobs submitted on *other* connections included,
+    /// which is what `eqasm-cli status --job <id>` relies on.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteJobHandle::poll`].
+    pub fn poll_id(&self, job_id: u64) -> Result<PartialResult, RuntimeError> {
+        poll_on(&self.conn, job_id)
+    }
+
+    /// Streams snapshots of job `job_id` until completion, then
+    /// returns its final result — see [`RemoteJobHandle::watch`].
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteJobHandle::watch`].
+    pub fn watch_id(
+        &self,
+        job_id: u64,
+        on_snapshot: impl FnMut(&PartialResult),
+    ) -> Result<JobResult, RuntimeError> {
+        watch_on(&self.conn, job_id, on_snapshot)
+    }
+
+    /// Blocks until job `job_id` completes and returns its final
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteJobHandle::wait`].
+    pub fn wait_id(&self, job_id: u64) -> Result<JobResult, RuntimeError> {
+        watch_on(&self.conn, job_id, |_| {})
+    }
+}
+
+/// One `POLL` round trip on a shared connection.
+fn poll_on(conn: &Arc<Mutex<ClientConn>>, job_id: u64) -> Result<PartialResult, RuntimeError> {
+    let mut conn = conn.lock().expect("client connection poisoned");
+    let (tag, resp) = conn.request(wire::tag::POLL, &wire::encode_job_id(job_id))?;
+    match tag {
+        wire::tag::SNAPSHOT => wire::decode_partial_result(&resp)
+            .map_err(|e| conn.transport(format!("undecodable snapshot: {e}"))),
+        wire::tag::ERROR => Err(conn.remote_error(&resp)),
+        other => Err(conn.transport(format!("unexpected poll response tag {other:#04x}"))),
+    }
+}
+
+/// One `SUBSCRIBE` stream on a shared connection: new-prefix
+/// snapshots to the callback, final result (or failure) returned.
+fn watch_on(
+    conn: &Arc<Mutex<ClientConn>>,
+    job_id: u64,
+    mut on_snapshot: impl FnMut(&PartialResult),
+) -> Result<JobResult, RuntimeError> {
+    let mut conn = conn.lock().expect("client connection poisoned");
+    wire::write_frame(
+        &mut conn.stream,
+        wire::tag::SUBSCRIBE,
+        &wire::encode_job_id(job_id),
+    )
+    .map_err(|e| conn.transport(e))?;
+    let mut last_batches: Option<usize> = None;
+    loop {
+        let (tag, payload) = conn.next_frame()?;
+        match tag {
+            wire::tag::SNAPSHOT => {
+                let snapshot = wire::decode_partial_result(&payload)
+                    .map_err(|e| conn.transport(format!("undecodable snapshot: {e}")))?;
+                // Keepalive frames repeat the last prefix so slow
+                // jobs survive the read deadline; only genuinely new
+                // prefixes (or the completion frame) reach the
+                // caller.
+                if last_batches != Some(snapshot.batches_done) || snapshot.done {
+                    last_batches = Some(snapshot.batches_done);
+                    on_snapshot(&snapshot);
+                }
+            }
+            wire::tag::RESULT => {
+                return wire::decode_job_result(&payload)
+                    .map_err(|e| conn.transport(format!("undecodable result: {e}")))
+            }
+            wire::tag::ERROR => return Err(conn.remote_error(&payload)),
+            other => {
+                return Err(conn.transport(format!("unexpected subscription tag {other:#04x}")))
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let conn = self.conn.lock().expect("client connection poisoned");
+        f.debug_struct("Client")
+            .field("addr", &conn.addr)
+            .field("server", &conn.server_name)
+            .field("protocol", &conn.negotiated)
+            .finish()
+    }
+}
+
+/// A polling handle to one job queued on a remote coordinator — the
+/// network counterpart of [`crate::serve::JobHandle`].
+#[derive(Clone)]
+pub struct RemoteJobHandle {
+    conn: Arc<Mutex<ClientConn>>,
+    info: RemoteJobInfo,
+}
+
+impl RemoteJobHandle {
+    /// The coordinator-assigned job id (stable across connections to
+    /// the same acceptor — `eqasm-cli status --job <id>` uses it).
+    pub fn job_id(&self) -> u64 {
+        self.info.job_id
+    }
+
+    /// The job's display name.
+    pub fn name(&self) -> &str {
+        &self.info.name
+    }
+
+    /// Total shots the job was submitted with.
+    pub fn shots(&self) -> u64 {
+        self.info.shots
+    }
+
+    /// Fetches the job's current [`PartialResult`] snapshot — an
+    /// exact prefix of the final aggregate.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Transport`] on connection failure,
+    /// [`RuntimeError::Service`] if the coordinator no longer knows
+    /// the job id.
+    pub fn poll(&self) -> Result<PartialResult, RuntimeError> {
+        poll_on(&self.conn, self.info.job_id)
+    }
+
+    /// Subscribes to the job's progress: `on_snapshot` is invoked for
+    /// every *new* folded prefix (server keepalive re-sends are
+    /// deduplicated), ending with a snapshot whose `done` is true;
+    /// the final [`JobResult`] is then returned — bit-identical to
+    /// running the job locally.
+    ///
+    /// Holds this client's connection for the duration; open another
+    /// [`Client`] to watch jobs concurrently.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Service`] when the job failed server-side,
+    /// [`RuntimeError::Transport`] when the stream breaks.
+    pub fn watch(
+        &self,
+        on_snapshot: impl FnMut(&PartialResult),
+    ) -> Result<JobResult, RuntimeError> {
+        watch_on(&self.conn, self.info.job_id, on_snapshot)
+    }
+
+    /// Blocks until the job completes and returns its final result —
+    /// bit-identical to [`crate::ShotEngine::run_job`] on the same
+    /// job. Implemented as a subscription that discards intermediate
+    /// snapshots.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteJobHandle::watch`].
+    pub fn wait(&self) -> Result<JobResult, RuntimeError> {
+        watch_on(&self.conn, self.info.job_id, |_| {})
+    }
+}
+
+impl std::fmt::Debug for RemoteJobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteJobHandle")
+            .field("job_id", &self.info.job_id)
+            .field("name", &self.info.name)
+            .field("shots", &self.info.shots)
+            .finish()
+    }
+}

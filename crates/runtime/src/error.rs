@@ -37,6 +37,12 @@ pub enum RuntimeError {
         /// What went wrong.
         message: String,
     },
+    /// A handshake failed pre-shared-key authentication: wrong or
+    /// missing key on either side. Unlike [`RuntimeError::Transport`],
+    /// retrying will fail identically until someone fixes the key
+    /// material — so callers should *not* treat this as a
+    /// re-dispatchable backend fault.
+    Auth(String),
     /// A submission was rejected at admission: accepting it would push
     /// the tenant's queued-but-not-started shots past its pending cap.
     /// Nothing was enqueued; the client should back off and resubmit.
@@ -74,6 +80,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Transport { backend, message } => {
                 write!(f, "backend `{backend}` transport failure: {message}")
             }
+            RuntimeError::Auth(msg) => write!(f, "authentication failed: {msg}"),
             RuntimeError::AdmissionRejected {
                 tenant,
                 pending_shots,
@@ -97,6 +104,7 @@ impl std::error::Error for RuntimeError {
             RuntimeError::Spec(_) => None,
             RuntimeError::Service(_) => None,
             RuntimeError::Transport { .. } => None,
+            RuntimeError::Auth(_) => None,
             RuntimeError::AdmissionRejected { .. } => None,
         }
     }

@@ -38,9 +38,28 @@
 //!   coordinator rides fleet churn instead of decaying to whatever
 //!   survived boot;
 //! * [`wire`] — the hand-rolled, length-prefixed, versioned binary
-//!   protocol behind [`RemoteBackend`]: explicit encoders for jobs
-//!   (instantiation, instruction stream, simulator config) and batch
-//!   results, a magic + version handshake, and typed decode errors.
+//!   protocol behind [`RemoteBackend`] and the serve front door:
+//!   explicit encoders for jobs, batch results, snapshots and
+//!   submissions; a magic + **negotiating** handshake (v2 offers,
+//!   falls back to v1 so old workers keep serving); the v2 **job
+//!   registry** (`LoadJob`/`RunRangeById` against a capacity-bounded
+//!   worker-side LRU, with a typed `JobNotLoaded` miss the client
+//!   recovers transparently — constant-size range requests instead of
+//!   re-shipping the job per range); and typed decode errors. The
+//!   full spec lives in `PROTOCOL.md`;
+//! * [`auth`] — pre-shared-key fleet authentication: a hand-rolled
+//!   SHA-256 / HMAC challenge–response (mutual, replay-proof) run
+//!   inside the handshake by workers, the serve acceptor and every
+//!   client, plus per-connection frame-size and request-rate budgets
+//!   with typed `Budget` rejections;
+//! * [`client`] — the network front door's client half:
+//!   [`Client::connect`] / [`Client::submit`] against a
+//!   `serve --listen` coordinator, [`RemoteJobHandle`] polling, and a
+//!   subscription stream of [`PartialResult`] snapshots that are
+//!   bit-identical prefixes of the final aggregate — the serve
+//!   queue's determinism invariant, now provable from another process
+//!   over TCP ([`spawn_serve`] / [`run_serve_until`] are the server
+//!   half).
 //!
 //! ## Determinism — including across hosts
 //!
@@ -110,7 +129,9 @@
 #![warn(rust_2018_idioms)]
 
 mod aggregate;
+pub mod auth;
 mod backend;
+pub mod client;
 mod engine;
 mod error;
 mod job;
@@ -121,13 +142,16 @@ pub mod wire;
 mod workload;
 
 pub use aggregate::{BitString, Histogram, JobResult, LatencyStats};
+pub use auth::Psk;
 pub use backend::{BackendDescriptor, BackendKind, BatchOut, ExecBackend, LocalBackend};
+pub use client::{Client, RemoteJobHandle};
 pub use engine::ShotEngine;
 pub use error::RuntimeError;
 pub use job::{default_batch_size, partition_shots, Job};
 pub use net::{
-    ping, ping_within, run_worker, run_worker_until, spawn_worker, RemoteBackend, WorkerConfig,
-    WorkerHandle, DEFAULT_IO_TIMEOUT,
+    ping, ping_opts, ping_within, run_serve_until, run_worker, run_worker_until, spawn_serve,
+    spawn_worker, ConnectOptions, RemoteBackend, ServeHandle, ServeNetConfig, WireTraffic,
+    WorkerConfig, WorkerHandle, DEFAULT_IO_TIMEOUT, DEFAULT_JOB_CACHE_CAPACITY,
 };
 pub use serve::{
     CacheStats, JobHandle, JobQueue, PartialResult, ServeConfig, SlotState, SlotStatus, Submission,

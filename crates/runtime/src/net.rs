@@ -57,21 +57,26 @@
 //! Workers trust their coordinators (no authentication or transport
 //! encryption in v1 — run them on a private network; see ROADMAP).
 
+use std::collections::VecDeque;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use eqasm_microarch::QuMa;
 
+use crate::auth::{ct_eq, fresh_nonce, Psk};
 use crate::backend::{BackendDescriptor, BackendKind, BatchOut, ExecBackend};
 use crate::engine::{build_machine, run_batch};
 use crate::error::RuntimeError;
 use crate::job::Job;
+use crate::serve::JobQueue;
 use crate::wire::{
-    self, ErrorKind, ErrorMsg, Hello, HelloAck, RunRange, WireError, PROTOCOL_VERSION,
+    self, AuthChallenge, AuthOk, AuthResponse, ErrorKind, ErrorMsg, Hello, HelloAck, LoadAck,
+    LoadJob, RemoteJobInfo, RunRange, RunRangeById, SubmitAck, WireError, MAX_FRAME_LEN,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 
 /// Default read/write deadline for remote requests. Generous — a
@@ -99,6 +104,10 @@ const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
 // Worker daemon
 // ---------------------------------------------------------------------
 
+/// Default worker-side job-cache capacity: how many distinct jobs a
+/// v2 connection keeps loaded (decoded + machine-built) at once.
+pub const DEFAULT_JOB_CACHE_CAPACITY: usize = 8;
+
 /// Configuration of a worker daemon.
 #[derive(Debug, Clone)]
 pub struct WorkerConfig {
@@ -109,6 +118,26 @@ pub struct WorkerConfig {
     /// worker does not *enforce* it — it sizes
     /// [`RemoteBackend::connect_pool`] on the client.
     pub capacity: usize,
+    /// Pre-shared key; when set, every connection must pass the HMAC
+    /// challenge–response before any other frame is interpreted.
+    pub psk: Option<Psk>,
+    /// Per-connection capacity of the v2 job cache (LRU; clamped to
+    /// at least 1). A [`wire::RunRangeById`] naming an evicted job
+    /// gets the typed `JobNotLoaded` miss and the client re-loads.
+    pub job_cache_capacity: usize,
+    /// Per-connection frame-size budget (clamped to the global
+    /// [`MAX_FRAME_LEN`]). A frame announcing more than this is
+    /// rejected with a typed `Budget` error before any payload is
+    /// read.
+    pub max_frame_len: u32,
+    /// Per-connection request-rate budget, in request frames per
+    /// second (burst capacity equals the rate). `None` disables the
+    /// limiter. A connection that exceeds it gets a typed `Budget`
+    /// rejection and is closed.
+    pub max_requests_per_sec: Option<u32>,
+    /// Highest protocol version this worker will negotiate down *to*
+    /// from; lower it to pin a fleet to v1 during a staged rollout.
+    pub protocol_cap: u16,
 }
 
 impl Default for WorkerConfig {
@@ -116,6 +145,11 @@ impl Default for WorkerConfig {
         WorkerConfig {
             name: "eqasm-worker".to_owned(),
             capacity: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            psk: None,
+            job_cache_capacity: DEFAULT_JOB_CACHE_CAPACITY,
+            max_frame_len: MAX_FRAME_LEN,
+            max_requests_per_sec: None,
+            protocol_cap: PROTOCOL_VERSION,
         }
     }
 }
@@ -133,6 +167,294 @@ impl WorkerConfig {
         self.capacity = capacity.max(1);
         self
     }
+
+    /// Returns the config requiring PSK authentication on every
+    /// connection.
+    pub fn with_psk(mut self, psk: Psk) -> Self {
+        self.psk = Some(psk);
+        self
+    }
+
+    /// Returns the config with the given per-connection job-cache
+    /// capacity (clamped to at least 1).
+    pub fn with_job_cache_capacity(mut self, capacity: usize) -> Self {
+        self.job_cache_capacity = capacity.max(1);
+        self
+    }
+
+    /// Returns the config with a per-connection frame-size budget.
+    pub fn with_max_frame_len(mut self, max_len: u32) -> Self {
+        self.max_frame_len = max_len.clamp(64, MAX_FRAME_LEN);
+        self
+    }
+
+    /// Returns the config with a per-connection request-rate budget
+    /// (requests per second; `None` disables).
+    pub fn with_max_requests_per_sec(mut self, rate: Option<u32>) -> Self {
+        self.max_requests_per_sec = rate;
+        self
+    }
+
+    /// Returns the config negotiating at most the given protocol
+    /// version (clamped into the supported range).
+    pub fn with_protocol_cap(mut self, cap: u16) -> Self {
+        self.protocol_cap = cap.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared connection policy: negotiation, auth, budgets
+// ---------------------------------------------------------------------
+
+/// Options for the client side of a handshake — shared by
+/// [`RemoteBackend`], [`crate::client::Client`], [`ping_opts`] and the
+/// pool supervisor.
+#[derive(Debug, Clone)]
+pub struct ConnectOptions {
+    /// Read/write deadline on the connection (`None` waits forever).
+    pub io_timeout: Option<Duration>,
+    /// Pre-shared key. When set, the peer **must** run the
+    /// challenge–response (an unauthenticated ack is rejected — a
+    /// configured key must never silently downgrade).
+    pub psk: Option<Psk>,
+    /// Highest protocol version to offer (clamped into the supported
+    /// range); lower it to force a v1 conversation.
+    pub protocol_cap: u16,
+}
+
+impl Default for ConnectOptions {
+    fn default() -> Self {
+        ConnectOptions {
+            io_timeout: Some(DEFAULT_IO_TIMEOUT),
+            psk: None,
+            protocol_cap: PROTOCOL_VERSION,
+        }
+    }
+}
+
+impl ConnectOptions {
+    /// Returns the options with the given request deadline.
+    pub fn with_io_timeout(mut self, io_timeout: Option<Duration>) -> Self {
+        self.io_timeout = io_timeout;
+        self
+    }
+
+    /// Returns the options authenticating with the given key.
+    pub fn with_psk(mut self, psk: Psk) -> Self {
+        self.psk = Some(psk);
+        self
+    }
+
+    /// Returns the options offering at most the given protocol
+    /// version.
+    pub fn with_protocol_cap(mut self, cap: u16) -> Self {
+        self.protocol_cap = cap.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
+        self
+    }
+}
+
+/// A token-bucket request-rate limiter (burst capacity = rate).
+struct RateLimiter {
+    rate: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl RateLimiter {
+    fn new(rate: u32) -> Self {
+        let rate = f64::from(rate.max(1));
+        RateLimiter {
+            rate,
+            tokens: rate,
+            last: Instant::now(),
+        }
+    }
+
+    /// Spends one token; `false` means the budget is exhausted.
+    fn admit(&mut self) -> bool {
+        let now = Instant::now();
+        self.tokens =
+            (self.tokens + now.duration_since(self.last).as_secs_f64() * self.rate).min(self.rate);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The server half of a handshake policy, shared by the worker daemon
+/// and the serve acceptor.
+struct AcceptPolicy<'a> {
+    name: &'a str,
+    capacity: u32,
+    psk: Option<&'a Psk>,
+    protocol_cap: u16,
+    max_frame_len: u32,
+}
+
+/// Runs the server side of the handshake: HELLO, version negotiation,
+/// optional PSK challenge–response, HELLO_ACK. Returns the negotiated
+/// version, or `None` when the connection should close (a typed error
+/// was already sent where possible).
+fn accept_handshake(stream: &mut TcpStream, policy: &AcceptPolicy<'_>) -> Option<u16> {
+    let hello = match wire::read_frame_limit(stream, policy.max_frame_len) {
+        Ok((wire::tag::HELLO, payload)) => match Hello::decode(&payload) {
+            Ok(hello) => hello,
+            Err(e) => {
+                send_error(stream, ErrorKind::Malformed, format!("bad hello: {e}"));
+                return None;
+            }
+        },
+        Ok((tag, _)) => {
+            send_error(
+                stream,
+                ErrorKind::Malformed,
+                format!("expected hello, got frame tag {tag:#04x}"),
+            );
+            return None;
+        }
+        Err(_) => return None,
+    };
+    let Some(negotiated) = wire::negotiate(hello.version, policy.protocol_cap) else {
+        send_error(
+            stream,
+            ErrorKind::Version,
+            format!(
+                "server speaks v{MIN_PROTOCOL_VERSION}..=v{}, client offered v{}",
+                policy.protocol_cap.min(PROTOCOL_VERSION),
+                hello.version
+            ),
+        );
+        return None;
+    };
+    if let Some(psk) = policy.psk {
+        let server_nonce = fresh_nonce();
+        let challenge = AuthChallenge {
+            server_nonce: server_nonce.to_vec(),
+        };
+        if wire::write_frame(stream, wire::tag::AUTH_CHALLENGE, &challenge.encode()).is_err() {
+            return None;
+        }
+        let response = match wire::read_frame_limit(stream, policy.max_frame_len) {
+            Ok((wire::tag::AUTH_RESPONSE, payload)) => match AuthResponse::decode(&payload) {
+                Ok(response) => response,
+                Err(e) => {
+                    send_error(
+                        stream,
+                        ErrorKind::Malformed,
+                        format!("bad auth response: {e}"),
+                    );
+                    return None;
+                }
+            },
+            Ok((tag, _)) => {
+                send_error(
+                    stream,
+                    ErrorKind::AuthFailed,
+                    format!("expected auth response, got frame tag {tag:#04x}"),
+                );
+                return None;
+            }
+            Err(_) => return None,
+        };
+        let expected = psk.client_proof(&server_nonce, &response.client_nonce);
+        if !ct_eq(&expected, &response.proof) {
+            // Wrong key, or a proof bound to some other connection's
+            // nonce (a replay): indistinguishable by design, and both
+            // are refused the same way.
+            send_error(
+                stream,
+                ErrorKind::AuthFailed,
+                "pre-shared-key proof mismatch".to_owned(),
+            );
+            return None;
+        }
+        let ok = AuthOk {
+            proof: psk
+                .server_proof(&server_nonce, &response.client_nonce)
+                .to_vec(),
+        };
+        if wire::write_frame(stream, wire::tag::AUTH_OK, &ok.encode()).is_err() {
+            return None;
+        }
+    }
+    let ack = HelloAck {
+        version: negotiated,
+        capacity: policy.capacity,
+        name: policy.name.to_owned(),
+    };
+    if wire::write_frame(stream, wire::tag::HELLO_ACK, &ack.encode()).is_err() {
+        return None;
+    }
+    Some(negotiated)
+}
+
+/// Deadline on an accepted connection's handshake (and auth) rounds.
+/// Without it, a client that connects and sends nothing pins a
+/// connection thread forever *before* any budget can engage — and a
+/// draining server waits the full drain timeout on it.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// [`accept_handshake`] under [`HANDSHAKE_TIMEOUT`]: a silent or
+/// stalling peer is cut off in bounded time. On success the deadline
+/// is cleared — post-handshake reads are paced by [`wait_readable`]'s
+/// own poll timeout, and legitimate batch responses may take long.
+fn accept_handshake_deadlined(stream: &mut TcpStream, policy: &AcceptPolicy<'_>) -> Option<u16> {
+    if stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT)).is_err()
+        || stream.set_write_timeout(Some(HANDSHAKE_TIMEOUT)).is_err()
+    {
+        return None;
+    }
+    let negotiated = accept_handshake(stream, policy)?;
+    if stream.set_read_timeout(None).is_err() || stream.set_write_timeout(None).is_err() {
+        return None;
+    }
+    Some(negotiated)
+}
+
+/// Reads the next request frame under the connection's budgets —
+/// the one request-loop preamble shared by the worker daemon and the
+/// serve front door, so budget semantics cannot drift between them.
+/// `None` means the connection must close (the typed `Budget`
+/// rejection, where applicable, has already been sent).
+fn read_request_frame(
+    stream: &mut TcpStream,
+    max_frame_len: u32,
+    limiter: &mut Option<RateLimiter>,
+) -> Option<(u8, Vec<u8>)> {
+    let (tag, payload) = match wire::read_frame_limit(stream, max_frame_len) {
+        Ok(frame) => frame,
+        Err(WireError::FrameTooLarge { len, cap }) => {
+            // The typed rejection for an over-budget frame. The
+            // unread payload has desynchronized the stream, so the
+            // connection closes after the report.
+            send_error(
+                stream,
+                ErrorKind::Budget,
+                format!("frame length {len} exceeds this connection's {cap}-byte budget"),
+            );
+            return None;
+        }
+        Err(_) => return None, // disconnect or garbage
+    };
+    if let Some(limiter) = limiter {
+        if !limiter.admit() {
+            send_error(
+                stream,
+                ErrorKind::Budget,
+                format!(
+                    "request rate exceeds this connection's {:.0}/s budget",
+                    limiter.rate
+                ),
+            );
+            return None;
+        }
+    }
+    Some((tag, payload))
 }
 
 /// A handle to an in-process worker daemon, used by tests, benches and
@@ -378,8 +700,54 @@ fn wait_readable(stream: &TcpStream, shutdown: &AtomicBool) -> bool {
     }
 }
 
-/// One connection = one execution slot: handshake, then a sequential
-/// request/response loop with a per-connection machine cache.
+/// The worker's per-connection job registry: a capacity-bounded LRU
+/// of `(job_id, decoded job, loaded machine)` entries, front = most
+/// recently used. Ids are connection-scoped (a fresh connection
+/// starts empty), so a client counter can never collide.
+struct JobCache {
+    entries: VecDeque<(u64, Job, QuMa)>,
+    capacity: usize,
+}
+
+impl JobCache {
+    fn new(capacity: usize) -> Self {
+        JobCache {
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Inserts (or replaces) `job_id`, evicting the least recently
+    /// used entry beyond capacity.
+    fn insert(&mut self, job_id: u64, job: Job, machine: QuMa) {
+        self.entries.retain(|(id, _, _)| *id != job_id);
+        self.entries.push_front((job_id, job, machine));
+        while self.entries.len() > self.capacity {
+            self.entries.pop_back();
+        }
+    }
+
+    /// Looks up `job_id`, promoting it to most recently used.
+    fn get(&mut self, job_id: u64) -> Option<&mut (u64, Job, QuMa)> {
+        let pos = self.entries.iter().position(|(id, _, _)| *id == job_id)?;
+        let entry = self.entries.remove(pos).expect("position exists");
+        self.entries.push_front(entry);
+        self.entries.front_mut()
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// One connection = one execution slot: negotiating handshake (plus
+/// PSK auth and budget enforcement when configured), then a
+/// sequential request/response loop.
+///
+/// v1 conversations use the inline `RunRange` path with the
+/// memcmp-keyed single-job cache; v2 conversations additionally get
+/// the job registry (`LoadJob` / `RunRangeById` against the bounded
+/// [`JobCache`]), with the typed `JobNotLoaded` miss on eviction.
 ///
 /// `shutdown` is the daemon's drain flag: once it flips, the
 /// connection finishes the request it is executing (if any), writes
@@ -388,51 +756,24 @@ fn wait_readable(stream: &TcpStream, shutdown: &AtomicBool) -> bool {
 fn serve_connection(mut stream: TcpStream, config: &WorkerConfig, shutdown: &AtomicBool) {
     let _ = stream.set_nodelay(true);
 
-    // Handshake: the first frame must be a valid, version-matched
-    // Hello — nothing else on the connection is interpreted before it.
-    match wire::read_frame(&mut stream) {
-        Ok((wire::tag::HELLO, payload)) => match Hello::decode(&payload) {
-            Ok(hello) if hello.version == PROTOCOL_VERSION => {
-                let ack = HelloAck {
-                    version: PROTOCOL_VERSION,
-                    capacity: config.capacity as u32,
-                    name: config.name.clone(),
-                };
-                if wire::write_frame(&mut stream, wire::tag::HELLO_ACK, &ack.encode()).is_err() {
-                    return;
-                }
-            }
-            Ok(hello) => {
-                send_error(
-                    &mut stream,
-                    ErrorKind::Version,
-                    format!(
-                        "worker speaks v{PROTOCOL_VERSION}, client sent v{}",
-                        hello.version
-                    ),
-                );
-                return;
-            }
-            Err(e) => {
-                send_error(&mut stream, ErrorKind::Malformed, format!("bad hello: {e}"));
-                return;
-            }
-        },
-        Ok((tag, _)) => {
-            send_error(
-                &mut stream,
-                ErrorKind::Malformed,
-                format!("expected hello, got frame tag {tag:#04x}"),
-            );
-            return;
-        }
-        Err(_) => return,
-    }
+    let policy = AcceptPolicy {
+        name: &config.name,
+        capacity: config.capacity as u32,
+        psk: config.psk.as_ref(),
+        protocol_cap: config.protocol_cap,
+        max_frame_len: config.max_frame_len,
+    };
+    let Some(negotiated) = accept_handshake_deadlined(&mut stream, &policy) else {
+        return;
+    };
 
-    // The slot's cache: the last job's encoded bytes, the decoded job
-    // and its loaded machine. Comparing raw bytes (memcmp) decides
-    // reuse — exact, and cheaper than decoding every request.
-    let mut cached: Option<(Vec<u8>, Job, QuMa)> = None;
+    // The v1 inline cache: the last job's encoded bytes, the decoded
+    // job and its loaded machine. Comparing raw bytes (memcmp)
+    // decides reuse — exact, and cheaper than decoding every request.
+    let mut inline: Option<(Vec<u8>, Job, QuMa)> = None;
+    // The v2 registry: jobs loaded by id, LRU-bounded.
+    let mut registry = JobCache::new(config.job_cache_capacity);
+    let mut limiter = config.max_requests_per_sec.map(RateLimiter::new);
 
     loop {
         // Idle wait between requests is where a drain lands for a
@@ -441,9 +782,10 @@ fn serve_connection(mut stream: TcpStream, config: &WorkerConfig, shutdown: &Ato
         if !wait_readable(&stream, shutdown) {
             return;
         }
-        let (tag, payload) = match wire::read_frame(&mut stream) {
-            Ok(frame) => frame,
-            Err(_) => return, // disconnect or garbage: drop the slot
+        let Some((tag, payload)) =
+            read_request_frame(&mut stream, config.max_frame_len, &mut limiter)
+        else {
+            return;
         };
         match tag {
             wire::tag::PING => {
@@ -471,7 +813,7 @@ fn serve_connection(mut stream: TcpStream, config: &WorkerConfig, shutdown: &Ato
                     );
                     return;
                 }
-                if !matches!(&cached, Some((bytes, _, _)) if *bytes == request.job_bytes) {
+                if !matches!(&inline, Some((bytes, _, _)) if *bytes == request.job_bytes) {
                     let job = match wire::decode_job(&request.job_bytes) {
                         Ok(job) => job,
                         Err(e) => {
@@ -480,7 +822,7 @@ fn serve_connection(mut stream: TcpStream, config: &WorkerConfig, shutdown: &Ato
                         }
                     };
                     match build_machine(&job) {
-                        Ok(machine) => cached = Some((request.job_bytes.clone(), job, machine)),
+                        Ok(machine) => inline = Some((request.job_bytes.clone(), job, machine)),
                         Err(e) => {
                             // Load failures are *job* failures, not
                             // connection failures: report and keep
@@ -495,7 +837,91 @@ fn serve_connection(mut stream: TcpStream, config: &WorkerConfig, shutdown: &Ato
                         }
                     }
                 }
-                let (_, job, machine) = cached.as_mut().expect("just cached");
+                let (_, job, machine) = inline.as_mut().expect("just cached");
+                let out = run_batch(machine, job, request.start..request.end);
+                if wire::write_frame(&mut stream, wire::tag::BATCH, &wire::encode_batch_out(&out))
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            wire::tag::LOAD_JOB if negotiated >= 2 => {
+                let request = match LoadJob::decode(&payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        send_error(
+                            &mut stream,
+                            ErrorKind::Malformed,
+                            format!("bad load request: {e}"),
+                        );
+                        return;
+                    }
+                };
+                let job = match wire::decode_job(&request.job_bytes) {
+                    Ok(job) => job,
+                    Err(e) => {
+                        send_error(&mut stream, ErrorKind::Malformed, format!("bad job: {e}"));
+                        return;
+                    }
+                };
+                match build_machine(&job) {
+                    Ok(machine) => {
+                        registry.insert(request.job_id, job, machine);
+                        let ack = LoadAck {
+                            job_id: request.job_id,
+                            cached: registry.len() as u32,
+                        };
+                        if wire::write_frame(&mut stream, wire::tag::LOAD_ACK, &ack.encode())
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        send_error(
+                            &mut stream,
+                            ErrorKind::Load,
+                            format!("job `{}` failed to load: {e}", job.name),
+                        );
+                        continue;
+                    }
+                }
+            }
+            wire::tag::RUN_RANGE_BY_ID if negotiated >= 2 => {
+                let request = match RunRangeById::decode(&payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        send_error(
+                            &mut stream,
+                            ErrorKind::Malformed,
+                            format!("bad request: {e}"),
+                        );
+                        return;
+                    }
+                };
+                if request.start > request.end {
+                    send_error(
+                        &mut stream,
+                        ErrorKind::Malformed,
+                        format!("inverted range {}..{}", request.start, request.end),
+                    );
+                    return;
+                }
+                let Some((_, job, machine)) = registry.get(request.job_id) else {
+                    // The recoverable miss: never sent, or evicted by
+                    // cache pressure. The client answers with a fresh
+                    // LoadJob and retries — keep serving.
+                    send_error(
+                        &mut stream,
+                        ErrorKind::JobNotLoaded,
+                        format!(
+                            "job id {} is not loaded on this connection (cache holds {})",
+                            request.job_id,
+                            registry.len()
+                        ),
+                    );
+                    continue;
+                };
                 let out = run_batch(machine, job, request.start..request.end);
                 if wire::write_frame(&mut stream, wire::tag::BATCH, &wire::encode_batch_out(&out))
                     .is_err()
@@ -507,7 +933,7 @@ fn serve_connection(mut stream: TcpStream, config: &WorkerConfig, shutdown: &Ato
                 send_error(
                     &mut stream,
                     ErrorKind::Malformed,
-                    format!("unexpected frame tag {other:#04x}"),
+                    format!("unexpected frame tag {other:#04x} (negotiated v{negotiated})"),
                 );
                 return;
             }
@@ -545,14 +971,64 @@ fn serve_connection(mut stream: TcpStream, config: &WorkerConfig, shutdown: &Ato
 pub struct RemoteBackend {
     addr: String,
     name: String,
+    /// The negotiated protocol version on the current connection.
     protocol: u16,
     capacity: u32,
     stream: Option<TcpStream>,
-    /// Read/write deadline on every exchange; `None` waits forever.
-    io_timeout: Option<Duration>,
-    /// Client-side encode cache: the last job sent and its bytes, so
-    /// consecutive ranges of one job encode once.
-    encoded: Option<(Job, Vec<u8>)>,
+    /// Deadline, key and version cap used for every (re)connection.
+    options: ConnectOptions,
+    /// Client-side encode cache (bounded, MRU first): jobs already
+    /// encoded, each with its connection-scoped job id — so
+    /// alternating jobs re-encode nothing and keep their ids.
+    encoded: VecDeque<EncodedJob>,
+    /// Next job id to assign (connection-scoped namespace; never
+    /// reused within a backend, so reconnect-then-reload is safe).
+    next_job_id: u64,
+    /// Ids believed loaded on the *current* connection (cleared on
+    /// reconnect). The worker may still evict one — that surfaces as
+    /// the recoverable `JobNotLoaded` miss.
+    loaded: Vec<u64>,
+    traffic: WireTraffic,
+}
+
+/// One entry of the client-side encode cache.
+struct EncodedJob {
+    job: Job,
+    bytes: Vec<u8>,
+    id: u64,
+}
+
+/// How many encoded jobs a backend keeps client-side. Small: a slot
+/// rarely interleaves more than a couple of jobs, and the worker-side
+/// registry (not this) is what bounds remote memory.
+const ENCODE_CACHE_CAPACITY: usize = 8;
+
+/// Frame header bytes (u32 length + u8 tag) counted into traffic.
+const FRAME_OVERHEAD: u64 = 5;
+
+/// Cumulative request-side wire accounting for one [`RemoteBackend`]
+/// — what the v2 job registry is buying, in bytes. Responses are not
+/// counted (identical across versions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireTraffic {
+    /// Range requests sent (v1 `RunRange` or v2 `RunRangeById`),
+    /// including the retry after a `JobNotLoaded` miss.
+    pub range_requests: u64,
+    /// Total bytes of those range requests, frame headers included.
+    pub range_request_bytes: u64,
+    /// v2 `LoadJob` requests sent.
+    pub load_requests: u64,
+    /// Total bytes of those load requests, frame headers included.
+    pub load_request_bytes: u64,
+    /// `JobNotLoaded` misses recovered by a transparent re-load.
+    pub reloads: u64,
+}
+
+impl WireTraffic {
+    /// Total request bytes across loads and ranges.
+    pub fn total_request_bytes(&self) -> u64 {
+        self.range_request_bytes + self.load_request_bytes
+    }
 }
 
 impl std::fmt::Debug for RemoteBackend {
@@ -567,16 +1043,16 @@ impl std::fmt::Debug for RemoteBackend {
 }
 
 impl RemoteBackend {
-    /// Connects to a worker and performs the versioned handshake,
+    /// Connects to a worker and performs the negotiating handshake,
     /// with the [`DEFAULT_IO_TIMEOUT`] request deadline.
     ///
     /// # Errors
     ///
     /// [`RuntimeError::Transport`] when the worker is unreachable,
-    /// does not speak the protocol (bad magic), or speaks a different
-    /// version of it.
+    /// does not speak the protocol (bad magic), or no common version
+    /// exists; [`RuntimeError::Auth`] when PSK authentication fails.
     pub fn connect(addr: impl Into<String>) -> Result<Self, RuntimeError> {
-        RemoteBackend::connect_with_timeout(addr, Some(DEFAULT_IO_TIMEOUT))
+        RemoteBackend::connect_opts(addr, ConnectOptions::default())
     }
 
     /// [`RemoteBackend::connect`] with an explicit request deadline
@@ -586,10 +1062,22 @@ impl RemoteBackend {
         addr: impl Into<String>,
         io_timeout: Option<Duration>,
     ) -> Result<Self, RuntimeError> {
+        RemoteBackend::connect_opts(addr, ConnectOptions::default().with_io_timeout(io_timeout))
+    }
+
+    /// [`RemoteBackend::connect`] with full [`ConnectOptions`]
+    /// (deadline, pre-shared key, protocol cap).
+    pub fn connect_opts(
+        addr: impl Into<String>,
+        options: ConnectOptions,
+    ) -> Result<Self, RuntimeError> {
         let addr = addr.into();
-        let (stream, ack) = handshake(&addr, io_timeout).map_err(|e| RuntimeError::Transport {
-            backend: format!("remote {addr}"),
-            message: e.to_string(),
+        let (stream, ack) = handshake(&addr, &options).map_err(|e| match e {
+            WireError::AuthFailed { message } => RuntimeError::Auth(message),
+            e => RuntimeError::Transport {
+                backend: format!("remote {addr}"),
+                message: e.to_string(),
+            },
         })?;
         Ok(RemoteBackend {
             addr,
@@ -597,8 +1085,11 @@ impl RemoteBackend {
             protocol: ack.version,
             capacity: ack.capacity.max(1),
             stream: Some(stream),
-            io_timeout,
-            encoded: None,
+            options,
+            encoded: VecDeque::new(),
+            next_job_id: 1,
+            loaded: Vec::new(),
+            traffic: WireTraffic::default(),
         })
     }
 
@@ -612,7 +1103,7 @@ impl RemoteBackend {
     /// accepted the first connection but refuses later ones yields the
     /// connections that did succeed (at least one).
     pub fn connect_pool(addr: impl Into<String>) -> Result<Vec<Self>, RuntimeError> {
-        RemoteBackend::connect_pool_with_timeout(addr, Some(DEFAULT_IO_TIMEOUT))
+        RemoteBackend::connect_pool_opts(addr, ConnectOptions::default())
     }
 
     /// [`RemoteBackend::connect_pool`] with an explicit request
@@ -621,12 +1112,24 @@ impl RemoteBackend {
         addr: impl Into<String>,
         io_timeout: Option<Duration>,
     ) -> Result<Vec<Self>, RuntimeError> {
+        RemoteBackend::connect_pool_opts(
+            addr,
+            ConnectOptions::default().with_io_timeout(io_timeout),
+        )
+    }
+
+    /// [`RemoteBackend::connect_pool`] with full [`ConnectOptions`]
+    /// for every pooled connection.
+    pub fn connect_pool_opts(
+        addr: impl Into<String>,
+        options: ConnectOptions,
+    ) -> Result<Vec<Self>, RuntimeError> {
         let addr = addr.into();
-        let first = RemoteBackend::connect_with_timeout(addr.clone(), io_timeout)?;
+        let first = RemoteBackend::connect_opts(addr.clone(), options.clone())?;
         let want = first.capacity as usize;
         let mut pool = vec![first];
         while pool.len() < want {
-            match RemoteBackend::connect_with_timeout(addr.clone(), io_timeout) {
+            match RemoteBackend::connect_opts(addr.clone(), options.clone()) {
                 Ok(backend) => pool.push(backend),
                 Err(_) => break, // partial pool beats no pool
             }
@@ -637,7 +1140,7 @@ impl RemoteBackend {
     /// Returns the backend with a different request deadline, applied
     /// to the live connection immediately (`None` waits forever).
     pub fn with_io_timeout(mut self, io_timeout: Option<Duration>) -> Self {
-        self.io_timeout = io_timeout;
+        self.options.io_timeout = io_timeout;
         if let Some(stream) = &self.stream {
             let _ = stream.set_read_timeout(io_timeout);
             let _ = stream.set_write_timeout(io_timeout);
@@ -647,7 +1150,7 @@ impl RemoteBackend {
 
     /// The request deadline in force (`None` = wait forever).
     pub fn io_timeout(&self) -> Option<Duration> {
-        self.io_timeout
+        self.options.io_timeout
     }
 
     /// The slot capacity the worker advertised.
@@ -660,6 +1163,20 @@ impl RemoteBackend {
         &self.name
     }
 
+    /// The protocol version negotiated on the current connection —
+    /// `2` when the job registry is in use, `1` when the worker only
+    /// speaks inline ranges.
+    pub fn protocol(&self) -> u16 {
+        self.protocol
+    }
+
+    /// Request-side wire accounting since connect — how many bytes
+    /// ranges and job loads have cost, and how many `JobNotLoaded`
+    /// misses were transparently recovered.
+    pub fn traffic(&self) -> WireTraffic {
+        self.traffic
+    }
+
     fn transport_err(&self, e: impl std::fmt::Display) -> RuntimeError {
         RuntimeError::Transport {
             backend: format!("{} ({})", self.name, self.addr),
@@ -667,10 +1184,43 @@ impl RemoteBackend {
         }
     }
 
-    /// One request/response exchange on the current stream.
-    /// `request_payload` is a pre-encoded [`RunRange`] payload.
-    fn exchange(&mut self, request_payload: &[u8]) -> Result<BatchOut, Exchange> {
-        let timeout = self.io_timeout;
+    /// The encode-cache id for `job`, encoding and caching it on
+    /// first sight (bounded LRU).
+    fn ensure_encoded(&mut self, job: &Job) -> Result<u64, RuntimeError> {
+        if let Some(pos) = self.encoded.iter().position(|e| &e.job == job) {
+            let entry = self.encoded.remove(pos).expect("position exists");
+            let id = entry.id;
+            self.encoded.push_front(entry);
+            return Ok(id);
+        }
+        let bytes = wire::encode_job(job).map_err(|e| {
+            // An unencodable job is a caller bug, not a transport
+            // fault — surface it as a service failure.
+            RuntimeError::Service(format!("job `{}` cannot be encoded: {e}", job.name))
+        })?;
+        let id = self.next_job_id;
+        self.next_job_id += 1;
+        self.encoded.push_front(EncodedJob {
+            job: job.clone(),
+            bytes,
+            id,
+        });
+        while self.encoded.len() > ENCODE_CACHE_CAPACITY {
+            if let Some(evicted) = self.encoded.pop_back() {
+                // A job this backend can no longer name has no
+                // business in the loaded-set: the id is dead (a
+                // re-encounter mints a fresh id), and keeping it
+                // would grow the set — and its per-range scan — by
+                // one entry per evicted job forever.
+                self.loaded.retain(|&l| l != evicted.id);
+            }
+        }
+        Ok(id)
+    }
+
+    /// One request/response round trip on the current stream.
+    fn send_request(&mut self, tag: u8, payload: &[u8]) -> Result<(u8, Vec<u8>), Exchange> {
+        let timeout = self.options.io_timeout;
         let timed_out = |e: &std::io::Error| {
             e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut
         };
@@ -681,7 +1231,7 @@ impl RemoteBackend {
             ))
         };
         let stream = self.stream.as_mut().ok_or(Exchange::Reconnect)?;
-        if let Err(e) = wire::write_frame(stream, wire::tag::RUN_RANGE, request_payload) {
+        if let Err(e) = wire::write_frame(stream, tag, payload) {
             // A stalled *write* (the worker stopped reading and the
             // send buffer filled) is the hung-worker case, not a dead
             // connection: retrying on a fresh connection would just
@@ -691,17 +1241,84 @@ impl RemoteBackend {
                 _ => Err(Exchange::Reconnect),
             };
         }
-        let (tag, payload) = match wire::read_frame(stream) {
-            Ok(frame) => frame,
-            Err(WireError::Io(io)) if timed_out(&io) => return Err(stall("read")),
-            Err(WireError::Io(_)) => return Err(Exchange::Reconnect),
-            Err(e) => return Err(Exchange::Fatal(e.to_string())),
-        };
+        match wire::read_frame(stream) {
+            Ok(frame) => Ok(frame),
+            Err(WireError::Io(io)) if timed_out(&io) => Err(stall("read")),
+            Err(WireError::Io(_)) => Err(Exchange::Reconnect),
+            Err(e) => Err(Exchange::Fatal(e.to_string())),
+        }
+    }
+
+    /// Classifies a response expected to be a `BATCH`.
+    fn classify_batch(tag: u8, payload: &[u8]) -> Result<BatchOut, Exchange> {
         match tag {
-            wire::tag::BATCH => wire::decode_batch_out(&payload)
+            wire::tag::BATCH => wire::decode_batch_out(payload)
                 .map_err(|e| Exchange::Fatal(format!("undecodable batch: {e}"))),
             wire::tag::ERROR => {
-                let msg = ErrorMsg::decode(&payload)
+                let msg = ErrorMsg::decode(payload)
+                    .map_err(|e| Exchange::Fatal(format!("undecodable error frame: {e}")))?;
+                match msg.kind {
+                    ErrorKind::Load => Err(Exchange::Load(msg.message)),
+                    ErrorKind::JobNotLoaded => Err(Exchange::NotLoaded),
+                    _ => Err(Exchange::Fatal(msg.to_string())),
+                }
+            }
+            other => Err(Exchange::Fatal(format!(
+                "unexpected frame tag {other:#04x}"
+            ))),
+        }
+    }
+
+    /// The v1 exchange: one inline `RunRange` request.
+    fn exchange_v1(&mut self, id: u64, range: &Range<u64>) -> Result<BatchOut, Exchange> {
+        // Encode the frame payload borrowing the cached job bytes —
+        // for large programs those bytes dominate the request, and
+        // cloning them per batch would double the per-range memory
+        // traffic.
+        let payload = {
+            let entry = self
+                .encoded
+                .iter()
+                .find(|e| e.id == id)
+                .expect("job encoded before exchange");
+            RunRange::encode_parts(range.start, range.end, &entry.bytes)
+        };
+        self.traffic.range_requests += 1;
+        self.traffic.range_request_bytes += payload.len() as u64 + FRAME_OVERHEAD;
+        let (tag, resp) = self.send_request(wire::tag::RUN_RANGE, &payload)?;
+        RemoteBackend::classify_batch(tag, &resp)
+    }
+
+    /// Sends `LoadJob` for the cached job `id` and records it loaded.
+    fn load_job(&mut self, id: u64) -> Result<(), Exchange> {
+        let payload = {
+            let entry = self
+                .encoded
+                .iter()
+                .find(|e| e.id == id)
+                .expect("job encoded before load");
+            LoadJob::encode_parts(id, &entry.bytes)
+        };
+        self.traffic.load_requests += 1;
+        self.traffic.load_request_bytes += payload.len() as u64 + FRAME_OVERHEAD;
+        let (tag, resp) = self.send_request(wire::tag::LOAD_JOB, &payload)?;
+        match tag {
+            wire::tag::LOAD_ACK => {
+                let ack = LoadAck::decode(&resp)
+                    .map_err(|e| Exchange::Fatal(format!("undecodable load ack: {e}")))?;
+                if ack.job_id != id {
+                    return Err(Exchange::Fatal(format!(
+                        "load ack names job {} (expected {id})",
+                        ack.job_id
+                    )));
+                }
+                if !self.loaded.contains(&id) {
+                    self.loaded.push(id);
+                }
+                Ok(())
+            }
+            wire::tag::ERROR => {
+                let msg = ErrorMsg::decode(&resp)
                     .map_err(|e| Exchange::Fatal(format!("undecodable error frame: {e}")))?;
                 match msg.kind {
                     ErrorKind::Load => Err(Exchange::Load(msg.message)),
@@ -709,8 +1326,45 @@ impl RemoteBackend {
                 }
             }
             other => Err(Exchange::Fatal(format!(
-                "unexpected frame tag {other:#04x}"
+                "unexpected load response tag {other:#04x}"
             ))),
+        }
+    }
+
+    /// The v2 exchange: ensure the job is registered, run the range
+    /// by id, and transparently re-load on an eviction miss.
+    fn exchange_v2(&mut self, id: u64, range: &Range<u64>) -> Result<BatchOut, Exchange> {
+        if !self.loaded.contains(&id) {
+            self.load_job(id)?;
+        }
+        let payload = RunRangeById {
+            job_id: id,
+            start: range.start,
+            end: range.end,
+        }
+        .encode();
+        self.traffic.range_requests += 1;
+        self.traffic.range_request_bytes += payload.len() as u64 + FRAME_OVERHEAD;
+        let (tag, resp) = self.send_request(wire::tag::RUN_RANGE_BY_ID, &payload)?;
+        match RemoteBackend::classify_batch(tag, &resp) {
+            Err(Exchange::NotLoaded) => {
+                // The worker evicted this job under cache pressure:
+                // the typed miss costs one re-load round trip, never
+                // a wrong answer.
+                self.traffic.reloads += 1;
+                self.loaded.retain(|&l| l != id);
+                self.load_job(id)?;
+                self.traffic.range_requests += 1;
+                self.traffic.range_request_bytes += payload.len() as u64 + FRAME_OVERHEAD;
+                let (tag, resp) = self.send_request(wire::tag::RUN_RANGE_BY_ID, &payload)?;
+                match RemoteBackend::classify_batch(tag, &resp) {
+                    Err(Exchange::NotLoaded) => Err(Exchange::Fatal(
+                        "worker reports JobNotLoaded immediately after a load ack".to_owned(),
+                    )),
+                    outcome => outcome,
+                }
+            }
+            outcome => outcome,
         }
     }
 }
@@ -725,14 +1379,14 @@ enum Exchange {
     /// The worker rejected the *job* (validation failure): fail the
     /// job, do not retry anywhere.
     Load(String),
+    /// (v2) The worker does not hold the named job — re-load and
+    /// retry on this same connection.
+    NotLoaded,
 }
 
-/// Connects and performs the client side of the versioned handshake.
-/// `io_timeout` becomes the stream's read/write deadline — covering
-/// the handshake itself (a worker that accepts the TCP connection and
-/// then goes silent must not hang the caller) and every later request
-/// on the returned stream.
-fn handshake(addr: &str, io_timeout: Option<Duration>) -> Result<(TcpStream, HelloAck), WireError> {
+/// Opens a TCP connection to `addr` with the connect + I/O deadlines
+/// applied.
+fn open_stream(addr: &str, io_timeout: Option<Duration>) -> Result<TcpStream, WireError> {
     let mut last_err: Option<std::io::Error> = None;
     let mut stream = None;
     for candidate in addr.to_socket_addrs()? {
@@ -744,7 +1398,7 @@ fn handshake(addr: &str, io_timeout: Option<Duration>) -> Result<(TcpStream, Hel
             Err(e) => last_err = Some(e),
         }
     }
-    let mut stream = stream.ok_or_else(|| {
+    let stream = stream.ok_or_else(|| {
         WireError::Io(last_err.unwrap_or_else(|| {
             std::io::Error::new(
                 std::io::ErrorKind::AddrNotAvailable,
@@ -757,17 +1411,120 @@ fn handshake(addr: &str, io_timeout: Option<Duration>) -> Result<(TcpStream, Hel
     stream
         .set_write_timeout(io_timeout)
         .map_err(WireError::Io)?;
-    let hello = Hello {
-        version: PROTOCOL_VERSION,
-    };
+    Ok(stream)
+}
+
+/// Connects and performs the client side of the negotiating
+/// handshake (version negotiation, optional PSK challenge–response).
+/// `opts.io_timeout` becomes the stream's read/write deadline —
+/// covering the handshake itself (a server that accepts the TCP
+/// connection and then goes silent must not hang the caller) and
+/// every later request on the returned stream.
+///
+/// A v1-era server predates negotiation: it rejects an unfamiliar
+/// offer with a typed `Version` error naming the version it does
+/// speak. When that version is still supported, the handshake
+/// reconnects and re-offers it — so a v2 coordinator falls back to v1
+/// workers transparently.
+pub(crate) fn handshake(
+    addr: &str,
+    opts: &ConnectOptions,
+) -> Result<(TcpStream, HelloAck), WireError> {
+    let mut offer = opts
+        .protocol_cap
+        .clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
+    loop {
+        match handshake_offer(addr, opts, offer) {
+            Err(WireError::VersionMismatch { theirs, .. })
+                if theirs < offer && theirs >= MIN_PROTOCOL_VERSION =>
+            {
+                // Legacy fallback: re-offer exactly what the server
+                // speaks, on a fresh connection (the server closed
+                // this one after its rejection).
+                offer = theirs;
+            }
+            outcome => return outcome,
+        }
+    }
+}
+
+/// One handshake attempt at a fixed offered version.
+fn handshake_offer(
+    addr: &str,
+    opts: &ConnectOptions,
+    offer: u16,
+) -> Result<(TcpStream, HelloAck), WireError> {
+    let mut stream = open_stream(addr, opts.io_timeout)?;
+    let hello = Hello { version: offer };
     wire::write_frame(&mut stream, wire::tag::HELLO, &hello.encode())?;
-    let (tag, payload) = wire::read_frame(&mut stream)?;
+    let (mut tag, mut payload) = wire::read_frame(&mut stream)?;
+    let mut authed = false;
+    if tag == wire::tag::AUTH_CHALLENGE {
+        let Some(psk) = &opts.psk else {
+            return Err(WireError::AuthFailed {
+                message: format!("server {addr} requires a pre-shared key and none is configured"),
+            });
+        };
+        let challenge = AuthChallenge::decode(&payload)?;
+        let client_nonce = fresh_nonce();
+        let response = AuthResponse {
+            client_nonce: client_nonce.to_vec(),
+            proof: psk
+                .client_proof(&challenge.server_nonce, &client_nonce)
+                .to_vec(),
+        };
+        wire::write_frame(&mut stream, wire::tag::AUTH_RESPONSE, &response.encode())?;
+        let (ok_tag, ok_payload) = wire::read_frame(&mut stream)?;
+        match ok_tag {
+            wire::tag::AUTH_OK => {
+                let ok = AuthOk::decode(&ok_payload)?;
+                let expected = psk.server_proof(&challenge.server_nonce, &client_nonce);
+                if !ct_eq(&expected, &ok.proof) {
+                    return Err(WireError::AuthFailed {
+                        message: format!("server {addr} failed mutual authentication"),
+                    });
+                }
+            }
+            wire::tag::ERROR => {
+                let msg = ErrorMsg::decode(&ok_payload)?;
+                return Err(match msg.kind {
+                    ErrorKind::AuthFailed => WireError::AuthFailed {
+                        message: msg.message,
+                    },
+                    _ => WireError::Remote(msg),
+                });
+            }
+            other => {
+                return Err(WireError::UnknownTag {
+                    what: "auth response",
+                    tag: other,
+                })
+            }
+        }
+        authed = true;
+        (tag, payload) = wire::read_frame(&mut stream)?;
+    }
     match tag {
         wire::tag::HELLO_ACK => {
+            if opts.psk.is_some() && !authed {
+                // A configured key must never silently downgrade to
+                // an unauthenticated conversation — a misconfigured
+                // (keyless) server is an error the operator wants to
+                // see. Checked only on a *successful* ack: a typed
+                // ERROR (e.g. a legacy server's Version rejection)
+                // must reach its own classification below, not be
+                // masked as an auth problem.
+                return Err(WireError::AuthFailed {
+                    message: format!(
+                        "a pre-shared key is configured but server {addr} did not request \
+                         authentication"
+                    ),
+                });
+            }
             let ack = HelloAck::decode(&payload)?;
-            if ack.version != PROTOCOL_VERSION {
+            if ack.version < MIN_PROTOCOL_VERSION || ack.version > offer {
                 return Err(WireError::VersionMismatch {
-                    ours: PROTOCOL_VERSION,
+                    ours: offer,
                     theirs: ack.version,
                 });
             }
@@ -777,8 +1534,11 @@ fn handshake(addr: &str, io_timeout: Option<Duration>) -> Result<(TcpStream, Hel
             let msg = ErrorMsg::decode(&payload)?;
             match msg.kind {
                 ErrorKind::Version => Err(WireError::VersionMismatch {
-                    ours: PROTOCOL_VERSION,
+                    ours: offer,
                     theirs: msg.version,
+                }),
+                ErrorKind::AuthFailed => Err(WireError::AuthFailed {
+                    message: msg.message,
                 }),
                 _ => Err(WireError::Remote(msg)),
             }
@@ -803,29 +1563,18 @@ impl ExecBackend for RemoteBackend {
     }
 
     fn run_range(&mut self, job: &Job, range: Range<u64>) -> Result<BatchOut, RuntimeError> {
-        if !matches!(&self.encoded, Some((cached, _)) if cached == job) {
-            let bytes = wire::encode_job(job).map_err(|e| {
-                // An unencodable job is a caller bug, not a transport
-                // fault — surface it as a service failure.
-                RuntimeError::Service(format!("job `{}` cannot be encoded: {e}", job.name))
-            })?;
-            self.encoded = Some((job.clone(), bytes));
-        }
-        // Encode the frame payload once, borrowing the cached job
-        // bytes — for large programs those bytes dominate the
-        // request, and cloning them per batch would double the
-        // per-range memory traffic.
-        let request = RunRange::encode_parts(
-            range.start,
-            range.end,
-            &self.encoded.as_ref().expect("just encoded").1,
-        );
+        let id = self.ensure_encoded(job)?;
 
         // One transparent reconnect: a worker that restarted between
         // batches (or an idle connection a middlebox dropped) should
         // not count as a backend failure.
         for attempt in 0..2 {
-            match self.exchange(&request) {
+            let outcome = if self.protocol >= 2 {
+                self.exchange_v2(id, &range)
+            } else {
+                self.exchange_v1(id, &range)
+            };
+            match outcome {
                 Ok(out) => return Ok(out),
                 Err(Exchange::Load(message)) => {
                     return Err(RuntimeError::Service(format!(
@@ -835,14 +1584,29 @@ impl ExecBackend for RemoteBackend {
                 }
                 Err(Exchange::Fatal(message)) => {
                     self.stream = None;
+                    self.loaded.clear();
                     return Err(self.transport_err(message));
+                }
+                Err(Exchange::NotLoaded) => {
+                    // exchange_v2 already converts a post-reload miss
+                    // to Fatal; a stray NotLoaded is a protocol bug.
+                    self.stream = None;
+                    self.loaded.clear();
+                    return Err(self.transport_err("unexpected JobNotLoaded"));
                 }
                 Err(Exchange::Reconnect) => {
                     self.stream = None;
+                    // A fresh connection has an empty worker-side
+                    // registry: everything must be re-loaded.
+                    self.loaded.clear();
                     if attempt == 0 {
-                        match handshake(&self.addr, self.io_timeout) {
+                        match handshake(&self.addr, &self.options) {
                             Ok((stream, ack)) => {
                                 self.name = ack.name;
+                                // The restarted worker may negotiate a
+                                // different version (e.g. upgraded or
+                                // rolled back mid-fleet).
+                                self.protocol = ack.version;
                                 self.stream = Some(stream);
                             }
                             Err(e) => return Err(self.transport_err(e)),
@@ -869,7 +1633,13 @@ pub fn ping(addr: &str) -> Result<HelloAck, WireError> {
 /// [`ping`] with an explicit deadline — what the pool supervisor uses,
 /// so one hung worker cannot stall a whole discovery sweep.
 pub fn ping_within(addr: &str, io_timeout: Option<Duration>) -> Result<HelloAck, WireError> {
-    let (mut stream, ack) = handshake(addr, io_timeout)?;
+    ping_opts(addr, &ConnectOptions::default().with_io_timeout(io_timeout))
+}
+
+/// [`ping`] with full [`ConnectOptions`] — required to probe workers
+/// that demand PSK authentication.
+pub fn ping_opts(addr: &str, options: &ConnectOptions) -> Result<HelloAck, WireError> {
+    let (mut stream, ack) = handshake(addr, options)?;
     wire::write_frame(&mut stream, wire::tag::PING, &[])?;
     let (tag, _) = wire::read_frame(&mut stream)?;
     if tag != wire::tag::PONG {
@@ -880,6 +1650,543 @@ pub fn ping_within(addr: &str, io_timeout: Option<Duration>) -> Result<HelloAck,
     }
     stream.flush().ok();
     Ok(ack)
+}
+
+// ---------------------------------------------------------------------
+// Serve front door: the JobQueue over the wire (v2)
+// ---------------------------------------------------------------------
+
+/// Configuration of the serve acceptor — the network front door that
+/// exposes a [`JobQueue`] to remote [`crate::client::Client`]s over
+/// the framed transport.
+#[derive(Debug, Clone)]
+pub struct ServeNetConfig {
+    /// Self-reported name, echoed in the handshake.
+    pub name: String,
+    /// Pre-shared key; when set, every client connection must pass
+    /// the HMAC challenge–response.
+    pub psk: Option<Psk>,
+    /// Per-connection frame-size budget (a submission larger than
+    /// this is rejected with a typed `Budget` error).
+    pub max_frame_len: u32,
+    /// Per-connection request-rate budget (requests per second;
+    /// `None` disables). Streamed snapshot frames do not count — only
+    /// client requests do.
+    pub max_requests_per_sec: Option<u32>,
+    /// How often a subscription re-checks a job for progress.
+    pub snapshot_interval: Duration,
+    /// A subscription with no progress re-sends its latest snapshot
+    /// at this interval, so a slow job cannot trip the client's read
+    /// deadline.
+    pub keepalive: Duration,
+    /// How many **completed** jobs stay addressable by id. A
+    /// long-lived front door cannot retain every job it ever served
+    /// (each final result holds a histogram); past this many finished
+    /// jobs, registering a new one evicts the oldest finished ids —
+    /// their `status`/`watch` lookups then report an unknown id.
+    /// Running jobs are never evicted.
+    pub completed_retention: usize,
+}
+
+impl Default for ServeNetConfig {
+    fn default() -> Self {
+        ServeNetConfig {
+            name: "eqasm-serve".to_owned(),
+            psk: None,
+            max_frame_len: MAX_FRAME_LEN,
+            max_requests_per_sec: None,
+            snapshot_interval: Duration::from_millis(5),
+            keepalive: Duration::from_secs(1),
+            completed_retention: 4096,
+        }
+    }
+}
+
+impl ServeNetConfig {
+    /// Returns the config with the given name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Returns the config requiring PSK authentication.
+    pub fn with_psk(mut self, psk: Psk) -> Self {
+        self.psk = Some(psk);
+        self
+    }
+
+    /// Returns the config with a per-connection frame-size budget.
+    pub fn with_max_frame_len(mut self, max_len: u32) -> Self {
+        self.max_frame_len = max_len.clamp(64, MAX_FRAME_LEN);
+        self
+    }
+
+    /// Returns the config with a per-connection request-rate budget.
+    pub fn with_max_requests_per_sec(mut self, rate: Option<u32>) -> Self {
+        self.max_requests_per_sec = rate;
+        self
+    }
+
+    /// Returns the config retaining at most this many completed jobs
+    /// addressable by id (clamped to at least 1).
+    pub fn with_completed_retention(mut self, retention: usize) -> Self {
+        self.completed_retention = retention.max(1);
+        self
+    }
+}
+
+/// The acceptor's job-id table, shared across client connections so a
+/// job submitted on one connection can be polled or watched from
+/// another connection of the same acceptor (ids are never reused).
+///
+/// Bounded: a long-lived service cannot keep every job it ever ran,
+/// so registration evicts the oldest **completed** jobs beyond the
+/// configured retention — dropping the id mapping *and* releasing the
+/// queue-side payload ([`crate::serve::JobHandle::release`]: program,
+/// histogram, final result) so memory is actually reclaimed, not just
+/// de-addressed. Running jobs always stay addressable and intact.
+struct JobDirectory {
+    next: AtomicU64,
+    /// Ordered by id — ids are monotonic, so iteration order is age
+    /// order and the eviction sweep reads the oldest entries for
+    /// free (no per-registration clone-and-sort of the whole table).
+    jobs: Mutex<std::collections::BTreeMap<u64, crate::serve::JobHandle>>,
+    /// Jobs with an active subscription stream, by id. Pinned jobs
+    /// are never evicted: a watcher must not have a *successful* run
+    /// turned into a "released" error under its feet.
+    pinned: Mutex<std::collections::HashMap<u64, usize>>,
+    completed_retention: usize,
+}
+
+/// How many oldest entries one registration's eviction sweep will
+/// probe beyond the strictly necessary count. Bounds the per-SUBMIT
+/// work when the oldest jobs happen to still be running (they cannot
+/// be evicted; the table then temporarily exceeds the retention).
+const EVICTION_SWEEP_SLACK: usize = 64;
+
+impl JobDirectory {
+    fn new(completed_retention: usize) -> Self {
+        JobDirectory {
+            next: AtomicU64::new(1),
+            jobs: Mutex::new(std::collections::BTreeMap::new()),
+            pinned: Mutex::new(std::collections::HashMap::new()),
+            completed_retention: completed_retention.max(1),
+        }
+    }
+
+    fn register(&self, handle: crate::serve::JobHandle) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        // Insert, and snapshot a bounded window of the *oldest*
+        // entries while the lock is held — but probe them after
+        // releasing it: `release` takes the queue-state mutex (the
+        // dispatch hot path), and holding the directory lock across
+        // per-entry queue locks would stall every concurrent
+        // POLL/SUBSCRIBE lookup behind the sweep.
+        let (excess, candidates): (usize, Vec<(u64, crate::serve::JobHandle)>) = {
+            let mut jobs = self.jobs.lock().expect("job directory poisoned");
+            jobs.insert(id, handle);
+            if jobs.len() <= self.completed_retention {
+                return id;
+            }
+            let excess = jobs.len() - self.completed_retention;
+            let window = excess.saturating_add(EVICTION_SWEEP_SLACK);
+            (
+                excess,
+                jobs.iter()
+                    .take(window)
+                    .map(|(&cid, h)| (cid, h.clone()))
+                    .collect(),
+            )
+        };
+        let pinned: Vec<u64> = {
+            let pins = self.pinned.lock().expect("pin table poisoned");
+            candidates
+                .iter()
+                .filter(|(cid, _)| pins.get(cid).copied().unwrap_or(0) > 0)
+                .map(|(cid, _)| *cid)
+                .collect()
+        };
+        let mut evicted = Vec::with_capacity(excess);
+        for (cid, h) in &candidates {
+            if evicted.len() >= excess {
+                break;
+            }
+            // `release` frees the payload only when the job is done;
+            // running and actively watched jobs stay.
+            if !pinned.contains(cid) && h.release() {
+                evicted.push(*cid);
+            }
+        }
+        if !evicted.is_empty() {
+            let mut jobs = self.jobs.lock().expect("job directory poisoned");
+            for cid in evicted {
+                jobs.remove(&cid);
+            }
+        }
+        id
+    }
+
+    fn get(&self, id: u64) -> Option<crate::serve::JobHandle> {
+        self.jobs
+            .lock()
+            .expect("job directory poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Marks `id` as having one more active subscription (shielding
+    /// it from eviction until the matching [`JobDirectory::unpin`]).
+    fn pin(&self, id: u64) {
+        *self
+            .pinned
+            .lock()
+            .expect("pin table poisoned")
+            .entry(id)
+            .or_insert(0) += 1;
+    }
+
+    fn unpin(&self, id: u64) {
+        let mut pins = self.pinned.lock().expect("pin table poisoned");
+        if let Some(count) = pins.get_mut(&id) {
+            *count -= 1;
+            if *count == 0 {
+                pins.remove(&id);
+            }
+        }
+    }
+}
+
+/// A handle to an in-process serve acceptor, used by tests, benches
+/// and embedded deployments. The CLI's `eqasm-cli serve --listen`
+/// uses the blocking [`run_serve_until`] instead.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The address the acceptor is listening on (useful with a
+    /// port-0 bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections; existing connections close
+    /// after their current request or subscription.
+    pub fn kill(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.kill();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Starts the serve front door on `listener` in background threads:
+/// remote clients can then submit to `queue`, poll snapshots and
+/// stream partial results over TCP. Returns a handle that stops the
+/// acceptor on drop (the queue itself is left running — it belongs to
+/// the caller). Stopping drains like [`run_serve_until`]: in-flight
+/// connections finish their current request before the handle's join
+/// returns.
+pub fn spawn_serve(
+    listener: TcpListener,
+    queue: Arc<JobQueue>,
+    config: ServeNetConfig,
+) -> std::io::Result<ServeHandle> {
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_thread = std::thread::Builder::new()
+        .name("eqasm-serve-accept".to_owned())
+        .spawn(move || {
+            let _ = serve_accept_loop(listener, &queue, &config, &accept_shutdown);
+        })?;
+    Ok(ServeHandle {
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// Runs the serve front door on `listener`, blocking until `shutdown`
+/// flips — the body of `eqasm-cli serve --listen <addr>`. On shutdown
+/// the acceptor stops taking connections and in-flight connections
+/// close after their current request (a subscription mid-stream is
+/// told the server is draining), bounded by the drain timeout.
+pub fn run_serve_until(
+    listener: TcpListener,
+    queue: Arc<JobQueue>,
+    config: ServeNetConfig,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    serve_accept_loop(listener, &queue, &config, shutdown)
+}
+
+/// The one serve accept loop, shared by [`spawn_serve`] and
+/// [`run_serve_until`] so accept hardening and drain behaviour cannot
+/// drift apart: nonblocking accept poll, per-connection threads (a
+/// failed spawn costs one connection, never the acceptor), and on
+/// shutdown a bounded drain — connections finish their current
+/// request, subscriptions are told the server is draining.
+fn serve_accept_loop(
+    listener: TcpListener,
+    queue: &Arc<JobQueue>,
+    config: &ServeNetConfig,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    // Connections watch an owned flag (this function cannot hand out
+    // the caller's reference to detached threads).
+    let conn_shutdown = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    let directory = Arc::new(JobDirectory::new(config.completed_retention));
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            Err(e) => {
+                eprintln!("serve: accept failed ({e}); continuing");
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        let _ = stream.set_nonblocking(false);
+        let queue = Arc::clone(queue);
+        let config = config.clone();
+        let conn_shutdown = Arc::clone(&conn_shutdown);
+        let directory = Arc::clone(&directory);
+        let active_in_thread = Arc::clone(&active);
+        active.fetch_add(1, Ordering::SeqCst);
+        let spawned = std::thread::Builder::new()
+            .name("eqasm-serve-client".to_owned())
+            .spawn(move || {
+                serve_client_connection(stream, &queue, &directory, &config, &conn_shutdown);
+                active_in_thread.fetch_sub(1, Ordering::SeqCst);
+            });
+        if let Err(e) = spawned {
+            active.fetch_sub(1, Ordering::SeqCst);
+            eprintln!("serve: could not spawn client thread ({e}); dropping one connection");
+        }
+    }
+    conn_shutdown.store(true, Ordering::Release);
+    let deadline = Instant::now() + DRAIN_TIMEOUT;
+    while active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    Ok(())
+}
+
+/// One client connection on the serve front door: negotiating
+/// handshake (auth and budgets as configured), then a sequential
+/// request loop over `SUBMIT` / `POLL` / `SUBSCRIBE` / `PING`.
+fn serve_client_connection(
+    mut stream: TcpStream,
+    queue: &Arc<JobQueue>,
+    directory: &JobDirectory,
+    config: &ServeNetConfig,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_nodelay(true);
+    let policy = AcceptPolicy {
+        name: &config.name,
+        capacity: queue.workers() as u32,
+        psk: config.psk.as_ref(),
+        protocol_cap: PROTOCOL_VERSION,
+        max_frame_len: config.max_frame_len,
+    };
+    let Some(negotiated) = accept_handshake_deadlined(&mut stream, &policy) else {
+        return;
+    };
+    let mut limiter = config.max_requests_per_sec.map(RateLimiter::new);
+    loop {
+        if !wait_readable(&stream, shutdown) {
+            return;
+        }
+        let Some((tag, payload)) =
+            read_request_frame(&mut stream, config.max_frame_len, &mut limiter)
+        else {
+            return;
+        };
+        match tag {
+            wire::tag::PING => {
+                if wire::write_frame(&mut stream, wire::tag::PONG, &[]).is_err() {
+                    return;
+                }
+            }
+            wire::tag::SUBMIT if negotiated >= 2 => {
+                let submission = match wire::decode_submission(&payload) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        send_error(
+                            &mut stream,
+                            ErrorKind::Malformed,
+                            format!("bad submission: {e}"),
+                        );
+                        return;
+                    }
+                };
+                match queue.submit(submission) {
+                    Ok(handles) => {
+                        let jobs = handles
+                            .into_iter()
+                            .map(|handle| {
+                                let snap = handle.snapshot();
+                                RemoteJobInfo {
+                                    job_id: directory.register(handle),
+                                    name: snap.name,
+                                    shots: snap.shots_total,
+                                }
+                            })
+                            .collect();
+                        let ack = SubmitAck { jobs };
+                        if wire::write_frame(&mut stream, wire::tag::SUBMIT_ACK, &ack.encode())
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Err(e @ RuntimeError::AdmissionRejected { .. }) => {
+                        // Admission pressure is a budget, not a job
+                        // defect: the client should back off and
+                        // resubmit.
+                        send_error(&mut stream, ErrorKind::Budget, e.to_string());
+                    }
+                    Err(e) => {
+                        send_error(&mut stream, ErrorKind::Load, e.to_string());
+                    }
+                }
+            }
+            wire::tag::POLL if negotiated >= 2 => {
+                let job_id = match wire::decode_job_id(&payload) {
+                    Ok(id) => id,
+                    Err(e) => {
+                        send_error(&mut stream, ErrorKind::Malformed, format!("bad poll: {e}"));
+                        return;
+                    }
+                };
+                let Some(handle) = directory.get(job_id) else {
+                    send_error(
+                        &mut stream,
+                        ErrorKind::Malformed,
+                        format!("unknown job id {job_id}"),
+                    );
+                    continue;
+                };
+                let snapshot = wire::encode_partial_result(&handle.snapshot());
+                if wire::write_frame(&mut stream, wire::tag::SNAPSHOT, &snapshot).is_err() {
+                    return;
+                }
+            }
+            wire::tag::SUBSCRIBE if negotiated >= 2 => {
+                let job_id = match wire::decode_job_id(&payload) {
+                    Ok(id) => id,
+                    Err(e) => {
+                        send_error(
+                            &mut stream,
+                            ErrorKind::Malformed,
+                            format!("bad subscribe: {e}"),
+                        );
+                        return;
+                    }
+                };
+                let Some(handle) = directory.get(job_id) else {
+                    send_error(
+                        &mut stream,
+                        ErrorKind::Malformed,
+                        format!("unknown job id {job_id}"),
+                    );
+                    continue;
+                };
+                // Pin the job for the duration of the stream: the
+                // retention sweep must not release a result a watcher
+                // is about to be handed.
+                directory.pin(job_id);
+                let keep = stream_subscription(&mut stream, &handle, config, shutdown);
+                directory.unpin(job_id);
+                if !keep {
+                    return;
+                }
+            }
+            other => {
+                send_error(
+                    &mut stream,
+                    ErrorKind::Malformed,
+                    format!("unexpected frame tag {other:#04x} (negotiated v{negotiated})"),
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Streams a job's snapshots until it completes, then its final
+/// result (or failure). Every snapshot sent is an exact prefix of the
+/// final aggregate — the serve queue's determinism invariant, now
+/// carried across the client wire byte-for-byte. Returns `false` when
+/// the connection should close.
+fn stream_subscription(
+    stream: &mut TcpStream,
+    handle: &crate::serve::JobHandle,
+    config: &ServeNetConfig,
+    shutdown: &AtomicBool,
+) -> bool {
+    let mut last_batches: Option<usize> = None;
+    let mut last_sent = Instant::now();
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            send_error(
+                stream,
+                ErrorKind::Internal,
+                "serve front door is draining".to_owned(),
+            );
+            return false;
+        }
+        // Cheap probe first: materializing a snapshot clones the
+        // folded histogram and sorts durations for percentiles, which
+        // a per-tick poll must not pay (N subscribers × 200 ticks/s
+        // would contend the very mutex the dispatch workers fold
+        // under). The full snapshot is taken only when the prefix
+        // actually advanced, the job finished, or a keepalive is due.
+        let (folded, done) = handle.progress_probe();
+        let progressed = last_batches != Some(folded);
+        if progressed || done || last_sent.elapsed() >= config.keepalive {
+            let snapshot = handle.snapshot();
+            last_batches = Some(snapshot.batches_done);
+            last_sent = Instant::now();
+            let payload = wire::encode_partial_result(&snapshot);
+            if wire::write_frame(stream, wire::tag::SNAPSHOT, &payload).is_err() {
+                return false;
+            }
+        }
+        if done {
+            // `wait` returns immediately once done: either the final
+            // result or the job's failure.
+            return match handle.wait() {
+                Ok(result) => {
+                    wire::write_frame(stream, wire::tag::RESULT, &wire::encode_job_result(&result))
+                        .is_ok()
+                }
+                Err(e) => {
+                    send_error(stream, ErrorKind::Internal, e.to_string());
+                    true
+                }
+            };
+        }
+        std::thread::sleep(config.snapshot_interval);
+    }
 }
 
 #[cfg(test)]
@@ -1090,10 +2397,12 @@ mod tests {
 
     #[test]
     fn version_mismatch_is_typed() {
+        // Below the supported floor there is no common version to
+        // negotiate down to: the rejection must be typed.
         let worker = spawn_local_worker(1);
         let mut stream = TcpStream::connect(worker.addr()).expect("connects");
         let bad_hello = Hello {
-            version: PROTOCOL_VERSION + 1,
+            version: MIN_PROTOCOL_VERSION - 1,
         };
         wire::write_frame(&mut stream, wire::tag::HELLO, &bad_hello.encode()).unwrap();
         let (tag, payload) = wire::read_frame(&mut stream).expect("gets answer");
@@ -1101,6 +2410,22 @@ mod tests {
         let msg = ErrorMsg::decode(&payload).expect("typed error");
         assert_eq!(msg.kind, ErrorKind::Version);
         assert_eq!(msg.version, PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn higher_offer_negotiates_down_to_v2() {
+        // A future v3 client offering more than we speak settles on
+        // our v2 rather than being rejected.
+        let worker = spawn_local_worker(1);
+        let mut stream = TcpStream::connect(worker.addr()).expect("connects");
+        let hello = Hello {
+            version: PROTOCOL_VERSION + 1,
+        };
+        wire::write_frame(&mut stream, wire::tag::HELLO, &hello.encode()).unwrap();
+        let (tag, payload) = wire::read_frame(&mut stream).expect("gets answer");
+        assert_eq!(tag, wire::tag::HELLO_ACK);
+        let ack = HelloAck::decode(&payload).expect("ack decodes");
+        assert_eq!(ack.version, PROTOCOL_VERSION);
     }
 
     #[test]

@@ -140,8 +140,10 @@ pub struct Submission {
     work: Work,
 }
 
+/// The two shapes of work a [`Submission`] can carry. `pub(crate)` so
+/// the wire module can encode submissions for the serve front door.
 #[derive(Debug, Clone)]
-enum Work {
+pub(crate) enum Work {
     Job(Box<Job>),
     Spec(Box<WorkloadSpec>),
 }
@@ -168,6 +170,11 @@ impl Submission {
     /// The tenant this submission is accounted against.
     pub fn tenant(&self) -> &TenantId {
         &self.tenant
+    }
+
+    /// The work payload, for the wire encoder.
+    pub(crate) fn work(&self) -> &Work {
+        &self.work
     }
 }
 
@@ -1197,6 +1204,48 @@ impl JobHandle {
     pub fn is_done(&self) -> bool {
         let state = self.shared.state.lock().expect("queue state poisoned");
         state.jobs[self.job].done()
+    }
+
+    /// Cheap progress probe: `(folded batches, done)` without
+    /// materializing a snapshot. A poller deciding *whether* anything
+    /// changed must not pay for histogram clones and percentile sorts
+    /// on every tick — the serve front door's subscription streamer
+    /// polls this and takes a full [`JobHandle::snapshot`] only when
+    /// the prefix actually advanced.
+    pub fn progress_probe(&self) -> (usize, bool) {
+        let state = self.shared.state.lock().expect("queue state poisoned");
+        let entry = &state.jobs[self.job];
+        (entry.partial.folded, entry.done())
+    }
+
+    /// Releases a **completed** job's retained payload — program,
+    /// histogram, stats, final result — leaving a small tombstone
+    /// (the name survives; later polls and `wait` report a typed
+    /// "released" service failure). Returns `false`, releasing
+    /// nothing, while the job is still running.
+    ///
+    /// This is how a long-lived service bounds per-job memory: the
+    /// serve front door calls it when a finished job ages out of its
+    /// completed-retention window. Irreversible — only call it when
+    /// no holder still wants the result.
+    pub fn release(&self) -> bool {
+        let mut state = self.shared.state.lock().expect("queue state poisoned");
+        let entry = &mut state.jobs[self.job];
+        if !entry.done() {
+            return false;
+        }
+        // Tombstone: keep the name for diagnostics, drop everything
+        // heavy (the program and instantiation dominate job memory;
+        // the histogram and duration vectors dominate result memory).
+        let name = entry.job.name.clone();
+        entry.job = Arc::new(Job::new(name, Instantiation::paper_two_qubit(), Vec::new()));
+        entry.partial = PartialState::new(0);
+        entry.final_result = None;
+        if entry.failed.is_none() {
+            entry.failed =
+                Some("job result released after the completed-retention window".to_owned());
+        }
+        true
     }
 
     /// Blocks until the job completes and returns its final result —

@@ -41,8 +41,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::auth::Psk;
 use crate::backend::BackendKind;
-use crate::net::{ping_within, RemoteBackend, DEFAULT_IO_TIMEOUT};
+use crate::net::{ping_opts, ConnectOptions, RemoteBackend, DEFAULT_IO_TIMEOUT};
 use crate::serve::{JobQueue, SlotState};
 
 /// Configuration of a [`PoolSupervisor`].
@@ -64,6 +65,9 @@ pub struct SupervisorConfig {
     /// supervisor attaches (see
     /// [`crate::ServeConfig::remote_io_timeout`]).
     pub io_timeout: Option<Duration>,
+    /// Pre-shared key used for probes and attached backends, for
+    /// fleets whose workers demand authentication.
+    pub psk: Option<Psk>,
 }
 
 impl Default for SupervisorConfig {
@@ -73,6 +77,7 @@ impl Default for SupervisorConfig {
             max_backoff: Duration::from_secs(30),
             registry: None,
             io_timeout: Some(DEFAULT_IO_TIMEOUT),
+            psk: None,
         }
     }
 }
@@ -101,6 +106,13 @@ impl SupervisorConfig {
     /// Returns the config with a probe/attach request deadline.
     pub fn with_io_timeout(mut self, io_timeout: Option<Duration>) -> Self {
         self.io_timeout = io_timeout;
+        self
+    }
+
+    /// Returns the config authenticating probes and attached
+    /// backends with the given pre-shared key.
+    pub fn with_psk(mut self, psk: Psk) -> Self {
+        self.psk = Some(psk);
         self
     }
 }
@@ -148,6 +160,10 @@ struct SupShared {
     wake: Condvar,
     stopping: AtomicBool,
     status: Mutex<Vec<WorkerStatus>>,
+    /// Why the registry file is currently being ignored (unreadable
+    /// or malformed), if it is — the last good address list stays in
+    /// force while this is `Some`.
+    registry_warning: Mutex<Option<String>>,
 }
 
 /// Watches worker addresses and keeps a [`JobQueue`]'s remote slots
@@ -175,6 +191,7 @@ impl PoolSupervisor {
             wake: Condvar::new(),
             stopping: AtomicBool::new(false),
             status: Mutex::new(Vec::new()),
+            registry_warning: Mutex::new(None),
         });
         let thread_shared = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
@@ -194,6 +211,21 @@ impl PoolSupervisor {
             .status
             .lock()
             .expect("supervisor status poisoned")
+            .clone()
+    }
+
+    /// Why the registry file is currently being ignored, if it is.
+    ///
+    /// A registry that fails to read **or parse** does not change
+    /// membership: the last good address list stays in force (an
+    /// earlier version treated any unusable registry like an empty
+    /// roster — one corrupted write could silently drain every
+    /// supervised slot). The warning clears on the next good read.
+    pub fn registry_warning(&self) -> Option<String> {
+        self.shared
+            .registry_warning
+            .lock()
+            .expect("supervisor warning poisoned")
             .clone()
     }
 
@@ -218,21 +250,46 @@ impl Drop for PoolSupervisor {
     }
 }
 
-/// Parses a registry file: one address per line, `#` comments, blank
-/// lines ignored. An *unreadable* file returns `None` — the sweep
-/// then keeps the previous membership untouched, because a registry
-/// mid-rewrite (or briefly missing during an atomic replace) must not
-/// drain the fleet. A readable file with no addresses is a real,
-/// intentional "empty roster" and does drain registry workers.
-fn read_registry(path: &std::path::Path) -> Option<Vec<String>> {
-    let text = std::fs::read_to_string(path).ok()?;
-    Some(
-        text.lines()
-            .map(str::trim)
-            .filter(|l| !l.is_empty() && !l.starts_with('#'))
-            .map(str::to_owned)
-            .collect(),
-    )
+/// Parses a registry file: one `host:port` address per line, `#`
+/// comments, blank lines ignored.
+///
+/// Any unusable file — unreadable, non-UTF-8, or containing a line
+/// that is not a plausible `host:port` — is a **parse error**, not an
+/// empty roster: the caller keeps the last good address list and
+/// surfaces the error through
+/// [`PoolSupervisor::registry_warning`]. (An earlier version
+/// returned whatever lines survived filtering, so a corrupted or
+/// truncated write could read as "no workers" and silently drain
+/// every supervised slot.) A readable, well-formed file with no
+/// addresses is a real, intentional "empty roster" and does drain
+/// registry workers.
+fn read_registry(path: &std::path::Path) -> Result<Vec<String>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let text =
+        String::from_utf8(bytes).map_err(|e| format!("{} is not UTF-8: {e}", path.display()))?;
+    let mut addrs = Vec::new();
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((host, port)) = line.rsplit_once(':') else {
+            return Err(format!(
+                "{} line {}: `{line}` is not host:port",
+                path.display(),
+                line_no + 1
+            ));
+        };
+        if host.is_empty() || port.parse::<u16>().is_err() {
+            return Err(format!(
+                "{} line {}: `{line}` is not host:port",
+                path.display(),
+                line_no + 1
+            ));
+        }
+        addrs.push(line.to_owned());
+    }
+    Ok(addrs)
 }
 
 /// The supervisor loop: merge addresses, probe the due ones, attach
@@ -245,6 +302,15 @@ fn supervise(
     shared: &SupShared,
 ) {
     let mut workers: HashMap<String, AddrState> = HashMap::new();
+    let connect_opts = ConnectOptions {
+        io_timeout: config.io_timeout,
+        psk: config.psk.clone(),
+        ..ConnectOptions::default()
+    };
+    // The last registry roster that read and parsed cleanly. While
+    // the file is unusable, this list stays in force — a corrupted
+    // write must not drain the fleet.
+    let mut last_good_registry: Option<Vec<String>> = None;
     let fresh = |now: Instant, from_registry: bool| AddrState {
         live_probe: None,
         consecutive_failures: 0,
@@ -262,9 +328,32 @@ fn supervise(
 
         // Membership: static addresses are permanent; registry
         // addresses follow the file. An address on both lists counts
-        // as static (never dropped). An unreadable registry yields
-        // `None`, freezing membership for this sweep.
-        let registry_addrs = config.registry.as_deref().and_then(read_registry);
+        // as static (never dropped). An unusable registry (read or
+        // parse failure) keeps the last good roster and raises the
+        // warning instead of changing membership.
+        let registry_addrs = match config.registry.as_deref().map(read_registry) {
+            None => None,
+            Some(Ok(addrs)) => {
+                last_good_registry = Some(addrs.clone());
+                *shared
+                    .registry_warning
+                    .lock()
+                    .expect("supervisor warning poisoned") = None;
+                Some(addrs)
+            }
+            Some(Err(e)) => {
+                let warning = format!("registry ignored, keeping last good address list: {e}");
+                let mut slot = shared
+                    .registry_warning
+                    .lock()
+                    .expect("supervisor warning poisoned");
+                if slot.as_deref() != Some(warning.as_str()) {
+                    eprintln!("supervisor: {warning}");
+                }
+                *slot = Some(warning);
+                last_good_registry.clone()
+            }
+        };
         for addr in &static_addrs {
             workers
                 .entry(addr.clone())
@@ -312,7 +401,7 @@ fn supervise(
                 continue;
             }
             let live = live_for(&pool, addr);
-            match ping_within(addr, config.io_timeout) {
+            match ping_opts(addr, &connect_opts) {
                 Ok(ack) => {
                     state.live_probe = Some(ack.capacity);
                     state.consecutive_failures = 0;
@@ -320,7 +409,7 @@ fn supervise(
                     let want = (ack.capacity.max(1)) as usize;
                     for _ in live..want {
                         let Ok(backend) =
-                            RemoteBackend::connect_with_timeout(addr.clone(), config.io_timeout)
+                            RemoteBackend::connect_opts(addr.clone(), connect_opts.clone())
                         else {
                             break; // worker got less welcoming mid-top-up
                         };

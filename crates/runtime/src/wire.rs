@@ -32,15 +32,36 @@
 //!
 //! Every message on a connection is a *frame*: a `u32` length, a `u8`
 //! message tag, then the payload. Connections open with a handshake —
-//! the client sends [`Hello`] (magic + [`PROTOCOL_VERSION`]), the
-//! server answers [`HelloAck`] (magic, version, capacity, worker name)
-//! or a typed [`ErrorMsg`] — so version skew is detected before any
-//! job bytes are interpreted. All decode failures surface as
-//! [`WireError`], never as panics: a malformed or truncated frame from
-//! the network must not take down a coordinator or a worker.
+//! the client sends [`Hello`] carrying the **highest** version it
+//! speaks, the server answers [`HelloAck`] carrying the **negotiated**
+//! version (`min(client, server)`, never below
+//! [`MIN_PROTOCOL_VERSION`]) — so version skew is detected, and
+//! resolved, before any job bytes are interpreted. A v2 coordinator
+//! talking to a v1-era worker (which predates negotiation and rejects
+//! any unfamiliar version with a typed error) falls back to offering
+//! v1 outright, so old workers keep serving. All decode failures
+//! surface as [`WireError`], never as panics: a malformed or truncated
+//! frame from the network must not take down a coordinator or a
+//! worker.
+//!
+//! ## v2: the job registry
+//!
+//! v1 ships the full encoded job inside every `RunRange` request —
+//! workers memcmp-cache the bytes so repeat ranges skip the decode,
+//! but a million-shot sweep of a large program still pays the job
+//! bytes per range. v2 splits the two concerns: [`LoadJob`] ships the
+//! bytes once under a caller-chosen `job_id`, [`RunRangeById`] then
+//! names the job by id (24-byte payload, independent of program
+//! size). The worker keeps a **capacity-bounded LRU** of loaded jobs
+//! per connection; a range naming an evicted (or never-loaded) id gets
+//! the typed [`ErrorKind::JobNotLoaded`] miss, which the client
+//! answers by transparently re-sending [`LoadJob`] and retrying —
+//! eviction costs one extra round trip, never a wrong answer. The
+//! full state machine is specified in `PROTOCOL.md`.
 
 use std::fmt;
 use std::io::{Read, Write};
+use std::time::Duration;
 
 use eqasm_core::{
     ArchParams, Bundle, BundleOp, CmpFlag, ExecFlag, Instantiation, Instruction, MicroInstruction,
@@ -50,9 +71,11 @@ use eqasm_core::{
 use eqasm_microarch::{LatencyModel, MeasurementSource, RunStats, SimConfig, TimingPolicy};
 use eqasm_quantum::{NoiseModel, ReadoutModel};
 
-use crate::aggregate::{BitString, Histogram};
+use crate::aggregate::{BitString, Histogram, JobResult, LatencyStats};
 use crate::backend::BatchOut;
 use crate::job::Job;
+use crate::serve::{PartialResult, Submission, TenantId, Work};
+use crate::workload::{WorkloadKind, WorkloadSpec};
 
 /// The four magic bytes opening every handshake: "eQASM Wire
 /// Protocol". A connection that does not start with them is not
@@ -60,10 +83,28 @@ use crate::job::Job;
 /// incompatible *version* of it).
 pub const MAGIC: [u8; 4] = *b"EQWP";
 
-/// The protocol version this build speaks. Bumped on any change to the
-/// frame layout or the encoding of any type below; both ends must
-/// match exactly (there is no negotiation in v1).
-pub const PROTOCOL_VERSION: u16 = 1;
+/// The highest protocol version this build speaks. Bumped on any
+/// change to the frame layout or the encoding of any type below.
+/// Since v2 the handshake *negotiates*: the client offers its highest
+/// version, the server acks `min(offer, own)`, and both ends then
+/// speak the acked version — so a v2 build interoperates with v1
+/// peers in either direction.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// The oldest protocol version this build still speaks. Handshakes
+/// that cannot settle on a version in
+/// `MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION` fail with a typed
+/// [`ErrorKind::Version`] error.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
+
+/// The version a server should ack for a client offering `offer`,
+/// capped at `cap` (a server may be configured to speak at most some
+/// version, e.g. for staged rollouts). `None` when no common version
+/// exists.
+pub fn negotiate(offer: u16, cap: u16) -> Option<u16> {
+    let agreed = offer.min(cap).min(PROTOCOL_VERSION);
+    (agreed >= MIN_PROTOCOL_VERSION).then_some(agreed)
+}
 
 /// Upper bound on a single frame's length. A `RunRange` frame carries
 /// one job (program + instantiation, typically kilobytes); a `Batch`
@@ -113,10 +154,21 @@ pub enum WireError {
     /// The bytes decoded but describe an invalid value (bad topology,
     /// duplicate operation name, non-UTF-8 string…).
     Invalid(String),
-    /// A frame length prefix exceeds [`MAX_FRAME_LEN`].
+    /// A frame length prefix exceeds the connection's frame cap
+    /// (the global [`MAX_FRAME_LEN`], or a tighter per-connection
+    /// budget).
     FrameTooLarge {
         /// The announced length.
         len: u32,
+        /// The cap in force on this connection.
+        cap: u32,
+    },
+    /// The peer's pre-shared-key authentication failed — wrong key,
+    /// stale (replayed) proof, or a required key that was never
+    /// configured on this side.
+    AuthFailed {
+        /// What went wrong, from whichever side detected it.
+        message: String,
     },
     /// The remote peer reported a typed protocol error.
     Remote(ErrorMsg),
@@ -145,8 +197,11 @@ impl fmt::Display for WireError {
                 write!(f, "unknown {what} tag {tag:#04x}")
             }
             WireError::Invalid(msg) => write!(f, "invalid wire value: {msg}"),
-            WireError::FrameTooLarge { len } => {
-                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            WireError::FrameTooLarge { len, cap } => {
+                write!(f, "frame length {len} exceeds the {cap}-byte cap")
+            }
+            WireError::AuthFailed { message } => {
+                write!(f, "authentication failed: {message}")
             }
             WireError::Remote(e) => write!(f, "peer reported: {e}"),
         }
@@ -1171,13 +1226,48 @@ pub mod tag {
     pub const PING: u8 = 6;
     /// Worker → client: liveness answer.
     pub const PONG: u8 = 7;
+    /// (v2) Client → worker: register a job's encoded bytes under a
+    /// client-chosen id in the worker's job cache.
+    pub const LOAD_JOB: u8 = 8;
+    /// (v2) Worker → client: the job loaded and validated.
+    pub const LOAD_ACK: u8 = 9;
+    /// (v2) Client → worker: run a shot range of a previously loaded
+    /// job, named by id — constant-size, however large the program.
+    pub const RUN_RANGE_BY_ID: u8 = 10;
+    /// Server → client: PSK challenge (sent instead of `HELLO_ACK`
+    /// when the server requires authentication).
+    pub const AUTH_CHALLENGE: u8 = 11;
+    /// Client → server: nonce + proof answering a challenge.
+    pub const AUTH_RESPONSE: u8 = 12;
+    /// Server → client: the server's own proof (mutual auth), after
+    /// which the delayed `HELLO_ACK` follows.
+    pub const AUTH_OK: u8 = 13;
+    /// (v2, serve front door) Client → coordinator: a tenant-tagged
+    /// submission for the job queue.
+    pub const SUBMIT: u8 = 16;
+    /// Coordinator → client: ids of the jobs a submission expanded to.
+    pub const SUBMIT_ACK: u8 = 17;
+    /// Client → coordinator: one point-in-time snapshot of a job.
+    pub const POLL: u8 = 18;
+    /// Coordinator → client: an encoded
+    /// [`crate::PartialResult`] snapshot.
+    pub const SNAPSHOT: u8 = 19;
+    /// Client → coordinator: stream snapshots of a job until it
+    /// completes, then its final result.
+    pub const SUBSCRIBE: u8 = 20;
+    /// Coordinator → client: an encoded final [`crate::JobResult`],
+    /// ending a subscription (or answering a wait).
+    pub const RESULT: u8 = 21;
 }
 
 /// Writes one frame: `u32` length (tag byte + payload), tag, payload.
 pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> Result<(), WireError> {
     let len = payload.len() as u64 + 1;
     if len > MAX_FRAME_LEN as u64 {
-        return Err(WireError::FrameTooLarge { len: len as u32 });
+        return Err(WireError::FrameTooLarge {
+            len: len as u32,
+            cap: MAX_FRAME_LEN,
+        });
     }
     w.write_all(&(len as u32).to_le_bytes())?;
     w.write_all(&[tag])?;
@@ -1186,18 +1276,29 @@ pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> Result<(), Wi
     Ok(())
 }
 
-/// Reads one frame, returning `(tag, payload)`. A peer that closes the
-/// connection cleanly before any frame surfaces as
-/// [`WireError::Io`] with [`std::io::ErrorKind::UnexpectedEof`].
+/// Reads one frame, returning `(tag, payload)`, under the global
+/// [`MAX_FRAME_LEN`] cap. A peer that closes the connection cleanly
+/// before any frame surfaces as [`WireError::Io`] with
+/// [`std::io::ErrorKind::UnexpectedEof`].
 pub fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>), WireError> {
+    read_frame_limit(r, MAX_FRAME_LEN)
+}
+
+/// [`read_frame`] under an explicit per-connection frame cap — how a
+/// worker or serve acceptor enforces its configured frame budget
+/// (`max_len` is clamped to the global [`MAX_FRAME_LEN`]). The cap is
+/// checked against the length *prefix*, before any payload is read or
+/// allocated, so an over-budget (or corrupt) length costs nothing.
+pub fn read_frame_limit(r: &mut impl Read, max_len: u32) -> Result<(u8, Vec<u8>), WireError> {
+    let cap = max_len.min(MAX_FRAME_LEN);
     let mut len_bytes = [0u8; 4];
     r.read_exact(&mut len_bytes)?;
     let len = u32::from_le_bytes(len_bytes);
     if len == 0 {
         return Err(WireError::Invalid("zero-length frame".to_owned()));
     }
-    if len > MAX_FRAME_LEN {
-        return Err(WireError::FrameTooLarge { len });
+    if len > cap {
+        return Err(WireError::FrameTooLarge { len, cap });
     }
     // Tag byte first, payload straight into its own buffer: frames
     // carry whole jobs and per-shot duration vectors, so an
@@ -1213,7 +1314,10 @@ pub fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>), WireError> {
 /// The client half of the handshake.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Hello {
-    /// The protocol version the client speaks.
+    /// The **highest** protocol version the client speaks (since v2;
+    /// v1 peers read it as "the only version the client speaks" and
+    /// reject anything unfamiliar, which the client answers by
+    /// re-offering v1).
     pub version: u16,
 }
 
@@ -1244,7 +1348,9 @@ impl Hello {
 /// The worker half of the handshake.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HelloAck {
-    /// The protocol version the worker speaks.
+    /// The **negotiated** protocol version — `min` of what both ends
+    /// speak. Every later frame on the connection is interpreted
+    /// under this version.
     pub version: u16,
     /// How many ranges the worker is willing to run concurrently
     /// (clients typically open this many connections).
@@ -1326,6 +1432,194 @@ impl RunRange {
     }
 }
 
+/// (v2) Registers a job's encoded bytes under a client-chosen id in
+/// the worker's capacity-bounded job cache, so later
+/// [`RunRangeById`] requests can name it without re-shipping the
+/// bytes. Ids are scoped to the connection (a fresh connection starts
+/// with an empty cache), so a simple counter on the client side is
+/// collision-free by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadJob {
+    /// The id later ranges will use.
+    pub job_id: u64,
+    /// The [`encode_job`] bytes of the job.
+    pub job_bytes: Vec<u8>,
+}
+
+impl LoadJob {
+    /// Encodes the request payload.
+    pub fn encode(&self) -> Vec<u8> {
+        LoadJob::encode_parts(self.job_id, &self.job_bytes)
+    }
+
+    /// Encodes a request payload from borrowed job bytes — the
+    /// client keeps one cached encoding per job and must not clone it
+    /// just to build the (one-time) load frame.
+    pub fn encode_parts(job_id: u64, job_bytes: &[u8]) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.buf.reserve(8 + 4 + job_bytes.len());
+        w.put_u64(job_id);
+        w.put_bytes(job_bytes);
+        w.into_bytes()
+    }
+
+    /// Decodes a request payload.
+    pub fn decode(bytes: &[u8]) -> Result<LoadJob, WireError> {
+        let mut r = Reader::new(bytes);
+        Ok(LoadJob {
+            job_id: r.get_u64("LoadJob.job_id")?,
+            job_bytes: r.get_bytes("LoadJob.job_bytes")?,
+        })
+    }
+}
+
+/// (v2) Acknowledges a [`LoadJob`]: the job decoded, validated and is
+/// cached under `job_id`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadAck {
+    /// The id the job is cached under.
+    pub job_id: u64,
+    /// Jobs resident in this connection's cache after the load —
+    /// lets a client observe eviction pressure without a second
+    /// round trip.
+    pub cached: u32,
+}
+
+impl LoadAck {
+    /// Encodes the acknowledgement payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.job_id);
+        w.put_u32(self.cached);
+        w.into_bytes()
+    }
+
+    /// Decodes an acknowledgement payload.
+    pub fn decode(bytes: &[u8]) -> Result<LoadAck, WireError> {
+        let mut r = Reader::new(bytes);
+        Ok(LoadAck {
+            job_id: r.get_u64("LoadAck.job_id")?,
+            cached: r.get_u32("LoadAck.cached")?,
+        })
+    }
+}
+
+/// (v2) Runs shots `start..end` of the job cached under `job_id` —
+/// the constant-size successor of [`RunRange`]. A worker that no
+/// longer holds the id answers [`ErrorKind::JobNotLoaded`], and the
+/// client re-loads transparently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunRangeById {
+    /// The id a previous [`LoadJob`] registered.
+    pub job_id: u64,
+    /// First shot index of the range.
+    pub start: u64,
+    /// One past the last shot index.
+    pub end: u64,
+}
+
+impl RunRangeById {
+    /// Encodes the request payload (always 24 bytes).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.job_id);
+        w.put_u64(self.start);
+        w.put_u64(self.end);
+        w.into_bytes()
+    }
+
+    /// Decodes a request payload.
+    pub fn decode(bytes: &[u8]) -> Result<RunRangeById, WireError> {
+        let mut r = Reader::new(bytes);
+        Ok(RunRangeById {
+            job_id: r.get_u64("RunRangeById.job_id")?,
+            start: r.get_u64("RunRangeById.start")?,
+            end: r.get_u64("RunRangeById.end")?,
+        })
+    }
+}
+
+/// The server half of the PSK challenge: a fresh random nonce the
+/// client must bind into its proof (which is what makes a captured
+/// proof worthless on any other connection).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuthChallenge {
+    /// The server's nonce for this connection.
+    pub server_nonce: Vec<u8>,
+}
+
+impl AuthChallenge {
+    /// Encodes the challenge payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_bytes(&self.server_nonce);
+        w.into_bytes()
+    }
+
+    /// Decodes a challenge payload.
+    pub fn decode(bytes: &[u8]) -> Result<AuthChallenge, WireError> {
+        let mut r = Reader::new(bytes);
+        Ok(AuthChallenge {
+            server_nonce: r.get_bytes("AuthChallenge.server_nonce")?,
+        })
+    }
+}
+
+/// The client's answer to an [`AuthChallenge`]: its own nonce plus
+/// `HMAC-SHA-256(psk, client-context ‖ server_nonce ‖ client_nonce)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuthResponse {
+    /// The client's nonce (binds the server's return proof).
+    pub client_nonce: Vec<u8>,
+    /// The client's HMAC proof over both nonces.
+    pub proof: Vec<u8>,
+}
+
+impl AuthResponse {
+    /// Encodes the response payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_bytes(&self.client_nonce);
+        w.put_bytes(&self.proof);
+        w.into_bytes()
+    }
+
+    /// Decodes a response payload.
+    pub fn decode(bytes: &[u8]) -> Result<AuthResponse, WireError> {
+        let mut r = Reader::new(bytes);
+        Ok(AuthResponse {
+            client_nonce: r.get_bytes("AuthResponse.client_nonce")?,
+            proof: r.get_bytes("AuthResponse.proof")?,
+        })
+    }
+}
+
+/// The server's return proof (mutual authentication), computed under
+/// a distinct domain-separation context so it can never be satisfied
+/// by reflecting the client's own proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuthOk {
+    /// The server's HMAC proof over both nonces.
+    pub proof: Vec<u8>,
+}
+
+impl AuthOk {
+    /// Encodes the proof payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_bytes(&self.proof);
+        w.into_bytes()
+    }
+
+    /// Decodes a proof payload.
+    pub fn decode(bytes: &[u8]) -> Result<AuthOk, WireError> {
+        let mut r = Reader::new(bytes);
+        Ok(AuthOk {
+            proof: r.get_bytes("AuthOk.proof")?,
+        })
+    }
+}
+
 /// What kind of failure an [`ErrorMsg`] reports — the split decides
 /// the coordinator's reaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1340,6 +1634,21 @@ pub enum ErrorKind {
     Version,
     /// The peer sent bytes this version cannot interpret.
     Malformed,
+    /// (v2) A [`RunRangeById`] named a job id this worker does not
+    /// have loaded — never sent, or evicted from the job cache. The
+    /// client recovers transparently: re-send [`LoadJob`], retry the
+    /// range. Not a failure of the job or the connection.
+    JobNotLoaded,
+    /// The peer failed pre-shared-key authentication (wrong or
+    /// missing key, or a proof that does not match this connection's
+    /// nonces — e.g. a replay of an old handshake).
+    AuthFailed,
+    /// The request was rejected by a resource budget: a frame larger
+    /// than this connection's cap, a request rate above the
+    /// per-connection budget, or a submission past an admission cap.
+    /// The work itself may be fine — the caller should back off,
+    /// shrink, or spread the load.
+    Budget,
 }
 
 impl ErrorKind {
@@ -1349,6 +1658,9 @@ impl ErrorKind {
             ErrorKind::Internal => 1,
             ErrorKind::Version => 2,
             ErrorKind::Malformed => 3,
+            ErrorKind::JobNotLoaded => 4,
+            ErrorKind::AuthFailed => 5,
+            ErrorKind::Budget => 6,
         }
     }
 
@@ -1358,6 +1670,9 @@ impl ErrorKind {
             1 => ErrorKind::Internal,
             2 => ErrorKind::Version,
             3 => ErrorKind::Malformed,
+            4 => ErrorKind::JobNotLoaded,
+            5 => ErrorKind::AuthFailed,
+            6 => ErrorKind::Budget,
             tag => {
                 return Err(WireError::UnknownTag {
                     what: "ErrorKind",
@@ -1412,6 +1727,9 @@ impl fmt::Display for ErrorMsg {
                 self.version, self.message
             ),
             ErrorKind::Malformed => write!(f, "malformed frame: {}", self.message),
+            ErrorKind::JobNotLoaded => write!(f, "job not loaded: {}", self.message),
+            ErrorKind::AuthFailed => write!(f, "authentication failed: {}", self.message),
+            ErrorKind::Budget => write!(f, "budget exceeded: {}", self.message),
         }
     }
 }
@@ -1426,6 +1744,410 @@ pub fn job_fingerprint(job_bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+// ---------------------------------------------------------------------
+// Serve front door: submissions, snapshots, results (v2)
+// ---------------------------------------------------------------------
+
+fn put_latency_stats(w: &mut Writer, l: &LatencyStats) {
+    w.put_u64(l.p50_ns);
+    w.put_u64(l.p95_ns);
+    w.put_u64(l.p99_ns);
+    w.put_u64(l.mean_ns);
+    w.put_u64(l.max_ns);
+}
+
+fn get_latency_stats(r: &mut Reader<'_>) -> Result<LatencyStats, WireError> {
+    Ok(LatencyStats {
+        p50_ns: r.get_u64("LatencyStats.p50_ns")?,
+        p95_ns: r.get_u64("LatencyStats.p95_ns")?,
+        p99_ns: r.get_u64("LatencyStats.p99_ns")?,
+        mean_ns: r.get_u64("LatencyStats.mean_ns")?,
+        max_ns: r.get_u64("LatencyStats.max_ns")?,
+    })
+}
+
+fn put_duration_ns(w: &mut Writer, d: Duration) {
+    // Saturating: a >584-year duration is an upstream bug, not a
+    // reason to wrap into a wrong small number.
+    w.put_u64(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+}
+
+fn put_opt_str(w: &mut Writer, s: Option<&str>) {
+    match s {
+        None => w.put_u8(0),
+        Some(s) => {
+            w.put_u8(1);
+            w.put_str(s);
+        }
+    }
+}
+
+fn get_opt_str(r: &mut Reader<'_>, what: &'static str) -> Result<Option<String>, WireError> {
+    match r.get_u8(what)? {
+        0 => Ok(None),
+        1 => Ok(Some(r.get_str(what)?)),
+        tag => Err(WireError::UnknownTag { what, tag }),
+    }
+}
+
+fn put_f64_vec(w: &mut Writer, v: &[f64]) {
+    w.put_u32(v.len() as u32);
+    for &x in v {
+        w.put_f64(x);
+    }
+}
+
+fn get_f64_vec(r: &mut Reader<'_>, what: &'static str) -> Result<Vec<f64>, WireError> {
+    let n = r.get_count(what, 8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.get_f64(what)?);
+    }
+    Ok(out)
+}
+
+/// Encodes a streaming [`PartialResult`] snapshot. Deterministic
+/// fields (histogram, stats, mean-`P(|1⟩)`) cross by bit pattern, so
+/// a snapshot read over the wire is the same exact prefix of the
+/// final aggregate that an in-process poller would see.
+pub fn encode_partial_result(p: &PartialResult) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_str(&p.name);
+    w.put_str(p.tenant.as_str());
+    w.put_u64(p.shots_done);
+    w.put_u64(p.shots_total);
+    w.put_u64(p.batches_done as u64);
+    w.put_u64(p.batches_total as u64);
+    put_histogram(&mut w, &p.histogram);
+    put_run_stats(&mut w, &p.stats);
+    put_f64_vec(&mut w, &p.mean_prob1);
+    put_latency_stats(&mut w, &p.latency);
+    w.put_u64(p.non_halted);
+    w.put_bool(p.done);
+    put_opt_str(&mut w, p.failed.as_deref());
+    put_duration_ns(&mut w, p.queue_wait);
+    put_duration_ns(&mut w, p.active);
+    w.into_bytes()
+}
+
+/// Decodes a [`PartialResult`] produced by [`encode_partial_result`].
+pub fn decode_partial_result(bytes: &[u8]) -> Result<PartialResult, WireError> {
+    let mut r = Reader::new(bytes);
+    let p = PartialResult {
+        name: r.get_str("PartialResult.name")?,
+        tenant: TenantId::new(r.get_str("PartialResult.tenant")?),
+        shots_done: r.get_u64("PartialResult.shots_done")?,
+        shots_total: r.get_u64("PartialResult.shots_total")?,
+        batches_done: r.get_u64("PartialResult.batches_done")? as usize,
+        batches_total: r.get_u64("PartialResult.batches_total")? as usize,
+        histogram: get_histogram(&mut r)?,
+        stats: get_run_stats(&mut r)?,
+        mean_prob1: get_f64_vec(&mut r, "PartialResult.mean_prob1")?,
+        latency: get_latency_stats(&mut r)?,
+        non_halted: r.get_u64("PartialResult.non_halted")?,
+        done: r.get_bool("PartialResult.done")?,
+        failed: get_opt_str(&mut r, "PartialResult.failed")?,
+        queue_wait: Duration::from_nanos(r.get_u64("PartialResult.queue_wait_ns")?),
+        active: Duration::from_nanos(r.get_u64("PartialResult.active_ns")?),
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::Invalid(format!(
+            "{} trailing bytes after snapshot",
+            r.remaining()
+        )));
+    }
+    Ok(p)
+}
+
+/// Encodes a final [`JobResult`] for the client wire.
+pub fn encode_job_result(res: &JobResult) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_str(&res.name);
+    w.put_u64(res.shots);
+    put_histogram(&mut w, &res.histogram);
+    put_run_stats(&mut w, &res.stats);
+    put_f64_vec(&mut w, &res.mean_prob1);
+    w.put_u64(res.latencies_ns.len() as u64);
+    for &d in &res.latencies_ns {
+        w.put_u64(d);
+    }
+    put_latency_stats(&mut w, &res.latency);
+    put_duration_ns(&mut w, res.elapsed);
+    w.put_f64(res.shots_per_sec);
+    w.put_u64(res.non_halted);
+    match &res.first_failure {
+        None => w.put_u8(0),
+        Some((shot, message)) => {
+            w.put_u8(1);
+            w.put_u64(*shot);
+            w.put_str(message);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a [`JobResult`] produced by [`encode_job_result`]. The
+/// absolute wall-clock window (an `Instant` pair, meaningless off the
+/// producing host) does not cross the wire.
+pub fn decode_job_result(bytes: &[u8]) -> Result<JobResult, WireError> {
+    let mut r = Reader::new(bytes);
+    let name = r.get_str("JobResult.name")?;
+    let shots = r.get_u64("JobResult.shots")?;
+    let histogram = get_histogram(&mut r)?;
+    let stats = get_run_stats(&mut r)?;
+    let mean_prob1 = get_f64_vec(&mut r, "JobResult.mean_prob1")?;
+    let n = r.get_u64("JobResult.latencies_len")? as usize;
+    if n.saturating_mul(8) > r.remaining() {
+        return Err(WireError::Truncated {
+            what: "JobResult.latencies_ns",
+            needed: n * 8,
+            have: r.remaining(),
+        });
+    }
+    let mut latencies_ns = Vec::with_capacity(n);
+    for _ in 0..n {
+        latencies_ns.push(r.get_u64("JobResult.latency_ns")?);
+    }
+    let latency = get_latency_stats(&mut r)?;
+    let elapsed = Duration::from_nanos(r.get_u64("JobResult.elapsed_ns")?);
+    let shots_per_sec = r.get_f64("JobResult.shots_per_sec")?;
+    let non_halted = r.get_u64("JobResult.non_halted")?;
+    let first_failure = match r.get_u8("JobResult.first_failure")? {
+        0 => None,
+        1 => Some((
+            r.get_u64("JobResult.failure_shot")?,
+            r.get_str("JobResult.failure_message")?,
+        )),
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "JobResult.first_failure",
+                tag,
+            })
+        }
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::Invalid(format!(
+            "{} trailing bytes after job result",
+            r.remaining()
+        )));
+    }
+    Ok(JobResult {
+        name,
+        shots,
+        histogram,
+        stats,
+        mean_prob1,
+        latencies_ns,
+        latency,
+        elapsed,
+        shots_per_sec,
+        window: None,
+        non_halted,
+        first_failure,
+    })
+}
+
+fn put_workload_kind(w: &mut Writer, kind: &WorkloadKind) {
+    match kind {
+        WorkloadKind::Rabi {
+            amplitudes,
+            amplitude_index,
+        } => {
+            w.put_u8(0);
+            put_f64_vec(w, amplitudes);
+            w.put_u64(*amplitude_index as u64);
+        }
+        WorkloadKind::AllXy { round, init_cycles } => {
+            w.put_u8(1);
+            w.put_u64(*round as u64);
+            w.put_u32(*init_cycles);
+        }
+        WorkloadKind::Rb {
+            k,
+            interval_cycles,
+            sequence_seed,
+        } => {
+            w.put_u8(2);
+            w.put_u64(*k as u64);
+            w.put_u32(*interval_cycles);
+            w.put_u64(*sequence_seed);
+        }
+        WorkloadKind::ActiveReset { init_cycles } => {
+            w.put_u8(3);
+            w.put_u32(*init_cycles);
+        }
+        WorkloadKind::Source { text } => {
+            w.put_u8(4);
+            w.put_str(text);
+        }
+    }
+}
+
+fn get_workload_kind(r: &mut Reader<'_>) -> Result<WorkloadKind, WireError> {
+    Ok(match r.get_u8("WorkloadKind")? {
+        0 => WorkloadKind::Rabi {
+            amplitudes: get_f64_vec(r, "Rabi.amplitudes")?,
+            amplitude_index: r.get_u64("Rabi.amplitude_index")? as usize,
+        },
+        1 => WorkloadKind::AllXy {
+            round: r.get_u64("AllXy.round")? as usize,
+            init_cycles: r.get_u32("AllXy.init_cycles")?,
+        },
+        2 => WorkloadKind::Rb {
+            k: r.get_u64("Rb.k")? as usize,
+            interval_cycles: r.get_u32("Rb.interval_cycles")?,
+            sequence_seed: r.get_u64("Rb.sequence_seed")?,
+        },
+        3 => WorkloadKind::ActiveReset {
+            init_cycles: r.get_u32("ActiveReset.init_cycles")?,
+        },
+        4 => WorkloadKind::Source {
+            text: r.get_str("Source.text")?,
+        },
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "WorkloadKind",
+                tag,
+            })
+        }
+    })
+}
+
+fn put_workload_spec(w: &mut Writer, spec: &WorkloadSpec) {
+    w.put_str(&spec.name);
+    put_workload_kind(w, &spec.kind);
+    w.put_u64(spec.shots);
+    w.put_u32(spec.weight);
+    w.put_u64(spec.base_seed);
+    put_sim_config(w, &spec.config);
+}
+
+fn get_workload_spec(r: &mut Reader<'_>) -> Result<WorkloadSpec, WireError> {
+    Ok(WorkloadSpec {
+        name: r.get_str("WorkloadSpec.name")?,
+        kind: get_workload_kind(r)?,
+        shots: r.get_u64("WorkloadSpec.shots")?,
+        weight: r.get_u32("WorkloadSpec.weight")?,
+        base_seed: r.get_u64("WorkloadSpec.base_seed")?,
+        config: get_sim_config(r)?,
+    })
+}
+
+/// Encodes a tenant-tagged [`Submission`] for the serve front door —
+/// a prebuilt job or a declarative workload spec, exactly the same
+/// two shapes the in-process `JobQueue::submit` accepts.
+pub fn encode_submission(submission: &Submission) -> Result<Vec<u8>, WireError> {
+    let mut w = Writer::new();
+    w.put_str(submission.tenant().as_str());
+    match submission.work() {
+        Work::Job(job) => {
+            w.put_u8(0);
+            let bytes = encode_job(job)?;
+            w.put_bytes(&bytes);
+        }
+        Work::Spec(spec) => {
+            w.put_u8(1);
+            put_workload_spec(&mut w, spec);
+        }
+    }
+    Ok(w.into_bytes())
+}
+
+/// Decodes a [`Submission`] produced by [`encode_submission`].
+pub fn decode_submission(bytes: &[u8]) -> Result<Submission, WireError> {
+    let mut r = Reader::new(bytes);
+    let tenant = TenantId::new(r.get_str("Submission.tenant")?);
+    let submission = match r.get_u8("Submission.work")? {
+        0 => {
+            let job_bytes = r.get_bytes("Submission.job_bytes")?;
+            Submission::job(tenant, decode_job(&job_bytes)?)
+        }
+        1 => Submission::workload(tenant, get_workload_spec(&mut r)?),
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "Submission.work",
+                tag,
+            })
+        }
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::Invalid(format!(
+            "{} trailing bytes after submission",
+            r.remaining()
+        )));
+    }
+    Ok(submission)
+}
+
+/// Identity of one job a remote submission expanded to, echoed in a
+/// [`SubmitAck`]. The id is the coordinator's handle for later
+/// `POLL`/`SUBSCRIBE` requests — global to the serve acceptor, so a
+/// job submitted on one connection can be watched from another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteJobInfo {
+    /// The coordinator-assigned job id.
+    pub job_id: u64,
+    /// The job's display name.
+    pub name: String,
+    /// Total shots the job was submitted with.
+    pub shots: u64,
+}
+
+/// Acknowledges a `SUBMIT`: one entry per job the submission expanded
+/// to (one for a prebuilt job, `weight` instances for a spec).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitAck {
+    /// The jobs now queued, in expansion order.
+    pub jobs: Vec<RemoteJobInfo>,
+}
+
+impl SubmitAck {
+    /// Encodes the acknowledgement payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u32(self.jobs.len() as u32);
+        for job in &self.jobs {
+            w.put_u64(job.job_id);
+            w.put_str(&job.name);
+            w.put_u64(job.shots);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes an acknowledgement payload.
+    pub fn decode(bytes: &[u8]) -> Result<SubmitAck, WireError> {
+        let mut r = Reader::new(bytes);
+        let n = r.get_count("SubmitAck.jobs", 20)?;
+        let mut jobs = Vec::with_capacity(n);
+        for _ in 0..n {
+            jobs.push(RemoteJobInfo {
+                job_id: r.get_u64("RemoteJobInfo.job_id")?,
+                name: r.get_str("RemoteJobInfo.name")?,
+                shots: r.get_u64("RemoteJobInfo.shots")?,
+            });
+        }
+        Ok(SubmitAck { jobs })
+    }
+}
+
+/// Encodes the 8-byte job-id payload of a `POLL` or `SUBSCRIBE`.
+pub fn encode_job_id(job_id: u64) -> Vec<u8> {
+    job_id.to_le_bytes().to_vec()
+}
+
+/// Decodes the job-id payload of a `POLL` or `SUBSCRIBE`.
+pub fn decode_job_id(bytes: &[u8]) -> Result<u64, WireError> {
+    let mut r = Reader::new(bytes);
+    let id = r.get_u64("job_id")?;
+    if r.remaining() != 0 {
+        return Err(WireError::Invalid(format!(
+            "{} trailing bytes after job id",
+            r.remaining()
+        )));
+    }
+    Ok(id)
 }
 
 #[cfg(test)]

@@ -703,3 +703,551 @@ fn registry_file_drives_attach_and_detach() {
     supervisor.shutdown();
     let _ = std::fs::remove_file(&path);
 }
+
+// ---------------------------------------------------------------------
+// Wire v2: negotiation, the job registry, auth and budgets
+// ---------------------------------------------------------------------
+
+use eqasm_runtime::{wire, ConnectOptions, Psk};
+
+/// A worker pinned to v1 via its protocol cap: the v2 coordinator
+/// must *negotiate* down and keep getting bit-identical ranges over
+/// the inline `RunRange` path.
+#[test]
+fn v2_coordinator_negotiates_down_to_v1_worker() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let worker = spawn_worker(
+        listener,
+        WorkerConfig::default()
+            .with_name("v1-pinned")
+            .with_capacity(1)
+            .with_protocol_cap(1),
+    )
+    .expect("spawn worker");
+
+    let job = noisy_job("downgrade", 32, 77);
+    let mut remote = RemoteBackend::connect(worker.addr().to_string()).expect("connects");
+    assert_eq!(remote.protocol(), 1, "negotiated down to v1");
+    let mut local = LocalBackend::new(0);
+    for range in [0..16u64, 16..32] {
+        let r = remote.run_range(&job, range.clone()).expect("remote runs");
+        let l = local.run_range(&job, range).expect("local runs");
+        assert_eq!(r.histogram, l.histogram);
+        assert_eq!(r.stats, l.stats);
+        assert_eq!(r.prob1_sum, l.prob1_sum);
+    }
+    let traffic = remote.traffic();
+    assert_eq!(traffic.load_requests, 0, "v1 never sends LoadJob");
+    assert!(traffic.range_request_bytes > 0);
+}
+
+/// A *legacy* v1 worker predates negotiation entirely: it rejects any
+/// unfamiliar version with a typed error naming v1, then closes. This
+/// thread speaks exactly that dialect; the v2 client must fall back
+/// and still serve bit-identical ranges.
+fn spawn_legacy_v1_worker() -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    std::thread::spawn(move || {
+        // Serve a few connections, one at a time (the fallback costs
+        // one rejected connection before the v1 one).
+        for _ in 0..8 {
+            let Ok((mut stream, _)) = listener.accept() else {
+                return;
+            };
+            let Ok((tag, payload)) = wire::read_frame(&mut stream) else {
+                continue;
+            };
+            assert_eq!(tag, wire::tag::HELLO);
+            let hello = wire::Hello::decode(&payload).expect("valid hello");
+            if hello.version != 1 {
+                // Verbatim PR 3-era behaviour: typed rejection naming
+                // the only version the worker speaks, then close.
+                let msg = wire::ErrorMsg {
+                    kind: wire::ErrorKind::Version,
+                    version: 1,
+                    message: format!("worker speaks v1, client sent v{}", hello.version),
+                };
+                let _ = wire::write_frame(&mut stream, wire::tag::ERROR, &msg.encode());
+                continue;
+            }
+            let ack = wire::HelloAck {
+                version: 1,
+                capacity: 1,
+                name: "legacy-v1".to_owned(),
+            };
+            if wire::write_frame(&mut stream, wire::tag::HELLO_ACK, &ack.encode()).is_err() {
+                continue;
+            }
+            // v1 request loop: inline ranges only.
+            let mut backend = LocalBackend::named("legacy-exec");
+            while let Ok((tag, payload)) = wire::read_frame(&mut stream) {
+                match tag {
+                    wire::tag::PING => {
+                        let _ = wire::write_frame(&mut stream, wire::tag::PONG, &[]);
+                    }
+                    wire::tag::RUN_RANGE => {
+                        let request = wire::RunRange::decode(&payload).expect("valid request");
+                        let job = wire::decode_job(&request.job_bytes).expect("valid job");
+                        let out = backend
+                            .run_range(&job, request.start..request.end)
+                            .expect("range runs");
+                        let _ = wire::write_frame(
+                            &mut stream,
+                            wire::tag::BATCH,
+                            &wire::encode_batch_out(&out),
+                        );
+                    }
+                    _ => break,
+                }
+            }
+        }
+    });
+    addr
+}
+
+#[test]
+fn v2_client_falls_back_to_legacy_v1_worker() {
+    let addr = spawn_legacy_v1_worker();
+    let job = noisy_job("legacy", 24, 123);
+    let mut remote = RemoteBackend::connect(addr.to_string()).expect("fallback handshake");
+    assert_eq!(remote.protocol(), 1);
+    assert_eq!(remote.worker_name(), "legacy-v1");
+    let r = remote.run_range(&job, 0..24).expect("remote runs");
+    let l = LocalBackend::new(0).run_range(&job, 0..24).expect("local");
+    assert_eq!(r.histogram, l.histogram);
+    assert_eq!(r.stats, l.stats);
+    assert_eq!(r.prob1_sum, l.prob1_sum);
+}
+
+/// A mixed pool — local slots, a v1-pinned worker and a v2 worker —
+/// must still fold bit-identically with exact prefixes: protocol skew
+/// inside the pool is invisible to results.
+#[test]
+fn mixed_v1_v2_pool_stays_bit_identical() {
+    let job = noisy_job("mixed-versions", 96, 4242);
+    let batch = 8u64;
+    let reference = ShotEngine::serial()
+        .with_batch_size(batch)
+        .run_job(&job)
+        .expect("reference");
+    let prefixes = prefix_references(&job, batch);
+
+    let v1_listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let v1_worker = spawn_worker(
+        v1_listener,
+        WorkerConfig::default()
+            .with_name("pool-v1")
+            .with_capacity(1)
+            .with_protocol_cap(1),
+    )
+    .expect("spawn v1");
+    let v2_worker = loopback_worker(1);
+
+    let v1_backend =
+        RemoteBackend::connect(v1_worker.addr().to_string()).expect("connect v1-pinned");
+    assert_eq!(v1_backend.protocol(), 1);
+    let v2_backend = RemoteBackend::connect(v2_worker.addr().to_string()).expect("connect v2");
+    assert_eq!(v2_backend.protocol(), 2);
+
+    let backends: Vec<Box<dyn ExecBackend>> = vec![
+        Box::new(LocalBackend::new(0)),
+        Box::new(v1_backend),
+        Box::new(v2_backend),
+    ];
+    let queue = JobQueue::with_backends(ServeConfig::default().with_batch_size(batch), backends);
+    let handle = queue
+        .submit(Submission::job("tenant", job))
+        .expect("submits")
+        .remove(0);
+
+    // Sample snapshots while the pool runs: every one must be an
+    // exact prefix whatever protocol served which range.
+    let mut seen = 0usize;
+    loop {
+        let snap = handle.snapshot();
+        let (h, s, m) = &prefixes[snap.batches_done];
+        assert_eq!(&snap.histogram, h, "prefix {} histogram", snap.batches_done);
+        assert_eq!(&snap.stats, s);
+        assert_eq!(&snap.mean_prob1, m);
+        seen += 1;
+        if snap.done {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(seen > 0);
+    let result = handle.wait().expect("completes");
+    assert_eq!(result.histogram, reference.histogram);
+    assert_eq!(result.stats, reference.stats);
+    assert_eq!(result.mean_prob1, reference.mean_prob1);
+}
+
+/// A worker whose job cache holds exactly one job: alternating two
+/// jobs on one connection forces eviction, the typed `JobNotLoaded`
+/// miss, and the transparent re-load — results stay bit-identical and
+/// the client records the recoveries.
+#[test]
+fn job_cache_eviction_recovers_transparently() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let worker = spawn_worker(
+        listener,
+        WorkerConfig::default()
+            .with_name("tiny-cache")
+            .with_capacity(1)
+            .with_job_cache_capacity(1),
+    )
+    .expect("spawn worker");
+
+    let job_a = noisy_job("evict-a", 16, 1);
+    let job_b = noisy_job("evict-b", 16, 2);
+    let mut remote = RemoteBackend::connect(worker.addr().to_string()).expect("connects");
+    assert_eq!(remote.protocol(), 2);
+
+    let mut local = LocalBackend::new(0);
+    // A loads, B loads (evicting A), then A again: the client still
+    // believes A is loaded → JobNotLoaded → transparent re-load.
+    for (job, range) in [
+        (&job_a, 0..8u64),
+        (&job_b, 0..8),
+        (&job_a, 8..16),
+        (&job_b, 8..16),
+    ] {
+        let r = remote.run_range(job, range.clone()).expect("remote runs");
+        let l = local.run_range(job, range).expect("local runs");
+        assert_eq!(r.histogram, l.histogram);
+        assert_eq!(r.stats, l.stats);
+        assert_eq!(r.prob1_sum, l.prob1_sum);
+    }
+    let traffic = remote.traffic();
+    assert!(
+        traffic.reloads >= 2,
+        "expected JobNotLoaded recoveries, saw {}",
+        traffic.reloads
+    );
+    // Job bytes travelled only in LoadJob frames; by-id range
+    // requests are constant-size.
+    assert_eq!(
+        traffic.range_request_bytes,
+        (traffic.range_requests) * (24 + 5),
+        "v2 range requests must not carry job bytes"
+    );
+}
+
+/// v2 vs v1 per-range request bytes on the same job — the measured
+/// version of the bandwidth claim (also recorded in
+/// BENCH_runtime.json by the throughput bin).
+#[test]
+fn run_range_by_id_reduces_per_range_request_bytes() {
+    let worker_v2 = loopback_worker(1);
+    let v1_listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let worker_v1 = spawn_worker(
+        v1_listener,
+        WorkerConfig::default()
+            .with_capacity(1)
+            .with_protocol_cap(1),
+    )
+    .expect("spawn v1");
+
+    let job = noisy_job("bandwidth", 64, 5);
+    let ranges: Vec<std::ops::Range<u64>> = (0..8).map(|i| i * 8..(i + 1) * 8).collect();
+
+    let mut v2 = RemoteBackend::connect(worker_v2.addr().to_string()).expect("v2 connects");
+    let mut v1 = RemoteBackend::connect(worker_v1.addr().to_string()).expect("v1 connects");
+    for range in &ranges {
+        let a = v2.run_range(&job, range.clone()).expect("v2 runs");
+        let b = v1.run_range(&job, range.clone()).expect("v1 runs");
+        assert_eq!(a.histogram, b.histogram);
+    }
+    let t2 = v2.traffic();
+    let t1 = v1.traffic();
+    let per_range_v2 = t2.range_request_bytes / t2.range_requests;
+    let per_range_v1 = t1.range_request_bytes / t1.range_requests;
+    assert!(
+        per_range_v2 * 10 < per_range_v1,
+        "v2 per-range bytes ({per_range_v2}) must be far below v1 ({per_range_v1})"
+    );
+    // Even counting the one-time LoadJob, the total request bytes for
+    // 8 ranges must beat v1's 8 full-job shipments.
+    assert!(t2.total_request_bytes() < t1.total_request_bytes());
+}
+
+#[test]
+fn psk_handshake_authenticates_and_serves() {
+    let psk = Psk::new(b"fleet-key".to_vec()).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let worker = spawn_worker(
+        listener,
+        WorkerConfig::default()
+            .with_name("authed")
+            .with_capacity(1)
+            .with_psk(psk.clone()),
+    )
+    .expect("spawn worker");
+    let addr = worker.addr().to_string();
+
+    // Right key: full service, bit-identical results.
+    let job = noisy_job("authed-job", 16, 9);
+    let mut remote = RemoteBackend::connect_opts(
+        addr.clone(),
+        ConnectOptions::default().with_psk(psk.clone()),
+    )
+    .expect("authenticated connect");
+    let r = remote.run_range(&job, 0..16).expect("runs");
+    let l = LocalBackend::new(0).run_range(&job, 0..16).expect("local");
+    assert_eq!(r.histogram, l.histogram);
+
+    // Wrong key: typed auth failure, not a transport error.
+    let wrong = Psk::new(b"not-the-key".to_vec()).unwrap();
+    let err = RemoteBackend::connect_opts(addr.clone(), ConnectOptions::default().with_psk(wrong))
+        .expect_err("wrong key must fail");
+    assert!(
+        matches!(err, RuntimeError::Auth(_)),
+        "expected Auth, got {err}"
+    );
+
+    // No key at all: the client refuses to even try.
+    let err = RemoteBackend::connect(addr).expect_err("keyless connect must fail");
+    assert!(
+        matches!(err, RuntimeError::Auth(_)),
+        "expected Auth, got {err}"
+    );
+}
+
+/// A captured proof replayed on a new connection is rejected: the
+/// proof binds the *server's* per-connection nonce, which a replay
+/// cannot know in advance.
+#[test]
+fn replayed_auth_proof_is_rejected() {
+    use std::net::TcpStream;
+    let psk = Psk::new(b"replay-key".to_vec()).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let worker = spawn_worker(
+        listener,
+        WorkerConfig::default()
+            .with_capacity(1)
+            .with_psk(psk.clone()),
+    )
+    .expect("spawn worker");
+
+    // Session 1: a legitimate handshake, transcript captured.
+    let mut first = TcpStream::connect(worker.addr()).expect("connects");
+    let hello = wire::Hello {
+        version: wire::PROTOCOL_VERSION,
+    };
+    wire::write_frame(&mut first, wire::tag::HELLO, &hello.encode()).unwrap();
+    let (tag, payload) = wire::read_frame(&mut first).expect("challenge");
+    assert_eq!(tag, wire::tag::AUTH_CHALLENGE);
+    let challenge = wire::AuthChallenge::decode(&payload).unwrap();
+    let client_nonce = [7u8; 32];
+    let captured = wire::AuthResponse {
+        client_nonce: client_nonce.to_vec(),
+        proof: psk
+            .client_proof(&challenge.server_nonce, &client_nonce)
+            .to_vec(),
+    };
+    wire::write_frame(&mut first, wire::tag::AUTH_RESPONSE, &captured.encode()).unwrap();
+    let (tag, _) = wire::read_frame(&mut first).expect("auth ok");
+    assert_eq!(tag, wire::tag::AUTH_OK, "the genuine session authenticates");
+
+    // Session 2: replay the captured response against a *fresh*
+    // challenge — the server's new nonce makes the old proof stale.
+    let mut replay = TcpStream::connect(worker.addr()).expect("connects");
+    wire::write_frame(&mut replay, wire::tag::HELLO, &hello.encode()).unwrap();
+    let (tag, _) = wire::read_frame(&mut replay).expect("fresh challenge");
+    assert_eq!(tag, wire::tag::AUTH_CHALLENGE);
+    wire::write_frame(&mut replay, wire::tag::AUTH_RESPONSE, &captured.encode()).unwrap();
+    let (tag, payload) = wire::read_frame(&mut replay).expect("rejection");
+    assert_eq!(tag, wire::tag::ERROR);
+    let msg = wire::ErrorMsg::decode(&payload).expect("typed error");
+    assert_eq!(msg.kind, wire::ErrorKind::AuthFailed);
+}
+
+#[test]
+fn frame_size_budget_rejects_with_typed_error() {
+    use std::net::TcpStream;
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let worker = spawn_worker(
+        listener,
+        WorkerConfig::default()
+            .with_capacity(1)
+            .with_max_frame_len(2048),
+    )
+    .expect("spawn worker");
+
+    let mut stream = TcpStream::connect(worker.addr()).expect("connects");
+    let hello = wire::Hello {
+        version: wire::PROTOCOL_VERSION,
+    };
+    wire::write_frame(&mut stream, wire::tag::HELLO, &hello.encode()).unwrap();
+    let (tag, _) = wire::read_frame(&mut stream).expect("ack");
+    assert_eq!(tag, wire::tag::HELLO_ACK);
+
+    // An 8 KiB frame against a 2 KiB budget: typed Budget rejection.
+    wire::write_frame(&mut stream, wire::tag::RUN_RANGE, &vec![0u8; 8192]).unwrap();
+    let (tag, payload) = wire::read_frame(&mut stream).expect("rejection");
+    assert_eq!(tag, wire::tag::ERROR);
+    let msg = wire::ErrorMsg::decode(&payload).expect("typed error");
+    assert_eq!(msg.kind, wire::ErrorKind::Budget);
+    assert!(msg.message.contains("2048"), "{}", msg.message);
+}
+
+#[test]
+fn request_rate_budget_rejects_with_typed_error() {
+    use std::net::TcpStream;
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let worker = spawn_worker(
+        listener,
+        WorkerConfig::default()
+            .with_capacity(1)
+            .with_max_requests_per_sec(Some(4)),
+    )
+    .expect("spawn worker");
+
+    let mut stream = TcpStream::connect(worker.addr()).expect("connects");
+    let hello = wire::Hello {
+        version: wire::PROTOCOL_VERSION,
+    };
+    wire::write_frame(&mut stream, wire::tag::HELLO, &hello.encode()).unwrap();
+    let (tag, _) = wire::read_frame(&mut stream).expect("ack");
+    assert_eq!(tag, wire::tag::HELLO_ACK);
+
+    // Burst capacity is 4: the flood must hit the budget within a few
+    // requests, as a typed Budget error (never a hang or a panic).
+    let mut rejected = None;
+    for _ in 0..32 {
+        if wire::write_frame(&mut stream, wire::tag::PING, &[]).is_err() {
+            break;
+        }
+        match wire::read_frame(&mut stream) {
+            Ok((wire::tag::PONG, _)) => continue,
+            Ok((wire::tag::ERROR, payload)) => {
+                rejected = Some(wire::ErrorMsg::decode(&payload).expect("typed error"));
+                break;
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    let msg = rejected.expect("the flood must be rejected");
+    assert_eq!(msg.kind, wire::ErrorKind::Budget);
+}
+
+/// The registry-parse bugfix: a corrupted registry file must NOT read
+/// as an empty roster (which would drain every supervised slot). The
+/// supervisor keeps the last good address list in force and surfaces
+/// a warning; a repaired file clears it.
+#[test]
+fn corrupt_registry_keeps_last_good_roster_and_warns() {
+    let worker = loopback_worker(1);
+    let path = std::env::temp_dir().join(format!(
+        "eqasm-registry-corrupt-{}-{:?}.txt",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&path, format!("{}\n", worker.addr())).expect("write registry");
+
+    let queue = Arc::new(JobQueue::with_backends(
+        ServeConfig::default()
+            .with_batch_size(8)
+            .with_hold_when_empty(true),
+        Vec::new(),
+    ));
+    let supervisor = PoolSupervisor::spawn(
+        Arc::clone(&queue),
+        Vec::new(),
+        SupervisorConfig::default()
+            .with_probe_interval(Duration::from_millis(50))
+            .with_registry(&path),
+    );
+    wait_until(Duration::from_secs(30), "registry discovery", || {
+        queue.workers() == 1
+    });
+    assert!(supervisor.registry_warning().is_none());
+
+    // Corrupt the file (a truncated write, say). The old behaviour
+    // parsed this as "no valid workers" and drained the fleet; now
+    // the last good roster stays in force and the warning surfaces.
+    std::fs::write(&path, "th!s is not / an address\n").expect("corrupt registry");
+    wait_until(Duration::from_secs(30), "registry warning", || {
+        supervisor.registry_warning().is_some()
+    });
+    let warning = supervisor.registry_warning().expect("warned");
+    assert!(warning.contains("not host:port"), "{warning}");
+    // Capacity is untouched — and keeps serving, bit-identically.
+    assert_eq!(queue.workers(), 1, "corrupt registry must not drain slots");
+    let job = noisy_job("through-corruption", 24, 77);
+    let reference = ShotEngine::serial()
+        .with_batch_size(8)
+        .run_job(&job)
+        .expect("serial reference");
+    let handles = queue
+        .submit(Submission::job("tenant", job))
+        .expect("submits");
+    let result = handles[0].wait().expect("completes");
+    assert_eq!(result.histogram, reference.histogram);
+
+    // Repairing the file clears the warning; the roster still holds.
+    std::fs::write(&path, format!("{}\n", worker.addr())).expect("repair registry");
+    wait_until(Duration::from_secs(30), "warning clears", || {
+        supervisor.registry_warning().is_none()
+    });
+    assert_eq!(queue.workers(), 1);
+
+    supervisor.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Regression: a typed `Version` rejection must reach a
+/// PSK-configured client as a version error, not be masked as
+/// "server did not request authentication" (the downgrade check now
+/// fires only on a successful unauthenticated ack).
+#[test]
+fn version_rejection_not_masked_by_configured_psk() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    std::thread::spawn(move || {
+        let Ok((mut stream, _)) = listener.accept() else {
+            return;
+        };
+        let _ = wire::read_frame(&mut stream);
+        // A hypothetical peer that speaks only an unsupported version
+        // (0 is below the floor, so no fallback re-offer applies).
+        let msg = wire::ErrorMsg {
+            kind: wire::ErrorKind::Version,
+            version: 0,
+            message: "speaks nothing we do".to_owned(),
+        };
+        let _ = wire::write_frame(&mut stream, wire::tag::ERROR, &msg.encode());
+    });
+    let err = RemoteBackend::connect_opts(
+        addr.to_string(),
+        ConnectOptions::default().with_psk(Psk::new(b"key".to_vec()).unwrap()),
+    )
+    .expect_err("no common version");
+    assert!(
+        !matches!(err, RuntimeError::Auth(_)),
+        "version skew must not be reported as an auth failure: {err}"
+    );
+    assert!(
+        err.to_string().contains("version"),
+        "the version information must survive: {err}"
+    );
+}
+
+/// A PSK-configured client against a server that never authenticates
+/// (a legacy v1 worker): the version fallback still runs, and the
+/// refusal is the typed no-downgrade auth error.
+#[test]
+fn configured_psk_refuses_unauthenticated_legacy_server() {
+    let addr = spawn_legacy_v1_worker();
+    let err = RemoteBackend::connect_opts(
+        addr.to_string(),
+        ConnectOptions::default().with_psk(Psk::new(b"key".to_vec()).unwrap()),
+    )
+    .expect_err("keyless legacy server refused");
+    assert!(matches!(err, RuntimeError::Auth(_)), "{err}");
+    assert!(
+        err.to_string().contains("did not request authentication"),
+        "{err}"
+    );
+}

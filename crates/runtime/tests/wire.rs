@@ -442,3 +442,265 @@ fn fingerprint_distinguishes_jobs() {
     assert_ne!(wire::job_fingerprint(&a), wire::job_fingerprint(&b));
     assert_eq!(wire::job_fingerprint(&a), wire::job_fingerprint(&a));
 }
+
+// ---------------------------------------------------------------------
+// v2: negotiation, job registry, auth and service codecs
+// ---------------------------------------------------------------------
+
+#[test]
+fn negotiate_picks_min_of_both_ends() {
+    use wire::{negotiate, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
+    assert_eq!(
+        negotiate(PROTOCOL_VERSION, PROTOCOL_VERSION),
+        Some(PROTOCOL_VERSION)
+    );
+    assert_eq!(
+        negotiate(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION),
+        Some(MIN_PROTOCOL_VERSION),
+        "a v1 client gets a v1 conversation"
+    );
+    assert_eq!(
+        negotiate(PROTOCOL_VERSION + 9, PROTOCOL_VERSION),
+        Some(PROTOCOL_VERSION),
+        "a future client settles on what we speak"
+    );
+    assert_eq!(
+        negotiate(PROTOCOL_VERSION, MIN_PROTOCOL_VERSION),
+        Some(MIN_PROTOCOL_VERSION),
+        "a capped server pins the conversation down"
+    );
+    assert_eq!(negotiate(0, PROTOCOL_VERSION), None, "below the floor");
+}
+
+#[test]
+fn load_job_and_run_range_by_id_roundtrip() {
+    let job = Job::new(
+        "registry",
+        Instantiation::paper_two_qubit(),
+        vec![Instruction::Stop],
+    );
+    let load = wire::LoadJob {
+        job_id: 42,
+        job_bytes: encode_job(&job).unwrap(),
+    };
+    assert_eq!(wire::LoadJob::decode(&load.encode()).unwrap(), load);
+    // The borrowing encoder must produce identical bytes.
+    assert_eq!(
+        load.encode(),
+        wire::LoadJob::encode_parts(42, &load.job_bytes)
+    );
+
+    let ack = wire::LoadAck {
+        job_id: 42,
+        cached: 3,
+    };
+    assert_eq!(wire::LoadAck::decode(&ack.encode()).unwrap(), ack);
+
+    let run = wire::RunRangeById {
+        job_id: 42,
+        start: 1_000_000,
+        end: 1_000_256,
+    };
+    let encoded = run.encode();
+    assert_eq!(
+        encoded.len(),
+        24,
+        "the by-id request is constant-size whatever the program"
+    );
+    assert_eq!(wire::RunRangeById::decode(&encoded).unwrap(), run);
+}
+
+#[test]
+fn run_range_by_id_is_smaller_than_inline_for_any_real_job() {
+    // The bandwidth claim behind the v2 registry, as an invariant.
+    let job = Job::new("big", Instantiation::paper(), vec![Instruction::Nop; 256]);
+    let inline = wire::RunRange {
+        start: 0,
+        end: 256,
+        job_bytes: encode_job(&job).unwrap(),
+    };
+    let by_id = wire::RunRangeById {
+        job_id: 7,
+        start: 0,
+        end: 256,
+    };
+    assert!(
+        by_id.encode().len() * 10 < inline.encode().len(),
+        "by-id request ({}B) must be far below the inline request ({}B)",
+        by_id.encode().len(),
+        inline.encode().len()
+    );
+}
+
+#[test]
+fn auth_frames_roundtrip() {
+    let challenge = wire::AuthChallenge {
+        server_nonce: (0..32u8).collect(),
+    };
+    assert_eq!(
+        wire::AuthChallenge::decode(&challenge.encode()).unwrap(),
+        challenge
+    );
+    let response = wire::AuthResponse {
+        client_nonce: (32..64u8).collect(),
+        proof: vec![0xaa; 32],
+    };
+    assert_eq!(
+        wire::AuthResponse::decode(&response.encode()).unwrap(),
+        response
+    );
+    let ok = wire::AuthOk {
+        proof: vec![0x55; 32],
+    };
+    assert_eq!(wire::AuthOk::decode(&ok.encode()).unwrap(), ok);
+}
+
+#[test]
+fn frame_limit_rejects_over_budget_before_reading_payload() {
+    let mut buf = Vec::new();
+    wire::write_frame(&mut buf, wire::tag::PING, &[0u8; 4096]).unwrap();
+    // The same bytes pass the global cap but not a 1 KiB budget.
+    assert!(wire::read_frame(&mut buf.as_slice()).is_ok());
+    match wire::read_frame_limit(&mut buf.as_slice(), 1024) {
+        Err(WireError::FrameTooLarge { len, cap }) => {
+            assert_eq!(len, 4097);
+            assert_eq!(cap, 1024);
+        }
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn partial_result_roundtrips_bit_exactly() {
+    use eqasm_runtime::{LatencyStats, PartialResult, TenantId};
+    let mut histogram = Histogram::new();
+    histogram.add(
+        BitString {
+            measured: 0b11,
+            bits: 0b01,
+        },
+        17,
+    );
+    let mut stats = eqasm_microarch::RunStats::default();
+    stats.classical_cycles = 12345;
+    stats.measurements = 99;
+    let snapshot = PartialResult {
+        name: "snap".to_owned(),
+        tenant: TenantId::new("cal-team"),
+        shots_done: 24,
+        shots_total: 96,
+        batches_done: 3,
+        batches_total: 12,
+        histogram,
+        stats,
+        mean_prob1: vec![0.25, f64::from_bits(0x7ff8_dead_beef_0002), -0.0],
+        latency: LatencyStats {
+            p50_ns: 1,
+            p95_ns: 2,
+            p99_ns: 3,
+            mean_ns: 4,
+            max_ns: 5,
+        },
+        non_halted: 1,
+        done: false,
+        failed: Some("partial failure".to_owned()),
+        queue_wait: std::time::Duration::from_millis(7),
+        active: std::time::Duration::from_micros(9),
+    };
+    let bytes = wire::encode_partial_result(&snapshot);
+    let decoded = wire::decode_partial_result(&bytes).expect("decodes");
+    assert_eq!(decoded.name, snapshot.name);
+    assert_eq!(decoded.tenant, snapshot.tenant);
+    assert_eq!(decoded.shots_done, snapshot.shots_done);
+    assert_eq!(decoded.batches_done, snapshot.batches_done);
+    assert_eq!(decoded.histogram, snapshot.histogram);
+    assert_eq!(decoded.stats, snapshot.stats);
+    assert_eq!(decoded.latency, snapshot.latency);
+    assert_eq!(decoded.failed, snapshot.failed);
+    assert_eq!(decoded.queue_wait, snapshot.queue_wait);
+    assert_eq!(decoded.active, snapshot.active);
+    let ours: Vec<u64> = snapshot.mean_prob1.iter().map(|p| p.to_bits()).collect();
+    let theirs: Vec<u64> = decoded.mean_prob1.iter().map(|p| p.to_bits()).collect();
+    assert_eq!(ours, theirs, "mean P(1) must cross by bit pattern");
+    // Canonical bytes.
+    assert_eq!(bytes, wire::encode_partial_result(&decoded));
+}
+
+#[test]
+fn job_result_roundtrips_from_a_real_run() {
+    use eqasm_runtime::ShotEngine;
+    let (inst, program) = eqasm_runtime::WorkloadKind::ActiveReset { init_cycles: 20 }
+        .build()
+        .expect("builds");
+    let job = Job::new("jr", inst, program).with_shots(16).with_seed(3);
+    let result = ShotEngine::serial().run_job(&job).expect("runs");
+    let bytes = wire::encode_job_result(&result);
+    let decoded = wire::decode_job_result(&bytes).expect("decodes");
+    assert_eq!(decoded.name, result.name);
+    assert_eq!(decoded.shots, result.shots);
+    assert_eq!(decoded.histogram, result.histogram);
+    assert_eq!(decoded.stats, result.stats);
+    assert_eq!(decoded.mean_prob1, result.mean_prob1);
+    assert_eq!(decoded.latency, result.latency);
+    assert_eq!(decoded.non_halted, result.non_halted);
+    assert_eq!(decoded.first_failure, result.first_failure);
+    assert_eq!(bytes, wire::encode_job_result(&decoded), "canonical bytes");
+}
+
+#[test]
+fn submission_roundtrips_jobs_and_specs() {
+    use eqasm_runtime::{Submission, WorkloadKind, WorkloadSpec};
+    let job = Job::new(
+        "sub-job",
+        Instantiation::paper_two_qubit(),
+        vec![Instruction::Stop],
+    )
+    .with_shots(32)
+    .with_seed(9);
+    let as_job = Submission::job("tenant-a", job.clone());
+    let decoded = wire::decode_submission(&wire::encode_submission(&as_job).unwrap()).unwrap();
+    assert_eq!(decoded.tenant().as_str(), "tenant-a");
+
+    let spec = WorkloadSpec::new(
+        "rb-sweep",
+        WorkloadKind::Rb {
+            k: 16,
+            interval_cycles: 2,
+            sequence_seed: 0x5eed,
+        },
+        400,
+    )
+    .with_weight(3)
+    .with_seed(77);
+    let as_spec = Submission::workload("tenant-b", spec);
+    let bytes = wire::encode_submission(&as_spec).unwrap();
+    let decoded = wire::decode_submission(&bytes).unwrap();
+    assert_eq!(decoded.tenant().as_str(), "tenant-b");
+    // Canonical: re-encoding the decoded submission yields the bytes.
+    assert_eq!(bytes, wire::encode_submission(&decoded).unwrap());
+
+    let mut corrupt = bytes.clone();
+    corrupt.push(0xff);
+    assert!(wire::decode_submission(&corrupt).is_err());
+}
+
+#[test]
+fn submit_ack_roundtrips() {
+    let ack = wire::SubmitAck {
+        jobs: vec![
+            wire::RemoteJobInfo {
+                job_id: 1,
+                name: "a".to_owned(),
+                shots: 100,
+            },
+            wire::RemoteJobInfo {
+                job_id: 2,
+                name: "b".to_owned(),
+                shots: 200,
+            },
+        ],
+    };
+    assert_eq!(wire::SubmitAck::decode(&ack.encode()).unwrap(), ack);
+    assert_eq!(wire::decode_job_id(&wire::encode_job_id(7)).unwrap(), 7);
+    assert!(wire::decode_job_id(&[1, 2, 3]).is_err());
+}

@@ -10,6 +10,14 @@
 //! eqasm-cli serve    <spec> [options]        same mix through the job queue:
 //!                                            per-tenant fair scheduling with
 //!                                            streaming progress lines
+//! eqasm-cli serve    --listen <addr>         no spec: run the queue as a
+//!                                            network service — remote clients
+//!                                            submit over the wire protocol
+//! eqasm-cli submit   <spec> --connect <addr> submit the named mix to a remote
+//!                                            serve coordinator, stream partial
+//!                                            results, print the final table
+//! eqasm-cli status   --connect <addr> --job <id>   one snapshot per job id
+//! eqasm-cli watch    --connect <addr> --job <id>   stream one job to completion
 //! eqasm-cli worker   --listen <addr>         long-lived remote shot worker
 //!                                            speaking the versioned wire
 //!                                            protocol
@@ -37,10 +45,24 @@
 //!                    file (one host:port per line) re-read every probe
 //!                    sweep; addresses that leave the file are drained
 //!
+//! options for `submit`:
+//!   --connect <addr>  the serve coordinator (required)
+//!   --shots / --seed  as for `serve`
+//!   --verify-serial   after the remote run, re-run every job locally on a
+//!                     serial engine and require bit-identical aggregates
+//!   --psk-file <f>    authenticate with the fleet pre-shared key
+//!
 //! options for `worker`:
 //!   --listen <addr>  address to bind, e.g. 127.0.0.1:7777 (required)
 //!   --capacity <n>   advertised concurrent slots (default: parallelism)
 //!   --name <s>       worker name shown to coordinators (default: hostname-ish)
+//!   --psk-file <f>   require the fleet pre-shared key on every connection
+//!   --job-cache <n>  per-connection v2 job-registry capacity (default 8)
+//!   --max-frame <n>  per-connection frame-size budget, bytes
+//!   --rate-limit <n> per-connection request-rate budget, requests/sec
+//!
+//! `serve --listen` and `serve ... --remote` accept --psk-file too: the
+//! same key then guards the client front door and the worker pool.
 //!
 //! `worker` drains cleanly on SIGINT/SIGTERM: it stops accepting, lets
 //! in-flight batches finish (coordinators see slots retire, never a
@@ -55,9 +77,9 @@ use eqasm::asm::{disassemble_source, encoding};
 use eqasm::compiler::lift_program;
 use eqasm::prelude::*;
 use eqasm::runtime::{
-    ExecBackend, Job, JobHandle, JobQueue, LocalBackend, MixedWorkload, PartialResult,
-    PoolSupervisor, RemoteBackend, ServeConfig, ShotEngine, Submission, SupervisorConfig,
-    WorkerConfig, WorkloadKind, WorkloadReport, WorkloadSpec,
+    Client, ConnectOptions, ExecBackend, Job, JobHandle, JobQueue, LocalBackend, MixedWorkload,
+    PartialResult, PoolSupervisor, Psk, RemoteBackend, ServeConfig, ServeNetConfig, ShotEngine,
+    Submission, SupervisorConfig, WorkerConfig, WorkloadKind, WorkloadReport, WorkloadSpec,
 };
 
 /// SIGINT/SIGTERM → one atomic flag, so the worker daemon can drain
@@ -105,7 +127,7 @@ fn load_instantiation(chip: &str) -> Result<Instantiation, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: eqasm-cli <asm|disasm|run|lift> <file> [--seed n] [--shots n] [--workers n] [--chip name] [--trace]\n       eqasm-cli <workload|serve> <rabi|allxy|rb|active-reset|mix> [--shots n] [--workers n] [--seed n] [--remote host:port,...] [--rediscover secs] [--registry file]\n       eqasm-cli worker --listen <addr> [--capacity n] [--name s]"
+        "usage: eqasm-cli <asm|disasm|run|lift> <file> [--seed n] [--shots n] [--workers n] [--chip name] [--trace]\n       eqasm-cli <workload|serve> <rabi|allxy|rb|active-reset|mix> [--shots n] [--workers n] [--seed n] [--remote host:port,...] [--rediscover secs] [--registry file] [--psk-file f]\n       eqasm-cli serve --listen <addr> [--workers n] [--remote ...] [--rediscover secs] [--registry file] [--psk-file f]\n       eqasm-cli submit <rabi|allxy|rb|active-reset|mix> --connect <addr> [--shots n] [--seed n] [--verify-serial] [--psk-file f]\n       eqasm-cli status --connect <addr> --job <id> [--job <id> ...] [--psk-file f]\n       eqasm-cli watch --connect <addr> --job <id> [--psk-file f]\n       eqasm-cli worker --listen <addr> [--capacity n] [--name s] [--psk-file f] [--job-cache n] [--max-frame bytes] [--rate-limit req/s]"
     );
     ExitCode::from(2)
 }
@@ -117,12 +139,17 @@ fn main() -> ExitCode {
     }
     let command = args[0].as_str();
 
-    // `worker` takes only flags (no positional target).
-    let flag_start = if command == "worker" { 1 } else { 2 };
+    // `worker`, `status` and `watch` take only flags; `serve` may run
+    // spec-less as a pure network service (`serve --listen`).
+    let flag_start = match command {
+        "worker" | "status" | "watch" => 1,
+        "serve" if args.len() > 1 && args[1].starts_with("--") => 1,
+        _ => 2,
+    };
     if args.len() < flag_start {
         return usage();
     }
-    let target = if command == "worker" {
+    let target = if flag_start == 1 {
         ""
     } else {
         args[1].as_str()
@@ -139,6 +166,13 @@ fn main() -> ExitCode {
     let mut remotes: Vec<String> = Vec::new();
     let mut rediscover: Option<f64> = None;
     let mut registry: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut psk_file: Option<String> = None;
+    let mut job_ids: Vec<u64> = Vec::new();
+    let mut verify_serial = false;
+    let mut job_cache: Option<usize> = None;
+    let mut max_frame: Option<u32> = None;
+    let mut rate_limit: Option<u32> = None;
     let mut i = flag_start;
     while i < args.len() {
         match args[i].as_str() {
@@ -196,6 +230,70 @@ fn main() -> ExitCode {
                 registry = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--connect" if i + 1 < args.len() => {
+                connect = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--psk-file" if i + 1 < args.len() => {
+                psk_file = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--job" if i + 1 < args.len() => {
+                match args[i + 1].parse() {
+                    Ok(id) => job_ids.push(id),
+                    Err(_) => {
+                        eprintln!("error: --job wants a numeric job id");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--verify-serial" => {
+                verify_serial = true;
+                i += 1;
+            }
+            // The budget flags must never fail open: a typo in a
+            // security limit silently disabling it is worse than a
+            // refusal to start.
+            "--job-cache" if i + 1 < args.len() => {
+                match args[i + 1].parse() {
+                    Ok(n) => job_cache = Some(n),
+                    Err(_) => {
+                        eprintln!(
+                            "error: --job-cache wants a job count, got `{}`",
+                            args[i + 1]
+                        );
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--max-frame" if i + 1 < args.len() => {
+                match args[i + 1].parse() {
+                    Ok(n) => max_frame = Some(n),
+                    Err(_) => {
+                        eprintln!(
+                            "error: --max-frame wants a byte count, got `{}`",
+                            args[i + 1]
+                        );
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--rate-limit" if i + 1 < args.len() => {
+                match args[i + 1].parse() {
+                    Ok(n) => rate_limit = Some(n),
+                    Err(_) => {
+                        eprintln!(
+                            "error: --rate-limit wants requests/sec, got `{}`",
+                            args[i + 1]
+                        );
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
             other => {
                 eprintln!("unknown option `{other}`");
                 return usage();
@@ -203,12 +301,49 @@ fn main() -> ExitCode {
         }
     }
 
+    // One parse of the optional PSK file, shared by every networked
+    // subcommand.
+    let psk = match psk_file.as_deref().map(Psk::from_file) {
+        None => None,
+        Some(Ok(psk)) => Some(psk),
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     if command == "worker" {
         let Some(addr) = listen else {
             eprintln!("error: worker requires --listen <addr>");
             return usage();
         };
-        return match cmd_worker(&addr, capacity, name) {
+        return match cmd_worker(&addr, capacity, name, psk, job_cache, max_frame, rate_limit) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if matches!(command, "submit" | "status" | "watch") {
+        let Some(addr) = connect else {
+            eprintln!("error: {command} requires --connect <addr>");
+            return usage();
+        };
+        let result = match command {
+            "submit" => cmd_submit(
+                target,
+                &addr,
+                shots.unwrap_or(400),
+                seed,
+                psk,
+                verify_serial,
+            ),
+            "status" => cmd_status(&addr, &job_ids, psk),
+            _ => cmd_watch(&addr, &job_ids, psk),
+        };
+        return match result {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -220,6 +355,24 @@ fn main() -> ExitCode {
     if command == "workload" || command == "serve" {
         let result = if command == "workload" {
             cmd_workload(target, shots.unwrap_or(400), workers, seed)
+        } else if let Some(listen_addr) = listen {
+            if !target.is_empty() {
+                eprintln!(
+                    "error: `serve --listen` runs as a pure network service; drive it with \
+                     `eqasm-cli submit <spec> --connect <addr>` instead of a local spec"
+                );
+                return usage();
+            }
+            cmd_serve_listen(
+                &listen_addr,
+                workers,
+                &remotes,
+                rediscover,
+                registry,
+                psk,
+                max_frame,
+                rate_limit,
+            )
         } else {
             cmd_serve(
                 target,
@@ -229,6 +382,7 @@ fn main() -> ExitCode {
                 &remotes,
                 rediscover,
                 registry,
+                psk,
             )
         };
         return match result {
@@ -493,7 +647,15 @@ fn print_workload_row(w: &WorkloadReport) {
 
 /// Runs the long-lived remote shot worker: binds `addr`, prints one
 /// status line and serves coordinators until killed.
-fn cmd_worker(addr: &str, capacity: Option<usize>, name: Option<String>) -> Result<(), String> {
+fn cmd_worker(
+    addr: &str,
+    capacity: Option<usize>,
+    name: Option<String>,
+    psk: Option<Psk>,
+    job_cache: Option<usize>,
+    max_frame: Option<u32>,
+    rate_limit: Option<u32>,
+) -> Result<(), String> {
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let mut config = WorkerConfig::default();
@@ -503,15 +665,28 @@ fn cmd_worker(addr: &str, capacity: Option<usize>, name: Option<String>) -> Resu
     if let Some(name) = name {
         config = config.with_name(name);
     }
+    let authed = psk.is_some();
+    if let Some(psk) = psk {
+        config = config.with_psk(psk);
+    }
+    if let Some(n) = job_cache {
+        config = config.with_job_cache_capacity(n);
+    }
+    if let Some(n) = max_frame {
+        config = config.with_max_frame_len(n);
+    }
+    config = config.with_max_requests_per_sec(rate_limit);
     let bound = listener
         .local_addr()
         .map(|a| a.to_string())
         .unwrap_or_else(|_| addr.to_owned());
     println!(
-        "eqasm worker `{}` listening on {bound} ({} slots, wire protocol v{})",
+        "eqasm worker `{}` listening on {bound} ({} slots, wire protocol v{}{}, job cache {})",
         config.name,
         config.capacity,
         eqasm::runtime::wire::PROTOCOL_VERSION,
+        if authed { ", PSK auth" } else { "" },
+        config.job_cache_capacity,
     );
     #[cfg(unix)]
     {
@@ -537,7 +712,7 @@ fn cmd_worker(addr: &str, capacity: Option<usize>, name: Option<String>) -> Resu
 fn build_backend_pool(
     workers: usize,
     remotes: &[String],
-    io_timeout: Option<std::time::Duration>,
+    connect_opts: &ConnectOptions,
     tolerate_down: bool,
 ) -> Result<Vec<Box<dyn ExecBackend>>, String> {
     let local = if workers == 0 {
@@ -549,7 +724,7 @@ fn build_backend_pool(
         .map(|i| Box::new(LocalBackend::new(i)) as Box<dyn ExecBackend>)
         .collect();
     for addr in remotes {
-        match RemoteBackend::connect_pool_with_timeout(addr.clone(), io_timeout) {
+        match RemoteBackend::connect_pool_opts(addr.clone(), connect_opts.clone()) {
             Ok(pool) => {
                 for backend in pool {
                     backends.push(Box::new(backend));
@@ -564,37 +739,30 @@ fn build_backend_pool(
     Ok(backends)
 }
 
-/// Drives the named workload through the `eqasm-serve` job queue:
-/// every spec becomes a tenant whose scheduling weight is its traffic
-/// weight, progress lines stream while the pool runs, and the final
-/// table reports queue wait vs active time per job. With `--remote`,
-/// the pool mixes local slots and remote workers — results are
-/// bit-identical to a pure-local run by the batch-fold argument.
-fn cmd_serve(
-    spec: &str,
-    shots: u64,
+/// Builds the serve queue (local workers, remote pool, optional
+/// supervisor) shared by local `serve <spec>` runs and the
+/// `serve --listen` network service.
+#[allow(clippy::type_complexity)]
+fn build_serve_queue(
     workers: usize,
-    seed: u64,
     remotes: &[String],
     rediscover: Option<f64>,
-    registry: Option<String>,
-) -> Result<(), String> {
-    let specs = built_in_specs(spec, shots, seed)?;
-    let supervised = rediscover.is_some();
-    if supervised && remotes.is_empty() && registry.is_none() {
-        return Err("--rediscover needs --remote addresses and/or a --registry file".to_owned());
-    }
-    if registry.is_some() && !supervised {
-        // Silently ignoring the roster would leave the operator
-        // believing the fleet file is in effect.
-        return Err("--registry only takes effect with --rediscover <secs>".to_owned());
-    }
+    registry: Option<&str>,
+    psk: Option<Psk>,
+    supervised: bool,
+) -> Result<(std::sync::Arc<JobQueue>, Option<PoolSupervisor>), String> {
     let serve_config = ServeConfig::default();
+    let connect_opts = {
+        let mut opts = ConnectOptions::default().with_io_timeout(serve_config.remote_io_timeout);
+        if let Some(psk) = psk.clone() {
+            opts = opts.with_psk(psk);
+        }
+        opts
+    };
     let queue = if remotes.is_empty() && !supervised {
         JobQueue::new(serve_config.clone().with_workers(workers))
     } else {
-        let backends =
-            build_backend_pool(workers, remotes, serve_config.remote_io_timeout, supervised)?;
+        let backends = build_backend_pool(workers, remotes, &connect_opts, supervised)?;
         for backend in &backends {
             println!("backend: {}", backend.descriptor());
         }
@@ -606,23 +774,310 @@ fn cmd_serve(
         )
     };
     let queue = std::sync::Arc::new(queue);
-    let _supervisor = rediscover.map(|secs| {
+    let supervisor = rediscover.map(|secs| {
         let mut config = SupervisorConfig::default()
             .with_probe_interval(std::time::Duration::from_secs_f64(secs))
             .with_io_timeout(serve_config.remote_io_timeout);
-        if let Some(path) = &registry {
+        if let Some(psk) = psk {
+            config = config.with_psk(psk);
+        }
+        if let Some(path) = registry {
             config = config.with_registry(path);
         }
         println!(
             "pool supervisor: probing {} address(es) every {secs}s{}",
             remotes.len(),
             registry
-                .as_deref()
                 .map(|r| format!(" + registry {r}"))
                 .unwrap_or_default()
         );
         PoolSupervisor::spawn(std::sync::Arc::clone(&queue), remotes.to_vec(), config)
     });
+    Ok((queue, supervisor))
+}
+
+/// Runs the job queue as a pure network service: binds `addr`, serves
+/// remote `eqasm-cli submit/status/watch --connect` clients over the
+/// wire protocol, and drains cleanly on SIGINT/SIGTERM.
+#[allow(clippy::too_many_arguments)]
+fn cmd_serve_listen(
+    addr: &str,
+    workers: usize,
+    remotes: &[String],
+    rediscover: Option<f64>,
+    registry: Option<String>,
+    psk: Option<Psk>,
+    max_frame: Option<u32>,
+    rate_limit: Option<u32>,
+) -> Result<(), String> {
+    let supervised = rediscover.is_some();
+    if supervised && remotes.is_empty() && registry.is_none() {
+        return Err("--rediscover needs --remote addresses and/or a --registry file".to_owned());
+    }
+    if registry.is_some() && !supervised {
+        return Err("--registry only takes effect with --rediscover <secs>".to_owned());
+    }
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let (queue, supervisor) = build_serve_queue(
+        workers,
+        remotes,
+        rediscover,
+        registry.as_deref(),
+        psk.clone(),
+        supervised,
+    )?;
+    let mut net_config = ServeNetConfig::default();
+    let authed = psk.is_some();
+    if let Some(psk) = psk {
+        net_config = net_config.with_psk(psk);
+    }
+    if let Some(n) = max_frame {
+        net_config = net_config.with_max_frame_len(n);
+    }
+    net_config = net_config.with_max_requests_per_sec(rate_limit);
+    let bound = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| addr.to_owned());
+    println!(
+        "eqasm serve listening on {bound} ({} execution slot(s), wire protocol v{}{})",
+        queue.workers(),
+        eqasm::runtime::wire::PROTOCOL_VERSION,
+        if authed { ", PSK auth" } else { "" },
+    );
+    #[cfg(unix)]
+    {
+        signals::install();
+        eqasm::runtime::run_serve_until(
+            listener,
+            std::sync::Arc::clone(&queue),
+            net_config,
+            &signals::SHUTDOWN,
+        )
+        .map_err(|e| e.to_string())?;
+        drop(supervisor);
+        queue.shutdown();
+        println!("eqasm serve drained cleanly; exiting");
+        Ok(())
+    }
+    #[cfg(not(unix))]
+    {
+        let never = std::sync::atomic::AtomicBool::new(false);
+        eqasm::runtime::run_serve_until(
+            listener,
+            std::sync::Arc::clone(&queue),
+            net_config,
+            &never,
+        )
+        .map_err(|e| e.to_string())?;
+        drop(supervisor);
+        queue.shutdown();
+        Ok(())
+    }
+}
+
+/// Client-side connect options for `submit`/`status`/`watch`.
+fn client_opts(psk: Option<Psk>) -> ConnectOptions {
+    let mut opts = ConnectOptions::default();
+    if let Some(psk) = psk {
+        opts = opts.with_psk(psk);
+    }
+    opts
+}
+
+/// Submits the named workload mix to a remote serve coordinator,
+/// streams every job's partial results, prints the final table, and
+/// (with `--verify-serial`) re-runs each job locally on a serial
+/// engine requiring bit-identical aggregates — the end-to-end proof
+/// that the networked service computes exactly what the library does.
+fn cmd_submit(
+    spec: &str,
+    addr: &str,
+    shots: u64,
+    seed: u64,
+    psk: Option<Psk>,
+    verify_serial: bool,
+) -> Result<(), String> {
+    let specs = built_in_specs(spec, shots, seed)?;
+    let client = Client::connect_opts(addr, client_opts(psk)).map_err(|e| e.to_string())?;
+    println!(
+        "connected to `{}` at {addr} (wire v{})",
+        client.server_name(),
+        client.protocol()
+    );
+
+    let started = std::time::Instant::now();
+    let mut submitted: Vec<(WorkloadSpec, Vec<eqasm::runtime::RemoteJobHandle>)> = Vec::new();
+    for s in &specs {
+        let handles = client
+            .submit(Submission::workload(s.name.as_str(), s.clone()))
+            .map_err(|e| e.to_string())?;
+        let ids: Vec<String> = handles.iter().map(|h| h.job_id().to_string()).collect();
+        println!(
+            "submitted `{}`: {} job(s), {} shots each (job ids {})",
+            s.name,
+            handles.len(),
+            s.shots,
+            ids.join(", ")
+        );
+        submitted.push((s.clone(), handles));
+    }
+
+    // Stream each job to completion. Submissions already run
+    // concurrently server-side; watching them in order just decides
+    // which stream prints first.
+    let mut results: Vec<(WorkloadSpec, u32, eqasm::runtime::JobResult)> = Vec::new();
+    for (s, handles) in &submitted {
+        for (instance, handle) in handles.iter().enumerate() {
+            let result = handle
+                .watch(|snap| {
+                    println!(
+                        "[{:7.3}s] {:>16} {:>8}/{} shots ({:3.0}%)",
+                        started.elapsed().as_secs_f64(),
+                        snap.name,
+                        snap.shots_done,
+                        snap.shots_total,
+                        snap.progress() * 100.0,
+                    );
+                })
+                .map_err(|e| format!("job {} failed: {e}", handle.job_id()))?;
+            results.push((s.clone(), instance as u32, result));
+        }
+    }
+
+    println!(
+        "{:>16} {:>8} {:>11} {:>10} {:>10}",
+        "job", "shots", "shots/s", "p50 µs", "p99 µs"
+    );
+    for (_, _, r) in &results {
+        println!(
+            "{:>16} {:>8} {:>11.0} {:>10.1} {:>10.1}",
+            r.name,
+            r.shots,
+            r.shots_per_sec,
+            r.latency.p50_ns as f64 / 1e3,
+            r.latency.p99_ns as f64 / 1e3,
+        );
+    }
+
+    if verify_serial {
+        // The acceptance check: rebuild every job locally (specs are
+        // deterministic generators) and require the remote aggregate
+        // to be bit-identical to a serial engine run.
+        for (s, instance, remote) in &results {
+            let job = s.build_instance(*instance).map_err(|e| e.to_string())?;
+            let reference = ShotEngine::serial()
+                .run_job(&job)
+                .map_err(|e| e.to_string())?;
+            if remote.histogram != reference.histogram
+                || remote.stats != reference.stats
+                || remote.mean_prob1 != reference.mean_prob1
+            {
+                return Err(format!(
+                    "job `{}` (instance {instance}) diverged from the serial reference — \
+                     the remote aggregate is NOT bit-identical",
+                    remote.name
+                ));
+            }
+        }
+        println!(
+            "verified: {} remote job(s) bit-identical to local serial runs",
+            results.len()
+        );
+    }
+    Ok(())
+}
+
+/// Prints one snapshot line per requested job id.
+fn cmd_status(addr: &str, job_ids: &[u64], psk: Option<Psk>) -> Result<(), String> {
+    if job_ids.is_empty() {
+        return Err("status requires at least one --job <id>".to_owned());
+    }
+    let client = Client::connect_opts(addr, client_opts(psk)).map_err(|e| e.to_string())?;
+    println!(
+        "{:>6} {:>16} {:>12} {:>16} {:>6} {:>8}",
+        "job", "name", "tenant", "shots", "done", "failed"
+    );
+    for &id in job_ids {
+        let snap = client.poll_id(id).map_err(|e| e.to_string())?;
+        println!(
+            "{:>6} {:>16} {:>12} {:>9}/{:<6} {:>6} {:>8}",
+            id,
+            snap.name,
+            snap.tenant,
+            snap.shots_done,
+            snap.shots_total,
+            if snap.done { "yes" } else { "no" },
+            snap.failed.as_deref().unwrap_or("-"),
+        );
+    }
+    Ok(())
+}
+
+/// Streams the requested jobs to completion, printing every snapshot.
+fn cmd_watch(addr: &str, job_ids: &[u64], psk: Option<Psk>) -> Result<(), String> {
+    if job_ids.is_empty() {
+        return Err("watch requires at least one --job <id>".to_owned());
+    }
+    let client = Client::connect_opts(addr, client_opts(psk)).map_err(|e| e.to_string())?;
+    let started = std::time::Instant::now();
+    for &id in job_ids {
+        let result = client
+            .watch_id(id, |snap| {
+                println!(
+                    "[{:7.3}s] job {id} {:>16} {:>8}/{} shots ({:3.0}%)",
+                    started.elapsed().as_secs_f64(),
+                    snap.name,
+                    snap.shots_done,
+                    snap.shots_total,
+                    snap.progress() * 100.0,
+                );
+            })
+            .map_err(|e| e.to_string())?;
+        println!(
+            "job {id} `{}` done: {} shots, {:.0} shots/s",
+            result.name, result.shots, result.shots_per_sec
+        );
+    }
+    Ok(())
+}
+
+/// Drives the named workload through the `eqasm-serve` job queue:
+/// every spec becomes a tenant whose scheduling weight is its traffic
+/// weight, progress lines stream while the pool runs, and the final
+/// table reports queue wait vs active time per job. With `--remote`,
+/// the pool mixes local slots and remote workers — results are
+/// bit-identical to a pure-local run by the batch-fold argument.
+#[allow(clippy::too_many_arguments)]
+fn cmd_serve(
+    spec: &str,
+    shots: u64,
+    workers: usize,
+    seed: u64,
+    remotes: &[String],
+    rediscover: Option<f64>,
+    registry: Option<String>,
+    psk: Option<Psk>,
+) -> Result<(), String> {
+    let specs = built_in_specs(spec, shots, seed)?;
+    let supervised = rediscover.is_some();
+    if supervised && remotes.is_empty() && registry.is_none() {
+        return Err("--rediscover needs --remote addresses and/or a --registry file".to_owned());
+    }
+    if registry.is_some() && !supervised {
+        // Silently ignoring the roster would leave the operator
+        // believing the fleet file is in effect.
+        return Err("--registry only takes effect with --rediscover <secs>".to_owned());
+    }
+    let (queue, _supervisor) = build_serve_queue(
+        workers,
+        remotes,
+        rediscover,
+        registry.as_deref(),
+        psk,
+        supervised,
+    )?;
 
     let started = std::time::Instant::now();
     let mut handles: Vec<JobHandle> = Vec::new();
