@@ -18,6 +18,24 @@ use eqasm_runtime::{
 };
 use eqasm_workloads::rb_program;
 
+/// Reads one unlabeled series from the process-global metrics
+/// registry by scraping the exposition text, the same way an external
+/// Prometheus would.
+fn sample_metric(name: &str) -> f64 {
+    let text = eqasm_runtime::metrics::default_registry().encode();
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| {
+            let (n, v) = l.rsplit_once(' ')?;
+            if n == name {
+                v.parse::<f64>().ok()
+            } else {
+                None
+            }
+        })
+        .unwrap_or(0.0)
+}
+
 fn main() {
     let shots: u64 = std::env::args()
         .nth(1)
@@ -114,6 +132,19 @@ fn main() {
             );
         }
     }
+    // Sample the queue-depth gauge while the serve jobs drain — the
+    // peak undispatched-batch depth is a scheduling-pressure number
+    // the per-job rows can't show — then collect the (now finished)
+    // handles below.
+    let mut peak_queue_depth = 0i64;
+    loop {
+        peak_queue_depth = peak_queue_depth.max(sample_metric("eqasm_queue_depth") as i64);
+        if handles.iter().all(|h| h.snapshot().done) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let live_workers = queue.workers();
     println!(
         "{:>10} {:>8} {:>12} {:>10} {:>10}",
         "job", "tenant", "shots/s", "wait ms", "active ms"
@@ -320,11 +351,25 @@ fn main() {
         t2.total_request_bytes(),
     );
 
+    // Scrape cost: price one full exposition encode of everything the
+    // sections above accumulated, so the trajectory tracks how
+    // expensive a Prometheus scrape is as the series catalogue grows.
+    let registry = eqasm_runtime::metrics::default_registry();
+    let scrape_started = std::time::Instant::now();
+    let exposition = registry.encode();
+    let scrape_us = scrape_started.elapsed().as_secs_f64() * 1e6;
+    let series = registry.series_count();
+    println!(
+        "\nmetrics: {series} series, {} B exposition, encoded in {scrape_us:.1} µs",
+        exposition.len()
+    );
+
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"bench\": \"runtime\",\n  \"workload\": \"rb-k24\",\n  \"shots\": {shots},\n  \"host_parallelism\": {available},\n  \"points\": [\n{}\n  ],\n  \"serve\": {{\n    \"workers\": {serve_workers},\n    \"jobs\": [\n{}\n    ]\n  }},\n  \"remote\": {{\n    \"pool\": {pool_size},\n    \"remote_slots\": {remote_slots},\n    \"shots_per_sec\": {remote_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"elastic\": {{\n    \"slots_before\": 1,\n    \"slots_after\": {elastic_slots},\n    \"attach_at_shots\": {before_shots},\n    \"shots_per_sec_before\": {before_rate:.1},\n    \"shots_per_sec_after\": {after_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"client\": {{\n    \"shots_per_sec\": {client_rate:.1},\n    \"snapshots_streamed\": {snapshots_streamed},\n    \"bit_identical\": true,\n    \"run_range_bytes_v1\": {per_range_v1},\n    \"run_range_bytes_v2\": {per_range_v2},\n    \"bytes_saved_per_range\": {},\n    \"load_job_bytes_once\": {},\n    \"total_request_bytes_v1\": {},\n    \"total_request_bytes_v2\": {}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"runtime\",\n  \"workload\": \"rb-k24\",\n  \"shots\": {shots},\n  \"host_parallelism\": {available},\n  \"points\": [\n{}\n  ],\n  \"serve\": {{\n    \"workers\": {live_workers},\n    \"peak_queue_depth\": {peak_queue_depth},\n    \"jobs\": [\n{}\n    ]\n  }},\n  \"metrics\": {{\n    \"series\": {series},\n    \"exposition_bytes\": {},\n    \"encode_us\": {scrape_us:.1}\n  }},\n  \"remote\": {{\n    \"pool\": {pool_size},\n    \"remote_slots\": {remote_slots},\n    \"shots_per_sec\": {remote_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"elastic\": {{\n    \"slots_before\": 1,\n    \"slots_after\": {elastic_slots},\n    \"attach_at_shots\": {before_shots},\n    \"shots_per_sec_before\": {before_rate:.1},\n    \"shots_per_sec_after\": {after_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"client\": {{\n    \"shots_per_sec\": {client_rate:.1},\n    \"snapshots_streamed\": {snapshots_streamed},\n    \"bit_identical\": true,\n    \"run_range_bytes_v1\": {per_range_v1},\n    \"run_range_bytes_v2\": {per_range_v2},\n    \"bytes_saved_per_range\": {},\n    \"load_job_bytes_once\": {},\n    \"total_request_bytes_v1\": {},\n    \"total_request_bytes_v2\": {}\n  }}\n}}\n",
         rows.join(",\n"),
         serve_rows.join(",\n"),
+        exposition.len(),
         per_range_v1 - per_range_v2,
         t2.load_request_bytes,
         t1.total_request_bytes(),

@@ -369,6 +369,10 @@ pub(crate) fn run_batch(machine: &mut QuMa, job: &Job, range: std::ops::Range<u6
         }
     }
 
+    let m = crate::metrics::rt();
+    m.shots_executed.add(durations_ns.len() as u64);
+    m.batches_executed.inc();
+
     BatchOut {
         histogram,
         stats,

@@ -59,7 +59,16 @@
 //!   bit-identical prefixes of the final aggregate — the serve
 //!   queue's determinism invariant, now provable from another process
 //!   over TCP ([`spawn_serve`] / [`run_serve_until`] are the server
-//!   half).
+//!   half);
+//! * [`metrics`] — the observability surface: a dependency-free
+//!   Prometheus registry (atomic counters/gauges, fixed-bucket
+//!   histograms, labeled families) instrumenting the queue, the wire,
+//!   the worker daemon and the supervisor, encoded in text format
+//!   v0.0.4 and served by a hand-rolled HTTP/1.0 `GET /metrics`
+//!   responder ([`MetricsServer`], `--metrics` on `eqasm-cli
+//!   serve`/`worker`). Scrapes read only atomics — never the queue
+//!   mutex — so observing the service cannot stall it. The series
+//!   catalogue lives in `METRICS.md`.
 //!
 //! ## Determinism — including across hosts
 //!
@@ -135,6 +144,7 @@ pub mod client;
 mod engine;
 mod error;
 mod job;
+pub mod metrics;
 mod net;
 pub mod serve;
 mod supervisor;
@@ -148,6 +158,7 @@ pub use client::{Client, RemoteJobHandle};
 pub use engine::ShotEngine;
 pub use error::RuntimeError;
 pub use job::{default_batch_size, partition_shots, Job};
+pub use metrics::MetricsServer;
 pub use net::{
     ping, ping_opts, ping_within, run_serve_until, run_worker, run_worker_until, spawn_serve,
     spawn_worker, ConnectOptions, RemoteBackend, ServeHandle, ServeNetConfig, WireTraffic,

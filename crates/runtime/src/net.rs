@@ -363,6 +363,7 @@ fn accept_handshake(stream: &mut TcpStream, policy: &AcceptPolicy<'_>) -> Option
         };
         let expected = psk.client_proof(&server_nonce, &response.client_nonce);
         if !ct_eq(&expected, &response.proof) {
+            crate::metrics::rt().auth_failures.inc();
             // Wrong key, or a proof bound to some other connection's
             // nonce (a replay): indistinguishable by design, and both
             // are refused the same way.
@@ -409,7 +410,12 @@ fn accept_handshake_deadlined(stream: &mut TcpStream, policy: &AcceptPolicy<'_>)
     {
         return None;
     }
-    let negotiated = accept_handshake(stream, policy)?;
+    let Some(negotiated) = accept_handshake(stream, policy) else {
+        // Silent, stalling or otherwise failing peer cut off during
+        // the deadlined handshake window.
+        crate::metrics::rt().handshake_deadline_drops.inc();
+        return None;
+    };
     if stream.set_read_timeout(None).is_err() || stream.set_write_timeout(None).is_err() {
         return None;
     }
@@ -432,6 +438,7 @@ fn read_request_frame(
             // The typed rejection for an over-budget frame. The
             // unread payload has desynchronized the stream, so the
             // connection closes after the report.
+            crate::metrics::rt().budget_frame_rejections.inc();
             send_error(
                 stream,
                 ErrorKind::Budget,
@@ -443,6 +450,7 @@ fn read_request_frame(
     };
     if let Some(limiter) = limiter {
         if !limiter.admit() {
+            crate::metrics::rt().budget_rate_rejections.inc();
             send_error(
                 stream,
                 ErrorKind::Budget,
@@ -724,12 +732,18 @@ impl JobCache {
         self.entries.push_front((job_id, job, machine));
         while self.entries.len() > self.capacity {
             self.entries.pop_back();
+            crate::metrics::rt().job_cache_evictions.inc();
         }
     }
 
     /// Looks up `job_id`, promoting it to most recently used.
     fn get(&mut self, job_id: u64) -> Option<&mut (u64, Job, QuMa)> {
-        let pos = self.entries.iter().position(|(id, _, _)| *id == job_id)?;
+        let m = crate::metrics::rt();
+        let Some(pos) = self.entries.iter().position(|(id, _, _)| *id == job_id) else {
+            m.job_cache_misses.inc();
+            return None;
+        };
+        m.job_cache_hits.inc();
         let entry = self.entries.remove(pos).expect("position exists");
         self.entries.push_front(entry);
         self.entries.front_mut()
@@ -1352,6 +1366,7 @@ impl RemoteBackend {
                 // the typed miss costs one re-load round trip, never
                 // a wrong answer.
                 self.traffic.reloads += 1;
+                crate::metrics::rt().job_registry_reloads.inc();
                 self.loaded.retain(|&l| l != id);
                 self.load_job(id)?;
                 self.traffic.range_requests += 1;
@@ -1818,6 +1833,9 @@ impl JobDirectory {
             }
         }
         if !evicted.is_empty() {
+            crate::metrics::rt()
+                .retention_evictions
+                .add(evicted.len() as u64);
             let mut jobs = self.jobs.lock().expect("job directory poisoned");
             for cid in evicted {
                 jobs.remove(&cid);

@@ -451,6 +451,7 @@ impl ProgramCache {
         let built = self.entries.get(key).map(Arc::clone);
         if built.is_some() {
             self.hits += 1;
+            crate::metrics::rt().cache_hits.inc();
         }
         built
     }
@@ -466,9 +467,11 @@ impl ProgramCache {
     ) -> Arc<(Instantiation, Vec<Instruction>)> {
         if let Some(existing) = self.entries.get(&key) {
             self.hits += 1;
+            crate::metrics::rt().cache_hits.inc();
             return Arc::clone(existing);
         }
         self.misses += 1;
+        crate::metrics::rt().cache_misses.inc();
         self.entries.insert(key, Arc::clone(&built));
         built
     }
@@ -594,6 +597,21 @@ struct TenantState {
     pending_shots: u64,
     /// Admission cap on `pending_shots`.
     pending_cap: u64,
+    /// Registry mirror of `pending_shots` (resolved once per tenant;
+    /// every update is one lock-free atomic store).
+    pending_gauge: Arc<crate::metrics::Gauge>,
+    /// Registry mirror of `inflight`.
+    inflight_gauge: Arc<crate::metrics::Gauge>,
+}
+
+impl TenantState {
+    /// Mirrors this tenant's scheduling ledgers into the metrics
+    /// registry. Called wherever `pending_shots`/`inflight` change —
+    /// always under the queue mutex, where the values are exact.
+    fn sync_gauges(&self) {
+        self.pending_gauge.set(self.pending_shots as i64);
+        self.inflight_gauge.set(self.inflight as i64);
+    }
 }
 
 /// Batch-index-ordered accumulation of one job's completed batches.
@@ -744,7 +762,30 @@ impl QueueState {
             batches_completed: 0,
         });
         self.live += 1;
+        self.sync_slot_gauges();
         slot_id
+    }
+
+    /// Mirrors the per-state slot counts into the metrics registry.
+    /// Called at every lifecycle transition, under the queue mutex.
+    fn sync_slot_gauges(&self) {
+        let (mut active, mut draining, mut retired) = (0i64, 0i64, 0i64);
+        for s in &self.slots {
+            match s.state {
+                SlotState::Active => active += 1,
+                SlotState::Draining => draining += 1,
+                SlotState::Retired => retired += 1,
+            }
+        }
+        let m = crate::metrics::rt();
+        m.slots_active.set(active);
+        m.slots_draining.set(draining);
+        m.slots_retired.set(retired);
+    }
+
+    /// Mirrors the undispatched-batch count into the metrics registry.
+    fn sync_depth(&self) {
+        crate::metrics::rt().queue_depth.set(self.pending as i64);
     }
 
     /// Public per-slot view, in attach order.
@@ -769,6 +810,7 @@ impl QueueState {
             return idx;
         }
         let idx = self.tenants.len();
+        let m = crate::metrics::rt();
         self.tenants.push(TenantState {
             id: id.clone(),
             weight: self.config.default_weight.max(1),
@@ -780,6 +822,8 @@ impl QueueState {
             shots_done: 0,
             pending_shots: 0,
             pending_cap: self.config.pending_cap,
+            pending_gauge: m.tenant_pending_shots.with(&[id.as_str()]),
+            inflight_gauge: m.tenant_inflight_shots.with(&[id.as_str()]),
         });
         self.tenant_index.insert(id.clone(), idx);
         idx
@@ -812,6 +856,7 @@ impl QueueState {
             // queued instead — a supervisor or an explicit attach is
             // expected to restore capacity.)
             self.jobs[job_id].failed = Some("no execution backends remain in the pool".to_owned());
+            crate::metrics::rt().jobs_completed.with(&["failed"]).inc();
             return job_id;
         }
         for (b, range) in ranges.into_iter().enumerate() {
@@ -825,6 +870,8 @@ impl QueueState {
             });
             self.pending += 1;
         }
+        self.tenants[tenant].sync_gauges();
+        self.sync_depth();
         if self.jobs[job_id].batches_total == 0 {
             // A zero-shot job completes at submission, like the
             // engine's empty-job path.
@@ -913,6 +960,8 @@ impl QueueState {
                 t.pending_shots = t.pending_shots.saturating_sub(cost);
                 let b = t.queue.pop_front().expect("head exists");
                 self.pending -= 1;
+                self.tenants[idx].sync_gauges();
+                self.sync_depth();
                 let entry = &self.jobs[b.job];
                 return Some(DispatchedTask {
                     job_id: b.job,
@@ -935,8 +984,16 @@ impl QueueState {
         let t = &mut self.tenants[task.tenant];
         t.inflight = t.inflight.saturating_sub(task.cost());
         t.shots_done += task.cost();
+        t.sync_gauges();
         let entry = &mut self.jobs[task.job_id];
+        let before_batches = entry.partial.folded;
+        let before_shots = entry.partial.shots_done;
         entry.partial.absorb(tagged);
+        let m = crate::metrics::rt();
+        m.batches_folded
+            .add((entry.partial.folded - before_batches) as u64);
+        m.shots_completed
+            .add(entry.partial.shots_done - before_shots);
         if entry.partial.folded == entry.batches_total && entry.final_result.is_none() {
             self.finalize(task.job_id);
         }
@@ -958,10 +1015,13 @@ impl QueueState {
         let before = t.queue.len();
         t.queue.retain(|b| b.job != task.job_id);
         let cancelled = before - t.queue.len();
+        t.sync_gauges();
         self.pending -= cancelled;
+        self.sync_depth();
         let entry = &mut self.jobs[task.job_id];
         if entry.failed.is_none() && entry.final_result.is_none() {
             entry.failed = Some(message);
+            crate::metrics::rt().jobs_completed.with(&["failed"]).inc();
         }
     }
 
@@ -1001,6 +1061,7 @@ impl QueueState {
             // release the in-flight shots.
             let t = &mut self.tenants[task.tenant];
             t.inflight = t.inflight.saturating_sub(task.cost());
+            t.sync_gauges();
             return;
         }
         let t = &mut self.tenants[task.tenant];
@@ -1012,7 +1073,10 @@ impl QueueState {
             range: task.range.clone(),
             failed_on,
         });
+        t.sync_gauges();
         self.pending += 1;
+        self.sync_depth();
+        crate::metrics::rt().batch_retries.inc();
     }
 
     /// Retires slot `slot_id` (failure limit reached, drain finished,
@@ -1029,6 +1093,9 @@ impl QueueState {
         }
         slot.state = SlotState::Retired;
         self.live -= 1;
+        let m = crate::metrics::rt();
+        m.slot_retirements.inc();
+        self.sync_slot_gauges();
         if self.live > 0 || self.config.hold_when_empty {
             return;
         }
@@ -1036,11 +1103,15 @@ impl QueueState {
             t.queue.clear();
             t.pending_shots = 0;
             t.inflight = 0;
+            t.sync_gauges();
         }
         self.pending = 0;
+        self.sync_depth();
+        let failed_jobs = m.jobs_completed.with(&["failed"]);
         for entry in &mut self.jobs {
             if !entry.done() {
                 entry.failed = Some("every execution backend failed; job abandoned".to_owned());
+                failed_jobs.inc();
             }
         }
     }
@@ -1049,6 +1120,7 @@ impl QueueState {
     fn admit(&self, slot: usize, requested: u64) -> Result<(), RuntimeError> {
         let t = &self.tenants[slot];
         if t.pending_shots.saturating_add(requested) > t.pending_cap {
+            crate::metrics::rt().admission_rejections.inc();
             return Err(RuntimeError::AdmissionRejected {
                 tenant: t.id.as_str().to_owned(),
                 pending_shots: t.pending_shots,
@@ -1069,6 +1141,13 @@ impl QueueState {
         if let Some((start, finish)) = p.window {
             elapsed = finish.duration_since(start);
         }
+        let m = crate::metrics::rt();
+        if let Some((start, _)) = p.window {
+            m.queue_wait_seconds
+                .observe(start.duration_since(entry.submitted_at).as_secs_f64());
+        }
+        m.active_seconds.observe(elapsed.as_secs_f64());
+        m.jobs_completed.with(&["ok"]).inc();
         let secs = elapsed.as_secs_f64();
         let latency = LatencyStats::from_durations(&p.durations_ns);
         let durations = std::mem::take(&mut p.durations_ns);
@@ -1438,6 +1517,7 @@ impl JobQueue {
                 )));
             }
             slot.state = SlotState::Draining;
+            state.sync_slot_gauges();
         }
         // The slot may be parked waiting for work; wake it so the
         // drain completes promptly even on an idle queue.
@@ -1638,6 +1718,8 @@ fn backend_loop(shared: &Shared, mut backend: Box<dyn ExecBackend>, slot_id: usi
                     if state.slots[slot_id].state != SlotState::Retired {
                         state.slots[slot_id].state = SlotState::Retired;
                         state.live -= 1;
+                        crate::metrics::rt().slot_retirements.inc();
+                        state.sync_slot_gauges();
                     }
                     return;
                 }

@@ -339,6 +339,7 @@ fn supervise(
                     .registry_warning
                     .lock()
                     .expect("supervisor warning poisoned") = None;
+                crate::metrics::rt().supervisor_registry_error.set(0);
                 Some(addrs)
             }
             Some(Err(e)) => {
@@ -351,6 +352,7 @@ fn supervise(
                     eprintln!("supervisor: {warning}");
                 }
                 *slot = Some(warning);
+                crate::metrics::rt().supervisor_registry_error.set(1);
                 last_good_registry.clone()
             }
         };
@@ -401,8 +403,10 @@ fn supervise(
                 continue;
             }
             let live = live_for(&pool, addr);
+            let m = crate::metrics::rt();
             match ping_opts(addr, &connect_opts) {
                 Ok(ack) => {
+                    m.probes_ok.inc();
                     state.live_probe = Some(ack.capacity);
                     state.consecutive_failures = 0;
                     state.backoff = config.probe_interval;
@@ -414,7 +418,10 @@ fn supervise(
                             break; // worker got less welcoming mid-top-up
                         };
                         match queue.attach_backend(Box::new(backend)) {
-                            Ok(_) => state.attached_total += 1,
+                            Ok(_) => {
+                                state.attached_total += 1;
+                                m.supervisor_attaches.inc();
+                            }
                             // Thread/fd pressure on the coordinator:
                             // stop topping up, retry next sweep.
                             Err(_) => break,
@@ -422,6 +429,7 @@ fn supervise(
                     }
                 }
                 Err(_) => {
+                    m.probes_failed.inc();
                     state.consecutive_failures += 1;
                     state.backoff = (state.backoff * 2).min(config.max_backoff);
                 }

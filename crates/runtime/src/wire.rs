@@ -1273,6 +1273,7 @@ pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> Result<(), Wi
     w.write_all(&[tag])?;
     w.write_all(payload)?;
     w.flush()?;
+    crate::metrics::record_frame(crate::metrics::FrameDir::Out, tag, len + 4);
     Ok(())
 }
 
@@ -1308,6 +1309,7 @@ pub fn read_frame_limit(r: &mut impl Read, max_len: u32) -> Result<(u8, Vec<u8>)
     r.read_exact(&mut tag)?;
     let mut payload = vec![0u8; len as usize - 1];
     r.read_exact(&mut payload)?;
+    crate::metrics::record_frame(crate::metrics::FrameDir::In, tag[0], len as u64 + 4);
     Ok((tag[0], payload))
 }
 

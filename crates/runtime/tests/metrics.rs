@@ -1,0 +1,419 @@
+//! Metrics-layer integration tests: Prometheus text-format grammar
+//! conformance on private registries, counter monotonicity across
+//! scrapes, the raw-TCP behaviour of the `GET /metrics` responder, and
+//! the process-global gauges tracking real queue/supervisor state
+//! through slot churn and registry corruption.
+//!
+//! Tests that assert **exact values** of process-global series
+//! serialize behind [`LOCK`]: the default registry is shared by every
+//! test thread in this binary, so two queues syncing gauges
+//! concurrently would race.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use eqasm_core::{Instantiation, Qubit, Topology};
+use eqasm_microarch::SimConfig;
+use eqasm_quantum::{NoiseModel, ReadoutModel};
+use eqasm_runtime::metrics::{default_registry, MetricsServer, Registry};
+use eqasm_runtime::serve::{JobQueue, ServeConfig, SlotState, Submission};
+use eqasm_runtime::{
+    spawn_worker, ExecBackend, Job, LocalBackend, PoolSupervisor, RemoteBackend, SupervisorConfig,
+    WorkerConfig,
+};
+
+/// Serializes every test that reads or writes the process-global
+/// registry's values.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Locks [`LOCK`] even when a previous test panicked while holding it.
+fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A small deterministic RB job for the queue-driven tests.
+fn small_job(name: &str, shots: u64) -> Job {
+    let inst = Instantiation::paper().with_topology(Topology::linear(1));
+    let (program, _) =
+        eqasm_workloads::rb_program(&inst, Qubit::new(0), 6, 1, 0xfeed).expect("rb emits");
+    let config = SimConfig::default()
+        .with_noise(NoiseModel::with_coherence(20_000.0, 15_000.0).with_gate_error(0.002, 0.0))
+        .with_readout(ReadoutModel::symmetric(0.05));
+    Job::new(name, inst, program)
+        .with_config(config)
+        .with_shots(shots)
+        .with_seed(7)
+}
+
+/// Reads one sample series (exact name, including any label fragment)
+/// out of an exposition text.
+fn sample(text: &str, series: &str) -> Option<f64> {
+    text.lines().filter(|l| !l.starts_with('#')).find_map(|l| {
+        let (name, value) = l.rsplit_once(' ')?;
+        if name == series {
+            value.parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+fn global_sample(series: &str) -> f64 {
+    sample(&default_registry().encode(), series)
+        .unwrap_or_else(|| panic!("series `{series}` not in the default registry"))
+}
+
+/// Spins until `cond` holds or the deadline passes.
+fn wait_for(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exposition-format grammar
+// ---------------------------------------------------------------------------
+
+/// Every family gets exactly one `# HELP` and one `# TYPE` line, in
+/// that order and before any of its samples; every sample line parses
+/// as `name[{labels}] value`; metric and label names stay within the
+/// Prometheus grammar.
+#[test]
+fn exposition_grammar_conformance() {
+    let r = Registry::new();
+    r.counter("fmt_requests_total", "Requests.").add(3);
+    r.gauge("fmt_depth", "Depth.").set(-2);
+    r.histogram("fmt_wait_seconds", "Wait.", &[0.1, 1.0])
+        .observe(0.5);
+    r.counter_vec("fmt_frames_total", "Frames.", &["dir", "kind"])
+        .with(&["in", "ping"])
+        .inc();
+    r.gauge_vec("fmt_slots", "Slots.", &["state"])
+        .with(&["active"])
+        .set(4);
+
+    let text = r.encode();
+    let name_ok = |n: &str| {
+        !n.is_empty()
+            && !n.starts_with(|c: char| c.is_ascii_digit())
+            && n.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    let mut seen_help = Vec::new();
+    let mut seen_type = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, _) = rest.split_once(' ').expect("HELP has text");
+            assert!(name_ok(name), "bad HELP name `{name}`");
+            assert!(!seen_help.contains(&name.to_owned()), "duplicate HELP");
+            seen_help.push(name.to_owned());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, ty) = rest.split_once(' ').expect("TYPE has a type");
+            assert!(
+                matches!(ty, "counter" | "gauge" | "histogram"),
+                "unknown TYPE `{ty}`"
+            );
+            // TYPE must directly follow this family's HELP, before any
+            // of its samples.
+            assert_eq!(seen_help.last().map(String::as_str), Some(name));
+            seen_type.push(name.to_owned());
+            continue;
+        }
+        assert!(!line.is_empty(), "no blank lines in the exposition");
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        value.parse::<f64>().expect("sample value is a number");
+        let base = match series.split_once('{') {
+            Some((base, labels)) => {
+                assert!(labels.ends_with('}'), "label fragment closes");
+                for pair in labels[..labels.len() - 1].split(',') {
+                    let (label, quoted) = pair.split_once('=').expect("label=\"value\"");
+                    assert!(name_ok(label), "bad label name `{label}`");
+                    assert!(quoted.starts_with('"') && quoted.ends_with('"'));
+                }
+                base
+            }
+            None => series,
+        };
+        // Histogram samples hang off the family name with the
+        // well-known suffixes; everything else matches exactly.
+        let family = base
+            .strip_suffix("_bucket")
+            .or_else(|| base.strip_suffix("_sum"))
+            .or_else(|| base.strip_suffix("_count"))
+            .filter(|f| seen_type.iter().any(|t| t == f))
+            .unwrap_or(base);
+        assert!(name_ok(base), "bad sample name `{base}`");
+        assert!(
+            seen_type.iter().any(|t| t == family),
+            "sample `{series}` appears before its # TYPE"
+        );
+    }
+    assert_eq!(seen_help.len(), 5, "one HELP per registered family");
+    assert_eq!(seen_help, seen_type, "HELP and TYPE pair up in order");
+}
+
+/// Label values with backslashes, quotes and newlines are escaped per
+/// the text-format rules; HELP text escapes backslash and newline.
+#[test]
+fn label_and_help_escaping() {
+    let r = Registry::new();
+    r.counter_vec("esc_total", "line one\nline two \\ done", &["who"])
+        .with(&["a\\b\"c\nd"])
+        .inc();
+    let text = r.encode();
+    assert!(text.contains("# HELP esc_total line one\\nline two \\\\ done\n"));
+    assert!(text.contains("esc_total{who=\"a\\\\b\\\"c\\nd\"} 1\n"));
+}
+
+/// Histogram `_bucket` series are cumulative and non-decreasing in
+/// bound order, end at `le="+Inf"`, and `+Inf` equals `_count`;
+/// `_sum` carries the observation total.
+#[test]
+fn histogram_bucket_invariants() {
+    let r = Registry::new();
+    let h = r.histogram("inv_seconds", "Invariants.", &[0.01, 0.1, 1.0, 10.0]);
+    for v in [0.005, 0.05, 0.1, 0.7, 3.0, 99.0, 0.002] {
+        h.observe(v);
+    }
+    let text = r.encode();
+    let mut buckets = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("inv_seconds_bucket{le=\"") {
+            let (le, value) = rest.split_once("\"} ").expect("bucket shape");
+            buckets.push((le.to_owned(), value.parse::<u64>().expect("count")));
+        }
+    }
+    assert_eq!(buckets.len(), 5, "four bounds plus +Inf");
+    assert_eq!(buckets.last().expect("buckets").0, "+Inf");
+    assert!(
+        buckets.windows(2).all(|w| w[0].1 <= w[1].1),
+        "cumulative counts must be non-decreasing: {buckets:?}"
+    );
+    // Boundary observations (0.1 exactly) land in their own bucket.
+    assert_eq!(buckets[0].1, 2, "le=0.01 holds 0.005 and 0.002");
+    assert_eq!(buckets[1].1, 4, "le=0.1 includes the boundary 0.1");
+    let count = sample(&text, "inv_seconds_count").expect("count series");
+    assert_eq!(buckets.last().expect("buckets").1, count as u64);
+    let sum = sample(&text, "inv_seconds_sum").expect("sum series");
+    assert!((sum - 102.857).abs() < 1e-9, "sum was {sum}");
+}
+
+/// Counters never move backwards between scrapes, and every series
+/// present in one scrape is present in the next.
+#[test]
+fn counter_monotonicity_across_scrapes() {
+    let r = Registry::new();
+    let c = r.counter("mono_total", "Monotone.");
+    let v = r.counter_vec("mono_frames_total", "Monotone family.", &["kind"]);
+    let child = v.with(&["x"]);
+    let mut last: Vec<(String, f64)> = Vec::new();
+    for round in 0..5u64 {
+        c.add(round);
+        child.add(round * 2);
+        let text = r.encode();
+        let now: Vec<(String, f64)> = text
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(|l| {
+                let (name, value) = l.rsplit_once(' ').expect("sample");
+                (name.to_owned(), value.parse().expect("number"))
+            })
+            .collect();
+        for (name, prev) in &last {
+            let cur = now
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("series `{name}` vanished between scrapes"));
+            assert!(cur.1 >= *prev, "`{name}` went backwards");
+        }
+        last = now;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The HTTP responder
+// ---------------------------------------------------------------------------
+
+/// Issues one raw HTTP/1.0 request and returns the full response.
+fn raw_request(addr: std::net::SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics endpoint");
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+/// `GET /metrics` answers 200 with the versioned text content-type and
+/// a body that parses; other paths get 404, other methods 405 — and a
+/// scrape must observe the runtime's own series in the default
+/// registry.
+#[test]
+fn http_responder_serves_scrapes() {
+    let _guard = global_lock();
+    // Instantiating a queue forces the runtime's series to register.
+    let queue = JobQueue::with_backends(
+        ServeConfig::default(),
+        vec![Box::new(LocalBackend::new(0)) as Box<dyn ExecBackend>],
+    );
+    let server =
+        MetricsServer::spawn("127.0.0.1:0", default_registry()).expect("bind metrics server");
+    let addr = server.local_addr();
+
+    let ok = raw_request(addr, "GET /metrics HTTP/1.0\r\n\r\n");
+    assert!(ok.starts_with("HTTP/1.0 200 OK\r\n"), "got: {ok}");
+    assert!(ok.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"));
+    let body = ok.split("\r\n\r\n").nth(1).expect("body");
+    assert!(sample(body, "eqasm_queue_depth").is_some());
+    assert!(body.contains("# TYPE eqasm_shots_completed_total counter\n"));
+    assert!(body.contains("eqasm_pool_slots{state=\"active\"}"));
+
+    let missing = raw_request(addr, "GET /nope HTTP/1.0\r\n\r\n");
+    assert!(missing.starts_with("HTTP/1.0 404 Not Found\r\n"));
+    let post = raw_request(addr, "POST /metrics HTTP/1.0\r\n\r\n");
+    assert!(post.starts_with("HTTP/1.0 405 Method Not Allowed\r\n"));
+    drop(queue);
+}
+
+// ---------------------------------------------------------------------------
+// Global gauges against real runtime state
+// ---------------------------------------------------------------------------
+
+fn slot_gauges() -> (i64, i64, i64) {
+    (
+        global_sample("eqasm_pool_slots{state=\"active\"}") as i64,
+        global_sample("eqasm_pool_slots{state=\"draining\"}") as i64,
+        global_sample("eqasm_pool_slots{state=\"retired\"}") as i64,
+    )
+}
+
+fn pool_counts(queue: &JobQueue) -> (i64, i64, i64) {
+    let (mut active, mut draining, mut retired) = (0, 0, 0);
+    for slot in queue.pool_status() {
+        match slot.state {
+            SlotState::Active => active += 1,
+            SlotState::Draining => draining += 1,
+            SlotState::Retired => retired += 1,
+        }
+    }
+    (active, draining, retired)
+}
+
+/// The `eqasm_pool_slots{state}` gauges mirror `pool_status()` through
+/// attach → drain → retire churn.
+#[test]
+fn slot_gauges_track_pool_churn() {
+    let _guard = global_lock();
+    let queue = JobQueue::with_backends(
+        ServeConfig::default(),
+        vec![Box::new(LocalBackend::new(0)) as Box<dyn ExecBackend>],
+    );
+    assert_eq!(slot_gauges(), (1, 0, 0));
+    assert_eq!(slot_gauges(), pool_counts(&queue));
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let worker = spawn_worker(
+        listener,
+        WorkerConfig::default().with_name("churn").with_capacity(1),
+    )
+    .expect("spawn worker");
+    let backend = RemoteBackend::connect(worker.addr().to_string()).expect("connect worker");
+    let remote_slot = queue.attach_backend(Box::new(backend)).expect("attach");
+    assert_eq!(slot_gauges(), (2, 0, 0));
+    assert_eq!(slot_gauges(), pool_counts(&queue));
+
+    queue.detach_backend(remote_slot).expect("detach");
+    // Draining is transient — an idle slot retires as soon as its
+    // thread notices — so wait for the terminal state, then compare.
+    wait_for("detached slot to retire", Duration::from_secs(10), || {
+        pool_counts(&queue) == (1, 0, 1)
+    });
+    assert_eq!(slot_gauges(), (1, 0, 1));
+    assert_eq!(slot_gauges(), pool_counts(&queue));
+}
+
+/// `eqasm_shots_completed_total` advances by exactly the submitted
+/// shot count once a job drains, and `eqasm_jobs_completed_total`
+/// records the outcome.
+#[test]
+fn shot_counters_match_job_totals() {
+    let _guard = global_lock();
+    let queue = JobQueue::with_backends(
+        ServeConfig::default().with_batch_size(16),
+        vec![Box::new(LocalBackend::new(0)) as Box<dyn ExecBackend>],
+    );
+    let before_shots = global_sample("eqasm_shots_completed_total");
+    // The labeled child only exists once some job has completed, so
+    // the baseline may legitimately be absent.
+    let before_jobs = sample(
+        &default_registry().encode(),
+        "eqasm_jobs_completed_total{outcome=\"ok\"}",
+    )
+    .unwrap_or(0.0);
+    let handle = queue
+        .submit(Submission::job("metrics", small_job("count-me", 96)))
+        .expect("submits")
+        .remove(0);
+    handle.wait().expect("job completes");
+    assert_eq!(
+        global_sample("eqasm_shots_completed_total") - before_shots,
+        96.0,
+        "completed-shot counter must advance by exactly the job's shots"
+    );
+    assert_eq!(
+        global_sample("eqasm_jobs_completed_total{outcome=\"ok\"}") - before_jobs,
+        1.0
+    );
+}
+
+/// Regression (satellite of the corrupted-registry fix): the
+/// `eqasm_supervisor_registry_error` gauge raises while the registry
+/// file is malformed and clears on the next good read, tracking
+/// `registry_warning()`.
+#[test]
+fn supervisor_registry_error_gauge() {
+    let _guard = global_lock();
+    let path =
+        std::env::temp_dir().join(format!("eqasm-metrics-registry-{}.txt", std::process::id()));
+    std::fs::write(&path, "# no workers yet\n").expect("write registry");
+    let queue = std::sync::Arc::new(JobQueue::with_backends(
+        ServeConfig::default(),
+        vec![Box::new(LocalBackend::new(0)) as Box<dyn ExecBackend>],
+    ));
+    let supervisor = PoolSupervisor::spawn(
+        std::sync::Arc::clone(&queue),
+        Vec::new(),
+        SupervisorConfig::default()
+            .with_probe_interval(Duration::from_millis(5))
+            .with_registry(&path),
+    );
+
+    wait_for("first clean registry read", Duration::from_secs(10), || {
+        supervisor.registry_warning().is_none()
+            && sample(
+                &default_registry().encode(),
+                "eqasm_supervisor_registry_error",
+            ) == Some(0.0)
+    });
+
+    std::fs::write(&path, "this is not host:port\n").expect("corrupt registry");
+    wait_for("registry warning to raise", Duration::from_secs(10), || {
+        supervisor.registry_warning().is_some()
+    });
+    assert_eq!(global_sample("eqasm_supervisor_registry_error"), 1.0);
+
+    std::fs::write(&path, "# repaired, empty roster\n").expect("repair registry");
+    wait_for("registry warning to clear", Duration::from_secs(10), || {
+        supervisor.registry_warning().is_none()
+    });
+    assert_eq!(global_sample("eqasm_supervisor_registry_error"), 0.0);
+
+    supervisor.shutdown();
+    drop(supervisor);
+    let _ = std::fs::remove_file(&path);
+}

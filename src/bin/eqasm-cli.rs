@@ -44,6 +44,9 @@
 //!   --registry <f>   (serve only, with --rediscover) a worker-address
 //!                    file (one host:port per line) re-read every probe
 //!                    sweep; addresses that leave the file are drained
+//!   --metrics <a>    (serve and worker) serve Prometheus text metrics
+//!                    on `GET http://<a>/metrics`; a bare port binds
+//!                    loopback (see METRICS.md for the series catalogue)
 //!
 //! options for `submit`:
 //!   --connect <addr>  the serve coordinator (required)
@@ -60,6 +63,7 @@
 //!   --job-cache <n>  per-connection v2 job-registry capacity (default 8)
 //!   --max-frame <n>  per-connection frame-size budget, bytes
 //!   --rate-limit <n> per-connection request-rate budget, requests/sec
+//!   --metrics <a>    Prometheus endpoint, as for `serve`
 //!
 //! `serve --listen` and `serve ... --remote` accept --psk-file too: the
 //! same key then guards the client front door and the worker pool.
@@ -127,7 +131,7 @@ fn load_instantiation(chip: &str) -> Result<Instantiation, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: eqasm-cli <asm|disasm|run|lift> <file> [--seed n] [--shots n] [--workers n] [--chip name] [--trace]\n       eqasm-cli <workload|serve> <rabi|allxy|rb|active-reset|mix> [--shots n] [--workers n] [--seed n] [--remote host:port,...] [--rediscover secs] [--registry file] [--psk-file f]\n       eqasm-cli serve --listen <addr> [--workers n] [--remote ...] [--rediscover secs] [--registry file] [--psk-file f]\n       eqasm-cli submit <rabi|allxy|rb|active-reset|mix> --connect <addr> [--shots n] [--seed n] [--verify-serial] [--psk-file f]\n       eqasm-cli status --connect <addr> --job <id> [--job <id> ...] [--psk-file f]\n       eqasm-cli watch --connect <addr> --job <id> [--psk-file f]\n       eqasm-cli worker --listen <addr> [--capacity n] [--name s] [--psk-file f] [--job-cache n] [--max-frame bytes] [--rate-limit req/s]"
+        "usage: eqasm-cli <asm|disasm|run|lift> <file> [--seed n] [--shots n] [--workers n] [--chip name] [--trace]\n       eqasm-cli <workload|serve> <rabi|allxy|rb|active-reset|mix> [--shots n] [--workers n] [--seed n] [--remote host:port,...] [--rediscover secs] [--registry file] [--psk-file f] [--metrics addr]\n       eqasm-cli serve --listen <addr> [--workers n] [--remote ...] [--rediscover secs] [--registry file] [--psk-file f] [--metrics addr]\n       eqasm-cli submit <rabi|allxy|rb|active-reset|mix> --connect <addr> [--shots n] [--seed n] [--verify-serial] [--psk-file f]\n       eqasm-cli status --connect <addr> --job <id> [--job <id> ...] [--psk-file f]\n       eqasm-cli watch --connect <addr> --job <id> [--psk-file f]\n       eqasm-cli worker --listen <addr> [--capacity n] [--name s] [--psk-file f] [--job-cache n] [--max-frame bytes] [--rate-limit req/s] [--metrics addr]"
     );
     ExitCode::from(2)
 }
@@ -173,6 +177,7 @@ fn main() -> ExitCode {
     let mut job_cache: Option<usize> = None;
     let mut max_frame: Option<u32> = None;
     let mut rate_limit: Option<u32> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut i = flag_start;
     while i < args.len() {
         match args[i].as_str() {
@@ -281,6 +286,10 @@ fn main() -> ExitCode {
                 }
                 i += 2;
             }
+            "--metrics" if i + 1 < args.len() => {
+                metrics_addr = Some(args[i + 1].clone());
+                i += 2;
+            }
             "--rate-limit" if i + 1 < args.len() => {
                 match args[i + 1].parse() {
                     Ok(n) => rate_limit = Some(n),
@@ -317,7 +326,16 @@ fn main() -> ExitCode {
             eprintln!("error: worker requires --listen <addr>");
             return usage();
         };
-        return match cmd_worker(&addr, capacity, name, psk, job_cache, max_frame, rate_limit) {
+        return match cmd_worker(
+            &addr,
+            capacity,
+            name,
+            psk,
+            job_cache,
+            max_frame,
+            rate_limit,
+            metrics_addr.as_deref(),
+        ) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -372,6 +390,7 @@ fn main() -> ExitCode {
                 psk,
                 max_frame,
                 rate_limit,
+                metrics_addr.as_deref(),
             )
         } else {
             cmd_serve(
@@ -383,6 +402,7 @@ fn main() -> ExitCode {
                 rediscover,
                 registry,
                 psk,
+                metrics_addr.as_deref(),
             )
         };
         return match result {
@@ -645,8 +665,23 @@ fn print_workload_row(w: &WorkloadReport) {
     );
 }
 
+/// Spawns the Prometheus `/metrics` listener when `--metrics` was
+/// given. The returned handle must stay alive for the command's
+/// lifetime — dropping it stops the endpoint.
+fn spawn_metrics(addr: Option<&str>) -> Result<Option<eqasm::runtime::MetricsServer>, String> {
+    let Some(addr) = addr else {
+        return Ok(None);
+    };
+    let server =
+        eqasm::runtime::MetricsServer::spawn(addr, eqasm::runtime::metrics::default_registry())
+            .map_err(|e| format!("cannot bind metrics endpoint {addr}: {e}"))?;
+    println!("metrics: http://{}/metrics", server.local_addr());
+    Ok(Some(server))
+}
+
 /// Runs the long-lived remote shot worker: binds `addr`, prints one
 /// status line and serves coordinators until killed.
+#[allow(clippy::too_many_arguments)]
 fn cmd_worker(
     addr: &str,
     capacity: Option<usize>,
@@ -655,9 +690,11 @@ fn cmd_worker(
     job_cache: Option<usize>,
     max_frame: Option<u32>,
     rate_limit: Option<u32>,
+    metrics_addr: Option<&str>,
 ) -> Result<(), String> {
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let _metrics = spawn_metrics(metrics_addr)?;
     let mut config = WorkerConfig::default();
     if let Some(capacity) = capacity {
         config = config.with_capacity(capacity);
@@ -809,6 +846,7 @@ fn cmd_serve_listen(
     psk: Option<Psk>,
     max_frame: Option<u32>,
     rate_limit: Option<u32>,
+    metrics_addr: Option<&str>,
 ) -> Result<(), String> {
     let supervised = rediscover.is_some();
     if supervised && remotes.is_empty() && registry.is_none() {
@@ -819,6 +857,7 @@ fn cmd_serve_listen(
     }
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let _metrics = spawn_metrics(metrics_addr)?;
     let (queue, supervisor) = build_serve_queue(
         workers,
         remotes,
@@ -1059,8 +1098,10 @@ fn cmd_serve(
     rediscover: Option<f64>,
     registry: Option<String>,
     psk: Option<Psk>,
+    metrics_addr: Option<&str>,
 ) -> Result<(), String> {
     let specs = built_in_specs(spec, shots, seed)?;
+    let _metrics = spawn_metrics(metrics_addr)?;
     let supervised = rediscover.is_some();
     if supervised && remotes.is_empty() && registry.is_none() {
         return Err("--rediscover needs --remote addresses and/or a --registry file".to_owned());
@@ -1070,7 +1111,7 @@ fn cmd_serve(
         // believing the fleet file is in effect.
         return Err("--registry only takes effect with --rediscover <secs>".to_owned());
     }
-    let (queue, _supervisor) = build_serve_queue(
+    let (queue, supervisor) = build_serve_queue(
         workers,
         remotes,
         rediscover,
@@ -1102,6 +1143,10 @@ fn cmd_serve(
     // their own.
     let mut last_done = u64::MAX;
     let mut last_pool = queue.workers();
+    // Registry trouble used to be invisible unless the operator polled
+    // `registry_warning()` programmatically; the progress stream now
+    // carries it (and its all-clear) the moment it changes.
+    let mut last_warning: Option<String> = None;
     loop {
         let pool = queue.workers();
         if pool != last_pool {
@@ -1110,6 +1155,22 @@ fn cmd_serve(
                 started.elapsed().as_secs_f64()
             );
             last_pool = pool;
+        }
+        if let Some(sup) = &supervisor {
+            let warning = sup.registry_warning();
+            if warning != last_warning {
+                match &warning {
+                    Some(w) => {
+                        println!("[{:7.3}s] supervisor: {w}", started.elapsed().as_secs_f64())
+                    }
+                    None if last_warning.is_some() => println!(
+                        "[{:7.3}s] supervisor: registry readable again",
+                        started.elapsed().as_secs_f64()
+                    ),
+                    None => {}
+                }
+                last_warning = warning;
+            }
         }
         let snaps: Vec<PartialResult> = handles.iter().map(|h| h.snapshot()).collect();
         let done: u64 = snaps.iter().map(|s| s.shots_done).sum();
