@@ -101,6 +101,100 @@ fn main() {
         ));
     }
 
+    // Program-aware execution paths: one ideal Clifford RB sequence
+    // (deep enough that the deterministic prefix dominates shot cost)
+    // through the four path combinations — legacy dense, dense with
+    // prefix forking, stabilizer without forking (`EQASM_PREFIX=off`,
+    // the same lever the determinism CI uses) and the full fast path.
+    // The exact-regime contract makes all four bit-identical, which is
+    // asserted; only the shots/sec may differ. The fast path's target
+    // is ≥5× the legacy dense baseline.
+    let sp_shots = (shots / 2).max(200);
+    let sp_inst = Instantiation::paper().with_topology(Topology::linear(3));
+    let (sp_program, _) = rb_program(&sp_inst, Qubit::new(0), 64, 1, 0xc11f).expect("rb emits");
+    let sp_base = Job::new("rb-k64-clifford", sp_inst, sp_program)
+        .with_config(SimConfig::default().with_readout(ReadoutModel::symmetric(0.05)))
+        .with_shots(sp_shots)
+        .with_seed(2);
+    println!("\nshot speed: ideal Clifford RB k=64 on 3 qubits, {sp_shots} shots, 4 workers");
+    println!("{:>22} {:>12} {:>9}", "path", "shots/s", "speedup");
+    let sp_engine = ShotEngine::new(4);
+    let mut sp_rows = Vec::new();
+    let mut sp_reference: Option<eqasm_runtime::JobResult> = None;
+    let mut sp_dense_rate = 0.0f64;
+    let mut sp_fast_speedup = 0.0f64;
+    for (path, backend, prefix_on) in [
+        ("dense", eqasm_microarch::BackendSelect::Dense, false),
+        (
+            "dense_prefix",
+            eqasm_microarch::BackendSelect::Density,
+            true,
+        ),
+        (
+            "stabilizer_noprefix",
+            eqasm_microarch::BackendSelect::Auto,
+            false,
+        ),
+        (
+            "stabilizer_prefix",
+            eqasm_microarch::BackendSelect::Auto,
+            true,
+        ),
+    ] {
+        // `Dense` already disables forking engine-side; the env knob
+        // covers the stabilizer row and keeps the A/B symmetric.
+        if !prefix_on {
+            std::env::set_var("EQASM_PREFIX", "off");
+        }
+        let mut sp_config = sp_base.config.clone();
+        sp_config.backend = backend;
+        let sp_job = Job {
+            name: format!("rb-k64-{path}"),
+            config: sp_config,
+            ..sp_base.clone()
+        };
+        let mut best: Option<eqasm_runtime::JobResult> = None;
+        for _ in 0..2 {
+            let r = sp_engine.run_job(&sp_job).expect("runs");
+            if best
+                .as_ref()
+                .is_none_or(|b| r.shots_per_sec > b.shots_per_sec)
+            {
+                best = Some(r);
+            }
+        }
+        if !prefix_on {
+            std::env::remove_var("EQASM_PREFIX");
+        }
+        let r = best.expect("two runs");
+        match &sp_reference {
+            None => {
+                sp_dense_rate = r.shots_per_sec;
+                sp_reference = Some(r.clone());
+            }
+            Some(reference) => {
+                assert_eq!(
+                    reference.histogram, r.histogram,
+                    "{path}: execution path must not move a bit of the histogram"
+                );
+                assert_eq!(reference.stats, r.stats);
+                assert_eq!(reference.mean_prob1, r.mean_prob1);
+            }
+        }
+        let speedup = r.shots_per_sec / sp_dense_rate.max(1e-9);
+        if path == "stabilizer_prefix" {
+            sp_fast_speedup = speedup;
+        }
+        println!("{:>22} {:>12.0} {:>8.2}x", path, r.shots_per_sec, speedup);
+        sp_rows.push(format!(
+            "      {{\"path\": \"{path}\", \"shots_per_sec\": {:.1}, \"speedup\": {:.3}}}",
+            r.shots_per_sec, speedup,
+        ));
+    }
+    println!(
+        "shot speed: stabilizer+prefix fast path is {sp_fast_speedup:.2}x legacy dense (target >= 5x), bit-identical"
+    );
+
     // Serve-mode: the same RB traffic split over two tenants through
     // the job queue, so the trajectory also tracks how long a job sits
     // queued (scheduling delay) vs how long it actively runs.
@@ -366,8 +460,9 @@ fn main() {
 
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"bench\": \"runtime\",\n  \"workload\": \"rb-k24\",\n  \"shots\": {shots},\n  \"host_parallelism\": {available},\n  \"points\": [\n{}\n  ],\n  \"serve\": {{\n    \"workers\": {live_workers},\n    \"peak_queue_depth\": {peak_queue_depth},\n    \"jobs\": [\n{}\n    ]\n  }},\n  \"metrics\": {{\n    \"series\": {series},\n    \"exposition_bytes\": {},\n    \"encode_us\": {scrape_us:.1}\n  }},\n  \"remote\": {{\n    \"pool\": {pool_size},\n    \"remote_slots\": {remote_slots},\n    \"shots_per_sec\": {remote_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"elastic\": {{\n    \"slots_before\": 1,\n    \"slots_after\": {elastic_slots},\n    \"attach_at_shots\": {before_shots},\n    \"shots_per_sec_before\": {before_rate:.1},\n    \"shots_per_sec_after\": {after_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"client\": {{\n    \"shots_per_sec\": {client_rate:.1},\n    \"snapshots_streamed\": {snapshots_streamed},\n    \"bit_identical\": true,\n    \"run_range_bytes_v1\": {per_range_v1},\n    \"run_range_bytes_v2\": {per_range_v2},\n    \"bytes_saved_per_range\": {},\n    \"load_job_bytes_once\": {},\n    \"total_request_bytes_v1\": {},\n    \"total_request_bytes_v2\": {}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"runtime\",\n  \"workload\": \"rb-k24\",\n  \"shots\": {shots},\n  \"host_parallelism\": {available},\n  \"points\": [\n{}\n  ],\n  \"shot_speed\": {{\n    \"workload\": \"rb-k64-clifford\",\n    \"shots\": {sp_shots},\n    \"qubits\": 3,\n    \"workers\": 4,\n    \"target_speedup\": 5.0,\n    \"stabilizer_prefix_speedup\": {sp_fast_speedup:.3},\n    \"bit_identical\": true,\n    \"paths\": [\n{}\n    ]\n  }},\n  \"serve\": {{\n    \"workers\": {live_workers},\n    \"peak_queue_depth\": {peak_queue_depth},\n    \"jobs\": [\n{}\n    ]\n  }},\n  \"metrics\": {{\n    \"series\": {series},\n    \"exposition_bytes\": {},\n    \"encode_us\": {scrape_us:.1}\n  }},\n  \"remote\": {{\n    \"pool\": {pool_size},\n    \"remote_slots\": {remote_slots},\n    \"shots_per_sec\": {remote_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"elastic\": {{\n    \"slots_before\": 1,\n    \"slots_after\": {elastic_slots},\n    \"attach_at_shots\": {before_shots},\n    \"shots_per_sec_before\": {before_rate:.1},\n    \"shots_per_sec_after\": {after_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"client\": {{\n    \"shots_per_sec\": {client_rate:.1},\n    \"snapshots_streamed\": {snapshots_streamed},\n    \"bit_identical\": true,\n    \"run_range_bytes_v1\": {per_range_v1},\n    \"run_range_bytes_v2\": {per_range_v2},\n    \"bytes_saved_per_range\": {},\n    \"load_job_bytes_once\": {},\n    \"total_request_bytes_v1\": {},\n    \"total_request_bytes_v2\": {}\n  }}\n}}\n",
         rows.join(",\n"),
+        sp_rows.join(",\n"),
         serve_rows.join(",\n"),
         exposition.len(),
         per_range_v1 - per_range_v2,

@@ -100,6 +100,42 @@ pub enum TimingPolicy {
     Fault,
 }
 
+/// The backend-selection policy: which simulation backend executes the
+/// loaded program.
+///
+/// Selection is resolved at [`QuMa::load`](crate::QuMa::load) by the
+/// program classifier (see [`crate::select`]): the policy names either
+/// a rule (`Auto`, `Dense`) or a forced backend. Forcing a backend the
+/// configuration cannot support is a typed
+/// [`ConfigError`](crate::ConfigError) at load time — never a silent
+/// substitution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendSelect {
+    /// Program-aware selection (default): a Clifford-only program under
+    /// an ideal noise model runs on the stabilizer tableau (exact, and
+    /// bit-identical outcomes to the dense backends under the same
+    /// seed); everything else falls back to the [`BackendSelect::Dense`]
+    /// rule.
+    #[default]
+    Auto,
+    /// The legacy dense rule: density matrix when the register fits
+    /// ([`DENSITY_QUBIT_LIMIT`](crate::select::DENSITY_QUBIT_LIMIT)
+    /// qubits), state vector otherwise. Never selects the stabilizer
+    /// path, and the runtime also disables shared-prefix shot forking
+    /// under this policy — the fully legacy execution path.
+    Dense,
+    /// Force the stabilizer tableau. Load fails with a typed error if
+    /// the program is not Clifford-only or the noise model has an idle
+    /// decoherence channel (finite T1/T2).
+    Stabilizer,
+    /// Force the density matrix. Load fails with a typed error if the
+    /// register exceeds the density qubit limit (the old code silently
+    /// downgraded to the state vector).
+    Density,
+    /// Force the state-vector trajectory backend.
+    Pure,
+}
+
 /// Full simulator configuration.
 ///
 /// # Examples
@@ -134,9 +170,8 @@ pub struct SimConfig {
     pub seed: u64,
     /// Upper bound on simulated classical cycles per `run()` call.
     pub max_classical_cycles: u64,
-    /// Use the density-matrix backend (exact noise; default) instead of
-    /// the state-vector trajectory backend.
-    pub density_backend: bool,
+    /// Backend-selection policy (see [`BackendSelect`]).
+    pub backend: BackendSelect,
     /// Record a full event trace (disable for long benchmark runs).
     pub record_trace: bool,
 }
@@ -175,6 +210,12 @@ impl SimConfig {
         self.measurement_source = source;
         self
     }
+
+    /// Returns a copy with the given backend-selection policy.
+    pub fn with_backend(mut self, backend: BackendSelect) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -189,7 +230,7 @@ impl Default for SimConfig {
             timing_policy: TimingPolicy::SlipAndCount,
             seed: 0,
             max_classical_cycles: 50_000_000,
-            density_backend: true,
+            backend: BackendSelect::Auto,
             record_trace: true,
         }
     }
@@ -221,6 +262,13 @@ mod tests {
             c.measurement_source,
             MeasurementSource::MockAlternating { start: false }
         ));
+    }
+
+    #[test]
+    fn backend_policy_default_and_builder() {
+        assert_eq!(SimConfig::default().backend, BackendSelect::Auto);
+        let c = SimConfig::default().with_backend(BackendSelect::Stabilizer);
+        assert_eq!(c.backend, BackendSelect::Stabilizer);
     }
 
     #[test]

@@ -5,6 +5,57 @@ use std::fmt;
 
 use eqasm_core::{CoreError, Qubit};
 
+/// A configuration the backend-selection layer cannot honour.
+///
+/// The old `make_backend` silently downgraded a requested density
+/// backend to the state vector when the register was too large; these
+/// are the typed replacements for every such mismatch, surfaced by
+/// [`QuMa::load`](crate::QuMa::load) as [`LoadError::Config`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A forced density backend with more qubits than the density
+    /// matrix supports
+    /// ([`DENSITY_QUBIT_LIMIT`](crate::select::DENSITY_QUBIT_LIMIT)).
+    DensityTooLarge {
+        /// Qubits in the instantiation's topology.
+        num_qubits: usize,
+        /// The supported maximum.
+        limit: usize,
+    },
+    /// A forced stabilizer backend, but the program applies a
+    /// non-Clifford unitary.
+    StabilizerNonClifford {
+        /// Address of the first offending instruction.
+        addr: usize,
+    },
+    /// A forced stabilizer backend, but the noise model has an idle
+    /// decoherence channel (finite T1/T2), which has no Clifford
+    /// unravelling.
+    StabilizerIdleNoise,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::DensityTooLarge { num_qubits, limit } => write!(
+                f,
+                "density backend forced for {num_qubits} qubits but supports at most {limit}"
+            ),
+            ConfigError::StabilizerNonClifford { addr } => write!(
+                f,
+                "stabilizer backend forced but instruction {addr} applies a non-Clifford unitary"
+            ),
+            ConfigError::StabilizerIdleNoise => write!(
+                f,
+                "stabilizer backend forced but the noise model has finite T1/T2 idle decoherence"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
 /// An error raised while loading a program into the machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -27,6 +78,9 @@ pub enum LoadError {
     },
     /// The ISA model rejected part of the program.
     Core(CoreError),
+    /// The backend-selection policy cannot be honoured for this
+    /// program/configuration pair.
+    Config(ConfigError),
 }
 
 impl fmt::Display for LoadError {
@@ -40,6 +94,7 @@ impl fmt::Display for LoadError {
                 write!(f, "instruction {addr}: unknown quantum opcode {opcode:#x}")
             }
             LoadError::Core(e) => write!(f, "{e}"),
+            LoadError::Config(e) => write!(f, "{e}"),
         }
     }
 }
@@ -48,6 +103,7 @@ impl Error for LoadError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             LoadError::Core(e) => Some(e),
+            LoadError::Config(e) => Some(e),
             _ => None,
         }
     }
@@ -56,6 +112,12 @@ impl Error for LoadError {
 impl From<CoreError> for LoadError {
     fn from(e: CoreError) -> Self {
         LoadError::Core(e)
+    }
+}
+
+impl From<ConfigError> for LoadError {
+    fn from(e: ConfigError) -> Self {
+        LoadError::Config(e)
     }
 }
 
@@ -155,5 +217,6 @@ mod tests {
         fn check<E: Error + Send + Sync + 'static>() {}
         check::<LoadError>();
         check::<Fault>();
+        check::<ConfigError>();
     }
 }

@@ -9,6 +9,20 @@
 //! measurements) and a codeword-triggered analog-digital interface that
 //! drives simulated qubits (`eqasm-quantum`).
 //!
+//! ## Program-aware execution paths
+//!
+//! Loading a program resolves a [`BackendSelect`] policy through the
+//! classifier in [`select`]: Clifford-only programs under ideal noise
+//! run on the stabilizer tableau, everything else on the dense
+//! density-matrix/state-vector backends, and forced policies fail with
+//! a typed [`ConfigError`] instead of being silently substituted. The
+//! same classification locates the **deterministic prefix boundary** —
+//! the first instruction whose issue can consume randomness — which
+//! [`QuMa::run_prefix`] executes once and snapshots so that
+//! [`QuMa::run_shot_from`] forks per-seed shots without re-simulating
+//! the prefix (bit-identical to a full replay; see [`select`] for the
+//! argument).
+//!
 //! ```
 //! use eqasm_asm::assemble;
 //! use eqasm_core::{Instantiation, Qubit};
@@ -37,11 +51,13 @@
 mod config;
 mod error;
 mod machine;
+pub mod select;
 mod stats;
 mod trace;
 
-pub use config::{LatencyModel, MeasurementSource, SimConfig, TimingPolicy};
-pub use error::{Fault, LoadError};
-pub use machine::QuMa;
+pub use config::{BackendSelect, LatencyModel, MeasurementSource, SimConfig, TimingPolicy};
+pub use error::{ConfigError, Fault, LoadError};
+pub use machine::{MachineSnapshot, QuMa};
+pub use select::{BackendSelection, SimBackendKind, DENSITY_QUBIT_LIMIT};
 pub use stats::{RunResult, RunStats, RunStatus};
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -26,17 +26,20 @@ use eqasm_core::{
     CmpFlags, ExecFlag, ExecFlagRegister, Gpr, Instantiation, Instruction, MeasurementRegister,
     OpArity, OpTarget, PulseKind, Qubit, TwoQubitGate,
 };
-use eqasm_quantum::{gates, Backend, CMatrix, DensityBackend, PureBackend};
+use eqasm_quantum::{
+    gates, Backend, BackendState, CMatrix, DensityBackend, PureBackend, StabilizerBackend,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::{MeasurementSource, SimConfig, TimingPolicy};
 use crate::error::{Fault, LoadError};
+use crate::select::{select_backend, BackendSelection, SimBackendKind};
 use crate::stats::{RunResult, RunStats, RunStatus};
 use crate::trace::{Trace, TraceKind};
 
 /// The physical effect of one queued device operation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum OpEffect {
     /// No physical effect (identity pulses, z markers, …).
     None,
@@ -55,7 +58,7 @@ enum OpEffect {
 }
 
 /// One device operation awaiting its trigger timestamp.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct ReadyOp {
     qubit: Qubit,
     name: String,
@@ -65,18 +68,56 @@ struct ReadyOp {
 }
 
 /// A measurement whose window is open; the result lands at `result_cc`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct InflightMeasurement {
     qubit: Qubit,
 }
 
 /// The FMR stall state of the classical pipeline.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct Stall {
     qubit: Qubit,
     rd: Gpr,
     /// Remaining pipeline-restart penalty once the register is valid.
     release_countdown: Option<u64>,
+}
+
+/// A complete capture of a [`QuMa`]'s mutable execution state, taken by
+/// [`QuMa::snapshot`] and re-applied by [`QuMa::restore`].
+///
+/// The snapshot deliberately excludes the RNG streams, the simulator
+/// configuration and the loaded program: a snapshot of a deterministic
+/// prefix (which by construction consumed no randomness) is therefore
+/// seed-independent, and [`QuMa::run_shot_from`] forks bit-identical
+/// shots from it by reseeding. Snapshots compare with `==` — the
+/// shared-prefix determinism tests pin seed-independence that way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSnapshot {
+    pc: usize,
+    gprs: Vec<u32>,
+    cmp_flags: CmpFlags,
+    memory: Vec<u32>,
+    stall: Option<Stall>,
+    stopping: bool,
+    halted: bool,
+    sregs: Vec<u32>,
+    tregs: Vec<u32>,
+    point_wall: Option<u64>,
+    queue: BTreeMap<u64, Vec<ReadyOp>>,
+    queued_qubits: BTreeMap<u64, u128>,
+    qregs: Vec<MeasurementRegister>,
+    exec_flags: Vec<ExecFlagRegister>,
+    results_due: BTreeMap<u64, Vec<(InflightMeasurement, bool, bool)>>,
+    writebacks_due: BTreeMap<u64, Vec<(Qubit, bool)>>,
+    mock_next: Vec<bool>,
+    mock_fixed_idx: usize,
+    backend: BackendState,
+    idle_since_ns: Vec<f64>,
+    busy_until_qc: Vec<u64>,
+    clock_cc: u64,
+    trace: Trace,
+    stats: RunStats,
+    fault: Option<Fault>,
 }
 
 /// The QuMA v2 machine simulator.
@@ -143,6 +184,9 @@ pub struct QuMa {
     trace: Trace,
     stats: RunStats,
     fault: Option<Fault>,
+
+    // ---- backend selection (see `crate::select`) ----
+    selection: BackendSelection,
 }
 
 impl std::fmt::Debug for QuMa {
@@ -156,11 +200,17 @@ impl std::fmt::Debug for QuMa {
     }
 }
 
-fn make_backend(num_qubits: usize, config: &SimConfig) -> Box<dyn Backend> {
-    if config.density_backend && num_qubits <= 10 {
-        Box::new(DensityBackend::new(num_qubits, config.noise, config.seed))
-    } else {
-        Box::new(PureBackend::new(num_qubits, config.noise, config.seed))
+fn make_backend(num_qubits: usize, config: &SimConfig, kind: SimBackendKind) -> Box<dyn Backend> {
+    match kind {
+        SimBackendKind::Stabilizer => Box::new(StabilizerBackend::new(
+            num_qubits,
+            config.noise,
+            config.seed,
+        )),
+        SimBackendKind::Density => {
+            Box::new(DensityBackend::new(num_qubits, config.noise, config.seed))
+        }
+        SimBackendKind::Pure => Box::new(PureBackend::new(num_qubits, config.noise, config.seed)),
     }
 }
 
@@ -171,7 +221,11 @@ impl QuMa {
     pub fn new(inst: Instantiation, config: SimConfig) -> Self {
         let n = inst.topology().num_qubits();
         let p = inst.params();
-        let backend = make_backend(n, &config);
+        // Selection over the empty program; `load` re-runs it against
+        // the real instruction stream (and surfaces any policy error).
+        let selection =
+            select_backend(&[], &inst, &config).unwrap_or_else(|_| BackendSelection::fallback());
+        let backend = make_backend(n, &config, selection.kind());
         let mock_start = match config.measurement_source {
             MeasurementSource::MockAlternating { start } => start,
             _ => false,
@@ -204,17 +258,24 @@ impl QuMa {
             stats: RunStats::default(),
             fault: None,
             program: Vec::new(),
+            selection,
             inst,
             config,
         }
     }
 
-    /// Loads (and validates) a program.
+    /// Loads (and validates) a program, then resolves the backend
+    /// selection for it (see [`crate::select`]). A changed selection
+    /// rebuilds the qubit backend; call [`QuMa::reset`] (or run via
+    /// [`QuMa::run_shot`]) before executing either way.
     ///
     /// # Errors
     ///
     /// Returns [`LoadError`] when a bundle is wider than the VLIW width
-    /// or references an unconfigured opcode.
+    /// or references an unconfigured opcode, and
+    /// [`LoadError::Config`] when the configured
+    /// [`BackendSelect`](crate::BackendSelect) policy cannot be
+    /// honoured for this program.
     pub fn load(&mut self, program: &[Instruction]) -> Result<(), LoadError> {
         let w = self.inst.params().vliw_width;
         for (addr, instr) in program.iter().enumerate() {
@@ -236,6 +297,12 @@ impl QuMa {
                 }
             }
         }
+        let selection = select_backend(program, &self.inst, &self.config)?;
+        if selection.kind() != self.selection.kind() {
+            let n = self.inst.topology().num_qubits();
+            self.backend = make_backend(n, &self.config, selection.kind());
+        }
+        self.selection = selection;
         self.program = program.to_vec();
         Ok(())
     }
@@ -267,7 +334,7 @@ impl QuMa {
         };
         self.mock_next = vec![mock_start; n];
         self.mock_fixed_idx = 0;
-        self.backend = make_backend(n, &self.config);
+        self.backend = make_backend(n, &self.config, self.selection.kind());
         self.idle_since_ns = vec![0.0; n];
         self.busy_until_qc = vec![0; n];
         self.readout_rng = StdRng::seed_from_u64(seed ^ 0x5eed_c0de);
@@ -293,6 +360,145 @@ impl QuMa {
     }
 
     // ---------------------------------------------------------------
+    // Shared-prefix shot forking (see `crate::select` for the
+    // determinism argument)
+    // ---------------------------------------------------------------
+
+    /// Captures the complete mutable machine state — every register,
+    /// queue, clock, statistic and the qubit backend state — *except*
+    /// the RNG streams, the configuration and the loaded program.
+    ///
+    /// A snapshot taken before any RNG draw is seed-independent, so
+    /// [`QuMa::run_shot_from`] can fork per-shot executions from it.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            pc: self.pc,
+            gprs: self.gprs.clone(),
+            cmp_flags: self.cmp_flags,
+            memory: self.memory.clone(),
+            stall: self.stall,
+            stopping: self.stopping,
+            halted: self.halted,
+            sregs: self.sregs.clone(),
+            tregs: self.tregs.clone(),
+            point_wall: self.point_wall,
+            queue: self.queue.clone(),
+            queued_qubits: self.queued_qubits.clone(),
+            qregs: self.qregs.clone(),
+            exec_flags: self.exec_flags.clone(),
+            results_due: self.results_due.clone(),
+            writebacks_due: self.writebacks_due.clone(),
+            mock_next: self.mock_next.clone(),
+            mock_fixed_idx: self.mock_fixed_idx,
+            backend: self.backend.snapshot(),
+            idle_since_ns: self.idle_since_ns.clone(),
+            busy_until_qc: self.busy_until_qc.clone(),
+            clock_cc: self.clock_cc,
+            trace: self.trace.clone(),
+            stats: self.stats,
+            fault: self.fault.clone(),
+        }
+    }
+
+    /// Restores state captured by [`QuMa::snapshot`] on this machine.
+    /// The RNG streams, configuration and loaded program are left
+    /// untouched — [`QuMa::run_shot_from`] reseeds the streams
+    /// explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's backend state kind does not match this
+    /// machine's backend (snapshots are only meaningful on the machine
+    /// configuration that produced them).
+    pub fn restore(&mut self, snapshot: &MachineSnapshot) {
+        self.pc = snapshot.pc;
+        self.gprs.clone_from(&snapshot.gprs);
+        self.cmp_flags = snapshot.cmp_flags;
+        self.memory.clone_from(&snapshot.memory);
+        self.stall = snapshot.stall;
+        self.stopping = snapshot.stopping;
+        self.halted = snapshot.halted;
+        self.sregs.clone_from(&snapshot.sregs);
+        self.tregs.clone_from(&snapshot.tregs);
+        self.point_wall = snapshot.point_wall;
+        self.queue.clone_from(&snapshot.queue);
+        self.queued_qubits.clone_from(&snapshot.queued_qubits);
+        self.qregs.clone_from(&snapshot.qregs);
+        self.exec_flags.clone_from(&snapshot.exec_flags);
+        self.results_due.clone_from(&snapshot.results_due);
+        self.writebacks_due.clone_from(&snapshot.writebacks_due);
+        self.mock_next.clone_from(&snapshot.mock_next);
+        self.mock_fixed_idx = snapshot.mock_fixed_idx;
+        self.backend.restore(&snapshot.backend);
+        self.idle_since_ns.clone_from(&snapshot.idle_since_ns);
+        self.busy_until_qc.clone_from(&snapshot.busy_until_qc);
+        self.clock_cc = snapshot.clock_cc;
+        self.trace.clone_from(&snapshot.trace);
+        self.stats = snapshot.stats;
+        self.fault = snapshot.fault.clone();
+    }
+
+    /// Resets under `seed` and executes the deterministic prefix: every
+    /// classical cycle strictly before the first cycle whose
+    /// quantum-cycle tick would apply a stochastic operation to the
+    /// qubit backend, then snapshots.
+    ///
+    /// The boundary is the first random *draw site*, not the first
+    /// stochastic instruction's issue: the classical pipeline runs far
+    /// ahead of the quantum timeline (a measurement issues within a few
+    /// cycles while its trigger sits behind the program's init wait),
+    /// and everything up to the draw itself — issue, timeline drain,
+    /// deterministic stalls — is a pure function of (program,
+    /// configuration). Stopping at the draw site lets the prefix cover
+    /// the expensive timeline simulation, which is the entire point of
+    /// forking.
+    ///
+    /// The prefix consumes zero RNG draws by construction, so the
+    /// returned snapshot is identical for every seed and
+    /// [`QuMa::run_shot_from`] forks bit-identical shots from it. A
+    /// program with no stochastic operation runs to completion (or
+    /// fault / cycle-budget exhaustion) inside the prefix; forking then
+    /// reproduces the terminal state exactly, which is still correct.
+    ///
+    /// Returns `None` when the (program, configuration) pair is not
+    /// [prefix-eligible](BackendSelection::prefix_eligible) — callers
+    /// must fall back to full [`QuMa::run_shot`] replays.
+    pub fn run_prefix(&mut self, seed: u64) -> Option<MachineSnapshot> {
+        if !self.selection.prefix_eligible() {
+            return None;
+        }
+        self.reset_with_seed(seed);
+        loop {
+            if self.halted
+                || self.fault.is_some()
+                || self.clock_cc >= self.config.max_classical_cycles
+            {
+                break;
+            }
+            if self.next_step_draws() {
+                break;
+            }
+            self.step();
+        }
+        Some(self.snapshot())
+    }
+
+    /// Runs one shot forked from a prefix snapshot: restores the
+    /// snapshot, reseeds both RNG streams (backend and readout) exactly
+    /// as a fresh reset under `seed` would, and executes to completion.
+    ///
+    /// Because the prefix consumed no randomness, the result is
+    /// bit-identical to `run_shot(seed)` with the same loaded program —
+    /// the prefix cycles are simply not re-simulated.
+    pub fn run_shot_from(&mut self, snapshot: &MachineSnapshot, seed: u64) -> RunResult {
+        self.restore(snapshot);
+        self.config.seed = seed;
+        self.backend.reseed(seed);
+        self.readout_rng = StdRng::seed_from_u64(seed ^ 0x5eed_c0de);
+        self.run()
+    }
+
+    // ---------------------------------------------------------------
     // Accessors
     // ---------------------------------------------------------------
 
@@ -304,6 +510,13 @@ impl QuMa {
     /// The simulator configuration.
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// The backend selection resolved for the loaded program: the
+    /// chosen backend kind, whether the program is Clifford-only, and
+    /// the deterministic prefix boundary.
+    pub fn selection(&self) -> &BackendSelection {
+        &self.selection
     }
 
     /// Reads a general purpose register.
@@ -868,6 +1081,39 @@ impl QuMa {
     // execution + ADI
     // ---------------------------------------------------------------
 
+    /// Whether applying `op` to the backend can consume a random draw
+    /// under the current configuration — the dynamic, apply-time mirror
+    /// of the classifier's per-instruction stochastic rules
+    /// (see `crate::select`).
+    fn op_draws(&self, op: &ReadyOp) -> bool {
+        let trajectory = self.selection.kind().is_trajectory();
+        let noise = &self.config.noise;
+        let idle = noise.idle_kraus(1.0).is_some();
+        match op.effect {
+            OpEffect::Measure => {
+                matches!(self.config.measurement_source, MeasurementSource::Quantum)
+            }
+            OpEffect::Unitary(_) => trajectory && (noise.depol_1q > 0.0 || idle),
+            OpEffect::PairHalf { .. } => trajectory && (noise.depol_2q > 0.0 || idle),
+            OpEffect::None => false,
+        }
+    }
+
+    /// Whether the next [`QuMa::step`] could consume randomness: it
+    /// lands on a quantum-cycle boundary whose tick would trigger a due
+    /// operation that draws. Conservative for conditional operations —
+    /// a due op its execution flag would cancel still counts, which can
+    /// only stop a deterministic prefix early, never late.
+    fn next_step_draws(&self) -> bool {
+        if !self.clock_cc.is_multiple_of(self.ccpq()) {
+            return false;
+        }
+        let now = self.wall_qc();
+        self.queue
+            .range(..=now)
+            .any(|(_, ops)| ops.iter().any(|op| self.op_draws(op)))
+    }
+
     fn quantum_cycle_tick(&mut self) {
         let now = self.wall_qc();
         // Pop every due timestamp (late ones were clamped at insert, so
@@ -1059,7 +1305,7 @@ impl QuMa {
     }
 }
 
-fn pulse_matrix(pulse: &PulseKind) -> Option<CMatrix> {
+pub(crate) fn pulse_matrix(pulse: &PulseKind) -> Option<CMatrix> {
     match pulse {
         PulseKind::None | PulseKind::Measure => None,
         PulseKind::Rx(t) => Some(gates::rx(*t)),

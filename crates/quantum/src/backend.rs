@@ -3,12 +3,21 @@
 //!
 //! The QuMA v2 simulator drives qubits through this trait: apply a
 //! unitary, let a qubit idle (decohere) for some wall-clock time, or
-//! perform a projective measurement. Two implementations are provided:
+//! perform a projective measurement. Three implementations are provided:
 //!
 //! * [`DensityBackend`] — exact mixed-state evolution (default; smooth
 //!   experiment curves, practical up to the paper's 8-qubit workloads);
 //! * [`PureBackend`] — state-vector evolution with stochastic trajectory
-//!   noise (scales to more qubits, needs shot averaging).
+//!   noise (scales to more qubits, needs shot averaging);
+//! * [`StabilizerBackend`](crate::StabilizerBackend) — tableau
+//!   evolution for Clifford-only programs (orders of magnitude faster,
+//!   no dense qubit ceiling; see [`crate::stabilizer`]).
+//!
+//! Every backend also exposes a **fork surface** —
+//! [`Backend::snapshot`] / [`Backend::restore`] / [`Backend::reseed`] —
+//! so a caller can capture the quantum state at a deterministic point
+//! once and fork many independently-seeded continuations from it
+//! (shared-prefix shot execution in the runtime).
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -16,7 +25,20 @@ use rand::{RngExt, SeedableRng};
 use crate::density::DensityMatrix;
 use crate::matrix::CMatrix;
 use crate::noise::{depolarizing_1q, depolarizing_2q, NoiseModel};
+use crate::stabilizer::Tableau;
 use crate::statevector::StateVector;
+
+/// A captured quantum state, tagged by the backend representation that
+/// produced it. Restoring requires the same kind of backend.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendState {
+    /// A density-matrix state.
+    Density(DensityMatrix),
+    /// A pure state vector.
+    Pure(StateVector),
+    /// A stabilizer tableau.
+    Stabilizer(Tableau),
+}
 
 /// A simulated quantum register with noise.
 ///
@@ -56,6 +78,22 @@ pub trait Backend: Send {
 
     /// The noise model in effect.
     fn noise(&self) -> &NoiseModel;
+
+    /// Captures the current quantum state (not the RNG stream — a fork
+    /// is expected to [`Backend::reseed`] before drawing).
+    fn snapshot(&self) -> BackendState;
+
+    /// Restores a state captured by [`Backend::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a different backend kind.
+    fn restore(&mut self, state: &BackendState);
+
+    /// Replaces the RNG with one freshly seeded from `seed`, exactly as
+    /// construction would — a restored-and-reseeded backend draws the
+    /// same stream a newly built backend with that seed would.
+    fn reseed(&mut self, seed: u64);
 }
 
 /// Exact density-matrix backend.
@@ -129,6 +167,21 @@ impl Backend for DensityBackend {
 
     fn noise(&self) -> &NoiseModel {
         &self.noise
+    }
+
+    fn snapshot(&self) -> BackendState {
+        BackendState::Density(self.rho.clone())
+    }
+
+    fn restore(&mut self, state: &BackendState) {
+        match state {
+            BackendState::Density(rho) => self.rho = rho.clone(),
+            _ => panic!("snapshot backend kind mismatch: expected density state"),
+        }
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
     }
 }
 
@@ -216,6 +269,21 @@ impl Backend for PureBackend {
 
     fn noise(&self) -> &NoiseModel {
         &self.noise
+    }
+
+    fn snapshot(&self) -> BackendState {
+        BackendState::Pure(self.psi.clone())
+    }
+
+    fn restore(&mut self, state: &BackendState) {
+        match state {
+            BackendState::Pure(psi) => self.psi = psi.clone(),
+            _ => panic!("snapshot backend kind mismatch: expected pure state"),
+        }
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
     }
 }
 

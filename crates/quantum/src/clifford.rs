@@ -205,6 +205,27 @@ impl Clifford {
         &tables().matrices[self.index()]
     }
 
+    /// Recognizes a 2×2 unitary as a Clifford, up to global phase —
+    /// the membership test the program classifier and the stabilizer
+    /// backend use. Returns `None` for non-Clifford unitaries.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eqasm_quantum::{gates, Clifford};
+    /// use std::f64::consts::{FRAC_PI_2, PI};
+    ///
+    /// assert!(Clifford::from_matrix(&gates::rx(FRAC_PI_2)).is_some());
+    /// assert!(Clifford::from_matrix(&gates::rz(PI)).is_some());
+    /// assert!(Clifford::from_matrix(&gates::t_gate()).is_none());
+    /// ```
+    pub fn from_matrix(u: &CMatrix) -> Option<Clifford> {
+        if u.rows() != 2 || u.cols() != 2 {
+            return None;
+        }
+        find_up_to_phase(&tables().matrices, u).map(|i| Clifford(i as u8))
+    }
+
     /// The minimal decomposition into chip primitives, applied left to
     /// right.
     pub fn decomposition(self) -> &'static [Primitive] {

@@ -4,9 +4,10 @@
 //! superconducting qubits. This crate is the workspace's substitute for
 //! that hardware (see `DESIGN.md`): pure-state and density-matrix
 //! simulators with calibrated noise (T1/T2 damping, depolarizing gate
-//! error, readout assignment error), the single-qubit Clifford group used
-//! by randomized benchmarking, and two-qubit state tomography with
-//! maximum-likelihood estimation used by the Grover experiment.
+//! error, readout assignment error), a stabilizer-tableau simulator for
+//! Clifford-only programs ([`stabilizer`]), the single-qubit Clifford
+//! group used by randomized benchmarking, and two-qubit state tomography
+//! with maximum-likelihood estimation used by the Grover experiment.
 //!
 //! The microarchitecture drives qubits exclusively through the
 //! [`Backend`] trait, so every experiment exercises the same code paths
@@ -32,14 +33,16 @@ mod density;
 pub mod gates;
 mod matrix;
 pub mod noise;
+pub mod stabilizer;
 mod statevector;
 pub mod tomography;
 
-pub use backend::{Backend, DensityBackend, PureBackend};
+pub use backend::{Backend, BackendState, DensityBackend, PureBackend};
 pub use clifford::{Clifford, Primitive, CLIFFORD_COUNT};
 pub use complex::C64;
 pub use density::DensityMatrix;
 pub use matrix::CMatrix;
 pub use noise::{NoiseModel, ReadoutModel};
+pub use stabilizer::{StabilizerBackend, Tableau};
 pub use statevector::StateVector;
 pub use tomography::{MeasBasis, TomographyAccumulator};

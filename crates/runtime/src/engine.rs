@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use eqasm_microarch::{QuMa, RunStats};
+use eqasm_microarch::{BackendSelect, QuMa, RunStats};
 
 use crate::aggregate::{BitString, Histogram, JobResult, LatencyStats};
 use crate::backend::BatchOut;
@@ -324,11 +324,25 @@ fn describe_status(status: &eqasm_microarch::RunStatus) -> String {
 /// traces (it aggregates through `measurement_value` and `prob1`), so
 /// recording them per shot would be pure overhead on every batch —
 /// trace recording is force-disabled here.
+///
+/// `EQASM_EXEC_PATH=dense` forces the legacy [`BackendSelect::Dense`]
+/// policy (which also disables shared-prefix forking), and
+/// `EQASM_EXEC_PATH=auto` forces program-aware selection — the A/B
+/// lever the determinism CI uses to pin that both paths agree.
 pub(crate) fn build_machine(job: &Job) -> Result<QuMa, eqasm_microarch::LoadError> {
     let mut config = job.config.clone();
     config.record_trace = false;
+    match std::env::var("EQASM_EXEC_PATH").as_deref() {
+        Ok(v) if v.eq_ignore_ascii_case("dense") => config.backend = BackendSelect::Dense,
+        Ok(v) if v.eq_ignore_ascii_case("auto") => config.backend = BackendSelect::Auto,
+        _ => {}
+    }
     let mut m = QuMa::new(job.inst.clone(), config);
     m.load(&job.program)?;
+    crate::metrics::rt()
+        .backend_selected
+        .with(&[m.selection().kind().as_str()])
+        .inc();
     Ok(m)
 }
 
@@ -346,9 +360,20 @@ pub(crate) fn run_batch(machine: &mut QuMa, job: &Job, range: std::ops::Range<u6
     let mut non_halted = 0;
     let mut first_failure = None;
 
+    // Shared-prefix forking: resolve (or compute) the job's
+    // deterministic-prefix snapshot once per batch; each shot then
+    // restores + reseeds instead of replaying the prefix. Falls back to
+    // full replays — bit-identical by construction — when forking does
+    // not apply.
+    let prefix = crate::prefix::fork_snapshot(machine, job);
+
     for shot in range {
         let t0 = Instant::now();
-        let result = machine.run_shot(job.shot_seed(shot));
+        let seed = job.shot_seed(shot);
+        let result = match &prefix {
+            Some(snap) => machine.run_shot_from(snap, seed),
+            None => machine.run_shot(seed),
+        };
         durations_ns.push(t0.elapsed().as_nanos() as u64);
         stats.merge(&result.stats);
         if !result.status.is_halted() {
@@ -372,6 +397,9 @@ pub(crate) fn run_batch(machine: &mut QuMa, job: &Job, range: std::ops::Range<u6
     let m = crate::metrics::rt();
     m.shots_executed.add(durations_ns.len() as u64);
     m.batches_executed.inc();
+    if prefix.is_some() {
+        m.prefix_fork_shots.add(durations_ns.len() as u64);
+    }
 
     BatchOut {
         histogram,

@@ -113,6 +113,30 @@
 //! streamed prefix or final aggregate (proven by the churn suite in
 //! `tests/remote.rs`).
 //!
+//! ## Program-aware execution paths
+//!
+//! Batch execution rides the microarchitecture's selection layer
+//! (`eqasm_microarch::select`): Clifford-only programs under ideal
+//! noise run on the stabilizer tableau, and the deterministic prefix of
+//! a program — everything before its first stochastic instruction — is
+//! simulated **once** per job shape, snapshotted into a process-global
+//! cache (`eqasm_prefix_cache_*` metrics), and forked per shot by
+//! restore + reseed. Neither path moves a bit of any aggregate:
+//!
+//! * backend selection is exact in the stabilizer regime (measurement
+//!   consumes one RNG draw against an exact probability on every
+//!   backend), and
+//! * the prefix consumes zero RNG draws by construction, so a
+//!   freshly-reseeded fork is state-for-state the machine a full
+//!   replay would produce at the same cycle — seed-independence of the
+//!   snapshot is property-tested, and the fork path is pinned
+//!   bit-identical to full replays at 1/2/8 workers in
+//!   `tests/fastpath.rs`.
+//!
+//! `EQASM_EXEC_PATH=dense` forces the legacy dense path (no stabilizer,
+//! no forking); `EQASM_PREFIX=off` disables only the forking. Both are
+//! read per batch, and the determinism CI runs the suite both ways.
+//!
 //! ## Example
 //!
 //! ```
@@ -146,6 +170,7 @@ mod error;
 mod job;
 pub mod metrics;
 mod net;
+mod prefix;
 pub mod serve;
 mod supervisor;
 pub mod wire;

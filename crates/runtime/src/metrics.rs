@@ -611,6 +611,16 @@ pub(crate) struct RuntimeMetrics {
     /// `eqasm_batches_executed_total`
     pub batches_executed: Arc<Counter>,
 
+    // --- program-aware execution paths ---------------------------------
+    /// `eqasm_backend_selected_total{kind}`
+    pub backend_selected: Arc<CounterVec>,
+    /// `eqasm_prefix_cache_hits_total`
+    pub prefix_cache_hits: Arc<Counter>,
+    /// `eqasm_prefix_cache_misses_total`
+    pub prefix_cache_misses: Arc<Counter>,
+    /// `eqasm_prefix_fork_shots_total`
+    pub prefix_fork_shots: Arc<Counter>,
+
     // --- wire / transport ---------------------------------------------
     frames_in: FrameCounters,
     frames_out: FrameCounters,
@@ -743,6 +753,23 @@ impl RuntimeMetrics {
             batches_executed: r.counter(
                 "eqasm_batches_executed_total",
                 "Shot batches simulated by this process.",
+            ),
+            backend_selected: r.counter_vec(
+                "eqasm_backend_selected_total",
+                "Machines built for batch execution, by selected simulation backend.",
+                &["kind"],
+            ),
+            prefix_cache_hits: r.counter(
+                "eqasm_prefix_cache_hits_total",
+                "Shared-prefix snapshot lookups served from the per-job cache.",
+            ),
+            prefix_cache_misses: r.counter(
+                "eqasm_prefix_cache_misses_total",
+                "Shared-prefix snapshots computed because no cached entry matched.",
+            ),
+            prefix_fork_shots: r.counter(
+                "eqasm_prefix_fork_shots_total",
+                "Shots executed by forking from a cached prefix snapshot instead of a full reset.",
             ),
             frames_in: FrameCounters::new(&wire_frames, "in"),
             frames_out: FrameCounters::new(&wire_frames, "out"),

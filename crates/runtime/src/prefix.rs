@@ -1,0 +1,105 @@
+//! The shared-prefix snapshot cache: compute a job's deterministic
+//! prefix once, fork every shot from it.
+//!
+//! A machine's execution before the first stochastic instruction is a
+//! pure function of (instantiation, program, configuration) — it
+//! consumes no randomness (see `eqasm_microarch::select` for the
+//! argument). [`fork_snapshot`] resolves that prefix once per distinct
+//! job shape in a small process-global LRU and hands out `Arc` clones,
+//! so every worker thread — and every batch of every retry, across the
+//! engine, the serve queue and the worker daemon, which all execute
+//! through `run_batch` — reuses the same snapshot. Per-shot work then
+//! shrinks to restore + reseed + the stochastic suffix.
+//!
+//! Forking is skipped (full `run_shot` replays, bit-identical results)
+//! when:
+//!
+//! * `EQASM_PREFIX=off` is set (the A/B lever the determinism CI and
+//!   the throughput bench use),
+//! * the job's policy is [`BackendSelect::Dense`] — the fully legacy
+//!   execution path, or
+//! * the (program, configuration) pair is not prefix-eligible (a
+//!   trajectory backend under finite T1/T2).
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use eqasm_core::{Instantiation, Instruction};
+use eqasm_microarch::{BackendSelect, MachineSnapshot, QuMa, SimConfig};
+
+use crate::job::Job;
+use crate::metrics::rt;
+
+/// Distinct job shapes cached at once. Small on purpose: a snapshot
+/// holds a full backend state, and the steady state of every driver in
+/// this crate is "many shots of few programs".
+const CACHE_CAPACITY: usize = 8;
+
+/// The job shape a snapshot is valid for. The seed is zeroed out of
+/// the configuration: prefix snapshots are seed-independent by
+/// construction (and the determinism suite pins that).
+struct Key {
+    inst: Instantiation,
+    program: Vec<Instruction>,
+    config: SimConfig,
+}
+
+struct Entry {
+    key: Key,
+    snapshot: Arc<MachineSnapshot>,
+}
+
+fn cache() -> &'static Mutex<Vec<Entry>> {
+    static CACHE: OnceLock<Mutex<Vec<Entry>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Whether `EQASM_PREFIX=off` disables prefix forking. Read per call so
+/// tests (and operators bouncing a worker) can flip it without
+/// rebuilding anything.
+fn forking_disabled() -> bool {
+    std::env::var("EQASM_PREFIX").is_ok_and(|v| v.eq_ignore_ascii_case("off"))
+}
+
+/// Returns the prefix snapshot to fork `job`'s shots from on `machine`
+/// (which must have `job` loaded), or `None` when forking does not
+/// apply and the caller must run full replays.
+///
+/// Cache misses compute the prefix under the cache lock: concurrent
+/// workers starting the same job then share one computation instead of
+/// racing through identical ones.
+pub(crate) fn fork_snapshot(machine: &mut QuMa, job: &Job) -> Option<Arc<MachineSnapshot>> {
+    if forking_disabled()
+        || machine.config().backend == BackendSelect::Dense
+        || !machine.selection().prefix_eligible()
+    {
+        return None;
+    }
+    let metrics = rt();
+    let mut key_config = machine.config().clone();
+    key_config.seed = 0;
+    let mut entries = cache().lock().expect("prefix cache poisoned");
+    if let Some(pos) = entries.iter().position(|e| {
+        e.key.config == key_config && e.key.program == job.program && e.key.inst == job.inst
+    }) {
+        // Move to the back: most-recently-used order.
+        let entry = entries.remove(pos);
+        let snap = Arc::clone(&entry.snapshot);
+        entries.push(entry);
+        metrics.prefix_cache_hits.inc();
+        return Some(snap);
+    }
+    let snap = Arc::new(machine.run_prefix(job.base_seed)?);
+    metrics.prefix_cache_misses.inc();
+    if entries.len() >= CACHE_CAPACITY {
+        entries.remove(0);
+    }
+    entries.push(Entry {
+        key: Key {
+            inst: job.inst.clone(),
+            program: job.program.clone(),
+            config: key_config,
+        },
+        snapshot: Arc::clone(&snap),
+    });
+    Some(snap)
+}

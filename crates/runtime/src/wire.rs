@@ -68,7 +68,9 @@ use eqasm_core::{
     OpArity, OpConfig, OpTarget, PulseKind, QOpcode, Qubit, QubitPair, SReg, TReg, Topology,
     TwoQubitGate,
 };
-use eqasm_microarch::{LatencyModel, MeasurementSource, RunStats, SimConfig, TimingPolicy};
+use eqasm_microarch::{
+    BackendSelect, LatencyModel, MeasurementSource, RunStats, SimConfig, TimingPolicy,
+};
 use eqasm_quantum::{NoiseModel, ReadoutModel};
 
 use crate::aggregate::{BitString, Histogram, JobResult, LatencyStats};
@@ -936,7 +938,13 @@ fn put_sim_config(w: &mut Writer, c: &SimConfig) {
     });
     w.put_u64(c.seed);
     w.put_u64(c.max_classical_cycles);
-    w.put_bool(c.density_backend);
+    w.put_u8(match c.backend {
+        BackendSelect::Auto => 0,
+        BackendSelect::Dense => 1,
+        BackendSelect::Stabilizer => 2,
+        BackendSelect::Density => 3,
+        BackendSelect::Pure => 4,
+    });
     w.put_bool(c.record_trace);
 }
 
@@ -999,7 +1007,19 @@ fn get_sim_config(r: &mut Reader<'_>) -> Result<SimConfig, WireError> {
         timing_policy,
         seed: r.get_u64("SimConfig.seed")?,
         max_classical_cycles: r.get_u64("SimConfig.max_classical_cycles")?,
-        density_backend: r.get_bool("SimConfig.density_backend")?,
+        backend: match r.get_u8("SimConfig.backend")? {
+            0 => BackendSelect::Auto,
+            1 => BackendSelect::Dense,
+            2 => BackendSelect::Stabilizer,
+            3 => BackendSelect::Density,
+            4 => BackendSelect::Pure,
+            tag => {
+                return Err(WireError::UnknownTag {
+                    what: "SimConfig.backend",
+                    tag,
+                })
+            }
+        },
         record_trace: r.get_bool("SimConfig.record_trace")?,
     })
 }

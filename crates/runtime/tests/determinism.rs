@@ -3,7 +3,7 @@
 //! worker count and any batch size.
 
 use eqasm_core::{Instantiation, Qubit, Topology};
-use eqasm_microarch::SimConfig;
+use eqasm_microarch::{BackendSelect, SimConfig};
 use eqasm_quantum::{NoiseModel, ReadoutModel};
 use eqasm_runtime::{partition_shots, Job, MixedWorkload, ShotEngine, WorkloadKind, WorkloadSpec};
 use proptest::prelude::*;
@@ -21,7 +21,7 @@ fn noisy_rb_job(shots: u64, base_seed: u64) -> Job {
     // Stochastic trajectory backend: every shot consumes randomness in
     // the *state evolution*, so seed handling bugs cannot hide behind
     // the exact density simulation.
-    config.density_backend = false;
+    config.backend = BackendSelect::Pure;
     Job::new("rb-determinism", inst, program)
         .with_config(config)
         .with_shots(shots)
@@ -100,11 +100,30 @@ fn aggregates_identical_across_batch_sizes() {
 #[test]
 fn different_seeds_differ() {
     // Sanity: the determinism above is not vacuous — shots do vary.
-    let a = ShotEngine::new(2).run_job(&noisy_rb_job(64, 1)).unwrap();
-    let b = ShotEngine::new(2).run_job(&noisy_rb_job(64, 9999)).unwrap();
-    assert_ne!(
-        a.mean_prob1, b.mean_prob1,
-        "different base seeds must explore different trajectories"
+    // Compared on the histogram, not mean_prob1: under the CI's
+    // `EQASM_EXEC_PATH=dense` leg this job runs on the exact density
+    // backend, whose per-shot P(1) is seed-independent by design —
+    // sampled outcomes are the seed-sensitive surface on every
+    // backend.
+    //
+    // A one-qubit histogram has only two cells, so two base seeds
+    // landing on the same ones-count is a ~10% event, not a failure
+    // (seeds 1 and 9999 genuinely collide at both 64 and 256 shots on
+    // the density path). Requiring *any* difference across several
+    // base seeds keeps the probe meaningful without being
+    // collision-prone.
+    let hists: Vec<_> = [1u64, 9999, 0x00c0_ffee, 424_242]
+        .iter()
+        .map(|&s| {
+            ShotEngine::new(2)
+                .run_job(&noisy_rb_job(256, s))
+                .unwrap()
+                .histogram
+        })
+        .collect();
+    assert!(
+        hists.windows(2).any(|w| w[0] != w[1]),
+        "different base seeds must explore different trajectories: {hists:?}"
     );
 }
 

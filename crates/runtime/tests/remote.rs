@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use eqasm_core::{Instantiation, Qubit, Topology};
-use eqasm_microarch::{RunStats, SimConfig};
+use eqasm_microarch::{BackendSelect, RunStats, SimConfig};
 use eqasm_quantum::{NoiseModel, ReadoutModel};
 use eqasm_runtime::serve::{JobQueue, ServeConfig, SlotState, Submission};
 use eqasm_runtime::{
@@ -32,7 +32,7 @@ fn noisy_job(name: &str, shots: u64, base_seed: u64) -> Job {
     let mut config = SimConfig::default()
         .with_noise(NoiseModel::with_coherence(20_000.0, 15_000.0).with_gate_error(0.002, 0.0))
         .with_readout(ReadoutModel::symmetric(0.05));
-    config.density_backend = false;
+    config.backend = BackendSelect::Pure;
     Job::new(name, inst, program)
         .with_config(config)
         .with_shots(shots)

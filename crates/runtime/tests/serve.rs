@@ -6,7 +6,7 @@
 use std::time::{Duration, Instant};
 
 use eqasm_core::{Bundle, BundleOp, Instantiation, OpTarget, QOpcode, Qubit, Topology};
-use eqasm_microarch::SimConfig;
+use eqasm_microarch::{BackendSelect, SimConfig};
 use eqasm_quantum::{NoiseModel, ReadoutModel};
 use eqasm_runtime::{
     Job, JobQueue, RuntimeError, ServeConfig, ShotEngine, Submission, WorkloadKind, WorkloadSpec,
@@ -21,7 +21,7 @@ fn noisy_rb_job(name: &str, shots: u64, base_seed: u64) -> Job {
     let mut config = SimConfig::default()
         .with_noise(NoiseModel::with_coherence(20_000.0, 15_000.0).with_gate_error(0.002, 0.0))
         .with_readout(ReadoutModel::symmetric(0.05));
-    config.density_backend = false;
+    config.backend = BackendSelect::Pure;
     Job::new(name, inst, program)
         .with_config(config)
         .with_shots(shots)

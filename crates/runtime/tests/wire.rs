@@ -7,7 +7,7 @@ use eqasm_core::{
     Bundle, BundleOp, CmpFlag, Gpr, Instantiation, Instruction, OpTarget, Qubit, SReg, TReg,
     Topology,
 };
-use eqasm_microarch::{MeasurementSource, SimConfig, TimingPolicy};
+use eqasm_microarch::{BackendSelect, MeasurementSource, SimConfig, TimingPolicy};
 use eqasm_quantum::{NoiseModel, ReadoutModel};
 use eqasm_runtime::wire::{
     self, decode_batch_out, decode_job, encode_batch_out, encode_job, WireError,
@@ -171,7 +171,13 @@ fn arb_sim_config() -> impl Strategy<Value = SimConfig> {
                 },
                 seed,
                 max_classical_cycles: seed | 1,
-                density_backend: b2,
+                backend: match seed % 5 {
+                    0 => BackendSelect::Auto,
+                    1 => BackendSelect::Dense,
+                    2 => BackendSelect::Stabilizer,
+                    3 => BackendSelect::Density,
+                    _ => BackendSelect::Pure,
+                },
                 record_trace: b0,
                 ..SimConfig::default()
             },

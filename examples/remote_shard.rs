@@ -13,7 +13,7 @@
 use std::net::TcpListener;
 
 use eqasm::core::{Instantiation, Qubit, Topology};
-use eqasm::microarch::SimConfig;
+use eqasm::microarch::{BackendSelect, SimConfig};
 use eqasm::quantum::{NoiseModel, ReadoutModel};
 use eqasm::runtime::serve::{JobQueue, ServeConfig, Submission};
 use eqasm::runtime::{
@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut config = SimConfig::default()
         .with_noise(NoiseModel::with_coherence(25_000.0, 20_000.0).with_gate_error(0.001, 0.0))
         .with_readout(ReadoutModel::symmetric(0.05));
-    config.density_backend = false;
+    config.backend = BackendSelect::Pure;
     let job = Job::new("rb-shard", inst, program)
         .with_config(config)
         .with_shots(2000)
