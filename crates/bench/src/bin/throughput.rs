@@ -13,8 +13,8 @@ use eqasm_core::{Instantiation, Qubit, Topology};
 use eqasm_microarch::SimConfig;
 use eqasm_quantum::{NoiseModel, ReadoutModel};
 use eqasm_runtime::{
-    spawn_serve, spawn_worker, Client, ConnectOptions, ExecBackend, Job, JobQueue, LocalBackend,
-    RemoteBackend, ServeConfig, ServeNetConfig, ShotEngine, Submission, WorkerConfig,
+    spawn_serve, spawn_worker, Client, ConnectOptions, ExecBackend, Job, JobQueue, JournalConfig,
+    LocalBackend, RemoteBackend, ServeConfig, ServeNetConfig, ShotEngine, Submission, WorkerConfig,
 };
 use eqasm_workloads::rb_program;
 
@@ -259,6 +259,87 @@ fn main() {
         ));
     }
 
+    // Durability tax: the same 4-job serve workload on a plain
+    // in-memory queue vs a journaled one (`--journal`, batch fsync) —
+    // the wall-clock overhead of writing every admission and folded
+    // range ahead, plus what the journal costs on disk. The group
+    // commit is the whole trick: appends/fsyncs is the batching ratio.
+    // Measured on the legacy dense path: there a 64-shot batch costs
+    // real simulation time, so the overhead number reflects production
+    // per-batch cost instead of comparing one fsync against the
+    // prefix-forked fast path's microsecond batches.
+    let dense_job = {
+        let mut dense_config = job.config.clone();
+        dense_config.backend = eqasm_microarch::BackendSelect::Dense;
+        job.clone().with_config(dense_config)
+    };
+    let run_workload = |queue: &JobQueue| -> f64 {
+        queue.register_tenant("cal", 3, u64::MAX);
+        queue.register_tenant("batch", 1, u64::MAX);
+        let mut hs = Vec::new();
+        let started = std::time::Instant::now();
+        for i in 0..2u64 {
+            for tenant in ["cal", "batch"] {
+                let j = dense_job
+                    .clone()
+                    .with_shots(per_job)
+                    .with_seed(1 + i * per_job + if tenant == "cal" { 0 } else { 1 << 32 });
+                let named = Job {
+                    name: format!("{tenant}-{i}"),
+                    ..j
+                };
+                hs.extend(
+                    queue
+                        .submit(Submission::job(tenant, named))
+                        .expect("submits"),
+                );
+            }
+        }
+        for h in &hs {
+            h.wait().expect("completes");
+        }
+        started.elapsed().as_secs_f64()
+    };
+    let plain_queue = JobQueue::new(
+        ServeConfig::default()
+            .with_workers(serve_workers)
+            .with_batch_size(64),
+    );
+    let plain_wall = run_workload(&plain_queue);
+    plain_queue.shutdown();
+
+    let journal_dir =
+        std::env::temp_dir().join(format!("eqasm-bench-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let appends_before = sample_metric("eqasm_journal_appends_total");
+    let fsyncs_before = sample_metric("eqasm_journal_fsyncs_total");
+    let jbackends: Vec<Box<dyn ExecBackend>> = (0..serve_workers)
+        .map(|i| Box::new(LocalBackend::new(i)) as Box<dyn ExecBackend>)
+        .collect();
+    let (journal_queue, _) = JobQueue::recover(
+        ServeConfig::default().with_batch_size(64),
+        jbackends,
+        &JournalConfig::new(&journal_dir),
+    )
+    .expect("journaled queue starts");
+    let journal_wall = run_workload(&journal_queue);
+    journal_queue.shutdown();
+    let journal_appends = (sample_metric("eqasm_journal_appends_total") - appends_before) as u64;
+    let journal_fsyncs = (sample_metric("eqasm_journal_fsyncs_total") - fsyncs_before) as u64;
+    let journal_disk_bytes: u64 = std::fs::read_dir(&journal_dir)
+        .map(|d| {
+            d.filter_map(|e| e.ok()?.metadata().ok().map(|m| m.len()))
+                .sum()
+        })
+        .unwrap_or(0);
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let journal_overhead_pct = (journal_wall / plain_wall.max(1e-9) - 1.0) * 100.0;
+    println!(
+        "\njournal (batch fsync): serve wall {plain_wall:.3}s plain -> {journal_wall:.3}s journaled \
+         ({journal_overhead_pct:+.1}% overhead); {journal_appends} records / {journal_fsyncs} fsyncs, \
+         {journal_disk_bytes} B on disk for 4 jobs"
+    );
+
     // Loopback-remote: the same job through a mixed pool — one local
     // slot plus two remote slots on an in-process worker daemon. On
     // one host this prices the wire protocol (encode + TCP + decode)
@@ -445,6 +526,18 @@ fn main() {
         t2.total_request_bytes(),
     );
 
+    // Per-job wire bytes with and without the varint+RLE compression
+    // flag (PROTOCOL.md §4) — the same encoding the journal's Admit
+    // records reuse, so this is also bytes-per-job at rest.
+    let job_bytes = eqasm_runtime::wire::encode_job(&job).expect("job encodes");
+    let load_job_raw = eqasm_runtime::wire::LoadJob::encode_parts(1, &job_bytes).len();
+    let load_job_auto = eqasm_runtime::wire::LoadJob::encode_parts_auto(1, &job_bytes).len();
+    println!(
+        "job compression: LoadJob payload {load_job_raw} B raw -> {load_job_auto} B shipped \
+         ({:.1}% of raw)",
+        load_job_auto as f64 * 100.0 / load_job_raw.max(1) as f64
+    );
+
     // Scrape cost: price one full exposition encode of everything the
     // sections above accumulated, so the trajectory tracks how
     // expensive a Prometheus scrape is as the series catalogue grows.
@@ -460,7 +553,7 @@ fn main() {
 
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"bench\": \"runtime\",\n  \"workload\": \"rb-k24\",\n  \"shots\": {shots},\n  \"host_parallelism\": {available},\n  \"points\": [\n{}\n  ],\n  \"shot_speed\": {{\n    \"workload\": \"rb-k64-clifford\",\n    \"shots\": {sp_shots},\n    \"qubits\": 3,\n    \"workers\": 4,\n    \"target_speedup\": 5.0,\n    \"stabilizer_prefix_speedup\": {sp_fast_speedup:.3},\n    \"bit_identical\": true,\n    \"paths\": [\n{}\n    ]\n  }},\n  \"serve\": {{\n    \"workers\": {live_workers},\n    \"peak_queue_depth\": {peak_queue_depth},\n    \"jobs\": [\n{}\n    ]\n  }},\n  \"metrics\": {{\n    \"series\": {series},\n    \"exposition_bytes\": {},\n    \"encode_us\": {scrape_us:.1}\n  }},\n  \"remote\": {{\n    \"pool\": {pool_size},\n    \"remote_slots\": {remote_slots},\n    \"shots_per_sec\": {remote_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"elastic\": {{\n    \"slots_before\": 1,\n    \"slots_after\": {elastic_slots},\n    \"attach_at_shots\": {before_shots},\n    \"shots_per_sec_before\": {before_rate:.1},\n    \"shots_per_sec_after\": {after_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"client\": {{\n    \"shots_per_sec\": {client_rate:.1},\n    \"snapshots_streamed\": {snapshots_streamed},\n    \"bit_identical\": true,\n    \"run_range_bytes_v1\": {per_range_v1},\n    \"run_range_bytes_v2\": {per_range_v2},\n    \"bytes_saved_per_range\": {},\n    \"load_job_bytes_once\": {},\n    \"total_request_bytes_v1\": {},\n    \"total_request_bytes_v2\": {}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"runtime\",\n  \"workload\": \"rb-k24\",\n  \"shots\": {shots},\n  \"host_parallelism\": {available},\n  \"points\": [\n{}\n  ],\n  \"shot_speed\": {{\n    \"workload\": \"rb-k64-clifford\",\n    \"shots\": {sp_shots},\n    \"qubits\": 3,\n    \"workers\": 4,\n    \"target_speedup\": 5.0,\n    \"stabilizer_prefix_speedup\": {sp_fast_speedup:.3},\n    \"bit_identical\": true,\n    \"paths\": [\n{}\n    ]\n  }},\n  \"serve\": {{\n    \"workers\": {live_workers},\n    \"peak_queue_depth\": {peak_queue_depth},\n    \"jobs\": [\n{}\n    ]\n  }},\n  \"journal\": {{\n    \"fsync\": \"batch\",\n    \"path\": \"dense\",\n    \"jobs\": 4,\n    \"serve_wall_s_plain\": {plain_wall:.4},\n    \"serve_wall_s_journaled\": {journal_wall:.4},\n    \"overhead_pct\": {journal_overhead_pct:.2},\n    \"records_appended\": {journal_appends},\n    \"fsyncs\": {journal_fsyncs},\n    \"disk_bytes\": {journal_disk_bytes}\n  }},\n  \"metrics\": {{\n    \"series\": {series},\n    \"exposition_bytes\": {},\n    \"encode_us\": {scrape_us:.1}\n  }},\n  \"remote\": {{\n    \"pool\": {pool_size},\n    \"remote_slots\": {remote_slots},\n    \"shots_per_sec\": {remote_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"elastic\": {{\n    \"slots_before\": 1,\n    \"slots_after\": {elastic_slots},\n    \"attach_at_shots\": {before_shots},\n    \"shots_per_sec_before\": {before_rate:.1},\n    \"shots_per_sec_after\": {after_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"client\": {{\n    \"shots_per_sec\": {client_rate:.1},\n    \"snapshots_streamed\": {snapshots_streamed},\n    \"bit_identical\": true,\n    \"run_range_bytes_v1\": {per_range_v1},\n    \"run_range_bytes_v2\": {per_range_v2},\n    \"bytes_saved_per_range\": {},\n    \"load_job_bytes_once\": {},\n    \"load_job_bytes_raw\": {load_job_raw},\n    \"load_job_bytes_compressed\": {load_job_auto},\n    \"total_request_bytes_v1\": {},\n    \"total_request_bytes_v2\": {}\n  }}\n}}\n",
         rows.join(",\n"),
         sp_rows.join(",\n"),
         serve_rows.join(",\n"),

@@ -56,6 +56,11 @@ pub enum RuntimeError {
         /// The tenant's pending-shot cap.
         cap: u64,
     },
+    /// The write-ahead job journal could not be opened or replayed at
+    /// startup. Recovery refuses to guess at corrupt durable state;
+    /// the operator decides whether to repair or discard the journal
+    /// directory.
+    Journal(crate::journal::JournalError),
 }
 
 impl RuntimeError {
@@ -91,6 +96,7 @@ impl fmt::Display for RuntimeError {
                 "tenant `{tenant}` rejected at admission: {pending_shots} shots pending + \
                  {requested_shots} requested would exceed the {cap}-shot cap"
             ),
+            RuntimeError::Journal(e) => write!(f, "journal recovery failed: {e}"),
         }
     }
 }
@@ -106,7 +112,14 @@ impl std::error::Error for RuntimeError {
             RuntimeError::Transport { .. } => None,
             RuntimeError::Auth(_) => None,
             RuntimeError::AdmissionRejected { .. } => None,
+            RuntimeError::Journal(e) => Some(e),
         }
+    }
+}
+
+impl From<crate::journal::JournalError> for RuntimeError {
+    fn from(e: crate::journal::JournalError) -> Self {
+        RuntimeError::Journal(e)
     }
 }
 

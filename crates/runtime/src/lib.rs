@@ -168,9 +168,10 @@ pub mod client;
 mod engine;
 mod error;
 mod job;
+pub mod journal;
 pub mod metrics;
 mod net;
-mod prefix;
+pub mod prefix;
 pub mod serve;
 mod supervisor;
 pub mod wire;
@@ -183,6 +184,7 @@ pub use client::{Client, RemoteJobHandle};
 pub use engine::ShotEngine;
 pub use error::RuntimeError;
 pub use job::{default_batch_size, partition_shots, Job};
+pub use journal::{FsyncPolicy, JournalConfig, JournalError, RecoveryReport};
 pub use metrics::MetricsServer;
 pub use net::{
     ping, ping_opts, ping_within, run_serve_until, run_worker, run_worker_until, spawn_serve,

@@ -643,6 +643,20 @@ pub(crate) struct RuntimeMetrics {
     /// `eqasm_handshake_deadline_drops_total`
     pub handshake_deadline_drops: Arc<Counter>,
 
+    // --- durability: the write-ahead job journal ----------------------
+    /// `eqasm_journal_appends_total`
+    pub journal_appends: Arc<Counter>,
+    /// `eqasm_journal_fsyncs_total`
+    pub journal_fsyncs: Arc<Counter>,
+    /// `eqasm_journal_bytes_total`
+    pub journal_bytes: Arc<Counter>,
+    /// `eqasm_journal_recovered_jobs_total`
+    pub journal_recovered_jobs: Arc<Counter>,
+    /// `eqasm_journal_recovered_ranges_total`
+    pub journal_recovered_ranges: Arc<Counter>,
+    /// `eqasm_journal_compactions_total`
+    pub journal_compactions: Arc<Counter>,
+
     // --- pool supervisor ----------------------------------------------
     /// `eqasm_supervisor_probes_total{outcome="ok"}`
     pub probes_ok: Arc<Counter>,
@@ -800,6 +814,30 @@ impl RuntimeMetrics {
             handshake_deadline_drops: r.counter(
                 "eqasm_handshake_deadline_drops_total",
                 "Accepted connections dropped for not completing the handshake in time.",
+            ),
+            journal_appends: r.counter(
+                "eqasm_journal_appends_total",
+                "Records appended to the write-ahead job journal.",
+            ),
+            journal_fsyncs: r.counter(
+                "eqasm_journal_fsyncs_total",
+                "fsync calls issued by the journal thread (batched appends share one).",
+            ),
+            journal_bytes: r.counter(
+                "eqasm_journal_bytes_total",
+                "Bytes written to journal segments, frame overhead included.",
+            ),
+            journal_recovered_jobs: r.counter(
+                "eqasm_journal_recovered_jobs_total",
+                "Incomplete jobs re-admitted from the journal at startup.",
+            ),
+            journal_recovered_ranges: r.counter(
+                "eqasm_journal_recovered_ranges_total",
+                "Folded batch ranges restored from the journal without re-execution.",
+            ),
+            journal_compactions: r.counter(
+                "eqasm_journal_compactions_total",
+                "Journal compactions (live state rewritten into a fresh segment).",
             ),
             probes_ok: probes.with(&["ok"]),
             probes_failed: probes.with(&["failed"]),

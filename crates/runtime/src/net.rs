@@ -1304,6 +1304,9 @@ impl RemoteBackend {
     }
 
     /// Sends `LoadJob` for the cached job `id` and records it loaded.
+    /// Large programs ship compressed (see
+    /// [`wire::COMPRESSED_JOB_ID_FLAG`]); the worker decompresses
+    /// transparently in `LoadJob::decode`.
     fn load_job(&mut self, id: u64) -> Result<(), Exchange> {
         let payload = {
             let entry = self
@@ -1311,7 +1314,7 @@ impl RemoteBackend {
                 .iter()
                 .find(|e| e.id == id)
                 .expect("job encoded before load");
-            LoadJob::encode_parts(id, &entry.bytes)
+            LoadJob::encode_parts_auto(id, &entry.bytes)
         };
         self.traffic.load_requests += 1;
         self.traffic.load_request_bytes += payload.len() as u64 + FRAME_OVERHEAD;
@@ -1965,6 +1968,16 @@ fn serve_accept_loop(
     let conn_shutdown = Arc::new(AtomicBool::new(false));
     let active = Arc::new(AtomicUsize::new(0));
     let directory = Arc::new(JobDirectory::new(config.completed_retention));
+    // Jobs the queue already knows — re-admitted by `JobQueue::recover`
+    // from a journal, or admitted in-process before the acceptor
+    // started — get directory ids in admission order, the same order
+    // SUBMIT_ACK handed them out pre-crash. A client's job ids from
+    // before a kill -9 stay valid across the restart, and
+    // `status --job N` can address a recovered job this acceptor
+    // never saw a SUBMIT for.
+    for handle in queue.job_handles() {
+        directory.register(handle);
+    }
     loop {
         if shutdown.load(Ordering::Acquire) {
             break;

@@ -103,3 +103,50 @@ pub(crate) fn fork_snapshot(machine: &mut QuMa, job: &Job) -> Option<Arc<Machine
     });
     Some(snap)
 }
+
+/// The configuration a machine built for `job` will actually run with
+/// — [`crate::engine::build_machine`]'s normalization (trace recording
+/// off, `EQASM_EXEC_PATH` override applied) plus the cache's seed
+/// zeroing. [`warm`] and [`is_warm`] must agree with `fork_snapshot`
+/// on this or the pre-warmed entry would never be hit.
+fn normalized_config(job: &Job) -> SimConfig {
+    let mut config = job.config.clone();
+    config.record_trace = false;
+    match std::env::var("EQASM_EXEC_PATH").as_deref() {
+        Ok(v) if v.eq_ignore_ascii_case("dense") => config.backend = BackendSelect::Dense,
+        Ok(v) if v.eq_ignore_ascii_case("auto") => config.backend = BackendSelect::Auto,
+        _ => {}
+    }
+    config.seed = 0;
+    config
+}
+
+/// Computes (and caches) `job`'s prefix snapshot ahead of dispatch, so
+/// the first batch forks from a warm cache instead of paying the
+/// prefix build on the hot path. The serve scheduler calls this from a
+/// dedicated warmer thread on admission and on journal recovery.
+///
+/// A no-op whenever forking would not apply (disabled, dense policy,
+/// ineligible program) or the machine fails to build — the dispatch
+/// path makes its own decision and stays correct either way.
+pub fn warm(job: &Job) {
+    if forking_disabled() {
+        return;
+    }
+    let Ok(mut machine) = crate::engine::build_machine(job) else {
+        return;
+    };
+    let _ = fork_snapshot(&mut machine, job);
+}
+
+/// Whether the cache already holds a snapshot for `job`'s shape. Test
+/// instrumentation for the pre-warming path: the process-global
+/// hit/miss counters are shared across concurrently running tests, but
+/// this is race-free per shape.
+pub fn is_warm(job: &Job) -> bool {
+    let key_config = normalized_config(job);
+    let entries = cache().lock().expect("prefix cache poisoned");
+    entries.iter().any(|e| {
+        e.key.config == key_config && e.key.program == job.program && e.key.inst == job.inst
+    })
+}

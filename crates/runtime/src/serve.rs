@@ -86,17 +86,18 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use eqasm_core::{Instantiation, Instruction};
 use eqasm_microarch::RunStats;
 
 use crate::aggregate::{Histogram, JobResult, LatencyStats};
-use crate::backend::{BackendDescriptor, ExecBackend, LocalBackend};
+use crate::backend::{BackendDescriptor, BatchOut, ExecBackend, LocalBackend};
 use crate::engine::TaggedBatch;
 use crate::error::RuntimeError;
 use crate::job::{default_batch_size, partition_shots, Job};
+use crate::journal::{self, JournalConfig, JournalHandle, RecoveryReport};
 use crate::workload::{WorkloadKind, WorkloadSpec};
 
 /// Identifies the tenant a submission is accounted against. Cheap to
@@ -685,6 +686,18 @@ impl PartialState {
     }
 }
 
+/// The encoded journal payloads a live job retains so compaction can
+/// rewrite durable state without re-encoding (or re-reading) anything.
+/// Dropped at the job's terminal transition — completed jobs take no
+/// durable space, which is exactly what makes compaction shrink the
+/// journal.
+struct DurableJob {
+    /// The job's `Admit` payload, as appended.
+    admit: Vec<u8>,
+    /// Every `RangeDone` payload appended so far, in fold order.
+    ranges: Vec<Vec<u8>>,
+}
+
 /// A job tracked by the queue.
 struct JobEntry {
     job: Arc<Job>,
@@ -694,6 +707,9 @@ struct JobEntry {
     partial: PartialState,
     final_result: Option<JobResult>,
     failed: Option<String>,
+    /// Journal-mode only: this job's live journal payloads (see
+    /// [`DurableJob`]); `None` once terminal or when not journaling.
+    durable: Option<DurableJob>,
 }
 
 impl JobEntry {
@@ -733,6 +749,17 @@ struct QueueState {
     /// parks them until capacity is attached again.
     live: usize,
     config: ServeConfig,
+    /// The write-ahead journal's append channel; `None` for an
+    /// in-memory-only queue. Appends are one channel send — file I/O
+    /// and fsync happen on the journal thread, never under this mutex.
+    journal: Option<JournalHandle>,
+    /// Payload bytes appended since the last compaction.
+    journal_appended: u64,
+    /// Payload bytes the current live state would occupy if rewritten
+    /// — the size a compacted segment would have.
+    journal_live: u64,
+    /// Compaction floor (see [`JournalConfig::compact_min_bytes`]).
+    journal_compact_min: u64,
 }
 
 impl QueueState {
@@ -748,6 +775,10 @@ impl QueueState {
             slots: Vec::new(),
             live: 0,
             config,
+            journal: None,
+            journal_appended: 0,
+            journal_live: 0,
+            journal_compact_min: 0,
         }
     }
 
@@ -847,8 +878,10 @@ impl QueueState {
             partial: PartialState::new(num_qubits),
             final_result: None,
             failed: None,
+            durable: None,
         };
         self.jobs.push(entry);
+        self.journal_admit(job_id);
         if self.live == 0 && self.jobs[job_id].batches_total > 0 && !self.config.hold_when_empty {
             // Every backend already retired and nothing will bring one
             // back: accepting the job would hang its pollers forever.
@@ -857,6 +890,7 @@ impl QueueState {
             // expected to restore capacity.)
             self.jobs[job_id].failed = Some("no execution backends remain in the pool".to_owned());
             crate::metrics::rt().jobs_completed.with(&["failed"]).inc();
+            self.journal_complete(job_id);
             return job_id;
         }
         for (b, range) in ranges.into_iter().enumerate() {
@@ -979,12 +1013,25 @@ impl QueueState {
     }
 
     /// Folds a completed batch back in and finalizes the job when its
-    /// last batch lands.
-    fn complete(&mut self, task: &DispatchedTask, tagged: TaggedBatch) {
+    /// last batch lands. `journal_payload` is the batch's pre-encoded
+    /// `RangeDone` record — built by the dispatch thread *outside* the
+    /// queue mutex (encoding a large `BatchOut` under the lock would
+    /// stall every worker), `None` when not journaling.
+    fn complete(
+        &mut self,
+        task: &DispatchedTask,
+        tagged: TaggedBatch,
+        journal_payload: Option<Vec<u8>>,
+    ) {
         let t = &mut self.tenants[task.tenant];
         t.inflight = t.inflight.saturating_sub(task.cost());
         t.shots_done += task.cost();
         t.sync_gauges();
+        if let Some(payload) = journal_payload {
+            if !self.jobs[task.job_id].done() {
+                self.journal_range_done(task.job_id, payload);
+            }
+        }
         let entry = &mut self.jobs[task.job_id];
         let before_batches = entry.partial.folded;
         let before_shots = entry.partial.shots_done;
@@ -1022,6 +1069,7 @@ impl QueueState {
         if entry.failed.is_none() && entry.final_result.is_none() {
             entry.failed = Some(message);
             crate::metrics::rt().jobs_completed.with(&["failed"]).inc();
+            self.journal_complete(task.job_id);
         }
     }
 
@@ -1108,10 +1156,12 @@ impl QueueState {
         self.pending = 0;
         self.sync_depth();
         let failed_jobs = m.jobs_completed.with(&["failed"]);
-        for entry in &mut self.jobs {
-            if !entry.done() {
-                entry.failed = Some("every execution backend failed; job abandoned".to_owned());
+        for job_id in 0..self.jobs.len() {
+            if !self.jobs[job_id].done() {
+                self.jobs[job_id].failed =
+                    Some("every execution backend failed; job abandoned".to_owned());
                 failed_jobs.inc();
+                self.journal_complete(job_id);
             }
         }
     }
@@ -1169,6 +1219,192 @@ impl QueueState {
             non_halted: p.non_halted,
             first_failure: p.first_failure.clone(),
         });
+        self.journal_complete(job_id);
+    }
+
+    // -- write-ahead journal hooks ------------------------------------
+    //
+    // Every hook is a no-op on an in-memory queue, and never more than
+    // building a payload plus one channel send under the mutex — the
+    // file write and fsync happen on the journal thread.
+
+    /// Appends `job_id`'s `Admit` record and starts its durable
+    /// ledger.
+    fn journal_admit(&mut self, job_id: usize) {
+        let Some(journal) = self.journal.clone() else {
+            return;
+        };
+        let entry = &self.jobs[job_id];
+        let tenant = self.tenants[entry.tenant].id.as_str();
+        match journal::admit_payload(job_id as u64, tenant, &entry.job) {
+            Ok(payload) => {
+                let len = journal::framed_len(&payload);
+                journal.append(payload.clone());
+                self.jobs[job_id].durable = Some(DurableJob {
+                    admit: payload,
+                    ranges: Vec::new(),
+                });
+                self.journal_appended += len;
+                self.journal_live += len;
+            }
+            // An unencodable job cannot be made durable, but it can
+            // still run; a crash would simply lose it. Encoding only
+            // fails on programs the wire codec cannot represent, which
+            // the submission paths never produce.
+            Err(e) => eprintln!("eqasm journal: cannot encode Admit for job {job_id}: {e}"),
+        }
+    }
+
+    /// Appends a pre-encoded `RangeDone` record for `job_id`.
+    fn journal_range_done(&mut self, job_id: usize, payload: Vec<u8>) {
+        let Some(journal) = self.journal.clone() else {
+            return;
+        };
+        let len = journal::framed_len(&payload);
+        journal.append(payload.clone());
+        if let Some(durable) = &mut self.jobs[job_id].durable {
+            durable.ranges.push(payload);
+        }
+        self.journal_appended += len;
+        self.journal_live += len;
+    }
+
+    /// Appends `job_id`'s `Complete` record, drops its durable ledger,
+    /// and compacts when the journal has grown enough. Called at every
+    /// terminal transition — success, failure, mass-fail — *before*
+    /// anyone could observe the job as done, so recovery can never
+    /// resurrect a job whose result was already surfaced.
+    fn journal_complete(&mut self, job_id: usize) {
+        let Some(journal) = self.journal.clone() else {
+            return;
+        };
+        let payload = journal::complete_payload(job_id as u64);
+        self.journal_appended += journal::framed_len(&payload);
+        journal.append(payload);
+        if let Some(durable) = self.jobs[job_id].durable.take() {
+            let retained = journal::framed_len(&durable.admit)
+                + durable
+                    .ranges
+                    .iter()
+                    .map(|r| journal::framed_len(r))
+                    .sum::<u64>();
+            self.journal_live = self.journal_live.saturating_sub(retained);
+        }
+        self.maybe_compact();
+    }
+
+    /// Compacts once the bytes appended since the last compaction
+    /// exceed both the configured floor and twice the live state — the
+    /// classic amortization: each compaction pays for at most half the
+    /// writing since the previous one, so journal size stays O(live
+    /// state) with O(1) amortized rewrite cost per append.
+    fn maybe_compact(&mut self) {
+        let Some(journal) = self.journal.clone() else {
+            return;
+        };
+        let threshold = self.journal_compact_min.max(2 * self.journal_live + 4096);
+        if self.journal_appended <= threshold {
+            return;
+        }
+        let mut payloads = Vec::new();
+        let mut live_jobs = 0u64;
+        for entry in &self.jobs {
+            if let Some(durable) = &entry.durable {
+                live_jobs += 1;
+                payloads.push(durable.admit.clone());
+                payloads.extend(durable.ranges.iter().cloned());
+            }
+        }
+        journal.compact(payloads, live_jobs);
+        self.journal_appended = 0;
+    }
+
+    /// Re-admits one incomplete job from journal replay: recorded
+    /// ranges fold immediately (no re-execution), only missing ranges
+    /// re-enter the dispatch queue, and the fresh journal generation
+    /// gets the job's `Admit`/`RangeDone` records re-emitted (recovery
+    /// doubles as compaction). Returns the job id and how many ranges
+    /// were restored.
+    ///
+    /// Batch boundaries are recomputed from the current configuration;
+    /// if the recorded ranges do not match (the operator changed
+    /// `--batch-size` across the restart), the recorded results are
+    /// discarded and the whole job re-runs — partitioning is pure, so
+    /// either way the final aggregates are bit-identical to an
+    /// uninterrupted run.
+    fn enqueue_recovered_job(
+        &mut self,
+        tenant: usize,
+        job: Job,
+        mut done: BTreeMap<usize, (std::ops::Range<u64>, BatchOut)>,
+    ) -> (usize, usize) {
+        let job_id = self.jobs.len();
+        let batch = self
+            .config
+            .batch_size
+            .unwrap_or_else(|| default_batch_size(job.shots))
+            .max(1);
+        let ranges = partition_shots(job.shots, batch);
+        if !done
+            .iter()
+            .all(|(b, (range, _))| ranges.get(*b) == Some(range))
+        {
+            done.clear();
+        }
+        let num_qubits = job.inst.topology().num_qubits();
+        self.jobs.push(JobEntry {
+            job: Arc::new(job),
+            tenant,
+            batches_total: ranges.len(),
+            submitted_at: Instant::now(),
+            partial: PartialState::new(num_qubits),
+            final_result: None,
+            failed: None,
+            durable: None,
+        });
+        self.journal_admit(job_id);
+        for (b, range) in ranges.iter().enumerate() {
+            if done.contains_key(&b) {
+                continue;
+            }
+            self.quantum_unit = self.quantum_unit.max(range.end - range.start);
+            self.tenants[tenant].pending_shots += range.end - range.start;
+            self.tenants[tenant].queue.push_back(PendingBatch {
+                job: job_id,
+                batch: b,
+                range: range.clone(),
+                failed_on: Vec::new(),
+            });
+            self.pending += 1;
+        }
+        self.tenants[tenant].sync_gauges();
+        self.sync_depth();
+        let restored = done.len();
+        let now = Instant::now();
+        let m = crate::metrics::rt();
+        for (b, (range, out)) in done {
+            let cost = range.end - range.start;
+            let shots = out.durations_ns.len() as u64;
+            self.journal_range_done(
+                job_id,
+                journal::range_done_payload(job_id as u64, b as u32, &range, &out),
+            );
+            self.jobs[job_id].partial.absorb(TaggedBatch {
+                job: job_id,
+                batch: b,
+                out,
+                started_at: now,
+                finished_at: now,
+            });
+            self.tenants[tenant].shots_done += cost;
+            m.batches_folded.inc();
+            m.shots_completed.add(shots);
+        }
+        let entry = &self.jobs[job_id];
+        if entry.partial.folded == entry.batches_total && !entry.done() {
+            self.finalize(job_id);
+        }
+        (job_id, restored)
     }
 
     /// A snapshot of `job_id` at this instant, plus the raw prefix
@@ -1252,6 +1488,10 @@ struct Shared {
     /// Pollers wait here for job completion.
     progress: Condvar,
     shutdown: AtomicBool,
+    /// Whether this queue journals (fixed at construction). Dispatch
+    /// threads read it to decide whether to pre-encode `RangeDone`
+    /// payloads outside the queue mutex.
+    journaled: bool,
 }
 
 /// A polling handle to one queued job.
@@ -1308,6 +1548,24 @@ impl JobHandle {
     /// completed-retention window. Irreversible — only call it when
     /// no holder still wants the result.
     pub fn release(&self) -> bool {
+        // Durability barrier: the job's `Complete` record was appended
+        // at its terminal transition, but appends are asynchronous —
+        // if this process died after dropping the result here and
+        // before that record hit the disk, recovery would resurrect
+        // (and re-run) a job whose result was already surfaced and
+        // discarded. Flush the journal *outside* the queue mutex
+        // (an fsync under the lock would stall every worker), then
+        // tombstone.
+        let journal = {
+            let state = self.shared.state.lock().expect("queue state poisoned");
+            if !state.jobs[self.job].done() {
+                return false;
+            }
+            state.journal.clone()
+        };
+        if let Some(journal) = journal {
+            journal.flush();
+        }
         let mut state = self.shared.state.lock().expect("queue state poisoned");
         let entry = &mut state.jobs[self.job];
         if !entry.done() {
@@ -1391,6 +1649,13 @@ pub struct JobQueue {
     /// can take `&self` — the flag and condvars already do — and so
     /// [`JobQueue::attach_backend`] can grow the pool mid-run.
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Channel to the prefix warmer thread; dropped at shutdown so the
+    /// warmer drains and exits. `None` when the warmer failed to spawn
+    /// (pre-warming is an optimization, never a requirement).
+    warm_tx: Mutex<Option<mpsc::Sender<Arc<Job>>>>,
+    /// The warmer and (journal mode) journal threads, joined at
+    /// shutdown after the workers.
+    aux_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl JobQueue {
@@ -1414,26 +1679,170 @@ impl JobQueue {
     /// queue with no way to execute would hang every submission)
     /// unless [`ServeConfig::hold_when_empty`] says capacity will be
     /// attached later.
-    pub fn with_backends(config: ServeConfig, mut backends: Vec<Box<dyn ExecBackend>>) -> Self {
+    pub fn with_backends(config: ServeConfig, backends: Vec<Box<dyn ExecBackend>>) -> Self {
+        JobQueue::build(config, backends, None, None)
+    }
+
+    /// The common constructor behind [`JobQueue::with_backends`] and
+    /// [`JobQueue::recover`].
+    fn build(
+        config: ServeConfig,
+        mut backends: Vec<Box<dyn ExecBackend>>,
+        journal: Option<(JournalHandle, u64)>,
+        journal_thread: Option<std::thread::JoinHandle<()>>,
+    ) -> Self {
         if backends.is_empty() && !config.hold_when_empty {
             backends.push(Box::new(LocalBackend::new(0)));
         }
+        let mut state = QueueState::new(config);
+        let journaled = journal.is_some();
+        if let Some((handle, compact_min)) = journal {
+            state.journal = Some(handle);
+            state.journal_compact_min = compact_min;
+        }
         let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState::new(config)),
+            state: Mutex::new(state),
             work_ready: Condvar::new(),
             progress: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            journaled,
         });
         let queue = JobQueue {
             shared,
             workers: Mutex::new(Vec::new()),
+            warm_tx: Mutex::new(None),
+            aux_threads: Mutex::new(Vec::new()),
         };
+        // The prefix warmer: admission (and recovery) send each job's
+        // Arc here, and the snapshot is computed before the first
+        // batch dispatches instead of on it. Purely an optimization —
+        // if the spawn fails, dispatch pays the prefix build as
+        // before.
+        let (warm_tx, warm_rx) = mpsc::channel::<Arc<Job>>();
+        let warmer = std::thread::Builder::new()
+            .name("eqasm-prefix-warmer".to_owned())
+            .spawn(move || {
+                while let Ok(job) = warm_rx.recv() {
+                    crate::prefix::warm(&job);
+                }
+            });
+        if let Ok(handle) = warmer {
+            *queue.warm_tx.lock().expect("warmer channel poisoned") = Some(warm_tx);
+            queue
+                .aux_threads
+                .lock()
+                .expect("aux thread list poisoned")
+                .push(handle);
+        }
+        if let Some(handle) = journal_thread {
+            queue
+                .aux_threads
+                .lock()
+                .expect("aux thread list poisoned")
+                .push(handle);
+        }
         for backend in backends {
             queue
                 .attach_backend(backend)
                 .expect("spawn initial serve worker");
         }
         queue
+    }
+
+    /// Starts a **durable** queue: replays the write-ahead journal in
+    /// `journal_config.dir` (empty or missing is a cold start),
+    /// re-admits every incomplete job with its already-folded ranges
+    /// restored — only missing ranges re-dispatch — and journals
+    /// everything from here on. Final aggregates of recovered jobs are
+    /// bit-identical to an uninterrupted run: partitioning is pure,
+    /// recorded ranges carry their exact `BatchOut`, and the fold is
+    /// batch-index-ordered either way.
+    ///
+    /// Recovery doubles as compaction: the surviving state is
+    /// re-emitted into a fresh checkpointed segment, flushed, and the
+    /// old segments are deleted (a crash in between is safe — the
+    /// checkpoint supersedes them on the next replay).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Journal`] when the journal directory cannot be
+    /// opened or holds corrupt (not merely torn) segments. A torn
+    /// final record — the normal residue of `kill -9` — recovers
+    /// cleanly and is only noted in the [`RecoveryReport`].
+    pub fn recover(
+        config: ServeConfig,
+        backends: Vec<Box<dyn ExecBackend>>,
+        journal_config: &JournalConfig,
+    ) -> Result<(Self, RecoveryReport), RuntimeError> {
+        let replay = journal::replay_dir(&journal_config.dir)?;
+        let journal = journal::spawn(journal_config, replay.next_segment)?;
+        let handle = journal.handle;
+        let queue = JobQueue::build(
+            config,
+            backends,
+            Some((handle.clone(), journal_config.compact_min_bytes)),
+            Some(journal.thread),
+        );
+        let mut report = RecoveryReport {
+            segments_replayed: replay.segments.len(),
+            records_replayed: replay.records,
+            torn_tail: replay.torn_tail,
+            ..RecoveryReport::default()
+        };
+        let mut warm_jobs = Vec::new();
+        {
+            let mut state = queue.shared.state.lock().expect("queue state poisoned");
+            for (_, recovered) in replay.jobs {
+                if recovered.completed {
+                    report.jobs_dropped += 1;
+                    continue;
+                }
+                let tenant = state.tenant_slot(&TenantId::new(recovered.tenant));
+                let (job_id, restored) =
+                    state.enqueue_recovered_job(tenant, recovered.job, recovered.done);
+                report.jobs_recovered += 1;
+                report.ranges_recovered += restored;
+                warm_jobs.push(Arc::clone(&state.jobs[job_id].job));
+            }
+        }
+        queue.shared.work_ready.notify_all();
+        queue.shared.progress.notify_all();
+        // The fresh generation must be durable before the old one is
+        // retired — this flush is what makes deleting the replayed
+        // segments safe.
+        handle.flush();
+        for path in &replay.segments {
+            let _ = std::fs::remove_file(path);
+        }
+        let m = crate::metrics::rt();
+        m.journal_recovered_jobs.add(report.jobs_recovered as u64);
+        m.journal_recovered_ranges
+            .add(report.ranges_recovered as u64);
+        for job in warm_jobs {
+            queue.warm(job);
+        }
+        Ok((queue, report))
+    }
+
+    /// A [`JobHandle`] for every job the queue knows — including
+    /// completed, failed and released ones — in admission order. How a
+    /// recovery caller reaches re-admitted jobs, which have no
+    /// pre-crash handles.
+    pub fn job_handles(&self) -> Vec<JobHandle> {
+        let state = self.shared.state.lock().expect("queue state poisoned");
+        (0..state.jobs.len())
+            .map(|job| JobHandle {
+                shared: Arc::clone(&self.shared),
+                job,
+            })
+            .collect()
+    }
+
+    /// Hands `job` to the prefix warmer thread (no-op without one).
+    fn warm(&self, job: Arc<Job>) {
+        if let Some(tx) = &*self.warm_tx.lock().expect("warmer channel poisoned") {
+            let _ = tx.send(job);
+        }
     }
 
     /// Attaches a new execution slot to the **running** pool: the
@@ -1624,16 +2033,25 @@ impl JobQueue {
         let mut state = self.shared.state.lock().expect("queue state poisoned");
         let tenant = state.tenant_slot(&submission.tenant);
         state.admit(tenant, requested)?;
-        let handles = jobs
-            .into_iter()
-            .map(|job| JobHandle {
+        let mut handles = Vec::with_capacity(jobs.len());
+        let mut warm_jobs = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let job_id = state.enqueue_job(tenant, job);
+            warm_jobs.push(Arc::clone(&state.jobs[job_id].job));
+            handles.push(JobHandle {
                 shared: Arc::clone(&self.shared),
-                job: state.enqueue_job(tenant, job),
-            })
-            .collect();
+                job: job_id,
+            });
+        }
         drop(state);
         self.shared.work_ready.notify_all();
         self.shared.progress.notify_all();
+        // Pre-warm the prefix cache off the hot path: by the time a
+        // slot picks up the first batch, the snapshot is (usually)
+        // already computed.
+        for job in warm_jobs {
+            self.warm(job);
+        }
         Ok(handles)
     }
 
@@ -1677,6 +2095,21 @@ impl JobQueue {
         self.shared.progress.notify_all();
         let handles = std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
         for handle in handles {
+            let _ = handle.join();
+        }
+        // Workers are gone, so nothing appends anymore: drop the
+        // warmer's sender (its thread drains and exits), flush and
+        // stop the journal thread, then join both.
+        *self.warm_tx.lock().expect("warmer channel poisoned") = None;
+        let journal = {
+            let state = self.shared.state.lock().expect("queue state poisoned");
+            state.journal.clone()
+        };
+        if let Some(journal) = journal {
+            journal.shutdown();
+        }
+        let aux = std::mem::take(&mut *self.aux_threads.lock().expect("aux thread list poisoned"));
+        for handle in aux {
             let _ = handle.join();
         }
     }
@@ -1753,10 +2186,22 @@ fn backend_loop(shared: &Shared, mut backend: Box<dyn ExecBackend>, slot_id: usi
                     started_at,
                     finished_at: Instant::now(),
                 };
+                // Journal mode: encode the RangeDone record here,
+                // outside the queue mutex — the payload embeds the
+                // full BatchOut, and serializing that under the lock
+                // would stall every other slot.
+                let journal_payload = shared.journaled.then(|| {
+                    journal::range_done_payload(
+                        task.job_id as u64,
+                        task.batch as u32,
+                        &task.range,
+                        &tagged.out,
+                    )
+                });
                 let mut state = shared.state.lock().expect("queue state poisoned");
                 state.slots[slot_id].consecutive_failures = 0;
                 state.slots[slot_id].batches_completed += 1;
-                state.complete(&task, tagged);
+                state.complete(&task, tagged, journal_payload);
                 drop(state);
                 // Completion both frees quota (wake workers) and may
                 // have finished a job (wake pollers).
@@ -1946,7 +2391,7 @@ mod tests {
         let reversed_tasks: Vec<&DispatchedTask> = tasks.iter().rev().collect();
         for (task, out) in reversed_tasks.into_iter().zip(outs) {
             let batches_before = state.jobs[job_id].partial.folded;
-            state.complete(task, out);
+            state.complete(task, out, None);
             let snap = state.snapshot(job_id, Instant::now());
             // Prefix-only: nothing folds until batch 0 arrives (last).
             if task.batch > 0 {

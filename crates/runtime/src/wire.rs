@@ -257,41 +257,41 @@ impl Writer {
         self.buf
     }
 
-    fn put_u8(&mut self, v: u8) {
+    pub(crate) fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    fn put_u16(&mut self, v: u16) {
+    pub(crate) fn put_u16(&mut self, v: u16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn put_u32(&mut self, v: u32) {
+    pub(crate) fn put_u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn put_u64(&mut self, v: u64) {
+    pub(crate) fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn put_i32(&mut self, v: i32) {
+    pub(crate) fn put_i32(&mut self, v: i32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn put_f64(&mut self, v: f64) {
+    pub(crate) fn put_f64(&mut self, v: f64) {
         // Bit pattern, not value: NaNs and signed zeros must survive.
         self.put_u64(v.to_bits());
     }
 
-    fn put_bool(&mut self, v: bool) {
+    pub(crate) fn put_bool(&mut self, v: bool) {
         self.put_u8(v as u8);
     }
 
-    fn put_str(&mut self, s: &str) {
+    pub(crate) fn put_str(&mut self, s: &str) {
         self.put_u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
     }
 
-    fn put_bytes(&mut self, b: &[u8]) {
+    pub(crate) fn put_bytes(&mut self, b: &[u8]) {
         self.put_u32(b.len() as u32);
         self.buf.extend_from_slice(b);
     }
@@ -315,7 +315,7 @@ impl<'a> Reader<'a> {
         self.buf.len()
     }
 
-    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+    pub(crate) fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
         if self.buf.len() < n {
             return Err(WireError::Truncated {
                 what,
@@ -328,37 +328,37 @@ impl<'a> Reader<'a> {
         Ok(head)
     }
 
-    fn get_u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+    pub(crate) fn get_u8(&mut self, what: &'static str) -> Result<u8, WireError> {
         Ok(self.take(1, what)?[0])
     }
 
-    fn get_u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+    pub(crate) fn get_u16(&mut self, what: &'static str) -> Result<u16, WireError> {
         let b = self.take(2, what)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
-    fn get_u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+    pub(crate) fn get_u32(&mut self, what: &'static str) -> Result<u32, WireError> {
         let b = self.take(4, what)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn get_u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+    pub(crate) fn get_u64(&mut self, what: &'static str) -> Result<u64, WireError> {
         let b = self.take(8, what)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
 
-    fn get_i32(&mut self, what: &'static str) -> Result<i32, WireError> {
+    pub(crate) fn get_i32(&mut self, what: &'static str) -> Result<i32, WireError> {
         let b = self.take(4, what)?;
         Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn get_f64(&mut self, what: &'static str) -> Result<f64, WireError> {
+    pub(crate) fn get_f64(&mut self, what: &'static str) -> Result<f64, WireError> {
         Ok(f64::from_bits(self.get_u64(what)?))
     }
 
-    fn get_bool(&mut self, what: &'static str) -> Result<bool, WireError> {
+    pub(crate) fn get_bool(&mut self, what: &'static str) -> Result<bool, WireError> {
         match self.get_u8(what)? {
             0 => Ok(false),
             1 => Ok(true),
@@ -366,21 +366,25 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn get_str(&mut self, what: &'static str) -> Result<String, WireError> {
+    pub(crate) fn get_str(&mut self, what: &'static str) -> Result<String, WireError> {
         let len = self.get_u32(what)? as usize;
         let bytes = self.take(len, what)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|e| WireError::Invalid(format!("{what}: non-UTF-8 string: {e}")))
     }
 
-    fn get_bytes(&mut self, what: &'static str) -> Result<Vec<u8>, WireError> {
+    pub(crate) fn get_bytes(&mut self, what: &'static str) -> Result<Vec<u8>, WireError> {
         let len = self.get_u32(what)? as usize;
         Ok(self.take(len, what)?.to_vec())
     }
 
     /// A count prefix, sanity-capped against the remaining payload so
     /// a corrupt length cannot pre-allocate unbounded memory.
-    fn get_count(&mut self, what: &'static str, min_elem_bytes: usize) -> Result<usize, WireError> {
+    pub(crate) fn get_count(
+        &mut self,
+        what: &'static str,
+        min_elem_bytes: usize,
+    ) -> Result<usize, WireError> {
         let n = self.get_u32(what)? as usize;
         let floor = n.saturating_mul(min_elem_bytes.max(1));
         if floor > self.remaining() {
@@ -392,6 +396,166 @@ impl<'a> Reader<'a> {
         }
         Ok(n)
     }
+}
+
+// ---------------------------------------------------------------------
+// Payload compression (varint + RLE)
+// ---------------------------------------------------------------------
+
+/// Bit set in a [`LoadJob`]'s on-the-wire `job_id` when its
+/// `job_bytes` field is [`compress`]ed. The id space proper is the low
+/// 63 bits — ids are small client-side counters (or queue indices), so
+/// the top bit is free to carry the flag without changing the v2 frame
+/// layout: a compressed load is still `u64 id + u32 len + bytes`,
+/// which is why old decoders fail with a typed length error instead of
+/// silently mis-parsing. The journal's `Admit` records reuse the same
+/// convention.
+pub const COMPRESSED_JOB_ID_FLAG: u64 = 1 << 63;
+
+/// Byte runs at least this long become RLE run blocks; anything
+/// shorter stays literal (a run block costs 2+ bytes, so 4 is the
+/// break-even point with margin).
+const MIN_RLE_RUN: usize = 4;
+
+/// Appends `v` as a LEB128 varint (7 bits per byte, high bit =
+/// continuation).
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Reads a LEB128 varint, consuming from the front of `buf`.
+pub(crate) fn get_varint(buf: &mut &[u8], what: &'static str) -> Result<u64, WireError> {
+    let mut v: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        let Some((&b, rest)) = buf.split_first() else {
+            return Err(WireError::Truncated {
+                what,
+                needed: 1,
+                have: 0,
+            });
+        };
+        *buf = rest;
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(WireError::Invalid(format!(
+        "{what}: varint exceeds 64 bits"
+    )))
+}
+
+/// Compresses `data` with a byte-level varint + run-length scheme:
+/// a varint original length, then blocks, each a varint header whose
+/// low bit selects the kind — `0`: a literal run of `header >> 1` raw
+/// bytes; `1`: `header >> 1` repetitions of the single following byte.
+///
+/// Fixed-width wire encodings ([`encode_job`] in particular) are full
+/// of zero runs — high bytes of small `u64`s, idle latency fields —
+/// which is exactly what this catches. The codec is not meant to rival
+/// a real compressor; it is dependency-free, allocation-bounded and
+/// fast enough to sit on the `LoadJob` path and in the journal's
+/// `Admit` records.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    put_varint(&mut out, data.len() as u64);
+    let run_len = |from: usize| {
+        let b = data[from];
+        let mut n = 1;
+        while from + n < data.len() && data[from + n] == b {
+            n += 1;
+        }
+        n
+    };
+    let mut i = 0;
+    while i < data.len() {
+        let run = run_len(i);
+        if run >= MIN_RLE_RUN {
+            put_varint(&mut out, ((run as u64) << 1) | 1);
+            out.push(data[i]);
+            i += run;
+        } else {
+            // Literal block: absorb short runs until the next long run
+            // (or the end), so alternating data costs one header, not
+            // one per byte.
+            let start = i;
+            i += run;
+            while i < data.len() {
+                let next = run_len(i);
+                if next >= MIN_RLE_RUN {
+                    break;
+                }
+                i += next;
+            }
+            put_varint(&mut out, ((i - start) as u64) << 1);
+            out.extend_from_slice(&data[start..i]);
+        }
+    }
+    out
+}
+
+/// Decompresses a [`compress`]ed payload. Every malformation —
+/// truncated varints or runs, a declared length over the
+/// [`MAX_FRAME_LEN`] cap, blocks overshooting or undershooting the
+/// declared length, zero-length blocks — is a typed [`WireError`],
+/// never a panic or an unbounded allocation.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, WireError> {
+    let mut buf = data;
+    let total = get_varint(&mut buf, "compressed.len")? as usize;
+    if total > MAX_FRAME_LEN as usize {
+        return Err(WireError::FrameTooLarge {
+            len: total.min(u32::MAX as usize) as u32,
+            cap: MAX_FRAME_LEN,
+        });
+    }
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let header = get_varint(&mut buf, "compressed.block")?;
+        let len = (header >> 1) as usize;
+        if len == 0 {
+            return Err(WireError::Invalid(
+                "compressed payload: zero-length block".to_owned(),
+            ));
+        }
+        if len > total - out.len() {
+            return Err(WireError::Invalid(format!(
+                "compressed payload: block of {len} bytes overflows the declared {total}-byte \
+                 length"
+            )));
+        }
+        if header & 1 == 1 {
+            let Some((&b, rest)) = buf.split_first() else {
+                return Err(WireError::Truncated {
+                    what: "compressed.run_byte",
+                    needed: 1,
+                    have: 0,
+                });
+            };
+            buf = rest;
+            out.resize(out.len() + len, b);
+        } else {
+            if buf.len() < len {
+                return Err(WireError::Truncated {
+                    what: "compressed.literal",
+                    needed: len,
+                    have: buf.len(),
+                });
+            }
+            out.extend_from_slice(&buf[..len]);
+            buf = &buf[len..];
+        }
+    }
+    if !buf.is_empty() {
+        return Err(WireError::Invalid(format!(
+            "{} trailing bytes after compressed payload",
+            buf.len()
+        )));
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------
@@ -1485,13 +1649,50 @@ impl LoadJob {
         w.into_bytes()
     }
 
-    /// Decodes a request payload.
+    /// Encodes a request payload, [`compress`]ing the job bytes when
+    /// that actually shrinks them (it does for any realistic program —
+    /// the fixed-width job encoding is full of zero runs). A
+    /// compressed load is flagged by [`COMPRESSED_JOB_ID_FLAG`] in the
+    /// id word; the frame layout is unchanged, so this is
+    /// v2-compatible. Incompressible bytes ship plain with no flag —
+    /// the decoder never pays for compression that did not help.
+    pub fn encode_parts_auto(job_id: u64, job_bytes: &[u8]) -> Vec<u8> {
+        debug_assert_eq!(
+            job_id & COMPRESSED_JOB_ID_FLAG,
+            0,
+            "job ids use the low 63 bits"
+        );
+        let packed = compress(job_bytes);
+        if packed.len() < job_bytes.len() {
+            let mut w = Writer::new();
+            w.buf.reserve(8 + 4 + packed.len());
+            w.put_u64(job_id | COMPRESSED_JOB_ID_FLAG);
+            w.put_bytes(&packed);
+            w.into_bytes()
+        } else {
+            LoadJob::encode_parts(job_id, job_bytes)
+        }
+    }
+
+    /// Decodes a request payload, transparently decompressing loads
+    /// flagged with [`COMPRESSED_JOB_ID_FLAG`]. The returned `job_id`
+    /// is always the plain id (flag cleared) and `job_bytes` always
+    /// the raw [`encode_job`] bytes.
     pub fn decode(bytes: &[u8]) -> Result<LoadJob, WireError> {
         let mut r = Reader::new(bytes);
-        Ok(LoadJob {
-            job_id: r.get_u64("LoadJob.job_id")?,
-            job_bytes: r.get_bytes("LoadJob.job_bytes")?,
-        })
+        let raw_id = r.get_u64("LoadJob.job_id")?;
+        let body = r.get_bytes("LoadJob.job_bytes")?;
+        if raw_id & COMPRESSED_JOB_ID_FLAG != 0 {
+            Ok(LoadJob {
+                job_id: raw_id & !COMPRESSED_JOB_ID_FLAG,
+                job_bytes: decompress(&body)?,
+            })
+        } else {
+            Ok(LoadJob {
+                job_id: raw_id,
+                job_bytes: body,
+            })
+        }
     }
 }
 
@@ -2279,5 +2480,78 @@ mod tests {
         w.put_u64(1);
         let err = get_histogram(&mut Reader::new(&w.into_bytes())).expect_err("rejects");
         assert!(matches!(err, WireError::Truncated { .. }), "{err}");
+    }
+
+    #[test]
+    fn varint_roundtrips_across_widths() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut slice = buf.as_slice();
+            assert_eq!(get_varint(&mut slice, "t").unwrap(), v);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn compression_roundtrips_and_shrinks_job_bytes() {
+        let bytes = encode_job(&sample_job()).unwrap();
+        let packed = compress(&bytes);
+        assert_eq!(decompress(&packed).unwrap(), bytes);
+        // The fixed-width job encoding is mostly zero runs; the codec
+        // must actually pay for itself on it.
+        assert!(
+            packed.len() < bytes.len(),
+            "{} >= {}",
+            packed.len(),
+            bytes.len()
+        );
+        // Empty and tiny inputs roundtrip too.
+        assert_eq!(decompress(&compress(&[])).unwrap(), Vec::<u8>::new());
+        assert_eq!(decompress(&compress(&[7])).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn decompress_rejects_malformed_payloads_typed() {
+        let packed = compress(&[1, 2, 3, 4, 5, 5, 5, 5, 5, 5, 6]);
+        // Truncation at every prefix length is a typed error, never a
+        // panic (the full payload is the only valid prefix).
+        for cut in 0..packed.len() {
+            assert!(decompress(&packed[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage is rejected.
+        let mut padded = packed.clone();
+        padded.push(0);
+        assert!(decompress(&padded).is_err());
+        // A declared length over the frame cap must not allocate.
+        let mut huge = Vec::new();
+        put_varint(&mut huge, u64::MAX);
+        assert!(matches!(
+            decompress(&huge),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn load_job_auto_compression_flags_and_roundtrips() {
+        let bytes = encode_job(&sample_job()).unwrap();
+        let payload = LoadJob::encode_parts_auto(42, &bytes);
+        // Compressible job bytes must ship flagged and smaller.
+        let raw_id = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        assert_ne!(raw_id & COMPRESSED_JOB_ID_FLAG, 0);
+        assert!(payload.len() < LoadJob::encode_parts(42, &bytes).len());
+        let back = LoadJob::decode(&payload).unwrap();
+        assert_eq!(back.job_id, 42);
+        assert_eq!(back.job_bytes, bytes);
+        // Incompressible bytes ship plain — no flag, no blowup.
+        let noise: Vec<u8> = (0..97u32)
+            .map(|i| (i.wrapping_mul(151) >> 3) as u8)
+            .collect();
+        let plain = LoadJob::encode_parts_auto(7, &noise);
+        let raw_id = u64::from_le_bytes(plain[..8].try_into().unwrap());
+        assert_eq!(raw_id & COMPRESSED_JOB_ID_FLAG, 0);
+        assert_eq!(plain, LoadJob::encode_parts(7, &noise));
+        let back = LoadJob::decode(&plain).unwrap();
+        assert_eq!((back.job_id, back.job_bytes), (7, noise));
     }
 }

@@ -1,0 +1,373 @@
+//! Crash-recovery contracts of the durable coordinator: a queue killed
+//! at *any* point and restarted from its write-ahead journal finishes
+//! every job with aggregates bit-identical to an uninterrupted run.
+//!
+//! The tests simulate crashes at the file level: run a journaled queue
+//! to completion, then replay recovery from every record-boundary
+//! prefix of the segment it wrote — each prefix is exactly the on-disk
+//! state a `kill -9` between two fold steps would have left (the
+//! journal is append-only, so a crash image *is* a prefix). A cut in
+//! the middle of the final record exercises the torn-tail path.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use eqasm_asm::assemble;
+use eqasm_core::Instantiation;
+use eqasm_runtime::prefix;
+use eqasm_runtime::{
+    ExecBackend, Job, JobQueue, JournalConfig, LocalBackend, ServeConfig, ShotEngine, Submission,
+};
+
+/// A Clifford-only two-qubit program with genuinely random outcomes on
+/// both measured qubits, so a recovery bug (lost range, double fold,
+/// wrong seed offset) cannot hide behind a deterministic histogram.
+/// The `wait` parameter varies the program shape, giving each test its
+/// own prefix-cache key (the cache is process-global and the tests in
+/// this binary run concurrently).
+fn clifford_program(wait: u32) -> String {
+    format!(
+        "SMIS S0, {{0}}
+SMIS S1, {{1}}
+SMIT T0, {{(0, 2)}}
+QWAIT {wait}
+H S0
+CZ T0
+X90 S1
+MEASZ S0
+MEASZ S1
+QWAIT 50
+STOP"
+    )
+}
+
+fn clifford_job(name: &str, wait: u32, shots: u64, base_seed: u64) -> Job {
+    let inst = Instantiation::paper_two_qubit();
+    let program = assemble(&clifford_program(wait), &inst).expect("assembles");
+    Job::new(name, inst, program.instructions().to_vec())
+        .with_shots(shots)
+        .with_seed(base_seed)
+}
+
+/// A fresh unique journal directory under the system temp dir.
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "eqasm-recovery-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn local_pool(workers: usize) -> Vec<Box<dyn ExecBackend>> {
+    (0..workers)
+        .map(|i| Box::new(LocalBackend::new(i)) as Box<dyn ExecBackend>)
+        .collect()
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig::default().with_batch_size(25)
+}
+
+/// The sorted segment files of a journal directory.
+fn segments(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("journal dir readable")
+        .filter_map(|e| {
+            let path = e.expect("dir entry").path();
+            path.extension()
+                .is_some_and(|x| x == "eqjl")
+                .then_some(path)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Byte offsets of every record boundary in a segment: walking the
+/// length-prefixed frames from the 8-byte header, each entry is the
+/// offset just *after* one record — i.e. the file length a crash
+/// between that record and the next would have left behind.
+fn record_cuts(bytes: &[u8]) -> Vec<usize> {
+    let mut cuts = Vec::new();
+    let mut off = 8;
+    while off + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        off += 8 + len;
+        assert!(off <= bytes.len(), "segment frame overruns the file");
+        cuts.push(off);
+    }
+    cuts
+}
+
+/// Writes the first `len` bytes of `segment` as the sole segment of a
+/// fresh journal directory — the crash image to recover from.
+fn crash_image(tag: &str, segment: &[u8], len: usize) -> PathBuf {
+    let dir = temp_dir(tag);
+    std::fs::create_dir_all(&dir).expect("create crash-image dir");
+    std::fs::write(dir.join("segment-00000000.eqjl"), &segment[..len]).expect("write crash image");
+    dir
+}
+
+/// Runs one journaled clifford job to completion and returns the bytes
+/// of the single segment it left behind, plus the expected serial
+/// result for comparison.
+fn completed_run(tag: &str, wait: u32) -> (Vec<u8>, eqasm_runtime::JobResult, Job) {
+    let dir = temp_dir(tag);
+    let job = clifford_job(tag, wait, 400, 11);
+    let jc = JournalConfig::new(&dir);
+    let (queue, report) =
+        JobQueue::recover(serve_config(), local_pool(1), &jc).expect("cold start recovers");
+    assert_eq!(report.jobs_recovered, 0, "cold start has nothing to replay");
+    let handles = queue
+        .submit(Submission::job("tenant-r", job.clone()))
+        .expect("submits");
+    handles[0].wait().expect("completes");
+    queue.shutdown();
+
+    let segs = segments(&dir);
+    assert_eq!(segs.len(), 1, "small run stays in one segment");
+    let bytes = std::fs::read(&segs[0]).expect("read segment");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let serial = ShotEngine::serial()
+        .with_batch_size(25)
+        .run_job(&job)
+        .expect("serial reference");
+    (bytes, serial, job)
+}
+
+/// The tentpole acceptance check: crash the coordinator between every
+/// fold step (every record-boundary prefix of the journal), recover,
+/// finish the job, and require aggregates bit-identical to a serial
+/// uninterrupted run — histogram, stats and mean P(1), not just counts.
+#[test]
+fn kill_between_every_fold_step_recovers_bit_identically() {
+    let (bytes, serial, _job) = completed_run("killstep", 100);
+    let cuts = record_cuts(&bytes);
+    // Checkpoint + Admit + 16 RangeDone + Complete.
+    assert_eq!(cuts.len(), 19, "expected record count for 400/25 shots");
+
+    let mut recovered_runs = 0usize;
+    for (i, &cut) in cuts.iter().enumerate() {
+        let dir = crash_image("killstep-cut", &bytes, cut);
+        let jc = JournalConfig::new(&dir);
+        let (queue, report) =
+            JobQueue::recover(serve_config(), local_pool(2), &jc).expect("recovers");
+        assert!(!report.torn_tail, "record-boundary cuts are never torn");
+        let handles = queue.job_handles();
+        if report.jobs_recovered == 0 {
+            // Crash before the Admit record was durable, or after the
+            // Complete record: nothing to resume, and critically
+            // nothing resurrected.
+            assert!(handles.is_empty(), "no jobs expected at cut {i}");
+        } else {
+            assert_eq!(handles.len(), 1);
+            let result = handles[0].wait().expect("recovered job completes");
+            assert_eq!(result.histogram, serial.histogram, "cut {i}: histogram");
+            assert_eq!(result.stats, serial.stats, "cut {i}: stats");
+            assert_eq!(result.mean_prob1, serial.mean_prob1, "cut {i}: mean P(1)");
+            assert_eq!(result.shots, 400);
+            recovered_runs += 1;
+        }
+        queue.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    // Every cut from Admit up to (not including) Complete resumes the
+    // job: 17 of the 19 prefixes.
+    assert_eq!(recovered_runs, 17);
+}
+
+/// A crash mid-write leaves a torn final record; recovery truncates it
+/// and the lost range simply re-runs — still bit-identical.
+#[test]
+fn torn_final_record_recovers_bit_identically() {
+    let (bytes, serial, _job) = completed_run("torn", 110);
+    // Cut three bytes into the final (Complete) record's payload: the
+    // job replays as incomplete-but-fully-folded and finalizes on
+    // recovery.
+    let dir = crash_image("torn-cut", &bytes, bytes.len() - 3);
+    let jc = JournalConfig::new(&dir);
+    let (queue, report) = JobQueue::recover(serve_config(), local_pool(1), &jc).expect("recovers");
+    assert!(report.torn_tail, "mid-record cut must be reported as torn");
+    assert_eq!(report.jobs_recovered, 1);
+    assert_eq!(report.ranges_recovered, 16);
+    let handles = queue.job_handles();
+    let result = handles[0].wait().expect("completes");
+    assert_eq!(result.histogram, serial.histogram);
+    assert_eq!(result.stats, serial.stats);
+    assert_eq!(result.mean_prob1, serial.mean_prob1);
+    queue.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Retention eviction must be durable *before* the job is released: a
+/// crash immediately after `release()` returns — simulated by copying
+/// the journal at that instant — must never resurrect the evicted job.
+#[test]
+fn eviction_is_durable_before_release_returns() {
+    let dir = temp_dir("evict");
+    let job = clifford_job("evict", 120, 100, 7);
+    let jc = JournalConfig::new(&dir);
+    let (queue, _) =
+        JobQueue::recover(serve_config(), local_pool(1), &jc).expect("cold start recovers");
+    let handles = queue
+        .submit(Submission::job("tenant-e", job))
+        .expect("submits");
+    handles[0].wait().expect("completes");
+    assert!(handles[0].release(), "completed job releases");
+
+    // Crash *now*: snapshot the journal exactly as it stands, before
+    // any clean shutdown could paper over a missing Complete record.
+    let segs = segments(&dir);
+    let bytes = std::fs::read(&segs[0]).expect("read segment");
+    let image = crash_image("evict-crash", &bytes, bytes.len());
+    queue.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (queue2, report) =
+        JobQueue::recover(serve_config(), local_pool(1), &JournalConfig::new(&image))
+            .expect("recovers");
+    assert_eq!(report.jobs_recovered, 0, "released job must not resurrect");
+    assert_eq!(report.jobs_dropped, 1, "its Complete record was durable");
+    assert!(queue2.job_handles().is_empty());
+    queue2.shutdown();
+    let _ = std::fs::remove_dir_all(&image);
+}
+
+/// Admission pre-warms the prefix snapshot off the hot path: with a
+/// held (zero-backend) queue nothing can dispatch, yet the job's shape
+/// becomes warm in the prefix cache — so the first batch, whenever
+/// capacity arrives, starts from a cache hit.
+#[test]
+fn admission_pre_warms_the_prefix_cache() {
+    if std::env::var("EQASM_PREFIX").is_ok_and(|v| v.eq_ignore_ascii_case("off")) {
+        return; // forking disabled: nothing to warm
+    }
+    let job = clifford_job("warm-admit", 130, 200, 3);
+    assert!(!prefix::is_warm(&job), "distinct shape starts cold");
+    let queue = JobQueue::with_backends(serve_config().with_hold_when_empty(true), Vec::new());
+    let handles = queue
+        .submit(Submission::job("tenant-w", job.clone()))
+        .expect("submits");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !prefix::is_warm(&job) {
+        assert!(
+            Instant::now() < deadline,
+            "admission warmer never produced a snapshot"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Capacity arrives after the warm-up: the run must still be exact.
+    queue
+        .attach_backend(Box::new(LocalBackend::new(0)))
+        .expect("attaches");
+    let result = handles[0].wait().expect("completes");
+    let serial = ShotEngine::serial()
+        .with_batch_size(25)
+        .run_job(&job)
+        .expect("serial reference");
+    assert_eq!(result.histogram, serial.histogram);
+    queue.shutdown();
+}
+
+/// Recovery re-warms the prefix cache for every re-admitted job, even
+/// after the cache itself was lost (here: evicted by eight newer
+/// shapes, standing in for the process restart that recovery models).
+#[test]
+fn recovery_pre_warms_the_prefix_cache() {
+    if std::env::var("EQASM_PREFIX").is_ok_and(|v| v.eq_ignore_ascii_case("off")) {
+        return; // forking disabled: nothing to warm
+    }
+    // Journal an admission without letting anything run.
+    let dir = temp_dir("warm-recover");
+    let job = clifford_job("warm-recover", 140, 200, 5);
+    let jc = JournalConfig::new(&dir);
+    let (queue, _) = JobQueue::recover(serve_config().with_hold_when_empty(true), Vec::new(), &jc)
+        .expect("cold start recovers");
+    queue
+        .submit(Submission::job("tenant-w", job.clone()))
+        .expect("submits");
+    queue.shutdown();
+
+    // Evict this shape: the cache keeps the 8 most recent shapes, so
+    // warming 8 unrelated ones guarantees it is gone (concurrent tests
+    // use their own distinct shapes and never re-add this one).
+    for wait in 900..908 {
+        prefix::warm(&clifford_job("evictor", wait, 1, 0));
+    }
+    assert!(!prefix::is_warm(&job), "shape evicted before recovery");
+
+    let (queue2, report) =
+        JobQueue::recover(serve_config().with_hold_when_empty(true), Vec::new(), &jc)
+            .expect("recovers");
+    assert_eq!(report.jobs_recovered, 1);
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !prefix::is_warm(&job) {
+        assert!(
+            Instant::now() < deadline,
+            "recovery warmer never produced a snapshot"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    queue2
+        .attach_backend(Box::new(LocalBackend::new(0)))
+        .expect("attaches");
+    let result = queue2.job_handles()[0].wait().expect("completes");
+    let serial = ShotEngine::serial()
+        .with_batch_size(25)
+        .run_job(&job)
+        .expect("serial reference");
+    assert_eq!(result.histogram, serial.histogram);
+    assert_eq!(result.stats, serial.stats);
+    queue2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A recovered job keeps its pre-crash coordinator id: the serve
+/// acceptor seeds its job directory from the queue at startup, in
+/// admission order — the same order SUBMIT_ACK handed ids out before
+/// the crash. A client that held `--job 1` can still status/watch it
+/// on the restarted coordinator without ever re-submitting.
+#[test]
+fn recovered_job_is_addressable_by_its_precrash_id() {
+    use eqasm_runtime::{spawn_serve, Client, ServeNetConfig};
+    use std::net::TcpListener;
+    use std::sync::Arc;
+
+    let (bytes, serial, job) = completed_run("addr", 150);
+    let cuts = record_cuts(&bytes);
+    // Crash after the Admit record and a handful of folded ranges.
+    let dir = crash_image("addr-cut", &bytes, cuts[6]);
+    let jc = JournalConfig::new(&dir);
+    let (queue, report) = JobQueue::recover(serve_config(), local_pool(2), &jc).expect("recovers");
+    assert_eq!(report.jobs_recovered, 1);
+
+    let queue = Arc::new(queue);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let handle =
+        spawn_serve(listener, Arc::clone(&queue), ServeNetConfig::default()).expect("spawn serve");
+    let client = Client::connect(addr.to_string()).expect("connects");
+    // Pre-crash SUBMIT_ACK handed out id 1; it survives the restart.
+    let snapshot = client.poll_id(1).expect("recovered job resolves by id");
+    assert_eq!(snapshot.name, job.name);
+    let result = client.wait_id(1).expect("recovered job completes");
+    assert_eq!(result.histogram, serial.histogram);
+    assert_eq!(result.stats, serial.stats);
+    assert_eq!(result.mean_prob1, serial.mean_prob1);
+    // The restarted directory's id counter resumes *after* the seeded
+    // jobs: no other job exists yet, so id 2 must still be unknown.
+    assert!(client.poll_id(2).is_err());
+    drop(client);
+    drop(handle);
+    queue.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

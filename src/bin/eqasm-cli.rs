@@ -47,6 +47,14 @@
 //!   --metrics <a>    (serve and worker) serve Prometheus text metrics
 //!                    on `GET http://<a>/metrics`; a bare port binds
 //!                    loopback (see METRICS.md for the series catalogue)
+//!   --journal <dir>  (serve only) durable coordinator: append every
+//!                    admission and folded range to a write-ahead
+//!                    journal in <dir>; on startup, replay the journal
+//!                    and resume incomplete jobs bit-identically (see
+//!                    PROTOCOL.md "Durability")
+//!   --journal-fsync <every|batch|off>
+//!                    journal fsync policy (default batch: group-commit
+//!                    one fsync per append burst)
 //!
 //! options for `submit`:
 //!   --connect <addr>  the serve coordinator (required)
@@ -81,9 +89,10 @@ use eqasm::asm::{disassemble_source, encoding};
 use eqasm::compiler::lift_program;
 use eqasm::prelude::*;
 use eqasm::runtime::{
-    Client, ConnectOptions, ExecBackend, Job, JobHandle, JobQueue, LocalBackend, MixedWorkload,
-    PartialResult, PoolSupervisor, Psk, RemoteBackend, ServeConfig, ServeNetConfig, ShotEngine,
-    Submission, SupervisorConfig, WorkerConfig, WorkloadKind, WorkloadReport, WorkloadSpec,
+    Client, ConnectOptions, ExecBackend, FsyncPolicy, Job, JobHandle, JobQueue, JournalConfig,
+    LocalBackend, MixedWorkload, PartialResult, PoolSupervisor, Psk, RemoteBackend, ServeConfig,
+    ServeNetConfig, ShotEngine, Submission, SupervisorConfig, WorkerConfig, WorkloadKind,
+    WorkloadReport, WorkloadSpec,
 };
 
 /// SIGINT/SIGTERM → one atomic flag, so the worker daemon can drain
@@ -131,7 +140,7 @@ fn load_instantiation(chip: &str) -> Result<Instantiation, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: eqasm-cli <asm|disasm|run|lift> <file> [--seed n] [--shots n] [--workers n] [--chip name] [--trace]\n       eqasm-cli <workload|serve> <rabi|allxy|rb|active-reset|mix> [--shots n] [--workers n] [--seed n] [--remote host:port,...] [--rediscover secs] [--registry file] [--psk-file f] [--metrics addr]\n       eqasm-cli serve --listen <addr> [--workers n] [--remote ...] [--rediscover secs] [--registry file] [--psk-file f] [--metrics addr]\n       eqasm-cli submit <rabi|allxy|rb|active-reset|mix> --connect <addr> [--shots n] [--seed n] [--verify-serial] [--psk-file f]\n       eqasm-cli status --connect <addr> --job <id> [--job <id> ...] [--psk-file f]\n       eqasm-cli watch --connect <addr> --job <id> [--psk-file f]\n       eqasm-cli worker --listen <addr> [--capacity n] [--name s] [--psk-file f] [--job-cache n] [--max-frame bytes] [--rate-limit req/s] [--metrics addr]"
+        "usage: eqasm-cli <asm|disasm|run|lift> <file> [--seed n] [--shots n] [--workers n] [--chip name] [--trace]\n       eqasm-cli <workload|serve> <rabi|allxy|rb|active-reset|mix> [--shots n] [--workers n] [--seed n] [--remote host:port,...] [--rediscover secs] [--registry file] [--psk-file f] [--metrics addr] [--journal dir] [--journal-fsync every|batch|off]\n       eqasm-cli serve --listen <addr> [--workers n] [--remote ...] [--rediscover secs] [--registry file] [--psk-file f] [--metrics addr] [--journal dir] [--journal-fsync every|batch|off]\n       eqasm-cli submit <rabi|allxy|rb|active-reset|mix> --connect <addr> [--shots n] [--seed n] [--verify-serial] [--psk-file f]\n       eqasm-cli status --connect <addr> --job <id> [--job <id> ...] [--psk-file f]\n       eqasm-cli watch --connect <addr> --job <id> [--psk-file f]\n       eqasm-cli worker --listen <addr> [--capacity n] [--name s] [--psk-file f] [--job-cache n] [--max-frame bytes] [--rate-limit req/s] [--metrics addr]"
     );
     ExitCode::from(2)
 }
@@ -178,6 +187,8 @@ fn main() -> ExitCode {
     let mut max_frame: Option<u32> = None;
     let mut rate_limit: Option<u32> = None;
     let mut metrics_addr: Option<String> = None;
+    let mut journal_dir: Option<String> = None;
+    let mut journal_fsync: Option<FsyncPolicy> = None;
     let mut i = flag_start;
     while i < args.len() {
         match args[i].as_str() {
@@ -290,6 +301,25 @@ fn main() -> ExitCode {
                 metrics_addr = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--journal" if i + 1 < args.len() => {
+                journal_dir = Some(args[i + 1].clone());
+                i += 2;
+            }
+            // Like the budget flags: a typo in a durability setting
+            // must refuse to start, not silently fall back.
+            "--journal-fsync" if i + 1 < args.len() => {
+                match FsyncPolicy::parse(&args[i + 1]) {
+                    Some(policy) => journal_fsync = Some(policy),
+                    None => {
+                        eprintln!(
+                            "error: --journal-fsync wants every|batch|off, got `{}`",
+                            args[i + 1]
+                        );
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
             "--rate-limit" if i + 1 < args.len() => {
                 match args[i + 1].parse() {
                     Ok(n) => rate_limit = Some(n),
@@ -320,6 +350,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // The journal is a property of the coordinator; accepting the flags
+    // anywhere else would silently do nothing.
+    if journal_dir.is_some() && command != "serve" {
+        eprintln!("error: --journal applies to `serve` only");
+        return usage();
+    }
+    if journal_fsync.is_some() && journal_dir.is_none() {
+        eprintln!("error: --journal-fsync requires --journal <dir>");
+        return usage();
+    }
+    let journal_config = journal_dir.map(|dir| {
+        let mut jc = JournalConfig::new(dir);
+        if let Some(policy) = journal_fsync {
+            jc = jc.with_fsync(policy);
+        }
+        jc
+    });
 
     if command == "worker" {
         let Some(addr) = listen else {
@@ -391,6 +439,7 @@ fn main() -> ExitCode {
                 max_frame,
                 rate_limit,
                 metrics_addr.as_deref(),
+                journal_config,
             )
         } else {
             cmd_serve(
@@ -403,6 +452,7 @@ fn main() -> ExitCode {
                 registry,
                 psk,
                 metrics_addr.as_deref(),
+                journal_config,
             )
         };
         return match result {
@@ -780,6 +830,7 @@ fn build_backend_pool(
 /// supervisor) shared by local `serve <spec>` runs and the
 /// `serve --listen` network service.
 #[allow(clippy::type_complexity)]
+#[allow(clippy::too_many_arguments)]
 fn build_serve_queue(
     workers: usize,
     remotes: &[String],
@@ -787,6 +838,7 @@ fn build_serve_queue(
     registry: Option<&str>,
     psk: Option<Psk>,
     supervised: bool,
+    journal: Option<JournalConfig>,
 ) -> Result<(std::sync::Arc<JobQueue>, Option<PoolSupervisor>), String> {
     let serve_config = ServeConfig::default();
     let connect_opts = {
@@ -796,7 +848,53 @@ fn build_serve_queue(
         }
         opts
     };
-    let queue = if remotes.is_empty() && !supervised {
+    let queue = if let Some(jc) = journal {
+        // Recovery needs the explicit-backend constructor, so build a
+        // local pool by hand when no remotes are configured.
+        let backends = if remotes.is_empty() && !supervised {
+            let n = if workers == 0 {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            } else {
+                workers
+            };
+            (0..n)
+                .map(|i| Box::new(LocalBackend::new(i)) as Box<dyn ExecBackend>)
+                .collect()
+        } else {
+            let backends = build_backend_pool(workers, remotes, &connect_opts, supervised)?;
+            for backend in &backends {
+                println!("backend: {}", backend.descriptor());
+            }
+            backends
+        };
+        let (queue, report) = JobQueue::recover(
+            serve_config.clone().with_hold_when_empty(supervised),
+            backends,
+            &jc,
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "journal: {} ({} fsync), replayed {} record(s) across {} segment(s): \
+             {} job(s) / {} range(s) recovered, {} completed job(s) dropped{}",
+            jc.dir.display(),
+            jc.fsync,
+            report.records_replayed,
+            report.segments_replayed,
+            report.jobs_recovered,
+            report.ranges_recovered,
+            report.jobs_dropped,
+            if report.torn_tail {
+                "; torn tail truncated"
+            } else {
+                ""
+            },
+        );
+        // When stdout is a pipe or file (the crash-recovery CI step
+        // greps this line while the coordinator is still serving),
+        // block buffering would hold the report back until exit.
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+        queue
+    } else if remotes.is_empty() && !supervised {
         JobQueue::new(serve_config.clone().with_workers(workers))
     } else {
         let backends = build_backend_pool(workers, remotes, &connect_opts, supervised)?;
@@ -847,6 +945,7 @@ fn cmd_serve_listen(
     max_frame: Option<u32>,
     rate_limit: Option<u32>,
     metrics_addr: Option<&str>,
+    journal: Option<JournalConfig>,
 ) -> Result<(), String> {
     let supervised = rediscover.is_some();
     if supervised && remotes.is_empty() && registry.is_none() {
@@ -865,6 +964,7 @@ fn cmd_serve_listen(
         registry.as_deref(),
         psk.clone(),
         supervised,
+        journal,
     )?;
     let mut net_config = ServeNetConfig::default();
     let authed = psk.is_some();
@@ -1099,6 +1199,7 @@ fn cmd_serve(
     registry: Option<String>,
     psk: Option<Psk>,
     metrics_addr: Option<&str>,
+    journal: Option<JournalConfig>,
 ) -> Result<(), String> {
     let specs = built_in_specs(spec, shots, seed)?;
     let _metrics = spawn_metrics(metrics_addr)?;
@@ -1118,6 +1219,7 @@ fn cmd_serve(
         registry.as_deref(),
         psk,
         supervised,
+        journal,
     )?;
 
     let started = std::time::Instant::now();
