@@ -27,7 +27,7 @@
 //!
 //! * `Admit` — job id, the job's [`crate::wire::encode_job`] bytes
 //!   (compressed with the same varint+RLE codec and
-//!   [`crate::wire::COMPRESSED_JOB_ID_FLAG`] convention as a v2
+//!   [`crate::wire::COMPRESSED_JOB_ID_FLAG`] convention as a v3
 //!   `LoadJob`), and the tenant name.
 //! * `RangeDone` — job id, batch index, shot range, and the batch's
 //!   encoded [`crate::BatchOut`]. Carrying the full batch result is
@@ -38,7 +38,10 @@
 //!   evicted) leaves durable state and is never resurrected.
 //! * `Checkpoint` — opens a compacted segment. Replay resets its state
 //!   when it sees one, so a checkpointed segment **supersedes** every
-//!   earlier segment even if deleting them failed mid-crash.
+//!   earlier segment even if deleting them failed mid-crash. It also
+//!   carries the id high-water mark, so job ids stay stable across
+//!   restarts even after compaction drops every record of a completed
+//!   job.
 //!
 //! ## Fsync semantics
 //!
@@ -269,7 +272,8 @@ pub struct RecoveryReport {
     pub ranges_recovered: usize,
     /// Jobs with a durable `Complete` record, dropped (their results
     /// were already surfaced or released; resurrecting them would leak
-    /// memory forever on every restart).
+    /// memory forever on every restart). Their ids survive as small
+    /// released tombstones so later jobs keep their pre-crash ids.
     pub jobs_dropped: usize,
     /// Whether the final segment ended in a torn record (expected
     /// after a mid-write crash; the lost tail re-executes).
@@ -357,11 +361,16 @@ pub(crate) fn complete_payload(job_id: u64) -> Vec<u8> {
     w.into_bytes()
 }
 
-/// Builds a `Checkpoint` payload (`live_jobs` is diagnostic).
-fn checkpoint_payload(live_jobs: u64) -> Vec<u8> {
+/// Builds a `Checkpoint` payload. `live_jobs` is diagnostic;
+/// `next_job_id` is the id high-water mark — the first id the queue
+/// may hand out after replaying this segment. Carrying it through
+/// every checkpoint is what keeps job ids stable across restarts even
+/// when every job below it has completed and been compacted away.
+fn checkpoint_payload(live_jobs: u64, next_job_id: u64) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_u8(rtag::CHECKPOINT);
     w.put_u64(live_jobs);
+    w.put_u64(next_job_id);
     w.into_bytes()
 }
 
@@ -383,7 +392,9 @@ enum Record {
     Complete {
         job_id: u64,
     },
-    Checkpoint,
+    Checkpoint {
+        next_job_id: u64,
+    },
 }
 
 fn decode_record(payload: &[u8]) -> Result<Record, WireError> {
@@ -423,7 +434,9 @@ fn decode_record(payload: &[u8]) -> Result<Record, WireError> {
         },
         rtag::CHECKPOINT => {
             let _live = r.get_u64("Checkpoint.live_jobs")?;
-            Record::Checkpoint
+            Record::Checkpoint {
+                next_job_id: r.get_u64("Checkpoint.next_job_id")?,
+            }
         }
         tag => {
             return Err(WireError::UnknownTag {
@@ -493,7 +506,12 @@ fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, JournalError> {
 /// Creates segment `index` (truncating any half-written leftover from
 /// a crash), writes the header plus a `Checkpoint`, fsyncs, and
 /// returns the open file positioned for appends.
-fn create_segment(dir: &Path, index: u64, live_jobs: u64) -> Result<File, JournalError> {
+fn create_segment(
+    dir: &Path,
+    index: u64,
+    live_jobs: u64,
+    next_job_id: u64,
+) -> Result<File, JournalError> {
     let path = segment_path(dir, index);
     let mut file = OpenOptions::new()
         .write(true)
@@ -505,7 +523,7 @@ fn create_segment(dir: &Path, index: u64, live_jobs: u64) -> Result<File, Journa
     buf.extend_from_slice(&SEGMENT_MAGIC);
     buf.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
     buf.extend_from_slice(&0u16.to_le_bytes());
-    frame_record(&mut buf, &checkpoint_payload(live_jobs));
+    frame_record(&mut buf, &checkpoint_payload(live_jobs, next_job_id));
     file.write_all(&buf).map_err(|e| io_err(&path, e))?;
     file.sync_all().map_err(|e| io_err(&path, e))?;
     Ok(file)
@@ -535,6 +553,11 @@ pub(crate) struct Replay {
     pub(crate) segments: Vec<PathBuf>,
     /// Index the next (fresh) segment should use.
     pub(crate) next_segment: u64,
+    /// The id high-water mark: one past the highest job id the journal
+    /// has ever recorded (via `Admit` records and the checkpoint
+    /// carry-over). Recovery reconstructs the id space up to here, so
+    /// a restarted queue never re-issues a pre-crash id.
+    pub(crate) next_job_id: u64,
     /// Whether the final segment ended in a torn record.
     pub(crate) torn_tail: bool,
     /// Records applied.
@@ -554,6 +577,7 @@ pub(crate) fn replay_dir(dir: &Path) -> Result<Replay, JournalError> {
         jobs: BTreeMap::new(),
         segments: segments.iter().map(|(_, p)| p.clone()).collect(),
         next_segment: segments.last().map_or(0, |(i, _)| i + 1),
+        next_job_id: 0,
         torn_tail: false,
         records: 0,
     };
@@ -562,21 +586,28 @@ pub(crate) fn replay_dir(dir: &Path) -> Result<Replay, JournalError> {
         let is_last = pos == last;
         let torn = replay_segment(path, is_last, &mut |record| {
             replay.records += 1;
-            apply_record(&mut replay.jobs, record);
+            apply_record(&mut replay.jobs, &mut replay.next_job_id, record);
         })?;
         replay.torn_tail |= torn;
     }
     Ok(replay)
 }
 
-fn apply_record(jobs: &mut BTreeMap<u64, RecoveredJob>, record: Record) {
+fn apply_record(jobs: &mut BTreeMap<u64, RecoveredJob>, next_job_id: &mut u64, record: Record) {
     match record {
-        Record::Checkpoint => jobs.clear(),
+        // A checkpoint clears accumulated *jobs* but the id
+        // high-water mark is monotonic across generations: ids are
+        // never reused, even for jobs compaction dropped entirely.
+        Record::Checkpoint { next_job_id: hwm } => {
+            jobs.clear();
+            *next_job_id = (*next_job_id).max(hwm);
+        }
         Record::Admit {
             job_id,
             tenant,
             job,
         } => {
+            *next_job_id = (*next_job_id).max(job_id + 1);
             jobs.insert(
                 job_id,
                 RecoveredJob {
@@ -697,11 +728,13 @@ enum Op {
     Compact {
         payloads: Vec<Vec<u8>>,
         live_jobs: u64,
+        next_job_id: u64,
     },
-    /// Write and fsync everything queued so far, then ack.
-    Flush(mpsc::Sender<()>),
+    /// Write and fsync everything queued so far, then ack whether the
+    /// journal is actually durable (fsync succeeded, no append lost).
+    Flush(mpsc::Sender<bool>),
     /// Flush, ack, and exit the thread.
-    Shutdown(mpsc::Sender<()>),
+    Shutdown(mpsc::Sender<bool>),
 }
 
 /// The queue's handle to its journal thread. Cloneable and cheap: all
@@ -719,30 +752,40 @@ impl JournalHandle {
     }
 
     /// Queues a compaction rewriting `payloads` (the live state) into
-    /// a fresh segment.
-    pub(crate) fn compact(&self, payloads: Vec<Vec<u8>>, live_jobs: u64) {
+    /// a fresh segment whose checkpoint records `next_job_id` as the
+    /// id high-water mark.
+    pub(crate) fn compact(&self, payloads: Vec<Vec<u8>>, live_jobs: u64, next_job_id: u64) {
         let _ = self.tx.send(Op::Compact {
             payloads,
             live_jobs,
+            next_job_id,
         });
     }
 
     /// Blocks until everything queued before this call is written and
-    /// fsynced. The durability barrier `JobHandle::release` takes
-    /// before dropping a completed job's last in-memory copy.
-    pub(crate) fn flush(&self) {
+    /// fsynced, returning whether durability was actually confirmed.
+    /// `false` — a wedged journal thread, a >30 s disk stall, or a
+    /// failed write/fsync — means the caller must NOT act as if the
+    /// records are on disk (no tombstoning a released job, no deleting
+    /// replayed segments). The durability barrier `JobHandle::release`
+    /// takes before dropping a completed job's last in-memory copy.
+    #[must_use]
+    pub(crate) fn flush(&self) -> bool {
         let (ack_tx, ack_rx) = mpsc::channel();
-        if self.tx.send(Op::Flush(ack_tx)).is_ok() {
-            let _ = ack_rx.recv_timeout(Duration::from_secs(30));
-        }
+        self.tx.send(Op::Flush(ack_tx)).is_ok()
+            && ack_rx
+                .recv_timeout(Duration::from_secs(30))
+                .unwrap_or(false)
     }
 
-    /// Flushes and stops the journal thread.
-    pub(crate) fn shutdown(&self) {
+    /// Flushes and stops the journal thread. Returns whether the final
+    /// flush was confirmed durable (see [`JournalHandle::flush`]).
+    pub(crate) fn shutdown(&self) -> bool {
         let (ack_tx, ack_rx) = mpsc::channel();
-        if self.tx.send(Op::Shutdown(ack_tx)).is_ok() {
-            let _ = ack_rx.recv_timeout(Duration::from_secs(30));
-        }
+        self.tx.send(Op::Shutdown(ack_tx)).is_ok()
+            && ack_rx
+                .recv_timeout(Duration::from_secs(30))
+                .unwrap_or(false)
     }
 }
 
@@ -756,9 +799,13 @@ pub(crate) struct Journal {
 /// returns) and starts the journal thread. Old segments are left in
 /// place — the caller deletes them once the state it re-emitted into
 /// the fresh segment is flushed.
-pub(crate) fn spawn(config: &JournalConfig, next_segment: u64) -> Result<Journal, JournalError> {
+pub(crate) fn spawn(
+    config: &JournalConfig,
+    next_segment: u64,
+    next_job_id: u64,
+) -> Result<Journal, JournalError> {
     std::fs::create_dir_all(&config.dir).map_err(|e| io_err(&config.dir, e))?;
-    let file = create_segment(&config.dir, next_segment, 0)?;
+    let file = create_segment(&config.dir, next_segment, 0, next_job_id)?;
     crate::metrics::rt().journal_fsyncs.inc();
     let (tx, rx) = mpsc::channel();
     let mut writer = SegmentWriter {
@@ -766,6 +813,8 @@ pub(crate) fn spawn(config: &JournalConfig, next_segment: u64) -> Result<Journal
         fsync: config.fsync,
         file,
         index: next_segment,
+        oldest: next_segment,
+        append_failed: false,
     };
     let thread = std::thread::Builder::new()
         .name("eqasm-journal".to_owned())
@@ -784,6 +833,17 @@ struct SegmentWriter {
     fsync: FsyncPolicy,
     file: File,
     index: u64,
+    /// Oldest segment index this writer is responsible for deleting at
+    /// the next compaction. Tracking it keeps each compaction's unlink
+    /// sweep O(own segments) instead of re-unlinking every index since
+    /// journal origin (almost all ENOENT) on every compaction.
+    oldest: u64,
+    /// Whether an append write failed since the last durable full
+    /// rewrite. While set, flushes ack `false` — acknowledged records
+    /// may be missing from disk, so durability-gated actions must not
+    /// proceed. A *successful* compaction clears it: the fresh segment
+    /// is rebuilt from in-memory state and supersedes the damage.
+    append_failed: bool,
 }
 
 impl SegmentWriter {
@@ -851,14 +911,15 @@ impl SegmentWriter {
                 Some(Op::Compact {
                     payloads,
                     live_jobs,
-                }) => self.compact(payloads, live_jobs),
+                    next_job_id,
+                }) => self.compact(payloads, live_jobs, next_job_id),
                 Some(Op::Flush(ack)) => {
-                    self.sync();
-                    let _ = ack.send(());
+                    let durable = self.sync() && !self.append_failed;
+                    let _ = ack.send(durable);
                 }
                 Some(Op::Shutdown(ack)) => {
-                    self.sync();
-                    let _ = ack.send(());
+                    let durable = self.sync() && !self.append_failed;
+                    let _ = ack.send(durable);
                     return;
                 }
             }
@@ -869,26 +930,36 @@ impl SegmentWriter {
         if let Err(e) = self.file.write_all(bytes) {
             // The journal must never take the coordinator down; a
             // failing disk degrades durability, not service. The
-            // operator sees it here and in a short (torn) journal.
+            // operator sees it here and in a short (torn) journal, and
+            // flushes ack non-durable until a compaction rewrites the
+            // lost records from memory.
+            self.append_failed = true;
             eprintln!("eqasm journal: write to segment {} failed: {e}", self.index);
         }
     }
 
-    fn sync(&mut self) {
+    fn sync(&mut self) -> bool {
         match self.file.sync_all() {
-            Ok(()) => crate::metrics::rt().journal_fsyncs.inc(),
-            Err(e) => eprintln!("eqasm journal: fsync of segment {} failed: {e}", self.index),
+            Ok(()) => {
+                crate::metrics::rt().journal_fsyncs.inc();
+                true
+            }
+            Err(e) => {
+                eprintln!("eqasm journal: fsync of segment {} failed: {e}", self.index);
+                false
+            }
         }
     }
 
     /// Writes `payloads` (the queue's live state) into segment
-    /// `index + 1` behind a `Checkpoint`, fsyncs it, then deletes every
-    /// older segment. Crash-safe at any point: replay resets on the
-    /// checkpoint, so the old segments are dead weight the moment the
-    /// new one is durable.
-    fn compact(&mut self, payloads: Vec<Vec<u8>>, live_jobs: u64) {
+    /// `index + 1` behind a `Checkpoint`, fsyncs it, then deletes the
+    /// segments this writer produced before it (`oldest..next`).
+    /// Crash-safe at any point: replay resets on the checkpoint, so
+    /// the old segments are dead weight the moment the new one is
+    /// durable.
+    fn compact(&mut self, payloads: Vec<Vec<u8>>, live_jobs: u64, next_job_id: u64) {
         let next = self.index + 1;
-        let mut file = match create_segment(&self.dir, next, live_jobs) {
+        let mut file = match create_segment(&self.dir, next, live_jobs, next_job_id) {
             Ok(f) => f,
             Err(e) => {
                 eprintln!("eqasm journal: compaction aborted: {e}");
@@ -909,11 +980,18 @@ impl SegmentWriter {
             return;
         }
         m.journal_fsyncs.inc();
-        for index in 0..next {
+        for index in self.oldest..next {
             let _ = std::fs::remove_file(segment_path(&self.dir, index));
         }
         self.file = file;
         self.index = next;
+        self.oldest = next;
+        // The fresh segment is a durable, complete rewrite of live
+        // state: any append lost to an earlier write failure is now
+        // either re-covered (live job) or irrelevant (terminal job
+        // excluded from durable state), so flushes are trustworthy
+        // again.
+        self.append_failed = false;
         m.journal_compactions.inc();
     }
 }
@@ -964,7 +1042,7 @@ mod tests {
 
     /// Writes a segment holding `payloads` and returns its path.
     fn write_segment(dir: &Path, index: u64, payloads: &[Vec<u8>]) -> PathBuf {
-        let mut file = create_segment(dir, index, 0).expect("create segment");
+        let mut file = create_segment(dir, index, 0, 0).expect("create segment");
         let mut buf = Vec::new();
         for p in payloads {
             frame_record(&mut buf, p);
@@ -992,6 +1070,7 @@ mod tests {
         let replay = replay_dir(&dir).unwrap();
         assert!(!replay.torn_tail);
         assert_eq!(replay.jobs.len(), 2);
+        assert_eq!(replay.next_job_id, 5, "high-water mark = max admit id + 1");
         let j3 = &replay.jobs[&3];
         assert!(!j3.completed);
         assert_eq!(j3.tenant, "cal");
@@ -1092,7 +1171,36 @@ mod tests {
         assert_eq!(replay.jobs.len(), 1);
         assert_eq!(replay.jobs[&0].tenant, "new");
         assert_eq!(replay.next_segment, 2);
+        // The checkpoint cleared the old jobs, but the id high-water
+        // mark is monotonic across generations.
+        assert_eq!(replay.next_job_id, 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The checkpoint's `next_job_id` keeps the id space reserved even
+    /// when every job below it was compacted away — the state a
+    /// long-running coordinator's journal is usually in.
+    #[test]
+    fn checkpoint_carries_the_id_high_water_mark() {
+        let dir = temp_dir("hwm");
+        let mut file = create_segment(&dir, 0, 0, 17).expect("create segment");
+        let mut buf = Vec::new();
+        frame_record(&mut buf, &admit_payload(17, "t", &sample_job(8)).unwrap());
+        file.write_all(&buf).expect("write");
+        file.sync_all().expect("sync");
+        let replay = replay_dir(&dir).unwrap();
+        assert_eq!(replay.jobs.len(), 1);
+        assert_eq!(replay.next_job_id, 18);
+
+        // A bare checkpoint (no surviving admits at all) still
+        // reserves the whole pre-crash id space.
+        let dir2 = temp_dir("hwm-bare");
+        create_segment(&dir2, 0, 0, 23).expect("create segment");
+        let replay = replay_dir(&dir2).unwrap();
+        assert!(replay.jobs.is_empty());
+        assert_eq!(replay.next_job_id, 23);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
     }
 
     #[test]

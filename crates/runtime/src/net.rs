@@ -1304,9 +1304,11 @@ impl RemoteBackend {
     }
 
     /// Sends `LoadJob` for the cached job `id` and records it loaded.
-    /// Large programs ship compressed (see
-    /// [`wire::COMPRESSED_JOB_ID_FLAG`]); the worker decompresses
-    /// transparently in `LoadJob::decode`.
+    /// On connections that negotiated v3 or later, large programs ship
+    /// compressed (see [`wire::COMPRESSED_JOB_ID_FLAG`]) and the
+    /// worker decompresses transparently in `LoadJob::decode`; older
+    /// workers do not know the flag bit, so they always get the plain
+    /// encoding.
     fn load_job(&mut self, id: u64) -> Result<(), Exchange> {
         let payload = {
             let entry = self
@@ -1314,7 +1316,11 @@ impl RemoteBackend {
                 .iter()
                 .find(|e| e.id == id)
                 .expect("job encoded before load");
-            LoadJob::encode_parts_auto(id, &entry.bytes)
+            if self.protocol >= 3 {
+                LoadJob::encode_parts_auto(id, &entry.bytes)
+            } else {
+                LoadJob::encode_parts(id, &entry.bytes)
+            }
         };
         self.traffic.load_requests += 1;
         self.traffic.load_request_bytes += payload.len() as u64 + FRAME_OVERHEAD;
@@ -2444,9 +2450,9 @@ mod tests {
     }
 
     #[test]
-    fn higher_offer_negotiates_down_to_v2() {
-        // A future v3 client offering more than we speak settles on
-        // our v2 rather than being rejected.
+    fn higher_offer_negotiates_down_to_ours() {
+        // A future client offering more than we speak settles on our
+        // version rather than being rejected.
         let worker = spawn_local_worker(1);
         let mut stream = TcpStream::connect(worker.addr()).expect("connects");
         let hello = Hello {

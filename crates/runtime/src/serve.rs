@@ -1315,8 +1315,36 @@ impl QueueState {
                 payloads.extend(durable.ranges.iter().cloned());
             }
         }
-        journal.compact(payloads, live_jobs);
+        journal.compact(payloads, live_jobs, self.jobs.len() as u64);
         self.journal_appended = 0;
+    }
+
+    /// Inserts a tombstone for a pre-crash job id whose result no
+    /// longer exists: its `Complete` record was durable (the result
+    /// was already surfaced or released), or compaction dropped it
+    /// from the journal entirely. The tombstone occupies the id's
+    /// queue index, so every *later* recovered job keeps its pre-crash
+    /// id — the serve acceptor seeds its directory positionally — and
+    /// pre-crash polls of this id get the same typed "released"
+    /// failure a retention eviction leaves, never a different job's
+    /// result. Costs one small entry; journals nothing.
+    fn enqueue_recovered_tombstone(&mut self, name: String, tenant: usize) -> usize {
+        let job_id = self.jobs.len();
+        self.jobs.push(JobEntry {
+            job: Arc::new(Job::new(name, Instantiation::paper_two_qubit(), Vec::new())),
+            tenant,
+            batches_total: 0,
+            submitted_at: Instant::now(),
+            partial: PartialState::new(0),
+            final_result: None,
+            failed: Some(
+                "job completed before the coordinator restarted; \
+                 its result is no longer retained"
+                    .to_owned(),
+            ),
+            durable: None,
+        });
+        job_id
     }
 
     /// Re-admits one incomplete job from journal replay: recorded
@@ -1564,7 +1592,19 @@ impl JobHandle {
             state.journal.clone()
         };
         if let Some(journal) = journal {
-            journal.flush();
+            if !journal.flush() {
+                // Durability unconfirmed (wedged journal thread,
+                // stalled disk, failed write): dropping the result now
+                // could let recovery resurrect a job whose result was
+                // already surfaced. Keep it — the eviction sweep
+                // retries on a later registration.
+                eprintln!(
+                    "eqasm journal: flush not confirmed; \
+                     keeping job {} until its Complete record is durable",
+                    self.job
+                );
+                return false;
+            }
         }
         let mut state = self.shared.state.lock().expect("queue state poisoned");
         let entry = &mut state.jobs[self.job];
@@ -1751,12 +1791,16 @@ impl JobQueue {
 
     /// Starts a **durable** queue: replays the write-ahead journal in
     /// `journal_config.dir` (empty or missing is a cold start),
-    /// re-admits every incomplete job with its already-folded ranges
-    /// restored — only missing ranges re-dispatch — and journals
-    /// everything from here on. Final aggregates of recovered jobs are
-    /// bit-identical to an uninterrupted run: partitioning is pure,
-    /// recorded ranges carry their exact `BatchOut`, and the fold is
-    /// batch-index-ordered either way.
+    /// re-admits every incomplete job **at its pre-crash id** with its
+    /// already-folded ranges restored — only missing ranges
+    /// re-dispatch — and journals everything from here on. Ids of
+    /// completed (or compacted-away) jobs are preserved as released
+    /// tombstones, so a pre-crash id never resolves to a different
+    /// job after restart and new submissions continue above the
+    /// pre-crash high-water mark. Final aggregates of recovered jobs
+    /// are bit-identical to an uninterrupted run: partitioning is
+    /// pure, recorded ranges carry their exact `BatchOut`, and the
+    /// fold is batch-index-ordered either way.
     ///
     /// Recovery doubles as compaction: the surviving state is
     /// re-emitted into a fresh checkpointed segment, flushed, and the
@@ -1775,7 +1819,7 @@ impl JobQueue {
         journal_config: &JournalConfig,
     ) -> Result<(Self, RecoveryReport), RuntimeError> {
         let replay = journal::replay_dir(&journal_config.dir)?;
-        let journal = journal::spawn(journal_config, replay.next_segment)?;
+        let journal = journal::spawn(journal_config, replay.next_segment, replay.next_job_id)?;
         let handle = journal.handle;
         let queue = JobQueue::build(
             config,
@@ -1792,27 +1836,68 @@ impl JobQueue {
         let mut warm_jobs = Vec::new();
         {
             let mut state = queue.shared.state.lock().expect("queue state poisoned");
-            for (_, recovered) in replay.jobs {
-                if recovered.completed {
-                    report.jobs_dropped += 1;
-                    continue;
+            let mut jobs = replay.jobs;
+            // Queue indices are the client-visible ids (the serve
+            // acceptor seeds its directory positionally, in admission
+            // order), so replay reconstructs the id space *exactly*:
+            // every id below the journal's high-water mark gets an
+            // entry — an incomplete job resumes at its recorded id; a
+            // completed or compacted-away id leaves a tombstone. Ids
+            // must never compact, or a client's pre-crash
+            // `status --job N` would silently resolve to a different
+            // job after the restart.
+            for id in 0..replay.next_job_id {
+                match jobs.remove(&id) {
+                    Some(recovered) if !recovered.completed => {
+                        let tenant = state.tenant_slot(&TenantId::new(recovered.tenant));
+                        let (job_id, restored) =
+                            state.enqueue_recovered_job(tenant, recovered.job, recovered.done);
+                        debug_assert_eq!(
+                            job_id as u64, id,
+                            "recovered job must keep its pre-crash id"
+                        );
+                        report.jobs_recovered += 1;
+                        report.ranges_recovered += restored;
+                        warm_jobs.push(Arc::clone(&state.jobs[job_id].job));
+                    }
+                    completed => {
+                        let (name, tenant) = match completed {
+                            Some(recovered) => {
+                                report.jobs_dropped += 1;
+                                let tenant = state.tenant_slot(&TenantId::new(recovered.tenant));
+                                (recovered.job.name, tenant)
+                            }
+                            // Compacted away entirely: name and tenant
+                            // are gone with the records.
+                            None => (String::new(), state.tenant_slot(&TenantId::new(""))),
+                        };
+                        state.enqueue_recovered_tombstone(name, tenant);
+                    }
                 }
-                let tenant = state.tenant_slot(&TenantId::new(recovered.tenant));
-                let (job_id, restored) =
-                    state.enqueue_recovered_job(tenant, recovered.job, recovered.done);
-                report.jobs_recovered += 1;
-                report.ranges_recovered += restored;
-                warm_jobs.push(Arc::clone(&state.jobs[job_id].job));
             }
+            debug_assert!(
+                jobs.is_empty(),
+                "every recorded id sits below the high-water mark"
+            );
         }
         queue.shared.work_ready.notify_all();
         queue.shared.progress.notify_all();
         // The fresh generation must be durable before the old one is
         // retired — this flush is what makes deleting the replayed
-        // segments safe.
-        handle.flush();
-        for path in &replay.segments {
-            let _ = std::fs::remove_file(path);
+        // segments safe. Unconfirmed (wedged journal thread, stalled
+        // disk): keep them. If the fresh checkpoint did land, it
+        // supersedes them on the next replay; if not, they are still
+        // the only durable copy of the recovered state.
+        if handle.flush() {
+            for path in &replay.segments {
+                let _ = std::fs::remove_file(path);
+            }
+        } else if !replay.segments.is_empty() {
+            eprintln!(
+                "eqasm journal: recovery flush not confirmed; \
+                 keeping {} replayed segment(s) for the next restart",
+                replay.segments.len()
+            );
         }
         let m = crate::metrics::rt();
         m.journal_recovered_jobs.add(report.jobs_recovered as u64);
@@ -2106,7 +2191,9 @@ impl JobQueue {
             state.journal.clone()
         };
         if let Some(journal) = journal {
-            journal.shutdown();
+            if !journal.shutdown() {
+                eprintln!("eqasm journal: final flush at shutdown not confirmed durable");
+            }
         }
         let aux = std::mem::take(&mut *self.aux_threads.lock().expect("aux thread list poisoned"));
         for handle in aux {

@@ -89,9 +89,16 @@ pub const MAGIC: [u8; 4] = *b"EQWP";
 /// change to the frame layout or the encoding of any type below.
 /// Since v2 the handshake *negotiates*: the client offers its highest
 /// version, the server acks `min(offer, own)`, and both ends then
-/// speak the acked version — so a v2 build interoperates with v1
+/// speak the acked version — so newer builds interoperate with older
 /// peers in either direction.
-pub const PROTOCOL_VERSION: u16 = 2;
+///
+/// v3 is a *capability* bump, not a layout change: it licenses the
+/// sender to set [`COMPRESSED_JOB_ID_FLAG`] on a `LoadJob`'s id word.
+/// The flag is self-describing only to decoders that know it — a
+/// v2-era worker would fail every flagged load with a typed error —
+/// so compression must be gated on the *negotiated* version, which is
+/// exactly what the version bump provides.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// The oldest protocol version this build still speaks. Handshakes
 /// that cannot settle on a version in
@@ -405,9 +412,11 @@ impl<'a> Reader<'a> {
 /// Bit set in a [`LoadJob`]'s on-the-wire `job_id` when its
 /// `job_bytes` field is [`compress`]ed. The id space proper is the low
 /// 63 bits — ids are small client-side counters (or queue indices), so
-/// the top bit is free to carry the flag without changing the v2 frame
-/// layout: a compressed load is still `u64 id + u32 len + bytes`,
-/// which is why old decoders fail with a typed length error instead of
+/// the top bit is free to carry the flag without changing the frame
+/// layout: a compressed load is still `u64 id + u32 len + bytes`.
+/// Only v3 decoders interpret the flag, which is why senders must gate
+/// it on the *negotiated* version (see [`PROTOCOL_VERSION`]) — a pre-v3
+/// decoder fails a flagged load with a typed length error instead of
 /// silently mis-parsing. The journal's `Admit` records reuse the same
 /// convention.
 pub const COMPRESSED_JOB_ID_FLAG: u64 = 1 << 63;
@@ -1653,9 +1662,12 @@ impl LoadJob {
     /// that actually shrinks them (it does for any realistic program —
     /// the fixed-width job encoding is full of zero runs). A
     /// compressed load is flagged by [`COMPRESSED_JOB_ID_FLAG`] in the
-    /// id word; the frame layout is unchanged, so this is
-    /// v2-compatible. Incompressible bytes ship plain with no flag —
-    /// the decoder never pays for compression that did not help.
+    /// id word; the frame layout is unchanged from v2, but only v3
+    /// decoders know the flag, so callers must use this encoding only
+    /// on connections that negotiated ≥ v3 (pre-v3 peers get
+    /// [`LoadJob::encode_parts`]). Incompressible bytes ship plain
+    /// with no flag — the decoder never pays for compression that did
+    /// not help.
     pub fn encode_parts_auto(job_id: u64, job_bytes: &[u8]) -> Vec<u8> {
         debug_assert_eq!(
             job_id & COMPRESSED_JOB_ID_FLAG,

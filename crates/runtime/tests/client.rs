@@ -86,7 +86,7 @@ fn remote_mix_streams_bit_identical_prefixes_and_finals() {
     let batch = 8u64;
     let (_queue, server) = serve_fixture(2, batch, ServeNetConfig::default());
     let client = Client::connect(server.addr().to_string()).expect("connects");
-    assert_eq!(client.protocol(), 2);
+    assert_eq!(client.protocol(), eqasm_runtime::wire::PROTOCOL_VERSION);
 
     // A multi-tenant mix: two prebuilt jobs under different tenants
     // plus a two-instance workload spec under a third.

@@ -103,6 +103,28 @@ fn record_cuts(bytes: &[u8]) -> Vec<usize> {
     cuts
 }
 
+/// Walks a segment's records and returns, per record, the byte offset
+/// just after it (a valid crash cut), its tag byte, and the first
+/// `u64` of its payload (the job id for Admit/RangeDone/Complete,
+/// masked of the compression flag; the live-job count for Checkpoint).
+fn records(bytes: &[u8]) -> Vec<(usize, u8, u64)> {
+    let mut out = Vec::new();
+    let mut off = 8;
+    while off + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        let payload = &bytes[off + 8..off + 8 + len];
+        let id = if payload.len() >= 9 {
+            u64::from_le_bytes(payload[1..9].try_into().unwrap()) & !(1 << 63)
+        } else {
+            0
+        };
+        off += 8 + len;
+        assert!(off <= bytes.len(), "segment frame overruns the file");
+        out.push((off, payload[0], id));
+    }
+    out
+}
+
 /// Writes the first `len` bytes of `segment` as the sole segment of a
 /// fresh journal directory — the crash image to recover from.
 fn crash_image(tag: &str, segment: &[u8], len: usize) -> PathBuf {
@@ -160,10 +182,20 @@ fn kill_between_every_fold_step_recovers_bit_identically() {
         assert!(!report.torn_tail, "record-boundary cuts are never torn");
         let handles = queue.job_handles();
         if report.jobs_recovered == 0 {
-            // Crash before the Admit record was durable, or after the
-            // Complete record: nothing to resume, and critically
-            // nothing resurrected.
-            assert!(handles.is_empty(), "no jobs expected at cut {i}");
+            if report.jobs_dropped == 0 {
+                // Crash before the Admit record was durable: nothing
+                // to resume, and critically nothing resurrected.
+                assert!(handles.is_empty(), "no jobs expected at cut {i}");
+            } else {
+                // Crash after the Complete record: the finished job is
+                // not resurrected, but its id stays occupied by a
+                // tombstone so later ids can never shift.
+                assert_eq!(handles.len(), 1, "tombstone expected at cut {i}");
+                assert!(
+                    handles[0].wait().is_err(),
+                    "cut {i}: a tombstone holds no result"
+                );
+            }
         } else {
             assert_eq!(handles.len(), 1);
             let result = handles[0].wait().expect("recovered job completes");
@@ -233,7 +265,13 @@ fn eviction_is_durable_before_release_returns() {
             .expect("recovers");
     assert_eq!(report.jobs_recovered, 0, "released job must not resurrect");
     assert_eq!(report.jobs_dropped, 1, "its Complete record was durable");
-    assert!(queue2.job_handles().is_empty());
+    let handles2 = queue2.job_handles();
+    assert_eq!(
+        handles2.len(),
+        1,
+        "the released job's id stays occupied by a tombstone"
+    );
+    assert!(handles2[0].wait().is_err(), "a tombstone holds no result");
     queue2.shutdown();
     let _ = std::fs::remove_dir_all(&image);
 }
@@ -369,5 +407,187 @@ fn recovered_job_is_addressable_by_its_precrash_id() {
     drop(client);
     drop(handle);
     queue.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The multi-job version of id stability: with several jobs in flight,
+/// a job whose `Complete` record was durable before the crash must not
+/// compact later jobs' queue indices on recovery — its id becomes a
+/// tombstone, and every survivor resolves by its pre-crash id with
+/// bit-identical aggregates.
+#[test]
+fn completed_jobs_do_not_shift_recovered_ids() {
+    use eqasm_runtime::{spawn_serve, Client, ServeNetConfig};
+    use std::net::TcpListener;
+    use std::sync::Arc;
+
+    let jobs: Vec<Job> = (0u32..3)
+        .map(|i| clifford_job(&format!("ids-{i}"), 170 + i, 100, 21 + u64::from(i)))
+        .collect();
+    let serials: Vec<_> = jobs
+        .iter()
+        .map(|j| {
+            ShotEngine::serial()
+                .with_batch_size(25)
+                .run_job(j)
+                .expect("serial reference")
+        })
+        .collect();
+
+    // Journal all three admissions before any record of progress, then
+    // let one backend run them to completion.
+    let dir = temp_dir("idshift");
+    let jc = JournalConfig::new(&dir);
+    let (queue, _) = JobQueue::recover(
+        serve_config().with_hold_when_empty(true),
+        Vec::new(),
+        &jc,
+    )
+    .expect("cold start recovers");
+    let handles: Vec<_> = jobs
+        .iter()
+        .map(|j| {
+            queue
+                .submit(Submission::job("tenant-i", j.clone()))
+                .expect("submits")
+                .remove(0)
+        })
+        .collect();
+    queue
+        .attach_backend(Box::new(LocalBackend::new(0)))
+        .expect("attaches");
+    for h in &handles {
+        h.wait().expect("completes");
+    }
+    queue.shutdown();
+
+    let segs = segments(&dir);
+    assert_eq!(segs.len(), 1, "small run stays in one segment");
+    let bytes = std::fs::read(&segs[0]).expect("read segment");
+    // Crash immediately after the first Complete record: one job's
+    // completion is durable, the other two are mid-flight.
+    let (cut, done_id) = records(&bytes)
+        .into_iter()
+        .find_map(|(cut, tag, id)| (tag == 3).then_some((cut, id as usize)))
+        .expect("a Complete record exists");
+    let image = crash_image("idshift-cut", &bytes, cut);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (queue2, report) =
+        JobQueue::recover(serve_config(), local_pool(2), &JournalConfig::new(&image))
+            .expect("recovers");
+    assert_eq!(report.jobs_dropped, 1, "the durably-completed job drops");
+    assert_eq!(report.jobs_recovered, 2, "the other two resume");
+    let handles2 = queue2.job_handles();
+    assert_eq!(handles2.len(), 3, "the dropped job's id stays occupied");
+    assert!(
+        handles2[done_id].wait().is_err(),
+        "the completed job is a tombstone, not a resurrected run"
+    );
+
+    // Address the survivors over the front door exactly as a pre-crash
+    // client would (SUBMIT_ACK ids are queue index + 1).
+    let queue2 = Arc::new(queue2);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let serve = spawn_serve(listener, Arc::clone(&queue2), ServeNetConfig::default())
+        .expect("spawn serve");
+    let client = Client::connect(addr.to_string()).expect("connects");
+    for (i, job) in jobs.iter().enumerate() {
+        if i == done_id {
+            continue;
+        }
+        let id = i as u64 + 1;
+        let snapshot = client.poll_id(id).expect("survivor resolves by id");
+        assert_eq!(snapshot.name, job.name, "id {id} must name its pre-crash job");
+        let result = client.wait_id(id).expect("survivor completes");
+        assert_eq!(result.histogram, serials[i].histogram, "job {i}: histogram");
+        assert_eq!(result.stats, serials[i].stats, "job {i}: stats");
+        assert_eq!(result.mean_prob1, serials[i].mean_prob1, "job {i}: mean P(1)");
+    }
+    // The directory counter resumed past every pre-crash id.
+    assert!(client.poll_id(4).is_err());
+    drop(client);
+    drop(serve);
+    queue2.shutdown();
+    let _ = std::fs::remove_dir_all(&image);
+}
+
+/// Compaction drops completed jobs from the journal entirely, so after
+/// a restart their Admit records are gone — yet their ids must stay
+/// occupied, across *multiple* restarts: the checkpoint's id
+/// high-water mark, not the sparse surviving Admits, defines the id
+/// space.
+#[test]
+fn compacted_ids_stay_stable_across_restarts() {
+    let dir = temp_dir("compact-ids");
+    // A zero floor lets the 2×live+4096-byte amortization rule fire on
+    // a small test workload.
+    let jc = JournalConfig::new(&dir).with_compact_min_bytes(0);
+    let (queue, _) =
+        JobQueue::recover(serve_config(), local_pool(1), &jc).expect("cold start recovers");
+
+    // Complete jobs until compaction rewrites the journal into a later
+    // segment (observable as the first segment file disappearing).
+    let mut count = 0u32;
+    loop {
+        let job = clifford_job(&format!("compact-{count}"), 210 + count, 100, 31 + u64::from(count));
+        let handle = queue
+            .submit(Submission::job("tenant-c", job))
+            .expect("submits")
+            .remove(0);
+        handle.wait().expect("completes");
+        count += 1;
+        let segs = segments(&dir);
+        if !segs.is_empty() && !segs[0].ends_with("segment-00000000.eqjl") {
+            break;
+        }
+        assert!(count < 64, "compaction never triggered");
+    }
+    queue.shutdown();
+
+    // Restart #1: nothing resumes, but every pre-crash id must still
+    // be occupied — the compacted checkpoint carried the high-water
+    // mark even though the completed jobs' records are gone.
+    let (queue2, report) =
+        JobQueue::recover(serve_config(), local_pool(1), &jc).expect("recovers");
+    assert_eq!(report.jobs_recovered, 0, "all jobs had completed");
+    let handles2 = queue2.job_handles();
+    assert_eq!(
+        handles2.len(),
+        count as usize,
+        "every pre-crash id stays occupied after compaction"
+    );
+    for h in &handles2 {
+        assert!(h.wait().is_err(), "tombstones hold no result");
+    }
+
+    // New work lands above the pre-crash id space and runs exactly.
+    let job = clifford_job("compact-new", 209, 100, 97);
+    let serial = ShotEngine::serial()
+        .with_batch_size(25)
+        .run_job(&job)
+        .expect("serial reference");
+    let handle = queue2
+        .submit(Submission::job("tenant-c", job))
+        .expect("submits")
+        .remove(0);
+    let result = handle.wait().expect("completes");
+    assert_eq!(result.histogram, serial.histogram);
+    assert_eq!(result.stats, serial.stats);
+    assert_eq!(queue2.job_handles().len(), count as usize + 1);
+    queue2.shutdown();
+
+    // Restart #2: the resumed journal (fresh checkpoint plus the new
+    // job's records) reproduces the same id layout again.
+    let (queue3, report3) =
+        JobQueue::recover(serve_config(), local_pool(1), &jc).expect("recovers again");
+    assert_eq!(report3.jobs_recovered, 0);
+    assert_eq!(
+        queue3.job_handles().len(),
+        count as usize + 1,
+        "id layout survives a second restart"
+    );
+    queue3.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -848,7 +848,10 @@ fn mixed_v1_v2_pool_stays_bit_identical() {
         RemoteBackend::connect(v1_worker.addr().to_string()).expect("connect v1-pinned");
     assert_eq!(v1_backend.protocol(), 1);
     let v2_backend = RemoteBackend::connect(v2_worker.addr().to_string()).expect("connect v2");
-    assert_eq!(v2_backend.protocol(), 2);
+    assert_eq!(
+        v2_backend.protocol(),
+        eqasm_runtime::wire::PROTOCOL_VERSION
+    );
 
     let backends: Vec<Box<dyn ExecBackend>> = vec![
         Box::new(LocalBackend::new(0)),
@@ -902,7 +905,7 @@ fn job_cache_eviction_recovers_transparently() {
     let job_a = noisy_job("evict-a", 16, 1);
     let job_b = noisy_job("evict-b", 16, 2);
     let mut remote = RemoteBackend::connect(worker.addr().to_string()).expect("connects");
-    assert_eq!(remote.protocol(), 2);
+    assert_eq!(remote.protocol(), eqasm_runtime::wire::PROTOCOL_VERSION);
 
     let mut local = LocalBackend::new(0);
     // A loads, B loads (evicting A), then A again: the client still
@@ -970,6 +973,57 @@ fn run_range_by_id_reduces_per_range_request_bytes() {
     // Even counting the one-time LoadJob, the total request bytes for
     // 8 ranges must beat v1's 8 full-job shipments.
     assert!(t2.total_request_bytes() < t1.total_request_bytes());
+}
+
+/// Job-bytes compression is a v3 capability: a worker capped at v2
+/// does not know [`wire::COMPRESSED_JOB_ID_FLAG`], so the coordinator
+/// must ship it the plain `LoadJob` encoding (a flagged load would be
+/// undecodable there), while a current worker gets the compressed
+/// form — and both produce bit-identical results.
+#[test]
+fn load_job_compression_is_gated_on_negotiated_version() {
+    let v2_listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let v2_worker = spawn_worker(
+        v2_listener,
+        WorkerConfig::default()
+            .with_name("v2-capped")
+            .with_capacity(1)
+            .with_protocol_cap(2),
+    )
+    .expect("spawn v2-capped");
+    let v3_worker = loopback_worker(1);
+
+    let job = noisy_job("gated-compression", 32, 6);
+    let job_bytes = wire::encode_job(&job).expect("job encodes");
+    // Frame overhead is tag + u32 length = 5 bytes; both LoadJob
+    // encodings carry a fixed-width id, so length is id-independent.
+    let plain_len = wire::LoadJob::encode_parts(0, &job_bytes).len() as u64 + 5;
+    let auto_len = wire::LoadJob::encode_parts_auto(0, &job_bytes).len() as u64 + 5;
+    assert!(
+        auto_len < plain_len,
+        "the fixed-width job encoding must actually compress"
+    );
+
+    let mut v2 = RemoteBackend::connect(v2_worker.addr().to_string()).expect("v2 connects");
+    assert_eq!(v2.protocol(), 2, "capped worker pins the conversation");
+    let mut v3 = RemoteBackend::connect(v3_worker.addr().to_string()).expect("v3 connects");
+    assert_eq!(v3.protocol(), wire::PROTOCOL_VERSION);
+
+    let a = v2.run_range(&job, 0..32).expect("v2 worker runs");
+    let b = v3.run_range(&job, 0..32).expect("v3 worker runs");
+    assert_eq!(a.histogram, b.histogram);
+    assert_eq!(a.stats, b.stats);
+
+    assert_eq!(
+        v2.traffic().load_request_bytes,
+        plain_len,
+        "a v2 conversation must carry the plain job bytes"
+    );
+    assert_eq!(
+        v3.traffic().load_request_bytes,
+        auto_len,
+        "a v3 conversation ships the compressed form"
+    );
 }
 
 #[test]
