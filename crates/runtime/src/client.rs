@@ -37,12 +37,22 @@
 
 use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use crate::aggregate::JobResult;
 use crate::error::RuntimeError;
 use crate::net::{handshake, ConnectOptions};
 use crate::serve::{PartialResult, Submission};
 use crate::wire::{self, ErrorKind, ErrorMsg, RemoteJobInfo, SubmitAck, WireError};
+
+/// How many times a broken [`RemoteJobHandle::watch`] stream retries
+/// the connection before surfacing the transport error.
+const WATCH_RECONNECT_ATTEMPTS: u32 = 3;
+
+/// Pause between watch reconnect attempts — long enough for a serve
+/// restart's listener to come back, short enough that a live stream's
+/// resume is prompt.
+const WATCH_RECONNECT_BACKOFF: Duration = Duration::from_millis(200);
 
 /// The shared connection state behind a [`Client`] and its handles.
 struct ClientConn {
@@ -52,6 +62,10 @@ struct ClientConn {
     /// submissions).
     negotiated: u16,
     server_name: String,
+    /// The options this connection was opened with — kept so a broken
+    /// watch stream can transparently re-handshake (same deadline,
+    /// same PSK, same protocol cap).
+    options: ConnectOptions,
 }
 
 impl ClientConn {
@@ -82,6 +96,27 @@ impl ClientConn {
             },
             Err(e) => self.transport(format!("undecodable error frame: {e}")),
         }
+    }
+
+    /// Re-opens and re-handshakes this connection in place (same
+    /// address, same options). Job ids survive — they are scoped to
+    /// the acceptor, not the connection (and journal recovery keeps
+    /// them stable across a coordinator restart too).
+    fn reconnect(&mut self) -> Result<(), RuntimeError> {
+        let (stream, ack) = handshake(&self.addr, &self.options).map_err(|e| match e {
+            WireError::AuthFailed { message } => RuntimeError::Auth(message),
+            e => self.transport(e),
+        })?;
+        if ack.version < 2 {
+            return Err(RuntimeError::Service(format!(
+                "serve front door at {} negotiated wire v{} — submissions need v2",
+                self.addr, ack.version
+            )));
+        }
+        self.stream = stream;
+        self.negotiated = ack.version;
+        self.server_name = ack.name;
+        Ok(())
     }
 }
 
@@ -134,6 +169,7 @@ impl Client {
                 addr,
                 negotiated: ack.version,
                 server_name: ack.name,
+                options,
             })),
         })
     }
@@ -215,7 +251,29 @@ impl Client {
         job_id: u64,
         on_snapshot: impl FnMut(&PartialResult),
     ) -> Result<JobResult, RuntimeError> {
-        watch_on(&self.conn, job_id, on_snapshot)
+        watch_on(&self.conn, job_id, None, on_snapshot)
+    }
+
+    /// Like [`Client::watch_id`], but seeded with a resume point: the
+    /// stream delivers only prefixes with strictly more than
+    /// `resume_after` folded batches (plus the completion frame).
+    ///
+    /// This is the cross-*process* half of subscription resume: a
+    /// watcher that died can restart, pass the last prefix its
+    /// previous life reported, and the reassembled stream is
+    /// indistinguishable from an unbroken watch — no re-delivery, no
+    /// skips. (`eqasm-cli watch --resume-after <batches>` rides this.)
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteJobHandle::watch`].
+    pub fn watch_id_from(
+        &self,
+        job_id: u64,
+        resume_after: Option<u64>,
+        on_snapshot: impl FnMut(&PartialResult),
+    ) -> Result<JobResult, RuntimeError> {
+        watch_on(&self.conn, job_id, resume_after, on_snapshot)
     }
 
     /// Blocks until job `job_id` completes and returns its final
@@ -225,7 +283,7 @@ impl Client {
     ///
     /// As [`RemoteJobHandle::wait`].
     pub fn wait_id(&self, job_id: u64) -> Result<JobResult, RuntimeError> {
-        watch_on(&self.conn, job_id, |_| {})
+        watch_on(&self.conn, job_id, None, |_| {})
     }
 }
 
@@ -243,42 +301,111 @@ fn poll_on(conn: &Arc<Mutex<ClientConn>>, job_id: u64) -> Result<PartialResult, 
 
 /// One `SUBSCRIBE` stream on a shared connection: new-prefix
 /// snapshots to the callback, final result (or failure) returned.
+///
+/// **Resumable**: when the transport breaks mid-stream, the watch
+/// re-handshakes (a few attempts, short backoff) and re-subscribes
+/// with the last prefix it already folded — on a v4 server the resume
+/// field makes the server skip everything at or below it; on an older
+/// server the client-side monotonic filter drops the replay. Either
+/// way the callback sees every prefix exactly once, never out of
+/// order — the reassembled stream is indistinguishable from an
+/// unbroken watch.
 fn watch_on(
     conn: &Arc<Mutex<ClientConn>>,
     job_id: u64,
+    resume_after: Option<u64>,
     mut on_snapshot: impl FnMut(&PartialResult),
 ) -> Result<JobResult, RuntimeError> {
     let mut conn = conn.lock().expect("client connection poisoned");
-    wire::write_frame(
-        &mut conn.stream,
-        wire::tag::SUBSCRIBE,
-        &wire::encode_job_id(job_id),
-    )
-    .map_err(|e| conn.transport(e))?;
-    let mut last_batches: Option<usize> = None;
-    loop {
-        let (tag, payload) = conn.next_frame()?;
-        match tag {
-            wire::tag::SNAPSHOT => {
-                let snapshot = wire::decode_partial_result(&payload)
-                    .map_err(|e| conn.transport(format!("undecodable snapshot: {e}")))?;
-                // Keepalive frames repeat the last prefix so slow
-                // jobs survive the read deadline; only genuinely new
-                // prefixes (or the completion frame) reach the
-                // caller.
-                if last_batches != Some(snapshot.batches_done) || snapshot.done {
-                    last_batches = Some(snapshot.batches_done);
-                    on_snapshot(&snapshot);
+    // Highest batches_done the callback has seen — the resume point,
+    // and the monotonic filter that drops keepalive re-sends and
+    // post-reconnect replays alike. Seeded by the caller when a
+    // previous watcher (possibly a previous *process*) already folded
+    // a prefix.
+    let mut last_batches: Option<u64> = resume_after;
+    let mut attempts_left = WATCH_RECONNECT_ATTEMPTS;
+    'subscribe: loop {
+        let sub = wire::Subscribe {
+            job_id,
+            // Resume is a v4 capability; a v3 (or downgraded) server
+            // gets the plain 8-byte subscribe it understands.
+            resume_after: if conn.negotiated >= 4 {
+                last_batches
+            } else {
+                None
+            },
+        };
+        if let Err(e) = wire::write_frame(
+            &mut conn.stream,
+            wire::tag::SUBSCRIBE,
+            &wire::encode_subscribe(&sub),
+        ) {
+            resume_or_fail(&mut conn, &mut attempts_left, e)?;
+            continue 'subscribe;
+        }
+        loop {
+            let (tag, payload) = match conn.next_frame() {
+                Ok(frame) => frame,
+                Err(e) => {
+                    // Only transport failures resume; typed server
+                    // errors below are answers, not outages.
+                    let RuntimeError::Transport { message, .. } = e else {
+                        return Err(e);
+                    };
+                    resume_or_fail(&mut conn, &mut attempts_left, message)?;
+                    continue 'subscribe;
+                }
+            };
+            match tag {
+                wire::tag::SNAPSHOT => {
+                    let snapshot = wire::decode_partial_result(&payload)
+                        .map_err(|e| conn.transport(format!("undecodable snapshot: {e}")))?;
+                    // Keepalives repeat the last prefix so slow jobs
+                    // survive the read deadline, and a resumed stream
+                    // may replay prefixes on pre-v4 servers; only
+                    // strictly-new prefixes (or the completion frame)
+                    // reach the caller.
+                    let batches = snapshot.batches_done as u64;
+                    let newer = last_batches.is_none_or(|seen| batches > seen);
+                    if newer || snapshot.done {
+                        last_batches = Some(last_batches.unwrap_or(0).max(batches));
+                        on_snapshot(&snapshot);
+                    }
+                }
+                wire::tag::RESULT => {
+                    return wire::decode_job_result(&payload)
+                        .map_err(|e| conn.transport(format!("undecodable result: {e}")))
+                }
+                wire::tag::ERROR => return Err(conn.remote_error(&payload)),
+                other => {
+                    return Err(conn.transport(format!("unexpected subscription tag {other:#04x}")))
                 }
             }
-            wire::tag::RESULT => {
-                return wire::decode_job_result(&payload)
-                    .map_err(|e| conn.transport(format!("undecodable result: {e}")))
-            }
-            wire::tag::ERROR => return Err(conn.remote_error(&payload)),
-            other => {
-                return Err(conn.transport(format!("unexpected subscription tag {other:#04x}")))
-            }
+        }
+    }
+}
+
+/// Re-opens a broken watch connection, spending one attempt per call;
+/// surfaces the original failure once the budget is gone (a job that
+/// outlives the server should fail as a transport error, not retry
+/// forever).
+fn resume_or_fail(
+    conn: &mut ClientConn,
+    attempts_left: &mut u32,
+    cause: impl std::fmt::Display,
+) -> Result<(), RuntimeError> {
+    loop {
+        if *attempts_left == 0 {
+            return Err(conn.transport(format!("subscription stream broke: {cause}")));
+        }
+        *attempts_left -= 1;
+        std::thread::sleep(WATCH_RECONNECT_BACKOFF);
+        match conn.reconnect() {
+            Ok(()) => return Ok(()),
+            Err(RuntimeError::Transport { .. }) => continue,
+            // Auth/protocol regressions on the fresh connection are
+            // terminal — retrying cannot fix a rejected key.
+            Err(e) => return Err(e),
         }
     }
 }
@@ -348,7 +475,7 @@ impl RemoteJobHandle {
         &self,
         on_snapshot: impl FnMut(&PartialResult),
     ) -> Result<JobResult, RuntimeError> {
-        watch_on(&self.conn, self.info.job_id, on_snapshot)
+        watch_on(&self.conn, self.info.job_id, None, on_snapshot)
     }
 
     /// Blocks until the job completes and returns its final result —
@@ -360,7 +487,7 @@ impl RemoteJobHandle {
     ///
     /// As [`RemoteJobHandle::watch`].
     pub fn wait(&self) -> Result<JobResult, RuntimeError> {
-        watch_on(&self.conn, self.info.job_id, |_| {})
+        watch_on(&self.conn, self.info.job_id, None, |_| {})
     }
 }
 

@@ -188,8 +188,8 @@ pub use journal::{FsyncPolicy, JournalConfig, JournalError, RecoveryReport};
 pub use metrics::MetricsServer;
 pub use net::{
     ping, ping_opts, ping_within, run_serve_until, run_worker, run_worker_until, spawn_serve,
-    spawn_worker, ConnectOptions, RemoteBackend, ServeHandle, ServeNetConfig, WireTraffic,
-    WorkerConfig, WorkerHandle, DEFAULT_IO_TIMEOUT, DEFAULT_JOB_CACHE_CAPACITY,
+    spawn_worker, wake_serve_shutdown, ConnectOptions, RemoteBackend, ServeHandle, ServeNetConfig,
+    WireTraffic, WorkerConfig, WorkerHandle, DEFAULT_IO_TIMEOUT, DEFAULT_JOB_CACHE_CAPACITY,
 };
 pub use serve::{
     CacheStats, JobHandle, JobQueue, PartialResult, ServeConfig, SlotState, SlotStatus, Submission,

@@ -642,6 +642,14 @@ pub(crate) struct RuntimeMetrics {
     pub budget_rate_rejections: Arc<Counter>,
     /// `eqasm_handshake_deadline_drops_total`
     pub handshake_deadline_drops: Arc<Counter>,
+    /// `eqasm_net_open_connections{role}`
+    pub open_connections: Arc<GaugeVec>,
+    /// `eqasm_net_reactor_wakeups_total`
+    pub reactor_wakeups: Arc<Counter>,
+    /// `eqasm_subscription_resumes_total`
+    pub subscription_resumes: Arc<Counter>,
+    /// `eqasm_net_backpressure_disconnects_total`
+    pub backpressure_disconnects: Arc<Counter>,
 
     // --- durability: the write-ahead job journal ----------------------
     /// `eqasm_journal_appends_total`
@@ -814,6 +822,23 @@ impl RuntimeMetrics {
             handshake_deadline_drops: r.counter(
                 "eqasm_handshake_deadline_drops_total",
                 "Accepted connections dropped for not completing the handshake in time.",
+            ),
+            open_connections: r.gauge_vec(
+                "eqasm_net_open_connections",
+                "Connections currently open, by serving role.",
+                &["role"],
+            ),
+            reactor_wakeups: r.counter(
+                "eqasm_net_reactor_wakeups_total",
+                "Serve-reactor event-loop wakeups (epoll/poll returns). Flat while idle.",
+            ),
+            subscription_resumes: r.counter(
+                "eqasm_subscription_resumes_total",
+                "SUBSCRIBE requests carrying a v4 resume point (reconnects of dropped watches).",
+            ),
+            backpressure_disconnects: r.counter(
+                "eqasm_net_backpressure_disconnects_total",
+                "Connections dropped because their bounded outbound queue overflowed.",
             ),
             journal_appends: r.counter(
                 "eqasm_journal_appends_total",

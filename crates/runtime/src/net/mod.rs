@@ -57,6 +57,10 @@
 //! Workers trust their coordinators (no authentication or transport
 //! encryption in v1 — run them on a private network; see ROADMAP).
 
+mod reactor;
+
+pub use reactor::wake_serve_shutdown;
+
 use std::collections::VecDeque;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -75,8 +79,8 @@ use crate::job::Job;
 use crate::serve::JobQueue;
 use crate::wire::{
     self, AuthChallenge, AuthOk, AuthResponse, ErrorKind, ErrorMsg, Hello, HelloAck, LoadAck,
-    LoadJob, RemoteJobInfo, RunRange, RunRangeById, SubmitAck, WireError, MAX_FRAME_LEN,
-    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    LoadJob, RunRange, RunRangeById, WireError, MAX_FRAME_LEN, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 
 /// Default read/write deadline for remote requests. Generous — a
@@ -138,6 +142,13 @@ pub struct WorkerConfig {
     /// Highest protocol version this worker will negotiate down *to*
     /// from; lower it to pin a fleet to v1 during a staged rollout.
     pub protocol_cap: u16,
+    /// How often the (still-threaded) worker accept loop re-polls a
+    /// quiet listener and the shutdown flag. The serve front door has
+    /// no analogue — its reactor blocks in the poller with no
+    /// periodic tick — but the worker keeps the poll, so tests can
+    /// tighten it and deployments can trade shutdown latency against
+    /// idle wakeups.
+    pub accept_poll: Duration,
 }
 
 impl Default for WorkerConfig {
@@ -150,6 +161,7 @@ impl Default for WorkerConfig {
             max_frame_len: MAX_FRAME_LEN,
             max_requests_per_sec: None,
             protocol_cap: PROTOCOL_VERSION,
+            accept_poll: ACCEPT_POLL,
         }
     }
 }
@@ -199,6 +211,13 @@ impl WorkerConfig {
     /// version (clamped into the supported range).
     pub fn with_protocol_cap(mut self, cap: u16) -> Self {
         self.protocol_cap = cap.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
+        self
+    }
+
+    /// Returns the config with the given accept-loop poll interval
+    /// (clamped to at least 1 ms to keep the loop from spinning).
+    pub fn with_accept_poll(mut self, accept_poll: Duration) -> Self {
+        self.accept_poll = accept_poll.max(Duration::from_millis(1));
         self
     }
 }
@@ -635,7 +654,7 @@ pub fn run_worker_until(
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
+                std::thread::sleep(config.accept_poll);
                 continue;
             }
             Err(e) => {
@@ -649,14 +668,21 @@ pub fn run_worker_until(
         let conn_shutdown = Arc::clone(&conn_shutdown);
         let active_in_thread = Arc::clone(&active);
         active.fetch_add(1, Ordering::SeqCst);
+        let open = crate::metrics::rt().open_connections.with(&["worker"]);
+        open.add(1);
         let spawned = std::thread::Builder::new()
             .name("eqasm-worker-conn".to_owned())
             .spawn(move || {
                 serve_connection(stream, &config, &conn_shutdown);
                 active_in_thread.fetch_sub(1, Ordering::SeqCst);
+                crate::metrics::rt()
+                    .open_connections
+                    .with(&["worker"])
+                    .add(-1);
             });
         if let Err(e) = spawned {
             active.fetch_sub(1, Ordering::SeqCst);
+            open.add(-1);
             eprintln!("worker: could not spawn connection thread ({e}); dropping one connection");
         }
     }
@@ -1710,6 +1736,17 @@ pub struct ServeNetConfig {
     /// their `status`/`watch` lookups then report an unknown id.
     /// Running jobs are never evicted.
     pub completed_retention: usize,
+    /// Per-connection outbound-queue cap, in bytes. A subscriber that
+    /// cannot keep up with the snapshot stream accumulates queued
+    /// frames up to this bound and is then disconnected
+    /// (`eqasm_net_backpressure_disconnects_total`) — backpressure by
+    /// eviction, never by blocking the reactor.
+    pub max_outbound_queue: usize,
+    /// Disconnect a handshaked connection that has sent no request
+    /// for this long (`None` disables — the default; clients keep
+    /// idle pooled connections). Subscriptions are exempt: they are
+    /// server-push and legitimately quiet on the read side.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeNetConfig {
@@ -1722,6 +1759,8 @@ impl Default for ServeNetConfig {
             snapshot_interval: Duration::from_millis(5),
             keepalive: Duration::from_secs(1),
             completed_retention: 4096,
+            max_outbound_queue: 8 << 20,
+            idle_timeout: None,
         }
     }
 }
@@ -1755,6 +1794,22 @@ impl ServeNetConfig {
     /// addressable by id (clamped to at least 1).
     pub fn with_completed_retention(mut self, retention: usize) -> Self {
         self.completed_retention = retention.max(1);
+        self
+    }
+
+    /// Returns the config with a per-connection outbound-queue cap in
+    /// bytes (clamped to at least one max-size frame's length prefix;
+    /// a single frame larger than the cap is still deliverable — the
+    /// cap bounds *backlog*, not frame size).
+    pub fn with_max_outbound_queue(mut self, bytes: usize) -> Self {
+        self.max_outbound_queue = bytes.max(64);
+        self
+    }
+
+    /// Returns the config disconnecting request connections idle for
+    /// this long (`None` disables).
+    pub fn with_idle_timeout(mut self, idle_timeout: Option<Duration>) -> Self {
+        self.idle_timeout = idle_timeout;
         self
     }
 }
@@ -1889,6 +1944,7 @@ impl JobDirectory {
 pub struct ServeHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    waker: reactor::ReactorWaker,
     accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -1900,9 +1956,13 @@ impl ServeHandle {
     }
 
     /// Stops accepting new connections; existing connections close
-    /// after their current request or subscription.
+    /// after their current request or subscription. The waker matters:
+    /// an idle reactor blocks indefinitely in its poller (no periodic
+    /// tick), so the flag alone would sit unread until the next
+    /// connection event.
     pub fn kill(&self) {
         self.shutdown.store(true, Ordering::Release);
+        self.waker.wake();
     }
 }
 
@@ -1928,16 +1988,23 @@ pub fn spawn_serve(
     config: ServeNetConfig,
 ) -> std::io::Result<ServeHandle> {
     let addr = listener.local_addr()?;
+    // Build the reactor on the caller's thread so bind/epoll/pipe
+    // failures surface synchronously, then move it onto the one
+    // accept-and-serve thread. One thread total, whatever the
+    // connection count — the entire point of the reactor.
+    let reactor = reactor::ServeReactor::new(listener, queue, config)?;
+    let waker = reactor.waker();
     let shutdown = Arc::new(AtomicBool::new(false));
     let accept_shutdown = Arc::clone(&shutdown);
     let accept_thread = std::thread::Builder::new()
-        .name("eqasm-serve-accept".to_owned())
+        .name("eqasm-serve-reactor".to_owned())
         .spawn(move || {
-            let _ = serve_accept_loop(listener, &queue, &config, &accept_shutdown);
+            let _ = reactor.run(&accept_shutdown);
         })?;
     Ok(ServeHandle {
         addr,
         shutdown,
+        waker,
         accept_thread: Some(accept_thread),
     })
 }
@@ -1953,277 +2020,13 @@ pub fn run_serve_until(
     config: ServeNetConfig,
     shutdown: &AtomicBool,
 ) -> std::io::Result<()> {
-    serve_accept_loop(listener, &queue, &config, shutdown)
-}
-
-/// The one serve accept loop, shared by [`spawn_serve`] and
-/// [`run_serve_until`] so accept hardening and drain behaviour cannot
-/// drift apart: nonblocking accept poll, per-connection threads (a
-/// failed spawn costs one connection, never the acceptor), and on
-/// shutdown a bounded drain — connections finish their current
-/// request, subscriptions are told the server is draining.
-fn serve_accept_loop(
-    listener: TcpListener,
-    queue: &Arc<JobQueue>,
-    config: &ServeNetConfig,
-    shutdown: &AtomicBool,
-) -> std::io::Result<()> {
-    listener.set_nonblocking(true)?;
-    // Connections watch an owned flag (this function cannot hand out
-    // the caller's reference to detached threads).
-    let conn_shutdown = Arc::new(AtomicBool::new(false));
-    let active = Arc::new(AtomicUsize::new(0));
-    let directory = Arc::new(JobDirectory::new(config.completed_retention));
-    // Jobs the queue already knows — re-admitted by `JobQueue::recover`
-    // from a journal, or admitted in-process before the acceptor
-    // started — get directory ids in admission order, the same order
-    // SUBMIT_ACK handed them out pre-crash. A client's job ids from
-    // before a kill -9 stay valid across the restart, and
-    // `status --job N` can address a recovered job this acceptor
-    // never saw a SUBMIT for.
-    for handle in queue.job_handles() {
-        directory.register(handle);
-    }
-    loop {
-        if shutdown.load(Ordering::Acquire) {
-            break;
-        }
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-                continue;
-            }
-            Err(e) => {
-                eprintln!("serve: accept failed ({e}); continuing");
-                std::thread::sleep(Duration::from_millis(50));
-                continue;
-            }
-        };
-        let _ = stream.set_nonblocking(false);
-        let queue = Arc::clone(queue);
-        let config = config.clone();
-        let conn_shutdown = Arc::clone(&conn_shutdown);
-        let directory = Arc::clone(&directory);
-        let active_in_thread = Arc::clone(&active);
-        active.fetch_add(1, Ordering::SeqCst);
-        let spawned = std::thread::Builder::new()
-            .name("eqasm-serve-client".to_owned())
-            .spawn(move || {
-                serve_client_connection(stream, &queue, &directory, &config, &conn_shutdown);
-                active_in_thread.fetch_sub(1, Ordering::SeqCst);
-            });
-        if let Err(e) = spawned {
-            active.fetch_sub(1, Ordering::SeqCst);
-            eprintln!("serve: could not spawn client thread ({e}); dropping one connection");
-        }
-    }
-    conn_shutdown.store(true, Ordering::Release);
-    let deadline = Instant::now() + DRAIN_TIMEOUT;
-    while active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-        std::thread::sleep(Duration::from_millis(20));
-    }
-    Ok(())
-}
-
-/// One client connection on the serve front door: negotiating
-/// handshake (auth and budgets as configured), then a sequential
-/// request loop over `SUBMIT` / `POLL` / `SUBSCRIBE` / `PING`.
-fn serve_client_connection(
-    mut stream: TcpStream,
-    queue: &Arc<JobQueue>,
-    directory: &JobDirectory,
-    config: &ServeNetConfig,
-    shutdown: &AtomicBool,
-) {
-    let _ = stream.set_nodelay(true);
-    let policy = AcceptPolicy {
-        name: &config.name,
-        capacity: queue.workers() as u32,
-        psk: config.psk.as_ref(),
-        protocol_cap: PROTOCOL_VERSION,
-        max_frame_len: config.max_frame_len,
-    };
-    let Some(negotiated) = accept_handshake_deadlined(&mut stream, &policy) else {
-        return;
-    };
-    let mut limiter = config.max_requests_per_sec.map(RateLimiter::new);
-    loop {
-        if !wait_readable(&stream, shutdown) {
-            return;
-        }
-        let Some((tag, payload)) =
-            read_request_frame(&mut stream, config.max_frame_len, &mut limiter)
-        else {
-            return;
-        };
-        match tag {
-            wire::tag::PING => {
-                if wire::write_frame(&mut stream, wire::tag::PONG, &[]).is_err() {
-                    return;
-                }
-            }
-            wire::tag::SUBMIT if negotiated >= 2 => {
-                let submission = match wire::decode_submission(&payload) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        send_error(
-                            &mut stream,
-                            ErrorKind::Malformed,
-                            format!("bad submission: {e}"),
-                        );
-                        return;
-                    }
-                };
-                match queue.submit(submission) {
-                    Ok(handles) => {
-                        let jobs = handles
-                            .into_iter()
-                            .map(|handle| {
-                                let snap = handle.snapshot();
-                                RemoteJobInfo {
-                                    job_id: directory.register(handle),
-                                    name: snap.name,
-                                    shots: snap.shots_total,
-                                }
-                            })
-                            .collect();
-                        let ack = SubmitAck { jobs };
-                        if wire::write_frame(&mut stream, wire::tag::SUBMIT_ACK, &ack.encode())
-                            .is_err()
-                        {
-                            return;
-                        }
-                    }
-                    Err(e @ RuntimeError::AdmissionRejected { .. }) => {
-                        // Admission pressure is a budget, not a job
-                        // defect: the client should back off and
-                        // resubmit.
-                        send_error(&mut stream, ErrorKind::Budget, e.to_string());
-                    }
-                    Err(e) => {
-                        send_error(&mut stream, ErrorKind::Load, e.to_string());
-                    }
-                }
-            }
-            wire::tag::POLL if negotiated >= 2 => {
-                let job_id = match wire::decode_job_id(&payload) {
-                    Ok(id) => id,
-                    Err(e) => {
-                        send_error(&mut stream, ErrorKind::Malformed, format!("bad poll: {e}"));
-                        return;
-                    }
-                };
-                let Some(handle) = directory.get(job_id) else {
-                    send_error(
-                        &mut stream,
-                        ErrorKind::Malformed,
-                        format!("unknown job id {job_id}"),
-                    );
-                    continue;
-                };
-                let snapshot = wire::encode_partial_result(&handle.snapshot());
-                if wire::write_frame(&mut stream, wire::tag::SNAPSHOT, &snapshot).is_err() {
-                    return;
-                }
-            }
-            wire::tag::SUBSCRIBE if negotiated >= 2 => {
-                let job_id = match wire::decode_job_id(&payload) {
-                    Ok(id) => id,
-                    Err(e) => {
-                        send_error(
-                            &mut stream,
-                            ErrorKind::Malformed,
-                            format!("bad subscribe: {e}"),
-                        );
-                        return;
-                    }
-                };
-                let Some(handle) = directory.get(job_id) else {
-                    send_error(
-                        &mut stream,
-                        ErrorKind::Malformed,
-                        format!("unknown job id {job_id}"),
-                    );
-                    continue;
-                };
-                // Pin the job for the duration of the stream: the
-                // retention sweep must not release a result a watcher
-                // is about to be handed.
-                directory.pin(job_id);
-                let keep = stream_subscription(&mut stream, &handle, config, shutdown);
-                directory.unpin(job_id);
-                if !keep {
-                    return;
-                }
-            }
-            other => {
-                send_error(
-                    &mut stream,
-                    ErrorKind::Malformed,
-                    format!("unexpected frame tag {other:#04x} (negotiated v{negotiated})"),
-                );
-                return;
-            }
-        }
-    }
-}
-
-/// Streams a job's snapshots until it completes, then its final
-/// result (or failure). Every snapshot sent is an exact prefix of the
-/// final aggregate — the serve queue's determinism invariant, now
-/// carried across the client wire byte-for-byte. Returns `false` when
-/// the connection should close.
-fn stream_subscription(
-    stream: &mut TcpStream,
-    handle: &crate::serve::JobHandle,
-    config: &ServeNetConfig,
-    shutdown: &AtomicBool,
-) -> bool {
-    let mut last_batches: Option<usize> = None;
-    let mut last_sent = Instant::now();
-    loop {
-        if shutdown.load(Ordering::Acquire) {
-            send_error(
-                stream,
-                ErrorKind::Internal,
-                "serve front door is draining".to_owned(),
-            );
-            return false;
-        }
-        // Cheap probe first: materializing a snapshot clones the
-        // folded histogram and sorts durations for percentiles, which
-        // a per-tick poll must not pay (N subscribers × 200 ticks/s
-        // would contend the very mutex the dispatch workers fold
-        // under). The full snapshot is taken only when the prefix
-        // actually advanced, the job finished, or a keepalive is due.
-        let (folded, done) = handle.progress_probe();
-        let progressed = last_batches != Some(folded);
-        if progressed || done || last_sent.elapsed() >= config.keepalive {
-            let snapshot = handle.snapshot();
-            last_batches = Some(snapshot.batches_done);
-            last_sent = Instant::now();
-            let payload = wire::encode_partial_result(&snapshot);
-            if wire::write_frame(stream, wire::tag::SNAPSHOT, &payload).is_err() {
-                return false;
-            }
-        }
-        if done {
-            // `wait` returns immediately once done: either the final
-            // result or the job's failure.
-            return match handle.wait() {
-                Ok(result) => {
-                    wire::write_frame(stream, wire::tag::RESULT, &wire::encode_job_result(&result))
-                        .is_ok()
-                }
-                Err(e) => {
-                    send_error(stream, ErrorKind::Internal, e.to_string());
-                    true
-                }
-            };
-        }
-        std::thread::sleep(config.snapshot_interval);
-    }
+    // The reactor parks in its poller with no timeout when idle, so a
+    // signal-driven shutdown needs more than the flag: the CLI's
+    // handler calls [`wake_serve_shutdown`] (async-signal-safe), and
+    // `epoll_wait`/`poll` additionally return `EINTR` on any signal
+    // (they are never restarted, even with `SA_RESTART`), after which
+    // the loop re-reads `shutdown`.
+    reactor::ServeReactor::new(listener, queue, config)?.run(shutdown)
 }
 
 #[cfg(test)]

@@ -1520,6 +1520,31 @@ struct Shared {
     /// threads read it to decide whether to pre-encode `RangeDone`
     /// payloads outside the queue mutex.
     journaled: bool,
+    /// An optional event-driven progress listener, fired (outside the
+    /// state mutex) wherever [`Shared::notify_progress`] wakes the
+    /// `progress` condvar. The serve reactor installs a self-pipe
+    /// wake here so the fold step *pushes* advanced prefixes to
+    /// subscribers instead of N streams polling `progress_probe` on a
+    /// timer. Wakes may be spurious or coalesced — the listener
+    /// re-probes, exactly like a condvar waiter.
+    progress_hook: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+}
+
+impl Shared {
+    /// Wakes everything waiting on job progress: condvar pollers
+    /// in-process, and the registered progress hook (the serve
+    /// reactor), if any.
+    fn notify_progress(&self) {
+        self.progress.notify_all();
+        let hook = self
+            .progress_hook
+            .lock()
+            .expect("progress hook poisoned")
+            .clone();
+        if let Some(hook) = hook {
+            hook();
+        }
+    }
 }
 
 /// A polling handle to one queued job.
@@ -1746,6 +1771,7 @@ impl JobQueue {
             progress: Condvar::new(),
             shutdown: AtomicBool::new(false),
             journaled,
+            progress_hook: Mutex::new(None),
         });
         let queue = JobQueue {
             shared,
@@ -1881,7 +1907,7 @@ impl JobQueue {
             );
         }
         queue.shared.work_ready.notify_all();
-        queue.shared.progress.notify_all();
+        queue.shared.notify_progress();
         // The fresh generation must be durable before the old one is
         // retired — this flush is what makes deleting the replayed
         // segments safe. Unconfirmed (wedged journal thread, stalled
@@ -1921,6 +1947,19 @@ impl JobQueue {
                 job,
             })
             .collect()
+    }
+
+    /// Installs (or, with `None`, clears) the progress listener fired
+    /// on every fold/completion/failure notification. One listener —
+    /// the serve reactor's self-pipe wake — replaces N subscription
+    /// poll loops; wakes are coalesced and may be spurious, so the
+    /// listener re-probes what actually advanced.
+    pub(crate) fn set_progress_hook(&self, hook: Option<Arc<dyn Fn() + Send + Sync>>) {
+        *self
+            .shared
+            .progress_hook
+            .lock()
+            .expect("progress hook poisoned") = hook;
     }
 
     /// Hands `job` to the prefix warmer thread (no-op without one).
@@ -1968,7 +2007,7 @@ impl JobQueue {
                 let mut state = self.shared.state.lock().expect("queue state poisoned");
                 state.retire_slot(slot_id);
                 drop(state);
-                self.shared.progress.notify_all();
+                self.shared.notify_progress();
                 return Err(RuntimeError::Service(format!(
                     "cannot spawn dispatch thread for slot {slot_id}: {e}"
                 )));
@@ -2130,7 +2169,7 @@ impl JobQueue {
         }
         drop(state);
         self.shared.work_ready.notify_all();
-        self.shared.progress.notify_all();
+        self.shared.notify_progress();
         // Pre-warm the prefix cache off the hot path: by the time a
         // slot picks up the first batch, the snapshot is (usually)
         // already computed.
@@ -2177,7 +2216,7 @@ impl JobQueue {
             self.shared.shutdown.store(true, Ordering::Release);
         }
         self.shared.work_ready.notify_all();
-        self.shared.progress.notify_all();
+        self.shared.notify_progress();
         let handles = std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
         for handle in handles {
             let _ = handle.join();
@@ -2248,7 +2287,7 @@ fn backend_loop(shared: &Shared, mut backend: Box<dyn ExecBackend>, slot_id: usi
                     drop(state);
                     // Retirement may have failed jobs (empty pool
                     // without hold_when_empty) that pollers wait on.
-                    shared.progress.notify_all();
+                    shared.notify_progress();
                     return;
                 }
                 if let Some(task) = state.next_task(slot_id) {
@@ -2293,7 +2332,7 @@ fn backend_loop(shared: &Shared, mut backend: Box<dyn ExecBackend>, slot_id: usi
                 // Completion both frees quota (wake workers) and may
                 // have finished a job (wake pollers).
                 shared.work_ready.notify_all();
-                shared.progress.notify_all();
+                shared.notify_progress();
             }
             Err(err) if err.is_transport() => {
                 let mut state = shared.state.lock().expect("queue state poisoned");
@@ -2308,7 +2347,7 @@ fn backend_loop(shared: &Shared, mut backend: Box<dyn ExecBackend>, slot_id: usi
                 // one will skip it), and retirement may have failed
                 // jobs pollers are waiting on.
                 shared.work_ready.notify_all();
-                shared.progress.notify_all();
+                shared.notify_progress();
                 if retire {
                     return;
                 }
@@ -2319,7 +2358,7 @@ fn backend_loop(shared: &Shared, mut backend: Box<dyn ExecBackend>, slot_id: usi
                 state.fail(&task, err.to_string());
                 drop(state);
                 shared.work_ready.notify_all();
-                shared.progress.notify_all();
+                shared.notify_progress();
             }
         }
     }

@@ -98,7 +98,15 @@ pub const MAGIC: [u8; 4] = *b"EQWP";
 /// v2-era worker would fail every flagged load with a typed error —
 /// so compression must be gated on the *negotiated* version, which is
 /// exactly what the version bump provides.
-pub const PROTOCOL_VERSION: u16 = 3;
+///
+/// v4 is likewise a capability bump with no frame-layout change: it
+/// licenses the 16-byte `SUBSCRIBE` payload ([`encode_subscribe`] with
+/// a resume point), letting a client that lost its subscription
+/// reconnect and receive only snapshots *past* the prefix it already
+/// folded. A v4 server still accepts the bare 8-byte v3 payload, and a
+/// v4 client talking to a ≤ v3 server sends the 8-byte form and
+/// filters client-side.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// The oldest protocol version this build still speaks. Handshakes
 /// that cannot settle on a version in
@@ -1453,8 +1461,13 @@ pub mod tag {
     pub const RESULT: u8 = 21;
 }
 
-/// Writes one frame: `u32` length (tag byte + payload), tag, payload.
-pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> Result<(), WireError> {
+/// Assembles one frame — `u32` length (tag byte + payload), tag,
+/// payload — into a single contiguous buffer. This is the one encode
+/// path: [`write_frame`] writes its output to a blocking stream, and
+/// the reactor queues it (behind an [`std::sync::Arc`]) on per-peer
+/// [`FrameWriter`]s, so a snapshot fanned out to thousands of
+/// subscribers is encoded exactly once.
+pub fn encode_frame(tag: u8, payload: &[u8]) -> Result<Vec<u8>, WireError> {
     let len = payload.len() as u64 + 1;
     if len > MAX_FRAME_LEN as u64 {
         return Err(WireError::FrameTooLarge {
@@ -1462,11 +1475,19 @@ pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> Result<(), Wi
             cap: MAX_FRAME_LEN,
         });
     }
-    w.write_all(&(len as u32).to_le_bytes())?;
-    w.write_all(&[tag])?;
-    w.write_all(payload)?;
+    let mut buf = Vec::with_capacity(payload.len() + 5);
+    buf.extend_from_slice(&(len as u32).to_le_bytes());
+    buf.push(tag);
+    buf.extend_from_slice(payload);
+    Ok(buf)
+}
+
+/// Writes one frame: `u32` length (tag byte + payload), tag, payload.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> Result<(), WireError> {
+    let buf = encode_frame(tag, payload)?;
+    w.write_all(&buf)?;
     w.flush()?;
-    crate::metrics::record_frame(crate::metrics::FrameDir::Out, tag, len + 4);
+    crate::metrics::record_frame(crate::metrics::FrameDir::Out, tag, buf.len() as u64);
     Ok(())
 }
 
@@ -1484,16 +1505,9 @@ pub fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>), WireError> {
 /// checked against the length *prefix*, before any payload is read or
 /// allocated, so an over-budget (or corrupt) length costs nothing.
 pub fn read_frame_limit(r: &mut impl Read, max_len: u32) -> Result<(u8, Vec<u8>), WireError> {
-    let cap = max_len.min(MAX_FRAME_LEN);
     let mut len_bytes = [0u8; 4];
     r.read_exact(&mut len_bytes)?;
-    let len = u32::from_le_bytes(len_bytes);
-    if len == 0 {
-        return Err(WireError::Invalid("zero-length frame".to_owned()));
-    }
-    if len > cap {
-        return Err(WireError::FrameTooLarge { len, cap });
-    }
+    let len = validate_frame_len(len_bytes, max_len)?;
     // Tag byte first, payload straight into its own buffer: frames
     // carry whole jobs and per-shot duration vectors, so an
     // extract-the-tag shift of the body would be an O(frame) copy on
@@ -1504,6 +1518,190 @@ pub fn read_frame_limit(r: &mut impl Read, max_len: u32) -> Result<(u8, Vec<u8>)
     r.read_exact(&mut payload)?;
     crate::metrics::record_frame(crate::metrics::FrameDir::In, tag[0], len as u64 + 4);
     Ok((tag[0], payload))
+}
+
+/// Validates a frame's 4-byte length prefix against a per-connection
+/// cap (clamped to the global [`MAX_FRAME_LEN`]), returning the body
+/// length (tag byte + payload). The one place the header is judged:
+/// both the blocking [`read_frame_limit`] and the incremental
+/// [`FrameReader`] call through here, so the two paths cannot drift on
+/// what counts as a well-formed frame.
+fn validate_frame_len(len_bytes: [u8; 4], max_len: u32) -> Result<u32, WireError> {
+    let cap = max_len.min(MAX_FRAME_LEN);
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 {
+        return Err(WireError::Invalid("zero-length frame".to_owned()));
+    }
+    if len > cap {
+        return Err(WireError::FrameTooLarge { len, cap });
+    }
+    Ok(len)
+}
+
+/// Incremental frame decoder for nonblocking sockets: bytes arrive in
+/// whatever slices the kernel hands back across `EWOULDBLOCK`
+/// boundaries, and [`FrameReader::next_frame`] yields each complete
+/// `(tag, payload)` exactly as the blocking [`read_frame_limit`] would
+/// have (same header validation via the shared length check, same
+/// metrics) — property-tested decode-identical under byte-at-a-time
+/// and random-split delivery.
+///
+/// The cap is enforced against the length *prefix* the moment its 4
+/// bytes are available, before any payload accumulates, so an
+/// over-budget peer is rejected without buying a giant buffer.
+#[derive(Debug)]
+pub struct FrameReader {
+    cap: u32,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by returned frames; compacted
+    /// once the parsed-out prefix dominates the buffer.
+    start: usize,
+}
+
+impl FrameReader {
+    /// A reader enforcing `max_len` (clamped to [`MAX_FRAME_LEN`]) on
+    /// every frame, like [`read_frame_limit`].
+    pub fn new(max_len: u32) -> FrameReader {
+        FrameReader {
+            cap: max_len.min(MAX_FRAME_LEN),
+            buf: Vec::new(),
+            start: 0,
+        }
+    }
+
+    /// Appends freshly-read bytes to the accumulation buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Yields the next complete frame, `Ok(None)` when more bytes are
+    /// needed, or the same typed errors the blocking reader raises
+    /// (zero-length, over-cap). Errors are sticky in practice — the
+    /// caller drops the connection, exactly as the blocking path does.
+    pub fn next_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, WireError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len = validate_frame_len([avail[0], avail[1], avail[2], avail[3]], self.cap)?;
+        if avail.len() < 4 + len as usize {
+            self.compact();
+            return Ok(None);
+        }
+        let tag = avail[4];
+        let payload = avail[5..4 + len as usize].to_vec();
+        self.start += 4 + len as usize;
+        self.compact();
+        crate::metrics::record_frame(crate::metrics::FrameDir::In, tag, len as u64 + 4);
+        Ok(Some((tag, payload)))
+    }
+
+    /// Drops the consumed prefix once it outweighs the live remainder,
+    /// keeping the buffer from growing with connection lifetime while
+    /// amortising the memmove.
+    fn compact(&mut self) {
+        if self.start > 4096 && self.start >= self.buf.len() - self.start {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// Bounded outbound frame queue for nonblocking sockets: frames are
+/// queued fully assembled (see [`encode_frame`]) behind `Arc`s — so one
+/// snapshot encoding is shared by every subscriber — and drained by
+/// [`FrameWriter::flush_into`] as the socket accepts bytes, tracking a
+/// partial-write offset across `EWOULDBLOCK`. The byte cap turns a
+/// persistently slow peer into a backpressure disconnect (the caller's
+/// move when [`FrameWriter::enqueue`] refuses) instead of unbounded
+/// buffering or a blocked reactor.
+#[derive(Debug)]
+pub struct FrameWriter {
+    queue: std::collections::VecDeque<std::sync::Arc<Vec<u8>>>,
+    /// Bytes of the front frame already written to the socket.
+    front_written: usize,
+    queued_bytes: usize,
+    max_queued_bytes: usize,
+}
+
+impl FrameWriter {
+    /// A writer refusing to queue beyond `max_queued_bytes` of
+    /// not-yet-flushed frame data.
+    pub fn new(max_queued_bytes: usize) -> FrameWriter {
+        FrameWriter {
+            queue: std::collections::VecDeque::new(),
+            front_written: 0,
+            queued_bytes: 0,
+            max_queued_bytes,
+        }
+    }
+
+    /// Queues one assembled frame. Returns `false` — frame *not*
+    /// queued — when doing so would exceed the byte cap while other
+    /// frames are already pending; the connection is then hopelessly
+    /// behind and should be disconnected. A single frame larger than
+    /// the cap is still accepted on an empty queue so the cap bounds
+    /// *backlog*, not frame size (frame size has its own budget).
+    #[must_use]
+    pub fn enqueue(&mut self, frame: std::sync::Arc<Vec<u8>>) -> bool {
+        if !self.queue.is_empty() && self.queued_bytes + frame.len() > self.max_queued_bytes {
+            return false;
+        }
+        self.queued_bytes += frame.len();
+        self.queue.push_back(frame);
+        true
+    }
+
+    /// Whether any frame bytes await the socket.
+    pub fn has_pending(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Bytes queued and not yet written.
+    pub fn queued_bytes(&self) -> usize {
+        self.queued_bytes - self.front_written
+    }
+
+    /// Writes queued frames until the queue drains or the socket stops
+    /// accepting bytes. Returns `Ok(true)` when nothing remains
+    /// pending, `Ok(false)` on `EWOULDBLOCK` (caller keeps writable
+    /// interest armed), and `Err` on real transport failures.
+    /// Per-frame metrics are recorded as each frame finishes hitting
+    /// the socket, mirroring the blocking [`write_frame`].
+    pub fn flush_into(&mut self, w: &mut impl Write) -> std::io::Result<bool> {
+        while let Some(front) = self.queue.front() {
+            while self.front_written < front.len() {
+                let n = match w.write(&front[self.front_written..]) {
+                    Ok(0) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::WriteZero,
+                            "socket accepted zero bytes",
+                        ))
+                    }
+                    Ok(n) => n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                };
+                self.front_written += n;
+            }
+            crate::metrics::record_frame(
+                crate::metrics::FrameDir::Out,
+                front[4],
+                front.len() as u64,
+            );
+            self.queued_bytes -= front.len();
+            self.front_written = 0;
+            self.queue.pop_front();
+        }
+        Ok(true)
+    }
 }
 
 /// The client half of the handshake.
@@ -1981,6 +2179,33 @@ pub fn job_fingerprint(job_bytes: &[u8]) -> u64 {
     h
 }
 
+/// A fingerprint over a result's **deterministic** fields only —
+/// name, shot count, histogram, machine stats, mean populations,
+/// non-halted count and first failure. Wall-clock fields (latencies,
+/// elapsed, shots/sec) are excluded, so two runs of the same job
+/// fingerprint identically however they were scheduled; `eqasm-cli
+/// watch` prints it so scripts can assert bit-identical results
+/// across processes (e.g. a broken-and-resumed watch vs an unbroken
+/// one in CI).
+pub fn result_fingerprint(res: &crate::JobResult) -> u64 {
+    let mut w = Writer::new();
+    w.put_str(&res.name);
+    w.put_u64(res.shots);
+    put_histogram(&mut w, &res.histogram);
+    put_run_stats(&mut w, &res.stats);
+    put_f64_vec(&mut w, &res.mean_prob1);
+    w.put_u64(res.non_halted);
+    match &res.first_failure {
+        None => w.put_u8(0),
+        Some((shot, message)) => {
+            w.put_u8(1);
+            w.put_u64(*shot);
+            w.put_str(message);
+        }
+    }
+    job_fingerprint(&w.into_bytes())
+}
+
 // ---------------------------------------------------------------------
 // Serve front door: submissions, snapshots, results (v2)
 // ---------------------------------------------------------------------
@@ -2383,6 +2608,55 @@ pub fn decode_job_id(bytes: &[u8]) -> Result<u64, WireError> {
         )));
     }
     Ok(id)
+}
+
+/// A `SUBSCRIBE` request: which job to stream, and — when resuming a
+/// dropped subscription (v4) — the last snapshot prefix the client
+/// already folded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Subscribe {
+    /// The coordinator-assigned job id.
+    pub job_id: u64,
+    /// `Some(n)`: the client has already folded the snapshot with
+    /// `batches_done == n`; the server replays only snapshots strictly
+    /// past it (the final done-snapshot and `RESULT` always flow).
+    /// `None`: a fresh subscription — every snapshot flows.
+    pub resume_after: Option<u64>,
+}
+
+/// Encodes a `SUBSCRIBE` payload. Without a resume point this is the
+/// v3-identical bare 8-byte job id; with one it is the 16-byte v4 form
+/// (job id, then last-folded `batches_done`), which only a ≥ v4 server
+/// accepts — the client gates on the negotiated version.
+pub fn encode_subscribe(sub: &Subscribe) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(sub.job_id);
+    if let Some(after) = sub.resume_after {
+        w.put_u64(after);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a `SUBSCRIBE` payload, accepting both the 8-byte v3 form
+/// and the 16-byte v4 resume form.
+pub fn decode_subscribe(bytes: &[u8]) -> Result<Subscribe, WireError> {
+    let mut r = Reader::new(bytes);
+    let job_id = r.get_u64("Subscribe.job_id")?;
+    let resume_after = if r.remaining() != 0 {
+        Some(r.get_u64("Subscribe.resume_after")?)
+    } else {
+        None
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::Invalid(format!(
+            "{} trailing bytes after subscribe",
+            r.remaining()
+        )));
+    }
+    Ok(Subscribe {
+        job_id,
+        resume_after,
+    })
 }
 
 #[cfg(test)]

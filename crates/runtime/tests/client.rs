@@ -325,3 +325,61 @@ fn completed_retention_evicts_and_releases_old_jobs() {
     assert_eq!(snap.shots_done, 16);
     assert!(!snap.histogram.is_empty(), "recent result payload intact");
 }
+
+/// Subscription resume across watcher *processes*: a fresh watch
+/// seeded with a prefix some previous (dead) watcher already folded
+/// must deliver only strictly-newer prefixes — never re-deliver, never
+/// skip (each snapshot is a cumulative prefix) — and still end in the
+/// identical final result. This is the in-process half of the CI leg
+/// that kill -9's an `eqasm-cli watch` and restarts it with
+/// `--resume-after`.
+#[test]
+fn seeded_resume_delivers_only_unseen_prefixes() {
+    let batch = 8u64;
+    let (_queue, server) = serve_fixture(2, batch, ServeNetConfig::default());
+    let client = Client::connect(server.addr().to_string()).expect("connects");
+    let job = noisy_job("resume", 96, 4242); // 12 batches of 8
+    let handles = client
+        .submit(Submission::job("tenant-r", job))
+        .expect("submits");
+    let job_id = handles[0].job_id();
+
+    // The unbroken control: every delivered prefix, strictly
+    // increasing, ending done.
+    let mut unbroken = Vec::new();
+    let full = client
+        .watch_id(job_id, |s| unbroken.push(s.batches_done as u64))
+        .expect("unbroken watch completes");
+    assert!(unbroken.windows(2).all(|w| w[0] < w[1]), "{unbroken:?}");
+
+    // A second watcher life resuming mid-stream: only prefixes past
+    // the seed may arrive (the completion frame qualifies — its
+    // prefix is the whole job), and the result is bit-identical.
+    let resume_at = 5u64;
+    let mut resumed = Vec::new();
+    let res = client
+        .watch_id_from(job_id, Some(resume_at), |s| {
+            resumed.push(s.batches_done as u64)
+        })
+        .expect("resumed watch completes");
+    assert!(!resumed.is_empty(), "resume must still complete the stream");
+    assert!(
+        resumed.iter().all(|&b| b > resume_at),
+        "re-delivered at-or-below the resume point: {resumed:?}"
+    );
+    assert_eq!(res.histogram, full.histogram);
+    assert_eq!(res.stats, full.stats);
+    assert_eq!(res.mean_prob1, full.mean_prob1);
+
+    // Resuming from the final prefix: nothing left but the completion
+    // frame and the result.
+    let mut tail = Vec::new();
+    let res2 = client
+        .watch_id_from(job_id, Some(12), |s| {
+            assert!(s.done, "only the completion frame may follow");
+            tail.push(s.batches_done);
+        })
+        .expect("tail resume completes");
+    assert!(tail.len() <= 1, "{tail:?}");
+    assert_eq!(res2.histogram, full.histogram);
+}

@@ -438,12 +438,8 @@ fn completed_jobs_do_not_shift_recovered_ids() {
     // let one backend run them to completion.
     let dir = temp_dir("idshift");
     let jc = JournalConfig::new(&dir);
-    let (queue, _) = JobQueue::recover(
-        serve_config().with_hold_when_empty(true),
-        Vec::new(),
-        &jc,
-    )
-    .expect("cold start recovers");
+    let (queue, _) = JobQueue::recover(serve_config().with_hold_when_empty(true), Vec::new(), &jc)
+        .expect("cold start recovers");
     let handles: Vec<_> = jobs
         .iter()
         .map(|j| {
@@ -490,8 +486,8 @@ fn completed_jobs_do_not_shift_recovered_ids() {
     let queue2 = Arc::new(queue2);
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr");
-    let serve = spawn_serve(listener, Arc::clone(&queue2), ServeNetConfig::default())
-        .expect("spawn serve");
+    let serve =
+        spawn_serve(listener, Arc::clone(&queue2), ServeNetConfig::default()).expect("spawn serve");
     let client = Client::connect(addr.to_string()).expect("connects");
     for (i, job) in jobs.iter().enumerate() {
         if i == done_id {
@@ -499,11 +495,17 @@ fn completed_jobs_do_not_shift_recovered_ids() {
         }
         let id = i as u64 + 1;
         let snapshot = client.poll_id(id).expect("survivor resolves by id");
-        assert_eq!(snapshot.name, job.name, "id {id} must name its pre-crash job");
+        assert_eq!(
+            snapshot.name, job.name,
+            "id {id} must name its pre-crash job"
+        );
         let result = client.wait_id(id).expect("survivor completes");
         assert_eq!(result.histogram, serials[i].histogram, "job {i}: histogram");
         assert_eq!(result.stats, serials[i].stats, "job {i}: stats");
-        assert_eq!(result.mean_prob1, serials[i].mean_prob1, "job {i}: mean P(1)");
+        assert_eq!(
+            result.mean_prob1, serials[i].mean_prob1,
+            "job {i}: mean P(1)"
+        );
     }
     // The directory counter resumed past every pre-crash id.
     assert!(client.poll_id(4).is_err());
@@ -531,7 +533,12 @@ fn compacted_ids_stay_stable_across_restarts() {
     // segment (observable as the first segment file disappearing).
     let mut count = 0u32;
     loop {
-        let job = clifford_job(&format!("compact-{count}"), 210 + count, 100, 31 + u64::from(count));
+        let job = clifford_job(
+            &format!("compact-{count}"),
+            210 + count,
+            100,
+            31 + u64::from(count),
+        );
         let handle = queue
             .submit(Submission::job("tenant-c", job))
             .expect("submits")
@@ -549,8 +556,7 @@ fn compacted_ids_stay_stable_across_restarts() {
     // Restart #1: nothing resumes, but every pre-crash id must still
     // be occupied — the compacted checkpoint carried the high-water
     // mark even though the completed jobs' records are gone.
-    let (queue2, report) =
-        JobQueue::recover(serve_config(), local_pool(1), &jc).expect("recovers");
+    let (queue2, report) = JobQueue::recover(serve_config(), local_pool(1), &jc).expect("recovers");
     assert_eq!(report.jobs_recovered, 0, "all jobs had completed");
     let handles2 = queue2.job_handles();
     assert_eq!(

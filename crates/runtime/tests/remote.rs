@@ -848,10 +848,7 @@ fn mixed_v1_v2_pool_stays_bit_identical() {
         RemoteBackend::connect(v1_worker.addr().to_string()).expect("connect v1-pinned");
     assert_eq!(v1_backend.protocol(), 1);
     let v2_backend = RemoteBackend::connect(v2_worker.addr().to_string()).expect("connect v2");
-    assert_eq!(
-        v2_backend.protocol(),
-        eqasm_runtime::wire::PROTOCOL_VERSION
-    );
+    assert_eq!(v2_backend.protocol(), eqasm_runtime::wire::PROTOCOL_VERSION);
 
     let backends: Vec<Box<dyn ExecBackend>> = vec![
         Box::new(LocalBackend::new(0)),

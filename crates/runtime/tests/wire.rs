@@ -710,3 +710,240 @@ fn submit_ack_roundtrips() {
     assert_eq!(wire::decode_job_id(&wire::encode_job_id(7)).unwrap(), 7);
     assert!(wire::decode_job_id(&[1, 2, 3]).is_err());
 }
+
+// ---------------------------------------------------------------------
+// v4: incremental framing (FrameReader / FrameWriter) and resume codec
+// ---------------------------------------------------------------------
+
+/// Every frame shape the protocol ships, as one stream: the full auth
+/// transcript, a compressed `LoadJob`, v3 and v4 subscribes, inline
+/// and by-id run requests, snapshots and typed errors. The incremental
+/// reader must decode this stream identically to the blocking reader
+/// however the bytes are chopped up.
+fn frame_corpus() -> Vec<(u8, Vec<u8>)> {
+    let job = Job::new(
+        "corpus",
+        Instantiation::paper_two_qubit(),
+        vec![Instruction::Stop; 8],
+    )
+    .with_shots(64)
+    .with_seed(11);
+    let job_bytes = encode_job(&job).unwrap();
+    // A highly repetitive program compresses, so encode_parts_auto
+    // emits the flagged-compressed LoadJob form.
+    let repetitive = encode_job(&Job::new(
+        "compressible",
+        Instantiation::paper(),
+        vec![Instruction::Nop; 512],
+    ))
+    .unwrap();
+    let compressed_load = wire::LoadJob::encode_parts_auto(9, &repetitive);
+    assert!(
+        wire::LoadJob::decode(&compressed_load).is_ok(),
+        "corpus must include a decodable compressed LoadJob"
+    );
+    vec![
+        (
+            wire::tag::HELLO,
+            wire::Hello {
+                version: wire::PROTOCOL_VERSION,
+            }
+            .encode(),
+        ),
+        (
+            wire::tag::HELLO_ACK,
+            wire::HelloAck {
+                version: wire::PROTOCOL_VERSION,
+                capacity: 8,
+                name: "corpus-server".to_owned(),
+            }
+            .encode(),
+        ),
+        (
+            wire::tag::AUTH_CHALLENGE,
+            wire::AuthChallenge {
+                server_nonce: (0..32u8).collect(),
+            }
+            .encode(),
+        ),
+        (
+            wire::tag::AUTH_RESPONSE,
+            wire::AuthResponse {
+                client_nonce: (32..64u8).collect(),
+                proof: vec![0xaa; 32],
+            }
+            .encode(),
+        ),
+        (
+            wire::tag::AUTH_OK,
+            wire::AuthOk {
+                proof: vec![0x55; 32],
+            }
+            .encode(),
+        ),
+        (wire::tag::LOAD_JOB, compressed_load),
+        (
+            wire::tag::RUN_RANGE,
+            wire::RunRange {
+                start: 0,
+                end: 64,
+                job_bytes,
+            }
+            .encode(),
+        ),
+        (
+            wire::tag::RUN_RANGE_BY_ID,
+            wire::RunRangeById {
+                job_id: 9,
+                start: 0,
+                end: 64,
+            }
+            .encode(),
+        ),
+        (
+            wire::tag::SUBSCRIBE,
+            wire::encode_subscribe(&wire::Subscribe {
+                job_id: 3,
+                resume_after: None,
+            }),
+        ),
+        (
+            wire::tag::SUBSCRIBE,
+            wire::encode_subscribe(&wire::Subscribe {
+                job_id: 3,
+                resume_after: Some(17),
+            }),
+        ),
+        (wire::tag::PING, Vec::new()),
+        (
+            wire::tag::ERROR,
+            wire::ErrorMsg {
+                kind: wire::ErrorKind::Budget,
+                version: wire::PROTOCOL_VERSION,
+                message: "corpus error".to_owned(),
+            }
+            .encode(),
+        ),
+    ]
+}
+
+/// The corpus as one contiguous byte stream, plus the frames the
+/// blocking reader extracts from it (the baseline).
+fn corpus_stream() -> (Vec<u8>, Vec<(u8, Vec<u8>)>) {
+    let frames = frame_corpus();
+    let mut stream = Vec::new();
+    for (tag, payload) in &frames {
+        stream.extend(wire::encode_frame(*tag, payload).unwrap());
+    }
+    let mut cursor = stream.as_slice();
+    let mut blocking = Vec::new();
+    while !cursor.is_empty() {
+        blocking.push(wire::read_frame(&mut cursor).expect("blocking reader decodes corpus"));
+    }
+    assert_eq!(blocking.len(), frames.len());
+    (stream, blocking)
+}
+
+#[test]
+fn frame_reader_decodes_byte_at_a_time() {
+    let (stream, blocking) = corpus_stream();
+    let mut reader = wire::FrameReader::new(wire::MAX_FRAME_LEN);
+    let mut incremental = Vec::new();
+    for byte in &stream {
+        reader.extend(std::slice::from_ref(byte));
+        while let Some(frame) = reader.next_frame().expect("incremental decode") {
+            incremental.push(frame);
+        }
+    }
+    assert_eq!(incremental, blocking);
+    assert_eq!(reader.pending(), 0, "no bytes left over");
+}
+
+proptest! {
+    /// Chop the corpus stream at arbitrary points — the incremental
+    /// reader must reassemble exactly what the blocking reader sees,
+    /// regardless of where `EWOULDBLOCK` would have landed.
+    #[test]
+    fn frame_reader_decodes_any_split(cuts in prop::collection::vec(1usize..257, 1..64)) {
+        let (stream, blocking) = corpus_stream();
+        let mut reader = wire::FrameReader::new(wire::MAX_FRAME_LEN);
+        let mut incremental = Vec::new();
+        let mut pos = 0;
+        let mut cut = 0;
+        while pos < stream.len() {
+            let take = cuts[cut % cuts.len()].min(stream.len() - pos);
+            cut += 1;
+            reader.extend(&stream[pos..pos + take]);
+            pos += take;
+            while let Some(frame) = reader.next_frame().expect("incremental decode") {
+                incremental.push(frame);
+            }
+        }
+        prop_assert_eq!(incremental, blocking);
+        prop_assert_eq!(reader.pending(), 0);
+    }
+
+    /// The outbound path: frames drained through a FrameWriter in
+    /// arbitrarily small write windows produce the identical byte
+    /// stream `write_frame` would have produced on a blocking socket.
+    #[test]
+    fn frame_writer_matches_blocking_writer(window in 1usize..97) {
+        struct Window {
+            out: Vec<u8>,
+            cap: usize,
+        }
+        impl std::io::Write for Window {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let n = buf.len().min(self.cap);
+                self.out.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let (stream, _) = corpus_stream();
+        let mut writer = wire::FrameWriter::new(usize::MAX);
+        for (tag, payload) in frame_corpus() {
+            let frame = wire::encode_frame(tag, &payload).unwrap();
+            prop_assert!(writer.enqueue(std::sync::Arc::new(frame)));
+        }
+        let mut sink = Window { out: Vec::new(), cap: window };
+        prop_assert!(writer.flush_into(&mut sink).expect("drains"));
+        prop_assert!(!writer.has_pending());
+        prop_assert_eq!(sink.out, stream, "byte-identical to the blocking writer");
+    }
+}
+
+#[test]
+fn subscribe_codec_v3_and_v4_forms() {
+    // The plain form is byte-identical to a v3 job-id payload — a v4
+    // server needs no version sniffing to accept v3 subscribers.
+    let plain = wire::encode_subscribe(&wire::Subscribe {
+        job_id: 5,
+        resume_after: None,
+    });
+    assert_eq!(plain, wire::encode_job_id(5));
+    let decoded = wire::decode_subscribe(&plain).unwrap();
+    assert_eq!(decoded.job_id, 5);
+    assert_eq!(decoded.resume_after, None);
+
+    // The resume form appends the last-seen prefix; both fields
+    // round-trip.
+    let resume = wire::encode_subscribe(&wire::Subscribe {
+        job_id: 5,
+        resume_after: Some(7),
+    });
+    assert_eq!(resume.len(), 16);
+    let decoded = wire::decode_subscribe(&resume).unwrap();
+    assert_eq!(decoded.job_id, 5);
+    assert_eq!(decoded.resume_after, Some(7));
+
+    // Anything else is malformed: truncated resume field, trailing
+    // garbage, empty payload.
+    assert!(wire::decode_subscribe(&resume[..12]).is_err());
+    let mut trailing = resume.clone();
+    trailing.push(0);
+    assert!(wire::decode_subscribe(&trailing).is_err());
+    assert!(wire::decode_subscribe(&[]).is_err());
+}

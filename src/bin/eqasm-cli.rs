@@ -18,6 +18,7 @@
 //!                                            results, print the final table
 //! eqasm-cli status   --connect <addr> --job <id>   one snapshot per job id
 //! eqasm-cli watch    --connect <addr> --job <id>   stream one job to completion
+//!                    [--resume-after batches]       …skipping an already-folded prefix
 //! eqasm-cli worker   --listen <addr>         long-lived remote shot worker
 //!                                            speaking the versioned wire
 //!                                            protocol
@@ -109,6 +110,12 @@ mod signals {
 
     extern "C" fn on_signal(_signum: i32) {
         SHUTDOWN.store(true, Ordering::Release);
+        // Wake a serve reactor parked in epoll_wait/poll with no
+        // timeout — an atomic load plus one write(2) on a pipe, both
+        // async-signal-safe. (The syscalls also return EINTR on
+        // signal delivery, but only if the signal lands on the
+        // reactor's own thread; the wake covers every thread.)
+        eqasm::runtime::wake_serve_shutdown();
     }
 
     extern "C" {
@@ -140,7 +147,7 @@ fn load_instantiation(chip: &str) -> Result<Instantiation, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: eqasm-cli <asm|disasm|run|lift> <file> [--seed n] [--shots n] [--workers n] [--chip name] [--trace]\n       eqasm-cli <workload|serve> <rabi|allxy|rb|active-reset|mix> [--shots n] [--workers n] [--seed n] [--remote host:port,...] [--rediscover secs] [--registry file] [--psk-file f] [--metrics addr] [--journal dir] [--journal-fsync every|batch|off]\n       eqasm-cli serve --listen <addr> [--workers n] [--remote ...] [--rediscover secs] [--registry file] [--psk-file f] [--metrics addr] [--journal dir] [--journal-fsync every|batch|off]\n       eqasm-cli submit <rabi|allxy|rb|active-reset|mix> --connect <addr> [--shots n] [--seed n] [--verify-serial] [--psk-file f]\n       eqasm-cli status --connect <addr> --job <id> [--job <id> ...] [--psk-file f]\n       eqasm-cli watch --connect <addr> --job <id> [--psk-file f]\n       eqasm-cli worker --listen <addr> [--capacity n] [--name s] [--psk-file f] [--job-cache n] [--max-frame bytes] [--rate-limit req/s] [--metrics addr]"
+        "usage: eqasm-cli <asm|disasm|run|lift> <file> [--seed n] [--shots n] [--workers n] [--chip name] [--trace]\n       eqasm-cli <workload|serve> <rabi|allxy|rb|active-reset|mix> [--shots n] [--workers n] [--seed n] [--remote host:port,...] [--rediscover secs] [--registry file] [--psk-file f] [--metrics addr] [--journal dir] [--journal-fsync every|batch|off]\n       eqasm-cli serve --listen <addr> [--workers n] [--remote ...] [--rediscover secs] [--registry file] [--psk-file f] [--metrics addr] [--journal dir] [--journal-fsync every|batch|off]\n       eqasm-cli submit <rabi|allxy|rb|active-reset|mix> --connect <addr> [--shots n] [--seed n] [--verify-serial] [--psk-file f]\n       eqasm-cli status --connect <addr> --job <id> [--job <id> ...] [--psk-file f]\n       eqasm-cli watch --connect <addr> --job <id> [--resume-after batches] [--psk-file f]\n       eqasm-cli worker --listen <addr> [--capacity n] [--name s] [--psk-file f] [--job-cache n] [--max-frame bytes] [--rate-limit req/s] [--metrics addr]"
     );
     ExitCode::from(2)
 }
@@ -183,6 +190,7 @@ fn main() -> ExitCode {
     let mut psk_file: Option<String> = None;
     let mut job_ids: Vec<u64> = Vec::new();
     let mut verify_serial = false;
+    let mut resume_after: Option<u64> = None;
     let mut job_cache: Option<usize> = None;
     let mut max_frame: Option<u32> = None;
     let mut rate_limit: Option<u32> = None;
@@ -267,6 +275,19 @@ fn main() -> ExitCode {
             "--verify-serial" => {
                 verify_serial = true;
                 i += 1;
+            }
+            "--resume-after" if i + 1 < args.len() => {
+                match args[i + 1].parse() {
+                    Ok(n) => resume_after = Some(n),
+                    Err(_) => {
+                        eprintln!(
+                            "error: --resume-after wants a folded-batch count, got `{}`",
+                            args[i + 1]
+                        );
+                        return usage();
+                    }
+                }
+                i += 2;
             }
             // The budget flags must never fail open: a typo in a
             // security limit silently disabling it is worse than a
@@ -407,7 +428,7 @@ fn main() -> ExitCode {
                 verify_serial,
             ),
             "status" => cmd_status(&addr, &job_ids, psk),
-            _ => cmd_watch(&addr, &job_ids, psk),
+            _ => cmd_watch(&addr, &job_ids, resume_after, psk),
         };
         return match result {
             Ok(()) => ExitCode::SUCCESS,
@@ -1155,7 +1176,17 @@ fn cmd_status(addr: &str, job_ids: &[u64], psk: Option<Psk>) -> Result<(), Strin
 }
 
 /// Streams the requested jobs to completion, printing every snapshot.
-fn cmd_watch(addr: &str, job_ids: &[u64], psk: Option<Psk>) -> Result<(), String> {
+/// `--resume-after <batches>` seeds the stream with a prefix a
+/// previous watcher process already folded: the reassembled pair of
+/// logs covers every prefix exactly once, and the final line's
+/// fingerprint (a stable hash of the encoded result) lets scripts
+/// assert bit-identical results across broken and unbroken watches.
+fn cmd_watch(
+    addr: &str,
+    job_ids: &[u64],
+    resume_after: Option<u64>,
+    psk: Option<Psk>,
+) -> Result<(), String> {
     if job_ids.is_empty() {
         return Err("watch requires at least one --job <id>".to_owned());
     }
@@ -1163,20 +1194,25 @@ fn cmd_watch(addr: &str, job_ids: &[u64], psk: Option<Psk>) -> Result<(), String
     let started = std::time::Instant::now();
     for &id in job_ids {
         let result = client
-            .watch_id(id, |snap| {
+            .watch_id_from(id, resume_after, |snap| {
                 println!(
-                    "[{:7.3}s] job {id} {:>16} {:>8}/{} shots ({:3.0}%)",
+                    "[{:7.3}s] job {id} {:>16} {:>8}/{} shots ({:3.0}%) batches {}/{}",
                     started.elapsed().as_secs_f64(),
                     snap.name,
                     snap.shots_done,
                     snap.shots_total,
                     snap.progress() * 100.0,
+                    snap.batches_done,
+                    snap.batches_total,
                 );
             })
             .map_err(|e| e.to_string())?;
         println!(
-            "job {id} `{}` done: {} shots, {:.0} shots/s",
-            result.name, result.shots, result.shots_per_sec
+            "job {id} `{}` done: {} shots, {:.0} shots/s, fingerprint {:#018x}",
+            result.name,
+            result.shots,
+            result.shots_per_sec,
+            eqasm::runtime::wire::result_fingerprint(&result),
         );
     }
     Ok(())
