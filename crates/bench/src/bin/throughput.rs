@@ -12,9 +12,12 @@ use std::sync::Arc;
 use eqasm_core::{Instantiation, Qubit, Topology};
 use eqasm_microarch::SimConfig;
 use eqasm_quantum::{NoiseModel, ReadoutModel};
+use eqasm_runtime::loadgen::RpsStep;
 use eqasm_runtime::{
-    spawn_serve, spawn_worker, Client, ConnectOptions, ExecBackend, Job, JobQueue, JournalConfig,
-    LocalBackend, RemoteBackend, ServeConfig, ServeNetConfig, ShotEngine, Submission, WorkerConfig,
+    capacity_sweep, spawn_serve, spawn_worker, Ceilings, Client, ConnectOptions, ExecBackend, Job,
+    JobQueue, JournalConfig, LoadClass, LoadSpec, LocalBackend, MetricsServer, RemoteBackend,
+    ServeConfig, ServeNetConfig, ShotEngine, ShotsDist, Submission, SweepConfig, SweepTarget,
+    WorkerConfig, WorkloadKind, WorkloadSpec,
 };
 use eqasm_workloads::rb_program;
 
@@ -500,7 +503,10 @@ fn main() {
         ConnectOptions::default().with_protocol_cap(1),
     )
     .expect("v1 connects");
-    assert_eq!(v2_backend.protocol(), 2);
+    assert!(
+        v2_backend.protocol() >= 2,
+        "default negotiation must land on a registry-capable version"
+    );
     assert_eq!(v1_backend.protocol(), 1);
     let bench_ranges = 8u64;
     let range_shots = (shots / bench_ranges).max(1);
@@ -538,6 +544,79 @@ fn main() {
         load_job_auto as f64 * 100.0 / load_job_raw.max(1) as f64
     );
 
+    // Capacity: an actual open-loop ramp against the serve front
+    // door. A fresh coordinator (2 local slots) and a live `/metrics`
+    // endpoint take stepped submission rates of the same noisy RB
+    // workload until a rung breaches a failure-rate or p50-latency
+    // ceiling — the max-sustainable-rps number, with server-side
+    // truth per rung, lands in the `capacity` JSON section. The
+    // initial rate is derived from the measured serial shot rate so
+    // the geometric ramp reaches the knee in a handful of rungs on
+    // any host.
+    let cap_listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let cap_queue = Arc::new(JobQueue::with_backends(
+        ServeConfig::default().with_batch_size(64),
+        vec![
+            Box::new(LocalBackend::new(0)),
+            Box::new(LocalBackend::new(1)),
+        ],
+    ));
+    let cap_server = spawn_serve(
+        cap_listener,
+        Arc::clone(&cap_queue),
+        ServeNetConfig::default().with_name("bench-capacity"),
+    )
+    .expect("spawn capacity serve");
+    let cap_metrics =
+        MetricsServer::spawn("127.0.0.1:0", eqasm_runtime::metrics::default_registry())
+            .expect("spawn capacity metrics");
+    let cap_shots = (shots / 4).max(250);
+    // Two slots × serial rate, in jobs/sec — the rough service capacity
+    // the ramp is hunting for.
+    let cap_jobs_per_sec = (2.0 * serial_rate / cap_shots as f64).max(2.0);
+    let cap_spec = LoadSpec::new(vec![LoadClass {
+        tenant: "cap".into(),
+        spec: WorkloadSpec::new(
+            "rb-k24",
+            WorkloadKind::Rb {
+                k: 24,
+                interval_cycles: 1,
+                sequence_seed: 0x5eed,
+            },
+            cap_shots,
+        )
+        .with_config(job.config.clone()),
+        share: 1,
+    }])
+    .with_shots(ShotsDist::fixed(cap_shots))
+    .with_connections(2)
+    .with_watchers(1)
+    .with_seed(0xcafe);
+    let cap_config = SweepConfig {
+        initial_rps: (cap_jobs_per_sec / 2.0).max(2.0),
+        step: RpsStep::Mul(2.0),
+        max_rps: cap_jobs_per_sec * 16.0,
+        window: std::time::Duration::from_millis(1500),
+        drain_timeout: std::time::Duration::from_secs(8),
+        stop: Ceilings {
+            failure_rate: 0.4,
+            p50: std::time::Duration::from_millis(1500),
+        },
+        ..SweepConfig::default()
+    };
+    let cap_target = SweepTarget::new(cap_server.addr().to_string())
+        .with_metrics(cap_metrics.local_addr().to_string());
+    let capacity =
+        capacity_sweep(&cap_spec, &cap_target, &cap_config).expect("capacity sweep runs");
+    println!(
+        "\ncapacity: {} rungs, max sustainable {:.1} rps (stop: {})",
+        capacity.rungs.len(),
+        capacity.max_sustainable_rps,
+        capacity.stop,
+    );
+    print!("{}", capacity.table());
+    drop(cap_metrics);
+
     // Scrape cost: price one full exposition encode of everything the
     // sections above accumulated, so the trajectory tracks how
     // expensive a Prometheus scrape is as the series catalogue grows.
@@ -553,7 +632,7 @@ fn main() {
 
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"bench\": \"runtime\",\n  \"workload\": \"rb-k24\",\n  \"shots\": {shots},\n  \"host_parallelism\": {available},\n  \"points\": [\n{}\n  ],\n  \"shot_speed\": {{\n    \"workload\": \"rb-k64-clifford\",\n    \"shots\": {sp_shots},\n    \"qubits\": 3,\n    \"workers\": 4,\n    \"target_speedup\": 5.0,\n    \"stabilizer_prefix_speedup\": {sp_fast_speedup:.3},\n    \"bit_identical\": true,\n    \"paths\": [\n{}\n    ]\n  }},\n  \"serve\": {{\n    \"workers\": {live_workers},\n    \"peak_queue_depth\": {peak_queue_depth},\n    \"jobs\": [\n{}\n    ]\n  }},\n  \"journal\": {{\n    \"fsync\": \"batch\",\n    \"path\": \"dense\",\n    \"jobs\": 4,\n    \"serve_wall_s_plain\": {plain_wall:.4},\n    \"serve_wall_s_journaled\": {journal_wall:.4},\n    \"overhead_pct\": {journal_overhead_pct:.2},\n    \"records_appended\": {journal_appends},\n    \"fsyncs\": {journal_fsyncs},\n    \"disk_bytes\": {journal_disk_bytes}\n  }},\n  \"metrics\": {{\n    \"series\": {series},\n    \"exposition_bytes\": {},\n    \"encode_us\": {scrape_us:.1}\n  }},\n  \"remote\": {{\n    \"pool\": {pool_size},\n    \"remote_slots\": {remote_slots},\n    \"shots_per_sec\": {remote_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"elastic\": {{\n    \"slots_before\": 1,\n    \"slots_after\": {elastic_slots},\n    \"attach_at_shots\": {before_shots},\n    \"shots_per_sec_before\": {before_rate:.1},\n    \"shots_per_sec_after\": {after_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"client\": {{\n    \"shots_per_sec\": {client_rate:.1},\n    \"snapshots_streamed\": {snapshots_streamed},\n    \"bit_identical\": true,\n    \"run_range_bytes_v1\": {per_range_v1},\n    \"run_range_bytes_v2\": {per_range_v2},\n    \"bytes_saved_per_range\": {},\n    \"load_job_bytes_once\": {},\n    \"load_job_bytes_raw\": {load_job_raw},\n    \"load_job_bytes_compressed\": {load_job_auto},\n    \"total_request_bytes_v1\": {},\n    \"total_request_bytes_v2\": {}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"runtime\",\n  \"workload\": \"rb-k24\",\n  \"shots\": {shots},\n  \"host_parallelism\": {available},\n  \"points\": [\n{}\n  ],\n  \"shot_speed\": {{\n    \"workload\": \"rb-k64-clifford\",\n    \"shots\": {sp_shots},\n    \"qubits\": 3,\n    \"workers\": 4,\n    \"target_speedup\": 5.0,\n    \"stabilizer_prefix_speedup\": {sp_fast_speedup:.3},\n    \"bit_identical\": true,\n    \"paths\": [\n{}\n    ]\n  }},\n  \"serve\": {{\n    \"workers\": {live_workers},\n    \"peak_queue_depth\": {peak_queue_depth},\n    \"jobs\": [\n{}\n    ]\n  }},\n  \"journal\": {{\n    \"fsync\": \"batch\",\n    \"path\": \"dense\",\n    \"jobs\": 4,\n    \"serve_wall_s_plain\": {plain_wall:.4},\n    \"serve_wall_s_journaled\": {journal_wall:.4},\n    \"overhead_pct\": {journal_overhead_pct:.2},\n    \"records_appended\": {journal_appends},\n    \"fsyncs\": {journal_fsyncs},\n    \"disk_bytes\": {journal_disk_bytes}\n  }},\n  \"metrics\": {{\n    \"series\": {series},\n    \"exposition_bytes\": {},\n    \"encode_us\": {scrape_us:.1}\n  }},\n  \"remote\": {{\n    \"pool\": {pool_size},\n    \"remote_slots\": {remote_slots},\n    \"shots_per_sec\": {remote_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"elastic\": {{\n    \"slots_before\": 1,\n    \"slots_after\": {elastic_slots},\n    \"attach_at_shots\": {before_shots},\n    \"shots_per_sec_before\": {before_rate:.1},\n    \"shots_per_sec_after\": {after_rate:.1},\n    \"bit_identical\": true\n  }},\n  \"client\": {{\n    \"shots_per_sec\": {client_rate:.1},\n    \"snapshots_streamed\": {snapshots_streamed},\n    \"bit_identical\": true,\n    \"run_range_bytes_v1\": {per_range_v1},\n    \"run_range_bytes_v2\": {per_range_v2},\n    \"bytes_saved_per_range\": {},\n    \"load_job_bytes_once\": {},\n    \"load_job_bytes_raw\": {load_job_raw},\n    \"load_job_bytes_compressed\": {load_job_auto},\n    \"total_request_bytes_v1\": {},\n    \"total_request_bytes_v2\": {}\n  }},\n  \"capacity\":\n{}\n}}\n",
         rows.join(",\n"),
         sp_rows.join(",\n"),
         serve_rows.join(",\n"),
@@ -561,7 +640,8 @@ fn main() {
         per_range_v1 - per_range_v2,
         t2.load_request_bytes,
         t1.total_request_bytes(),
-        t2.total_request_bytes()
+        t2.total_request_bytes(),
+        capacity.to_json("  ")
     );
     std::fs::write(&out_path, &json).expect("write trajectory point");
     println!("wrote {out_path} (host parallelism: {available})");

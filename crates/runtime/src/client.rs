@@ -42,8 +42,9 @@ use std::time::Duration;
 use crate::aggregate::JobResult;
 use crate::error::RuntimeError;
 use crate::net::{handshake, ConnectOptions};
-use crate::serve::{PartialResult, Submission};
+use crate::serve::{PartialResult, Submission, Work};
 use crate::wire::{self, ErrorKind, ErrorMsg, RemoteJobInfo, SubmitAck, WireError};
+use crate::workload::WorkloadKind;
 
 /// How many times a broken [`RemoteJobHandle::watch`] stream retries
 /// the connection before surfacing the transport error.
@@ -207,9 +208,10 @@ impl Client {
         submission: impl Into<Submission>,
     ) -> Result<Vec<RemoteJobHandle>, RuntimeError> {
         let submission = submission.into();
+        let mut conn = self.conn.lock().expect("client connection poisoned");
+        check_submission_version(&conn, &submission)?;
         let payload = wire::encode_submission(&submission)
             .map_err(|e| RuntimeError::Service(format!("submission cannot be encoded: {e}")))?;
-        let mut conn = self.conn.lock().expect("client connection poisoned");
         let (tag, resp) = conn.request(wire::tag::SUBMIT, &payload)?;
         match tag {
             wire::tag::SUBMIT_ACK => {
@@ -227,6 +229,71 @@ impl Client {
             wire::tag::ERROR => Err(conn.remote_error(&resp)),
             other => Err(conn.transport(format!("unexpected submit response tag {other:#04x}"))),
         }
+    }
+
+    /// Submits several independent submissions in one pipelined pass:
+    /// every `SUBMIT` frame is written before the first ack is read,
+    /// so a batch pays one round-trip latency instead of one per
+    /// submission — the batching lever the load generator leans on
+    /// when its pacer releases a burst of overdue ticks at once.
+    ///
+    /// The reactor answers frames on one connection strictly in
+    /// order, so acks are matched to submissions positionally. The
+    /// outer `Err` is transport-level (the connection broke — none of
+    /// the remaining acks are recoverable); the inner per-submission
+    /// results carry server-side rejections (admission caps, bad
+    /// specs) without poisoning their neighbours.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Transport`] when writing or reading frames
+    /// fails mid-batch; [`RuntimeError::Service`] when a submission
+    /// cannot be encoded or needs a newer negotiated version (both
+    /// detected before anything is written).
+    pub fn submit_batch(
+        &self,
+        submissions: &[Submission],
+    ) -> Result<Vec<Result<Vec<RemoteJobHandle>, RuntimeError>>, RuntimeError> {
+        let mut conn = self.conn.lock().expect("client connection poisoned");
+        // Encode (and version-check) everything up front: a mid-batch
+        // encode failure would desynchronise the positional ack
+        // matching.
+        let mut payloads = Vec::with_capacity(submissions.len());
+        for submission in submissions {
+            check_submission_version(&conn, submission)?;
+            payloads.push(wire::encode_submission(submission).map_err(|e| {
+                RuntimeError::Service(format!("submission cannot be encoded: {e}"))
+            })?);
+        }
+        for payload in &payloads {
+            wire::write_frame(&mut conn.stream, wire::tag::SUBMIT, payload)
+                .map_err(|e| conn.transport(e))?;
+        }
+        let mut out = Vec::with_capacity(payloads.len());
+        for _ in 0..payloads.len() {
+            let (tag, resp) = conn.next_frame()?;
+            out.push(match tag {
+                wire::tag::SUBMIT_ACK => {
+                    let ack = SubmitAck::decode(&resp)
+                        .map_err(|e| conn.transport(format!("undecodable submit ack: {e}")))?;
+                    Ok(ack
+                        .jobs
+                        .into_iter()
+                        .map(|info| RemoteJobHandle {
+                            conn: Arc::clone(&self.conn),
+                            info,
+                        })
+                        .collect())
+                }
+                wire::tag::ERROR => Err(conn.remote_error(&resp)),
+                other => {
+                    return Err(
+                        conn.transport(format!("unexpected submit response tag {other:#04x}"))
+                    )
+                }
+            });
+        }
+        Ok(out)
     }
 
     /// Fetches the current snapshot of the job with coordinator id
@@ -285,6 +352,33 @@ impl Client {
     pub fn wait_id(&self, job_id: u64) -> Result<JobResult, RuntimeError> {
         watch_on(&self.conn, job_id, None, |_| {})
     }
+}
+
+/// The lowest negotiated protocol version that can carry
+/// `submission`. Most submissions ride the v2 front door; a
+/// `CliffordChain` workload uses wire tag 5, a v5 capability — a ≤ v4
+/// server would fail its decoder with an opaque `UnknownTag`, so the
+/// client refuses locally with a clear error instead.
+fn submission_min_version(submission: &Submission) -> u16 {
+    match submission.work() {
+        Work::Spec(spec) if matches!(spec.kind, WorkloadKind::CliffordChain { .. }) => 5,
+        _ => 2,
+    }
+}
+
+fn check_submission_version(
+    conn: &ClientConn,
+    submission: &Submission,
+) -> Result<(), RuntimeError> {
+    let needed = submission_min_version(submission);
+    if conn.negotiated < needed {
+        return Err(RuntimeError::Service(format!(
+            "submission needs wire v{needed} but {} ({}) negotiated v{} — \
+             upgrade the coordinator or drop the CliffordChain workload",
+            conn.server_name, conn.addr, conn.negotiated
+        )));
+    }
+    Ok(())
 }
 
 /// One `POLL` round trip on a shared connection.

@@ -68,7 +68,17 @@
 //!   responder ([`MetricsServer`], `--metrics` on `eqasm-cli
 //!   serve`/`worker`). Scrapes read only atomics — never the queue
 //!   mutex — so observing the service cannot stall it. The series
-//!   catalogue lives in `METRICS.md`.
+//!   catalogue lives in `METRICS.md`;
+//! * [`loadgen`] — the instrument that pressures all of the above: an
+//!   open-loop load generator ([`loadgen::LoadSpec`],
+//!   [`loadgen::run_rung`]) whose pacer never slows when the server
+//!   lags, a [`loadgen::capacity_sweep`] ramp that steps the target
+//!   rate until a failure-rate or p50-latency ceiling is breached
+//!   (scraping `/metrics` for server-side truth, emitting the
+//!   `capacity` section of `BENCH_runtime.json`), and a
+//!   [`loadgen::churn_sweep`] that cycles
+//!   connect/subscribe/resume/disconnect watchers while checking
+//!   resume correctness (`eqasm-cli loadgen` rides all three).
 //!
 //! ## Determinism — including across hosts
 //!
@@ -169,6 +179,7 @@ mod engine;
 mod error;
 mod job;
 pub mod journal;
+pub mod loadgen;
 pub mod metrics;
 mod net;
 pub mod prefix;
@@ -185,6 +196,10 @@ pub use engine::ShotEngine;
 pub use error::RuntimeError;
 pub use job::{default_batch_size, partition_shots, Job};
 pub use journal::{FsyncPolicy, JournalConfig, JournalError, RecoveryReport};
+pub use loadgen::{
+    capacity_sweep, churn_sweep, run_rung, CapacityReport, Ceilings, ChurnConfig, ChurnReport,
+    LoadClass, LoadSpec, RungReport, ShotsDist, SweepConfig, SweepTarget,
+};
 pub use metrics::MetricsServer;
 pub use net::{
     ping, ping_opts, ping_within, run_serve_until, run_worker, run_worker_until, spawn_serve,

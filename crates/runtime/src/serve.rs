@@ -393,6 +393,10 @@ enum CacheKey {
     ActiveReset {
         init_cycles: u32,
     },
+    CliffordChain {
+        qubits: usize,
+        layers: u32,
+    },
     Source {
         text: String,
     },
@@ -423,6 +427,10 @@ impl CacheKey {
             },
             WorkloadKind::ActiveReset { init_cycles } => CacheKey::ActiveReset {
                 init_cycles: *init_cycles,
+            },
+            WorkloadKind::CliffordChain { qubits, layers } => CacheKey::CliffordChain {
+                qubits: *qubits,
+                layers: *layers,
             },
             WorkloadKind::Source { text } => CacheKey::Source { text: text.clone() },
         }

@@ -106,7 +106,14 @@ pub const MAGIC: [u8; 4] = *b"EQWP";
 /// folded. A v4 server still accepts the bare 8-byte v3 payload, and a
 /// v4 client talking to a ≤ v3 server sends the 8-byte form and
 /// filters client-side.
-pub const PROTOCOL_VERSION: u16 = 4;
+///
+/// v5 is a capability bump again: it adds [`WorkloadKind`] tag 5
+/// (`CliffordChain`, the large-n stabilizer workload). The tag is
+/// unknown to ≤ v4 decoders — they would fail the submission with a
+/// typed `UnknownTag` error — so clients gate `CliffordChain`
+/// submissions on the *negotiated* version and refuse locally with a
+/// clear error instead of tripping the peer's decoder.
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// The oldest protocol version this build still speaks. Handshakes
 /// that cannot settle on a version in
@@ -2442,6 +2449,13 @@ fn put_workload_kind(w: &mut Writer, kind: &WorkloadKind) {
             w.put_u8(4);
             w.put_str(text);
         }
+        // Tag 5 is a v5 capability: senders gate on the negotiated
+        // version (see `PROTOCOL_VERSION`).
+        WorkloadKind::CliffordChain { qubits, layers } => {
+            w.put_u8(5);
+            w.put_u64(*qubits as u64);
+            w.put_u32(*layers);
+        }
     }
 }
 
@@ -2465,6 +2479,10 @@ fn get_workload_kind(r: &mut Reader<'_>) -> Result<WorkloadKind, WireError> {
         },
         4 => WorkloadKind::Source {
             text: r.get_str("Source.text")?,
+        },
+        5 => WorkloadKind::CliffordChain {
+            qubits: r.get_u64("CliffordChain.qubits")? as usize,
+            layers: r.get_u32("CliffordChain.layers")?,
         },
         tag => {
             return Err(WireError::UnknownTag {

@@ -52,6 +52,19 @@ pub enum WorkloadKind {
         /// Initialisation idle, in cycles.
         init_cycles: u32,
     },
+    /// A Clifford-only brick-wall circuit on a linear chain of
+    /// `qubits` qubits: per layer, `H` on every qubit then `CZ` on
+    /// the even-offset and odd-offset neighbour pairs, ending in a
+    /// full measurement. Every gate is Clifford, so program-aware
+    /// selection routes it to the stabilizer backend — the workload
+    /// that scales *past* the 10-qubit dense ceiling.
+    CliffordChain {
+        /// Chain length, `2..=32` (the linear topology and u32 wire
+        /// masks cap it at 32).
+        qubits: usize,
+        /// Brick-wall layers, `1..=16`.
+        layers: u32,
+    },
     /// Arbitrary eQASM source assembled against the paper's surface-7
     /// instantiation.
     Source {
@@ -122,6 +135,45 @@ impl WorkloadKind {
                 let src = format!(
                     "SMIS S2, {{2}}\nQWAIT {init_cycles}\nX90 S2\nMEASZ S2\nQWAIT 50\nC_X S2\nMEASZ S2\nQWAIT 50\nSTOP"
                 );
+                let program = assemble(&src, &inst)?;
+                Ok((inst, program.instructions().to_vec()))
+            }
+            WorkloadKind::CliffordChain { qubits, layers } => {
+                let n = *qubits;
+                if !(2..=32).contains(&n) {
+                    return Err(RuntimeError::Spec(format!(
+                        "clifford chain qubits {n} out of range (2..=32)"
+                    )));
+                }
+                if !(1..=16).contains(layers) {
+                    return Err(RuntimeError::Spec(format!(
+                        "clifford chain layers {layers} out of range (1..=16)"
+                    )));
+                }
+                let inst = Instantiation::paper().with_topology(eqasm_core::Topology::linear(n));
+                let all: Vec<String> = (0..n).map(|q| q.to_string()).collect();
+                let pairs = |offset: usize| -> Vec<String> {
+                    (offset..n - 1)
+                        .step_by(2)
+                        .map(|i| format!("({i}, {})", i + 1))
+                        .collect()
+                };
+                let even = pairs(0);
+                let odd = pairs(1);
+                let mut src = format!("SMIS S0, {{{}}}\n", all.join(", "));
+                src.push_str(&format!("SMIT T0, {{{}}}\n", even.join(", ")));
+                if !odd.is_empty() {
+                    src.push_str(&format!("SMIT T1, {{{}}}\n", odd.join(", ")));
+                }
+                src.push_str("QWAIT 100\n");
+                for _ in 0..*layers {
+                    src.push_str("H S0\nCZ T0\n");
+                    if !odd.is_empty() {
+                        src.push_str("CZ T1\n");
+                    }
+                    src.push_str("QWAIT 10\n");
+                }
+                src.push_str("MEASZ S0\nQWAIT 50\nSTOP");
                 let program = assemble(&src, &inst)?;
                 Ok((inst, program.instructions().to_vec()))
             }

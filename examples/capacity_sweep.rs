@@ -1,0 +1,117 @@
+//! Capacity sweep: find the knee of a serve coordinator with the
+//! open-loop load generator.
+//!
+//! Spawns an in-process coordinator (2 local slots) with a live
+//! `/metrics` endpoint, then ramps a mixed two-tenant workload
+//! through `eqasm::runtime::capacity_sweep`: each rung offers a fixed
+//! submissions/sec rate for a measurement window — the pacer never
+//! slows when the server lags, so saturation shows up as latency —
+//! and the ramp stops the moment a rung breaches a failure-rate or
+//! p50-latency ceiling. The result is the same `capacity` section the
+//! throughput bench emits into `BENCH_runtime.json`: a rung table
+//! with client-side percentiles and server-side truth (peak queue
+//! depth, admission rejections, shots completed) scraped from
+//! `/metrics`, plus the max sustainable rate.
+//!
+//! Run with: `cargo run --release --example capacity_sweep`
+//!
+//! Against a *real* deployment, the same sweep is one CLI invocation:
+//!
+//! ```text
+//! eqasm-cli serve --listen 127.0.0.1:7700 --metrics 9464 --workers 4 &
+//! eqasm-cli loadgen mix --connect 127.0.0.1:7700 --scrape 127.0.0.1:9464 --json
+//! ```
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+use eqasm::runtime::loadgen::RpsStep;
+use eqasm::runtime::serve::{JobQueue, ServeConfig};
+use eqasm::runtime::{
+    capacity_sweep, spawn_serve, Ceilings, LoadClass, LoadSpec, MetricsServer, ServeNetConfig,
+    ShotsDist, SweepConfig, SweepTarget, WorkloadKind, WorkloadSpec,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The system under test: a coordinator with 2 local slots, its
+    // front door and its metrics endpoint both on loopback.
+    let queue = Arc::new(JobQueue::new(
+        ServeConfig::default().with_workers(2).with_batch_size(64),
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let server = spawn_serve(listener, Arc::clone(&queue), ServeNetConfig::default())?;
+    let metrics = MetricsServer::spawn("127.0.0.1:0", eqasm::runtime::metrics::default_registry())?;
+    println!(
+        "coordinator on {}, /metrics on {}",
+        server.addr(),
+        metrics.local_addr()
+    );
+
+    // The traffic shape: a two-tenant mix — calibration RB (2 shares)
+    // and a Clifford chain past the 10-qubit dense ceiling (1 share)
+    // — 500 shots per job, a quarter of jobs watched by a subscriber.
+    let spec = LoadSpec::new(vec![
+        LoadClass {
+            tenant: "cal".into(),
+            spec: WorkloadSpec::new(
+                "rb",
+                WorkloadKind::Rb {
+                    k: 24,
+                    interval_cycles: 1,
+                    sequence_seed: 0x5eed,
+                },
+                500,
+            ),
+            share: 2,
+        },
+        LoadClass {
+            tenant: "batch".into(),
+            spec: WorkloadSpec::new(
+                "stabilizer",
+                WorkloadKind::CliffordChain {
+                    qubits: 12,
+                    layers: 2,
+                },
+                500,
+            ),
+            share: 1,
+        },
+    ])
+    .with_shots(ShotsDist::fixed(500))
+    .with_subscribe_ratio(0.25)
+    .with_connections(2)
+    .with_watchers(1)
+    .with_seed(7);
+
+    // The ramp: 16 rps doubling each rung, 1.5 s windows, stopping
+    // when a rung's failure rate reaches 40% or its p50 reaches 1.5 s.
+    let config = SweepConfig {
+        initial_rps: 16.0,
+        step: RpsStep::Mul(2.0),
+        max_rps: 4096.0,
+        window: Duration::from_millis(1500),
+        drain_timeout: Duration::from_secs(8),
+        stop: Ceilings {
+            failure_rate: 0.4,
+            p50: Duration::from_millis(1500),
+        },
+        ..SweepConfig::default()
+    };
+    let target =
+        SweepTarget::new(server.addr().to_string()).with_metrics(metrics.local_addr().to_string());
+
+    let report = capacity_sweep(&spec, &target, &config)?;
+
+    println!();
+    print!("{}", report.table());
+    println!();
+    println!("capacity JSON (the BENCH_runtime.json section):");
+    println!("{}", report.to_json(""));
+
+    assert!(
+        report.max_sustainable_rps > 0.0,
+        "a healthy loopback coordinator must sustain some rate"
+    );
+    Ok(())
+}
